@@ -1,0 +1,119 @@
+// §8 "Scanner Integration" ablation: static 6Gen-then-scan vs the adaptive
+// feedback loop at equal total probe budget, on the evaluation universe.
+// The adaptive loop early-terminates barren regions, halts aliased regions
+// after an in-flight alias test, and reallocates the freed budget — so it
+// should find more *non-aliased* hosts per probe.
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "bench_common.h"
+#include "core/adaptive.h"
+#include "scanner/scanner.h"
+
+using namespace sixgen;
+
+namespace {
+
+struct Row {
+  std::string name;
+  std::size_t probes = 0;
+  std::size_t clean_hits = 0;
+  std::size_t aliased_hits = 0;
+
+  double CleanPerKiloProbe() const {
+    return probes == 0 ? 0.0
+                       : 1000.0 * static_cast<double>(clean_hits) /
+                             static_cast<double>(probes);
+  }
+};
+
+}  // namespace
+
+int main() {
+  const auto world = bench::MakeWorld(/*host_factor=*/0.4);
+  const std::uint64_t per_prefix_budget = 10'000;
+
+  // --- Static pipeline: 6Gen targets, scan them all, dealias after. -----
+  Row static_row{"static 6Gen + scan + dealias"};
+  {
+    auto config = bench::MakePipelineConfig(per_prefix_budget);
+    const auto result =
+        eval::RunSixGenPipeline(world.universe, world.seeds, config);
+    static_row.probes = result.total_probes;
+    static_row.clean_hits = result.dealias.non_aliased_hits.size();
+    static_row.aliased_hits = result.dealias.aliased_hits.size();
+  }
+
+  // --- Adaptive loop: same per-prefix probe budget, feedback enabled,
+  // once per scheduling policy. ---
+  std::size_t terminated = 0, aliased_regions = 0;
+  auto run_adaptive = [&](const char* name,
+                          core::AdaptiveConfig::Scheduling scheduling) {
+    Row row{name};
+    const auto seed_addrs = simnet::SeedAddresses(world.seeds);
+    auto groups = routing::GroupByRoutedPrefix(world.universe.routing(),
+                                               seed_addrs, nullptr);
+    terminated = 0;
+    aliased_regions = 0;
+    for (const auto& group : groups) {
+      // The probe callback hits the same ground truth the scanner uses.
+      core::ProbeFn probe = [&](const ip6::Address& addr) {
+        return world.universe.RespondsTcp80(addr);
+      };
+      core::AdaptiveConfig config;
+      config.total_budget = per_prefix_budget;
+      config.scheduling = scheduling;
+      config.rng_seed ^= ip6::AddressHash{}(group.route.prefix.network());
+      const auto result = core::AdaptiveScan(group.seeds, probe, config);
+      row.probes += static_cast<std::size_t>(result.probes_used);
+      terminated += result.regions_terminated_early;
+      aliased_regions += result.regions_aliased;
+      // Classify the adaptive hits with the ground-truth alias oracle so
+      // all rows use the same notion of "clean".
+      for (const auto& hit : result.hits) {
+        if (world.universe.InAliasedRegion(hit)) {
+          ++row.aliased_hits;
+        } else {
+          ++row.clean_hits;
+        }
+      }
+      row.aliased_hits += result.aliased_hits.size();
+    }
+    return row;
+  };
+  const Row adaptive_row = run_adaptive(
+      "adaptive feedback loop (round-robin)",
+      core::AdaptiveConfig::Scheduling::kRoundRobin);
+  const Row greedy_row =
+      run_adaptive("adaptive feedback loop (greedy hit-rate)",
+                   core::AdaptiveConfig::Scheduling::kGreedyHitRate);
+
+  std::printf("%s", analysis::Banner(
+                        "Section 8 ablation: static pipeline vs adaptive "
+                        "TGA-scanner feedback loop")
+                        .c_str());
+  analysis::TextTable table({"Strategy", "Probes", "Non-aliased hits",
+                             "Aliased hits", "Clean hits / 1K probes"});
+  for (const Row& row : {static_row, adaptive_row, greedy_row}) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", row.CleanPerKiloProbe());
+    table.AddRow({row.name, std::to_string(row.probes),
+                  std::to_string(row.clean_hits),
+                  std::to_string(row.aliased_hits), buf});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nadaptive loop: %zu regions early-terminated, %zu halted as "
+              "aliased mid-scan\n",
+              terminated, aliased_regions);
+  std::printf("clean-hit efficiency: adaptive/static = %.2fx\n",
+              static_row.CleanPerKiloProbe() > 0
+                  ? adaptive_row.CleanPerKiloProbe() /
+                        static_row.CleanPerKiloProbe()
+                  : 0.0);
+  bench::PrintPaperNote(
+      "§8 (future work, no paper numbers): integration should let the "
+      "scanner 'reallocate budget to networks that prove promising in "
+      "reality' — the adaptive loop must find more non-aliased hosts per "
+      "probe than the static pipeline");
+  return 0;
+}

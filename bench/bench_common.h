@@ -1,0 +1,58 @@
+// Shared setup for the figure/table bench binaries.
+//
+// Each bench regenerates one table or figure of the paper on the scaled
+// evaluation universe (DESIGN.md §1 records the substitutions; EXPERIMENTS.md
+// records paper-vs-measured values). The helpers here pin the canonical RNG
+// seeds and scale factors so every binary reports against the same world.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/datasets.h"
+#include "eval/pipeline.h"
+
+namespace sixgen::bench {
+
+// Canonical world parameters shared by all benches.
+inline constexpr std::uint64_t kUniverseSeed = 0x5eed'0001;
+inline constexpr std::uint64_t kDnsSeedSeed = 0x5eed'0002;
+inline constexpr double kSeedCoverage = 0.5;
+
+// The paper's budget is 1 M probes per routed prefix against the real
+// Internet; the scaled universe uses 20 K per prefix (EXPERIMENTS.md
+// documents the scale factor next to each reproduced number).
+inline constexpr std::uint64_t kDefaultBudget = 20'000;
+
+struct World {
+  simnet::Universe universe;
+  std::vector<simnet::SeedRecord> seeds;
+};
+
+/// Builds the canonical evaluation world. `host_factor` scales host counts
+/// for benches that need many pipeline runs.
+inline World MakeWorld(double host_factor = 1.0) {
+  eval::EvalScale scale;
+  scale.host_factor = host_factor;
+  World world{eval::MakeEvalUniverse(kUniverseSeed, scale), {}};
+  world.seeds =
+      eval::MakeDnsSeeds(world.universe, kDnsSeedSeed, kSeedCoverage);
+  return world;
+}
+
+/// Canonical pipeline config at the given budget.
+inline eval::PipelineConfig MakePipelineConfig(std::uint64_t budget) {
+  eval::PipelineConfig config;
+  config.budget_per_prefix = budget;
+  return config;
+}
+
+/// Prints the "paper reported vs. we measured" epilogue line used by every
+/// bench, keeping EXPERIMENTS.md and bench output consistent.
+inline void PrintPaperNote(const std::string& note) {
+  std::printf("paper: %s\n", note.c_str());
+}
+
+}  // namespace sixgen::bench

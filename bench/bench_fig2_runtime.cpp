@@ -1,0 +1,102 @@
+// Figure 2 (paper §5.6): 6Gen execution time as a function of the number
+// of seeds in a routed prefix. google-benchmark binary: each benchmark runs
+// 6Gen over a synthetic routed prefix with N seeds drawn from a realistic
+// policy mix, reporting wall time (google-benchmark's real time) and CPU
+// time — the two curves of the paper's figure.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/generator.h"
+#include "simnet/allocation.h"
+
+using namespace sixgen;
+
+namespace {
+
+// Seeds for one routed prefix: hosts across several /64 subnets with a
+// mixed allocation policy, like the eval universe's networks.
+std::vector<ip6::Address> MakePrefixSeeds(std::size_t count,
+                                          std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const auto network = ip6::Prefix::MustParse("2001:db8::/32");
+  const auto subnets = simnet::AllocateSubnets(
+      network, 64, std::max<std::size_t>(count / 64, 2), 0.9, rng);
+  const simnet::AllocationPolicy policies[] = {
+      simnet::AllocationPolicy::kLowByte,
+      simnet::AllocationPolicy::kSequential,
+      simnet::AllocationPolicy::kSubnetStructured,
+      simnet::AllocationPolicy::kEui64};
+  std::vector<ip6::Address> seeds;
+  std::size_t s = 0;
+  while (seeds.size() < count) {
+    const auto& subnet = subnets[s % subnets.size()];
+    const auto hosts = simnet::AllocateHosts(
+        subnet, policies[s % std::size(policies)],
+        std::min<std::size_t>(count - seeds.size(), 48), rng);
+    seeds.insert(seeds.end(), hosts.begin(), hosts.end());
+    ++s;
+    if (hosts.empty()) break;
+  }
+  if (seeds.size() > count) seeds.resize(count);
+  return seeds;
+}
+
+void BM_SixGenPerPrefix(benchmark::State& state) {
+  const auto seeds =
+      MakePrefixSeeds(static_cast<std::size_t>(state.range(0)), 42);
+  core::Config config;
+  // Budget scales with the paper's 1M-per-prefix default divided by the
+  // repo's scale factor (EXPERIMENTS.md).
+  config.budget = 20'000;
+  for (auto _ : state) {
+    auto result = core::Generate(seeds, config);
+    benchmark::DoNotOptimize(result.targets.data());
+    state.counters["targets"] =
+        static_cast<double>(result.targets.size());
+    state.counters["iterations_6gen"] =
+        static_cast<double>(result.iterations);
+  }
+  state.counters["seeds"] = static_cast<double>(seeds.size());
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_SixGenOptimizationsOff(benchmark::State& state) {
+  // The §5.5 ablation at one size, for comparison against the default.
+  const auto seeds = MakePrefixSeeds(500, 42);
+  core::Config config;
+  config.budget = 5'000;
+  config.use_growth_cache = state.range(0) & 1;
+  config.use_nybble_tree = state.range(0) & 2;
+  for (auto _ : state) {
+    auto result = core::Generate(seeds, config);
+    benchmark::DoNotOptimize(result.targets.data());
+  }
+  state.SetLabel(std::string("cache=") +
+                 ((state.range(0) & 1) ? "on" : "off") +
+                 " tree=" + ((state.range(0) & 2) ? "on" : "off"));
+}
+
+}  // namespace
+
+// Fig. 2's x axis spans 10..190K seeds per routed prefix; scaled here to
+// 10..20K so the bench completes in seconds.
+BENCHMARK(BM_SixGenPerPrefix)
+    ->Arg(10)
+    ->Arg(30)
+    ->Arg(100)
+    ->Arg(300)
+    ->Arg(1000)
+    ->Arg(3000)
+    ->Arg(10000)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime()
+    ->Complexity();
+
+BENCHMARK(BM_SixGenOptimizationsOff)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

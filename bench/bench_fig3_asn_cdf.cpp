@@ -1,0 +1,70 @@
+// Figure 3 (paper §6.1/§6.6): CDF of seed addresses, aliased hits, and
+// non-aliased hits across ASNs (ASes ordered by address count).
+#include <cstdio>
+
+#include "analysis/metrics.h"
+#include "analysis/report.h"
+#include "bench_common.h"
+#include "scanner/scanner.h"
+
+using namespace sixgen;
+
+namespace {
+
+analysis::Series CdfSeries(
+    const std::string& name,
+    const std::unordered_map<routing::Asn, std::size_t>& by_as) {
+  analysis::Series series{name, {}};
+  const auto cdf = analysis::AddressCdfByAsRank(by_as);
+  // Sample at the paper's log-scale x ticks: AS ranks 1, 2, 5, 10, ....
+  for (std::size_t rank : {1u, 2u, 5u, 10u, 20u, 50u, 100u, 200u}) {
+    if (rank > cdf.size()) break;
+    series.points.emplace_back(static_cast<double>(rank), cdf[rank - 1]);
+  }
+  if (!cdf.empty()) {
+    series.points.emplace_back(static_cast<double>(cdf.size()), cdf.back());
+  }
+  return series;
+}
+
+}  // namespace
+
+int main() {
+  const auto world = bench::MakeWorld();
+  const auto config = bench::MakePipelineConfig(bench::kDefaultBudget);
+  const auto result =
+      eval::RunSixGenPipeline(world.universe, world.seeds, config);
+
+  std::unordered_map<routing::Asn, std::size_t> seeds_by_as;
+  for (const auto& seed : world.seeds) {
+    if (auto asn = world.universe.routing().OriginAs(seed.addr)) {
+      ++seeds_by_as[*asn];
+    }
+  }
+  const auto aliased = scanner::RollupHits(world.universe.routing(),
+                                           result.dealias.aliased_hits);
+  const auto clean = scanner::RollupHits(world.universe.routing(),
+                                         result.dealias.non_aliased_hits);
+
+  std::printf("%s", analysis::Banner(
+                        "Figure 3: CDF of addresses across ASNs "
+                        "(x = number of ASes, ordered by addresses per ASN)")
+                        .c_str());
+  std::printf("%s",
+              analysis::RenderSeries(
+                  "ASes", {CdfSeries("SeedAddresses", seeds_by_as),
+                           CdfSeries("AliasedHits", aliased.by_as),
+                           CdfSeries("NonAliasedHits", clean.by_as)})
+                  .c_str());
+
+  const auto aliased_cdf = analysis::AddressCdfByAsRank(aliased.by_as);
+  if (aliased_cdf.size() >= 5) {
+    std::printf("\naliased hits covered by top 5 ASes: %s\n",
+                analysis::Percent(100.0 * aliased_cdf[4]).c_str());
+  }
+  bench::PrintPaperNote(
+      "Fig. 3: seeds spread across thousands of ASes (no heavy skew); "
+      "~95% of aliased hits localized in five ASes; non-aliased hits "
+      "slightly more skewed than seeds");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 4 (paper §6.4): number of TCP/80 hits for 6Gen targets at varying
+// per-prefix budgets, with and without dealiasing. The paper observes the
+// dealiased curve plateauing as the budget approaches its 1 M default; the
+// scaled universe plateaus approaching the scaled 20 K default.
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "bench_common.h"
+
+using namespace sixgen;
+
+int main() {
+  // A lighter world: the sweep runs the full pipeline once per budget.
+  const auto world = bench::MakeWorld(/*host_factor=*/0.4);
+
+  analysis::Series raw{"HitsWithoutDealiasing", {}};
+  analysis::Series clean{"HitsWithDealiasing", {}};
+
+  const std::uint64_t budgets[] = {500,  1000, 2000,  4000, 6000,
+                                   8000, 12000, 16000, 20000};
+  for (std::uint64_t budget : budgets) {
+    const auto result = eval::RunSixGenPipeline(
+        world.universe, world.seeds, bench::MakePipelineConfig(budget));
+    raw.points.emplace_back(static_cast<double>(budget),
+                            static_cast<double>(result.raw_hits.size()));
+    clean.points.emplace_back(
+        static_cast<double>(budget),
+        static_cast<double>(result.dealias.non_aliased_hits.size()));
+  }
+
+  std::printf("%s", analysis::Banner(
+                        "Figure 4: TCP/80 hits vs budget per routed prefix")
+                        .c_str());
+  std::printf("%s", analysis::RenderSeries("budget", {raw, clean}, 0).c_str());
+
+  // Plateau check on the dealiased curve: marginal hits per marginal probe
+  // over the last step vs the first step.
+  const auto first_gain = clean.points[1].second - clean.points[0].second;
+  const auto last_gain =
+      clean.points.back().second - clean.points[clean.points.size() - 2].second;
+  std::printf("\ndealiased marginal gain, first step: %.0f hits; last step: %.0f hits\n",
+              first_gain, last_gain);
+  bench::PrintPaperNote(
+      "Fig. 4: dealiased hits plateau approaching 1 M probes/prefix "
+      "(diminishing returns justify the 1 M default); raw hits keep "
+      "climbing because aliased regions absorb any budget");
+  return 0;
+}

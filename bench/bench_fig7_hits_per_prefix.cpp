@@ -1,0 +1,74 @@
+// Figure 7 (paper §6.6): distribution (quartiles) of dealiased TCP/80 hits
+// per routed prefix, bucketed by the prefix's seed count — plus the §6.6
+// churn check (hits minus inactive seeds).
+#include <cstdio>
+
+#include "analysis/metrics.h"
+#include "analysis/report.h"
+#include "bench_common.h"
+#include "scanner/scanner.h"
+
+using namespace sixgen;
+
+int main() {
+  auto world = bench::MakeWorld();
+  // §6.6 considers address churn: some seeds point at now-inactive hosts.
+  world.universe.ApplyChurn(0.15, 0xc4u);
+
+  const auto config = bench::MakePipelineConfig(bench::kDefaultBudget);
+  const auto result =
+      eval::RunSixGenPipeline(world.universe, world.seeds, config);
+  const auto clean = scanner::RollupHits(world.universe.routing(),
+                                         result.dealias.non_aliased_hits);
+
+  std::vector<std::pair<std::size_t, double>> hits_by_seed_count;
+  std::size_t churn_positive = 0, churn_considered = 0;
+  for (const auto& outcome : result.prefixes) {
+    const auto it = clean.by_prefix.find(outcome.route.prefix);
+    const double hits =
+        it == clean.by_prefix.end() ? 0.0 : static_cast<double>(it->second);
+    hits_by_seed_count.emplace_back(outcome.seed_count, hits);
+    if (outcome.seed_count >= 10) {
+      ++churn_considered;
+      if (hits > static_cast<double>(outcome.inactive_seed_count)) {
+        ++churn_positive;
+      }
+    }
+  }
+
+  std::printf("%s",
+              analysis::Banner("Figure 7: dealiased hits per routed prefix, "
+                               "bucketed by seed count (quartiles)")
+                  .c_str());
+  const auto buckets = analysis::BucketBySeedCount(hits_by_seed_count);
+  analysis::TextTable table(
+      {"Seeds per prefix", "Prefixes", "Min", "Q1", "Median", "Q3", "Max"});
+  for (std::size_t b = 1; b < analysis::kSeedCountBuckets; ++b) {
+    // The paper excludes prefixes with <10 seeds (90% had zero hits).
+    if (buckets.values[b].empty()) continue;
+    const auto q = analysis::ComputeQuartiles(buckets.values[b]);
+    table.AddRow({analysis::SeedCountBucketLabel(b),
+                  std::to_string(buckets.values[b].size()),
+                  std::to_string(static_cast<long>(q.min)),
+                  std::to_string(static_cast<long>(q.q1)),
+                  std::to_string(static_cast<long>(q.median)),
+                  std::to_string(static_cast<long>(q.q3)),
+                  std::to_string(static_cast<long>(q.max))});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  std::printf("\nchurn check (prefixes with >=10 seeds): hits exceed "
+              "inactive seeds for %zu of %zu prefixes (%s)\n",
+              churn_positive, churn_considered,
+              analysis::Percent(churn_considered == 0
+                                    ? 0.0
+                                    : 100.0 *
+                                          static_cast<double>(churn_positive) /
+                                          static_cast<double>(churn_considered))
+                  .c_str());
+  bench::PrintPaperNote(
+      "Fig. 7: positive correlation between seeds and hits per prefix; "
+      "majority of >=10-seed prefixes have hits. §6.6: for a quarter of "
+      "prefixes, hits - inactive seeds > 0 (discoveries beyond churn)");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 8 (paper §7.1): train-and-test comparison of 6Gen and Entropy/IP
+// on the five CDN datasets. Train on a random 1 K (10%) sample, generate
+// targets at varying budgets, report the fraction of the 9 K held-out
+// addresses found. The paper: 6Gen predicted 1.04-7.95x more than
+// Entropy/IP (excluding CDN 1 where E/IP found none); >88% for CDNs 4-5
+// (6Gen >99% on CDN 4); both fail on CDNs 1-2.
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "bench_common.h"
+#include "core/generator.h"
+#include "entropyip/entropyip.h"
+
+using namespace sixgen;
+
+namespace {
+
+constexpr std::uint64_t kBudgets[] = {1000,  5000,  10000, 20000,
+                                      40000, 70000, 100000};
+
+double FractionFound(const std::vector<ip6::Address>& targets,
+                     const ip6::AddressSet& test_set) {
+  std::size_t found = 0;
+  for (const auto& t : targets) {
+    if (test_set.contains(t)) ++found;
+  }
+  return static_cast<double>(found) / static_cast<double>(test_set.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s",
+              analysis::Banner("Figure 8: train-and-test — fraction of test "
+                               "addresses found vs budget (train 10%, "
+                               "test 90%)")
+                  .c_str());
+
+  std::vector<analysis::Series> series;
+  for (unsigned cdn_index = 1; cdn_index <= eval::kCdnCount; ++cdn_index) {
+    const auto cdn = eval::MakeCdnDataset(cdn_index, 0xcd0 + cdn_index);
+    const auto split = eval::SplitTrainTest(cdn.addresses, 10, 0x517);
+    const ip6::AddressSet test_set(split.test.begin(), split.test.end());
+
+    analysis::Series sixgen{"6Gen-" + cdn.name, {}};
+    analysis::Series eip{"E/IP-" + cdn.name, {}};
+
+    // Entropy/IP fits once; the budget only scales the number of targets
+    // (§7.1). 6Gen re-runs per budget since the budget shapes clustering.
+    const auto model = entropyip::EntropyIpModel::Fit(split.train);
+    for (std::uint64_t budget : kBudgets) {
+      core::Config gen_config;
+      gen_config.budget = budget;
+      const auto sixgen_targets = core::Generate(split.train, gen_config);
+      sixgen.points.emplace_back(
+          static_cast<double>(budget),
+          FractionFound(sixgen_targets.targets, test_set));
+
+      entropyip::GenerateConfig eip_config;
+      eip_config.budget = budget;
+      eip.points.emplace_back(
+          static_cast<double>(budget),
+          FractionFound(model.GenerateTargets(eip_config), test_set));
+    }
+    series.push_back(std::move(sixgen));
+    series.push_back(std::move(eip));
+  }
+
+  std::printf("%s", analysis::RenderSeries("budget", series).c_str());
+
+  // Headline ratio at the top budget.
+  std::printf("\n6Gen/EntropyIP ratio at max budget:\n");
+  for (std::size_t c = 0; c < series.size(); c += 2) {
+    const double g = series[c].points.back().second;
+    const double e = series[c + 1].points.back().second;
+    std::printf("  %-6s %.4f vs %.4f  (%.2fx)\n",
+                series[c].name.substr(5).c_str(), g, e,
+                e > 0 ? g / e : 0.0);
+  }
+  bench::PrintPaperNote(
+      "Fig. 8: 6Gen finds 1.04-7.95x more test addresses than Entropy/IP "
+      "at 1M budget; CDN4 >99% (6Gen), CDN5 >88% (both); CDNs 1-2 mostly "
+      "unpredictable; E/IP curves smooth, 6Gen jumps as dense regions "
+      "enter the budget");
+  return 0;
+}

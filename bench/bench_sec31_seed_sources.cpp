@@ -1,0 +1,87 @@
+// §3.1 seed-source comparison (Gasser et al., TMA 2016): responsiveness of
+// addresses collected from active sources (DNS records, rDNS walking)
+// versus passive sources (IXP/uplink taps). The paper quotes 76% of
+// active-source addresses responsive to ICMPv6 vs 13% from passive taps.
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "bench_common.h"
+#include "scanner/scanner.h"
+#include "simnet/observation.h"
+#include "simnet/rdns.h"
+
+using namespace sixgen;
+
+namespace {
+
+struct SourceStats {
+  std::string name;
+  std::size_t collected = 0;
+  std::size_t unique = 0;
+  std::size_t responsive = 0;
+};
+
+SourceStats Measure(const std::string& name,
+                    const std::vector<ip6::Address>& observed,
+                    const simnet::Universe& universe) {
+  SourceStats stats;
+  stats.name = name;
+  stats.collected = observed.size();
+  ip6::AddressSet unique(observed.begin(), observed.end());
+  stats.unique = unique.size();
+  scanner::ScanConfig config;
+  config.service = simnet::Service::kIcmp;  // Gasser et al. probed ICMPv6
+  scanner::SimulatedScanner scanner(universe, config);
+  for (const auto& addr : unique) {
+    if (scanner.Probe(addr)) ++stats.responsive;
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  const auto world = bench::MakeWorld(/*host_factor=*/0.4);
+
+  // Active source 1: DNS AAAA records (the repo's canonical seed source).
+  std::vector<ip6::Address> dns = simnet::SeedAddresses(world.seeds);
+
+  // Active source 2: rDNS prefix walking (Fiebig et al.).
+  const simnet::ReverseDns rdns(world.universe, {});
+  std::vector<ip6::Address> walked;
+  for (const auto& route : world.universe.routing().Routes()) {
+    const auto walk = simnet::WalkReverseDns(rdns, route.prefix);
+    walked.insert(walked.end(), walk.addresses.begin(), walk.addresses.end());
+  }
+
+  // Passive source: IXP-style tap dominated by expired privacy addresses.
+  const auto passive =
+      simnet::SamplePassiveTap(world.universe, dns.size() * 2);
+
+  std::printf("%s", analysis::Banner(
+                        "Section 3.1: seed-source responsiveness on ICMPv6 "
+                        "(Gasser et al.)")
+                        .c_str());
+  analysis::TextTable table(
+      {"Source", "Addresses", "Unique", "Responsive", "% responsive"});
+  for (const SourceStats& stats :
+       {Measure("DNS AAAA records (active)", dns, world.universe),
+        Measure("rDNS walking (active)", walked, world.universe),
+        Measure("IXP passive tap", passive, world.universe)}) {
+    table.AddRow({stats.name, std::to_string(stats.collected),
+                  std::to_string(stats.unique),
+                  std::to_string(stats.responsive),
+                  analysis::Percent(stats.unique == 0
+                                        ? 0.0
+                                        : 100.0 *
+                                              static_cast<double>(
+                                                  stats.responsive) /
+                                              static_cast<double>(stats.unique))});
+  }
+  std::printf("%s", table.Render().c_str());
+  bench::PrintPaperNote(
+      "§3.1 (Gasser et al.): 76% of active-source addresses responsive to "
+      "ICMPv6 vs 13% from passive taps — active sources must dominate "
+      "passive ones by roughly this margin");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// §6.3 ablation: tight vs. loose cluster ranges. The paper: with a 1 M
+// budget per routed prefix, loose found 56.7 M raw / 1.0 M dealiased hits
+// vs tight's 55.9 M / 973 K — loose slightly ahead, and adopted as the
+// default.
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "bench_common.h"
+
+using namespace sixgen;
+
+int main() {
+  const auto world = bench::MakeWorld(/*host_factor=*/0.6);
+
+  auto run = [&](ip6::RangeMode mode) {
+    auto config = bench::MakePipelineConfig(bench::kDefaultBudget);
+    config.core.range_mode = mode;
+    return eval::RunSixGenPipeline(world.universe, world.seeds, config);
+  };
+  const auto loose = run(ip6::RangeMode::kLoose);
+  const auto tight = run(ip6::RangeMode::kTight);
+
+  std::printf("%s", analysis::Banner(
+                        "Section 6.3: tight vs loose cluster ranges")
+                        .c_str());
+  analysis::TextTable table({"Range mode", "Raw hits", "Dealiased hits",
+                             "Targets generated"});
+  table.AddRow({"loose", std::to_string(loose.raw_hits.size()),
+                std::to_string(loose.dealias.non_aliased_hits.size()),
+                std::to_string(loose.total_targets)});
+  table.AddRow({"tight", std::to_string(tight.raw_hits.size()),
+                std::to_string(tight.dealias.non_aliased_hits.size()),
+                std::to_string(tight.total_targets)});
+  std::printf("%s", table.Render().c_str());
+
+  std::printf("\nloose/tight raw-hit ratio:       %.3f\n",
+              static_cast<double>(loose.raw_hits.size()) /
+                  static_cast<double>(std::max<std::size_t>(
+                      tight.raw_hits.size(), 1)));
+  std::printf("loose/tight dealiased-hit ratio: %.3f\n",
+              static_cast<double>(loose.dealias.non_aliased_hits.size()) /
+                  static_cast<double>(std::max<std::size_t>(
+                      tight.dealias.non_aliased_hits.size(), 1)));
+  bench::PrintPaperNote(
+      "§6.3: loose 56.7M raw / 1.0M dealiased vs tight 55.9M / 973K "
+      "(ratios 1.014 / 1.028) — loose slightly ahead, adopted as default");
+  return 0;
+}

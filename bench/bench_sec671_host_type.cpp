@@ -1,0 +1,56 @@
+// §6.7.1 host-type experiment: run 6Gen on name-server seeds only (the
+// addresses found in DNS NS records) and scan the predictions on TCP/80.
+// The paper: 61 K NS seeds -> 1.2 M raw / 308 K dealiased hits; the full
+// seed set found 19x / 5x as many — so one host type's seeds still
+// usefully discover other types of hosts.
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "bench_common.h"
+
+using namespace sixgen;
+
+int main() {
+  const auto world = bench::MakeWorld(/*host_factor=*/0.6);
+  const auto ns_seeds =
+      eval::FilterByType(world.seeds, simnet::HostType::kNameServer);
+
+  const auto config = bench::MakePipelineConfig(bench::kDefaultBudget);
+  const auto ns_result =
+      eval::RunSixGenPipeline(world.universe, ns_seeds, config);
+  const auto full_result =
+      eval::RunSixGenPipeline(world.universe, world.seeds, config);
+
+  std::printf("%s", analysis::Banner(
+                        "Section 6.7.1: NS-only seeds vs all seeds "
+                        "(scanning TCP/80)")
+                        .c_str());
+  analysis::TextTable table(
+      {"Seed set", "Seeds", "Raw hits", "Dealiased hits"});
+  table.AddRow({"NS records only", std::to_string(ns_seeds.size()),
+                std::to_string(ns_result.raw_hits.size()),
+                std::to_string(ns_result.dealias.non_aliased_hits.size())});
+  table.AddRow({"all DNS records", std::to_string(world.seeds.size()),
+                std::to_string(full_result.raw_hits.size()),
+                std::to_string(full_result.dealias.non_aliased_hits.size())});
+  std::printf("%s", table.Render().c_str());
+
+  auto ratio = [](std::size_t a, std::size_t b) {
+    return b == 0 ? 0.0 : static_cast<double>(a) / static_cast<double>(b);
+  };
+  std::printf("\nall/NS seed ratio:           %.1fx\n",
+              ratio(world.seeds.size(), ns_seeds.size()));
+  std::printf("all/NS raw-hit ratio:        %.1fx\n",
+              ratio(full_result.raw_hits.size(), ns_result.raw_hits.size()));
+  std::printf("all/NS dealiased-hit ratio:  %.1fx\n",
+              ratio(full_result.dealias.non_aliased_hits.size(),
+                    ns_result.dealias.non_aliased_hits.size()));
+  std::printf("NS seeds still found %zu non-aliased TCP/80 hosts — seeds of "
+              "one host type do discover other types.\n",
+              ns_result.dealias.non_aliased_hits.size());
+  bench::PrintPaperNote(
+      "§6.7.1: NS-only (61K seeds, 2% of full set) found 1.2M raw / 308K "
+      "dealiased; full set found 19x raw / 5x dealiased — NS seeds remain "
+      "fruitful for discovering web hosts");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Table 1 (paper §6.1/§6.2/§6.6): top-10 ASes by share of (a) seed
+// addresses, (b) aliased hits, (c) non-aliased hits — plus the §6.2
+// aliasing summary statistics.
+#include <cstdio>
+#include <set>
+
+#include "analysis/metrics.h"
+#include "analysis/report.h"
+#include "bench_common.h"
+#include "scanner/scanner.h"
+
+using namespace sixgen;
+
+namespace {
+
+void PrintTopTable(const char* title,
+                   const std::unordered_map<routing::Asn, std::size_t>& by_as,
+                   const routing::AsRegistry& registry) {
+  std::printf("%s", analysis::Banner(title).c_str());
+  analysis::TextTable table({"AS Name", "ASN", "Count", "% Addresses"});
+  for (const auto& row : analysis::TopAses(by_as, registry, 10)) {
+    table.AddRow({row.name, std::to_string(row.asn), std::to_string(row.count),
+                  analysis::Percent(row.percent)});
+  }
+  std::printf("%s", table.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  const auto world = bench::MakeWorld();
+  const auto config = bench::MakePipelineConfig(bench::kDefaultBudget);
+  const auto result =
+      eval::RunSixGenPipeline(world.universe, world.seeds, config);
+
+  // (a) Seeds.
+  std::unordered_map<routing::Asn, std::size_t> seeds_by_as;
+  for (const auto& seed : world.seeds) {
+    if (auto asn = world.universe.routing().OriginAs(seed.addr)) {
+      ++seeds_by_as[*asn];
+    }
+  }
+  PrintTopTable("Table 1a: Top ASes by seed addresses", seeds_by_as,
+                world.universe.registry());
+  bench::PrintPaperNote(
+      "Table 1a top seed ASes: Linode 8.6%, Amazon 8.1%, HostEurope 6.6% "
+      "(distribution not heavily skewed)");
+
+  // (b) Aliased hits.
+  const auto aliased = scanner::RollupHits(world.universe.routing(),
+                                           result.dealias.aliased_hits);
+  PrintTopTable("Table 1b: Top ASes by aliased hits", aliased.by_as,
+                world.universe.registry());
+  bench::PrintPaperNote(
+      "Table 1b: Akamai 52.0% and Amazon 36.0% dominate aliased hits");
+
+  // (c) Non-aliased hits.
+  const auto clean = scanner::RollupHits(world.universe.routing(),
+                                         result.dealias.non_aliased_hits);
+  PrintTopTable("Table 1c: Top ASes by non-aliased hits", clean.by_as,
+                world.universe.registry());
+  bench::PrintPaperNote(
+      "Table 1c: hosting providers (Amazon 12.9%/7.7%, OVH 7.1%, Hetzner "
+      "5.7%) lead after dealiasing; no aliased CDN in the top ten");
+
+  // §6.2 aliasing summary.
+  std::printf("%s", analysis::Banner("Section 6.2: aliasing summary").c_str());
+  std::printf("raw hits:                 %zu\n", result.raw_hits.size());
+  std::printf("aliased hits:             %zu (%s of raw)\n",
+              result.dealias.aliased_hits.size(),
+              analysis::Percent(100.0 *
+                                static_cast<double>(
+                                    result.dealias.aliased_hits.size()) /
+                                static_cast<double>(result.raw_hits.size()))
+                  .c_str());
+  std::printf("non-aliased hits:         %zu\n",
+              result.dealias.non_aliased_hits.size());
+  std::printf("hit /96 prefixes tested:  %zu\n", result.dealias.prefixes_tested);
+  std::printf("aliased /96 prefixes:     %zu (%s)\n",
+              result.dealias.aliased_prefixes.size(),
+              analysis::Percent(100.0 * result.dealias.AliasedPrefixFraction())
+                  .c_str());
+  std::printf("ASes excluded at /112:   ");
+  for (routing::Asn asn : result.dealias.excluded_ases) {
+    std::printf(" %s(%u)", world.universe.registry().NameOf(asn).c_str(), asn);
+  }
+  std::printf("\n");
+
+  std::set<routing::Asn> aliased_ases;
+  for (const auto& [asn, count] : aliased.by_as) aliased_ases.insert(asn);
+  for (routing::Asn asn : result.dealias.excluded_ases) {
+    aliased_ases.insert(asn);
+  }
+  std::size_t total_ases = world.universe.registry().Size();
+  std::printf("ASes exhibiting aliasing: %zu of %zu (%s)\n",
+              aliased_ases.size(), total_ases,
+              analysis::Percent(100.0 *
+                                static_cast<double>(aliased_ases.size()) /
+                                static_cast<double>(total_ases))
+                  .c_str());
+  bench::PrintPaperNote(
+      "§6.2: 98% of raw hits aliased; 10.0M of 10.2M hit /96s aliased; 140 "
+      "of 7,421 ASes (1.9%) alias; Cloudflare+Mittwald aliased at /112. "
+      "Scaled universe: aliased share tracks budget (see Fig. 4 bench).");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 2 (paper §6.7.2): 6Gen run on 1%, 10%, 25%, and 100% of the seed
+// dataset — hits with and without dealiasing, and each level's percentage
+// of the full-seed hit count. The paper's finding: the decrease in hits is
+// sublinear in the downsampling rate.
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "bench_common.h"
+
+using namespace sixgen;
+
+int main() {
+  const auto world = bench::MakeWorld(/*host_factor=*/0.5);
+  const auto config = bench::MakePipelineConfig(bench::kDefaultBudget);
+
+  struct Row {
+    double level;
+    std::size_t raw = 0;
+    std::size_t clean = 0;
+  };
+  std::vector<Row> rows;
+  for (double level : {0.01, 0.10, 0.25, 1.00}) {
+    const auto sample = eval::Downsample(world.seeds, level, 0xd0 + static_cast<std::uint64_t>(level * 100));
+    const auto result =
+        eval::RunSixGenPipeline(world.universe, sample, config);
+    rows.push_back({level, result.raw_hits.size(),
+                    result.dealias.non_aliased_hits.size()});
+  }
+  const Row& full = rows.back();
+
+  std::printf("%s", analysis::Banner(
+                        "Table 2: hits vs seed downsampling level "
+                        "(budget per routed prefix fixed)")
+                        .c_str());
+  analysis::TextTable table({"Downsampling", "Hits w/o dealiasing", "% vs all",
+                             "Hits w/ dealiasing", "% vs all"});
+  for (const Row& row : rows) {
+    auto pct = [](std::size_t n, std::size_t d) {
+      return analysis::Percent(d == 0 ? 0.0
+                                      : 100.0 * static_cast<double>(n) /
+                                            static_cast<double>(d));
+    };
+    table.AddRow({analysis::Percent(row.level * 100, 0),
+                  std::to_string(row.raw), pct(row.raw, full.raw),
+                  std::to_string(row.clean), pct(row.clean, full.clean)});
+  }
+  std::printf("%s", table.Render().c_str());
+  bench::PrintPaperNote(
+      "Table 2: 1% -> 758K/225K (1.3%/22.5% of full), 10% -> 13.3M/713K "
+      "(23.5%/71.3%), 25% -> 27.3M/825K (48.2%/82.5%), 100% -> 56.7M/1.0M. "
+      "Decrease is sublinear: a 10% sample keeps 71% of dealiased hits");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Adaptive scanning walkthrough — the paper's §8 "Scanner Integration"
+// vision running end to end: 6Gen proposes regions, the scanner probes
+// them in chunks, unproductive regions are terminated early, fully
+// responsive regions are alias-tested and halted, and discovered hits feed
+// back into the next generation round.
+//
+// Usage: adaptive_scan [total_probe_budget]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/adaptive.h"
+#include "eval/datasets.h"
+#include "routing/routing_table.h"
+
+using namespace sixgen;
+
+namespace {
+
+const char* StatusName(core::RegionStatus status) {
+  switch (status) {
+    case core::RegionStatus::kActive: return "active";
+    case core::RegionStatus::kExhausted: return "exhausted";
+    case core::RegionStatus::kEarlyTerminated: return "early-terminated";
+    case core::RegionStatus::kAliased: return "aliased";
+    case core::RegionStatus::kBudgetCut: return "budget-cut";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t budget =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 40'000;
+
+  // A small world: one clean hosting AS, one AS with a fully aliased /52.
+  eval::EvalScale scale;
+  scale.host_factor = 0.3;
+  scale.filler_ases = 12;
+  const auto universe = eval::MakeEvalUniverse(77, scale);
+  const auto seeds = eval::MakeDnsSeeds(universe, 9, 0.5);
+  std::printf("universe: %zu hosts, %zu aliased regions; %zu seeds mined\n\n",
+              universe.hosts().size(), universe.aliased_regions().size(),
+              seeds.size());
+
+  // Pick the two most seeded routed prefixes and scan them adaptively.
+  const auto seed_addrs = simnet::SeedAddresses(seeds);
+  auto groups =
+      routing::GroupByRoutedPrefix(universe.routing(), seed_addrs, nullptr);
+  std::sort(groups.begin(), groups.end(),
+            [](const auto& a, const auto& b) {
+              return a.seeds.size() > b.seeds.size();
+            });
+  groups.resize(std::min<std::size_t>(groups.size(), 2));
+
+  for (const auto& group : groups) {
+    std::printf("== routed prefix %s (%s, %zu seeds) ==\n",
+                group.route.prefix.ToString().c_str(),
+                universe.registry().NameOf(group.route.origin).c_str(),
+                group.seeds.size());
+
+    std::size_t probes = 0;
+    core::ProbeFn probe = [&](const ip6::Address& addr) {
+      ++probes;
+      return universe.RespondsTcp80(addr);
+    };
+    core::AdaptiveConfig config;
+    config.total_budget = budget;
+    const auto result = core::AdaptiveScan(group.seeds, probe, config);
+
+    std::printf("  generations: %u, probes: %llu, hits: %zu clean + %zu "
+                "aliased\n",
+                result.generations_run,
+                static_cast<unsigned long long>(result.probes_used),
+                result.hits.size(), result.aliased_hits.size());
+    std::printf("  regions: %zu total, %zu early-terminated, %zu aliased\n",
+                result.regions.size(), result.regions_terminated_early,
+                result.regions_aliased);
+
+    // The most instructive regions: biggest probe spenders.
+    auto regions = result.regions;
+    std::sort(regions.begin(), regions.end(),
+              [](const auto& a, const auto& b) { return a.probes > b.probes; });
+    const std::size_t show = std::min<std::size_t>(regions.size(), 6);
+    for (std::size_t i = 0; i < show; ++i) {
+      const auto& region = regions[i];
+      std::printf("    gen%u %-38s probes=%-6zu hits=%-6zu rate=%.3f %s\n",
+                  region.generation, region.range.ToString().c_str(),
+                  region.probes, region.hits, region.HitRate(),
+                  StatusName(region.status));
+    }
+    std::printf("\n");
+  }
+  std::printf("The feedback loop spends probes where responses actually\n"
+              "arrive: barren wildcard ranges die fast, aliased CDN space\n"
+              "is detected and halted mid-scan, and later generations grow\n"
+              "clusters from freshly discovered hosts (paper §8).\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Alias detection walkthrough (paper §6.2): build a small Internet with a
+// fully-aliased /96, an AS aliased only at /112 granularity, and a clean
+// hosting network; scan; then show how the /96 classification pass and the
+// /112 refinement pass each contribute.
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "dealias/dealias.h"
+#include "scanner/scanner.h"
+#include "simnet/universe.h"
+
+using namespace sixgen;
+
+namespace {
+
+simnet::Universe BuildDemoUniverse() {
+  simnet::UniverseSpec spec;
+  auto add_as = [&spec](routing::Asn asn, const char* name,
+                        const char* prefix, std::size_t hosts,
+                        std::vector<unsigned> alias_lens) {
+    simnet::AsSpec as_spec;
+    as_spec.asn = asn;
+    as_spec.name = name;
+    simnet::NetworkSpec net;
+    net.prefix = ip6::Prefix::MustParse(prefix);
+    net.asn = asn;
+    net.subnet_count = 2;
+    net.host_count = hosts;
+    net.web_fraction = 1.0;
+    net.policy_mix = {{simnet::AllocationPolicy::kLowByte, 1.0}};
+    net.aliased_region_lens = std::move(alias_lens);
+    as_spec.networks.push_back(std::move(net));
+    spec.ases.push_back(std::move(as_spec));
+  };
+  add_as(100, "CleanHosting", "2001:db8::/32", 120, {});
+  add_as(200, "AliasedCdn", "2600:beef::/32", 60, {96});
+  add_as(300, "Slash112Cdn", "2606:4700::/32", 40, {112, 112, 112, 112});
+  return simnet::Universe::Synthesize(spec, 4242);
+}
+
+}  // namespace
+
+int main() {
+  const auto universe = BuildDemoUniverse();
+  std::printf("demo universe: %zu hosts, aliased regions:\n",
+              universe.hosts().size());
+  for (const auto& region : universe.aliased_regions()) {
+    std::printf("  %s (%s)\n", region.ToString().c_str(),
+                universe.registry()
+                    .NameOf(*universe.routing().OriginAs(region.network()))
+                    .c_str());
+  }
+
+  // "Scan": probe every host address plus a spread of addresses inside the
+  // aliased regions — the hit list a TGA-driven scan would produce.
+  scanner::SimulatedScanner scanner(universe, {});
+  std::vector<ip6::Address> targets;
+  for (const auto& host : universe.hosts()) targets.push_back(host.addr);
+  for (const auto& region : universe.aliased_regions()) {
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      targets.push_back(
+          ip6::Address::FromU128(region.network().ToU128() + i * 131 + 3));
+    }
+  }
+  const auto scan = scanner.Scan(targets);
+  std::printf("\nscanned %zu targets -> %zu TCP/80 hits\n",
+              scan.targets_probed, scan.hits.size());
+
+  // Pass 1 only: /96 classification.
+  dealias::DealiasConfig no_refine;
+  no_refine.refine_top_ases = 0;
+  const auto pass1 =
+      dealias::Dealias(scanner, universe.routing(), scan.hits, no_refine);
+  std::printf("\n/96 pass alone: %zu of %zu hit /96s aliased; "
+              "%zu hits filtered, %zu kept\n",
+              pass1.aliased_prefixes.size(), pass1.prefixes_tested,
+              pass1.aliased_hits.size(), pass1.non_aliased_hits.size());
+  std::printf("  (the /112-aliased CDN slips through: random probes in a "
+              "/96 miss its tiny aliased /112s)\n");
+
+  // Full pipeline: /96 pass + /112 refinement of the top ASes.
+  const auto full =
+      dealias::Dealias(scanner, universe.routing(), scan.hits, {});
+  std::printf("\nfull pipeline: %zu hits filtered, %zu kept; ASes excluded "
+              "at /112:",
+              full.aliased_hits.size(), full.non_aliased_hits.size());
+  for (routing::Asn asn : full.excluded_ases) {
+    std::printf(" %s", universe.registry().NameOf(asn).c_str());
+  }
+  std::printf("\n");
+
+  std::printf("\nfalse-positive bound (paper §6.2): a non-aliased /96 with "
+              "1M live addresses is falsely flagged with probability %.1e\n",
+              dealias::FalsePositiveProbability(96, 1e6, 3));
+  std::printf("alias-detection probes spent: %zu (9 per /96: 3 addresses x "
+              "3 probes)\n",
+              pass1.probes_sent);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Compare target generation algorithms in the paper's §7 train-and-test
+// setting: 6Gen, Entropy/IP, RFC 7707 low-byte, Ullrich recursive, and a
+// uniform-random control, on one of the CDN datasets.
+//
+// Usage: compare_tgas [cdn_index 1..5] [budget]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/report.h"
+#include "core/generator.h"
+#include "entropyip/entropyip.h"
+#include "eval/datasets.h"
+#include "patterns/patterns.h"
+
+using namespace sixgen;
+
+namespace {
+
+double Recall(const std::vector<ip6::Address>& targets,
+              const ip6::AddressSet& test_set) {
+  std::size_t found = 0;
+  for (const auto& t : targets) {
+    if (test_set.contains(t)) ++found;
+  }
+  return static_cast<double>(found) / static_cast<double>(test_set.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned cdn_index =
+      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
+  const std::uint64_t budget =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 50'000;
+  if (cdn_index < 1 || cdn_index > eval::kCdnCount) {
+    std::fprintf(stderr, "cdn_index must be 1..5\n");
+    return 1;
+  }
+
+  const auto cdn = eval::MakeCdnDataset(cdn_index, 99);
+  const auto split = eval::SplitTrainTest(cdn.addresses, 10, 7);
+  const ip6::AddressSet test_set(split.test.begin(), split.test.end());
+
+  std::printf("dataset %s (%s): %zu addresses; train %zu / test %zu; "
+              "budget %llu\n\n",
+              cdn.name.c_str(), cdn.prefix.ToString().c_str(),
+              cdn.addresses.size(), split.train.size(), split.test.size(),
+              static_cast<unsigned long long>(budget));
+
+  analysis::TextTable table(
+      {"Algorithm", "Targets", "Test addresses found", "Recall"});
+  auto add_row = [&](const char* name,
+                     const std::vector<ip6::Address>& targets) {
+    const double recall = Recall(targets, test_set);
+    table.AddRow({name, std::to_string(targets.size()),
+                  std::to_string(static_cast<std::size_t>(
+                      recall * static_cast<double>(test_set.size()) + 0.5)),
+                  analysis::Percent(100.0 * recall, 2)});
+  };
+
+  {
+    core::Config config;
+    config.budget = budget;
+    add_row("6Gen (loose)", core::Generate(split.train, config).targets);
+    config.range_mode = ip6::RangeMode::kTight;
+    add_row("6Gen (tight)", core::Generate(split.train, config).targets);
+  }
+  {
+    const auto model = entropyip::EntropyIpModel::Fit(split.train);
+    entropyip::GenerateConfig config;
+    config.budget = budget;
+    add_row("Entropy/IP", model.GenerateTargets(config));
+    std::printf("Entropy/IP model: %zu segments, BN with %zu variables\n\n",
+                model.segments().size(), model.bayes_net().VariableCount());
+  }
+  add_row("Low-byte (RFC 7707)",
+          patterns::LowByteGenerate(split.train, {}, budget));
+  {
+    patterns::UllrichConfig config;
+    config.free_bits = 15;
+    config.initial = patterns::BitRange::FromPrefix(cdn.prefix);
+    add_row("Ullrich (N=15)",
+            patterns::UllrichGenerate(split.train, config, budget, 11));
+  }
+  add_row("Random", patterns::RandomGenerate(cdn.prefix, budget, 13));
+
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\n(Recall = fraction of the 90%% held-out addresses appearing in\n"
+      "the generated target list — the metric of the paper's Figure 8.)\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Internet-wide survey walkthrough — the paper's §6 pipeline end to end:
+//
+//   1. synthesize an Internet (ASes, routed prefixes, hosts, aliased CDNs)
+//   2. mine DNS-style seeds (an IID sample of active hosts)
+//   3. group seeds by BGP routed prefix
+//   4. run 6Gen per prefix with a fixed probe budget
+//   5. scan the generated targets on TCP/80
+//   6. detect and filter aliased regions (/96 pass + /112 refinement)
+//   7. report the per-AS breakdown before and after dealiasing
+//
+// Usage: internet_survey [budget_per_prefix]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/metrics.h"
+#include "analysis/report.h"
+#include "eval/datasets.h"
+#include "eval/pipeline.h"
+#include "scanner/scanner.h"
+
+using namespace sixgen;
+
+int main(int argc, char** argv) {
+  const std::uint64_t budget =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 10'000;
+
+  std::printf("== 1-2. synthesize the Internet and mine seeds ==\n");
+  eval::EvalScale scale;
+  scale.host_factor = 0.5;
+  const auto universe = eval::MakeEvalUniverse(2026, scale);
+  const auto seeds = eval::MakeDnsSeeds(universe, 7, 0.5);
+  std::printf("universe: %zu hosts (%zu TCP/80-responsive), %zu routed "
+              "prefixes, %zu aliased regions\n",
+              universe.hosts().size(), universe.ActiveTcp80Count(),
+              universe.routing().Size(), universe.aliased_regions().size());
+  std::printf("seeds mined from DNS: %zu\n\n", seeds.size());
+
+  std::printf("== 3-6. group by prefix, run 6Gen (budget %llu/prefix), scan, "
+              "dealias ==\n",
+              static_cast<unsigned long long>(budget));
+  eval::PipelineConfig config;
+  config.budget_per_prefix = budget;
+  const auto result = eval::RunSixGenPipeline(universe, seeds, config);
+
+  std::printf("routed prefixes processed: %zu\n", result.prefixes.size());
+  std::printf("targets generated:         %s\n",
+              analysis::HumanCount(static_cast<double>(result.total_targets))
+                  .c_str());
+  std::printf("probes sent:               %s\n",
+              analysis::HumanCount(static_cast<double>(result.total_probes))
+                  .c_str());
+  std::printf("raw TCP/80 hits:           %zu\n", result.raw_hits.size());
+  std::printf("  aliased:                 %zu (%zu aliased /96s; excluded "
+              "ASes at /112: %zu)\n",
+              result.dealias.aliased_hits.size(),
+              result.dealias.aliased_prefixes.size(),
+              result.dealias.excluded_ases.size());
+  std::printf("  non-aliased:             %zu\n\n",
+              result.dealias.non_aliased_hits.size());
+
+  std::printf("== 7. per-AS breakdown ==\n");
+  const auto raw = scanner::RollupHits(universe.routing(), result.raw_hits);
+  const auto clean =
+      scanner::RollupHits(universe.routing(), result.dealias.non_aliased_hits);
+
+  analysis::TextTable table({"Rank", "Raw hits (AS)", "Raw", "Dealiased "
+                             "hits (AS)", "Dealiased"});
+  const auto raw_top = analysis::TopAses(raw.by_as, universe.registry(), 8);
+  const auto clean_top =
+      analysis::TopAses(clean.by_as, universe.registry(), 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    std::vector<std::string> row{std::to_string(i + 1)};
+    if (i < raw_top.size()) {
+      row.push_back(raw_top[i].name);
+      row.push_back(analysis::Percent(raw_top[i].percent));
+    } else {
+      row.insert(row.end(), {"-", "-"});
+    }
+    if (i < clean_top.size()) {
+      row.push_back(clean_top[i].name);
+      row.push_back(analysis::Percent(clean_top[i].percent));
+    } else {
+      row.insert(row.end(), {"-", "-"});
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nNote how aliased CDNs dominate the raw column while ordinary\n"
+      "hosting providers lead after dealiasing — the paper's §6.2 finding\n"
+      "that alias filtering completely changes the characterization.\n");
+  return 0;
+}

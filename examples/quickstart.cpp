@@ -1,0 +1,108 @@
+// Quickstart: run 6Gen on a seed list and print the clusters and targets.
+//
+// Usage:
+//   quickstart [seed_file] [budget]
+//
+// seed_file holds one IPv6 address per line ('#' comments allowed). With no
+// arguments a built-in demo seed set is used — the paper's Figure 1 flavor:
+// similar addresses in one /64 that 6Gen clusters into wildcard ranges.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/generator.h"
+
+using namespace sixgen;
+
+namespace {
+
+std::vector<ip6::Address> LoadSeeds(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open seed file: %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::vector<ip6::Address> seeds;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    std::size_t start = line.find_first_not_of(' ');
+    if (start == std::string::npos) continue;
+    const auto addr = ip6::Address::Parse(line.substr(start));
+    if (!addr) {
+      std::fprintf(stderr, "%s:%zu: invalid IPv6 address '%s'\n", path.c_str(),
+                   lineno, line.c_str());
+      std::exit(1);
+    }
+    seeds.push_back(*addr);
+  }
+  return seeds;
+}
+
+std::vector<ip6::Address> DemoSeeds() {
+  // Two dense low-byte groups plus an outlier, as a network running the
+  // RFC 7707 low-byte practice would look in a DNS-mined seed set.
+  std::vector<ip6::Address> seeds;
+  for (const char* text :
+       {"2001:db8:0:1::1", "2001:db8:0:1::2", "2001:db8:0:1::3",
+        "2001:db8:0:1::5", "2001:db8:0:2::1", "2001:db8:0:2::2",
+        "2001:db8:0:2::a", "2001:db8:ff::80"}) {
+    seeds.push_back(ip6::Address::MustParse(text));
+  }
+  return seeds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<ip6::Address> seeds =
+      argc > 1 ? LoadSeeds(argv[1]) : DemoSeeds();
+  core::Config config;
+  config.budget = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1000;
+
+  std::printf("6Gen quickstart: %zu seeds, budget %llu\n\n", seeds.size(),
+              static_cast<unsigned long long>(config.budget));
+
+  const core::Result result = core::Generate(seeds, config);
+
+  std::printf("clusters (%zu):\n", result.clusters.size());
+  for (const core::Cluster& cluster : result.clusters) {
+    std::printf("  %-40s seeds=%-4zu range_size=%llu%s\n",
+                cluster.range.ToString().c_str(), cluster.seed_count,
+                static_cast<unsigned long long>(cluster.range.Size()),
+                cluster.IsSingleton() ? "  (singleton)" : "");
+  }
+
+  const char* reason =
+      result.stop_reason == core::StopReason::kBudgetExhausted
+          ? "budget exhausted"
+          : result.stop_reason == core::StopReason::kSingleCluster
+                ? "next growth would hold every seed"
+                : "no candidate seeds left";
+  std::printf("\nstopped because: %s\n", reason);
+  std::printf("budget used: %llu of %llu; %zu growth iterations\n",
+              static_cast<unsigned long long>(result.budget_used),
+              static_cast<unsigned long long>(config.budget),
+              result.iterations);
+  std::printf("generated %zu unique targets (including seeds)\n",
+              result.targets.size());
+
+  const std::size_t shown = std::min<std::size_t>(result.targets.size(), 20);
+  std::printf("\nfirst %zu targets:\n", shown);
+  for (std::size_t i = 0; i < shown; ++i) {
+    std::printf("  %s\n", result.targets[i].ToString().c_str());
+  }
+  if (result.targets.size() > shown) {
+    std::printf("  ... %zu more\n", result.targets.size() - shown);
+  }
+  return 0;
+}

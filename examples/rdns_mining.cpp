@@ -1,0 +1,81 @@
+// Seed mining from reverse DNS (paper §3.1, Fiebig et al.) feeding 6Gen:
+// walk the synthetic ip6.arpa tree to collect PTR addresses, compare the
+// mined seed set against the ground truth, then run 6Gen on the mined
+// seeds and scan — a full alternative front-end to the DNS-ANY snapshot.
+//
+// Usage: rdns_mining [non_conforming_fraction]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/classifier.h"
+#include "core/generator.h"
+#include "eval/datasets.h"
+#include "scanner/scanner.h"
+#include "simnet/rdns.h"
+
+using namespace sixgen;
+
+int main(int argc, char** argv) {
+  const double lying = argc > 1 ? std::atof(argv[1]) : 0.25;
+
+  eval::EvalScale scale;
+  scale.host_factor = 0.25;
+  scale.filler_ases = 20;
+  const auto universe = eval::MakeEvalUniverse(31337, scale);
+  std::printf("universe: %zu hosts in %zu routed prefixes\n",
+              universe.hosts().size(), universe.routing().Size());
+
+  // Build the ip6.arpa service and walk every routed prefix.
+  simnet::RdnsConfig rdns_config;
+  rdns_config.ptr_coverage = 0.8;
+  rdns_config.non_conforming_fraction = lying;
+  const simnet::ReverseDns rdns(universe, rdns_config);
+  std::printf("PTR records published: %zu (%.0f%% coverage, %.0f%% of zones "
+              "non-conforming)\n",
+              rdns.RecordCount(), rdns_config.ptr_coverage * 100, lying * 100);
+
+  std::vector<ip6::Address> mined;
+  std::size_t queries = 0, pruned = 0;
+  for (const auto& route : universe.routing().Routes()) {
+    const auto walk = simnet::WalkReverseDns(rdns, route.prefix);
+    mined.insert(mined.end(), walk.addresses.begin(), walk.addresses.end());
+    queries += walk.queries;
+    pruned += walk.pruned_subtrees;
+  }
+  std::printf("walked ip6.arpa: %zu queries, %zu subtrees pruned, %zu "
+              "addresses mined (%.1f%% of published records)\n\n",
+              queries, pruned, mined.size(),
+              rdns.RecordCount() == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(mined.size()) /
+                        static_cast<double>(rdns.RecordCount()));
+
+  // What did we mine? Classify the IIDs (RFC 7707 patterns).
+  std::printf("mined-address IID patterns:\n");
+  for (const auto& [pattern, count] : analysis::ClassifyAll(mined)) {
+    std::printf("  %-14s %6zu\n",
+                std::string(analysis::IidPatternName(pattern)).c_str(), count);
+  }
+
+  // Feed the mined seeds to 6Gen per routed prefix and scan.
+  const auto groups =
+      routing::GroupByRoutedPrefix(universe.routing(), mined, nullptr);
+  scanner::SimulatedScanner scan(universe, {});
+  std::size_t targets_total = 0, hits_total = 0;
+  for (const auto& group : groups) {
+    core::Config config;
+    config.budget = 4000;
+    const auto gen = core::Generate(group.seeds, config);
+    const auto scanned = scan.Scan(gen.targets);
+    targets_total += gen.targets.size();
+    hits_total += scanned.hits.size();
+  }
+  std::printf("\n6Gen on mined seeds: %zu targets across %zu prefixes -> %zu "
+              "TCP/80 hits (vs %zu responsive hosts in the ground truth)\n",
+              targets_total, groups.size(), hits_total,
+              universe.ActiveTcp80Count());
+  std::printf("\nNon-conforming zones hide their subtrees from the walker\n"
+              "(Fiebig et al.'s obstacle): rerun with e.g. `rdns_mining 0.8`\n"
+              "to watch the mined seed set — and 6Gen's reach — shrink.\n");
+  return 0;
+}

@@ -1,0 +1,240 @@
+// sixgen — command-line front end to the library, the shape a deployment
+// would use: seed files in, target lists / analyses out.
+//
+//   sixgen generate <seeds.txt> [--budget N] [--tight] [--ranges|--trace]
+//                   [--out F]
+//       Run 6Gen on the seed file; print targets, cluster ranges, or the
+//       per-iteration growth trace as CSV.
+//   sixgen entropyip <seeds.txt> [--budget N] [--out F]
+//       Fit Entropy/IP on the seeds and sample targets.
+//   sixgen lowbyte <seeds.txt> [--budget N] [--out F]
+//       RFC 7707 low-byte prediction.
+//   sixgen analyze <seeds.txt>
+//       Entropy profile, Entropy/IP segmentation, MRA dense prefixes, and
+//       the RFC 7707 IID-pattern histogram of the seed set.
+//
+// Seed files: one IPv6 address per line, '#' comments.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analysis/classifier.h"
+#include "analysis/mra.h"
+#include "analysis/report.h"
+#include "core/generator.h"
+#include "entropyip/entropyip.h"
+#include "eval/csv.h"
+#include "io/address_io.h"
+#include "patterns/patterns.h"
+
+using namespace sixgen;
+
+namespace {
+
+[[noreturn]] void Usage() {
+  std::fprintf(stderr,
+               "usage: sixgen_cli <generate|entropyip|lowbyte|analyze> "
+               "<seeds.txt> [--budget N] [--tight] [--ranges] [--trace] "
+               "[--out FILE]\n");
+  std::exit(2);
+}
+
+struct Options {
+  std::string command;
+  std::string seed_path;
+  std::uint64_t budget = 100'000;
+  bool tight = false;
+  bool ranges = false;
+  bool trace = false;
+  std::string out_path;
+};
+
+Options ParseArgs(int argc, char** argv) {
+  if (argc < 3) Usage();
+  Options options;
+  options.command = argv[1];
+  options.seed_path = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--budget" && i + 1 < argc) {
+      options.budget = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--tight") {
+      options.tight = true;
+    } else if (arg == "--ranges") {
+      options.ranges = true;
+    } else if (arg == "--trace") {
+      options.trace = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      options.out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      Usage();
+    }
+  }
+  return options;
+}
+
+std::vector<ip6::Address> LoadSeedsOrDie(const std::string& path) {
+  auto loaded = io::ReadAddressFile(path);
+  if (!loaded) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  for (const auto& error : loaded->errors) {
+    std::fprintf(stderr, "%s:%zu: invalid address '%s'\n", path.c_str(),
+                 error.line, error.text.c_str());
+  }
+  if (!loaded->ok()) std::exit(1);
+  if (loaded->values.empty()) {
+    std::fprintf(stderr, "error: %s holds no addresses\n", path.c_str());
+    std::exit(1);
+  }
+  return loaded->values;
+}
+
+void EmitAddresses(const Options& options,
+                   const std::vector<ip6::Address>& addrs) {
+  if (options.out_path.empty()) {
+    io::WriteAddresses(std::cout, addrs);
+    return;
+  }
+  if (!io::WriteAddressFile(options.out_path, addrs)) {
+    std::fprintf(stderr, "error: cannot write %s\n", options.out_path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(stderr, "wrote %zu targets to %s\n", addrs.size(),
+               options.out_path.c_str());
+}
+
+int RunGenerate(const Options& options) {
+  const auto seeds = LoadSeedsOrDie(options.seed_path);
+  core::Config config;
+  config.budget = options.budget;
+  config.range_mode =
+      options.tight ? ip6::RangeMode::kTight : ip6::RangeMode::kLoose;
+  config.record_trace = options.trace;
+  const auto result = core::Generate(seeds, config);
+  std::fprintf(stderr,
+               "6Gen: %zu seeds -> %zu clusters (%zu grown), budget used "
+               "%llu/%llu, %zu targets\n",
+               result.seed_count, result.clusters.size(),
+               result.stats.grown_clusters,
+               static_cast<unsigned long long>(result.budget_used),
+               static_cast<unsigned long long>(options.budget),
+               result.targets.size());
+  if (options.trace) {
+    if (options.out_path.empty()) {
+      std::cout << eval::GrowthTraceCsv(result.trace);
+    } else {
+      std::ofstream out(options.out_path);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     options.out_path.c_str());
+        return 1;
+      }
+      out << eval::GrowthTraceCsv(result.trace);
+    }
+    return 0;
+  }
+  if (options.ranges) {
+    std::vector<ip6::NybbleRange> ranges;
+    ranges.reserve(result.clusters.size());
+    for (const auto& cluster : result.clusters) ranges.push_back(cluster.range);
+    if (options.out_path.empty()) {
+      io::WriteRanges(std::cout, ranges);
+    } else {
+      std::ofstream out(options.out_path);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     options.out_path.c_str());
+        return 1;
+      }
+      io::WriteRanges(out, ranges);
+    }
+    return 0;
+  }
+  EmitAddresses(options, result.targets);
+  return 0;
+}
+
+int RunEntropyIp(const Options& options) {
+  const auto seeds = LoadSeedsOrDie(options.seed_path);
+  const auto model = entropyip::EntropyIpModel::Fit(seeds);
+  entropyip::GenerateConfig config;
+  config.budget = options.budget;
+  const auto targets = model.GenerateTargets(config);
+  std::fprintf(stderr, "Entropy/IP: %zu segments, %zu targets sampled\n",
+               model.segments().size(), targets.size());
+  EmitAddresses(options, targets);
+  return 0;
+}
+
+int RunLowByte(const Options& options) {
+  const auto seeds = LoadSeedsOrDie(options.seed_path);
+  const auto targets = patterns::LowByteGenerate(seeds, {}, options.budget);
+  std::fprintf(stderr, "low-byte: %zu targets\n", targets.size());
+  EmitAddresses(options, targets);
+  return 0;
+}
+
+int RunAnalyze(const Options& options) {
+  const auto seeds = LoadSeedsOrDie(options.seed_path);
+  std::printf("seeds: %zu addresses from %s\n", seeds.size(),
+              options.seed_path.c_str());
+
+  // Entropy profile with segmentation.
+  const auto entropies = entropyip::NybbleEntropies(seeds);
+  const auto segments = entropyip::SegmentByEntropy(entropies);
+  std::printf("%s", analysis::Banner("Nybble entropy profile").c_str());
+  for (unsigned i = 0; i < ip6::kNybbles; ++i) {
+    const int bars = static_cast<int>(entropies[i] * 40);
+    bool boundary = false;
+    for (const auto& segment : segments) {
+      if (segment.start == i && i != 0) boundary = true;
+    }
+    std::printf("  nybble %2u %s %5.3f %s\n", i + 1, boundary ? "|" : " ",
+                entropies[i],
+                std::string(static_cast<std::size_t>(bars), '#').c_str());
+  }
+  std::printf("segments: %zu (boundaries marked '|')\n", segments.size());
+
+  // MRA dense prefixes.
+  const analysis::Mra mra(seeds);
+  const auto dense =
+      mra.FindDensePrefixes(std::max<std::size_t>(4, seeds.size() / 50));
+  std::printf("%s", analysis::Banner("Dense prefixes (MRA)").c_str());
+  const std::size_t show = std::min<std::size_t>(dense.size(), 10);
+  for (std::size_t i = 0; i < show; ++i) {
+    std::printf("  %-45s %zu addresses\n", dense[i].prefix.ToString().c_str(),
+                dense[i].address_count);
+  }
+  if (dense.empty()) std::printf("  (none above the density floor)\n");
+
+  // RFC 7707 IID patterns.
+  std::printf("%s",
+              analysis::Banner("Interface-identifier patterns (RFC 7707)")
+                  .c_str());
+  for (const auto& [pattern, count] : analysis::ClassifyAll(seeds)) {
+    std::printf("  %-14s %6zu (%s)\n",
+                std::string(analysis::IidPatternName(pattern)).c_str(), count,
+                analysis::Percent(100.0 * static_cast<double>(count) /
+                                  static_cast<double>(seeds.size()))
+                    .c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = ParseArgs(argc, argv);
+  if (options.command == "generate") return RunGenerate(options);
+  if (options.command == "entropyip") return RunEntropyIp(options);
+  if (options.command == "lowbyte") return RunLowByte(options);
+  if (options.command == "analyze") return RunAnalyze(options);
+  std::fprintf(stderr, "unknown command: %s\n", options.command.c_str());
+  Usage();
+}

@@ -1,0 +1,129 @@
+#include "analysis/classifier.h"
+
+#include <array>
+
+namespace sixgen::analysis {
+
+using ip6::Address;
+
+std::string_view IidPatternName(IidPattern pattern) {
+  switch (pattern) {
+    case IidPattern::kLowByte: return "low-byte";
+    case IidPattern::kEmbeddedIpv4: return "embedded-ipv4";
+    case IidPattern::kEmbeddedPort: return "embedded-port";
+    case IidPattern::kEui64: return "eui-64";
+    case IidPattern::kHexWords: return "hex-words";
+    case IidPattern::kRandom: return "random";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool LooksEui64(std::uint64_t iid) {
+  // Bytes 3..4 of the IID are 0xFFFE and the universal/local bit (bit 6 of
+  // the first byte, i.e. bit 57 of the IID) is set, per RFC 4291 App. A.
+  return ((iid >> 24) & 0xFFFF) == 0xFFFE && ((iid >> 56) & 0x02) != 0;
+}
+
+bool LooksLowByte(std::uint64_t iid) {
+  // RFC 7707 §2.1.1: only the lowest byte (often two) varies; we accept
+  // values whose significant bits fit in the low 20 (covering ::1..::fffff
+  // and small subnet:host splits like ::2:15).
+  return iid != 0 && iid < (1ULL << 20);
+}
+
+bool LooksEmbeddedPort(std::uint64_t iid) {
+  // RFC 7707 §2.1.4: the service port, either as the hex value or as
+  // decimal digits read in hex, in the lowest group; the rest near zero.
+  if (iid >> 20) return false;
+  const std::uint64_t low = iid & 0xFFFF;
+  constexpr std::uint64_t kPorts[] = {
+      // hex-encoded decimal digits of common ports
+      0x80, 0x443, 0x25, 0x53, 0x22, 0x110, 0x143, 0x993, 0x8080,
+      // literal hex values of the same ports
+      0x50, 0x1bb, 0x19, 0x35, 0x16, 0x6e, 0x8f, 0x3e1, 0x1f90};
+  for (std::uint64_t p : kPorts) {
+    if (low == p) return true;
+  }
+  return false;
+}
+
+bool LooksEmbeddedIpv4(const Address& addr, std::uint64_t iid) {
+  // Two encodings (RFC 7707 §2.1.2): one octet per group
+  // (::192:168:1:2 — each group <= 255 and group pattern plausible), or
+  // the 32-bit value in the low groups (::c0a8:0102) with a dotted-quad
+  // that looks like private/public unicast space.
+  // Encoding A: four groups each holding one decimal octet read as hex.
+  const std::uint64_t g0 = (iid >> 48) & 0xFFFF;
+  const std::uint64_t g1 = (iid >> 32) & 0xFFFF;
+  const std::uint64_t g2 = (iid >> 16) & 0xFFFF;
+  const std::uint64_t g3 = iid & 0xFFFF;
+  auto plausible_octet_hexdec = [](std::uint64_t g) {
+    // decimal octet written in hex digits: 0x0..0x255 with digits 0-9 only
+    if (g > 0x255) return false;
+    return ((g & 0xF) <= 9) && (((g >> 4) & 0xF) <= 9) &&
+           (((g >> 8) & 0xF) <= 9);
+  };
+  if (g0 != 0 && plausible_octet_hexdec(g0) && plausible_octet_hexdec(g1) &&
+      plausible_octet_hexdec(g2) && plausible_octet_hexdec(g3)) {
+    // Require a recognizable first octet (10, 172, 192, 100, 198, …) to
+    // avoid swallowing arbitrary small numbers.
+    if (g0 == 0x10 || g0 == 0x172 || g0 == 0x192 || g0 == 0x100 ||
+        g0 == 0x198) {
+      return true;
+    }
+  }
+  // Encoding B: the literal 32-bit IPv4 address in the low 32 bits with
+  // the upper IID bits zero; accept RFC 1918 and common unicast leaders.
+  if ((iid >> 32) == 0 && iid != 0) {
+    const auto b0 = static_cast<unsigned>((iid >> 24) & 0xFF);
+    if (b0 == 10 || b0 == 172 || b0 == 192 || b0 == 100 || b0 == 198) {
+      // Exclude values that are really just low-byte assignments.
+      return (iid & 0x00FFFFFF) != 0;
+    }
+  }
+  (void)addr;
+  return false;
+}
+
+bool LooksHexWords(std::uint64_t iid) {
+  // Any aligned 16-bit group spelling a known hex word (RFC 7707 §2.1.3).
+  constexpr std::uint16_t kWords[] = {0xdead, 0xbeef, 0xcafe, 0xbabe, 0xf00d,
+                                      0xface, 0xc0de, 0x1ee7, 0xb00c, 0xfeed};
+  for (int shift = 48; shift >= 0; shift -= 16) {
+    const auto group = static_cast<std::uint16_t>((iid >> shift) & 0xFFFF);
+    for (std::uint16_t w : kWords) {
+      if (group == w) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+IidPattern ClassifyIid(const Address& addr) {
+  const std::uint64_t iid = addr.lo();
+  if (LooksEui64(iid)) return IidPattern::kEui64;
+  if (LooksEmbeddedIpv4(addr, iid)) return IidPattern::kEmbeddedIpv4;
+  if (LooksEmbeddedPort(iid)) return IidPattern::kEmbeddedPort;
+  if (LooksLowByte(iid)) return IidPattern::kLowByte;
+  if (LooksHexWords(iid)) return IidPattern::kHexWords;
+  return IidPattern::kRandom;
+}
+
+std::optional<std::uint32_t> ExtractOui(const Address& addr) {
+  const std::uint64_t iid = addr.lo();
+  if (!LooksEui64(iid)) return std::nullopt;
+  // IID = (oui ^ 0x020000):FF:FE:nic — undo the u/l flip.
+  const auto oui = static_cast<std::uint32_t>((iid >> 40) & 0xFFFFFF);
+  return oui ^ 0x020000u;
+}
+
+std::map<IidPattern, std::size_t> ClassifyAll(std::span<const Address> addrs) {
+  std::map<IidPattern, std::size_t> histogram;
+  for (const Address& addr : addrs) ++histogram[ClassifyIid(addr)];
+  return histogram;
+}
+
+}  // namespace sixgen::analysis

@@ -1,0 +1,54 @@
+// RFC 7707 address-pattern classifier.
+//
+// RFC 7707 (paper §3.2) catalogues the interface-identifier practices that
+// make IPv6 addresses guessable: low-byte assignments, embedded IPv4
+// addresses, embedded service ports, SLAAC EUI-64 identifiers (with the
+// vendor OUI recoverable), human-readable hex words, and — the negative
+// class — pseudo-random (privacy) identifiers. Classifying discovered
+// addresses by pattern explains *why* a TGA found them (cf. the paper's
+// §6.5 cluster analysis and §8's call to understand which assignment
+// patterns an algorithm can and cannot discover).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "ip6/address.h"
+
+namespace sixgen::analysis {
+
+/// Interface-identifier pattern classes from RFC 7707.
+enum class IidPattern {
+  kLowByte,       // only the low-order IID bits set (e.g. ::1, ::2:15)
+  kEmbeddedIpv4,  // IPv4 address in the IID (e.g. ::c0a8:0102 or ::192:168:1:2)
+  kEmbeddedPort,  // a service port in the low nybbles (e.g. ::80, ::443)
+  kEui64,         // SLAAC from MAC: ff:fe in the middle, u/l bit set
+  kHexWords,      // human-readable hex (dead:beef, cafe, …)
+  kRandom,        // none of the above: pseudo-random / unclassified
+};
+
+std::string_view IidPatternName(IidPattern pattern);
+
+inline constexpr IidPattern kAllIidPatterns[] = {
+    IidPattern::kLowByte,  IidPattern::kEmbeddedIpv4,
+    IidPattern::kEmbeddedPort, IidPattern::kEui64,
+    IidPattern::kHexWords, IidPattern::kRandom,
+};
+
+/// Classifies one address's interface identifier (its low 64 bits).
+/// Precedence: EUI-64 > embedded IPv4 > embedded port > low-byte > hex
+/// words > random — more structurally specific evidence wins.
+IidPattern ClassifyIid(const ip6::Address& addr);
+
+/// For EUI-64 addresses, the 24-bit vendor OUI recovered from the IID
+/// (with the u/l bit flipped back); std::nullopt otherwise.
+std::optional<std::uint32_t> ExtractOui(const ip6::Address& addr);
+
+/// Pattern histogram over an address set.
+std::map<IidPattern, std::size_t> ClassifyAll(
+    std::span<const ip6::Address> addrs);
+
+}  // namespace sixgen::analysis

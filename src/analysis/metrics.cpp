@@ -1,0 +1,133 @@
+#include "analysis/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sixgen::analysis {
+
+Cdf::Cdf(std::vector<double> samples) : samples_(std::move(samples)) {
+  std::sort(samples_.begin(), samples_.end());
+}
+
+double Cdf::At(double x) const {
+  if (samples_.empty()) return 0.0;
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::Quantile(double p) const {
+  if (samples_.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double pos = p * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+Quartiles ComputeQuartiles(std::span<const double> values) {
+  Quartiles q;
+  if (values.empty()) return q;
+  Cdf cdf(std::vector<double>(values.begin(), values.end()));
+  q.min = cdf.Quantile(0.0);
+  q.q1 = cdf.Quantile(0.25);
+  q.median = cdf.Quantile(0.5);
+  q.q3 = cdf.Quantile(0.75);
+  q.max = cdf.Quantile(1.0);
+  return q;
+}
+
+std::vector<TopAsRow> TopAses(
+    const std::unordered_map<routing::Asn, std::size_t>& by_as,
+    const routing::AsRegistry& registry, std::size_t k) {
+  std::size_t total = 0;
+  for (const auto& [asn, count] : by_as) total += count;
+
+  std::vector<TopAsRow> rows;
+  rows.reserve(by_as.size());
+  for (const auto& [asn, count] : by_as) {
+    TopAsRow row;
+    row.asn = asn;
+    row.name = registry.NameOf(asn);
+    row.count = count;
+    row.percent =
+        total == 0 ? 0.0
+                   : 100.0 * static_cast<double>(count) /
+                         static_cast<double>(total);
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const TopAsRow& a, const TopAsRow& b) {
+    return a.count != b.count ? a.count > b.count : a.asn < b.asn;
+  });
+  if (rows.size() > k) rows.resize(k);
+  return rows;
+}
+
+std::vector<double> AddressCdfByAsRank(
+    const std::unordered_map<routing::Asn, std::size_t>& by_as) {
+  std::vector<std::size_t> counts;
+  counts.reserve(by_as.size());
+  for (const auto& [asn, count] : by_as) counts.push_back(count);
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+
+  double total = 0;
+  for (std::size_t c : counts) total += static_cast<double>(c);
+  std::vector<double> cdf;
+  cdf.reserve(counts.size());
+  double running = 0;
+  for (std::size_t c : counts) {
+    running += static_cast<double>(c);
+    cdf.push_back(total == 0 ? 0.0 : running / total);
+  }
+  return cdf;
+}
+
+std::optional<std::size_t> SeedCountBucket(std::size_t seeds) {
+  if (seeds < 2) return std::nullopt;
+  if (seeds < 10) return 0;
+  if (seeds < 100) return 1;
+  if (seeds < 1'000) return 2;
+  if (seeds < 10'000) return 3;
+  if (seeds < 100'000) return 4;
+  return std::nullopt;
+}
+
+std::string SeedCountBucketLabel(std::size_t bucket) {
+  switch (bucket) {
+    case 0: return "[2; 10)";
+    case 1: return "[10; 10^2)";
+    case 2: return "[10^2; 10^3)";
+    case 3: return "[10^3; 10^4)";
+    case 4: return "[10^4; 10^5)";
+    default: return "(out of range)";
+  }
+}
+
+BucketedValues BucketBySeedCount(
+    std::span<const std::pair<std::size_t, double>> seeds_and_values) {
+  BucketedValues out;
+  for (const auto& [seeds, value] : seeds_and_values) {
+    if (auto bucket = SeedCountBucket(seeds)) {
+      out.values[*bucket].push_back(value);
+    }
+  }
+  return out;
+}
+
+std::array<double, ip6::kNybbles> DynamicNybbleFractions(
+    std::span<const std::array<bool, ip6::kNybbles>> per_prefix_flags) {
+  std::array<double, ip6::kNybbles> fractions{};
+  if (per_prefix_flags.empty()) return fractions;
+  for (const auto& flags : per_prefix_flags) {
+    for (unsigned i = 0; i < ip6::kNybbles; ++i) {
+      if (flags[i]) fractions[i] += 1.0;
+    }
+  }
+  for (double& f : fractions) {
+    f /= static_cast<double>(per_prefix_flags.size());
+  }
+  return fractions;
+}
+
+}  // namespace sixgen::analysis

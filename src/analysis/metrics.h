@@ -1,0 +1,91 @@
+// Metric toolkit backing the paper's evaluation figures and tables.
+//
+// CDFs over per-AS address counts (Fig. 3), top-k AS tables (Table 1),
+// seed-count bucketing of routed prefixes (Figs. 5 and 7), quartile
+// summaries (Fig. 7's box rows), and the dynamic-nybble histogram (Fig. 6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ip6/address.h"
+#include "routing/routing_table.h"
+
+namespace sixgen::analysis {
+
+/// Empirical CDF over a set of sample values.
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> samples);
+
+  /// Fraction of samples <= x.
+  double At(double x) const;
+
+  /// p-th quantile (0 <= p <= 1), linear interpolation between order
+  /// statistics.
+  double Quantile(double p) const;
+
+  std::size_t SampleCount() const { return samples_.size(); }
+  const std::vector<double>& sorted_samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;  // sorted
+};
+
+/// Quartile summary (Fig. 7 box rows).
+struct Quartiles {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+};
+
+Quartiles ComputeQuartiles(std::span<const double> values);
+
+/// One row of a top-k table (Table 1): AS name, ASN, share of addresses.
+struct TopAsRow {
+  routing::Asn asn = 0;
+  std::string name;
+  std::size_t count = 0;
+  double percent = 0.0;
+};
+
+/// Ranks ASes by count and returns the top `k` rows with percentages of
+/// the total.
+std::vector<TopAsRow> TopAses(
+    const std::unordered_map<routing::Asn, std::size_t>& by_as,
+    const routing::AsRegistry& registry, std::size_t k);
+
+/// Fig. 3's series: for ASes ordered by descending address count, the CDF
+/// of addresses over the first n ASes. Returns cumulative fractions indexed
+/// by AS rank (1-based rank = index + 1).
+std::vector<double> AddressCdfByAsRank(
+    const std::unordered_map<routing::Asn, std::size_t>& by_as);
+
+/// Seed-count bucket boundaries used throughout §6: [2,10), [10,100),
+/// [100,1e3), [1e3,1e4), [1e4,1e5). Returns the bucket index for `seeds`,
+/// or std::nullopt when out of range.
+std::optional<std::size_t> SeedCountBucket(std::size_t seeds);
+
+/// Human-readable bucket label, e.g. "[10^2; 10^3)".
+std::string SeedCountBucketLabel(std::size_t bucket);
+
+inline constexpr std::size_t kSeedCountBuckets = 5;
+
+/// Aggregates one value per routed prefix into seed-count buckets.
+struct BucketedValues {
+  std::array<std::vector<double>, kSeedCountBuckets> values;
+};
+
+BucketedValues BucketBySeedCount(
+    std::span<const std::pair<std::size_t, double>> seeds_and_values);
+
+/// Fig. 6: for each nybble index, the fraction of routed prefixes having
+/// any cluster range with that nybble dynamic. Input: one 32-flag array per
+/// routed prefix.
+std::array<double, ip6::kNybbles> DynamicNybbleFractions(
+    std::span<const std::array<bool, ip6::kNybbles>> per_prefix_flags);
+
+}  // namespace sixgen::analysis

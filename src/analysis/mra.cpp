@@ -1,0 +1,175 @@
+#include "analysis/mra.h"
+
+#include <algorithm>
+#include <random>
+#include <unordered_map>
+
+namespace sixgen::analysis {
+
+using ip6::Address;
+using ip6::AddressSet;
+using ip6::Prefix;
+using ip6::U128;
+
+Mra::Mra(std::span<const Address> addrs) {
+  AddressSet unique(addrs.begin(), addrs.end());
+  addrs_.assign(unique.begin(), unique.end());
+  std::sort(addrs_.begin(), addrs_.end());
+
+  levels_.reserve(33);
+  for (unsigned len = 0; len <= 128; len += 4) {
+    MraLevel level;
+    level.prefix_len = len;
+    if (!addrs_.empty()) {
+      // Addresses are sorted, so equal prefixes are adjacent.
+      const U128 mask = len == 0 ? 0
+                                 : (len >= 128 ? ~U128{0}
+                                               : ~U128{0} << (128 - len));
+      std::size_t run = 0;
+      U128 current = addrs_.front().ToU128() & mask;
+      for (const Address& a : addrs_) {
+        const U128 p = a.ToU128() & mask;
+        if (p == current) {
+          ++run;
+        } else {
+          level.max_count = std::max(level.max_count, run);
+          ++level.distinct_prefixes;
+          current = p;
+          run = 1;
+        }
+      }
+      level.max_count = std::max(level.max_count, run);
+      ++level.distinct_prefixes;
+    }
+    levels_.push_back(level);
+  }
+}
+
+std::size_t Mra::CountIn(const Prefix& prefix) const {
+  // Binary search over the sorted address list.
+  const auto lo = std::lower_bound(
+      addrs_.begin(), addrs_.end(), prefix.First());
+  const auto hi = std::upper_bound(addrs_.begin(), addrs_.end(), prefix.Last());
+  return static_cast<std::size_t>(hi - lo);
+}
+
+std::vector<double> Mra::DiscriminatingPower() const {
+  std::vector<double> power;
+  power.reserve(ip6::kNybbles);
+  for (unsigned i = 0; i < ip6::kNybbles; ++i) {
+    const double before =
+        static_cast<double>(std::max<std::size_t>(levels_[i].distinct_prefixes, 1));
+    const double after = static_cast<double>(
+        std::max<std::size_t>(levels_[i + 1].distinct_prefixes, 1));
+    power.push_back(after / before);
+  }
+  return power;
+}
+
+std::vector<DensePrefix> Mra::FindDensePrefixes(std::size_t min_addresses,
+                                                unsigned min_len,
+                                                unsigned max_len) const {
+  std::vector<DensePrefix> out;
+  if (addrs_.empty() || min_addresses == 0) return out;
+  min_len = std::max(min_len, 4u) & ~3u;
+  max_len = std::min(max_len, 124u) & ~3u;
+
+  // Walk groups at min_len; for each group with enough addresses, extend
+  // the prefix while the whole group still fits (maximal dense prefix);
+  // then recurse conceptually by scanning the remainder — here we take the
+  // maximal prefix per group, which matches Plonka-Berger's "dense prefix"
+  // identification at aggregate granularity.
+  std::size_t begin = 0;
+  while (begin < addrs_.size()) {
+    const Prefix group = Prefix::Of(addrs_[begin], min_len);
+    std::size_t end = begin;
+    while (end < addrs_.size() && group.Contains(addrs_[end])) ++end;
+    const std::size_t count = end - begin;
+    if (count >= min_addresses) {
+      // Tighten: lengthen the prefix while it still covers the full group.
+      Prefix best = group;
+      for (unsigned len = min_len + 4; len <= max_len; len += 4) {
+        const Prefix candidate = Prefix::Of(addrs_[begin], len);
+        if (candidate.Contains(addrs_[end - 1])) {
+          best = candidate;
+        } else {
+          break;
+        }
+      }
+      out.push_back({best, count});
+    }
+    begin = end;
+  }
+  std::sort(out.begin(), out.end(), [](const DensePrefix& a,
+                                       const DensePrefix& b) {
+    if (a.address_count != b.address_count) {
+      return a.address_count > b.address_count;
+    }
+    return a.prefix < b.prefix;
+  });
+  return out;
+}
+
+std::vector<Address> DensePrefixGenerate(std::span<const Address> seeds,
+                                         std::size_t min_addresses,
+                                         U128 budget, std::uint64_t rng_seed) {
+  const Mra mra(seeds);
+  const auto dense = mra.FindDensePrefixes(min_addresses);
+  std::vector<Address> out;
+  if (dense.empty() || budget == 0) return out;
+
+  std::mt19937_64 rng(rng_seed);
+  AddressSet seen(seeds.begin(), seeds.end());
+  // Round-robin over dense prefixes: enumerate small ones, sample large
+  // ones, until the budget is consumed.
+  struct Cursor {
+    Prefix prefix;
+    U128 next = 0;
+    bool exhausted = false;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(dense.size());
+  for (const DensePrefix& d : dense) cursors.push_back({d.prefix, 0, false});
+
+  std::size_t live = cursors.size();
+  while (static_cast<U128>(out.size()) < budget && live > 0) {
+    bool emitted_any = false;
+    for (Cursor& cursor : cursors) {
+      if (cursor.exhausted) continue;
+      if (static_cast<U128>(out.size()) >= budget) break;
+      const unsigned host_bits = 128 - cursor.prefix.length();
+      const U128 space = host_bits >= 127 ? ~U128{0} : (U128{1} << host_bits);
+      Address addr;
+      if (space <= 1u << 20) {
+        // Enumerate.
+        while (cursor.next < space) {
+          addr = Address::FromU128(cursor.prefix.network().ToU128() +
+                                   cursor.next++);
+          if (seen.insert(addr).second) {
+            out.push_back(addr);
+            emitted_any = true;
+            break;
+          }
+        }
+        if (cursor.next >= space) cursor.exhausted = true;
+      } else {
+        // Sample.
+        U128 host = (static_cast<U128>(rng()) << 64) | rng();
+        if (host_bits < 128) host &= (U128{1} << host_bits) - 1;
+        addr = Address::FromU128(cursor.prefix.network().ToU128() | host);
+        if (seen.insert(addr).second) {
+          out.push_back(addr);
+          emitted_any = true;
+        }
+      }
+    }
+    live = 0;
+    for (const Cursor& cursor : cursors) {
+      if (!cursor.exhausted) ++live;
+    }
+    if (!emitted_any && live == 0) break;
+  }
+  return out;
+}
+
+}  // namespace sixgen::analysis

@@ -1,0 +1,92 @@
+// Multi-Resolution Aggregate (MRA) analysis — Plonka & Berger, IMC 2015
+// (paper §3.2).
+//
+// "The technique involves analyzing a set of addresses to produce a novel
+// metric that quantifies how relevant each portion of an address is to
+// grouping addresses together into dense address space regions. … They also
+// introduced a method for identifying dense network prefixes from the given
+// addresses that can be leveraged for scanning."
+//
+// This module aggregates an address set at every prefix length (multi-
+// resolution counts), computes the per-level discriminating power of each
+// address portion, and identifies maximal dense prefixes. DensePrefix
+// generation forms another baseline TGA; the paper notes 6Gen differs by
+// considering arbitrary address-space regions, not just prefixes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ip6/address.h"
+#include "ip6/prefix.h"
+
+namespace sixgen::analysis {
+
+/// Aggregate counts of an address set at one prefix length.
+struct MraLevel {
+  unsigned prefix_len = 0;
+  /// Number of distinct prefixes of this length covering the addresses.
+  std::size_t distinct_prefixes = 0;
+  /// Largest number of addresses sharing one prefix of this length.
+  std::size_t max_count = 0;
+};
+
+/// A prefix whose observed address density crosses a threshold.
+struct DensePrefix {
+  ip6::Prefix prefix;
+  std::size_t address_count = 0;
+
+  /// Observed density: addresses per available slot (meaningful for the
+  /// prefix lengths close to fully-populated subnets; saturates to
+  /// address_count for huge prefixes).
+  double Density() const {
+    const double space =
+        prefix.length() >= 64
+            ? static_cast<double>(static_cast<ip6::U128>(1)
+                                      << std::min(128u - prefix.length(), 63u))
+            : 9e18;
+    return static_cast<double>(address_count) / space;
+  }
+};
+
+/// Multi-resolution aggregation of one address set.
+class Mra {
+ public:
+  /// Aggregates at every multiple-of-4 prefix length (nybble-aligned,
+  /// matching this repository's nybble-granularity analyses).
+  explicit Mra(std::span<const ip6::Address> addrs);
+
+  const std::vector<MraLevel>& levels() const { return levels_; }
+
+  /// Count of input addresses inside `prefix`.
+  std::size_t CountIn(const ip6::Prefix& prefix) const;
+
+  /// The per-nybble-position discriminating power: the multiplicative
+  /// growth in distinct prefixes contributed by nybble i (how much that
+  /// address portion splits the set). Positions that split the set into
+  /// many more groups matter more for identifying dense regions.
+  std::vector<double> DiscriminatingPower() const;
+
+  /// Maximal prefixes of length >= `min_len` containing at least
+  /// `min_addresses` input addresses; a returned prefix is as long as
+  /// possible while still holding the whole group (i.e. further extension
+  /// would split it). Sorted by descending address count.
+  std::vector<DensePrefix> FindDensePrefixes(std::size_t min_addresses,
+                                             unsigned min_len = 32,
+                                             unsigned max_len = 124) const;
+
+  std::size_t AddressCount() const { return addrs_.size(); }
+
+ private:
+  std::vector<ip6::Address> addrs_;  // deduplicated, sorted
+  std::vector<MraLevel> levels_;
+};
+
+/// Baseline TGA built on MRA dense prefixes: fills the densest prefixes'
+/// unscanned space first, round-robin, until the budget is spent.
+std::vector<ip6::Address> DensePrefixGenerate(
+    std::span<const ip6::Address> seeds, std::size_t min_addresses,
+    ip6::U128 budget, std::uint64_t rng_seed);
+
+}  // namespace sixgen::analysis

@@ -1,0 +1,105 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace sixgen::analysis {
+
+std::string HumanCount(double value) {
+  char buf[64];
+  const double abs = std::abs(value);
+  if (abs >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1f B", value / 1e9);
+  } else if (abs >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1f M", value / 1e6);
+  } else if (abs >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1f K", value / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  }
+  return buf;
+}
+
+std::string Percent(double fraction_0_100, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction_0_100);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::string cell = cells[c];
+      cell.resize(widths[c], ' ');
+      line += cell;
+      if (c + 1 < cells.size()) line += "  ";
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = render_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  total += 2 * (widths.size() - 1);
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string RenderSeries(const std::string& x_label,
+                         const std::vector<Series>& series, int decimals) {
+  // Collect the union of x values, then print one row per x.
+  std::set<double> xs;
+  for (const Series& s : series) {
+    for (const auto& [x, y] : s.points) xs.insert(x);
+  }
+  std::vector<std::string> header{x_label};
+  for (const Series& s : series) header.push_back(s.name);
+  TextTable table(std::move(header));
+
+  char buf[64];
+  for (double x : xs) {
+    std::vector<std::string> row;
+    std::snprintf(buf, sizeof(buf), "%.0f", x);
+    row.emplace_back(buf);
+    for (const Series& s : series) {
+      const auto it =
+          std::find_if(s.points.begin(), s.points.end(),
+                       [x](const auto& p) { return p.first == x; });
+      if (it == s.points.end()) {
+        row.emplace_back("-");
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.*f", decimals, it->second);
+        row.emplace_back(buf);
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  return table.Render();
+}
+
+std::string Banner(const std::string& title) {
+  return "\n== " + title + " ==\n";
+}
+
+}  // namespace sixgen::analysis

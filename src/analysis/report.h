@@ -1,0 +1,49 @@
+// Plain-text rendering for bench binaries: fixed-width tables and series.
+//
+// Every bench target regenerates one of the paper's tables or figures and
+// prints it through these helpers, so outputs share one format and the
+// bench code stays thin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sixgen::analysis {
+
+/// Formats counts the way the paper does: 1.0 M, 56.7 M, 973 K, 758.
+std::string HumanCount(double value);
+
+/// Fixed-precision percent, e.g. "52.0%".
+std::string Percent(double fraction_0_100, int decimals = 1);
+
+/// A fixed-width text table. Columns size to their widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header underline; columns padded with two spaces.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A named (x, y) series, printed one point per line — the bench-output
+/// form of the paper's figure curves.
+struct Series {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Renders series side by side: one row per x, one column per series.
+std::string RenderSeries(const std::string& x_label,
+                         const std::vector<Series>& series, int decimals = 4);
+
+/// Section header for bench output, e.g. "== Figure 4: ... ==".
+std::string Banner(const std::string& title);
+
+}  // namespace sixgen::analysis

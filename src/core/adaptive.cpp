@@ -1,0 +1,234 @@
+#include "core/adaptive.h"
+
+#include <algorithm>
+#include <deque>
+#include <random>
+
+namespace sixgen::core {
+namespace {
+
+using ip6::Address;
+using ip6::AddressSet;
+using ip6::NybbleRange;
+using ip6::U128;
+
+/// Uniform draw in [0, bound).
+U128 UniformBelow(std::mt19937_64& rng, U128 bound) {
+  const U128 limit = (~U128{0} / bound) * bound;
+  while (true) {
+    const U128 x = (static_cast<U128>(rng()) << 64) | rng();
+    if (x < limit) return x % bound;
+  }
+}
+
+/// One region being adaptively scanned: yields unprobed addresses from its
+/// range. Small ranges enumerate in mixed-radix order; large ranges sample
+/// uniformly without replacement.
+class RegionScan {
+ public:
+  RegionScan(NybbleRange range, unsigned generation, std::uint64_t rng_seed)
+      : outcome_{std::move(range), 0, 0, generation, RegionStatus::kActive},
+        size_(outcome_.range.Size()),
+        enumerate_(size_ <= kEnumerateLimit),
+        rng_(rng_seed) {}
+
+  RegionOutcome& outcome() { return outcome_; }
+  const RegionOutcome& outcome() const { return outcome_; }
+  const NybbleRange& range() const { return outcome_.range; }
+  U128 size() const { return size_; }
+
+  bool Exhausted() const {
+    return enumerate_ ? cursor_ >= size_
+                      : static_cast<U128>(drawn_.size()) >= size_;
+  }
+
+  /// Next address to probe, or nullopt when the range is exhausted.
+  std::optional<Address> Next() {
+    if (enumerate_) {
+      if (cursor_ >= size_) return std::nullopt;
+      return outcome_.range.AddressAt(cursor_++);
+    }
+    if (static_cast<U128>(drawn_.size()) >= size_) return std::nullopt;
+    while (true) {
+      const Address addr = outcome_.range.AddressAt(UniformBelow(rng_, size_));
+      if (drawn_.insert(addr).second) return addr;
+    }
+  }
+
+  /// Random fresh addresses for the alias test (not tracked as probed
+  /// targets; alias probes are accounted separately by the caller).
+  Address RandomAddress() {
+    return outcome_.range.AddressAt(UniformBelow(rng_, size_));
+  }
+
+ private:
+  static constexpr U128 kEnumerateLimit = 1u << 20;
+
+  RegionOutcome outcome_;
+  U128 size_;
+  bool enumerate_;
+  U128 cursor_ = 0;
+  AddressSet drawn_;
+  std::mt19937_64 rng_;
+};
+
+std::uint64_t MixSeed(std::uint64_t base, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x =
+      base ^ (a * 0x9e3779b97f4a7c15ULL) ^ (b * 0xc2b2ae3d27d4eb4fULL);
+  x = (x ^ (x >> 33)) * 0xff51afd7ed558ccdULL;
+  x = (x ^ (x >> 33)) * 0xc4ceb9fe1a85ec53ULL;
+  return x ^ (x >> 33);
+}
+
+}  // namespace
+
+AdaptiveResult AdaptiveScan(std::span<const Address> seeds,
+                            const ProbeFn& probe,
+                            const AdaptiveConfig& config) {
+  AdaptiveResult result;
+  if (config.total_budget == 0) return result;
+
+  AddressSet seed_set(seeds.begin(), seeds.end());
+  AddressSet probed;  // never probe an address twice across regions/rounds
+  std::vector<Address> current_seeds(seed_set.begin(), seed_set.end());
+  std::sort(current_seeds.begin(), current_seeds.end());
+
+  auto remaining = [&]() -> U128 {
+    return config.total_budget - result.probes_used;
+  };
+
+  // Per-region hit lists, so a late alias verdict can reclassify them.
+  struct LiveRegion {
+    RegionScan scan;
+    std::vector<Address> region_hits;
+  };
+
+  for (unsigned generation = 0;
+       generation < std::max(config.max_generations, 1u) && remaining() > 0;
+       ++generation) {
+    ++result.generations_run;
+
+    // --- Generation: 6Gen proposes regions from the current seed set. ---
+    Config gen_config = config.generator;
+    gen_config.rng_seed = MixSeed(config.rng_seed, 0x9e11, generation);
+    const U128 gen_budget = std::max<U128>(
+        1, static_cast<U128>(static_cast<double>(remaining()) *
+                             config.generation_fraction));
+    gen_config.budget = gen_budget;
+    const Result gen = Generate(current_seeds, gen_config);
+
+    std::deque<LiveRegion> active;
+    std::uint64_t region_counter = 0;
+    for (const Cluster& cluster : gen.clusters) {
+      active.push_back(LiveRegion{
+          RegionScan(cluster.range, generation,
+                     MixSeed(config.rng_seed, generation + 1,
+                             ++region_counter)),
+          {}});
+    }
+
+    // Optimistic hit-rate estimate for greedy scheduling: unprobed regions
+    // score 0.5, so every region gets at least one chunk before ranking
+    // matters.
+    auto score = [](const LiveRegion& live) {
+      const RegionOutcome& o = live.scan.outcome();
+      return (static_cast<double>(o.hits) + 1.0) /
+             (static_cast<double>(o.probes) + 2.0);
+    };
+
+    // --- Adaptive scan: chunked probing with feedback decisions. ---
+    bool made_progress = false;
+    while (!active.empty() && remaining() > 0) {
+      std::size_t pick = 0;
+      if (config.scheduling == AdaptiveConfig::Scheduling::kGreedyHitRate) {
+        for (std::size_t i = 1; i < active.size(); ++i) {
+          if (score(active[i]) > score(active[pick])) pick = i;
+        }
+      }
+      LiveRegion live = std::move(active[pick]);
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(pick));
+      RegionScan& scan = live.scan;
+      RegionOutcome& outcome = scan.outcome();
+
+      // Probe one chunk from this region.
+      std::size_t sent = 0;
+      while (sent < config.chunk && remaining() > 0) {
+        auto addr = scan.Next();
+        if (!addr) break;
+        if (!probed.insert(*addr).second) continue;  // covered elsewhere
+        ++sent;
+        ++result.probes_used;
+        ++outcome.probes;
+        if (probe(*addr)) {
+          ++outcome.hits;
+          live.region_hits.push_back(*addr);
+          if (!seed_set.contains(*addr)) made_progress = true;
+        }
+      }
+
+      // Decide this region's fate.
+      if (remaining() == 0) {
+        outcome.status = RegionStatus::kBudgetCut;
+      } else if (scan.Exhausted()) {
+        outcome.status = RegionStatus::kExhausted;
+      } else if (outcome.probes >= config.min_probes_per_region &&
+                 outcome.HitRate() < config.early_terminate_hit_rate) {
+        outcome.status = RegionStatus::kEarlyTerminated;
+        ++result.regions_terminated_early;
+      } else if (outcome.probes >= config.min_probes_per_region &&
+                 outcome.HitRate() > config.alias_test_hit_rate &&
+                 scan.size() >= config.alias_test_min_region_size) {
+        // Alias test (§6.2 technique, applied mid-scan as §8 suggests).
+        bool aliased = true;
+        for (unsigned a = 0; a < config.alias_test_addresses && aliased; ++a) {
+          const Address addr = scan.RandomAddress();
+          bool responded = false;
+          for (unsigned p = 0;
+               p < config.alias_probes_per_address && remaining() > 0; ++p) {
+            ++result.probes_used;
+            if (probe(addr)) {
+              responded = true;
+              break;
+            }
+          }
+          aliased = responded;
+        }
+        if (aliased) {
+          outcome.status = RegionStatus::kAliased;
+          ++result.regions_aliased;
+          result.aliased_hits.insert(result.aliased_hits.end(),
+                                     live.region_hits.begin(),
+                                     live.region_hits.end());
+          live.region_hits.clear();
+        }
+      }
+
+      if (outcome.status == RegionStatus::kActive) {
+        active.push_back(std::move(live));  // keep scanning next round
+        continue;
+      }
+      // Region finished: its non-aliased hits are final discoveries.
+      result.hits.insert(result.hits.end(), live.region_hits.begin(),
+                         live.region_hits.end());
+      result.regions.push_back(outcome);
+    }
+
+    // Budget cut mid-queue: flush the still-active regions.
+    for (LiveRegion& live : active) {
+      live.scan.outcome().status = RegionStatus::kBudgetCut;
+      result.hits.insert(result.hits.end(), live.region_hits.begin(),
+                         live.region_hits.end());
+      result.regions.push_back(live.scan.outcome());
+    }
+
+    if (!made_progress) break;  // feedback found nothing new; stop early
+
+    // --- Feedback: discovered hits become seeds for the next round. ---
+    for (const Address& hit : result.hits) seed_set.insert(hit);
+    current_seeds.assign(seed_set.begin(), seed_set.end());
+    std::sort(current_seeds.begin(), current_seeds.end());
+  }
+  return result;
+}
+
+}  // namespace sixgen::core

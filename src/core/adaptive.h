@@ -1,0 +1,131 @@
+// Scanner-integrated adaptive target generation — the paper's §8 "Scanner
+// Integration" direction, built out:
+//
+//   "tight integration between the target generation and the scanning
+//    processes should allow for more effective scanning. The target
+//    generation could provide the initial regions of address space to begin
+//    exploring. As a scan progresses, the results can be fed back to the
+//    generation algorithm … we can early terminate scanning of a region
+//    originally predicted as promising but that has yielded few discovered
+//    hosts. Similarly, we can test regions that have high hit rates for
+//    aliasing, and halt scanning if aliasing is detected. These measures
+//    would allow the scanner to reallocate budget to networks that prove
+//    promising in reality."
+//
+// AdaptiveScan implements exactly that loop:
+//   1. bootstrap: 6Gen proposes dense regions from the seeds;
+//   2. regions are probed round-robin in chunks, tracking per-region hit
+//      rates;
+//   3. regions below a hit-rate floor are terminated early; regions that
+//      answer nearly everywhere are alias-tested (3 random addresses x 3
+//      probes, §6.2) and halted when aliased;
+//   4. freed budget flows to surviving regions, and when a generation of
+//      regions is exhausted, discovered hits are fed back as new seeds for
+//      the next 6Gen round.
+//
+// The module depends only on a probe callback, so it drives the simulated
+// scanner in this repository and a real prober in deployment.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/config.h"
+#include "core/generator.h"
+#include "ip6/address.h"
+#include "ip6/nybble_range.h"
+
+namespace sixgen::core {
+
+/// Probes one address; returns true iff it responded.
+using ProbeFn = std::function<bool(const ip6::Address&)>;
+
+struct AdaptiveConfig {
+  /// Total probe budget across all rounds (probes actually sent, including
+  /// alias-test probes).
+  ip6::U128 total_budget = 100'000;
+
+  /// Fraction of the remaining budget handed to 6Gen per generation round
+  /// as its target budget.
+  double generation_fraction = 0.5;
+
+  /// Probes sent to a region before early-termination decisions apply.
+  std::size_t min_probes_per_region = 64;
+
+  /// Regions whose hit rate falls below this floor (after the minimum
+  /// sample) are terminated early.
+  double early_terminate_hit_rate = 0.02;
+
+  /// Regions whose hit rate exceeds this ceiling are alias-tested; if the
+  /// test confirms, the region is halted and its hits flagged aliased.
+  double alias_test_hit_rate = 0.95;
+  /// Only regions at least this large can be aliased-flagged (a tiny fully
+  /// responsive range is a dense subnet, not an alias).
+  ip6::U128 alias_test_min_region_size = 4096;
+  unsigned alias_test_addresses = 3;
+  unsigned alias_probes_per_address = 3;
+
+  /// Probes per region per scheduling round.
+  std::size_t chunk = 128;
+
+  /// How the next region to probe is chosen. Round-robin spreads budget
+  /// evenly; greedy-hit-rate always probes the region with the best
+  /// optimistic hit-rate estimate ((hits+1)/(probes+2)), concentrating
+  /// budget on regions "that prove promising in reality" (§8).
+  enum class Scheduling { kRoundRobin, kGreedyHitRate };
+  Scheduling scheduling = Scheduling::kRoundRobin;
+
+  /// Feedback rounds: after a generation's regions die out, hits found so
+  /// far join the seed set and 6Gen runs again. 1 disables feedback.
+  unsigned max_generations = 3;
+
+  /// 6Gen configuration for region discovery (budget is set per round).
+  Config generator;
+
+  std::uint64_t rng_seed = 0xada7'71fe;
+};
+
+/// Why a region stopped being probed.
+enum class RegionStatus {
+  kActive,           // still scheduled (only seen mid-run)
+  kExhausted,        // every address in the range was probed
+  kEarlyTerminated,  // hit rate fell below the floor
+  kAliased,          // alias test confirmed a fully-responsive region
+  kBudgetCut,        // global budget ran out first
+};
+
+struct RegionOutcome {
+  ip6::NybbleRange range;
+  std::size_t probes = 0;
+  std::size_t hits = 0;
+  unsigned generation = 0;
+  RegionStatus status = RegionStatus::kActive;
+
+  double HitRate() const {
+    return probes == 0 ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(probes);
+  }
+};
+
+struct AdaptiveResult {
+  /// Responsive addresses outside aliased regions, discovery order.
+  std::vector<ip6::Address> hits;
+  /// Responsive addresses inside regions later confirmed aliased.
+  std::vector<ip6::Address> aliased_hits;
+  std::vector<RegionOutcome> regions;
+  ip6::U128 probes_used = 0;
+  unsigned generations_run = 0;
+  std::size_t regions_terminated_early = 0;
+  std::size_t regions_aliased = 0;
+};
+
+/// Runs the adaptive generation/scan loop against `probe` until the budget
+/// is spent or no region remains productive. Deterministic in
+/// (seeds, config.rng_seed) for a deterministic probe function.
+AdaptiveResult AdaptiveScan(std::span<const ip6::Address> seeds,
+                            const ProbeFn& probe,
+                            const AdaptiveConfig& config = {});
+
+}  // namespace sixgen::core

@@ -1,0 +1,47 @@
+// 6Gen cluster representation (paper §5.1, §5.3, Figure 1).
+//
+// A cluster is defined by a range (the region of address space that
+// encompasses the seeds in the cluster) and a seed set (the seeds that lie
+// within the cluster's range). As the paper's space optimization (§5.5), we
+// store only the range and the seed-set *size*; the seed set itself is
+// reconstructed from the nybble tree when needed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ip6/address.h"
+#include "ip6/nybble_range.h"
+
+namespace sixgen::core {
+
+/// One 6Gen cluster.
+struct Cluster {
+  /// Region of address space encompassing the cluster's seeds.
+  ip6::NybbleRange range;
+
+  /// Number of seeds inside `range` (the seed-set size; §5.5 stores the
+  /// size rather than the set).
+  std::size_t seed_count = 0;
+
+  /// Number of growth iterations this cluster has undergone.
+  unsigned growths = 0;
+
+  /// True iff the cluster still covers exactly one address (never grown
+  /// into a range). Fig. 5a counts these per routed prefix.
+  bool IsSingleton() const { return range.DynamicCount() == 0; }
+};
+
+/// Summary statistics over a finished run's clusters, feeding Figs. 5 and 6.
+struct ClusterStats {
+  std::size_t singleton_clusters = 0;
+  std::size_t grown_clusters = 0;
+
+  /// dynamic_nybbles[i] is true iff any cluster range has nybble i dynamic.
+  std::array<bool, ip6::kNybbles> dynamic_nybbles{};
+};
+
+/// Computes stats over a cluster list.
+ClusterStats ComputeClusterStats(const std::vector<Cluster>& clusters);
+
+}  // namespace sixgen::core

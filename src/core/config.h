@@ -1,0 +1,64 @@
+// 6Gen run configuration (paper §5.4-§5.5, §6.3-§6.4).
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#include "ip6/address.h"
+#include "ip6/nybble_range.h"
+
+namespace sixgen::core {
+
+/// How the probe budget is charged as clusters grow (paper §5.4).
+enum class BudgetAccounting {
+  /// The paper's scheme: uniquely track every address the clusters would
+  /// generate, so overlapping clusters are not double-counted. Memory and
+  /// time are proportional to the budget.
+  kExactUnique,
+  /// Ablation mode: charge range-size deltas without deduplication.
+  /// Cheaper, but overlapping clusters double-count against the budget.
+  kArithmetic,
+};
+
+/// Configuration for one 6Gen run (one routed prefix / one seed set).
+struct Config {
+  /// Probe budget: maximum number of unique target addresses to generate
+  /// beyond the seeds themselves (paper §4: the probe budget constrains how
+  /// many scan packets can be sent; §6.4 selects 1 M per routed prefix).
+  ip6::U128 budget = 1'000'000;
+
+  /// Tight (exact per-nybble value sets) or loose (full wildcards) cluster
+  /// ranges; the paper's §6.3 ablation found loose slightly better and uses
+  /// it by default.
+  ip6::RangeMode range_mode = ip6::RangeMode::kLoose;
+
+  BudgetAccounting accounting = BudgetAccounting::kExactUnique;
+
+  /// Seed for all tie-break and sampling randomness; identical inputs and
+  /// seeds reproduce bit-identical output.
+  std::uint64_t rng_seed = 0x51e6'6e11'0000'0001ULL;
+
+  /// Worker threads for the parallelizable cluster-growth evaluation
+  /// (§5.5: "we can easily parallelize cluster growth computation").
+  /// 0 means std::thread::hardware_concurrency().
+  unsigned threads = 0;
+
+  /// Record a per-iteration GrowthStep trace in the result (small cost;
+  /// off by default for large batch runs).
+  bool record_trace = false;
+
+  /// §5.5 optimization switches, exposed for the ablation benchmarks.
+  /// Caching best growths between iterations (an O(N) runtime saving)...
+  bool use_growth_cache = true;
+  /// ...and the 16-ary nybble tree for seed-set reconstruction (vs. linear
+  /// scans over the seed list).
+  bool use_nybble_tree = true;
+
+  unsigned EffectiveThreads() const {
+    if (threads != 0) return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+};
+
+}  // namespace sixgen::core

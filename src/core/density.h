@@ -1,0 +1,49 @@
+// Exact seed-density comparison for 6Gen.
+//
+// A cluster's seed density is seed_count / range_size (paper §5.4). Range
+// sizes are up to 128-bit, so comparing two densities with floating point
+// would mis-order near-ties and break the paper's deterministic tie rules
+// (max density, then min range size, then random). We compare the cross
+// products seed_a * size_b vs seed_b * size_a exactly in 192-bit arithmetic.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "ip6/address.h"
+
+namespace sixgen::core {
+
+/// A 192-bit unsigned product of a 128-bit and a 64-bit integer.
+struct U192 {
+  ip6::U128 hi = 0;   // top 128 bits
+  std::uint64_t lo = 0;  // bottom 64 bits
+
+  friend constexpr auto operator<=>(const U192&, const U192&) = default;
+};
+
+/// Computes a * b exactly.
+constexpr U192 Mul128x64(ip6::U128 a, std::uint64_t b) {
+  const ip6::U128 lo_prod = static_cast<ip6::U128>(static_cast<std::uint64_t>(a)) * b;
+  const ip6::U128 hi_prod = static_cast<ip6::U128>(static_cast<std::uint64_t>(a >> 64)) * b;
+  U192 out;
+  out.lo = static_cast<std::uint64_t>(lo_prod);
+  out.hi = hi_prod + (lo_prod >> 64);
+  return out;
+}
+
+/// A seed density expressed as the exact fraction seeds / size.
+struct Density {
+  std::uint64_t seeds = 0;
+  ip6::U128 size = 1;
+};
+
+/// Three-way comparison of densities by value: a<b, a==b, a>b.
+/// Precondition: both sizes nonzero.
+constexpr std::strong_ordering CompareDensity(const Density& a,
+                                              const Density& b) {
+  // a.seeds/a.size <=> b.seeds/b.size  <=>  a.seeds*b.size <=> b.seeds*a.size
+  return Mul128x64(b.size, a.seeds) <=> Mul128x64(a.size, b.seeds);
+}
+
+}  // namespace sixgen::core

@@ -1,0 +1,482 @@
+#include "core/generator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <random>
+#include <thread>
+#include <unordered_set>
+
+#include "core/density.h"
+#include "nybtree/nybble_tree.h"
+
+namespace sixgen::core {
+namespace {
+
+using ip6::Address;
+using ip6::AddressSet;
+using ip6::kNybbles;
+using ip6::NybbleRange;
+using ip6::U128;
+
+/// Uniform draw in [0, bound) from 128-bit rejection sampling.
+U128 UniformBelow(std::mt19937_64& rng, U128 bound) {
+  const U128 limit = (~U128{0} / bound) * bound;
+  while (true) {
+    const U128 x = (static_cast<U128>(rng()) << 64) | rng();
+    if (x < limit) return x % bound;
+  }
+}
+
+/// The best way to grow one cluster, cached between iterations (§5.5).
+struct GrowthPlan {
+  bool has_candidate = false;
+  NybbleRange new_range;
+  std::size_t new_seed_count = 0;
+  U128 new_size = 0;
+};
+
+/// Deterministic per-(cluster, recompute-generation) RNG seed.
+std::uint64_t MixSeed(std::uint64_t base, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = base ^ (a * 0x9e3779b97f4a7c15ULL) ^
+                    (b * 0xc2b2ae3d27d4eb4fULL);
+  x = (x ^ (x >> 33)) * 0xff51afd7ed558ccdULL;
+  x = (x ^ (x >> 33)) * 0xc4ceb9fe1a85ec53ULL;
+  return x ^ (x >> 33);
+}
+
+class Engine {
+ public:
+  Engine(std::span<const Address> seeds, const Config& config)
+      : config_(config) {
+    AddressSet unique(seeds.begin(), seeds.end());
+    seeds_.assign(unique.begin(), unique.end());
+    std::sort(seeds_.begin(), seeds_.end());
+    if (config_.use_nybble_tree) {
+      tree_ = nybtree::NybbleTree(seeds_);
+    }
+  }
+
+  Result Run() {
+    Result result;
+    result.seed_count = seeds_.size();
+    if (seeds_.empty()) {
+      result.stop_reason = StopReason::kNoCandidates;
+      return result;
+    }
+
+    InitClusters();
+    AddressSet emitted;
+    if (config_.accounting == BudgetAccounting::kExactUnique) {
+      emitted.insert(seeds_.begin(), seeds_.end());
+    }
+    std::vector<Address> sampled_extras;
+    std::mt19937_64 master_rng(MixSeed(config_.rng_seed, 0x6a11, 0));
+    U128 budget_used = 0;
+    std::size_t iterations = 0;
+    StopReason stop = StopReason::kNoCandidates;
+
+    RecomputeAll();
+
+    while (true) {
+      // Global selection: highest density, then smallest grown range, then
+      // random among exact ties (paper §5.4).
+      int best = -1;
+      std::size_t tie_count = 0;
+      for (std::size_t i = 0; i < clusters_.size(); ++i) {
+        const GrowthPlan& plan = plans_[i];
+        if (!plan.has_candidate) continue;
+        if (best < 0) {
+          best = static_cast<int>(i);
+          tie_count = 1;
+          continue;
+        }
+        const GrowthPlan& cur = plans_[static_cast<std::size_t>(best)];
+        const auto cmp = CompareDensity({plan.new_seed_count, plan.new_size},
+                                        {cur.new_seed_count, cur.new_size});
+        if (cmp == std::strong_ordering::greater ||
+            (cmp == std::strong_ordering::equal &&
+             plan.new_size < cur.new_size)) {
+          best = static_cast<int>(i);
+          tie_count = 1;
+        } else if (cmp == std::strong_ordering::equal &&
+                   plan.new_size == cur.new_size) {
+          // Reservoir-sample among exact ties for the random tie-break.
+          ++tie_count;
+          if (master_rng() % tie_count == 0) best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) {
+        stop = StopReason::kNoCandidates;
+        break;
+      }
+
+      std::size_t grown_index = static_cast<std::size_t>(best);
+      const GrowthPlan plan = plans_[grown_index];
+
+      // Pseudocode: a growth that would place every seed in a single
+      // cluster is not committed; the algorithm returns.
+      if (plan.new_seed_count >= seeds_.size()) {
+        stop = StopReason::kSingleCluster;
+        break;
+      }
+
+      const Cluster& old_cluster = clusters_[grown_index];
+      const U128 old_size = old_cluster.range.Size();
+      const U128 arithmetic_delta = plan.new_size - old_size;
+      const U128 remaining = config_.budget - budget_used;
+
+      if (arithmetic_delta > remaining) {
+        // Final growth: consume the budget exactly by randomly selecting
+        // addresses of the newly grown range that were not already counted
+        // (paper §5.4). Overlap with other clusters can leave fewer fresh
+        // addresses than the remaining budget; charge only what was drawn.
+        const U128 sampled = SampleFinalGrowth(
+            plan, old_cluster.range, remaining, emitted, master_rng,
+            sampled_extras);
+        budget_used += sampled;
+        stop = StopReason::kBudgetExhausted;
+        break;
+      }
+
+      // Commit the growth.
+      U128 cost = arithmetic_delta;
+      if (config_.accounting == BudgetAccounting::kExactUnique) {
+        cost = 0;
+        plan.new_range.ForEach([&](const Address& a) {
+          if (emitted.insert(a).second) ++cost;
+          return true;
+        });
+      }
+      budget_used += cost;
+      ++iterations;
+
+      {
+        Cluster& grown = clusters_[grown_index];
+        grown.range = plan.new_range;
+        grown.seed_count = plan.new_seed_count;
+        ++grown.growths;
+      }
+      InvalidatePlan(grown_index);
+
+      if (config_.record_trace) {
+        GrowthStep step;
+        step.iteration = iterations;
+        step.grown_range = plan.new_range;
+        step.seed_count = plan.new_seed_count;
+        step.range_size = plan.new_size;
+        step.budget_cost = cost;
+        step.budget_used = budget_used;
+        result.trace.push_back(std::move(step));
+      }
+
+      // Delete clusters encapsulated by the grown range, and the grown
+      // cluster itself if an existing range already covers it (§5.4).
+      // (plan.new_range is the grown range; erasing invalidates references
+      // into clusters_, so compare against the plan's copy.)
+      bool grown_subsumed = false;
+      std::size_t deleted = 0;
+      for (std::size_t j = 0; j < clusters_.size();) {
+        if (j == grown_index) {
+          ++j;
+          continue;
+        }
+        if (plan.new_range.StrictlyCovers(clusters_[j].range)) {
+          EraseCluster(j);
+          ++deleted;
+          // grown_index shifts left when an earlier cluster is removed.
+          if (j < grown_index) --grown_index;
+          continue;
+        }
+        if (clusters_[j].range.Covers(plan.new_range)) {
+          grown_subsumed = true;
+        }
+        ++j;
+      }
+      if (grown_subsumed) {
+        EraseCluster(grown_index);
+        ++deleted;
+      }
+      if (config_.record_trace && !result.trace.empty()) {
+        result.trace.back().clusters_deleted = deleted;
+      }
+
+      if (budget_used >= config_.budget) {
+        stop = StopReason::kBudgetExhausted;
+        break;
+      }
+
+      RecomputeInvalid();
+    }
+
+    result.clusters = clusters_;
+    result.stats = ComputeClusterStats(clusters_);
+    result.budget_used = budget_used;
+    result.iterations = iterations;
+    result.stop_reason = stop;
+    result.targets = CollectTargets(emitted, sampled_extras, budget_used);
+    return result;
+  }
+
+ private:
+  void InitClusters() {
+    clusters_.reserve(seeds_.size());
+    for (const Address& seed : seeds_) {
+      Cluster c;
+      c.range = NybbleRange::Single(seed);
+      c.seed_count = 1;
+      clusters_.push_back(std::move(c));
+    }
+    plans_.assign(clusters_.size(), GrowthPlan{});
+    plan_valid_.assign(clusters_.size(), 0);
+    plan_generation_.assign(clusters_.size(), 0);
+  }
+
+  void InvalidatePlan(std::size_t i) {
+    plan_valid_[i] = 0;
+    ++plan_generation_[i];
+  }
+
+  void EraseCluster(std::size_t i) {
+    clusters_.erase(clusters_.begin() + static_cast<std::ptrdiff_t>(i));
+    plans_.erase(plans_.begin() + static_cast<std::ptrdiff_t>(i));
+    plan_valid_.erase(plan_valid_.begin() + static_cast<std::ptrdiff_t>(i));
+    plan_generation_.erase(plan_generation_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+  }
+
+  void RecomputeAll() {
+    const unsigned threads =
+        std::min<unsigned>(config_.EffectiveThreads(),
+                           static_cast<unsigned>(clusters_.size()));
+    if (threads <= 1 || clusters_.size() < 64) {
+      for (std::size_t i = 0; i < clusters_.size(); ++i) RecomputeOne(i);
+      return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([this, &next] {
+        while (true) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= clusters_.size()) return;
+          RecomputeOne(i);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+
+  void RecomputeInvalid() {
+    if (!config_.use_growth_cache) {
+      RecomputeAll();
+      return;
+    }
+    for (std::size_t i = 0; i < clusters_.size(); ++i) {
+      if (!plan_valid_[i]) RecomputeOne(i);
+    }
+  }
+
+  // Computes the best growth for cluster i: find the minimally-distant
+  // candidate seeds, evaluate each candidate growth's resulting density,
+  // keep the densest (tie: smallest range, then random).
+  void RecomputeOne(std::size_t i) {
+    const Cluster& cluster = clusters_[i];
+    GrowthPlan best;
+    const unsigned min_dist = MinCandidateDistance(cluster.range);
+    if (min_dist <= kNybbles) {
+      std::mt19937_64 rng(
+          MixSeed(config_.rng_seed, i + 1, plan_generation_[i] + 1));
+      std::size_t tie_count = 0;
+      std::unordered_set<NybbleRange, ip6::NybbleRangeHash> seen;
+      ForEachCandidate(cluster.range, min_dist, [&](const Address& seed) {
+        NybbleRange grown_range = cluster.range;
+        grown_range.ExpandToInclude(seed, config_.range_mode);
+        if (!seen.insert(grown_range).second) return;  // duplicate growth
+        const std::size_t count = CountSeedsIn(grown_range);
+        const U128 size = grown_range.Size();
+        if (!best.has_candidate) {
+          best = GrowthPlan{true, grown_range, count, size};
+          tie_count = 1;
+          return;
+        }
+        const auto cmp = CompareDensity({count, size},
+                                        {best.new_seed_count, best.new_size});
+        if (cmp == std::strong_ordering::greater ||
+            (cmp == std::strong_ordering::equal && size < best.new_size)) {
+          best = GrowthPlan{true, grown_range, count, size};
+          tie_count = 1;
+        } else if (cmp == std::strong_ordering::equal &&
+                   size == best.new_size) {
+          ++tie_count;
+          if (rng() % tie_count == 0) {
+            best = GrowthPlan{true, grown_range, count, size};
+          }
+        }
+      });
+    }
+    plans_[i] = best;
+    plan_valid_[i] = 1;
+  }
+
+  unsigned MinCandidateDistance(const NybbleRange& range) const {
+    if (config_.use_nybble_tree) return tree_.MinDistanceOutside(range);
+    unsigned best = kNybbles + 1;
+    for (const Address& seed : seeds_) {
+      const unsigned d = range.Distance(seed);
+      if (d >= 1 && d < best) best = d;
+    }
+    return best;
+  }
+
+  void ForEachCandidate(const NybbleRange& range, unsigned distance,
+                        const std::function<void(const Address&)>& fn) const {
+    if (config_.use_nybble_tree) {
+      tree_.ForEachAtDistance(range, distance, fn);
+      return;
+    }
+    for (const Address& seed : seeds_) {
+      if (range.Distance(seed) == distance) fn(seed);
+    }
+  }
+
+  std::size_t CountSeedsIn(const NybbleRange& range) const {
+    if (config_.use_nybble_tree) return tree_.CountInRange(range);
+    std::size_t count = 0;
+    for (const Address& seed : seeds_) {
+      if (range.Contains(seed)) ++count;
+    }
+    return count;
+  }
+
+  // Selects up to `remaining` previously-uncounted addresses from the
+  // final grown range (paper §5.4). Rejection-samples when the range is far
+  // larger than the request; otherwise enumerates, shuffles, and truncates.
+  // Returns the number of addresses actually drawn (the pool can be smaller
+  // than `remaining` when other clusters already covered the range).
+  U128 SampleFinalGrowth(const GrowthPlan& plan, const NybbleRange& old_range,
+                         U128 remaining, AddressSet& emitted,
+                         std::mt19937_64& rng, std::vector<Address>& out) {
+    if (remaining == 0) return 0;
+    const bool exact =
+        config_.accounting == BudgetAccounting::kExactUnique;
+    auto already_counted = [&](const Address& a) {
+      return exact ? emitted.contains(a) : old_range.Contains(a);
+    };
+
+    const U128 size = plan.new_size;
+    // When the range is within 4x of what we need, enumerate instead of
+    // rejection sampling (which would then loop on duplicates).
+    const U128 want = remaining + old_range.Size();
+    if (size / 4 <= want) {
+      std::vector<Address> pool;
+      plan.new_range.ForEach([&](const Address& a) {
+        if (!already_counted(a)) pool.push_back(a);
+        return true;
+      });
+      std::shuffle(pool.begin(), pool.end(), rng);
+      const std::size_t take = static_cast<std::size_t>(
+          std::min<U128>(remaining, pool.size()));
+      for (std::size_t k = 0; k < take; ++k) {
+        out.push_back(pool[k]);
+        if (exact) emitted.insert(pool[k]);
+      }
+      return take;
+    }
+
+    AddressSet chosen;
+    // The range dwarfs the request, so rejection sampling converges fast;
+    // the attempt cap only guards the pathological fully-covered case.
+    U128 attempts = 0;
+    const U128 max_attempts = remaining * 64 + 10'000;
+    while (chosen.size() < static_cast<std::size_t>(remaining) &&
+           attempts++ < max_attempts) {
+      const Address a = plan.new_range.AddressAt(UniformBelow(rng, size));
+      if (already_counted(a)) continue;
+      if (chosen.insert(a).second) {
+        out.push_back(a);
+        if (exact) emitted.insert(a);
+      }
+    }
+    return chosen.size();
+  }
+
+  std::vector<Address> CollectTargets(const AddressSet& emitted,
+                                      const std::vector<Address>& extras,
+                                      U128 budget_used) const {
+    std::vector<Address> targets;
+    if (config_.accounting == BudgetAccounting::kExactUnique) {
+      targets.assign(emitted.begin(), emitted.end());
+    } else {
+      // Arithmetic mode tracked no address set; materialize the union of
+      // final ranges now (deduplicating), then the sampled extras.
+      AddressSet set(seeds_.begin(), seeds_.end());
+      // Cap materialization: budget_used bounds the non-seed address count
+      // the ranges may contribute; the union can only be smaller.
+      (void)budget_used;
+      for (const Cluster& c : clusters_) {
+        c.range.ForEach([&set](const Address& a) {
+          set.insert(a);
+          return true;
+        });
+      }
+      for (const Address& a : extras) set.insert(a);
+      targets.assign(set.begin(), set.end());
+      std::sort(targets.begin(), targets.end());
+      return targets;
+    }
+    targets.insert(targets.end(), extras.begin(), extras.end());
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+    return targets;
+  }
+
+  Config config_;
+  std::vector<Address> seeds_;
+  nybtree::NybbleTree tree_;
+  std::vector<Cluster> clusters_;
+  std::vector<GrowthPlan> plans_;
+  std::vector<char> plan_valid_;
+  std::vector<std::uint64_t> plan_generation_;
+};
+
+}  // namespace
+
+ClusterStats ComputeClusterStats(const std::vector<Cluster>& clusters) {
+  ClusterStats stats;
+  for (const Cluster& c : clusters) {
+    if (c.IsSingleton()) {
+      ++stats.singleton_clusters;
+    } else {
+      ++stats.grown_clusters;
+    }
+    for (unsigned i = 0; i < kNybbles; ++i) {
+      if (c.range.IsDynamic(i)) stats.dynamic_nybbles[i] = true;
+    }
+  }
+  return stats;
+}
+
+Result Generate(std::span<const Address> seeds, const Config& config) {
+  if (config.budget == 0) {
+    Result result;
+    AddressSet unique(seeds.begin(), seeds.end());
+    result.seed_count = unique.size();
+    result.targets.assign(unique.begin(), unique.end());
+    std::sort(result.targets.begin(), result.targets.end());
+    for (const Address& s : result.targets) {
+      Cluster c;
+      c.range = NybbleRange::Single(s);
+      c.seed_count = 1;
+      result.clusters.push_back(std::move(c));
+    }
+    result.stats = ComputeClusterStats(result.clusters);
+    result.stop_reason = StopReason::kBudgetExhausted;
+    return result;
+  }
+  Engine engine(seeds, config);
+  return engine.Run();
+}
+
+}  // namespace sixgen::core

@@ -1,0 +1,77 @@
+// 6Gen — the paper's target generation algorithm (Algorithm 1, §5).
+//
+// 6Gen greedily clusters similar seeds into address-space regions with high
+// seed density and outputs the addresses within those regions as scan
+// targets. Each iteration grows the one (cluster, candidate-seed) pair that
+// yields the highest resulting seed density, until the probe budget is
+// consumed or all seeds belong to a single cluster. Both published
+// optimizations are implemented: per-cluster best-growth caching and the
+// 16-ary nybble tree for seed-set reconstruction (§5.5).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/config.h"
+#include "ip6/address.h"
+
+namespace sixgen::core {
+
+/// Why a run stopped.
+enum class StopReason {
+  kBudgetExhausted,   // the probe budget was consumed (possibly exactly, via
+                      // final-growth sampling)
+  kSingleCluster,     // a growth would have placed every seed in one cluster
+  kNoCandidates,      // no cluster had any candidate seed left to absorb
+};
+
+/// One committed growth step, for tracing/inspection. The sequence of
+/// these records explains 6Gen's "jumpy" budget response the paper
+/// contrasts with Entropy/IP's smooth curves (§7.1): each record is a
+/// discrete region acquisition.
+struct GrowthStep {
+  std::size_t iteration = 0;
+  ip6::NybbleRange grown_range;
+  std::size_t seed_count = 0;     // seeds inside the grown range
+  ip6::U128 range_size = 0;
+  ip6::U128 budget_cost = 0;      // unique addresses charged this step
+  ip6::U128 budget_used = 0;      // cumulative after this step
+  std::size_t clusters_deleted = 0;  // encapsulated clusters removed
+};
+
+/// Output of one 6Gen run.
+struct Result {
+  /// Unique generated target addresses: every address covered by the final
+  /// cluster ranges plus any final-growth samples. Includes the seeds
+  /// themselves (they lie inside their clusters' ranges). Sorted ascending
+  /// for determinism; callers typically randomize scan order anyway.
+  std::vector<ip6::Address> targets;
+
+  /// Final cluster list (paper Algorithm 1 returns clusterList).
+  std::vector<Cluster> clusters;
+
+  ClusterStats stats;
+
+  /// Unique non-seed addresses charged against the budget.
+  ip6::U128 budget_used = 0;
+
+  /// Number of committed growth iterations.
+  std::size_t iterations = 0;
+
+  StopReason stop_reason = StopReason::kNoCandidates;
+
+  /// Number of distinct input seeds after deduplication.
+  std::size_t seed_count = 0;
+
+  /// Per-iteration growth trace; filled only when Config::record_trace.
+  std::vector<GrowthStep> trace;
+};
+
+/// Runs 6Gen over `seeds` with `config`. Duplicate seeds are ignored.
+/// Deterministic for a fixed (seeds, config.rng_seed) pair regardless of
+/// thread count.
+Result Generate(std::span<const ip6::Address> seeds, const Config& config = {});
+
+}  // namespace sixgen::core

@@ -1,0 +1,172 @@
+#include "dealias/dealias.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sixgen::dealias {
+
+using ip6::Address;
+using ip6::Prefix;
+using ip6::U128;
+using routing::Asn;
+
+std::vector<Prefix> HitPrefixes(std::span<const Address> hits,
+                                unsigned prefix_len) {
+  std::unordered_set<Prefix, ip6::PrefixHash> prefixes;
+  prefixes.reserve(hits.size());
+  for (const Address& hit : hits) {
+    prefixes.insert(Prefix::Of(hit, prefix_len));
+  }
+  std::vector<Prefix> out(prefixes.begin(), prefixes.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+Address RandomAddressIn(const Prefix& prefix, std::mt19937_64& rng) {
+  const unsigned host_bits = 128 - prefix.length();
+  U128 value = (static_cast<U128>(rng()) << 64) | rng();
+  if (host_bits < 128) value &= (U128{1} << host_bits) - 1;
+  return Address::FromU128(prefix.network().ToU128() | value);
+}
+
+}  // namespace
+
+bool TestPrefixAliased(scanner::SimulatedScanner& scanner,
+                       const Prefix& prefix, const DealiasConfig& config,
+                       std::mt19937_64& rng) {
+  const unsigned n = std::max(config.addresses_per_prefix, 1u);
+  for (unsigned i = 0; i < n; ++i) {
+    const Address probe_addr = RandomAddressIn(prefix, rng);
+    bool responded = false;
+    for (unsigned p = 0; p < std::max(config.probes_per_address, 1u); ++p) {
+      if (scanner.Probe(probe_addr)) {
+        responded = true;
+        break;
+      }
+    }
+    if (!responded) return false;  // one silent address clears the prefix
+  }
+  return true;
+}
+
+DealiasResult Dealias(scanner::SimulatedScanner& scanner,
+                      const routing::RoutingTable& table,
+                      std::span<const Address> hits,
+                      const DealiasConfig& config) {
+  DealiasResult result;
+  std::mt19937_64 rng(config.rng_seed);
+  const std::size_t probes_before = scanner.TotalProbesSent();
+
+  // Primary pass: classify every hit prefix at config.prefix_len.
+  std::unordered_set<Prefix, ip6::PrefixHash> aliased;
+  const std::vector<Prefix> prefixes = HitPrefixes(hits, config.prefix_len);
+  result.prefixes_tested = prefixes.size();
+  for (const Prefix& prefix : prefixes) {
+    if (TestPrefixAliased(scanner, prefix, config, rng)) {
+      aliased.insert(prefix);
+      result.aliased_prefixes.push_back(prefix);
+    }
+  }
+
+  std::vector<Address> remaining;
+  for (const Address& hit : hits) {
+    if (aliased.contains(Prefix::Of(hit, config.prefix_len))) {
+      result.aliased_hits.push_back(hit);
+    } else {
+      remaining.push_back(hit);
+    }
+  }
+
+  // Refinement pass (paper §6.2): inspect the top ASes among remaining hits
+  // for aliasing at finer granularity; exclude ASes that alias there.
+  std::unordered_set<Asn> excluded;
+  if (config.refine_top_ases > 0 && !remaining.empty()) {
+    std::unordered_map<Asn, std::size_t> by_as;
+    for (const Address& hit : remaining) {
+      if (auto asn = table.OriginAs(hit)) ++by_as[*asn];
+    }
+    std::vector<std::pair<Asn, std::size_t>> ranked(by_as.begin(), by_as.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      return a.second != b.second ? a.second > b.second : a.first < b.first;
+    });
+    if (ranked.size() > config.refine_top_ases) {
+      ranked.resize(config.refine_top_ases);
+    }
+
+    for (const auto& [asn, count] : ranked) {
+      // Sample this AS's hit prefixes at the finer granularity; an AS is
+      // excluded if a majority of its tested fine prefixes alias.
+      std::vector<Address> as_hits;
+      for (const Address& hit : remaining) {
+        if (auto origin = table.OriginAs(hit); origin && *origin == asn) {
+          as_hits.push_back(hit);
+        }
+      }
+      auto fine = HitPrefixes(as_hits, config.refine_prefix_len);
+      if (fine.size() > 16) fine.resize(16);  // manual-inspection budget
+      std::size_t fine_aliased = 0;
+      for (const Prefix& prefix : fine) {
+        if (TestPrefixAliased(scanner, prefix, config, rng)) ++fine_aliased;
+      }
+      if (!fine.empty() && fine_aliased * 2 > fine.size()) {
+        excluded.insert(asn);
+        result.excluded_ases.push_back(asn);
+      }
+    }
+  }
+
+  for (const Address& hit : remaining) {
+    auto asn = table.OriginAs(hit);
+    if (asn && excluded.contains(*asn)) {
+      result.aliased_hits.push_back(hit);
+    } else {
+      result.non_aliased_hits.push_back(hit);
+    }
+  }
+
+  result.probes_sent = scanner.TotalProbesSent() - probes_before;
+  return result;
+}
+
+std::vector<GranularityResult> SweepAliasGranularity(
+    scanner::SimulatedScanner& scanner, std::span<const Address> hits,
+    std::span<const unsigned> prefix_lens, const DealiasConfig& config,
+    std::size_t max_prefixes_per_level) {
+  std::vector<GranularityResult> results;
+  std::mt19937_64 rng(config.rng_seed ^ 0x5c33f);
+  for (unsigned len : prefix_lens) {
+    GranularityResult level;
+    level.prefix_len = len;
+    auto prefixes = HitPrefixes(hits, len);
+    if (max_prefixes_per_level != 0 &&
+        prefixes.size() > max_prefixes_per_level) {
+      prefixes.resize(max_prefixes_per_level);
+    }
+    level.prefixes_tested = prefixes.size();
+    std::unordered_set<Prefix, ip6::PrefixHash> aliased;
+    for (const Prefix& prefix : prefixes) {
+      if (TestPrefixAliased(scanner, prefix, config, rng)) {
+        ++level.prefixes_aliased;
+        aliased.insert(prefix);
+      }
+    }
+    for (const Address& hit : hits) {
+      if (aliased.contains(Prefix::Of(hit, len))) ++level.hits_covered;
+    }
+    results.push_back(level);
+  }
+  return results;
+}
+
+double FalsePositiveProbability(unsigned prefix_len, double responsive,
+                                unsigned addresses) {
+  const double space = std::pow(2.0, 128 - static_cast<int>(prefix_len));
+  const double p_single = std::min(1.0, responsive / space);
+  return std::pow(p_single, static_cast<double>(addresses));
+}
+
+}  // namespace sixgen::dealias

@@ -1,0 +1,111 @@
+// IPv6 alias detection (paper §6.2).
+//
+// The paper's best-effort technique: group responsive targets (hits) into
+// /96 prefixes; for each prefix, pick three random addresses and send three
+// TCP/80 SYNs to each; if all three addresses respond, declare the whole
+// prefix aliased. The probability of falsely flagging a non-aliased /96 is
+// negligible (< 1e-10 even with a million responsive hosts inside).
+//
+// A second, finer pass inspects the top-k ASes among the remaining hits for
+// aliasing at /112 granularity (the paper found Cloudflare and Mittwald
+// aliased at /112) and excludes ASes that alias there.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ip6/address.h"
+#include "ip6/prefix.h"
+#include "routing/routing_table.h"
+#include "scanner/scanner.h"
+
+namespace sixgen::dealias {
+
+struct DealiasConfig {
+  /// Granularity of the primary alias test (the paper uses /96).
+  unsigned prefix_len = 96;
+  /// Random addresses probed per prefix, and probes per address.
+  unsigned addresses_per_prefix = 3;
+  unsigned probes_per_address = 3;
+  /// Finer second pass: test the top `refine_top_ases` ASes (by remaining
+  /// hits) at `refine_prefix_len` granularity; 0 disables the pass.
+  unsigned refine_top_ases = 10;
+  unsigned refine_prefix_len = 112;
+  std::uint64_t rng_seed = 0xa11a5;
+};
+
+/// Split of a hit list into aliased and non-aliased parts.
+struct DealiasResult {
+  std::vector<ip6::Address> aliased_hits;
+  std::vector<ip6::Address> non_aliased_hits;
+
+  /// Prefixes the primary pass classified as aliased / clean.
+  std::vector<ip6::Prefix> aliased_prefixes;
+  std::size_t prefixes_tested = 0;
+
+  /// ASes the refinement pass excluded (aliased at finer granularity).
+  std::vector<routing::Asn> excluded_ases;
+
+  std::size_t probes_sent = 0;
+
+  double AliasedPrefixFraction() const {
+    return prefixes_tested == 0
+               ? 0.0
+               : static_cast<double>(aliased_prefixes.size()) /
+                     static_cast<double>(prefixes_tested);
+  }
+};
+
+/// Groups `hits` by enclosing `prefix_len` prefix.
+std::vector<ip6::Prefix> HitPrefixes(std::span<const ip6::Address> hits,
+                                     unsigned prefix_len);
+
+/// Tests one prefix for aliasing: `addresses_per_prefix` random addresses,
+/// `probes_per_address` probes each; aliased iff every address responded.
+bool TestPrefixAliased(scanner::SimulatedScanner& scanner,
+                       const ip6::Prefix& prefix, const DealiasConfig& config,
+                       std::mt19937_64& rng);
+
+/// Runs the full §6.2 pipeline: /96 classification of every hit prefix,
+/// filtering, then the finer top-AS refinement pass. `table` provides the
+/// origin-AS mapping for the refinement pass and may be the universe's
+/// routing table.
+DealiasResult Dealias(scanner::SimulatedScanner& scanner,
+                      const routing::RoutingTable& table,
+                      std::span<const ip6::Address> hits,
+                      const DealiasConfig& config = {});
+
+/// Analytical false-positive bound from the paper: probability that a
+/// non-aliased prefix with `responsive` live addresses out of 2^(128-len)
+/// gets flagged (all `addresses` random picks responsive on one of
+/// `probes` probes, ignoring loss).
+double FalsePositiveProbability(unsigned prefix_len, double responsive,
+                                unsigned addresses);
+
+/// Result of probing one granularity level of the sweep.
+struct GranularityResult {
+  unsigned prefix_len = 0;
+  std::size_t prefixes_tested = 0;
+  std::size_t prefixes_aliased = 0;
+  std::size_t hits_covered = 0;  // hits inside aliased prefixes of this level
+
+  double AliasedFraction() const {
+    return prefixes_tested == 0
+               ? 0.0
+               : static_cast<double>(prefixes_aliased) /
+                     static_cast<double>(prefixes_tested);
+  }
+};
+
+/// §8 notes the /96 choice "naturally has limitations (such as identifying
+/// smaller-scale aliasing)". This sweep classifies the hit prefixes at
+/// several granularities (e.g. /64, /80, /96, /112) so the aliasing scale
+/// of a network can be located. `max_prefixes_per_level` caps probing cost
+/// per level (0 = unbounded).
+std::vector<GranularityResult> SweepAliasGranularity(
+    scanner::SimulatedScanner& scanner, std::span<const ip6::Address> hits,
+    std::span<const unsigned> prefix_lens, const DealiasConfig& config = {},
+    std::size_t max_prefixes_per_level = 0);
+
+}  // namespace sixgen::dealias

@@ -1,0 +1,178 @@
+#include "entropyip/bayes_net.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace sixgen::entropyip {
+
+namespace {
+
+double Entropy(const std::map<std::size_t, std::size_t>& counts, double total) {
+  double h = 0;
+  for (const auto& [value, count] : counts) {
+    const double p = static_cast<double>(count) / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+double NormalizedMutualInformation(std::span<const std::size_t> x,
+                                   std::span<const std::size_t> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("NMI: column sizes differ");
+  }
+  if (x.empty()) return 0.0;
+  const double total = static_cast<double>(x.size());
+  std::map<std::size_t, std::size_t> cx, cy;
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> cxy;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ++cx[x[i]];
+    ++cy[y[i]];
+    ++cxy[{x[i], y[i]}];
+  }
+  const double hx = Entropy(cx, total);
+  const double hy = Entropy(cy, total);
+  if (hx <= 0.0 || hy <= 0.0) return 0.0;
+  double hxy = 0;
+  for (const auto& [pair, count] : cxy) {
+    const double p = static_cast<double>(count) / total;
+    hxy -= p * std::log2(p);
+  }
+  const double mi = hx + hy - hxy;
+  return std::max(0.0, mi / std::max(hx, hy));
+}
+
+std::size_t BayesNet::JointIndex(const Variable& var,
+                                 std::span<const std::size_t> assignment) const {
+  std::size_t joint = 0;
+  for (std::size_t k = 0; k < var.parents.size(); ++k) {
+    joint = joint * var.parent_domains[k] + assignment[var.parents[k]];
+  }
+  return joint;
+}
+
+BayesNet BayesNet::Learn(std::span<const std::size_t> domain_sizes,
+                         std::span<const std::vector<std::size_t>> rows,
+                         const BayesNetConfig& config) {
+  BayesNet net;
+  const std::size_t n = domain_sizes.size();
+  net.variables_.resize(n);
+
+  // Column views of the training rows.
+  std::vector<std::vector<std::size_t>> columns(n);
+  for (const auto& row : rows) {
+    if (row.size() != n) {
+      throw std::invalid_argument("BayesNet: row width mismatch");
+    }
+    for (std::size_t v = 0; v < n; ++v) columns[v].push_back(row[v]);
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    Variable& var = net.variables_[v];
+    var.domain = std::max<std::size_t>(domain_sizes[v], 1);
+
+    // Greedy parent selection among earlier variables: rank candidates by
+    // NMI, adopt the strongest ones that clear the threshold, are not
+    // redundant against an adopted parent, and keep the CPT bounded.
+    std::vector<std::pair<double, std::size_t>> candidates;
+    for (std::size_t p = 0; p < v; ++p) {
+      const double nmi = NormalizedMutualInformation(columns[p], columns[v]);
+      if (nmi > config.mi_threshold) candidates.emplace_back(nmi, p);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first > b.first
+                                          : a.second < b.second;
+              });
+    std::size_t joint_domain = 1;
+    for (const auto& [nmi, p] : candidates) {
+      if (var.parents.size() >= config.max_parents) break;
+      const std::size_t p_domain = std::max<std::size_t>(domain_sizes[p], 1);
+      if (joint_domain * p_domain > config.max_cpt_rows) continue;
+      bool redundant = false;
+      for (std::size_t adopted : var.parents) {
+        if (NormalizedMutualInformation(columns[adopted], columns[p]) >
+            config.parent_redundancy_nmi) {
+          redundant = true;
+          break;
+        }
+      }
+      if (redundant) continue;
+      var.parents.push_back(p);
+      var.parent_domains.push_back(p_domain);
+      joint_domain *= p_domain;
+    }
+
+    var.cpt.assign(joint_domain,
+                   std::vector<double>(var.domain, config.smoothing));
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      const std::size_t cv = columns[v][r];
+      if (cv >= var.domain) {
+        throw std::invalid_argument("BayesNet: component id out of domain");
+      }
+      std::size_t joint = 0;
+      for (std::size_t k = 0; k < var.parents.size(); ++k) {
+        const std::size_t pv = columns[var.parents[k]][r];
+        if (pv >= var.parent_domains[k]) {
+          throw std::invalid_argument("BayesNet: component id out of domain");
+        }
+        joint = joint * var.parent_domains[k] + pv;
+      }
+      var.cpt[joint][cv] += 1.0;
+    }
+    for (auto& dist : var.cpt) {
+      double total = 0;
+      for (double p : dist) total += p;
+      for (double& p : dist) p /= total;
+    }
+  }
+  return net;
+}
+
+const std::vector<std::size_t>& BayesNet::ParentsOf(std::size_t v) const {
+  return variables_.at(v).parents;
+}
+
+std::optional<std::size_t> BayesNet::ParentOf(std::size_t v) const {
+  const auto& parents = variables_.at(v).parents;
+  if (parents.empty()) return std::nullopt;
+  return parents.front();
+}
+
+std::vector<std::size_t> BayesNet::Sample(std::mt19937_64& rng) const {
+  std::vector<std::size_t> out(variables_.size());
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (std::size_t v = 0; v < variables_.size(); ++v) {
+    const Variable& var = variables_[v];
+    const auto& dist = var.cpt[JointIndex(var, out)];
+    double draw = unit(rng);
+    std::size_t chosen = dist.size() - 1;
+    for (std::size_t i = 0; i < dist.size(); ++i) {
+      draw -= dist[i];
+      if (draw <= 0) {
+        chosen = i;
+        break;
+      }
+    }
+    out[v] = chosen;
+  }
+  return out;
+}
+
+double BayesNet::LogProbability(std::span<const std::size_t> assignment) const {
+  if (assignment.size() != variables_.size()) {
+    throw std::invalid_argument("BayesNet: assignment width mismatch");
+  }
+  double logp = 0;
+  for (std::size_t v = 0; v < variables_.size(); ++v) {
+    const Variable& var = variables_[v];
+    logp += std::log(var.cpt.at(JointIndex(var, assignment)).at(assignment[v]));
+  }
+  return logp;
+}
+
+}  // namespace sixgen::entropyip

@@ -1,0 +1,84 @@
+// Bayesian network over segment components (Entropy/IP stage 3).
+//
+// "Entropy/IP utilizes a Bayesian network to model the statistical
+// dependencies between values of different segments" (Murdock et al. §3.3).
+// Variables are the segments; each variable's domain is its mined component
+// ids. Structure learning is greedy: each segment may adopt up to
+// `max_parents` earlier segments as parents, chosen by normalized mutual
+// information above a threshold (skipping candidates that are themselves
+// near-duplicates of an adopted parent). Conditional probability tables use
+// Laplace smoothing over the joint parent assignment; generation is
+// ancestral sampling in segment order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace sixgen::entropyip {
+
+struct BayesNetConfig {
+  /// Minimum normalized mutual information to adopt a parent.
+  double mi_threshold = 0.2;
+  /// Maximum parents per variable (the original Entropy/IP learns a
+  /// general sparse BN; 2 keeps CPTs small while capturing joint effects).
+  unsigned max_parents = 2;
+  /// Candidates with NMI above this against an already-adopted parent are
+  /// redundant and skipped.
+  double parent_redundancy_nmi = 0.9;
+  /// Cap on the joint parent domain (CPT rows) per variable.
+  std::size_t max_cpt_rows = 256;
+  /// Laplace smoothing pseudo-count for CPT cells.
+  double smoothing = 0.5;
+};
+
+/// A discrete Bayesian network with a bounded number of parents per
+/// variable. Training rows assign one component id per variable.
+class BayesNet {
+ public:
+  /// Learns structure and CPTs. `domain_sizes[v]` is variable v's number of
+  /// component ids; `rows` are complete assignments (row[v] <
+  /// domain_sizes[v]).
+  static BayesNet Learn(std::span<const std::size_t> domain_sizes,
+                        std::span<const std::vector<std::size_t>> rows,
+                        const BayesNetConfig& config = {});
+
+  /// All parents of variable v (indices < v), strongest first.
+  const std::vector<std::size_t>& ParentsOf(std::size_t v) const;
+
+  /// The strongest parent of variable v, if any (convenience).
+  std::optional<std::size_t> ParentOf(std::size_t v) const;
+
+  /// Samples a full assignment by ancestral sampling.
+  std::vector<std::size_t> Sample(std::mt19937_64& rng) const;
+
+  /// Log-probability of a full assignment (for tests and model scoring).
+  double LogProbability(std::span<const std::size_t> assignment) const;
+
+  std::size_t VariableCount() const { return variables_.size(); }
+
+ private:
+  struct Variable {
+    std::vector<std::size_t> parents;  // indices of earlier variables
+    std::vector<std::size_t> parent_domains;
+    std::size_t domain = 1;
+    /// cpt[joint] is the distribution over this variable's domain given
+    /// the joint parent assignment `joint` (mixed-radix over parents; one
+    /// row when parentless).
+    std::vector<std::vector<double>> cpt;
+  };
+
+  std::size_t JointIndex(const Variable& var,
+                         std::span<const std::size_t> assignment) const;
+
+  std::vector<Variable> variables_;
+};
+
+/// Normalized mutual information in [0,1] between two discrete columns
+/// (NMI = I(X;Y) / max(H(X), H(Y)); 0 when either column is constant).
+double NormalizedMutualInformation(std::span<const std::size_t> x,
+                                   std::span<const std::size_t> y);
+
+}  // namespace sixgen::entropyip

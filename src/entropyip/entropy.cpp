@@ -1,0 +1,74 @@
+#include "entropyip/entropy.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sixgen::entropyip {
+
+using ip6::Address;
+using ip6::kNybbles;
+
+double NybbleEntropy(std::span<const Address> addrs, unsigned pos) {
+  if (addrs.empty()) return 0.0;
+  std::array<std::size_t, 16> counts{};
+  for (const Address& addr : addrs) ++counts[addr.Nybble(pos)];
+  const double total = static_cast<double>(addrs.size());
+  double entropy = 0.0;
+  for (std::size_t count : counts) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / total;
+    entropy -= p * std::log2(p);
+  }
+  return entropy / 4.0;  // normalize by log2(16)
+}
+
+std::array<double, kNybbles> NybbleEntropies(std::span<const Address> addrs) {
+  std::array<double, kNybbles> out{};
+  for (unsigned i = 0; i < kNybbles; ++i) out[i] = NybbleEntropy(addrs, i);
+  return out;
+}
+
+std::vector<Segment> SegmentByEntropy(
+    const std::array<double, kNybbles>& entropies,
+    const SegmenterConfig& config) {
+  std::vector<Segment> segments;
+  unsigned start = 0;
+  double sum = entropies[0];
+  for (unsigned i = 1; i < kNybbles; ++i) {
+    const double mean = sum / (i - start);
+    const bool too_long = i - start >= config.max_segment_len;
+    if (too_long || std::abs(entropies[i] - mean) > config.entropy_threshold) {
+      segments.push_back({start, i});
+      start = i;
+      sum = entropies[i];
+    } else {
+      sum += entropies[i];
+    }
+  }
+  segments.push_back({start, kNybbles});
+  return segments;
+}
+
+std::uint64_t SegmentValue(const Address& addr, const Segment& segment) {
+  if (segment.Length() > 16 || segment.end > kNybbles ||
+      segment.start >= segment.end) {
+    throw std::invalid_argument("segment out of range");
+  }
+  std::uint64_t value = 0;
+  for (unsigned i = segment.start; i < segment.end; ++i) {
+    value = (value << 4) | addr.Nybble(i);
+  }
+  return value;
+}
+
+Address WithSegmentValue(const Address& addr, const Segment& segment,
+                         std::uint64_t value) {
+  Address out = addr;
+  for (unsigned i = segment.end; i-- > segment.start;) {
+    out = out.WithNybble(i, static_cast<unsigned>(value & 0xF));
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace sixgen::entropyip

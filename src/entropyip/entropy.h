@@ -1,0 +1,57 @@
+// Per-nybble entropy and entropy-guided segmentation.
+//
+// Stage 1 of Entropy/IP (Foremski, Plonka, Berger — IMC 2016, summarized in
+// Murdock et al. §3.3): compute the Shannon entropy of each of the 32
+// nybbles across the seed set, then group adjacent nybbles with similar
+// entropy levels into segments.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "ip6/address.h"
+
+namespace sixgen::entropyip {
+
+/// Shannon entropy of the value distribution at nybble `pos`, normalized to
+/// [0, 1] (divided by the 4-bit maximum). Empty input yields 0.
+double NybbleEntropy(std::span<const ip6::Address> addrs, unsigned pos);
+
+/// All 32 normalized nybble entropies.
+std::array<double, ip6::kNybbles> NybbleEntropies(
+    std::span<const ip6::Address> addrs);
+
+/// A run of adjacent nybbles treated as one model variable: [start, end).
+struct Segment {
+  unsigned start = 0;
+  unsigned end = 0;
+
+  unsigned Length() const { return end - start; }
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+struct SegmenterConfig {
+  /// Start a new segment when a nybble's entropy differs from the running
+  /// segment mean by more than this.
+  double entropy_threshold = 0.075;
+  /// Maximum segment length in nybbles (so segment values fit in 64 bits).
+  unsigned max_segment_len = 16;
+};
+
+/// Groups adjacent nybbles of similar entropy into segments covering
+/// [0, 32) contiguously.
+std::vector<Segment> SegmentByEntropy(
+    const std::array<double, ip6::kNybbles>& entropies,
+    const SegmenterConfig& config = {});
+
+/// Extracts the segment's value from an address: its nybbles read as an
+/// unsigned integer (most significant nybble first). Length must be <= 16.
+std::uint64_t SegmentValue(const ip6::Address& addr, const Segment& segment);
+
+/// Writes `value` into the address's segment nybbles.
+ip6::Address WithSegmentValue(const ip6::Address& addr, const Segment& segment,
+                              std::uint64_t value);
+
+}  // namespace sixgen::entropyip

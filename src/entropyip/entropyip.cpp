@@ -1,0 +1,91 @@
+#include "entropyip/entropyip.h"
+
+#include <algorithm>
+
+namespace sixgen::entropyip {
+
+using ip6::Address;
+
+EntropyIpModel EntropyIpModel::Fit(std::span<const Address> seeds,
+                                   const FitConfig& config) {
+  EntropyIpModel model;
+  model.seed_set_.insert(seeds.begin(), seeds.end());
+
+  model.entropies_ = NybbleEntropies(seeds);
+  model.segments_ = SegmentByEntropy(model.entropies_, config.segmenter);
+
+  // Mine per-segment components.
+  std::vector<std::vector<std::uint64_t>> segment_values(
+      model.segments_.size());
+  for (std::size_t s = 0; s < model.segments_.size(); ++s) {
+    segment_values[s].reserve(seeds.size());
+    for (const Address& seed : seeds) {
+      segment_values[s].push_back(SegmentValue(seed, model.segments_[s]));
+    }
+    model.models_.push_back(SegmentModel::Fit(
+        model.segments_[s], segment_values[s], config.segment_model));
+  }
+
+  // Training rows: each seed's component-id assignment per segment.
+  std::vector<std::vector<std::size_t>> rows;
+  rows.reserve(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    std::vector<std::size_t> row(model.segments_.size());
+    bool complete = true;
+    for (std::size_t s = 0; s < model.segments_.size(); ++s) {
+      auto comp = model.models_[s].ComponentOf(segment_values[s][i]);
+      if (!comp) {
+        complete = false;
+        break;
+      }
+      row[s] = *comp;
+    }
+    if (complete) rows.push_back(std::move(row));
+  }
+
+  std::vector<std::size_t> domains;
+  domains.reserve(model.models_.size());
+  for (const SegmentModel& sm : model.models_) {
+    domains.push_back(sm.components().size());
+  }
+  model.net_ = BayesNet::Learn(domains, rows, config.bayes_net);
+  return model;
+}
+
+Address EntropyIpModel::SampleAddress(std::mt19937_64& rng) const {
+  const std::vector<std::size_t> assignment = net_.Sample(rng);
+  Address out;
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    const std::uint64_t value = models_[s].SampleValue(assignment[s], rng);
+    out = WithSegmentValue(out, segments_[s], value);
+  }
+  return out;
+}
+
+std::vector<Address> EntropyIpModel::GenerateTargets(
+    const GenerateConfig& config) const {
+  std::mt19937_64 rng(config.rng_seed);
+  ip6::AddressSet seen;
+  std::vector<Address> out;
+  out.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(config.budget, 1u << 24)));
+
+  // The model's support may hold fewer unique addresses than the budget;
+  // a long run of consecutive duplicate draws signals exhaustion.
+  std::uint64_t consecutive_failures = 0;
+  const std::uint64_t give_up =
+      std::max<std::uint64_t>(100'000, config.attempts_per_target * 1000);
+  while (out.size() < config.budget && consecutive_failures < give_up) {
+    const Address addr = SampleAddress(rng);
+    if ((config.exclude_seeds && seed_set_.contains(addr)) ||
+        !seen.insert(addr).second) {
+      ++consecutive_failures;
+      continue;
+    }
+    consecutive_failures = 0;
+    out.push_back(addr);
+  }
+  return out;
+}
+
+}  // namespace sixgen::entropyip

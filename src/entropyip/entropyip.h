@@ -1,0 +1,70 @@
+// Entropy/IP facade: fit a model on seeds, generate scan targets.
+//
+// Pipeline (Foremski et al., IMC 2016): nybble entropies -> entropy-guided
+// segmentation -> per-segment value mining -> Bayesian network over segment
+// components -> ancestral sampling of target addresses.
+//
+// Note the design contrast the paper draws (§7.1): Entropy/IP "uses the
+// budget only to adjust the number of targets generated" — the model is
+// budget-independent, and targets are sampled one at a time. This is what
+// produces its smooth hit-vs-budget curves next to 6Gen's density-driven
+// jumps.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "entropyip/bayes_net.h"
+#include "entropyip/entropy.h"
+#include "entropyip/segment_model.h"
+#include "ip6/address.h"
+
+namespace sixgen::entropyip {
+
+struct FitConfig {
+  SegmenterConfig segmenter;
+  SegmentModelConfig segment_model;
+  BayesNetConfig bayes_net;
+};
+
+struct GenerateConfig {
+  /// Number of unique targets to emit (the probe budget).
+  std::uint64_t budget = 1'000'000;
+  /// Skip addresses that were in the training seed set.
+  bool exclude_seeds = false;
+  /// Sampling attempts per requested target before giving up (the model's
+  /// support may be smaller than the budget).
+  std::uint64_t attempts_per_target = 64;
+  std::uint64_t rng_seed = 0xe17'0b1a5;
+};
+
+/// A fitted Entropy/IP model.
+class EntropyIpModel {
+ public:
+  /// Fits segmentation, per-segment components, and the Bayesian network.
+  static EntropyIpModel Fit(std::span<const ip6::Address> seeds,
+                            const FitConfig& config = {});
+
+  /// Samples unique target addresses from the model.
+  std::vector<ip6::Address> GenerateTargets(const GenerateConfig& config) const;
+
+  /// Samples a single address.
+  ip6::Address SampleAddress(std::mt19937_64& rng) const;
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  const std::vector<SegmentModel>& segment_models() const { return models_; }
+  const BayesNet& bayes_net() const { return net_; }
+  const std::array<double, ip6::kNybbles>& entropies() const {
+    return entropies_;
+  }
+
+ private:
+  std::array<double, ip6::kNybbles> entropies_{};
+  std::vector<Segment> segments_;
+  std::vector<SegmentModel> models_;
+  BayesNet net_;
+  ip6::AddressSet seed_set_;
+};
+
+}  // namespace sixgen::entropyip

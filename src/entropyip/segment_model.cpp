@@ -1,0 +1,117 @@
+#include "entropyip/segment_model.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace sixgen::entropyip {
+
+SegmentModel SegmentModel::Fit(const Segment& segment,
+                               std::span<const std::uint64_t> values,
+                               const SegmentModelConfig& config) {
+  SegmentModel model;
+  model.segment_ = segment;
+  if (values.empty()) {
+    model.components_.push_back(
+        {ValueComponent::Kind::kExact, 0, 0, 1.0});
+    return model;
+  }
+
+  std::map<std::uint64_t, std::size_t> counts;
+  for (std::uint64_t v : values) ++counts[v];
+  const double total = static_cast<double>(values.size());
+
+  // Exact components: the most frequent values above the support floor.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ranked(counts.begin(),
+                                                            counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  std::vector<std::uint64_t> exact;
+  for (const auto& [value, count] : ranked) {
+    if (exact.size() >= config.max_exact_components) break;
+    if (static_cast<double>(count) / total < config.min_exact_support) break;
+    exact.push_back(value);
+    model.components_.push_back({ValueComponent::Kind::kExact, value, value,
+                                 static_cast<double>(count) / total});
+  }
+
+  // Residual values: contiguous ranges split at large gaps.
+  std::vector<std::pair<std::uint64_t, std::size_t>> residual;
+  for (const auto& [value, count] : counts) {
+    if (std::find(exact.begin(), exact.end(), value) == exact.end()) {
+      residual.emplace_back(value, count);
+    }
+  }
+  if (!residual.empty()) {
+    const std::uint64_t span =
+        residual.back().first - residual.front().first + 1;
+    const double mean_gap =
+        static_cast<double>(span) / static_cast<double>(residual.size());
+    const double gap_limit = std::max(16.0, config.gap_factor * mean_gap);
+
+    std::size_t cluster_start = 0;
+    std::size_t cluster_count = residual.front().second;
+    for (std::size_t i = 1; i <= residual.size(); ++i) {
+      const bool flush =
+          i == residual.size() ||
+          static_cast<double>(residual[i].first - residual[i - 1].first) >
+              gap_limit;
+      if (flush) {
+        model.components_.push_back(
+            {ValueComponent::Kind::kRange, residual[cluster_start].first,
+             residual[i - 1].first,
+             static_cast<double>(cluster_count) / total});
+        if (i < residual.size()) {
+          cluster_start = i;
+          cluster_count = residual[i].second;
+        }
+      } else {
+        cluster_count += residual[i].second;
+      }
+    }
+  }
+  return model;
+}
+
+std::optional<std::size_t> SegmentModel::ComponentOf(
+    std::uint64_t value) const {
+  // Exact components take priority over a range that happens to cover the
+  // same value.
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i].kind == ValueComponent::Kind::kExact &&
+        components_[i].lo == value) {
+      return i;
+    }
+  }
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i].kind == ValueComponent::Kind::kRange &&
+        components_[i].Contains(value)) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t SegmentModel::SampleValue(std::size_t id,
+                                        std::mt19937_64& rng) const {
+  const ValueComponent& comp = components_.at(id);
+  if (comp.kind == ValueComponent::Kind::kExact) return comp.lo;
+  return comp.lo + rng() % comp.Width();
+}
+
+std::size_t SegmentModel::SampleComponent(std::mt19937_64& rng) const {
+  if (components_.empty()) {
+    throw std::logic_error("SegmentModel has no components");
+  }
+  double total = 0;
+  for (const ValueComponent& c : components_) total += c.probability;
+  double draw = std::uniform_real_distribution<double>(0.0, total)(rng);
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    draw -= components_[i].probability;
+    if (draw <= 0) return i;
+  }
+  return components_.size() - 1;
+}
+
+}  // namespace sixgen::entropyip

@@ -1,0 +1,68 @@
+// Per-segment value mining (Entropy/IP stage 2).
+//
+// For each segment, Entropy/IP clusters the observed segment values along
+// several metrics: frequent discrete values become exact components, and
+// the residual values are grouped into contiguous ranges sampled uniformly.
+// The Bayesian network (bayes_net.h) then models dependencies between the
+// *component ids* of different segments.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "entropyip/entropy.h"
+
+namespace sixgen::entropyip {
+
+/// One mined value component of a segment.
+struct ValueComponent {
+  enum class Kind { kExact, kRange };
+  Kind kind = Kind::kExact;
+  std::uint64_t lo = 0;  // exact value, or range low
+  std::uint64_t hi = 0;  // == lo for exact; range high (inclusive)
+  double probability = 0.0;  // marginal probability mass
+
+  std::uint64_t Width() const { return hi - lo + 1; }
+  bool Contains(std::uint64_t v) const { return v >= lo && v <= hi; }
+};
+
+struct SegmentModelConfig {
+  /// Values with at least this frequency share become exact components.
+  double min_exact_support = 0.05;
+  /// At most this many exact components per segment (most frequent first).
+  std::size_t max_exact_components = 16;
+  /// Residual values are split into ranges wherever the gap between
+  /// neighboring values exceeds gap_factor * (span / residual_count).
+  double gap_factor = 8.0;
+};
+
+/// The mined component mixture for one segment.
+class SegmentModel {
+ public:
+  /// Mines components from the observed `values` of one segment.
+  static SegmentModel Fit(const Segment& segment,
+                          std::span<const std::uint64_t> values,
+                          const SegmentModelConfig& config = {});
+
+  const Segment& segment() const { return segment_; }
+  const std::vector<ValueComponent>& components() const { return components_; }
+
+  /// Component id that `value` belongs to (exact match first, then the
+  /// covering range); std::nullopt for unseen values outside all ranges.
+  std::optional<std::size_t> ComponentOf(std::uint64_t value) const;
+
+  /// Draws a value from component `id` (uniform within a range component).
+  std::uint64_t SampleValue(std::size_t id, std::mt19937_64& rng) const;
+
+  /// Draws a component id from the marginal mixture.
+  std::size_t SampleComponent(std::mt19937_64& rng) const;
+
+ private:
+  Segment segment_;
+  std::vector<ValueComponent> components_;
+};
+
+}  // namespace sixgen::entropyip

@@ -1,0 +1,84 @@
+#include "eval/budget_alloc.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sixgen::eval {
+
+using ip6::U128;
+
+std::string_view BudgetPolicyName(BudgetPolicy policy) {
+  switch (policy) {
+    case BudgetPolicy::kUniform: return "uniform";
+    case BudgetPolicy::kSeedProportional: return "seed-proportional";
+    case BudgetPolicy::kSqrtSeeds: return "sqrt-seeds";
+    case BudgetPolicy::kPrefixSizeWeighted: return "prefix-size-weighted";
+  }
+  return "unknown";
+}
+
+std::vector<U128> AllocateBudgets(std::span<const routing::SeedGroup> groups,
+                                  U128 total_budget, BudgetPolicy policy,
+                                  U128 floor_per_prefix) {
+  std::vector<U128> budgets(groups.size(), 0);
+  if (groups.empty() || total_budget == 0) return budgets;
+
+  // Clamp the floor so floors alone never exceed the total.
+  U128 floor = floor_per_prefix;
+  if (floor * groups.size() > total_budget) {
+    floor = total_budget / groups.size();
+  }
+  U128 distributable = total_budget - floor * groups.size();
+
+  // Per-group weights.
+  std::vector<double> weights(groups.size(), 1.0);
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const auto seeds = static_cast<double>(groups[i].seeds.size());
+    switch (policy) {
+      case BudgetPolicy::kUniform:
+        weights[i] = 1.0;
+        break;
+      case BudgetPolicy::kSeedProportional:
+        weights[i] = seeds;
+        break;
+      case BudgetPolicy::kSqrtSeeds:
+        weights[i] = std::sqrt(seeds);
+        break;
+      case BudgetPolicy::kPrefixSizeWeighted:
+        // log2 of the routed prefix's address count = 128 - length; weight
+        // bigger prefixes more, but only logarithmically.
+        weights[i] =
+            static_cast<double>(128 - groups[i].route.prefix.length());
+        break;
+    }
+  }
+  double weight_total = 0;
+  for (double w : weights) weight_total += w;
+  if (weight_total <= 0) weight_total = static_cast<double>(groups.size());
+
+  // Largest-remainder apportionment keeps the sum exactly bounded.
+  U128 assigned = 0;
+  std::vector<std::pair<double, std::size_t>> remainders;
+  remainders.reserve(groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const double exact = static_cast<double>(distributable) * weights[i] /
+                         weight_total;
+    const U128 share = static_cast<U128>(exact);
+    budgets[i] = floor + share;
+    assigned += share;
+    remainders.emplace_back(exact - static_cast<double>(share), i);
+  }
+  std::sort(remainders.begin(), remainders.end(), [](const auto& a,
+                                                     const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  U128 leftover = distributable - assigned;
+  for (const auto& [frac, index] : remainders) {
+    if (leftover == 0) break;
+    ++budgets[index];
+    --leftover;
+  }
+  return budgets;
+}
+
+}  // namespace sixgen::eval

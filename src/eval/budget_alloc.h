@@ -1,0 +1,46 @@
+// Per-prefix probe-budget allocation policies — the paper's §8 open
+// question:
+//
+//   "we employed 6Gen with an identical budget for all routed prefixes.
+//    However, it might be natural to allocate budgets differently … a
+//    routed prefix's budget could be dependent on the number of seeds
+//    within, or the size of the prefix itself. This may heavily skew the
+//    target generation towards denser networks though, trading off
+//    diversity for number of active addresses found."
+//
+// Four policies are provided, and bench_ablation_budget_alloc measures the
+// diversity-vs-volume trade-off they induce.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "ip6/address.h"
+#include "routing/routing_table.h"
+
+namespace sixgen::eval {
+
+enum class BudgetPolicy {
+  kUniform,           // the paper's default: equal budget per routed prefix
+  kSeedProportional,  // budget proportional to the prefix's seed count
+  kSqrtSeeds,         // proportional to sqrt(seeds): a volume/diversity blend
+  kPrefixSizeWeighted,// weighted by log2 of the routed prefix's size
+};
+
+std::string_view BudgetPolicyName(BudgetPolicy policy);
+
+inline constexpr BudgetPolicy kAllBudgetPolicies[] = {
+    BudgetPolicy::kUniform, BudgetPolicy::kSeedProportional,
+    BudgetPolicy::kSqrtSeeds, BudgetPolicy::kPrefixSizeWeighted};
+
+/// Splits `total_budget` over the seed groups according to `policy`.
+/// Every group with at least one seed receives at least `floor_per_prefix`
+/// (clamped so floors alone never exceed the total). The returned budgets
+/// align with `groups` by index and sum to at most `total_budget`.
+std::vector<ip6::U128> AllocateBudgets(
+    std::span<const routing::SeedGroup> groups, ip6::U128 total_budget,
+    BudgetPolicy policy, ip6::U128 floor_per_prefix = 16);
+
+}  // namespace sixgen::eval

@@ -1,0 +1,59 @@
+#include "eval/csv.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace sixgen::eval {
+namespace {
+
+// Renders a U128 counter; values beyond uint64 are saturated with a '+'
+// suffix (range sizes can exceed any realistic CSV consumer's integers).
+std::string CounterText(ip6::U128 value) {
+  constexpr ip6::U128 kMax = ~std::uint64_t{0};
+  if (value > kMax) {
+    return std::to_string(~std::uint64_t{0}) + "+";
+  }
+  return std::to_string(static_cast<std::uint64_t>(value));
+}
+
+}  // namespace
+
+void WritePrefixOutcomesCsv(std::ostream& out, const PipelineResult& result) {
+  out << "prefix,asn,seeds,inactive_seeds,targets,raw_hits,"
+         "singleton_clusters,grown_clusters,iterations,generation_seconds\n";
+  for (const PrefixOutcome& outcome : result.prefixes) {
+    out << outcome.route.prefix.ToString() << ',' << outcome.route.origin
+        << ',' << outcome.seed_count << ',' << outcome.inactive_seed_count
+        << ',' << outcome.target_count << ',' << outcome.hit_count << ','
+        << outcome.cluster_stats.singleton_clusters << ','
+        << outcome.cluster_stats.grown_clusters << ',' << outcome.iterations
+        << ',' << outcome.generation_seconds << '\n';
+  }
+}
+
+std::string PrefixOutcomesCsv(const PipelineResult& result) {
+  std::ostringstream out;
+  WritePrefixOutcomesCsv(out, result);
+  return out.str();
+}
+
+void WriteGrowthTraceCsv(std::ostream& out,
+                         std::span<const core::GrowthStep> trace) {
+  out << "iteration,range,seeds_in_range,range_size,budget_cost,"
+         "budget_used,clusters_deleted\n";
+  for (const core::GrowthStep& step : trace) {
+    out << step.iteration << ',' << step.grown_range.ToString() << ','
+        << step.seed_count << ',' << CounterText(step.range_size) << ','
+        << CounterText(step.budget_cost) << ','
+        << CounterText(step.budget_used) << ',' << step.clusters_deleted
+        << '\n';
+  }
+}
+
+std::string GrowthTraceCsv(std::span<const core::GrowthStep> trace) {
+  std::ostringstream out;
+  WriteGrowthTraceCsv(out, trace);
+  return out.str();
+}
+
+}  // namespace sixgen::eval

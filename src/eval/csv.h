@@ -1,0 +1,30 @@
+// CSV export of evaluation artifacts: per-routed-prefix pipeline outcomes
+// (the rows behind Figs. 5-7) and 6Gen growth traces (the §7.1 budget-
+// response curve, one region acquisition per row). The CSV is the shape a
+// measurement researcher feeds into their plotting pipeline.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "core/generator.h"
+#include "eval/pipeline.h"
+
+namespace sixgen::eval {
+
+/// Writes one row per routed prefix:
+/// prefix,asn,seeds,inactive_seeds,targets,raw_hits,singleton_clusters,
+/// grown_clusters,iterations,generation_seconds
+void WritePrefixOutcomesCsv(std::ostream& out, const PipelineResult& result);
+std::string PrefixOutcomesCsv(const PipelineResult& result);
+
+/// Writes one row per committed 6Gen growth:
+/// iteration,range,seeds_in_range,range_size,budget_cost,budget_used,
+/// clusters_deleted
+/// (range sizes above 2^64 are written saturated as "18446744073709551615+")
+void WriteGrowthTraceCsv(std::ostream& out,
+                         std::span<const core::GrowthStep> trace);
+std::string GrowthTraceCsv(std::span<const core::GrowthStep> trace);
+
+}  // namespace sixgen::eval

@@ -1,0 +1,421 @@
+#include "eval/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <random>
+
+namespace sixgen::eval {
+
+using ip6::Address;
+using ip6::Prefix;
+using routing::Asn;
+using simnet::AllocationPolicy;
+using simnet::AsSpec;
+using simnet::HostType;
+using simnet::NetworkSpec;
+using simnet::SeedRecord;
+using simnet::Universe;
+using simnet::UniverseSpec;
+
+namespace {
+
+NetworkSpec HostingNetwork(const std::string& prefix_text, Asn asn,
+                           std::size_t hosts, double host_factor,
+                           std::vector<std::pair<AllocationPolicy, double>> mix,
+                           unsigned subnet_len = 64,
+                           std::size_t subnet_count = 14) {
+  NetworkSpec net;
+  net.prefix = Prefix::MustParse(prefix_text);
+  net.asn = asn;
+  net.subnet_len = subnet_len;
+  net.subnet_count = subnet_count;
+  net.host_count = std::max<std::size_t>(
+      4, static_cast<std::size_t>(static_cast<double>(hosts) * host_factor));
+  net.policy_mix = std::move(mix);
+  return net;
+}
+
+}  // namespace
+
+Universe MakeEvalUniverse(std::uint64_t rng_seed, const EvalScale& scale) {
+  UniverseSpec spec;
+  const double hf = scale.host_factor;
+
+  // --- Named providers, shaped after Table 1 ---------------------------
+  // Seed-heavy hosting ASes (Table 1a): dense structured allocation.
+  struct NamedAs {
+    Asn asn;
+    const char* name;
+    const char* prefix;
+    std::size_t hosts;
+    std::vector<std::pair<AllocationPolicy, double>> mix;
+  };
+  const std::vector<NamedAs> hosting = {
+      {63949, "Linode", "2600:3c00::/32", 2600,
+       {{AllocationPolicy::kLowByte, 0.7}, {AllocationPolicy::kSequential, 0.3}}},
+      {16509, "Amazon", "2406:da00::/32", 2400,
+       {{AllocationPolicy::kSubnetStructured, 0.5},
+        {AllocationPolicy::kPrivacyRandom, 0.5}}},
+      {20773, "HostEurope", "2a01:488::/32", 2000,
+       {{AllocationPolicy::kLowByte, 0.6}, {AllocationPolicy::kPortEmbedded, 0.4}}},
+      {3320, "DTAG", "2003::/19", 1750,
+       {{AllocationPolicy::kEui64, 0.6}, {AllocationPolicy::kPrivacyRandom, 0.4}}},
+      {12824, "home.pl", "2a02:2f80::/28", 1600,
+       {{AllocationPolicy::kLowByte, 0.8}, {AllocationPolicy::kSequential, 0.2}}},
+      {25532, "Masterhost", "2a00:15f8::/32", 1550,
+       {{AllocationPolicy::kSequential, 0.7}, {AllocationPolicy::kLowByte, 0.3}}},
+      {6939, "Hurricane", "2001:470::/32", 1300,
+       {{AllocationPolicy::kLowByte, 0.5}, {AllocationPolicy::kHexWords, 0.5}}},
+      {47490, "TuxBox", "2a03:f80::/32", 900,
+       {{AllocationPolicy::kLowByte, 1.0}}},
+      {8560, "OneAndOne", "2001:8d8::/32", 720,
+       {{AllocationPolicy::kSubnetStructured, 0.8},
+        {AllocationPolicy::kSequential, 0.2}}},
+      {16276, "OVH", "2001:41d0::/32", 1200,
+       {{AllocationPolicy::kLowByte, 0.7}, {AllocationPolicy::kSequential, 0.3}}},
+      {24940, "Hetzner", "2a01:4f8::/29", 1100,
+       {{AllocationPolicy::kLowByte, 0.6}, {AllocationPolicy::kPortEmbedded, 0.4}}},
+      {14618, "Amazon-East", "2600:1f00::/24", 1000,
+       {{AllocationPolicy::kSubnetStructured, 0.7},
+        {AllocationPolicy::kSequential, 0.3}}},
+      {25560, "RH-TEC", "2a01:170::/32", 640,
+       {{AllocationPolicy::kLowByte, 1.0}}},
+      {25234, "Globe", "2a02:af8::/32", 560,
+       {{AllocationPolicy::kSequential, 1.0}}},
+      {26496, "GoDaddy", "2603:3000::/24", 520,
+       {{AllocationPolicy::kLowByte, 0.9}, {AllocationPolicy::kHexWords, 0.1}}},
+      {58010, "Uvensys", "2a00:f820::/32", 420,
+       {{AllocationPolicy::kLowByte, 1.0}}},
+      {14061, "DigitalOcean", "2604:a880::/32", 800,
+       {{AllocationPolicy::kSequential, 0.6}, {AllocationPolicy::kLowByte, 0.4}}},
+      {15169, "Google", "2607:f8b0::/32", 700,
+       {{AllocationPolicy::kSubnetStructured, 1.0}}},
+      {209, "CenturyLink", "2602::/24", 460,
+       {{AllocationPolicy::kEui64, 0.5}, {AllocationPolicy::kLowByte, 0.5}}},
+      {3257, "GTT", "2001:668::/32", 420,
+       {{AllocationPolicy::kLowByte, 0.7}, {AllocationPolicy::kEui64, 0.3}}},
+      {54113, "Fastly", "2a04:4e40::/32", 430,
+       {{AllocationPolicy::kSubnetStructured, 1.0}}},
+      {2828, "XO", "2001:4870::/32", 300,
+       {{AllocationPolicy::kEui64, 1.0}}},
+      {13189, "Lidero", "2a02:e980::/32", 280,
+       {{AllocationPolicy::kLowByte, 1.0}}},
+  };
+  for (const NamedAs& as_def : hosting) {
+    AsSpec as_spec;
+    as_spec.asn = as_def.asn;
+    as_spec.name = as_def.name;
+    as_spec.networks.push_back(HostingNetwork(
+        as_def.prefix, as_def.asn, as_def.hosts, hf, as_def.mix));
+    spec.ases.push_back(std::move(as_spec));
+  }
+
+  // --- Aliased providers (§6.2) ----------------------------------------
+  // Akamai: a modest number of seeds, but vast fully-aliased regions — over
+  // half of all aliased hits in the paper. Each routed prefix keeps all its
+  // structured /56 subnets inside one aliased /52, so the dense regions
+  // 6Gen discovers are wholly aliased and the whole per-prefix budget turns
+  // into aliased hits.
+  {
+    AsSpec akamai;
+    akamai.asn = 20940;
+    akamai.name = "Akamai";
+    const char* akamai_prefixes[] = {"2600:1400::/32", "2600:1401::/32",
+                                     "2600:1402::/32", "2600:1403::/32",
+                                     "2600:1404::/32"};
+    for (const char* p : akamai_prefixes) {
+      NetworkSpec net = HostingNetwork(
+          p, 20940, 260, hf,
+          {{AllocationPolicy::kLowByte, 0.5},
+           {AllocationPolicy::kSequential, 0.25},
+           {AllocationPolicy::kPrivacyRandom, 0.25}},
+          56, 12);
+      net.structured_subnet_fraction = 1.0;  // subnets share one /52
+      net.aliased_region_lens = {52};
+      akamai.networks.push_back(std::move(net));
+    }
+    spec.ases.push_back(std::move(akamai));
+  }
+  // Amazon CloudFront-style: fully-aliased /52s in some routed prefixes,
+  // clean hosting elsewhere (the paper notes AS-16509 had both, so AS-level
+  // alias filtering would be too coarse).
+  {
+    AsSpec amazon_cf;
+    amazon_cf.asn = 16509;  // additional networks of the same AS
+    amazon_cf.name = "Amazon";
+    const char* cf_prefixes[] = {"2600:9000::/32", "2600:9001::/32",
+                                 "2600:9002::/32"};
+    for (const char* p : cf_prefixes) {
+      NetworkSpec net = HostingNetwork(
+          p, 16509, 220, hf,
+          {{AllocationPolicy::kSubnetStructured, 0.45},
+           {AllocationPolicy::kLowByte, 0.3},
+           {AllocationPolicy::kPrivacyRandom, 0.25}},
+          56, 10);
+      net.structured_subnet_fraction = 1.0;
+      net.aliased_region_lens = {52};
+      amazon_cf.networks.push_back(std::move(net));
+    }
+    spec.ases.push_back(std::move(amazon_cf));
+  }
+  // Cloudflare: aliased at /112 granularity — finer than the /96 pass can
+  // see, so only the top-AS refinement catches it. Diverse subnets and a
+  // mixed policy keep 6Gen growing clusters (and spending budget) inside
+  // the aliased /112s, making the AS a top hitter as in the paper, where
+  // Cloudflare led the post-/96 hit ranking.
+  {
+    AsSpec cloudflare;
+    cloudflare.asn = 13335;
+    cloudflare.name = "Cloudflare";
+    NetworkSpec net = HostingNetwork(
+        "2606:4700::/32", 13335, 900, hf,
+        {{AllocationPolicy::kLowByte, 0.5},
+         {AllocationPolicy::kSequential, 0.3},
+         {AllocationPolicy::kPortEmbedded, 0.2}},
+        64, 14);
+    net.structured_subnet_fraction = 1.0;
+    net.aliased_region_lens.assign(28, 112);
+    cloudflare.networks.push_back(std::move(net));
+    spec.ases.push_back(std::move(cloudflare));
+  }
+  // Mittwald: the other /112-aliased AS the paper found.
+  {
+    AsSpec mittwald;
+    mittwald.asn = 15817;
+    mittwald.name = "Mittwald";
+    NetworkSpec net = HostingNetwork(
+        "2a00:e10::/32", 15817, 450, hf,
+        {{AllocationPolicy::kLowByte, 0.6},
+         {AllocationPolicy::kSequential, 0.4}},
+        64, 8);
+    net.structured_subnet_fraction = 1.0;
+    net.aliased_region_lens.assign(16, 112);
+    mittwald.networks.push_back(std::move(net));
+    spec.ases.push_back(std::move(mittwald));
+  }
+
+  // --- Filler ASes -------------------------------------------------------
+  // Small access/hosting networks; a ~2% sliver gets aliased regions so
+  // aliasing stays concentrated in few ASes (paper: 140 of 7,421 ASes).
+  std::mt19937_64 rng(rng_seed ^ 0xf111e5);
+  for (std::size_t i = 0; i < scale.filler_ases; ++i) {
+    AsSpec filler;
+    filler.asn = static_cast<Asn>(64512 + i);
+    filler.name = "FillerNet-" + std::to_string(i);
+    // Spread filler prefixes across 2400::/6 space deterministically.
+    const std::uint64_t hi =
+        0x2400'0000'0000'0000ULL | (static_cast<std::uint64_t>(i) << 32);
+    NetworkSpec net;
+    net.prefix = Prefix::Make(Address(hi, 0), 32);
+    net.asn = filler.asn;
+    net.subnet_len = 64;
+    net.subnet_count = 3 + i % 8;
+    net.host_count = std::max<std::size_t>(
+        6, static_cast<std::size_t>(
+               static_cast<double>(12 + (i * 37) % 160) * hf));
+    const AllocationPolicy policies[] = {
+        AllocationPolicy::kLowByte, AllocationPolicy::kSequential,
+        AllocationPolicy::kSubnetStructured, AllocationPolicy::kEui64,
+        AllocationPolicy::kPrivacyRandom, AllocationPolicy::kHexWords,
+        AllocationPolicy::kPortEmbedded};
+    net.policy_mix = {{policies[i % std::size(policies)], 0.8},
+                      {policies[(i + 3) % std::size(policies)], 0.2}};
+    if (i % 50 == 17) net.aliased_region_lens = {96};  // the ~2% sliver
+    filler.networks.push_back(std::move(net));
+    spec.ases.push_back(std::move(filler));
+  }
+
+  return Universe::Synthesize(spec, rng_seed);
+}
+
+std::vector<SeedRecord> MakeDnsSeeds(const Universe& universe,
+                                     std::uint64_t rng_seed, double coverage) {
+  return simnet::SampleSeeds(universe, coverage, rng_seed);
+}
+
+CdnDataset MakeCdnDataset(unsigned index, std::uint64_t rng_seed,
+                          std::size_t dataset_size) {
+  if (index < 1 || index > kCdnCount) {
+    throw std::invalid_argument("CDN index must be 1..5");
+  }
+  UniverseSpec spec;
+  AsSpec cdn_as;
+  cdn_as.asn = 64000 + index;
+  cdn_as.name = "CDN" + std::to_string(index);
+  NetworkSpec net;
+  net.asn = cdn_as.asn;
+  net.web_fraction = 1.0;
+  net.ns_fraction = 0.0;
+  net.mail_fraction = 0.0;
+
+  // Active population is ~3x the dataset sample, so there is headroom for
+  // a TGA to discover addresses beyond the seeds.
+  const std::size_t active = dataset_size * 3;
+
+  switch (index) {
+    case 1:
+      // Unpredictable: privacy-random IIDs over many random /64s. Both
+      // algorithms fail here (paper: neither found significant hits).
+      net.prefix = Prefix::MustParse("2a0e:b100::/32");
+      net.subnet_len = 64;
+      net.subnet_count = 4096;
+      net.structured_subnet_fraction = 0.0;
+      net.policy_mix = {{AllocationPolicy::kPrivacyRandom, 1.0}};
+      net.host_count = active;
+      break;
+    case 2:
+      // Hard: EUI-64 across many subnets — sparse structure; single-digit
+      // percent recovery (paper Fig. 8a tops out below 3%).
+      net.prefix = Prefix::MustParse("2a0e:b200::/32");
+      net.subnet_len = 64;
+      net.subnet_count = 512;
+      net.structured_subnet_fraction = 0.4;
+      net.policy_mix = {{AllocationPolicy::kEui64, 0.8},
+                        {AllocationPolicy::kPrivacyRandom, 0.2}};
+      net.host_count = active;
+      break;
+    case 3:
+      // Intermediate: structured subnets, sequential IIDs over moderate
+      // ranges.
+      net.prefix = Prefix::MustParse("2a0e:b300::/32");
+      net.subnet_len = 60;
+      net.subnet_count = 48;
+      net.structured_subnet_fraction = 0.9;
+      net.policy_mix = {{AllocationPolicy::kSequential, 0.7},
+                        {AllocationPolicy::kSubnetStructured, 0.3}};
+      net.host_count = active;
+      break;
+    case 4:
+      // Highly structured and extensively aliased: dense low-byte IIDs in
+      // a handful of subnets (paper: 6Gen >99% train-test; removed from
+      // Fig. 9b because it aliased).
+      net.prefix = Prefix::MustParse("2a0e:b400::/32");
+      net.subnet_len = 56;
+      net.subnet_count = 6;
+      net.structured_subnet_fraction = 1.0;
+      net.policy_mix = {{AllocationPolicy::kLowByte, 1.0}};
+      net.host_count = active;
+      net.aliased_region_lens = {64, 64, 64};
+      break;
+    case 5:
+      // Structured: port-embedded + low-byte, few subnets; both algorithms
+      // recover >88%.
+      net.prefix = Prefix::MustParse("2a0e:b500::/32");
+      net.subnet_len = 60;
+      net.subnet_count = 10;
+      net.structured_subnet_fraction = 1.0;
+      net.policy_mix = {{AllocationPolicy::kPortEmbedded, 0.5},
+                        {AllocationPolicy::kLowByte, 0.5}};
+      net.host_count = active;
+      break;
+    default:
+      break;
+  }
+
+  CdnDataset dataset;
+  dataset.name = cdn_as.name;
+  dataset.prefix = net.prefix;
+  cdn_as.networks.push_back(std::move(net));
+  spec.ases.push_back(std::move(cdn_as));
+  dataset.universe = Universe::Synthesize(spec, rng_seed + index);
+
+  // Sample the 10 K dataset from the active hosts.
+  std::vector<Address> actives;
+  for (const simnet::Host& host : dataset.universe.hosts()) {
+    if (host.active) actives.push_back(host.addr);
+  }
+  std::mt19937_64 rng(rng_seed * 31 + index);
+  std::shuffle(actives.begin(), actives.end(), rng);
+  if (actives.size() > dataset_size) actives.resize(dataset_size);
+  std::sort(actives.begin(), actives.end());
+  dataset.addresses = std::move(actives);
+  return dataset;
+}
+
+TrainTestSplit SplitTrainTest(std::vector<Address> addresses,
+                              std::size_t groups, std::uint64_t rng_seed) {
+  if (groups < 2) {
+    throw std::invalid_argument("train/test split needs >=2 groups");
+  }
+  std::mt19937_64 rng(rng_seed);
+  std::shuffle(addresses.begin(), addresses.end(), rng);
+  const std::size_t group_size = addresses.size() / groups;
+  TrainTestSplit split;
+  split.train.assign(addresses.begin(),
+                     addresses.begin() + static_cast<std::ptrdiff_t>(group_size));
+  split.test.assign(addresses.begin() + static_cast<std::ptrdiff_t>(group_size),
+                    addresses.end());
+  return split;
+}
+
+std::vector<TrainTestSplit> InverseKFold(std::vector<Address> addresses,
+                                         std::size_t groups,
+                                         std::uint64_t rng_seed) {
+  if (groups < 2) {
+    throw std::invalid_argument("inverse k-fold needs >=2 groups");
+  }
+  std::mt19937_64 rng(rng_seed);
+  std::shuffle(addresses.begin(), addresses.end(), rng);
+  const std::size_t fold_size = addresses.size() / groups;
+
+  std::vector<TrainTestSplit> folds;
+  folds.reserve(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    TrainTestSplit split;
+    const std::size_t begin = g * fold_size;
+    // The last fold absorbs the remainder.
+    const std::size_t end =
+        g + 1 == groups ? addresses.size() : begin + fold_size;
+    split.train.assign(addresses.begin() + static_cast<std::ptrdiff_t>(begin),
+                       addresses.begin() + static_cast<std::ptrdiff_t>(end));
+    split.test.reserve(addresses.size() - (end - begin));
+    split.test.insert(split.test.end(), addresses.begin(),
+                      addresses.begin() + static_cast<std::ptrdiff_t>(begin));
+    split.test.insert(split.test.end(),
+                      addresses.begin() + static_cast<std::ptrdiff_t>(end),
+                      addresses.end());
+    folds.push_back(std::move(split));
+  }
+  return folds;
+}
+
+FoldStats SummarizeFolds(std::span<const double> fold_scores) {
+  FoldStats stats;
+  stats.folds = fold_scores.size();
+  if (fold_scores.empty()) return stats;
+  double sum = 0;
+  for (double s : fold_scores) sum += s;
+  stats.mean = sum / static_cast<double>(fold_scores.size());
+  if (fold_scores.size() > 1) {
+    double ss = 0;
+    for (double s : fold_scores) ss += (s - stats.mean) * (s - stats.mean);
+    stats.stddev =
+        std::sqrt(ss / static_cast<double>(fold_scores.size() - 1));
+  }
+  return stats;
+}
+
+std::vector<SeedRecord> Downsample(const std::vector<SeedRecord>& seeds,
+                                   double fraction, std::uint64_t rng_seed) {
+  std::mt19937_64 rng(rng_seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<SeedRecord> out;
+  out.reserve(static_cast<std::size_t>(
+      static_cast<double>(seeds.size()) * fraction * 1.2));
+  for (const SeedRecord& seed : seeds) {
+    if (unit(rng) < fraction) out.push_back(seed);
+  }
+  return out;
+}
+
+std::vector<SeedRecord> FilterByType(const std::vector<SeedRecord>& seeds,
+                                     HostType type) {
+  std::vector<SeedRecord> out;
+  for (const SeedRecord& seed : seeds) {
+    if (seed.type == type) out.push_back(seed);
+  }
+  return out;
+}
+
+}  // namespace sixgen::eval

@@ -1,0 +1,96 @@
+// Canonical evaluation datasets: the synthetic stand-ins for the paper's
+// Rapid7 Forward-DNS seed snapshot (§6.1) and the five CDN datasets used in
+// the Entropy/IP comparison (§7).
+//
+// Everything is deterministic in an explicit RNG seed and scaled down from
+// the paper (which used 2.96 M seeds over 10,038 routed prefixes and 1 M
+// probes per prefix) so every bench finishes in seconds; EXPERIMENTS.md
+// records the scale factors next to each reproduced number.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ip6/address.h"
+#include "simnet/universe.h"
+
+namespace sixgen::eval {
+
+/// Scale knobs for the evaluation universe.
+struct EvalScale {
+  /// Multiplier on per-network host counts (1.0 = default ~60 K hosts).
+  double host_factor = 1.0;
+  /// Number of filler ASes beyond the named top providers.
+  std::size_t filler_ases = 160;
+};
+
+/// Builds the evaluation universe: named top ASes shaped like Table 1
+/// (Linode/Amazon/HostEurope... seed-heavy; an Akamai-like AS with huge
+/// aliased /56 space; Amazon with both aliased and clean subnets; a
+/// Cloudflare-like AS aliased at /112 granularity), plus filler ASes, with
+/// ~2% of ASes exhibiting aliasing (§6.2).
+simnet::Universe MakeEvalUniverse(std::uint64_t rng_seed,
+                                  const EvalScale& scale = {});
+
+/// The DNS-derived seed snapshot: an IID sample of the universe's active
+/// hosts at the given coverage (default mirrors a partial DNS view).
+std::vector<simnet::SeedRecord> MakeDnsSeeds(const simnet::Universe& universe,
+                                             std::uint64_t rng_seed,
+                                             double coverage = 0.5);
+
+/// One of the five CDN datasets from the Entropy/IP comparison (§7):
+/// 10 K seed addresses plus the ground-truth universe they came from.
+struct CdnDataset {
+  std::string name;           // "CDN1".."CDN5"
+  ip6::Prefix prefix;         // the CDN's network
+  std::vector<ip6::Address> addresses;  // the 10 K-address seed sample
+  simnet::Universe universe;  // ground truth for active scans (Fig. 9)
+};
+
+/// Builds CDN `index` (1-based, 1..5). The five datasets span the
+/// structure spectrum of the paper's CDNs: 1 unpredictable, 2 hard,
+/// 3 intermediate, 4 highly structured + extensively aliased, 5 structured.
+CdnDataset MakeCdnDataset(unsigned index, std::uint64_t rng_seed,
+                          std::size_t dataset_size = 10'000);
+
+inline constexpr unsigned kCdnCount = 5;
+
+/// Train-and-test split (§7.1): shuffles addresses into `groups` equal
+/// groups, trains on one group and tests on the rest.
+struct TrainTestSplit {
+  std::vector<ip6::Address> train;
+  std::vector<ip6::Address> test;
+};
+
+TrainTestSplit SplitTrainTest(std::vector<ip6::Address> addresses,
+                              std::size_t groups, std::uint64_t rng_seed);
+
+/// The paper's full protocol is "a form of inverse k-fold validation":
+/// split into `groups` folds, train on each fold in turn, test on the
+/// rest. Returns one TrainTestSplit per fold (all folds share one
+/// shuffle).
+std::vector<TrainTestSplit> InverseKFold(std::vector<ip6::Address> addresses,
+                                         std::size_t groups,
+                                         std::uint64_t rng_seed);
+
+/// Mean and sample standard deviation of per-fold scores.
+struct FoldStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t folds = 0;
+};
+
+FoldStats SummarizeFolds(std::span<const double> fold_scores);
+
+/// Uniform downsampling of seeds to `fraction` (Table 2).
+std::vector<simnet::SeedRecord> Downsample(
+    const std::vector<simnet::SeedRecord>& seeds, double fraction,
+    std::uint64_t rng_seed);
+
+/// Keeps only seeds of the given host type (§6.7.1's NS-only run).
+std::vector<simnet::SeedRecord> FilterByType(
+    const std::vector<simnet::SeedRecord>& seeds, simnet::HostType type);
+
+}  // namespace sixgen::eval

@@ -1,0 +1,91 @@
+#include "eval/pipeline.h"
+
+#include <chrono>
+
+namespace sixgen::eval {
+
+using ip6::Address;
+using simnet::SeedRecord;
+using simnet::Universe;
+
+PipelineResult RunSixGenPipeline(const Universe& universe,
+                                 const std::vector<SeedRecord>& seeds,
+                                 const PipelineConfig& config) {
+  PipelineResult result;
+  const std::vector<Address> seed_addrs = simnet::SeedAddresses(seeds);
+  result.seeds_used = seed_addrs.size();
+
+  std::size_t unrouted = 0;
+  auto groups =
+      routing::GroupByRoutedPrefix(universe.routing(), seed_addrs, &unrouted);
+
+  scanner::SimulatedScanner scan(universe, config.scan);
+
+  // §8 budget allocation: split a global budget over routed prefixes.
+  std::vector<ip6::U128> budgets;
+  if (config.total_budget) {
+    budgets = AllocateBudgets(groups, *config.total_budget,
+                              config.budget_policy);
+  }
+
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const routing::SeedGroup& group = groups[g];
+    if (group.seeds.size() < config.min_seeds) continue;
+
+    core::Config gen_config = config.core;
+    gen_config.budget =
+        budgets.empty() ? config.budget_per_prefix : budgets[g];
+    // Distinct, deterministic randomness per prefix.
+    gen_config.rng_seed ^= ip6::AddressHash{}(group.route.prefix.network()) +
+                           group.route.prefix.length();
+
+    const auto start = std::chrono::steady_clock::now();
+    core::Result gen = core::Generate(group.seeds, gen_config);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+
+    scanner::ScanResult scanned = scan.Scan(gen.targets);
+
+    PrefixOutcome outcome;
+    outcome.route = group.route;
+    outcome.seed_count = group.seeds.size();
+    for (const Address& seed : group.seeds) {
+      if (!universe.HasActiveHost(seed)) ++outcome.inactive_seed_count;
+    }
+    outcome.target_count = gen.targets.size();
+    outcome.hit_count = scanned.hits.size();
+    outcome.cluster_stats = gen.stats;
+    outcome.iterations = gen.iterations;
+    outcome.generation_seconds =
+        std::chrono::duration<double>(elapsed).count();
+    result.prefixes.push_back(std::move(outcome));
+
+    result.total_targets += gen.targets.size();
+    result.raw_hits.insert(result.raw_hits.end(), scanned.hits.begin(),
+                           scanned.hits.end());
+  }
+
+  if (config.run_dealias) {
+    result.dealias = dealias::Dealias(scan, universe.routing(),
+                                      result.raw_hits, config.dealias);
+  }
+  result.total_probes = scan.TotalProbesSent();
+  return result;
+}
+
+PipelineResult ScanAndDealias(const Universe& universe,
+                              const std::vector<Address>& targets,
+                              const PipelineConfig& config) {
+  PipelineResult result;
+  scanner::SimulatedScanner scan(universe, config.scan);
+  scanner::ScanResult scanned = scan.Scan(targets);
+  result.total_targets = targets.size();
+  result.raw_hits = std::move(scanned.hits);
+  if (config.run_dealias) {
+    result.dealias = dealias::Dealias(scan, universe.routing(),
+                                      result.raw_hits, config.dealias);
+  }
+  result.total_probes = scan.TotalProbesSent();
+  return result;
+}
+
+}  // namespace sixgen::eval

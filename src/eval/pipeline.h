@@ -1,0 +1,79 @@
+// The end-to-end evaluation pipeline (paper §6): group seeds by routed
+// prefix, run 6Gen per prefix with a fixed probe budget, scan generated
+// targets on TCP/80, then dealias the hits. Every §6 figure/table bench is
+// a thin view over one PipelineResult.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include <optional>
+
+#include "core/config.h"
+#include "core/generator.h"
+#include "dealias/dealias.h"
+#include "eval/budget_alloc.h"
+#include "eval/datasets.h"
+#include "routing/routing_table.h"
+#include "scanner/scanner.h"
+#include "simnet/universe.h"
+
+namespace sixgen::eval {
+
+struct PipelineConfig {
+  /// Probe budget per routed prefix (the paper's default is 1 M; the
+  /// scaled-down evaluation universe defaults to 20 K).
+  ip6::U128 budget_per_prefix = 20'000;
+
+  /// §8 budget allocation: when set, `budget_per_prefix` is ignored and
+  /// `*total_budget` is split across routed prefixes by `budget_policy`.
+  std::optional<ip6::U128> total_budget;
+  BudgetPolicy budget_policy = BudgetPolicy::kUniform;
+  /// 6Gen configuration; its budget field is overridden per prefix.
+  core::Config core;
+  scanner::ScanConfig scan;
+  dealias::DealiasConfig dealias;
+  /// Run the §6.2 dealiasing pass over the hits.
+  bool run_dealias = true;
+  /// Skip routed prefixes with fewer seeds than this (1 = run on all).
+  std::size_t min_seeds = 1;
+};
+
+/// Per-routed-prefix outcome.
+struct PrefixOutcome {
+  routing::Route route;
+  std::size_t seed_count = 0;
+  std::size_t inactive_seed_count = 0;  // churned-away seeds (§6.6)
+  std::size_t target_count = 0;
+  std::size_t hit_count = 0;  // raw (pre-dealiasing) hits
+  core::ClusterStats cluster_stats;
+  std::size_t iterations = 0;
+  double generation_seconds = 0.0;  // wall time of the 6Gen run
+};
+
+struct PipelineResult {
+  std::vector<PrefixOutcome> prefixes;
+  std::vector<ip6::Address> raw_hits;
+  dealias::DealiasResult dealias;  // empty when run_dealias is false
+  std::size_t total_targets = 0;
+  std::size_t total_probes = 0;
+  std::size_t seeds_used = 0;
+
+  std::size_t RawHitCount() const { return raw_hits.size(); }
+  std::size_t NonAliasedHitCount() const {
+    return dealias.non_aliased_hits.size();
+  }
+};
+
+/// Runs the full §6 pipeline with 6Gen as the TGA.
+PipelineResult RunSixGenPipeline(const simnet::Universe& universe,
+                                 const std::vector<simnet::SeedRecord>& seeds,
+                                 const PipelineConfig& config);
+
+/// Generic form: runs the pipeline over an externally-supplied target list
+/// (used to evaluate baseline TGAs on the same universe).
+PipelineResult ScanAndDealias(const simnet::Universe& universe,
+                              const std::vector<ip6::Address>& targets,
+                              const PipelineConfig& config);
+
+}  // namespace sixgen::eval

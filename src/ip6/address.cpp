@@ -1,0 +1,228 @@
+#include "ip6/address.h"
+
+#include <bit>
+#include <stdexcept>
+#include <vector>
+
+namespace sixgen::ip6 {
+namespace {
+
+constexpr int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+// Parses a decimal octet (0-255) from `text` starting at `pos`; advances
+// `pos` past the digits. Returns -1 on malformed input.
+int ParseOctet(std::string_view text, std::size_t& pos) {
+  if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') return -1;
+  int value = 0;
+  std::size_t digits = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    value = value * 10 + (text[pos] - '0');
+    ++pos;
+    if (++digits > 3 || value > 255) return -1;
+  }
+  return value;
+}
+
+// Parses a trailing IPv4 dotted quad into two 16-bit groups.
+bool ParseEmbeddedV4(std::string_view text, std::uint16_t& g0,
+                     std::uint16_t& g1) {
+  std::size_t pos = 0;
+  int octets[4];
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (pos >= text.size() || text[pos] != '.') return false;
+      ++pos;
+    }
+    octets[i] = ParseOctet(text, pos);
+    if (octets[i] < 0) return false;
+  }
+  if (pos != text.size()) return false;
+  g0 = static_cast<std::uint16_t>((octets[0] << 8) | octets[1]);
+  g1 = static_cast<std::uint16_t>((octets[2] << 8) | octets[3]);
+  return true;
+}
+
+}  // namespace
+
+std::optional<Address> Address::Parse(std::string_view text) {
+  if (text.size() < 2) return std::nullopt;
+
+  // Split into the parts before and after a single "::" (if present).
+  std::size_t gap = text.find("::");
+  if (gap != std::string_view::npos &&
+      text.find("::", gap + 1) != std::string_view::npos) {
+    return std::nullopt;  // more than one "::"
+  }
+
+  auto parse_groups = [](std::string_view part,
+                         std::vector<std::uint16_t>& out) -> bool {
+    if (part.empty()) return true;
+    std::size_t pos = 0;
+    while (true) {
+      // An embedded IPv4 tail is only legal as the final group.
+      std::size_t next_colon = part.find(':', pos);
+      std::string_view group = part.substr(
+          pos, next_colon == std::string_view::npos ? std::string_view::npos
+                                                    : next_colon - pos);
+      if (group.find('.') != std::string_view::npos) {
+        std::uint16_t g0 = 0, g1 = 0;
+        if (next_colon != std::string_view::npos) return false;
+        if (!ParseEmbeddedV4(group, g0, g1)) return false;
+        out.push_back(g0);
+        out.push_back(g1);
+        return true;
+      }
+      if (group.empty() || group.size() > 4) return false;
+      std::uint16_t value = 0;
+      for (char c : group) {
+        const int v = HexValue(c);
+        if (v < 0) return false;
+        value = static_cast<std::uint16_t>((value << 4) | v);
+      }
+      out.push_back(value);
+      if (next_colon == std::string_view::npos) return true;
+      pos = next_colon + 1;
+      if (pos >= part.size()) return false;  // trailing single colon
+    }
+  };
+
+  std::vector<std::uint16_t> head;
+  std::vector<std::uint16_t> tail;
+  if (gap == std::string_view::npos) {
+    if (!parse_groups(text, head)) return std::nullopt;
+    if (head.size() != 8) return std::nullopt;
+  } else {
+    if (!parse_groups(text.substr(0, gap), head)) return std::nullopt;
+    if (!parse_groups(text.substr(gap + 2), tail)) return std::nullopt;
+    if (head.size() + tail.size() > 7) return std::nullopt;  // "::" covers >=1
+  }
+
+  std::array<std::uint16_t, 8> groups{};
+  for (std::size_t i = 0; i < head.size(); ++i) groups[i] = head[i];
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    groups[8 - tail.size() + i] = tail[i];
+  }
+
+  std::uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 4; ++i) hi = (hi << 16) | groups[static_cast<std::size_t>(i)];
+  for (int i = 4; i < 8; ++i) lo = (lo << 16) | groups[static_cast<std::size_t>(i)];
+  return Address(hi, lo);
+}
+
+Address Address::MustParse(std::string_view text) {
+  auto parsed = Parse(text);
+  if (!parsed) {
+    throw std::invalid_argument("invalid IPv6 address: " + std::string(text));
+  }
+  return *parsed;
+}
+
+Address Address::FromBytes(std::span<const std::uint8_t, 16> bytes) {
+  std::uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 8; ++i) hi = (hi << 8) | bytes[static_cast<std::size_t>(i)];
+  for (int i = 8; i < 16; ++i) lo = (lo << 8) | bytes[static_cast<std::size_t>(i)];
+  return Address(hi, lo);
+}
+
+std::array<std::uint8_t, 16> Address::Bytes() const {
+  std::array<std::uint8_t, 16> out{};
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(hi_ >> ((7 - i) * 8));
+    out[static_cast<std::size_t>(i + 8)] =
+        static_cast<std::uint8_t>(lo_ >> ((7 - i) * 8));
+  }
+  return out;
+}
+
+std::string Address::ToFullString() const {
+  std::string out;
+  out.reserve(39);
+  for (unsigned i = 0; i < kNybbles; ++i) {
+    if (i != 0 && i % 4 == 0) out.push_back(':');
+    out.push_back(kHexDigits[Nybble(i)]);
+  }
+  return out;
+}
+
+std::string Address::ToString() const {
+  std::array<std::uint16_t, 8> groups;
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t word = i < 4 ? hi_ : lo_;
+    groups[static_cast<std::size_t>(i)] =
+        static_cast<std::uint16_t>(word >> ((3 - (i & 3)) * 16));
+  }
+
+  // RFC 5952: compress the leftmost longest run of >=2 zero groups.
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<std::size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[static_cast<std::size_t>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  out.reserve(39);
+  auto append_group = [&out](std::uint16_t g) {
+    char buf[4];
+    int n = 0;
+    bool started = false;
+    for (int shift = 12; shift >= 0; shift -= 4) {
+      const unsigned nyb = (g >> shift) & 0xF;
+      if (nyb != 0) started = true;
+      if (started) buf[n++] = kHexDigits[nyb];
+    }
+    if (n == 0) buf[n++] = '0';
+    out.append(buf, static_cast<std::size_t>(n));
+  };
+
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out.append("::");
+      i += best_len;
+      continue;
+    }
+    if (i != 0 && i != best_start + best_len) out.push_back(':');
+    // After a "::" no extra colon is needed; the "::" supplies it.
+    append_group(groups[static_cast<std::size_t>(i)]);
+    ++i;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+unsigned HammingDistance(const Address& a, const Address& b) {
+  // Each differing nybble contributes exactly one, regardless of how many
+  // of its four bits differ. Spread-OR the xor'd bits into each nybble's
+  // low bit, then popcount the masked result.
+  auto nybble_diffs = [](std::uint64_t x) {
+    x |= (x >> 1);
+    x |= (x >> 2);
+    return std::popcount(x & 0x1111111111111111ULL);
+  };
+  return static_cast<unsigned>(nybble_diffs(a.hi() ^ b.hi()) +
+                               nybble_diffs(a.lo() ^ b.lo()));
+}
+
+unsigned BitHammingDistance(const Address& a, const Address& b) {
+  return static_cast<unsigned>(std::popcount(a.hi() ^ b.hi()) +
+                               std::popcount(a.lo() ^ b.lo()));
+}
+
+}  // namespace sixgen::ip6

@@ -1,0 +1,388 @@
+#include "ip6/nybble_range.h"
+
+#include <bit>
+#include <stdexcept>
+#include <vector>
+
+namespace sixgen::ip6 {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+constexpr int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// Value of the `rank`-th set bit (0-based, from LSB) of `mask`.
+unsigned NthSetBit(std::uint16_t mask, unsigned rank) {
+  for (unsigned v = 0; v < 16; ++v) {
+    if (mask & (1u << v)) {
+      if (rank == 0) return v;
+      --rank;
+    }
+  }
+  throw std::logic_error("NthSetBit: rank out of range");
+}
+
+// Parses one bracketed value set like "[1-2,8-a]" starting at text[pos]
+// (which must be '['); advances pos past the ']'. Returns 0 on error.
+std::uint16_t ParseBracketSet(std::string_view text, std::size_t& pos) {
+  ++pos;  // consume '['
+  std::uint16_t mask = 0;
+  bool expect_item = true;
+  while (pos < text.size() && text[pos] != ']') {
+    if (!expect_item) {
+      if (text[pos] != ',') return 0;
+      ++pos;
+      expect_item = true;
+      continue;
+    }
+    const int lo = HexValue(text[pos]);
+    if (lo < 0) return 0;
+    ++pos;
+    int hi = lo;
+    if (pos < text.size() && text[pos] == '-') {
+      ++pos;
+      if (pos >= text.size()) return 0;
+      hi = HexValue(text[pos]);
+      if (hi < lo) return 0;
+      ++pos;
+    }
+    for (int v = lo; v <= hi; ++v) mask |= static_cast<std::uint16_t>(1u << v);
+    expect_item = false;
+  }
+  if (pos >= text.size() || expect_item) return 0;  // missing ']' or item
+  ++pos;  // consume ']'
+  return mask;
+}
+
+// Parses one colon-separated group into 1..4 per-nybble masks.
+bool ParseGroupSpecs(std::string_view group, std::vector<std::uint16_t>& out) {
+  std::size_t pos = 0;
+  std::vector<std::uint16_t> specs;
+  while (pos < group.size()) {
+    if (group[pos] == '?') {
+      specs.push_back(kFullMask);
+      ++pos;
+    } else if (group[pos] == '[') {
+      const std::uint16_t mask = ParseBracketSet(group, pos);
+      if (mask == 0) return false;
+      specs.push_back(mask);
+    } else {
+      const int v = HexValue(group[pos]);
+      if (v < 0) return false;
+      specs.push_back(static_cast<std::uint16_t>(1u << v));
+      ++pos;
+    }
+    if (specs.size() > 4) return false;
+  }
+  if (specs.empty()) return false;
+  // Pad to four nybbles with fixed zeros on the left (leading-zero form).
+  while (specs.size() < 4) specs.insert(specs.begin(), std::uint16_t{0x0001});
+  out.insert(out.end(), specs.begin(), specs.end());
+  return true;
+}
+
+// Splits `part` on ':' and parses each group; appends masks to `out`.
+bool ParseGroups(std::string_view part, std::vector<std::uint16_t>& out) {
+  if (part.empty()) return true;
+  std::size_t pos = 0;
+  while (true) {
+    std::size_t next = part.find(':', pos);
+    std::string_view group = part.substr(
+        pos, next == std::string_view::npos ? std::string_view::npos
+                                            : next - pos);
+    if (!ParseGroupSpecs(group, out)) return false;
+    if (next == std::string_view::npos) return true;
+    pos = next + 1;
+    if (pos >= part.size()) return false;
+  }
+}
+
+}  // namespace
+
+NybbleRange NybbleRange::Single(const Address& addr) {
+  NybbleRange out;
+  for (unsigned i = 0; i < kNybbles; ++i) {
+    out.masks_[i] = static_cast<std::uint16_t>(1u << addr.Nybble(i));
+  }
+  return out;
+}
+
+NybbleRange NybbleRange::Full() {
+  NybbleRange out;
+  out.masks_.fill(kFullMask);
+  return out;
+}
+
+NybbleRange NybbleRange::FromPrefix(const Prefix& prefix) {
+  NybbleRange out = Single(prefix.network());
+  const unsigned fixed_bits = prefix.length();
+  for (unsigned i = 0; i < kNybbles; ++i) {
+    const unsigned bit_start = i * 4;
+    if (bit_start + 4 <= fixed_bits) continue;  // fully inside prefix
+    if (bit_start >= fixed_bits) {
+      out.masks_[i] = kFullMask;  // fully free
+      continue;
+    }
+    // Boundary nybble: its top (fixed_bits - bit_start) bits are fixed.
+    const unsigned fixed_in_nybble = fixed_bits - bit_start;
+    const unsigned base = prefix.network().Nybble(i);
+    const unsigned span = 1u << (4 - fixed_in_nybble);
+    std::uint16_t mask = 0;
+    for (unsigned v = base; v < base + span; ++v) {
+      mask |= static_cast<std::uint16_t>(1u << v);
+    }
+    out.masks_[i] = mask;
+  }
+  return out;
+}
+
+std::optional<NybbleRange> NybbleRange::Parse(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::size_t gap = text.find("::");
+  if (gap != std::string_view::npos &&
+      text.find("::", gap + 1) != std::string_view::npos) {
+    return std::nullopt;
+  }
+
+  std::vector<std::uint16_t> head, tail;
+  if (gap == std::string_view::npos) {
+    if (!ParseGroups(text, head)) return std::nullopt;
+    if (head.size() != kNybbles) return std::nullopt;
+  } else {
+    if (!ParseGroups(text.substr(0, gap), head)) return std::nullopt;
+    if (!ParseGroups(text.substr(gap + 2), tail)) return std::nullopt;
+    if (head.size() + tail.size() > kNybbles - 4) return std::nullopt;
+  }
+
+  NybbleRange out;
+  out.masks_.fill(0x0001);  // "::" gap nybbles are fixed zero
+  for (std::size_t i = 0; i < head.size(); ++i) out.masks_[i] = head[i];
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    out.masks_[kNybbles - tail.size() + i] = tail[i];
+  }
+  return out;
+}
+
+NybbleRange NybbleRange::MustParse(std::string_view text) {
+  auto parsed = Parse(text);
+  if (!parsed) {
+    throw std::invalid_argument("invalid nybble range: " + std::string(text));
+  }
+  return *parsed;
+}
+
+void NybbleRange::SetMask(unsigned index, std::uint16_t mask) {
+  if (mask == 0) {
+    throw std::invalid_argument("NybbleRange mask must be nonzero");
+  }
+  masks_[index] = mask;
+}
+
+unsigned NybbleRange::ValueCount(unsigned index) const {
+  return static_cast<unsigned>(std::popcount(masks_[index]));
+}
+
+unsigned NybbleRange::DynamicCount() const {
+  unsigned count = 0;
+  for (unsigned i = 0; i < kNybbles; ++i) count += IsDynamic(i) ? 1u : 0u;
+  return count;
+}
+
+U128 NybbleRange::Size() const {
+  U128 size = 1;
+  for (unsigned i = 0; i < kNybbles; ++i) {
+    const U128 count = ValueCount(i);
+    if (size > ~U128{0} / count) return ~U128{0};  // saturate (full space)
+    size *= count;
+  }
+  return size;
+}
+
+bool NybbleRange::Contains(const Address& addr) const {
+  for (unsigned i = 0; i < kNybbles; ++i) {
+    if (!(masks_[i] & (1u << addr.Nybble(i)))) return false;
+  }
+  return true;
+}
+
+bool NybbleRange::Covers(const NybbleRange& other) const {
+  for (unsigned i = 0; i < kNybbles; ++i) {
+    if (other.masks_[i] & ~masks_[i]) return false;
+  }
+  return true;
+}
+
+bool NybbleRange::StrictlyCovers(const NybbleRange& other) const {
+  return Covers(other) && masks_ != other.masks_;
+}
+
+bool NybbleRange::Intersects(const NybbleRange& other) const {
+  for (unsigned i = 0; i < kNybbles; ++i) {
+    if (!(masks_[i] & other.masks_[i])) return false;
+  }
+  return true;
+}
+
+unsigned NybbleRange::Distance(const Address& addr) const {
+  unsigned distance = 0;
+  for (unsigned i = 0; i < kNybbles; ++i) {
+    if (!(masks_[i] & (1u << addr.Nybble(i)))) ++distance;
+  }
+  return distance;
+}
+
+unsigned NybbleRange::Distance(const NybbleRange& other) const {
+  unsigned distance = 0;
+  for (unsigned i = 0; i < kNybbles; ++i) {
+    if (!(masks_[i] & other.masks_[i])) ++distance;
+  }
+  return distance;
+}
+
+void NybbleRange::ExpandToInclude(const Address& addr, RangeMode mode) {
+  for (unsigned i = 0; i < kNybbles; ++i) {
+    const auto bit = static_cast<std::uint16_t>(1u << addr.Nybble(i));
+    if (masks_[i] & bit) continue;
+    masks_[i] |= bit;
+    if (mode == RangeMode::kLoose) masks_[i] = kFullMask;
+  }
+}
+
+Address NybbleRange::AddressAt(U128 index) const {
+  Address out;
+  for (int i = static_cast<int>(kNybbles) - 1; i >= 0; --i) {
+    const unsigned radix = ValueCount(static_cast<unsigned>(i));
+    const unsigned digit = static_cast<unsigned>(index % radix);
+    index /= radix;
+    out = out.WithNybble(static_cast<unsigned>(i),
+                         NthSetBit(masks_[static_cast<unsigned>(i)], digit));
+  }
+  if (index != 0) throw std::out_of_range("NybbleRange::AddressAt index");
+  return out;
+}
+
+bool NybbleRange::ForEach(const std::function<bool(const Address&)>& fn) const {
+  // Odometer over per-position value lists; position 31 varies fastest.
+  std::array<std::vector<unsigned>, kNybbles> values;
+  std::array<unsigned, kNybbles> cursor{};
+  Address current;
+  for (unsigned i = 0; i < kNybbles; ++i) {
+    for (unsigned v = 0; v < 16; ++v) {
+      if (masks_[i] & (1u << v)) values[i].push_back(v);
+    }
+    current = current.WithNybble(i, values[i][0]);
+  }
+  while (true) {
+    if (!fn(current)) return false;
+    int pos = static_cast<int>(kNybbles) - 1;
+    while (pos >= 0) {
+      auto& c = cursor[static_cast<unsigned>(pos)];
+      const auto& vals = values[static_cast<unsigned>(pos)];
+      if (++c < vals.size()) {
+        current = current.WithNybble(static_cast<unsigned>(pos), vals[c]);
+        break;
+      }
+      c = 0;
+      current = current.WithNybble(static_cast<unsigned>(pos), vals[0]);
+      --pos;
+    }
+    if (pos < 0) return true;
+  }
+}
+
+Address NybbleRange::First() const {
+  Address out;
+  for (unsigned i = 0; i < kNybbles; ++i) {
+    out = out.WithNybble(i, NthSetBit(masks_[i], 0));
+  }
+  return out;
+}
+
+std::string NybbleRange::ToString() const {
+  // Render each of the eight groups; then compress the leftmost longest run
+  // of >=2 fixed-zero groups with "::".
+  auto group_is_zero = [this](unsigned g) {
+    for (unsigned i = g * 4; i < g * 4 + 4; ++i) {
+      if (masks_[i] != 0x0001) return false;
+    }
+    return true;
+  };
+
+  auto render_spec = [this](unsigned i) -> std::string {
+    const std::uint16_t mask = masks_[i];
+    if (mask == kFullMask) return "?";
+    if (std::popcount(mask) == 1) {
+      return std::string(1, kHexDigits[NthSetBit(mask, 0)]);
+    }
+    std::string out = "[";
+    bool first = true;
+    for (unsigned v = 0; v < 16;) {
+      if (!(mask & (1u << v))) {
+        ++v;
+        continue;
+      }
+      unsigned end = v;
+      while (end + 1 < 16 && (mask & (1u << (end + 1)))) ++end;
+      if (!first) out.push_back(',');
+      first = false;
+      out.push_back(kHexDigits[v]);
+      if (end > v) {
+        out.push_back('-');
+        out.push_back(kHexDigits[end]);
+      }
+      v = end + 1;
+    }
+    out.push_back(']');
+    return out;
+  };
+
+  auto render_group = [&](unsigned g) -> std::string {
+    std::string out;
+    for (unsigned i = g * 4; i < g * 4 + 4; ++i) out += render_spec(i);
+    // Strip leading fixed-zero nybbles, keeping at least one spec.
+    std::size_t strip = 0;
+    unsigned i = g * 4;
+    while (strip < 3 && masks_[i + static_cast<unsigned>(strip)] == 0x0001 &&
+           out[strip] == '0') {
+      ++strip;
+    }
+    return out.substr(strip);
+  };
+
+  int best_start = -1, best_len = 0;
+  for (int g = 0; g < 8;) {
+    if (!group_is_zero(static_cast<unsigned>(g))) {
+      ++g;
+      continue;
+    }
+    int j = g;
+    while (j < 8 && group_is_zero(static_cast<unsigned>(j))) ++j;
+    if (j - g > best_len) {
+      best_start = g;
+      best_len = j - g;
+    }
+    g = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  for (int g = 0; g < 8;) {
+    if (g == best_start) {
+      out.append("::");
+      g += best_len;
+      continue;
+    }
+    if (g != 0 && g != best_start + best_len) out.push_back(':');
+    out += render_group(static_cast<unsigned>(g));
+    ++g;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+}  // namespace sixgen::ip6

@@ -1,0 +1,142 @@
+// Nybble-level address ranges — 6Gen's cluster range representation.
+//
+// Paper §2 denotes ranges with the wildcard nybble `?`
+// (e.g. 2001:db8::?:100?), and §5.3 extends the notation to bounded nybble
+// value sets written `[1-2,8-a]`. A NybbleRange stores, for each of the 32
+// nybble positions, the set of values that position may take, as a 16-bit
+// mask. The range covers the Cartesian product of the per-position sets, so
+// its size is the product of the per-position set sizes.
+//
+// "Tight" clustering keeps exact value sets; "loose" clustering widens any
+// position with more than one value to the full wildcard (paper §5.3, §6.3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ip6/address.h"
+#include "ip6/prefix.h"
+
+namespace sixgen::ip6 {
+
+/// Range-growth mode (paper §5.3): Tight keeps exact per-nybble value sets;
+/// Loose snaps any multi-valued nybble to the full 16-value wildcard.
+enum class RangeMode { kTight, kLoose };
+
+/// Full wildcard mask: all 16 nybble values allowed.
+inline constexpr std::uint16_t kFullMask = 0xFFFF;
+
+/// A region of IPv6 address space expressed per-nybble.
+/// Invariant: every position mask is nonzero.
+class NybbleRange {
+ public:
+  /// The range containing only the zero address.
+  NybbleRange() { masks_.fill(0x0001); }
+
+  /// The range containing exactly `addr`.
+  static NybbleRange Single(const Address& addr);
+
+  /// The range covering the entire IPv6 address space.
+  static NybbleRange Full();
+
+  /// The range of all addresses within `prefix`. Prefix lengths that are
+  /// not multiples of four produce a bounded value set at the boundary
+  /// nybble.
+  static NybbleRange FromPrefix(const Prefix& prefix);
+
+  /// Parses range text: groups of nybble specs separated by `:` with
+  /// optional `::` compression. A nybble spec is a hex digit, `?`, or a
+  /// bracketed value set like `[1-2,8-a]` (which counts as one nybble).
+  /// Returns std::nullopt on malformed input.
+  static std::optional<NybbleRange> Parse(std::string_view text);
+
+  /// Parse() that throws std::invalid_argument on failure.
+  static NybbleRange MustParse(std::string_view text);
+
+  /// Allowed-value mask at `index` (bit v set <=> value v allowed).
+  std::uint16_t Mask(unsigned index) const { return masks_[index]; }
+
+  /// Replaces the mask at `index`. Throws std::invalid_argument if mask==0.
+  void SetMask(unsigned index, std::uint16_t mask);
+
+  /// Number of values allowed at `index`.
+  unsigned ValueCount(unsigned index) const;
+
+  /// True iff the position allows more than one value.
+  bool IsDynamic(unsigned index) const { return ValueCount(index) > 1; }
+
+  /// Number of dynamic (multi-valued) positions.
+  unsigned DynamicCount() const;
+
+  /// Number of addresses covered: the product of per-position value counts.
+  /// Saturates at the maximum U128 (only reachable when all 32 positions
+  /// are full wildcards, i.e. the full address space).
+  U128 Size() const;
+
+  /// True iff `addr` is inside the range.
+  bool Contains(const Address& addr) const;
+
+  /// True iff every address of `other` is inside this range.
+  bool Covers(const NybbleRange& other) const;
+
+  /// True iff this range covers `other` and is strictly larger — the
+  /// condition under which 6Gen deletes the encapsulated cluster (§5.4).
+  bool StrictlyCovers(const NybbleRange& other) const;
+
+  /// True iff the two ranges share at least one address.
+  bool Intersects(const NybbleRange& other) const;
+
+  /// Nybble-level Hamming distance from the range to an address (§5.2):
+  /// the number of positions whose value set does not already include the
+  /// address's nybble — equivalently, the number of positions that would
+  /// become newly dynamic (or newly widened) if the address were added.
+  unsigned Distance(const Address& addr) const;
+
+  /// Nybble-level Hamming distance between two ranges: positions whose
+  /// value sets are disjoint. A wildcard position is distance zero from
+  /// anything.
+  unsigned Distance(const NybbleRange& other) const;
+
+  /// Grows the range to include `addr`. In tight mode the address's nybble
+  /// value is added to each differing position's set; in loose mode any
+  /// position that becomes multi-valued is widened to the full wildcard.
+  void ExpandToInclude(const Address& addr, RangeMode mode);
+
+  /// The `index`-th address of the range in mixed-radix order (position 31
+  /// varies fastest). Precondition: index < Size(). Enables O(1) uniform
+  /// sampling for 6Gen's final budget-exact growth (§5.4).
+  Address AddressAt(U128 index) const;
+
+  /// Visits every address in the range in mixed-radix order. The visitor
+  /// returns false to stop early; ForEach returns false iff stopped.
+  bool ForEach(const std::function<bool(const Address&)>& fn) const;
+
+  /// The lowest address in the range.
+  Address First() const;
+
+  /// Wildcard text form, e.g. `2::?:?0?` or `2001:db8::5[1-2,8-a]`.
+  /// Uses `::` compression over runs of all-zero groups and `?` for full
+  /// wildcards.
+  std::string ToString() const;
+
+  friend bool operator==(const NybbleRange&, const NybbleRange&) = default;
+
+ private:
+  std::array<std::uint16_t, kNybbles> masks_;
+};
+
+struct NybbleRangeHash {
+  std::size_t operator()(const NybbleRange& r) const noexcept {
+    std::size_t h = 0x9e3779b97f4a7c15ULL;
+    for (unsigned i = 0; i < kNybbles; ++i) {
+      h ^= (h << 7) + (h >> 3) + r.Mask(i) + 0x9e3779b9u;
+    }
+    return h;
+  }
+};
+
+}  // namespace sixgen::ip6

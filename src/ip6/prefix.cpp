@@ -1,0 +1,75 @@
+#include "ip6/prefix.h"
+
+#include <stdexcept>
+
+namespace sixgen::ip6 {
+namespace {
+
+// Mask with the top `length` bits set, as a 128-bit integer.
+U128 HighBitsMask(unsigned length) {
+  if (length == 0) return 0;
+  if (length >= 128) return ~U128{0};
+  return ~U128{0} << (128 - length);
+}
+
+}  // namespace
+
+Prefix Prefix::Make(const Address& network, unsigned length) {
+  if (length > 128) {
+    throw std::invalid_argument("prefix length exceeds 128");
+  }
+  return Prefix(Address::FromU128(network.ToU128() & HighBitsMask(length)),
+                length);
+}
+
+std::optional<Prefix> Prefix::Parse(std::string_view text) {
+  const std::size_t slash = text.rfind('/');
+  if (slash == std::string_view::npos || slash + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  auto addr = Address::Parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  unsigned length = 0;
+  std::size_t digits = 0;
+  for (char c : text.substr(slash + 1)) {
+    if (c < '0' || c > '9') return std::nullopt;
+    length = length * 10 + static_cast<unsigned>(c - '0');
+    if (++digits > 3 || length > 128) return std::nullopt;
+  }
+  return Make(*addr, length);
+}
+
+Prefix Prefix::MustParse(std::string_view text) {
+  auto parsed = Parse(text);
+  if (!parsed) {
+    throw std::invalid_argument("invalid IPv6 prefix: " + std::string(text));
+  }
+  return *parsed;
+}
+
+bool Prefix::Contains(const Address& addr) const {
+  return (addr.ToU128() & HighBitsMask(length_)) == network_.ToU128();
+}
+
+bool Prefix::Contains(const Prefix& other) const {
+  return other.length_ >= length_ && Contains(other.network_);
+}
+
+Address Prefix::Last() const {
+  return Address::FromU128(network_.ToU128() | ~HighBitsMask(length_));
+}
+
+U128 Prefix::Size() const {
+  if (length_ == 0) return ~U128{0};  // saturated: true size 2^128
+  return U128{1} << (128 - length_);
+}
+
+Prefix Prefix::Of(const Address& addr, unsigned length) {
+  return Make(addr, length);
+}
+
+std::string Prefix::ToString() const {
+  return network_.ToString() + "/" + std::to_string(length_);
+}
+
+}  // namespace sixgen::ip6

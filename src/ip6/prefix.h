@@ -1,0 +1,73 @@
+// CIDR prefixes for IPv6 (paper §2: CIDR notation is identically defined
+// for IPv6). Used by the routing substrate (grouping seeds by routed
+// prefix, §6.1) and the dealiasing technique (/96 and /112 prefixes, §6.2).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ip6/address.h"
+
+namespace sixgen::ip6 {
+
+/// An IPv6 CIDR prefix, e.g. `2001:db8::/32`. Invariant: all host bits of
+/// the network address are zero and 0 <= length <= 128.
+class Prefix {
+ public:
+  /// The default prefix `::/0` (matches everything).
+  constexpr Prefix() = default;
+
+  /// Builds a prefix from a network address and length, zeroing host bits.
+  /// Throws std::invalid_argument if length > 128.
+  static Prefix Make(const Address& network, unsigned length);
+
+  /// Parses CIDR text, e.g. "2001:db8::/48". Returns std::nullopt on
+  /// malformed input.
+  static std::optional<Prefix> Parse(std::string_view text);
+
+  /// Parse() that throws std::invalid_argument on failure.
+  static Prefix MustParse(std::string_view text);
+
+  constexpr const Address& network() const { return network_; }
+  constexpr unsigned length() const { return length_; }
+
+  /// True iff `addr` lies inside this prefix.
+  bool Contains(const Address& addr) const;
+
+  /// True iff `other` is fully contained in this prefix (i.e. this is a
+  /// shorter-or-equal prefix of the same network).
+  bool Contains(const Prefix& other) const;
+
+  /// First (lowest) address in the prefix; equal to network().
+  constexpr Address First() const { return network_; }
+
+  /// Last (highest) address in the prefix.
+  Address Last() const;
+
+  /// Number of addresses covered; saturates at the maximum U128 for /0.
+  U128 Size() const;
+
+  /// The enclosing prefix of `addr` with the given length.
+  static Prefix Of(const Address& addr, unsigned length);
+
+  /// CIDR text, e.g. "2001:db8::/32".
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  constexpr Prefix(const Address& network, unsigned length)
+      : network_(network), length_(length) {}
+
+  Address network_;
+  unsigned length_ = 0;
+};
+
+struct PrefixHash {
+  std::size_t operator()(const Prefix& p) const noexcept {
+    return AddressHash{}(p.network()) ^ (static_cast<std::size_t>(p.length()) << 1);
+  }
+};
+
+}  // namespace sixgen::ip6

@@ -1,0 +1,210 @@
+#include "nybtree/nybble_tree.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace sixgen::nybtree {
+
+using ip6::Address;
+using ip6::kNybbles;
+using ip6::NybbleRange;
+
+NybbleTree::NybbleTree(std::span<const Address> addresses) {
+  for (const Address& addr : addresses) Insert(addr);
+}
+
+bool NybbleTree::Insert(const Address& addr) {
+  if (!root_) root_ = std::make_unique<Node>();
+  // First pass: walk down to see whether the address is already present.
+  const Node* probe = root_.get();
+  bool present = true;
+  for (unsigned i = 0; i < kNybbles && present; ++i) {
+    const unsigned v = addr.Nybble(i);
+    if (!(probe->child_mask & (1u << v))) {
+      present = false;
+      break;
+    }
+    probe = probe->children[v].get();
+  }
+  if (present) return false;
+
+  // Second pass: insert, bumping counts.
+  Node* node = root_.get();
+  ++node->count;
+  for (unsigned i = 0; i < kNybbles; ++i) {
+    const unsigned v = addr.Nybble(i);
+    if (!node->children[v]) {
+      node->children[v] = std::make_unique<Node>();
+      node->child_mask |= static_cast<std::uint16_t>(1u << v);
+    }
+    node = node->children[v].get();
+    ++node->count;
+  }
+  return true;
+}
+
+bool NybbleTree::Contains(const Address& addr) const {
+  const Node* node = root_.get();
+  if (!node) return false;
+  for (unsigned i = 0; i < kNybbles; ++i) {
+    const unsigned v = addr.Nybble(i);
+    if (!(node->child_mask & (1u << v))) return false;
+    node = node->children[v].get();
+  }
+  return true;
+}
+
+std::size_t NybbleTree::CountInRange(const NybbleRange& range) const {
+  if (!root_) return 0;
+  // Iterative DFS; at each level only descend into children whose nybble
+  // value the range allows.
+  struct Frame {
+    const Node* node;
+    unsigned depth;
+  };
+  std::vector<Frame> stack{{root_.get(), 0}};
+  std::size_t total = 0;
+  while (!stack.empty()) {
+    const auto [node, depth] = stack.back();
+    stack.pop_back();
+    if (depth == kNybbles) {
+      total += node->count;
+      continue;
+    }
+    std::uint16_t allowed = node->child_mask & range.Mask(depth);
+    if (allowed == node->child_mask && range.Mask(depth) == ip6::kFullMask) {
+      // Fast path: a fully-wildcarded suffix means the whole subtree
+      // counts, but only if every deeper position is also a wildcard.
+      bool all_wild = true;
+      for (unsigned d = depth; d < kNybbles; ++d) {
+        if (range.Mask(d) != ip6::kFullMask) {
+          all_wild = false;
+          break;
+        }
+      }
+      if (all_wild) {
+        total += node->count;
+        continue;
+      }
+    }
+    while (allowed) {
+      const unsigned v = static_cast<unsigned>(std::countr_zero(allowed));
+      allowed = static_cast<std::uint16_t>(allowed & (allowed - 1));
+      stack.push_back({node->children[v].get(), depth + 1});
+    }
+  }
+  return total;
+}
+
+bool NybbleTree::ForEachInRange(
+    const NybbleRange& range,
+    const std::function<bool(const Address&)>& fn) const {
+  if (!root_) return true;
+  struct Frame {
+    const Node* node;
+    unsigned depth;
+    Address prefix;
+  };
+  std::vector<Frame> stack{{root_.get(), 0, Address{}}};
+  while (!stack.empty()) {
+    auto [node, depth, prefix] = stack.back();
+    stack.pop_back();
+    if (depth == kNybbles) {
+      if (!fn(prefix)) return false;
+      continue;
+    }
+    std::uint16_t allowed = node->child_mask & range.Mask(depth);
+    while (allowed) {
+      const unsigned v = static_cast<unsigned>(std::countr_zero(allowed));
+      allowed = static_cast<std::uint16_t>(allowed & (allowed - 1));
+      stack.push_back({node->children[v].get(), depth + 1,
+                       prefix.WithNybble(depth, v)});
+    }
+  }
+  return true;
+}
+
+std::vector<Address> NybbleTree::AddressesInRange(
+    const NybbleRange& range) const {
+  std::vector<Address> out;
+  ForEachInRange(range, [&out](const Address& a) {
+    out.push_back(a);
+    return true;
+  });
+  return out;
+}
+
+unsigned NybbleTree::MinDistanceOutside(const NybbleRange& range) const {
+  if (!root_) return kNybbles + 1;
+  unsigned best = kNybbles + 1;
+  // DFS with pruning: carry the distance accumulated so far; abandon
+  // branches that cannot beat the best. Addresses at distance zero
+  // (inside the range) are skipped.
+  struct Frame {
+    const Node* node;
+    unsigned depth;
+    unsigned dist;
+  };
+  std::vector<Frame> stack{{root_.get(), 0, 0}};
+  while (!stack.empty()) {
+    const auto [node, depth, dist] = stack.back();
+    stack.pop_back();
+    if (dist >= best) continue;
+    if (depth == kNybbles) {
+      if (dist >= 1) best = dist;
+      continue;
+    }
+    std::uint16_t mask = node->child_mask;
+    while (mask) {
+      const unsigned v = static_cast<unsigned>(std::countr_zero(mask));
+      mask = static_cast<std::uint16_t>(mask & (mask - 1));
+      const unsigned step = (range.Mask(depth) & (1u << v)) ? 0u : 1u;
+      // A path at distance == best cannot improve the minimum; prune it.
+      if (dist + step < best) {
+        stack.push_back({node->children[v].get(), depth + 1, dist + step});
+      }
+    }
+  }
+  return best;
+}
+
+void NybbleTree::ForEachAtDistance(
+    const NybbleRange& range, unsigned distance,
+    const std::function<void(const Address&)>& fn) const {
+  if (!root_ || distance == 0) return;
+  struct Frame {
+    const Node* node;
+    unsigned depth;
+    unsigned dist;
+    Address prefix;
+  };
+  std::vector<Frame> stack{{root_.get(), 0, 0, Address{}}};
+  while (!stack.empty()) {
+    auto [node, depth, dist, prefix] = stack.back();
+    stack.pop_back();
+    if (dist > distance) continue;
+    if (depth == kNybbles) {
+      if (dist == distance) fn(prefix);
+      continue;
+    }
+    std::uint16_t mask = node->child_mask;
+    while (mask) {
+      const unsigned v = static_cast<unsigned>(std::countr_zero(mask));
+      mask = static_cast<std::uint16_t>(mask & (mask - 1));
+      const unsigned step = (range.Mask(depth) & (1u << v)) ? 0u : 1u;
+      if (dist + step <= distance) {
+        stack.push_back({node->children[v].get(), depth + 1, dist + step,
+                         prefix.WithNybble(depth, v)});
+      }
+    }
+  }
+}
+
+void NybbleTree::ForEach(const std::function<void(const Address&)>& fn) const {
+  ForEachInRange(NybbleRange::Full(), [&fn](const Address& a) {
+    fn(a);
+    return true;
+  });
+}
+
+}  // namespace sixgen::nybtree

@@ -1,0 +1,83 @@
+// Nybble tree: the 16-ary trie optimization from paper §5.5.
+//
+// "We store all seeds in a nybble tree — a 16-ary tree where each level in
+// the tree represents a nybble position and branching corresponds to that
+// position's nybble value. This allows us to quickly iterate over the seeds
+// that fall within a given range instead of iterating over all seeds. The
+// nybble tree also allows reconstructing a cluster's seed set given its
+// range."
+//
+// Each node carries the count of addresses in its subtree, so counting the
+// seeds inside a NybbleRange prunes whole subtrees. The tree also supports
+// bounded-distance search used by 6Gen's candidate-seed discovery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ip6/address.h"
+#include "ip6/nybble_range.h"
+
+namespace sixgen::nybtree {
+
+/// A set of IPv6 addresses stored as a 16-ary trie over nybbles, with
+/// subtree counts for fast range aggregation.
+class NybbleTree {
+ public:
+  NybbleTree() = default;
+
+  /// Builds a tree containing all of `addresses` (duplicates ignored).
+  explicit NybbleTree(std::span<const ip6::Address> addresses);
+
+  /// Inserts an address. Returns true if it was not already present.
+  bool Insert(const ip6::Address& addr);
+
+  /// True iff the address is present.
+  bool Contains(const ip6::Address& addr) const;
+
+  /// Number of distinct addresses stored.
+  std::size_t Size() const { return root_ ? root_->count : 0; }
+
+  bool Empty() const { return Size() == 0; }
+
+  /// Number of stored addresses that lie inside `range`. Subtrees fully
+  /// outside the range are pruned; this is the seed-set reconstruction
+  /// primitive from §5.5.
+  std::size_t CountInRange(const ip6::NybbleRange& range) const;
+
+  /// Visits every stored address inside `range`. The visitor returns false
+  /// to stop early; returns false iff stopped.
+  bool ForEachInRange(const ip6::NybbleRange& range,
+                      const std::function<bool(const ip6::Address&)>& fn) const;
+
+  /// Collects the stored addresses inside `range`.
+  std::vector<ip6::Address> AddressesInRange(const ip6::NybbleRange& range) const;
+
+  /// Minimum nybble Hamming distance from `range` to any stored address at
+  /// distance >= 1 (i.e. addresses already inside the range are skipped).
+  /// Returns kNybbles + 1 when no such address exists. Branch-and-bound
+  /// over the trie.
+  unsigned MinDistanceOutside(const ip6::NybbleRange& range) const;
+
+  /// Visits every stored address at exactly `distance` from `range`
+  /// (distance >= 1). Used to enumerate 6Gen candidate seeds.
+  void ForEachAtDistance(const ip6::NybbleRange& range, unsigned distance,
+                         const std::function<void(const ip6::Address&)>& fn) const;
+
+  /// Visits every stored address.
+  void ForEach(const std::function<void(const ip6::Address&)>& fn) const;
+
+ private:
+  struct Node {
+    std::array<std::unique_ptr<Node>, 16> children;
+    std::size_t count = 0;        // addresses in this subtree
+    std::uint16_t child_mask = 0; // bit v set <=> children[v] != nullptr
+  };
+
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace sixgen::nybtree

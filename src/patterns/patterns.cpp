@@ -1,0 +1,192 @@
+#include "patterns/patterns.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace sixgen::patterns {
+
+using ip6::Address;
+using ip6::AddressSet;
+using ip6::Prefix;
+using ip6::U128;
+
+namespace {
+
+unsigned Popcount128(U128 v) {
+  return static_cast<unsigned>(std::popcount(static_cast<std::uint64_t>(v)) +
+                               std::popcount(static_cast<std::uint64_t>(v >> 64)));
+}
+
+}  // namespace
+
+unsigned BitRange::FreeBits() const { return 128 - Popcount128(determined); }
+
+bool BitRange::Contains(const Address& addr) const {
+  return (addr.ToU128() & determined) == (value & determined);
+}
+
+U128 BitRange::Size() const {
+  const unsigned free = FreeBits();
+  if (free >= 128) return ~U128{0};  // saturate
+  return U128{1} << free;
+}
+
+Address BitRange::AddressAt(U128 index) const {
+  U128 out = value & determined;
+  // Scatter index bits into the free bit positions, LSB first.
+  for (unsigned bit = 0; bit < 128 && index != 0; ++bit) {
+    const U128 mask = U128{1} << bit;
+    if (determined & mask) continue;
+    if (index & 1) out |= mask;
+    index >>= 1;
+  }
+  return Address::FromU128(out);
+}
+
+BitRange BitRange::FromPrefix(const Prefix& prefix) {
+  BitRange range;
+  if (prefix.length() > 0) {
+    range.determined = prefix.length() >= 128
+                           ? ~U128{0}
+                           : ~U128{0} << (128 - prefix.length());
+  }
+  range.value = prefix.network().ToU128();
+  return range;
+}
+
+std::optional<BitRange> UllrichDeriveRange(std::span<const Address> seeds,
+                                           const UllrichConfig& config) {
+  BitRange range = config.initial;
+  if (range.determined == 0) return std::nullopt;  // needs >=1 determined bit
+
+  // Seeds inside the evolving range; fixing bits only shrinks this set.
+  std::vector<U128> inside;
+  for (const Address& seed : seeds) {
+    if (range.Contains(seed)) inside.push_back(seed.ToU128());
+  }
+  if (inside.empty()) return std::nullopt;
+
+  while (range.FreeBits() > config.free_bits) {
+    // Find the (bit, value) pair matched by the most in-range seeds.
+    int best_bit = -1;
+    unsigned best_value = 0;
+    std::size_t best_count = 0;
+    for (unsigned bit = 0; bit < 128; ++bit) {
+      const U128 mask = U128{1} << (127 - bit);
+      if (range.determined & mask) continue;
+      std::size_t ones = 0;
+      for (U128 seed : inside) {
+        if (seed & mask) ++ones;
+      }
+      const std::size_t zeros = inside.size() - ones;
+      // Prefer the majority value; break ties toward the most significant
+      // free bit (scan order) and value 0, which keeps output deterministic.
+      if (ones > best_count) {
+        best_count = ones;
+        best_bit = static_cast<int>(bit);
+        best_value = 1;
+      }
+      if (zeros > best_count) {
+        best_count = zeros;
+        best_bit = static_cast<int>(bit);
+        best_value = 0;
+      }
+    }
+    if (best_bit < 0) break;  // no free bits left
+
+    const U128 mask = U128{1} << (127 - static_cast<unsigned>(best_bit));
+    range.determined |= mask;
+    if (best_value) {
+      range.value |= mask;
+    } else {
+      range.value &= ~mask;
+    }
+    std::erase_if(inside, [&](U128 seed) {
+      return (seed & mask) != (range.value & mask);
+    });
+    if (inside.empty()) break;  // degenerate; return what we have
+  }
+  return range;
+}
+
+std::vector<Address> UllrichGenerate(std::span<const Address> seeds,
+                                     const UllrichConfig& config, U128 budget,
+                                     std::uint64_t rng_seed) {
+  auto range = UllrichDeriveRange(seeds, config);
+  std::vector<Address> out;
+  if (!range || budget == 0) return out;
+  const U128 size = range->Size();
+  if (size <= budget) {
+    for (U128 i = 0; i < size; ++i) out.push_back(range->AddressAt(i));
+    return out;
+  }
+  std::mt19937_64 rng(rng_seed);
+  AddressSet seen;
+  while (out.size() < static_cast<std::size_t>(budget)) {
+    const U128 index =
+        (((static_cast<U128>(rng()) << 64) | rng())) % size;
+    const Address addr = range->AddressAt(index);
+    if (seen.insert(addr).second) out.push_back(addr);
+  }
+  return out;
+}
+
+std::vector<Address> LowByteGenerate(std::span<const Address> seeds,
+                                     const LowByteConfig& config, U128 budget) {
+  std::vector<Address> out;
+  AddressSet seen;
+  auto emit = [&](const Address& a) {
+    if (static_cast<U128>(out.size()) >= budget) return false;
+    if (seen.insert(a).second) out.push_back(a);
+    return static_cast<U128>(out.size()) < budget;
+  };
+
+  const unsigned nybbles = std::min(config.nybbles, 8u);
+  const std::uint64_t variants = 1ULL << (4 * nybbles);
+
+  // Round-robin across seeds so a tight budget still covers every seed's
+  // immediate neighborhood rather than exhausting the first seed's space.
+  for (std::uint64_t v = 0; v < variants; ++v) {
+    bool any = false;
+    for (const Address& seed : seeds) {
+      Address addr = seed;
+      for (unsigned n = 0; n < nybbles; ++n) {
+        addr = addr.WithNybble(ip6::kNybbles - 1 - n,
+                               static_cast<unsigned>((v >> (4 * n)) & 0xF));
+      }
+      if (!emit(addr)) return out;
+      any = true;
+    }
+    if (!any) break;
+  }
+
+  if (config.include_subnet_low) {
+    // Zeroed IID with a small counter: <seed /64>::1, ::2, …
+    for (std::uint64_t c = 1; c <= 256; ++c) {
+      for (const Address& seed : seeds) {
+        const U128 subnet = seed.ToU128() & (~U128{0} << 64);
+        if (!emit(Address::FromU128(subnet | c))) return out;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Address> RandomGenerate(const Prefix& prefix, U128 budget,
+                                    std::uint64_t rng_seed) {
+  std::mt19937_64 rng(rng_seed);
+  AddressSet seen;
+  std::vector<Address> out;
+  const unsigned host_bits = 128 - prefix.length();
+  const U128 capacity = host_bits >= 127 ? ~U128{0} : (U128{1} << host_bits);
+  const U128 want = budget < capacity ? budget : capacity;
+  while (static_cast<U128>(out.size()) < want) {
+    U128 host = (static_cast<U128>(rng()) << 64) | rng();
+    if (host_bits < 128) host &= (U128{1} << host_bits) - 1;
+    const Address addr = Address::FromU128(prefix.network().ToU128() | host);
+    if (seen.insert(addr).second) out.push_back(addr);
+  }
+  return out;
+}
+
+}  // namespace sixgen::patterns

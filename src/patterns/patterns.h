@@ -1,0 +1,91 @@
+// Pattern-based baseline target generation algorithms.
+//
+// Baselines the paper discusses alongside 6Gen (§3.3):
+//  * Ullrich et al. (ARES 2015): recursive bit-fixing. Given a starting
+//    range and a threshold N, repeatedly fix the (bit, value) pair matching
+//    the most seeds until only N bits remain undetermined; the final
+//    2^N-address range is the target list.
+//  * RFC 7707 low-byte prediction: vary the low-order bytes of each seed.
+//  * Uniform random generation within a prefix (the brute-force control
+//    Ullrich et al. compared against).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "ip6/address.h"
+#include "ip6/nybble_range.h"
+#include "ip6/prefix.h"
+
+namespace sixgen::patterns {
+
+/// A bit-level address range: bits where `determined` is 1 are fixed to the
+/// corresponding bit of `value`; the rest are free. This is the range
+/// representation of Ullrich et al.'s algorithm (constant-size output,
+/// unlike 6Gen's variable nybble ranges).
+struct BitRange {
+  ip6::U128 determined = 0;
+  ip6::U128 value = 0;
+
+  /// Number of free (undetermined) bits.
+  unsigned FreeBits() const;
+
+  /// True iff the address matches every determined bit.
+  bool Contains(const ip6::Address& addr) const;
+
+  /// Number of addresses in the range (2^FreeBits, saturating).
+  ip6::U128 Size() const;
+
+  /// The `index`-th address: free bits enumerated in order, LSB fastest.
+  ip6::Address AddressAt(ip6::U128 index) const;
+
+  /// Bit-range of an entire CIDR prefix.
+  static BitRange FromPrefix(const ip6::Prefix& prefix);
+};
+
+struct UllrichConfig {
+  /// Stop when only this many bits remain undetermined; the output range
+  /// then holds 2^free_bits targets.
+  unsigned free_bits = 16;
+  /// Required starting range with at least one determined bit (the
+  /// algorithm's user-specified input).
+  BitRange initial;
+};
+
+/// Derives the final range by recursive bit-fixing over the seeds inside
+/// the evolving range. Returns std::nullopt if no seed lies inside the
+/// initial range or the config is infeasible (initial range already has
+/// fewer free bits than requested is fine — it is returned unchanged).
+std::optional<BitRange> UllrichDeriveRange(std::span<const ip6::Address> seeds,
+                                           const UllrichConfig& config);
+
+/// Full Ullrich TGA: derive the range, then emit up to `budget` targets
+/// from it (the whole range if it fits, otherwise a random sample).
+std::vector<ip6::Address> UllrichGenerate(std::span<const ip6::Address> seeds,
+                                          const UllrichConfig& config,
+                                          ip6::U128 budget,
+                                          std::uint64_t rng_seed);
+
+struct LowByteConfig {
+  /// How many trailing nybbles of each seed to vary.
+  unsigned nybbles = 2;
+  /// Also try the all-zeros IID with a low counter (::1, ::2, …).
+  bool include_subnet_low = true;
+};
+
+/// RFC 7707 low-byte prediction: for each seed, enumerate the 16^nybbles
+/// variants of its trailing nybbles (round-robin across seeds until the
+/// budget is spent). Seeds themselves are included.
+std::vector<ip6::Address> LowByteGenerate(std::span<const ip6::Address> seeds,
+                                          const LowByteConfig& config,
+                                          ip6::U128 budget);
+
+/// Uniform random addresses inside `prefix` (brute-force control).
+std::vector<ip6::Address> RandomGenerate(const ip6::Prefix& prefix,
+                                         ip6::U128 budget,
+                                         std::uint64_t rng_seed);
+
+}  // namespace sixgen::patterns

@@ -1,0 +1,144 @@
+#include "patterns/space_tree.h"
+
+#include <algorithm>
+#include <random>
+
+#include "nybtree/nybble_tree.h"
+
+namespace sixgen::patterns {
+
+using ip6::Address;
+using ip6::AddressSet;
+using ip6::kNybbles;
+using ip6::NybbleRange;
+using ip6::U128;
+
+namespace {
+
+NybbleRange PrefixRange(const Address& addr, unsigned fixed_nybbles) {
+  NybbleRange range = NybbleRange::Single(addr);
+  for (unsigned i = fixed_nybbles; i < kNybbles; ++i) {
+    range.SetMask(i, ip6::kFullMask);
+  }
+  return range;
+}
+
+}  // namespace
+
+std::vector<SpaceTreeRegion> BuildSpaceTree(std::span<const Address> seeds,
+                                            const SpaceTreeConfig& config) {
+  std::vector<SpaceTreeRegion> regions;
+  AddressSet unique(seeds.begin(), seeds.end());
+  std::vector<Address> sorted(unique.begin(), unique.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.empty()) return regions;
+
+  // Recursive partition over the sorted list: the current group shares the
+  // first `depth` nybbles. Cut a region when the group is small enough or
+  // fully fixed.
+  struct Frame {
+    std::size_t begin, end;
+    unsigned depth;
+  };
+  std::vector<Frame> stack{{0, sorted.size(), 0}};
+  while (!stack.empty()) {
+    const auto [begin, end, depth] = stack.back();
+    stack.pop_back();
+    const std::size_t count = end - begin;
+    if (count < config.min_region_seeds) continue;
+    if (count <= config.max_region_seeds || depth == kNybbles) {
+      // Tighten to the group's longest common prefix before emitting.
+      unsigned lcp = depth;
+      while (lcp < kNybbles) {
+        const unsigned v = sorted[begin].Nybble(lcp);
+        bool all_same = true;
+        for (std::size_t i = begin + 1; i < end; ++i) {
+          if (sorted[i].Nybble(lcp) != v) {
+            all_same = false;
+            break;
+          }
+        }
+        if (!all_same) break;
+        ++lcp;
+      }
+      SpaceTreeRegion region;
+      region.fixed_nybbles = lcp;
+      region.range = PrefixRange(sorted[begin], lcp);
+      region.seed_count = count;
+      regions.push_back(std::move(region));
+      continue;
+    }
+    // Split by the nybble value at `depth` (children of the trie node).
+    std::size_t i = begin;
+    while (i < end) {
+      const unsigned v = sorted[i].Nybble(depth);
+      std::size_t j = i;
+      while (j < end && sorted[j].Nybble(depth) == v) ++j;
+      stack.push_back({i, j, depth + 1});
+      i = j;
+    }
+  }
+
+  std::sort(regions.begin(), regions.end(),
+            [](const SpaceTreeRegion& a, const SpaceTreeRegion& b) {
+              if (a.fixed_nybbles != b.fixed_nybbles) {
+                return a.fixed_nybbles > b.fixed_nybbles;  // deepest first
+              }
+              if (a.seed_count != b.seed_count) {
+                return a.seed_count > b.seed_count;
+              }
+              return a.range.First() < b.range.First();
+            });
+  return regions;
+}
+
+std::vector<Address> SpaceTreeGenerate(std::span<const Address> seeds,
+                                       U128 budget,
+                                       const SpaceTreeConfig& config) {
+  std::vector<Address> out;
+  if (budget == 0) return out;
+  const auto regions = BuildSpaceTree(seeds, config);
+  if (regions.empty()) return out;
+
+  std::mt19937_64 rng(config.rng_seed);
+  AddressSet seen(seeds.begin(), seeds.end());
+  auto emit = [&](const Address& a) {
+    if (seen.insert(a).second) out.push_back(a);
+    return static_cast<U128>(out.size()) < budget;
+  };
+
+  // Deepest (most specific) regions first; round-robin within one depth
+  // class happens naturally since each region is bounded below.
+  for (const SpaceTreeRegion& region : regions) {
+    if (static_cast<U128>(out.size()) >= budget) break;
+    const U128 size = region.range.Size();
+    if (size <= 1u << 20) {
+      bool keep_going = true;
+      region.range.ForEach([&](const Address& a) {
+        keep_going = emit(a);
+        return keep_going;
+      });
+      if (!keep_going) break;
+    } else {
+      // Sample a bounded slice of a huge region: proportional to its seed
+      // count, so sparse deep space does not swallow the budget.
+      const U128 slice =
+          std::min<U128>(budget - out.size(),
+                         static_cast<U128>(region.seed_count) * 256);
+      U128 drawn = 0;
+      U128 attempts = 0;
+      while (drawn < slice && attempts++ < slice * 16) {
+        const U128 index =
+            ((static_cast<U128>(rng()) << 64) | rng()) % size;
+        if (emit(region.range.AddressAt(index))) {
+          ++drawn;
+        } else {
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sixgen::patterns

@@ -1,0 +1,58 @@
+// Space-tree target generation — the core idea behind 6Tree (Liu et al.,
+// Computer Networks 2019), the best-known follow-on to this paper's TGA
+// line. Where 6Gen grows clusters greedily by pairwise similarity, the
+// space-tree approach partitions the seed set hierarchically: descend the
+// 16-ary nybble trie, and wherever a subtree's seeds stop sharing a common
+// path, cut a region. Regions are ranked by seed density and expanded
+// (their free nybbles enumerated or sampled) until the budget is spent.
+//
+// Included as a baseline so the ablation bench can compare the paper's
+// greedy clustering against the hierarchical-partition alternative.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ip6/address.h"
+#include "ip6/nybble_range.h"
+
+namespace sixgen::patterns {
+
+struct SpaceTreeConfig {
+  /// A trie node becomes a region when its subtree holds at most this many
+  /// seeds (the partition granularity).
+  std::size_t max_region_seeds = 16;
+  /// Regions whose seed count is below this are ignored as noise.
+  std::size_t min_region_seeds = 2;
+  std::uint64_t rng_seed = 0x6'7ee;
+};
+
+/// One region of the space partition: the longest common prefix of a seed
+/// group, with the remaining nybbles free.
+struct SpaceTreeRegion {
+  ip6::NybbleRange range;   // fixed prefix nybbles + trailing wildcards
+  unsigned fixed_nybbles = 0;
+  std::size_t seed_count = 0;
+
+  /// Seeds per free-space order of magnitude; the ranking key.
+  double DensityScore() const {
+    return static_cast<double>(seed_count) /
+           static_cast<double>(ip6::kNybbles - fixed_nybbles + 1);
+  }
+};
+
+/// Partitions the seeds into space-tree regions (deepest trie nodes whose
+/// subtree seed count <= max_region_seeds, grouped under their longest
+/// common prefix). Sorted by descending density score.
+std::vector<SpaceTreeRegion> BuildSpaceTree(
+    std::span<const ip6::Address> seeds, const SpaceTreeConfig& config = {});
+
+/// Full space-tree TGA: partition, rank, then emit targets region by
+/// region (deepest/densest first), enumerating small free spaces and
+/// sampling large ones, until `budget` unique non-seed targets exist.
+std::vector<ip6::Address> SpaceTreeGenerate(std::span<const ip6::Address> seeds,
+                                            ip6::U128 budget,
+                                            const SpaceTreeConfig& config = {});
+
+}  // namespace sixgen::patterns

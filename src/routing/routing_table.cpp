@@ -1,0 +1,108 @@
+#include "routing/routing_table.h"
+
+#include <algorithm>
+
+namespace sixgen::routing {
+
+using ip6::Address;
+using ip6::Prefix;
+
+namespace {
+
+// Bit `i` of an address (0 = most significant).
+unsigned BitAt(const Address& addr, unsigned i) {
+  return static_cast<unsigned>((addr.ToU128() >> (127 - i)) & 1);
+}
+
+}  // namespace
+
+RoutingTable::RoutingTable(std::span<const Route> routes) {
+  for (const Route& r : routes) Announce(r.prefix, r.origin);
+}
+
+bool RoutingTable::Announce(const Prefix& prefix, Asn asn) {
+  Node* node = root_.get();
+  for (unsigned i = 0; i < prefix.length(); ++i) {
+    const unsigned bit = BitAt(prefix.network(), i);
+    if (!node->child[bit]) node->child[bit] = std::make_unique<Node>();
+    node = node->child[bit].get();
+  }
+  const bool is_new = !node->route.has_value();
+  node->route = Route{prefix, asn};
+  if (is_new) ++size_;
+  return is_new;
+}
+
+std::optional<Route> RoutingTable::Lookup(const Address& addr) const {
+  const Node* node = root_.get();
+  std::optional<Route> best = node->route;
+  for (unsigned i = 0; i < 128 && node; ++i) {
+    node = node->child[BitAt(addr, i)].get();
+    if (node && node->route) best = node->route;
+  }
+  return best;
+}
+
+std::optional<Asn> RoutingTable::OriginAs(const Address& addr) const {
+  auto route = Lookup(addr);
+  if (!route) return std::nullopt;
+  return route->origin;
+}
+
+std::vector<Route> RoutingTable::Routes() const {
+  std::vector<Route> out;
+  out.reserve(size_);
+  // DFS collecting terminal routes.
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->route) out.push_back(*node->route);
+    for (int b = 1; b >= 0; --b) {
+      if (node->child[b]) stack.push_back(node->child[b].get());
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Route& a, const Route& b) {
+    return a.prefix < b.prefix;
+  });
+  return out;
+}
+
+std::vector<SeedGroup> GroupByRoutedPrefix(const RoutingTable& table,
+                                           std::span<const Address> seeds,
+                                           std::size_t* unrouted) {
+  std::map<Prefix, SeedGroup> groups;
+  std::size_t dropped = 0;
+  for (const Address& seed : seeds) {
+    auto route = table.Lookup(seed);
+    if (!route) {
+      ++dropped;
+      continue;
+    }
+    auto [it, inserted] = groups.try_emplace(route->prefix);
+    if (inserted) it->second.route = *route;
+    it->second.seeds.push_back(seed);
+  }
+  if (unrouted) *unrouted = dropped;
+
+  std::vector<SeedGroup> out;
+  out.reserve(groups.size());
+  for (auto& [prefix, group] : groups) out.push_back(std::move(group));
+  return out;
+}
+
+void AsRegistry::Register(Asn asn, std::string name) {
+  infos_[asn] = AsInfo{asn, std::move(name)};
+}
+
+const AsInfo* AsRegistry::Find(Asn asn) const {
+  auto it = infos_.find(asn);
+  return it == infos_.end() ? nullptr : &it->second;
+}
+
+std::string AsRegistry::NameOf(Asn asn) const {
+  const AsInfo* info = Find(asn);
+  return info ? info->name : "AS" + std::to_string(asn);
+}
+
+}  // namespace sixgen::routing

@@ -1,0 +1,168 @@
+#include "scanner/permutation.h"
+
+#include <random>
+#include <stdexcept>
+
+namespace sixgen::scanner {
+namespace {
+
+using U128 = ip6::U128;
+
+std::uint64_t MulMod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(static_cast<U128>(a) * b % m);
+}
+
+std::uint64_t PowMod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  std::uint64_t result = 1;
+  base %= m;
+  while (exp != 0) {
+    if (exp & 1) result = MulMod(result, base, m);
+    base = MulMod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+// Deterministic Miller-Rabin, exact for all 64-bit integers with this
+// witness set.
+bool IsPrime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  unsigned r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    std::uint64_t x = PowMod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool witness = true;
+    for (unsigned i = 1; i < r; ++i) {
+      x = MulMod(x, x, n);
+      if (x == n - 1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+std::uint64_t NextPrimeAbove(std::uint64_t n) {
+  std::uint64_t candidate = n < 2 ? 3 : n + 1;
+  if ((candidate & 1) == 0) ++candidate;
+  while (!IsPrime(candidate)) candidate += 2;
+  return candidate;
+}
+
+std::vector<std::uint64_t> PrimeFactors(std::uint64_t n) {
+  std::vector<std::uint64_t> factors;
+  for (std::uint64_t p = 2; p * p <= n; p += (p == 2 ? 1 : 2)) {
+    if (n % p == 0) {
+      factors.push_back(p);
+      while (n % p == 0) n /= p;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  return factors;
+}
+
+// Finds a generator of the cyclic group (Z/pZ)*, preferring a random one
+// so different seeds yield different permutations.
+std::uint64_t FindGenerator(std::uint64_t prime, std::mt19937_64& rng) {
+  if (prime == 3) return 2;  // the only generator of (Z/3Z)*
+  const std::uint64_t order = prime - 1;
+  const auto factors = PrimeFactors(order);
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    const std::uint64_t candidate = 2 + rng() % (prime - 2);
+    bool is_generator = true;
+    for (std::uint64_t q : factors) {
+      if (PowMod(candidate, order / q, prime) == 1) {
+        is_generator = false;
+        break;
+      }
+    }
+    if (is_generator) return candidate;
+  }
+  throw std::logic_error("no generator found (should be unreachable)");
+}
+
+}  // namespace
+
+CyclicPermutation::CyclicPermutation(std::uint64_t n, std::uint64_t rng_seed)
+    : n_(n) {
+  if (n == 0) throw std::invalid_argument("CyclicPermutation: n must be >= 1");
+  std::mt19937_64 rng(rng_seed);
+  // p > n so that every index in [1, n] is an element of (Z/pZ)*.
+  prime_ = NextPrimeAbove(std::max<std::uint64_t>(n, 2));
+  generator_ = FindGenerator(prime_, rng);
+  first_ = 1 + rng() % (prime_ - 1);  // random starting point in the cycle
+  Reset();
+}
+
+void CyclicPermutation::Reset() {
+  current_ = first_;
+  emitted_ = 0;
+  done_ = false;
+}
+
+std::optional<std::uint64_t> CyclicPermutation::Next() {
+  // The generator's cycle visits every element of [1, p-1] exactly once,
+  // so exactly n_ of the visited values are <= n_; after emitting them all
+  // the permutation is complete.
+  if (done_ || emitted_ >= n_) {
+    done_ = true;
+    return std::nullopt;
+  }
+  while (true) {
+    const std::uint64_t value = current_;
+    current_ = MulMod(current_, generator_, prime_);
+    if (value <= n_) {
+      ++emitted_;
+      return value - 1;
+    }
+  }
+}
+
+void Blacklist::Add(const ip6::Prefix& prefix) { table_.Announce(prefix, 1); }
+
+bool Blacklist::Contains(const ip6::Address& addr) const {
+  return table_.Lookup(addr).has_value();
+}
+
+std::vector<ip6::Address> Blacklist::Filter(
+    std::span<const ip6::Address> targets, std::size_t* removed) const {
+  std::vector<ip6::Address> out;
+  out.reserve(targets.size());
+  std::size_t dropped = 0;
+  for (const ip6::Address& t : targets) {
+    if (Contains(t)) {
+      ++dropped;
+    } else {
+      out.push_back(t);
+    }
+  }
+  if (removed) *removed = dropped;
+  return out;
+}
+
+bool ForEachInScanOrder(std::span<const ip6::Address> targets,
+                        const Blacklist& blacklist, std::uint64_t rng_seed,
+                        const std::function<bool(const ip6::Address&)>& fn) {
+  if (targets.empty()) return true;
+  CyclicPermutation perm(targets.size(), rng_seed);
+  while (auto index = perm.Next()) {
+    const ip6::Address& addr = targets[*index];
+    if (blacklist.Contains(addr)) continue;
+    if (!fn(addr)) return false;
+  }
+  return true;
+}
+
+}  // namespace sixgen::scanner

@@ -1,0 +1,83 @@
+// ZMap-style target randomization and opt-out blacklisting.
+//
+// ZMap (Durumeric et al., USENIX Security 2013) visits the scan space in a
+// random order without per-target state by iterating a cyclic group: pick a
+// prime p > n, a random generator g of (Z/pZ)*, and walk x -> g*x mod p,
+// emitting values <= n. The paper's scans likewise "randomized the order of
+// the destination hosts" (§6) and honor opt-out requests by blacklisting
+// networks "from any further scans".
+//
+// CyclicPermutation provides the stateless-random iteration over an index
+// space; Blacklist implements longest-prefix-match opt-out filtering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ip6/address.h"
+#include "ip6/prefix.h"
+#include "routing/routing_table.h"
+
+namespace sixgen::scanner {
+
+/// A pseudorandom permutation of [0, n) via multiplicative-cyclic-group
+/// iteration, as ZMap's address sharding does. Visits every index exactly
+/// once in an order determined by `rng_seed`; O(1) state.
+class CyclicPermutation {
+ public:
+  /// Precondition: n >= 1.
+  CyclicPermutation(std::uint64_t n, std::uint64_t rng_seed);
+
+  /// Number of elements in the permuted space.
+  std::uint64_t size() const { return n_; }
+
+  /// The next index in [0, n), or std::nullopt when the cycle completes.
+  std::optional<std::uint64_t> Next();
+
+  /// Restarts the walk from the beginning of the same permutation.
+  void Reset();
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t prime_;      // smallest prime > n_ (and >= 3)
+  std::uint64_t generator_;  // multiplicative generator of (Z/prime)*
+  std::uint64_t first_ = 1;
+  std::uint64_t current_ = 1;
+  std::uint64_t emitted_ = 0;
+  bool done_ = false;
+};
+
+/// Scan opt-out list (paper §6: "We respect all scanning opt-out requests,
+/// blacklisting them from any further scans").
+class Blacklist {
+ public:
+  Blacklist() = default;
+
+  /// Blocks every address inside `prefix`.
+  void Add(const ip6::Prefix& prefix);
+
+  /// True iff the address is covered by any blacklisted prefix.
+  bool Contains(const ip6::Address& addr) const;
+
+  /// Filters a target list, returning the allowed targets in order and
+  /// counting removals in `removed` when non-null.
+  std::vector<ip6::Address> Filter(std::span<const ip6::Address> targets,
+                                   std::size_t* removed = nullptr) const;
+
+  std::size_t Size() const { return table_.Size(); }
+
+ private:
+  routing::RoutingTable table_;  // LPM over blocked prefixes
+};
+
+/// Visits `targets` in ZMap order (cyclic permutation seeded by rng_seed),
+/// skipping blacklisted addresses. The visitor returns false to stop early;
+/// returns false iff stopped.
+bool ForEachInScanOrder(std::span<const ip6::Address> targets,
+                        const Blacklist& blacklist, std::uint64_t rng_seed,
+                        const std::function<bool(const ip6::Address&)>& fn);
+
+}  // namespace sixgen::scanner

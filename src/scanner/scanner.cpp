@@ -1,0 +1,71 @@
+#include "scanner/scanner.h"
+
+#include <algorithm>
+
+namespace sixgen::scanner {
+
+using ip6::Address;
+
+SimulatedScanner::SimulatedScanner(const simnet::Universe& universe,
+                                   ScanConfig config)
+    : universe_(universe), config_(config), rng_(config.rng_seed) {}
+
+bool SimulatedScanner::ProbeOnce(const Address& addr) {
+  ++total_probes_;
+  if (!universe_.Responds(addr, config_.service)) return false;
+  if (config_.loss_rate <= 0.0) return true;
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) >=
+         config_.loss_rate;
+}
+
+bool SimulatedScanner::Probe(const Address& addr) {
+  const unsigned attempts = std::max(config_.attempts, 1u);
+  for (unsigned i = 0; i < attempts; ++i) {
+    if (ProbeOnce(addr)) return true;
+  }
+  return false;
+}
+
+ScanResult SimulatedScanner::Scan(std::span<const Address> targets) {
+  ScanResult result;
+  std::vector<Address> order(targets.begin(), targets.end());
+  if (config_.randomize_order) {
+    std::shuffle(order.begin(), order.end(), rng_);
+  }
+  ip6::AddressSet seen;
+  seen.reserve(order.size());
+  const std::size_t probes_before = total_probes_;
+  for (const Address& addr : order) {
+    if (!seen.insert(addr).second) continue;  // dedupe targets
+    if (config_.blacklist && config_.blacklist->Contains(addr)) {
+      ++result.blacklisted;  // opt-out: never probed
+      continue;
+    }
+    ++result.targets_probed;
+    if (Probe(addr)) result.hits.push_back(addr);
+  }
+  result.probes_sent = total_probes_ - probes_before;
+  if (config_.packets_per_second > 0) {
+    result.virtual_seconds =
+        static_cast<double>(result.probes_sent) /
+        static_cast<double>(config_.packets_per_second);
+  }
+  return result;
+}
+
+HitRollup RollupHits(const routing::RoutingTable& table,
+                     std::span<const Address> hits) {
+  HitRollup rollup;
+  for (const Address& hit : hits) {
+    auto route = table.Lookup(hit);
+    if (!route) {
+      ++rollup.unrouted;
+      continue;
+    }
+    ++rollup.by_as[route->origin];
+    ++rollup.by_prefix[route->prefix];
+  }
+  return rollup;
+}
+
+}  // namespace sixgen::scanner

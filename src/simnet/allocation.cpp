@@ -1,0 +1,185 @@
+#include "simnet/allocation.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace sixgen::simnet {
+
+using ip6::Address;
+using ip6::Prefix;
+using ip6::U128;
+
+namespace {
+
+/// Returns an address equal to `base` with the low `host_bits` replaced by
+/// `host_value` (which must fit).
+Address WithHostBits(const Address& base, unsigned host_bits, U128 host_value) {
+  if (host_bits == 0) return base;
+  const U128 mask = host_bits >= 128 ? ~U128{0} : ((U128{1} << host_bits) - 1);
+  return Address::FromU128((base.ToU128() & ~mask) | (host_value & mask));
+}
+
+U128 RandomBits(std::mt19937_64& rng, unsigned bits) {
+  if (bits == 0) return 0;
+  U128 v = (static_cast<U128>(rng()) << 64) | rng();
+  if (bits >= 128) return v;
+  return v & ((U128{1} << bits) - 1);
+}
+
+// A small pool of plausible vendor OUIs for EUI-64 interface identifiers.
+constexpr std::uint32_t kOuiPool[] = {0x00163e, 0x001a4b, 0x3c22fb,
+                                      0x84a938, 0xf4ce46};
+
+// Hex "words" operators embed in addresses (RFC 7707 §2.1.3).
+constexpr std::uint16_t kHexWords[] = {0xdead, 0xbeef, 0xcafe, 0xbabe,
+                                       0xf00d, 0xface, 0xc0de, 0x1ee7};
+
+constexpr std::uint16_t kServicePorts[] = {80, 443, 25, 53, 22, 8080};
+
+}  // namespace
+
+std::string_view PolicyName(AllocationPolicy policy) {
+  switch (policy) {
+    case AllocationPolicy::kLowByte: return "low-byte";
+    case AllocationPolicy::kSubnetStructured: return "subnet-structured";
+    case AllocationPolicy::kSequential: return "sequential";
+    case AllocationPolicy::kPortEmbedded: return "port-embedded";
+    case AllocationPolicy::kHexWords: return "hex-words";
+    case AllocationPolicy::kEui64: return "eui-64";
+    case AllocationPolicy::kPrivacyRandom: return "privacy-random";
+    case AllocationPolicy::kEmbeddedIpv4: return "embedded-ipv4";
+  }
+  return "unknown";
+}
+
+std::vector<Address> AllocateHosts(const Prefix& subnet,
+                                   AllocationPolicy policy, std::size_t count,
+                                   std::mt19937_64& rng) {
+  const unsigned host_bits = 128 - subnet.length();
+  const Address base = subnet.network();
+  ip6::AddressSet seen;
+  std::vector<Address> out;
+  out.reserve(count);
+  auto add = [&](const Address& a) {
+    if (subnet.Contains(a) && seen.insert(a).second) out.push_back(a);
+  };
+
+  // Guard: a subnet can hold at most 2^host_bits hosts.
+  if (host_bits < 64) {
+    const U128 capacity = U128{1} << host_bits;
+    if (count > capacity) count = static_cast<std::size_t>(capacity);
+  }
+
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = count * 64 + 1024;
+  const U128 seq_base = 1 + rng() % 0x10000;  // for kSequential
+  while (out.size() < count && ++attempts < max_attempts) {
+    switch (policy) {
+      case AllocationPolicy::kLowByte: {
+        // ::1, ::2, …; occasionally skip values as real networks do.
+        const U128 value = 1 + out.size() + (rng() % 3 == 0 ? rng() % 4 : 0);
+        add(WithHostBits(base, host_bits, value));
+        break;
+      }
+      case AllocationPolicy::kSubnetStructured: {
+        // A handful of structured "service" nybbles near the top of the
+        // IID plus a small low counter: <svc>::<n>.
+        const U128 svc = rng() % 4;
+        const U128 low = 1 + rng() % std::max<std::size_t>(count, 4);
+        const unsigned shift = host_bits >= 16 ? host_bits - 16 : 0;
+        add(WithHostBits(base, host_bits, (svc << shift) | low));
+        break;
+      }
+      case AllocationPolicy::kSequential: {
+        add(WithHostBits(base, host_bits, seq_base + out.size()));
+        break;
+      }
+      case AllocationPolicy::kPortEmbedded: {
+        const std::uint16_t port =
+            kServicePorts[rng() % std::size(kServicePorts)];
+        // Decimal-as-hex embedding: ::80, ::443 (the textual port reads in
+        // hex), plus a small machine index one group up.
+        const U128 hexport = [&] {
+          U128 v = 0;
+          unsigned shift = 0;
+          for (std::uint16_t p = port; p != 0; p /= 10, shift += 4) {
+            v |= static_cast<U128>(p % 10) << shift;
+          }
+          return v;
+        }();
+        const U128 machine = rng() % std::max<std::size_t>(count, 2);
+        add(WithHostBits(base, host_bits, (machine << 16) | hexport));
+        break;
+      }
+      case AllocationPolicy::kHexWords: {
+        const U128 w1 = kHexWords[rng() % std::size(kHexWords)];
+        const U128 w2 = kHexWords[rng() % std::size(kHexWords)];
+        const U128 low = rng() % std::max<std::size_t>(count, 2);
+        add(WithHostBits(base, host_bits, (w1 << 48) | (w2 << 32) | low));
+        break;
+      }
+      case AllocationPolicy::kEui64: {
+        const std::uint32_t oui = kOuiPool[rng() % std::size(kOuiPool)];
+        const std::uint32_t tail = static_cast<std::uint32_t>(rng()) & 0xFFFFFF;
+        U128 iid = 0;
+        iid |= static_cast<U128>(oui ^ 0x020000) << 40;  // flip the u/l bit
+        iid |= U128{0xFFFE} << 24;
+        iid |= tail;
+        add(WithHostBits(base, host_bits, iid));
+        break;
+      }
+      case AllocationPolicy::kPrivacyRandom: {
+        add(WithHostBits(base, host_bits, RandomBits(rng, host_bits)));
+        break;
+      }
+      case AllocationPolicy::kEmbeddedIpv4: {
+        // Dual-stack operators embed the host's IPv4 address in the IID
+        // (RFC 7707 s2.1.2): 10.x.y.z as the literal 32-bit value.
+        // The v4 pool is a handful of /24s filled near-sequentially, as
+        // real dual-stack assignments are.
+        const U128 v4 = (U128{10} << 24) | (rng() % 4 << 16) |
+                        (rng() % 4 << 8) | (1 + out.size() % 254);
+        add(WithHostBits(base, host_bits, v4));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Prefix> AllocateSubnets(const Prefix& network, unsigned subnet_len,
+                                    std::size_t count,
+                                    double structured_fraction,
+                                    std::mt19937_64& rng) {
+  if (subnet_len < network.length() || subnet_len > 128) {
+    throw std::invalid_argument("subnet length outside network prefix");
+  }
+  const unsigned id_bits = subnet_len - network.length();
+  const unsigned tail_bits = 128 - subnet_len;
+  const U128 capacity = id_bits >= 64 ? ~U128{0} : (U128{1} << id_bits);
+  if (static_cast<U128>(count) > capacity) {
+    count = static_cast<std::size_t>(capacity);
+  }
+
+  std::vector<Prefix> out;
+  out.reserve(count);
+  std::unordered_set<std::uint64_t> used;
+  std::size_t attempts = 0;
+  while (out.size() < count && ++attempts < count * 64 + 1024) {
+    U128 subnet_id;
+    if (std::uniform_real_distribution<double>(0.0, 1.0)(rng) <
+        structured_fraction) {
+      subnet_id = out.size();  // sequential from zero: 0, 1, 2, …
+    } else {
+      subnet_id = RandomBits(rng, std::min(id_bits, 16u));  // smallish random
+    }
+    if (subnet_id >= capacity) subnet_id = capacity - 1;
+    if (!used.insert(static_cast<std::uint64_t>(subnet_id)).second) continue;
+    const U128 net = network.network().ToU128() | (subnet_id << tail_bits);
+    out.push_back(Prefix::Make(Address::FromU128(net), subnet_len));
+  }
+  return out;
+}
+
+}  // namespace sixgen::simnet

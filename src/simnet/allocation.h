@@ -1,0 +1,63 @@
+// IPv6 address-allocation policies for the synthetic Internet.
+//
+// The paper's seed datasets come from real networks whose operators assign
+// addresses using the practices catalogued in RFC 7707 and observed in the
+// paper's own cluster analysis (§6.5: dynamic nybbles concentrate in the
+// subnet identifier, nybbles 9-16, and the low-order IID nybbles >= 29).
+// These generators reproduce those practices so that synthetic seed sets
+// exhibit the dense-region structure TGAs exploit.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+#include "ip6/address.h"
+#include "ip6/prefix.h"
+
+namespace sixgen::simnet {
+
+/// Address assignment practice for hosts within a subnet (RFC 7707 §2,
+/// paper §3.2).
+enum class AllocationPolicy {
+  kLowByte,         // only the least significant IID bits vary (::1, ::2, …)
+  kSubnetStructured,// small structured subnet ids, low IIDs
+  kSequential,      // sequential counter from a random base
+  kPortEmbedded,    // the service port embedded in the IID (::80, ::443)
+  kHexWords,        // human-readable hex words (dead:beef, cafe, …)
+  kEui64,           // SLAAC interface ids derived from MAC addresses
+  kPrivacyRandom,   // RFC 4941-style fully random IIDs
+  kEmbeddedIpv4,    // the host's IPv4 address embedded in the IID
+};
+
+/// Human-readable policy name (for reports and DESIGN/EXPERIMENTS docs).
+std::string_view PolicyName(AllocationPolicy policy);
+
+/// All policies, for parameterized tests.
+inline constexpr AllocationPolicy kAllPolicies[] = {
+    AllocationPolicy::kLowByte,      AllocationPolicy::kSubnetStructured,
+    AllocationPolicy::kSequential,   AllocationPolicy::kPortEmbedded,
+    AllocationPolicy::kHexWords,     AllocationPolicy::kEui64,
+    AllocationPolicy::kPrivacyRandom, AllocationPolicy::kEmbeddedIpv4,
+};
+
+/// Generates `count` distinct host addresses inside `subnet` following
+/// `policy`. Deterministic in `rng`. The subnet prefix length must be
+/// <= 128; host bits beyond the prefix are assigned by the policy.
+std::vector<ip6::Address> AllocateHosts(const ip6::Prefix& subnet,
+                                        AllocationPolicy policy,
+                                        std::size_t count,
+                                        std::mt19937_64& rng);
+
+/// Picks `count` subnet prefixes of length `subnet_len` inside `network`,
+/// preferring small structured subnet identifiers (the real-world practice
+/// behind the paper's Fig. 6 mode at nybbles 9-16). `structured_fraction`
+/// of the subnets use sequential ids starting at zero; the rest are random.
+std::vector<ip6::Prefix> AllocateSubnets(const ip6::Prefix& network,
+                                         unsigned subnet_len,
+                                         std::size_t count,
+                                         double structured_fraction,
+                                         std::mt19937_64& rng);
+
+}  // namespace sixgen::simnet

@@ -1,0 +1,53 @@
+#include "simnet/observation.h"
+
+#include <random>
+
+namespace sixgen::simnet {
+
+using ip6::Address;
+using ip6::U128;
+
+std::vector<Address> SamplePassiveTap(const Universe& universe,
+                                      std::size_t count,
+                                      const PassiveTapConfig& config) {
+  std::vector<Address> out;
+  if (universe.hosts().empty() || count == 0) return out;
+  out.reserve(count);
+
+  std::mt19937_64 rng(config.rng_seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  // Active hosts observable in traffic.
+  std::vector<const Host*> live;
+  for (const Host& host : universe.hosts()) {
+    if (host.active) live.push_back(&host);
+  }
+  if (live.empty()) return out;
+
+  while (out.size() < count) {
+    const Host& host = *live[rng() % live.size()];
+    if (unit(rng) < config.ephemeral_fraction) {
+      // An expired privacy address from the same subnet: random IID that
+      // (almost surely) is not numbered any more at probe time.
+      const unsigned host_bits = 128 - host.subnet.length();
+      U128 iid = (static_cast<U128>(rng()) << 64) | rng();
+      if (host_bits < 128) iid &= (U128{1} << host_bits) - 1;
+      const Address ephemeral =
+          Address::FromU128(host.subnet.network().ToU128() | iid);
+      if (!universe.HasActiveHost(ephemeral)) {
+        out.push_back(ephemeral);
+        continue;
+      }
+      // Collided with a live host (vanishingly rare): fall through and
+      // record the live address instead.
+    }
+    for (unsigned f = 0; f < std::max(config.flows_per_host, 1u) &&
+                         out.size() < count;
+         ++f) {
+      out.push_back(host.addr);
+    }
+  }
+  return out;
+}
+
+}  // namespace sixgen::simnet

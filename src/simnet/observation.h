@@ -1,0 +1,41 @@
+// Passive seed sources — Gasser et al., TMA 2016 (paper §3.1).
+//
+// "Passive sources included network taps on a European Internet Exchange
+// Point and the Munich Scientific Network's Internet uplink. … They found
+// that 76% of addresses from active sources were responsive to ICMPv6
+// pings, compared to 13% from passive network taps."
+//
+// A passive tap observes traffic, so it sees two very different address
+// populations: stable service addresses (still responsive when probed
+// later) and short-lived RFC 4941 privacy addresses that have rotated away
+// by probe time. This module synthesizes such observations so the seed-
+// source comparison (bench_sec31_seed_sources) reproduces that split.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ip6/address.h"
+#include "simnet/universe.h"
+
+namespace sixgen::simnet {
+
+struct PassiveTapConfig {
+  /// Fraction of observed addresses that are ephemeral privacy addresses,
+  /// already rotated away (and thus unresponsive) by probe time. Gasser et
+  /// al.'s 13%-responsive passive sources imply roughly 0.85 here.
+  double ephemeral_fraction = 0.85;
+  /// Flows per observed stable host (observation frequency skews toward
+  /// busy services; duplicates are deduplicated by the caller if desired).
+  unsigned flows_per_host = 1;
+  std::uint64_t rng_seed = 0x7a9'0001;
+};
+
+/// Samples `count` addresses as a passive tap would capture them: a mix of
+/// live service addresses and expired privacy addresses inside the same
+/// subnets. Returned addresses may repeat (flows, not hosts).
+std::vector<ip6::Address> SamplePassiveTap(const Universe& universe,
+                                           std::size_t count,
+                                           const PassiveTapConfig& config = {});
+
+}  // namespace sixgen::simnet

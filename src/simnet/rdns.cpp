@@ -1,0 +1,110 @@
+#include "simnet/rdns.h"
+
+#include <algorithm>
+#include <random>
+#include <unordered_map>
+
+namespace sixgen::simnet {
+
+using ip6::Address;
+using ip6::kNybbles;
+using ip6::Prefix;
+
+ReverseDns::ReverseDns(const Universe& universe, const RdnsConfig& config) {
+  std::mt19937_64 rng(config.rng_seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  // Decide per routed prefix (= per delegated zone) whether its server is
+  // non-conforming.
+  std::unordered_map<Prefix, bool, ip6::PrefixHash> zone_lies;
+  for (const routing::Route& route : universe.routing().Routes()) {
+    zone_lies[route.prefix] = unit(rng) < config.non_conforming_fraction;
+  }
+
+  for (const Host& host : universe.hosts()) {
+    if (!host.active) continue;
+    if (unit(rng) >= config.ptr_coverage) continue;
+    // Zone behavior applies only at and below the zone apex (the routed
+    // prefix); nodes above it belong to parent zones and stay conforming.
+    bool non_conforming = false;
+    unsigned apex_nybbles = kNybbles;
+    if (auto route = universe.routing().Lookup(host.addr)) {
+      non_conforming = zone_lies[route->prefix];
+      apex_nybbles = (route->prefix.length() + 3) / 4;
+    }
+    Node* node = root_.get();
+    for (unsigned i = 0; i < kNybbles; ++i) {
+      const unsigned v = host.addr.Nybble(i);
+      if (!node->children[v]) node->children[v] = std::make_unique<Node>();
+      node = node->children[v].get();
+      // `node` is the (i+1)-nybble prefix; mark it once inside the zone.
+      if (non_conforming && i + 1 >= apex_nybbles) {
+        node->non_conforming = true;
+      }
+    }
+    if (!node->has_record) {
+      node->has_record = true;
+      ++record_count_;
+    }
+  }
+}
+
+RdnsResponse ReverseDns::Query(const Address& addr, unsigned nybbles) const {
+  ++queries_;
+  const Node* node = root_.get();
+  for (unsigned i = 0; i < nybbles && i < kNybbles; ++i) {
+    const Node* child = node->children[addr.Nybble(i)].get();
+    if (!child) return RdnsResponse::kNxDomain;
+    node = child;
+  }
+  if (nybbles >= kNybbles) {
+    return node->has_record ? RdnsResponse::kPtrRecord
+                            : RdnsResponse::kNxDomain;
+  }
+  // Empty non-terminal: a conforming server answers NOERROR, signalling
+  // records below; a non-conforming one answers NXDOMAIN (RFC 8020
+  // violation in the other direction — it hides its subtree).
+  return node->non_conforming ? RdnsResponse::kNxDomain
+                              : RdnsResponse::kNoError;
+}
+
+RdnsWalkResult WalkReverseDns(const ReverseDns& rdns, const Prefix& scope,
+                              std::size_t max_queries) {
+  RdnsWalkResult result;
+  // Nybble-aligned scope: round the length up to the next nybble.
+  const unsigned start_nybbles = (scope.length() + 3) / 4;
+
+  struct Frame {
+    Address prefix;
+    unsigned nybbles;
+  };
+  std::vector<Frame> stack{{scope.network(), start_nybbles}};
+  while (!stack.empty()) {
+    if (max_queries != 0 && result.queries >= max_queries) break;
+    const Frame frame = stack.back();
+    stack.pop_back();
+
+    ++result.queries;
+    const RdnsResponse response = rdns.Query(frame.prefix, frame.nybbles);
+    switch (response) {
+      case RdnsResponse::kNxDomain:
+        ++result.pruned_subtrees;
+        break;
+      case RdnsResponse::kPtrRecord:
+        result.addresses.push_back(frame.prefix);
+        break;
+      case RdnsResponse::kNoError: {
+        if (frame.nybbles >= ip6::kNybbles) break;
+        for (unsigned v = 0; v < 16; ++v) {
+          stack.push_back(
+              {frame.prefix.WithNybble(frame.nybbles, v), frame.nybbles + 1});
+        }
+        break;
+      }
+    }
+  }
+  std::sort(result.addresses.begin(), result.addresses.end());
+  return result;
+}
+
+}  // namespace sixgen::simnet

@@ -1,0 +1,91 @@
+// Reverse-DNS (ip6.arpa) seed mining — Fiebig et al., PAM 2017 (paper §3.1).
+//
+// "When querying for the IPv6 PTR record for an address prefix, Fiebig et
+// al. identified that many DNS servers respond differently if there exists
+// a PTR record for some address within that prefix than when such a record
+// does not exist. Leveraging this insight, they mined IPv6 addresses from
+// DNS servers by recursively querying for PTR records for address prefixes.
+// However, not all DNS servers conform to this observed behavior,
+// preventing [them] from comprehensively extracting all IPv6 addresses."
+//
+// This module builds the ip6.arpa tree for a synthetic universe (hosts with
+// PTR records), models conforming servers (NOERROR for empty non-terminals,
+// NXDOMAIN for truly empty subtrees, per RFC 8020) and non-conforming ones
+// (NXDOMAIN even for empty non-terminals, which blinds the walker), and
+// implements the recursive nybble-by-nybble enumeration — an alternative
+// seed source for the TGA pipeline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ip6/address.h"
+#include "ip6/prefix.h"
+#include "simnet/universe.h"
+
+namespace sixgen::simnet {
+
+/// DNS answer classes relevant to prefix walking.
+enum class RdnsResponse {
+  kNxDomain,     // no PTR record exists anywhere below this prefix
+  kNoError,      // empty non-terminal: records exist deeper
+  kPtrRecord,    // a full 32-nybble name with a PTR record
+};
+
+struct RdnsConfig {
+  /// Fraction of hosts that have PTR records at all (many operators do not
+  /// populate reverse zones).
+  double ptr_coverage = 0.7;
+  /// Fraction of networks served by non-conforming servers that answer
+  /// NXDOMAIN for empty non-terminals (Fiebig et al.'s obstacle); the
+  /// walker cannot descend into those networks.
+  double non_conforming_fraction = 0.2;
+  std::uint64_t rng_seed = 0x4d5'0001;
+};
+
+/// The synthetic ip6.arpa service for one universe.
+class ReverseDns {
+ public:
+  /// Builds the PTR tree from the universe's active hosts.
+  ReverseDns(const Universe& universe, const RdnsConfig& config = {});
+
+  /// Answers a prefix query of `nybbles` leading nybbles of `addr`
+  /// (nybbles == 32 asks for the full PTR record). Non-conforming zones
+  /// return kNxDomain for empty non-terminals.
+  RdnsResponse Query(const ip6::Address& addr, unsigned nybbles) const;
+
+  /// Number of PTR records in the tree.
+  std::size_t RecordCount() const { return record_count_; }
+
+  /// Cumulative queries answered (the walker's cost metric).
+  std::size_t QueriesAnswered() const { return queries_; }
+
+ private:
+  friend class RdnsWalker;
+
+  struct Node {
+    std::array<std::unique_ptr<Node>, 16> children;
+    bool has_record = false;      // a PTR record terminates here (leaf)
+    bool non_conforming = false;  // zone lies about empty non-terminals
+  };
+
+  std::unique_ptr<Node> root_ = std::make_unique<Node>();
+  std::size_t record_count_ = 0;
+  mutable std::size_t queries_ = 0;
+};
+
+/// Result of one enumeration run.
+struct RdnsWalkResult {
+  std::vector<ip6::Address> addresses;  // mined PTR names, sorted
+  std::size_t queries = 0;              // queries issued
+  std::size_t pruned_subtrees = 0;      // NXDOMAIN prunes
+};
+
+/// Recursively enumerates all reachable PTR records under `scope` by
+/// descending one nybble at a time and pruning NXDOMAIN branches —
+/// Fiebig et al.'s technique. `max_queries` bounds the walk (0 = no bound).
+RdnsWalkResult WalkReverseDns(const ReverseDns& rdns, const ip6::Prefix& scope,
+                              std::size_t max_queries = 0);
+
+}  // namespace sixgen::simnet

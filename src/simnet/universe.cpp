@@ -1,0 +1,273 @@
+#include "simnet/universe.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sixgen::simnet {
+
+using ip6::Address;
+using ip6::Prefix;
+using ip6::U128;
+using routing::Asn;
+
+std::string_view HostTypeName(HostType type) {
+  switch (type) {
+    case HostType::kWeb: return "web";
+    case HostType::kNameServer: return "ns";
+    case HostType::kMail: return "mail";
+    case HostType::kGeneric: return "generic";
+  }
+  return "unknown";
+}
+
+namespace {
+
+AllocationPolicy DrawPolicy(
+    const std::vector<std::pair<AllocationPolicy, double>>& mix,
+    std::mt19937_64& rng) {
+  if (mix.empty()) return AllocationPolicy::kLowByte;
+  double total = 0;
+  for (const auto& [policy, weight] : mix) total += weight;
+  double draw = std::uniform_real_distribution<double>(0.0, total)(rng);
+  for (const auto& [policy, weight] : mix) {
+    draw -= weight;
+    if (draw <= 0) return policy;
+  }
+  return mix.back().first;
+}
+
+HostType DrawHostType(const NetworkSpec& spec, std::mt19937_64& rng) {
+  const double draw = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+  if (draw < spec.web_fraction) return HostType::kWeb;
+  if (draw < spec.web_fraction + spec.ns_fraction) return HostType::kNameServer;
+  if (draw < spec.web_fraction + spec.ns_fraction + spec.mail_fraction) {
+    return HostType::kMail;
+  }
+  return HostType::kGeneric;
+}
+
+bool DrawTcp80(HostType type, const UniverseSpec& spec, std::mt19937_64& rng) {
+  double p = 1.0;
+  switch (type) {
+    case HostType::kWeb: p = 1.0; break;
+    case HostType::kNameServer: p = spec.tcp80_ns; break;
+    case HostType::kMail: p = spec.tcp80_mail; break;
+    case HostType::kGeneric: p = spec.tcp80_generic; break;
+  }
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng) < p;
+}
+
+// Per-type probabilities for the non-HTTP services (§8's SMTP/SSH/ICMP
+// exploration). Web servers rarely run SMTP; mail hosts almost always do;
+// nearly everything answers ICMPv6 echo.
+std::uint8_t DrawServices(HostType type, bool tcp80, const UniverseSpec& spec,
+                          std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  double p_icmp = 0.9, p_smtp = 0.05, p_ssh = 0.35;
+  switch (type) {
+    case HostType::kWeb: p_smtp = 0.03; p_ssh = 0.4; break;
+    case HostType::kNameServer: p_smtp = 0.1; p_ssh = 0.25; break;
+    case HostType::kMail: p_smtp = 0.92; p_ssh = 0.3; break;
+    case HostType::kGeneric: p_smtp = 0.1; p_ssh = 0.45; break;
+  }
+  std::uint8_t mask = 0;
+  if (unit(rng) < p_icmp) mask |= static_cast<std::uint8_t>(Service::kIcmp);
+  if (tcp80) mask |= static_cast<std::uint8_t>(Service::kTcp80);
+  if (unit(rng) < p_smtp) mask |= static_cast<std::uint8_t>(Service::kTcp25);
+  if (unit(rng) < p_ssh) mask |= static_cast<std::uint8_t>(Service::kTcp22);
+  (void)spec;
+  return mask;
+}
+
+unsigned ServiceIndex(Service service) {
+  switch (service) {
+    case Service::kIcmp: return 0;
+    case Service::kTcp80: return 1;
+    case Service::kTcp25: return 2;
+    case Service::kTcp22: return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string_view ServiceName(Service service) {
+  switch (service) {
+    case Service::kIcmp: return "icmpv6";
+    case Service::kTcp80: return "tcp/80";
+    case Service::kTcp25: return "tcp/25";
+    case Service::kTcp22: return "tcp/22";
+  }
+  return "unknown";
+}
+
+Universe Universe::Synthesize(const UniverseSpec& spec,
+                              std::uint64_t rng_seed) {
+  Universe universe;
+  std::mt19937_64 rng(rng_seed);
+
+  for (const AsSpec& as_spec : spec.ases) {
+    universe.registry_.Register(as_spec.asn, as_spec.name);
+    for (const NetworkSpec& net : as_spec.networks) {
+      universe.table_.Announce(net.prefix, net.asn != 0 ? net.asn : as_spec.asn);
+
+      // Carve subnets and allocate hosts across them.
+      const unsigned subnet_len =
+          std::max(net.subnet_len, net.prefix.length());
+      auto subnets =
+          AllocateSubnets(net.prefix, subnet_len,
+                          std::max<std::size_t>(net.subnet_count, 1),
+                          net.structured_subnet_fraction, rng);
+      if (subnets.empty()) subnets.push_back(net.prefix);
+
+      // Spread hosts over subnets with a mild skew: earlier (structured)
+      // subnets get more hosts, as dense regions do in practice.
+      const std::size_t net_host_begin = universe.hosts_.size();
+      std::size_t remaining = net.host_count;
+      for (std::size_t s = 0; s < subnets.size() && remaining > 0; ++s) {
+        const bool last = s + 1 == subnets.size();
+        std::size_t quota =
+            last ? remaining
+                 : std::max<std::size_t>(1, remaining / 2);
+        const AllocationPolicy policy = DrawPolicy(net.policy_mix, rng);
+        auto addrs = AllocateHosts(subnets[s], policy, quota, rng);
+        for (const Address& addr : addrs) {
+          Host host;
+          host.addr = addr;
+          host.type = DrawHostType(net, rng);
+          host.tcp80 = host.type == HostType::kWeb || DrawTcp80(host.type, spec, rng);
+          host.services = DrawServices(host.type, host.tcp80, spec, rng);
+          host.subnet = subnets[s];
+          host.policy = policy;
+          universe.hosts_.push_back(host);
+          universe.IndexHost(host);
+        }
+        remaining -= std::min(remaining, addrs.size());
+      }
+
+      // Carve aliased regions inside the routed prefix. Each region is
+      // anchored at one of the network's hosts, mirroring reality: aliased
+      // CDN space is exactly where the DNS-mined seed addresses point
+      // (paper §6.2 — e.g. an Akamai /56 whose every address responds).
+      const std::size_t hosts_begin = net_host_begin;
+      const std::size_t hosts_end = universe.hosts_.size();
+      const std::size_t net_hosts = hosts_end - hosts_begin;
+      std::unordered_set<Prefix, ip6::PrefixHash> regions_here;
+      for (unsigned alias_len : net.aliased_region_lens) {
+        if (alias_len < net.prefix.length()) continue;
+        Prefix aliased = Prefix::Make(net.prefix.network(), alias_len);
+        if (net_hosts > 0) {
+          // Scan hosts from a random start until one anchors a region not
+          // carved yet, so requested regions land in distinct subnets even
+          // though the host list is skewed toward early subnets.
+          const std::size_t start = rng() % net_hosts;
+          bool found = false;
+          for (std::size_t k = 0; k < net_hosts; ++k) {
+            const Address& anchor =
+                universe.hosts_[hosts_begin + (start + k) % net_hosts].addr;
+            const Prefix candidate = Prefix::Of(anchor, alias_len);
+            if (!regions_here.contains(candidate)) {
+              aliased = candidate;
+              found = true;
+              break;
+            }
+          }
+          if (!found) continue;  // every host's region already aliased
+        }
+        regions_here.insert(aliased);
+        universe.aliased_.push_back(aliased);
+        universe.alias_lpm_.Announce(aliased, net.asn != 0 ? net.asn : as_spec.asn);
+      }
+    }
+  }
+  return universe;
+}
+
+void Universe::IndexHost(const Host& host) {
+  active_.insert(host.addr);
+  if (host.tcp80) tcp80_.insert(host.addr);
+  for (Service service : kAllServices) {
+    if (host.RespondsOn(service)) {
+      by_service_[ServiceIndex(service)].insert(host.addr);
+    }
+  }
+}
+
+void Universe::UnindexHost(const Host& host) {
+  active_.erase(host.addr);
+  tcp80_.erase(host.addr);
+  for (auto& set : by_service_) set.erase(host.addr);
+}
+
+bool Universe::RespondsTcp80(const Address& addr) const {
+  return tcp80_.contains(addr) || InAliasedRegion(addr);
+}
+
+bool Universe::Responds(const Address& addr, Service service) const {
+  return by_service_[ServiceIndex(service)].contains(addr) ||
+         InAliasedRegion(addr);
+}
+
+std::size_t Universe::ActiveCount(Service service) const {
+  return by_service_[ServiceIndex(service)].size();
+}
+
+bool Universe::InAliasedRegion(const Address& addr) const {
+  return alias_lpm_.Lookup(addr).has_value();
+}
+
+bool Universe::HasActiveHost(const Address& addr) const {
+  return active_.contains(addr);
+}
+
+std::size_t Universe::ActiveTcp80Count() const { return tcp80_.size(); }
+
+void Universe::ApplyChurn(double fraction, std::uint64_t rng_seed) {
+  std::mt19937_64 rng(rng_seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  // Renumbered hosts must not collide with any address ever used — a
+  // retired address coming back to life would make seed-inactivity
+  // accounting (§6.6) ambiguous.
+  ip6::AddressSet ever_used;
+  for (const Host& host : hosts_) ever_used.insert(host.addr);
+  // Iterate by index: renumbered hosts are appended to hosts_ and must not
+  // be revisited (nor invalidate the loop).
+  const std::size_t original_count = hosts_.size();
+  for (std::size_t i = 0; i < original_count; ++i) {
+    if (!hosts_[i].active || unit(rng) >= fraction) continue;
+    // Retire the host and renumber it within its subnet.
+    UnindexHost(hosts_[i]);
+    hosts_[i].active = false;
+    auto replacement = AllocateHosts(hosts_[i].subnet, hosts_[i].policy, 1, rng);
+    if (replacement.empty() || !ever_used.insert(replacement.front()).second) {
+      continue;
+    }
+    Host renumbered = hosts_[i];
+    renumbered.addr = replacement.front();
+    renumbered.active = true;
+    hosts_.push_back(renumbered);
+    IndexHost(renumbered);
+  }
+  // Drop retired hosts' index entries only; keep records for analysis.
+}
+
+std::vector<SeedRecord> SampleSeeds(const Universe& universe, double coverage,
+                                    std::uint64_t rng_seed) {
+  std::mt19937_64 rng(rng_seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<SeedRecord> seeds;
+  for (const Host& host : universe.hosts()) {
+    if (!host.active) continue;
+    if (unit(rng) < coverage) seeds.push_back({host.addr, host.type});
+  }
+  return seeds;
+}
+
+std::vector<Address> SeedAddresses(const std::vector<SeedRecord>& seeds) {
+  std::vector<Address> out;
+  out.reserve(seeds.size());
+  for (const SeedRecord& s : seeds) out.push_back(s.addr);
+  return out;
+}
+
+}  // namespace sixgen::simnet

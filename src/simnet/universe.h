@@ -1,0 +1,172 @@
+// The synthetic IPv6 Internet: ground truth for active scans.
+//
+// The paper evaluates 6Gen by scanning generated targets on TCP/80 against
+// the real Internet (§6). Offline, we substitute a deterministic synthetic
+// universe: ASes announce routed prefixes, carve subnets, and populate them
+// with hosts via the allocation policies in allocation.h. Selected networks
+// contain fully *aliased* regions where every address responds (§6.2) —
+// the phenomenon that dominates the paper's raw hit counts.
+//
+// DESIGN.md §1 records why this substitution preserves the evaluation's
+// behaviour: the TGAs consume only addresses, and the scanner only needs an
+// activity oracle.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ip6/address.h"
+#include "ip6/prefix.h"
+#include "routing/routing_table.h"
+#include "simnet/allocation.h"
+
+namespace sixgen::simnet {
+
+/// What kind of service a host represents; drives TCP/80 responsiveness and
+/// the §6.7.1 host-type experiment (NS-only seeds).
+enum class HostType { kWeb, kNameServer, kMail, kGeneric };
+
+std::string_view HostTypeName(HostType type);
+
+/// Probe-able services (paper §8: "how do 6Gen and Entropy/IP perform when
+/// seeking SMTP or SSH servers?"). Values are bit flags.
+enum class Service : std::uint8_t {
+  kIcmp = 1,    // ICMPv6 echo
+  kTcp80 = 2,   // HTTP — the paper's scan target
+  kTcp25 = 4,   // SMTP
+  kTcp22 = 8,   // SSH
+};
+
+std::string_view ServiceName(Service service);
+
+inline constexpr Service kAllServices[] = {Service::kIcmp, Service::kTcp80,
+                                           Service::kTcp25, Service::kTcp22};
+
+/// One synthetic host.
+struct Host {
+  ip6::Address addr;
+  HostType type = HostType::kGeneric;
+  std::uint8_t services = 0;  // bitmask of Service flags the host answers
+  bool tcp80 = false;         // convenience mirror of services & kTcp80
+  bool active = true;         // currently numbered (churn can retire hosts)
+  // Provenance, retained so churn can renumber a host within its subnet.
+  ip6::Prefix subnet;
+  AllocationPolicy policy = AllocationPolicy::kLowByte;
+
+  bool RespondsOn(Service service) const {
+    return (services & static_cast<std::uint8_t>(service)) != 0;
+  }
+};
+
+/// Specification of one routed prefix's population.
+struct NetworkSpec {
+  ip6::Prefix prefix;
+  routing::Asn asn = 0;
+  unsigned subnet_len = 64;
+  std::size_t subnet_count = 4;
+  double structured_subnet_fraction = 0.85;
+  /// Allocation policies with relative weights; hosts draw a policy
+  /// proportionally. Empty means all low-byte.
+  std::vector<std::pair<AllocationPolicy, double>> policy_mix;
+  std::size_t host_count = 100;
+  /// Host type mix (fractions; remainder is kGeneric). NS records are a
+  /// small slice of DNS-mined seeds (the paper's NS subset was ~2% of the
+  /// full seed set).
+  double web_fraction = 0.55;
+  double ns_fraction = 0.05;
+  double mail_fraction = 0.12;
+  /// Aliased regions carved inside the prefix: each entry is a prefix
+  /// length (e.g. 96 for a fully-responsive /96).
+  std::vector<unsigned> aliased_region_lens;
+};
+
+/// Specification of one AS.
+struct AsSpec {
+  routing::Asn asn = 0;
+  std::string name;
+  std::vector<NetworkSpec> networks;
+};
+
+/// Whole-universe specification.
+struct UniverseSpec {
+  std::vector<AsSpec> ases;
+  /// TCP/80 responsiveness by host type (web hosts always respond).
+  double tcp80_ns = 0.35;
+  double tcp80_mail = 0.2;
+  double tcp80_generic = 0.6;
+};
+
+/// The synthesized ground truth. Deterministic in (spec, rng_seed).
+class Universe {
+ public:
+  /// Builds the universe: announces routes, carves subnets and aliased
+  /// regions, allocates hosts.
+  static Universe Synthesize(const UniverseSpec& spec, std::uint64_t rng_seed);
+
+  /// True iff a TCP/80 SYN to `addr` would elicit a SYN-ACK: an active
+  /// TCP/80 host lives there, or the address lies in an aliased region.
+  bool RespondsTcp80(const ip6::Address& addr) const;
+
+  /// Generalized probe oracle: true iff an active host at `addr` answers
+  /// `service`, or the address lies in an aliased region (aliased space
+  /// answers every service).
+  bool Responds(const ip6::Address& addr, Service service) const;
+
+  /// Number of active hosts answering `service` (aliased space excluded).
+  std::size_t ActiveCount(Service service) const;
+
+  /// True iff `addr` lies inside an aliased region.
+  bool InAliasedRegion(const ip6::Address& addr) const;
+
+  /// True iff an active host (of any type) is numbered at `addr`.
+  bool HasActiveHost(const ip6::Address& addr) const;
+
+  const routing::RoutingTable& routing() const { return table_; }
+  const routing::AsRegistry& registry() const { return registry_; }
+  const std::vector<Host>& hosts() const { return hosts_; }
+  const std::vector<ip6::Prefix>& aliased_regions() const { return aliased_; }
+
+  /// Number of active hosts that respond on TCP/80 (excludes aliased space,
+  /// which is unbounded by design).
+  std::size_t ActiveTcp80Count() const;
+
+  /// Address churn (paper §6.6): retires `fraction` of active hosts and
+  /// renumbers each within its subnet using its original policy. Seeds
+  /// sampled before churn then point at now-inactive addresses.
+  void ApplyChurn(double fraction, std::uint64_t rng_seed);
+
+ private:
+  void IndexHost(const Host& host);
+  void UnindexHost(const Host& host);
+
+  routing::RoutingTable table_;
+  routing::AsRegistry registry_;
+  std::vector<Host> hosts_;
+  ip6::AddressSet active_;
+  ip6::AddressSet tcp80_;
+  /// Per-service responsive-address sets, indexed by bit position of the
+  /// Service flag (icmp=0, tcp80=1, tcp25=2, tcp22=3).
+  std::array<ip6::AddressSet, 4> by_service_;
+  std::vector<ip6::Prefix> aliased_;
+  routing::RoutingTable alias_lpm_;  // aliased regions, for O(128) lookup
+};
+
+/// A seed address as mined from DNS records: the address plus the host type
+/// its record suggested (AAAA for web, NS glue for name servers, MX for
+/// mail), enabling the §6.7.1 host-type experiment.
+struct SeedRecord {
+  ip6::Address addr;
+  HostType type = HostType::kGeneric;
+};
+
+/// IID seed sampling (paper §4.2's independent-seeds model): each active
+/// host appears in the seed set independently with probability `coverage`.
+std::vector<SeedRecord> SampleSeeds(const Universe& universe, double coverage,
+                                    std::uint64_t rng_seed);
+
+/// Projects SeedRecords to bare addresses.
+std::vector<ip6::Address> SeedAddresses(const std::vector<SeedRecord>& seeds);
+
+}  // namespace sixgen::simnet

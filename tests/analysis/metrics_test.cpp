@@ -1,0 +1,156 @@
+// Tests for the analysis toolkit: CDFs, quartiles, top-k tables, seed
+// buckets, dynamic-nybble fractions.
+#include "analysis/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace sixgen::analysis {
+namespace {
+
+TEST(Cdf, EmptySamples) {
+  const Cdf cdf({});
+  EXPECT_DOUBLE_EQ(cdf.At(0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 0.0);
+  EXPECT_EQ(cdf.SampleCount(), 0u);
+}
+
+TEST(Cdf, StepFunction) {
+  const Cdf cdf({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(cdf.At(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.At(1), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.At(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.At(4), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.At(100), 1.0);
+}
+
+TEST(Cdf, UnsortedInputIsSorted) {
+  const Cdf cdf({5, 1, 3});
+  EXPECT_DOUBLE_EQ(cdf.At(1), 1.0 / 3);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 1.0);
+}
+
+TEST(Cdf, QuantileInterpolates) {
+  const Cdf cdf({0, 10});
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.25), 2.5);
+}
+
+TEST(Cdf, QuantileClampsP) {
+  const Cdf cdf({1, 2});
+  EXPECT_DOUBLE_EQ(cdf.Quantile(-1), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(2), 2.0);
+}
+
+TEST(Quartiles, KnownValues) {
+  std::vector<double> values;
+  for (int i = 1; i <= 101; ++i) values.push_back(i);
+  const Quartiles q = ComputeQuartiles(values);
+  EXPECT_DOUBLE_EQ(q.min, 1.0);
+  EXPECT_DOUBLE_EQ(q.q1, 26.0);
+  EXPECT_DOUBLE_EQ(q.median, 51.0);
+  EXPECT_DOUBLE_EQ(q.q3, 76.0);
+  EXPECT_DOUBLE_EQ(q.max, 101.0);
+}
+
+TEST(Quartiles, EmptyInput) {
+  const Quartiles q = ComputeQuartiles({});
+  EXPECT_DOUBLE_EQ(q.median, 0.0);
+}
+
+TEST(TopAses, RanksAndComputesPercent) {
+  routing::AsRegistry registry;
+  registry.Register(1, "Alpha");
+  registry.Register(2, "Beta");
+  std::unordered_map<routing::Asn, std::size_t> by_as = {
+      {1, 60}, {2, 30}, {3, 10}};
+  const auto rows = TopAses(by_as, registry, 2);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "Alpha");
+  EXPECT_DOUBLE_EQ(rows[0].percent, 60.0);
+  EXPECT_EQ(rows[1].name, "Beta");
+  EXPECT_DOUBLE_EQ(rows[1].percent, 30.0);
+}
+
+TEST(TopAses, UnknownAsGetsFallbackName) {
+  routing::AsRegistry registry;
+  std::unordered_map<routing::Asn, std::size_t> by_as = {{64512, 5}};
+  const auto rows = TopAses(by_as, registry, 5);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].name, "AS64512");
+}
+
+TEST(TopAses, TieBrokenByAsn) {
+  routing::AsRegistry registry;
+  std::unordered_map<routing::Asn, std::size_t> by_as = {{7, 5}, {3, 5}};
+  const auto rows = TopAses(by_as, registry, 2);
+  EXPECT_EQ(rows[0].asn, 3u);
+}
+
+TEST(AddressCdfByAsRank, CumulativeFractions) {
+  std::unordered_map<routing::Asn, std::size_t> by_as = {
+      {1, 50}, {2, 30}, {3, 20}};
+  const auto cdf = AddressCdfByAsRank(by_as);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.5);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.8);
+  EXPECT_DOUBLE_EQ(cdf[2], 1.0);
+}
+
+TEST(AddressCdfByAsRank, EmptyInput) {
+  EXPECT_TRUE(AddressCdfByAsRank({}).empty());
+}
+
+TEST(SeedCountBucket, PaperBoundaries) {
+  EXPECT_FALSE(SeedCountBucket(0).has_value());
+  EXPECT_FALSE(SeedCountBucket(1).has_value());
+  EXPECT_EQ(SeedCountBucket(2), 0u);
+  EXPECT_EQ(SeedCountBucket(9), 0u);
+  EXPECT_EQ(SeedCountBucket(10), 1u);
+  EXPECT_EQ(SeedCountBucket(99), 1u);
+  EXPECT_EQ(SeedCountBucket(100), 2u);
+  EXPECT_EQ(SeedCountBucket(9999), 3u);
+  EXPECT_EQ(SeedCountBucket(10'000), 4u);
+  EXPECT_EQ(SeedCountBucket(99'999), 4u);
+  EXPECT_FALSE(SeedCountBucket(100'000).has_value())
+      << "the paper elides prefixes with more than 100 K seeds";
+}
+
+TEST(SeedCountBucketLabel, Distinct) {
+  std::set<std::string> labels;
+  for (std::size_t b = 0; b < kSeedCountBuckets; ++b) {
+    EXPECT_TRUE(labels.insert(SeedCountBucketLabel(b)).second);
+  }
+}
+
+TEST(BucketBySeedCount, RoutesValuesToBuckets) {
+  std::vector<std::pair<std::size_t, double>> data = {
+      {5, 1.0}, {50, 2.0}, {500, 3.0}, {1, 9.0}, {200'000, 9.0}};
+  const BucketedValues out = BucketBySeedCount(data);
+  EXPECT_EQ(out.values[0], std::vector<double>{1.0});
+  EXPECT_EQ(out.values[1], std::vector<double>{2.0});
+  EXPECT_EQ(out.values[2], std::vector<double>{3.0});
+  EXPECT_TRUE(out.values[3].empty());
+  EXPECT_TRUE(out.values[4].empty());
+}
+
+TEST(DynamicNybbleFractions, FractionPerPosition) {
+  std::array<bool, ip6::kNybbles> a{};
+  std::array<bool, ip6::kNybbles> b{};
+  a[31] = true;
+  b[31] = true;
+  b[9] = true;
+  std::vector<std::array<bool, ip6::kNybbles>> flags = {a, b};
+  const auto fractions = DynamicNybbleFractions(flags);
+  EXPECT_DOUBLE_EQ(fractions[31], 1.0);
+  EXPECT_DOUBLE_EQ(fractions[9], 0.5);
+  EXPECT_DOUBLE_EQ(fractions[0], 0.0);
+}
+
+TEST(DynamicNybbleFractions, EmptyInputIsAllZero) {
+  const auto fractions = DynamicNybbleFractions({});
+  for (double f : fractions) EXPECT_DOUBLE_EQ(f, 0.0);
+}
+
+}  // namespace
+}  // namespace sixgen::analysis

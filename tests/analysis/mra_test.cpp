@@ -1,0 +1,150 @@
+// Tests for Multi-Resolution Aggregate analysis and the dense-prefix
+// baseline TGA (Plonka & Berger, paper §3.2).
+#include "analysis/mra.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace sixgen::analysis {
+namespace {
+
+using ip6::Address;
+using ip6::AddressSet;
+using ip6::Prefix;
+
+std::vector<Address> DenseGroup(const char* base, std::size_t count,
+                                std::uint64_t stride = 1) {
+  std::vector<Address> out;
+  const Address b = Address::MustParse(base);
+  for (std::size_t i = 1; i <= count; ++i) {
+    out.push_back(Address::FromU128(b.ToU128() + i * stride));
+  }
+  return out;
+}
+
+TEST(Mra, LevelsCoverAllPrefixLengths) {
+  const auto addrs = DenseGroup("2001:db8::", 100);
+  const Mra mra(addrs);
+  ASSERT_EQ(mra.levels().size(), 33u);
+  EXPECT_EQ(mra.levels().front().prefix_len, 0u);
+  EXPECT_EQ(mra.levels().back().prefix_len, 128u);
+  // Level 0 groups everything into one "prefix".
+  EXPECT_EQ(mra.levels().front().distinct_prefixes, 1u);
+  EXPECT_EQ(mra.levels().front().max_count, 100u);
+  // Level 128 has one prefix per distinct address.
+  EXPECT_EQ(mra.levels().back().distinct_prefixes, 100u);
+  EXPECT_EQ(mra.levels().back().max_count, 1u);
+}
+
+TEST(Mra, DistinctPrefixesAreMonotone) {
+  std::mt19937_64 rng(3);
+  std::vector<Address> addrs;
+  for (int i = 0; i < 500; ++i) addrs.push_back(Address(rng(), rng()));
+  const Mra mra(addrs);
+  for (std::size_t i = 1; i < mra.levels().size(); ++i) {
+    EXPECT_GE(mra.levels()[i].distinct_prefixes,
+              mra.levels()[i - 1].distinct_prefixes);
+    EXPECT_LE(mra.levels()[i].max_count, mra.levels()[i - 1].max_count);
+  }
+}
+
+TEST(Mra, DeduplicatesInput) {
+  std::vector<Address> addrs = {Address::MustParse("::1"),
+                                Address::MustParse("::1"),
+                                Address::MustParse("::2")};
+  const Mra mra(addrs);
+  EXPECT_EQ(mra.AddressCount(), 2u);
+}
+
+TEST(Mra, CountInMatchesPrefixMembership) {
+  auto addrs = DenseGroup("2001:db8:0:1::", 50);
+  auto more = DenseGroup("2001:db8:0:2::", 30);
+  addrs.insert(addrs.end(), more.begin(), more.end());
+  const Mra mra(addrs);
+  EXPECT_EQ(mra.CountIn(Prefix::MustParse("2001:db8:0:1::/64")), 50u);
+  EXPECT_EQ(mra.CountIn(Prefix::MustParse("2001:db8:0:2::/64")), 30u);
+  EXPECT_EQ(mra.CountIn(Prefix::MustParse("2001:db8::/48")), 80u);
+  EXPECT_EQ(mra.CountIn(Prefix::MustParse("2a00::/16")), 0u);
+}
+
+TEST(Mra, DiscriminatingPowerPeaksAtSplittingNybble) {
+  // Addresses identical except nybble 16 (16 values): the split happens
+  // entirely at that position.
+  std::vector<Address> addrs;
+  for (unsigned v = 0; v < 16; ++v) {
+    addrs.push_back(Address::MustParse("2001:db8::1").WithNybble(15, v));
+  }
+  const Mra mra(addrs);
+  const auto power = mra.DiscriminatingPower();
+  ASSERT_EQ(power.size(), ip6::kNybbles);
+  for (unsigned i = 0; i < ip6::kNybbles; ++i) {
+    if (i == 15) {
+      EXPECT_DOUBLE_EQ(power[i], 16.0);
+    } else {
+      EXPECT_DOUBLE_EQ(power[i], 1.0) << "nybble " << i;
+    }
+  }
+}
+
+TEST(Mra, FindDensePrefixesIdentifiesTheDenseSubnet) {
+  auto addrs = DenseGroup("2001:db8:0:1::", 200);
+  auto sparse = DenseGroup("2a00:1::", 3);
+  addrs.insert(addrs.end(), sparse.begin(), sparse.end());
+  const Mra mra(addrs);
+  const auto dense = mra.FindDensePrefixes(50);
+  ASSERT_EQ(dense.size(), 1u);
+  EXPECT_TRUE(dense[0].prefix.Contains(Address::MustParse("2001:db8:0:1::5")));
+  EXPECT_EQ(dense[0].address_count, 200u);
+  // The prefix is maximal-length: it must still contain the whole group
+  // but be much longer than /32.
+  EXPECT_GE(dense[0].prefix.length(), 112u);
+}
+
+TEST(Mra, FindDensePrefixesSortsByCount) {
+  auto addrs = DenseGroup("2001:db8:0:1::", 50);
+  auto bigger = DenseGroup("2a00:1::", 150);
+  addrs.insert(addrs.end(), bigger.begin(), bigger.end());
+  const Mra mra(addrs);
+  const auto dense = mra.FindDensePrefixes(20);
+  ASSERT_EQ(dense.size(), 2u);
+  EXPECT_GT(dense[0].address_count, dense[1].address_count);
+}
+
+TEST(Mra, EmptyInput) {
+  const Mra mra({});
+  EXPECT_EQ(mra.AddressCount(), 0u);
+  EXPECT_TRUE(mra.FindDensePrefixes(1).empty());
+  EXPECT_EQ(mra.CountIn(Prefix::MustParse("::/0")), 0u);
+}
+
+TEST(DensePrefixGenerate, FillsDensePrefixesWithinBudget) {
+  const auto seeds = DenseGroup("2001:db8:0:1::", 100, 3);  // every 3rd addr
+  const auto targets = DensePrefixGenerate(seeds, 20, 150, 7);
+  EXPECT_EQ(targets.size(), 150u);
+  AddressSet seed_set(seeds.begin(), seeds.end());
+  const Prefix subnet = Prefix::MustParse("2001:db8:0:1::/64");
+  for (const Address& t : targets) {
+    EXPECT_TRUE(subnet.Contains(t)) << t.ToString();
+    EXPECT_FALSE(seed_set.contains(t)) << "seeds are not re-emitted";
+  }
+}
+
+TEST(DensePrefixGenerate, FindsTheGapAddresses) {
+  // Seeds = odd addresses; generation must produce the even neighbors.
+  const auto seeds = DenseGroup("2001:db8::1", 64, 2);
+  const auto targets = DensePrefixGenerate(seeds, 16, 1000, 7);
+  AddressSet target_set(targets.begin(), targets.end());
+  EXPECT_TRUE(target_set.contains(Address::MustParse("2001:db8::4")));
+  EXPECT_TRUE(target_set.contains(Address::MustParse("2001:db8::10")));
+}
+
+TEST(DensePrefixGenerate, NoDensePrefixesNoTargets) {
+  std::mt19937_64 rng(5);
+  std::vector<Address> scattered;
+  for (int i = 0; i < 20; ++i) scattered.push_back(Address(rng(), rng()));
+  EXPECT_TRUE(DensePrefixGenerate(scattered, 10, 100, 7).empty());
+}
+
+}  // namespace
+}  // namespace sixgen::analysis

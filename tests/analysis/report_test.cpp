@@ -1,0 +1,67 @@
+// Tests for the bench-output renderers.
+#include "analysis/report.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sixgen::analysis {
+namespace {
+
+TEST(HumanCount, UnitsMatchThePaperStyle) {
+  EXPECT_EQ(HumanCount(758), "758");
+  EXPECT_EQ(HumanCount(973'000), "973.0 K");
+  EXPECT_EQ(HumanCount(1'000'000), "1.0 M");
+  EXPECT_EQ(HumanCount(56'700'000), "56.7 M");
+  EXPECT_EQ(HumanCount(5'800'000'000.0), "5.8 B");
+  EXPECT_EQ(HumanCount(0), "0");
+}
+
+TEST(Percent, Formatting) {
+  EXPECT_EQ(Percent(52.04), "52.0%");
+  EXPECT_EQ(Percent(1.25, 2), "1.25%");
+  EXPECT_EQ(Percent(100.0, 0), "100%");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"AS Name", "ASN", "% Hits"});
+  table.AddRow({"Akamai", "20940", "52.0%"});
+  table.AddRow({"Amazon", "16509", "36.0%"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("AS Name"), std::string::npos);
+  EXPECT_NE(out.find("Akamai"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Each rendered row of a table has its columns starting at the same
+  // offset: "ASN" and "20940" share a column start.
+  const auto header_pos = out.find("ASN");
+  const auto row_pos = out.find("20940") - out.find("Akamai");
+  EXPECT_EQ(header_pos - out.find("AS Name"), row_pos);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable table({"a", "b"});
+  table.AddRow({"only"});
+  EXPECT_NO_THROW(table.Render());
+}
+
+TEST(RenderSeries, MergesXValuesAcrossSeries) {
+  Series s1{"6Gen", {{100, 0.5}, {200, 0.9}}};
+  Series s2{"E/IP", {{100, 0.2}, {300, 0.4}}};
+  const std::string out = RenderSeries("budget", {s1, s2}, 2);
+  EXPECT_NE(out.find("budget"), std::string::npos);
+  EXPECT_NE(out.find("6Gen"), std::string::npos);
+  EXPECT_NE(out.find("0.50"), std::string::npos);
+  EXPECT_NE(out.find("0.40"), std::string::npos);
+  EXPECT_NE(out.find("-"), std::string::npos) << "missing points dashed";
+  // x = 100, 200, 300 all present.
+  EXPECT_NE(out.find("100"), std::string::npos);
+  EXPECT_NE(out.find("200"), std::string::npos);
+  EXPECT_NE(out.find("300"), std::string::npos);
+}
+
+TEST(Banner, WrapsTitle) {
+  EXPECT_EQ(Banner("Figure 4"), "\n== Figure 4 ==\n");
+}
+
+}  // namespace
+}  // namespace sixgen::analysis

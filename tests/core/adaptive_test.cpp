@@ -1,0 +1,280 @@
+// Tests for the §8 scanner-integrated adaptive loop: early termination,
+// mid-scan alias detection, feedback rounds, budget discipline.
+#include "core/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace sixgen::core {
+namespace {
+
+using ip6::Address;
+using ip6::AddressSet;
+using ip6::Prefix;
+using ip6::U128;
+
+// A toy ground truth: a set of active addresses plus optional aliased
+// prefixes where everything responds.
+struct ToyWorld {
+  AddressSet active;
+  std::vector<Prefix> aliased;
+  mutable std::size_t probes = 0;
+
+  ProbeFn Prober() const {
+    return [this](const Address& addr) {
+      ++probes;
+      if (active.contains(addr)) return true;
+      for (const Prefix& p : aliased) {
+        if (p.Contains(addr)) return true;
+      }
+      return false;
+    };
+  }
+};
+
+// Dense low-byte population in one /64 plus seeds.
+ToyWorld DenseWorld(std::size_t hosts) {
+  ToyWorld world;
+  const Address base = Address::MustParse("2001:db8::");
+  for (std::size_t i = 1; i <= hosts; ++i) {
+    world.active.insert(Address::FromU128(base.ToU128() + i));
+  }
+  return world;
+}
+
+std::vector<Address> SomeSeeds(const ToyWorld& world, std::size_t count,
+                               std::uint64_t seed) {
+  std::vector<Address> all(world.active.begin(), world.active.end());
+  std::sort(all.begin(), all.end());
+  std::mt19937_64 rng(seed);
+  std::shuffle(all.begin(), all.end(), rng);
+  all.resize(std::min(count, all.size()));
+  return all;
+}
+
+TEST(AdaptiveScan, DiscoversActiveHostsBeyondSeeds) {
+  const ToyWorld world = DenseWorld(400);
+  const auto seeds = SomeSeeds(world, 40, 1);
+  AdaptiveConfig config;
+  config.total_budget = 3000;
+  const AdaptiveResult result = AdaptiveScan(seeds, world.Prober(), config);
+
+  AddressSet seed_set(seeds.begin(), seeds.end());
+  std::size_t discovered = 0;
+  for (const Address& hit : result.hits) {
+    EXPECT_TRUE(world.active.contains(hit)) << hit.ToString();
+    if (!seed_set.contains(hit)) ++discovered;
+  }
+  EXPECT_GT(discovered, 100u);
+}
+
+TEST(AdaptiveScan, RespectsTotalBudget) {
+  const ToyWorld world = DenseWorld(200);
+  const auto seeds = SomeSeeds(world, 30, 2);
+  for (const U128 budget : {U128{50}, U128{500}, U128{5000}}) {
+    AdaptiveConfig config;
+    config.total_budget = budget;
+    world.probes = 0;
+    const AdaptiveResult result = AdaptiveScan(seeds, world.Prober(), config);
+    EXPECT_LE(result.probes_used, budget);
+    EXPECT_EQ(world.probes, static_cast<std::size_t>(result.probes_used))
+        << "every accounted probe must reach the prober exactly once";
+  }
+}
+
+TEST(AdaptiveScan, ZeroBudgetDoesNothing) {
+  const ToyWorld world = DenseWorld(50);
+  const auto seeds = SomeSeeds(world, 10, 3);
+  AdaptiveConfig config;
+  config.total_budget = 0;
+  const AdaptiveResult result = AdaptiveScan(seeds, world.Prober(), config);
+  EXPECT_TRUE(result.hits.empty());
+  EXPECT_EQ(result.probes_used, U128{0});
+  EXPECT_EQ(world.probes, 0u);
+}
+
+TEST(AdaptiveScan, NeverProbesAnAddressTwice) {
+  ToyWorld world = DenseWorld(300);
+  const auto seeds = SomeSeeds(world, 50, 4);
+  AddressSet seen;
+  std::size_t duplicates = 0;
+  ProbeFn probe = [&](const Address& addr) {
+    if (!seen.insert(addr).second) ++duplicates;
+    return world.active.contains(addr);
+  };
+  AdaptiveConfig config;
+  config.total_budget = 4000;
+  config.alias_test_addresses = 0;  // alias tests legitimately re-probe
+  AdaptiveScan(seeds, probe, config);
+  EXPECT_EQ(duplicates, 0u);
+}
+
+TEST(AdaptiveScan, EarlyTerminatesBarrenRegions) {
+  // Seeds form two far-apart pairs (distance >= 8 across, 2 within), so
+  // each pair clusters into a 256-address loose range holding only its
+  // two seeds. Those barren regions must be cut off early.
+  ToyWorld world;
+  std::vector<Address> seeds;
+  for (const char* t : {"2001:db8:1::11", "2001:db8:1::97",
+                        "2a00:dead:beef::31", "2a00:dead:beef::b3"}) {
+    seeds.push_back(Address::MustParse(t));
+    world.active.insert(seeds.back());
+  }
+  AdaptiveConfig config;
+  config.total_budget = 10'000;
+  config.min_probes_per_region = 32;
+  config.early_terminate_hit_rate = 0.05;
+  config.max_generations = 1;
+  const AdaptiveResult result = AdaptiveScan(seeds, world.Prober(), config);
+  EXPECT_GT(result.regions_terminated_early, 0u);
+  // Early termination must leave most of the budget unspent on dead space.
+  EXPECT_LT(result.probes_used, config.total_budget);
+}
+
+TEST(AdaptiveScan, DetectsAliasedRegionMidScan) {
+  // An aliased /96 swallows one dense seed group: everything there
+  // responds, so the region's hit rate is ~1.0 and the alias test fires.
+  ToyWorld world;
+  world.aliased.push_back(Prefix::MustParse("2600:beef:0:1::/96"));
+  std::vector<Address> seeds;
+  // Spread seeds inside the aliased region so 6Gen builds a big range.
+  std::mt19937_64 rng(9);
+  for (int i = 0; i < 24; ++i) {
+    seeds.push_back(Address::FromU128(
+        Prefix::MustParse("2600:beef:0:1::/96").network().ToU128() +
+        (rng() & 0xFFFFFF)));
+  }
+  // Plus a clean group elsewhere.
+  for (int i = 1; i <= 24; ++i) {
+    const Address a =
+        Address::FromU128(Address::MustParse("2001:db8::").ToU128() + i);
+    seeds.push_back(a);
+    world.active.insert(a);
+  }
+  AdaptiveConfig config;
+  config.total_budget = 20'000;
+  config.min_probes_per_region = 64;
+  config.alias_test_min_region_size = 256;
+  const AdaptiveResult result = AdaptiveScan(seeds, world.Prober(), config);
+  EXPECT_GT(result.regions_aliased, 0u);
+  EXPECT_GT(result.aliased_hits.size(), 0u);
+  // Most aliased-space responses must be flagged; only small regions
+  // (below the alias-test size floor, e.g. the seed singletons) may leak
+  // into the genuine hit list.
+  std::size_t leaked = 0;
+  for (const Address& hit : result.hits) {
+    if (world.aliased[0].Contains(hit)) ++leaked;
+  }
+  EXPECT_GT(result.aliased_hits.size(), leaked);
+  // And every genuine hit outside the aliased region must be truly active.
+  for (const Address& hit : result.hits) {
+    if (!world.aliased[0].Contains(hit)) {
+      EXPECT_TRUE(world.active.contains(hit)) << hit.ToString();
+    }
+  }
+}
+
+TEST(AdaptiveScan, FeedbackRoundsDiscoverMore) {
+  // Hosts occupy two adjacent /112s; seeds only cover the first. Feedback
+  // (hits -> seeds -> regrow) is what reaches the second.
+  ToyWorld world;
+  const Address base = Address::MustParse("2001:db8::");
+  for (std::size_t i = 1; i <= 600; ++i) {
+    world.active.insert(Address::FromU128(base.ToU128() + i * 37));
+  }
+  const auto seeds = SomeSeeds(world, 25, 5);
+
+  AdaptiveConfig one_shot;
+  one_shot.total_budget = 30'000;
+  one_shot.max_generations = 1;
+  AdaptiveConfig feedback = one_shot;
+  feedback.max_generations = 4;
+
+  const auto r1 = AdaptiveScan(seeds, world.Prober(), one_shot);
+  const auto rN = AdaptiveScan(seeds, world.Prober(), feedback);
+  EXPECT_GE(rN.generations_run, 2u);
+  EXPECT_GE(rN.hits.size(), r1.hits.size());
+}
+
+TEST(AdaptiveScan, GreedySchedulingPrefersProductiveRegions) {
+  // A half-dense wide region (every even address live across a 4096-space)
+  // against a barren pair-range. Under a budget far smaller than the
+  // combined region space, greedy scheduling pours probes into the
+  // productive region while round-robin wastes turns on the barren one.
+  ToyWorld world;
+  std::vector<Address> seeds;
+  const Address dense_base = Address::MustParse("2001:db8:d::");
+  std::mt19937_64 rng(4242);
+  for (std::size_t v = 0; v < 4096; v += 2) {
+    world.active.insert(Address::FromU128(dense_base.ToU128() + v));
+  }
+  for (int i = 0; i < 30; ++i) {
+    seeds.push_back(
+        Address::FromU128(dense_base.ToU128() + (rng() % 2048) * 2));
+  }
+  // Barren: two far-apart seeds forming a 256-range with 2 live addresses.
+  for (const char* t : {"2a00:bad::11", "2a00:bad::97"}) {
+    seeds.push_back(Address::MustParse(t));
+    world.active.insert(seeds.back());
+  }
+
+  auto run = [&](AdaptiveConfig::Scheduling scheduling) {
+    AdaptiveConfig config;
+    config.total_budget = 300;  // far below the combined region space
+    config.chunk = 64;
+    config.max_generations = 1;
+    config.early_terminate_hit_rate = 0.0;  // isolate scheduling effects
+    config.scheduling = scheduling;
+    return AdaptiveScan(seeds, world.Prober(), config);
+  };
+  const auto greedy = run(AdaptiveConfig::Scheduling::kGreedyHitRate);
+  const auto round_robin = run(AdaptiveConfig::Scheduling::kRoundRobin);
+
+  // Greedy must not lose on discoveries, and must sink no more probes
+  // into the barren 2a00:bad region than round-robin does.
+  EXPECT_GE(greedy.hits.size(), round_robin.hits.size());
+  auto barren_probes = [](const AdaptiveResult& result) {
+    std::size_t probes = 0;
+    const Address barren = Address::MustParse("2a00:bad::11");
+    for (const RegionOutcome& region : result.regions) {
+      if (region.range.Contains(barren)) probes += region.probes;
+    }
+    return probes;
+  };
+  EXPECT_LE(barren_probes(greedy), barren_probes(round_robin));
+  EXPECT_GT(greedy.hits.size(), 40u);
+}
+
+TEST(AdaptiveScan, DeterministicForDeterministicProber) {
+  const ToyWorld world = DenseWorld(256);
+  const auto seeds = SomeSeeds(world, 32, 6);
+  AdaptiveConfig config;
+  config.total_budget = 2000;
+  auto run = [&] {
+    auto result = AdaptiveScan(seeds, world.Prober(), config);
+    std::sort(result.hits.begin(), result.hits.end());
+    return result.hits;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(AdaptiveScan, RegionOutcomesAreConsistent) {
+  const ToyWorld world = DenseWorld(300);
+  const auto seeds = SomeSeeds(world, 50, 7);
+  AdaptiveConfig config;
+  config.total_budget = 5000;
+  const AdaptiveResult result = AdaptiveScan(seeds, world.Prober(), config);
+  std::size_t region_probes = 0;
+  for (const RegionOutcome& region : result.regions) {
+    EXPECT_NE(region.status, RegionStatus::kActive)
+        << "finished runs must not report active regions";
+    EXPECT_LE(region.hits, region.probes);
+    region_probes += region.probes;
+  }
+  // Alias-test probes are extra, so region probes <= total used.
+  EXPECT_LE(region_probes, static_cast<std::size_t>(result.probes_used));
+}
+
+}  // namespace
+}  // namespace sixgen::core

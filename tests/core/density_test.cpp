@@ -1,0 +1,110 @@
+// Tests for exact 192-bit density comparison (6Gen's growth selection,
+// paper §5.4: highest density, then smallest range).
+#include "core/density.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace sixgen::core {
+namespace {
+
+using ip6::U128;
+
+TEST(Mul128x64, SmallProducts) {
+  const U192 p = Mul128x64(U128{6}, 7);
+  EXPECT_EQ(p.hi, U128{0});
+  EXPECT_EQ(p.lo, 42u);
+}
+
+TEST(Mul128x64, CarriesAcrossTheLowWord) {
+  // (2^64) * 3 = 3 * 2^64: hi=3, lo=0.
+  const U192 p = Mul128x64(U128{1} << 64, 3);
+  EXPECT_EQ(p.hi, U128{3});
+  EXPECT_EQ(p.lo, 0u);
+}
+
+TEST(Mul128x64, MaxOperands) {
+  // (2^128 - 1) * (2^64 - 1) must not overflow the 192-bit result.
+  const U192 p = Mul128x64(~U128{0}, ~std::uint64_t{0});
+  // (2^128-1)(2^64-1) = 2^192 - 2^128 - 2^64 + 1; in (hi,lo) form the low
+  // 64 bits are 1 and the top 128 bits are 2^64 - 2 ... verify via a
+  // different decomposition: result = (hi << 64) + lo.
+  EXPECT_EQ(p.lo, 1u);
+  EXPECT_EQ(p.hi, (~U128{0}) - (U128{1} << 64) - 1 + 1);
+}
+
+TEST(Mul128x64, MatchesNativeU128WhenItFits) {
+  std::mt19937_64 rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const U128 a = rng() % (U128{1} << 60);
+    const std::uint64_t b = rng() % (1ULL << 60);
+    const U128 native = a * b;
+    const U192 wide = Mul128x64(a, b);
+    EXPECT_EQ(wide.hi, native >> 64);
+    EXPECT_EQ(wide.lo, static_cast<std::uint64_t>(native));
+  }
+}
+
+TEST(CompareDensity, StrictOrdering) {
+  // 3/10 > 1/4 > 2/10.
+  EXPECT_EQ(CompareDensity({3, 10}, {1, 4}), std::strong_ordering::greater);
+  EXPECT_EQ(CompareDensity({1, 4}, {2, 10}), std::strong_ordering::greater);
+  EXPECT_EQ(CompareDensity({2, 10}, {3, 10}), std::strong_ordering::less);
+}
+
+TEST(CompareDensity, ExactEquality) {
+  // 2/32 == 1/16 exactly — a float comparison could break this tie rule.
+  EXPECT_EQ(CompareDensity({2, 32}, {1, 16}), std::strong_ordering::equal);
+  EXPECT_EQ(CompareDensity({7, 7}, {16, 16}), std::strong_ordering::equal);
+}
+
+TEST(CompareDensity, HugeRangeSizes) {
+  // seed counts differing by one over a 2^100 range: floating point would
+  // collapse these, exact arithmetic must not.
+  const U128 huge = U128{1} << 100;
+  EXPECT_EQ(CompareDensity({1'000'001, huge}, {1'000'000, huge}),
+            std::strong_ordering::greater);
+  EXPECT_EQ(CompareDensity({5, huge}, {5, huge + 1}),
+            std::strong_ordering::greater)
+      << "same seeds, slightly bigger range = slightly lower density";
+}
+
+TEST(CompareDensity, AntisymmetryAndReflexivity) {
+  std::mt19937_64 rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const Density a{rng() % 1000 + 1, (static_cast<U128>(rng()) << 32) + 1};
+    const Density b{rng() % 1000 + 1, (static_cast<U128>(rng()) << 32) + 1};
+    EXPECT_EQ(CompareDensity(a, a), std::strong_ordering::equal);
+    const auto ab = CompareDensity(a, b);
+    const auto ba = CompareDensity(b, a);
+    if (ab == std::strong_ordering::greater) {
+      EXPECT_EQ(ba, std::strong_ordering::less);
+    } else if (ab == std::strong_ordering::less) {
+      EXPECT_EQ(ba, std::strong_ordering::greater);
+    } else {
+      EXPECT_EQ(ba, std::strong_ordering::equal);
+    }
+  }
+}
+
+TEST(CompareDensity, MatchesLongDoubleOnWellSeparatedValues) {
+  std::mt19937_64 rng(15);
+  for (int i = 0; i < 1000; ++i) {
+    const Density a{rng() % 10000 + 1, rng() % 100000 + 1};
+    const Density b{rng() % 10000 + 1, rng() % 100000 + 1};
+    const long double da = static_cast<long double>(a.seeds) /
+                           static_cast<long double>(a.size);
+    const long double db = static_cast<long double>(b.seeds) /
+                           static_cast<long double>(b.size);
+    const auto cmp = CompareDensity(a, b);
+    if (da > db * (1 + 1e-12L)) {
+      EXPECT_EQ(cmp, std::strong_ordering::greater);
+    } else if (db > da * (1 + 1e-12L)) {
+      EXPECT_EQ(cmp, std::strong_ordering::less);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sixgen::core

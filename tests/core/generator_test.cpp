@@ -1,0 +1,485 @@
+// Behavioral tests for 6Gen (Algorithm 1): cluster growth, density
+// selection, budget accounting, termination, tight/loose ranges,
+// optimization equivalence, determinism.
+#include "core/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace sixgen::core {
+namespace {
+
+using ip6::Address;
+using ip6::AddressSet;
+using ip6::NybbleRange;
+using ip6::RangeMode;
+using ip6::U128;
+
+std::vector<Address> ParseAll(std::initializer_list<const char*> texts) {
+  std::vector<Address> out;
+  for (const char* t : texts) out.push_back(Address::MustParse(t));
+  return out;
+}
+
+TEST(Generator, EmptySeedsYieldEmptyResult) {
+  const Result result = Generate({}, Config{});
+  EXPECT_TRUE(result.targets.empty());
+  EXPECT_TRUE(result.clusters.empty());
+  EXPECT_EQ(result.budget_used, U128{0});
+  EXPECT_EQ(result.stop_reason, StopReason::kNoCandidates);
+}
+
+TEST(Generator, SingleSeedCannotGrow) {
+  const auto seeds = ParseAll({"2001:db8::1"});
+  const Result result = Generate(seeds, Config{});
+  ASSERT_EQ(result.clusters.size(), 1u);
+  EXPECT_TRUE(result.clusters[0].IsSingleton());
+  EXPECT_EQ(result.stop_reason, StopReason::kNoCandidates);
+  ASSERT_EQ(result.targets.size(), 1u);
+  EXPECT_EQ(result.targets[0], seeds[0]);
+  EXPECT_EQ(result.budget_used, U128{0});
+}
+
+TEST(Generator, TwoSeedsStopAtSingleClusterRule) {
+  // Pseudocode: a growth that would place all seeds in one cluster is not
+  // committed; with two seeds the very first growth does that.
+  const auto seeds = ParseAll({"2001:db8::1", "2001:db8::2"});
+  const Result result = Generate(seeds, Config{});
+  EXPECT_EQ(result.stop_reason, StopReason::kSingleCluster);
+  EXPECT_EQ(result.clusters.size(), 2u);
+  EXPECT_EQ(result.targets.size(), 2u) << "only the seeds themselves";
+}
+
+TEST(Generator, DuplicateSeedsAreDeduplicated) {
+  const auto seeds =
+      ParseAll({"2001:db8::1", "2001:db8::1", "2001:db8::0001"});
+  const Result result = Generate(seeds, Config{});
+  EXPECT_EQ(result.seed_count, 1u);
+}
+
+TEST(Generator, DenseLowByteClusterGrowsOverSparseOne) {
+  // Three seeds ::1 ::2 ::3 form a dense last-nybble cluster; a distant
+  // pair exists but is farther/sparser. The first committed growth must be
+  // the dense one.
+  const auto seeds = ParseAll({"2001:db8::1", "2001:db8::2", "2001:db8::3",
+                               "2001:db8:aaaa::5", "2001:db8:bbbb::5"});
+  Config config;
+  config.budget = 64;
+  const Result result = Generate(seeds, config);
+  // Find a grown cluster covering the ::1..::3 seeds.
+  bool found = false;
+  for (const Cluster& c : result.clusters) {
+    if (!c.IsSingleton() && c.range.Contains(Address::MustParse("2001:db8::1")) &&
+        c.range.Contains(Address::MustParse("2001:db8::3"))) {
+      found = true;
+      EXPECT_GE(c.seed_count, 3u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Generator, TargetsAreUniqueAndCoverSeeds) {
+  const auto seeds = ParseAll({"2001:db8::11", "2001:db8::12", "2001:db8::13",
+                               "2001:db8::21", "2001:db8::22",
+                               "2001:db8::31"});
+  Config config;
+  config.budget = 500;
+  const Result result = Generate(seeds, config);
+
+  AddressSet unique(result.targets.begin(), result.targets.end());
+  EXPECT_EQ(unique.size(), result.targets.size()) << "targets must be unique";
+  for (const Address& seed : seeds) {
+    EXPECT_TRUE(unique.contains(seed)) << seed.ToString();
+  }
+  EXPECT_TRUE(std::is_sorted(result.targets.begin(), result.targets.end()));
+}
+
+TEST(Generator, BudgetNeverExceeded) {
+  std::mt19937_64 rng(33);
+  std::vector<Address> seeds;
+  for (int i = 0; i < 60; ++i) {
+    Address a = Address::MustParse("2001:db8::");
+    for (unsigned n = 26; n < 32; ++n) {
+      a = a.WithNybble(n, static_cast<unsigned>(rng() % 16));
+    }
+    seeds.push_back(a);
+  }
+  for (const U128 budget : {U128{10}, U128{100}, U128{1000}, U128{50000}}) {
+    Config config;
+    config.budget = budget;
+    const Result result = Generate(seeds, config);
+    EXPECT_LE(result.budget_used, budget);
+    // Targets = seeds + budgeted extras.
+    EXPECT_LE(result.targets.size(),
+              result.seed_count + static_cast<std::size_t>(budget));
+  }
+}
+
+TEST(Generator, BudgetExhaustedExactlyViaFinalSampling) {
+  // Two tight groups; a small budget forces the final growth to be sampled
+  // down to consume the budget exactly (§5.4).
+  std::vector<Address> seeds;
+  for (int i = 1; i <= 4; ++i) {
+    seeds.push_back(Address::MustParse("2001:db8::" + std::to_string(i)));
+    seeds.push_back(Address::MustParse("2001:db8:0:1::" + std::to_string(i)));
+  }
+  Config config;
+  config.budget = 20;
+  const Result result = Generate(seeds, config);
+  EXPECT_EQ(result.stop_reason, StopReason::kBudgetExhausted);
+  EXPECT_EQ(result.budget_used, U128{20});
+  EXPECT_EQ(result.targets.size(), seeds.size() + 20);
+}
+
+TEST(Generator, ZeroBudgetReturnsSeedsOnly) {
+  const auto seeds = ParseAll({"2001:db8::1", "2001:db8::2", "2001:db8::9"});
+  Config config;
+  config.budget = 0;
+  const Result result = Generate(seeds, config);
+  EXPECT_EQ(result.targets.size(), 3u);
+  EXPECT_EQ(result.budget_used, U128{0});
+}
+
+TEST(Generator, AllTargetsLieInClusterRangesOrSamples) {
+  const auto seeds = ParseAll({"2001:db8::1", "2001:db8::2", "2001:db8::3",
+                               "2001:db8::11", "2001:db8::12",
+                               "2001:db8::21"});
+  Config config;
+  config.budget = 1000;
+  const Result result = Generate(seeds, config);
+  // With a generous budget there is no truncated final growth, so every
+  // target must lie inside some final cluster range.
+  if (result.stop_reason != StopReason::kBudgetExhausted) {
+    for (const Address& t : result.targets) {
+      bool inside = false;
+      for (const Cluster& c : result.clusters) {
+        if (c.range.Contains(t)) {
+          inside = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(inside) << t.ToString();
+    }
+  }
+}
+
+TEST(Generator, SeedCountsMatchRangeMembership) {
+  const auto seeds = ParseAll({"2001:db8::1", "2001:db8::2", "2001:db8::3",
+                               "2001:db8::21", "2001:db8::22",
+                               "2001:db8:5::1"});
+  Config config;
+  config.budget = 2000;
+  const Result result = Generate(seeds, config);
+  for (const Cluster& c : result.clusters) {
+    std::size_t members = 0;
+    for (const Address& s : seeds) {
+      if (c.range.Contains(s)) ++members;
+    }
+    EXPECT_EQ(c.seed_count, members) << c.range.ToString();
+  }
+}
+
+TEST(Generator, NoClusterStrictlyCoveredByAnother) {
+  // §5.4: clusters fully encapsulated by another are deleted.
+  std::mt19937_64 rng(101);
+  std::vector<Address> seeds;
+  for (int i = 0; i < 40; ++i) {
+    Address a = Address::MustParse("2001:db8::");
+    a = a.WithNybble(30, static_cast<unsigned>(rng() % 4));
+    a = a.WithNybble(31, static_cast<unsigned>(rng() % 16));
+    seeds.push_back(a);
+  }
+  Config config;
+  config.budget = 5000;
+  const Result result = Generate(seeds, config);
+  for (std::size_t i = 0; i < result.clusters.size(); ++i) {
+    for (std::size_t j = 0; j < result.clusters.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(result.clusters[i].range.StrictlyCovers(
+          result.clusters[j].range))
+          << i << " covers " << j;
+    }
+  }
+}
+
+TEST(Generator, LooseRangesProduceFullWildcards) {
+  // The far seed prevents the all-seeds-in-one-cluster stop from firing
+  // before any growth commits.
+  const auto seeds = ParseAll({"2001:db8::1", "2001:db8::2", "2001:db8::3",
+                               "2001:db8::4", "2001:db8:ffff::9"});
+  Config config;
+  config.budget = 64;
+  config.range_mode = RangeMode::kLoose;
+  const Result result = Generate(seeds, config);
+  bool saw_wildcard = false;
+  for (const Cluster& c : result.clusters) {
+    for (unsigned n = 0; n < ip6::kNybbles; ++n) {
+      if (c.range.ValueCount(n) > 1) {
+        EXPECT_EQ(c.range.ValueCount(n), 16u)
+            << "loose mode must widen to a full wildcard";
+        saw_wildcard = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_wildcard);
+}
+
+TEST(Generator, TightRangesKeepExactSets) {
+  const auto seeds = ParseAll({"2001:db8::1", "2001:db8::2", "2001:db8::3",
+                               "2001:db8::4"});
+  Config config;
+  config.budget = 64;
+  config.range_mode = RangeMode::kTight;
+  const Result result = Generate(seeds, config);
+  for (const Cluster& c : result.clusters) {
+    for (unsigned n = 0; n < ip6::kNybbles; ++n) {
+      EXPECT_LE(c.range.ValueCount(n), 4u)
+          << "tight sets cannot exceed the distinct seed values";
+    }
+  }
+}
+
+TEST(Generator, TightConsumesLessBudgetPerGrowth) {
+  const auto seeds = ParseAll({"2001:db8::1", "2001:db8::2", "2001:db8::3",
+                               "2001:db8::4", "2001:db8:1::9"});
+  Config tight;
+  tight.budget = 100000;
+  tight.range_mode = RangeMode::kTight;
+  Config loose = tight;
+  loose.range_mode = RangeMode::kLoose;
+  const Result tight_result = Generate(seeds, tight);
+  const Result loose_result = Generate(seeds, loose);
+  EXPECT_LE(tight_result.budget_used, loose_result.budget_used);
+}
+
+TEST(Generator, DeterministicAcrossRuns) {
+  std::mt19937_64 rng(55);
+  std::vector<Address> seeds;
+  for (int i = 0; i < 50; ++i) {
+    Address a = Address::MustParse("2001:db8::");
+    for (unsigned n = 28; n < 32; ++n) {
+      a = a.WithNybble(n, static_cast<unsigned>(rng() % 16));
+    }
+    seeds.push_back(a);
+  }
+  Config config;
+  config.budget = 3000;
+  const Result r1 = Generate(seeds, config);
+  const Result r2 = Generate(seeds, config);
+  EXPECT_EQ(r1.targets, r2.targets);
+  EXPECT_EQ(r1.budget_used, r2.budget_used);
+  EXPECT_EQ(r1.iterations, r2.iterations);
+}
+
+TEST(Generator, DeterministicAcrossThreadCounts) {
+  std::mt19937_64 rng(56);
+  std::vector<Address> seeds;
+  for (int i = 0; i < 120; ++i) {
+    Address a = Address::MustParse("2001:db8::");
+    for (unsigned n = 27; n < 32; ++n) {
+      a = a.WithNybble(n, static_cast<unsigned>(rng() % 16));
+    }
+    seeds.push_back(a);
+  }
+  Config one;
+  one.budget = 2000;
+  one.threads = 1;
+  Config many = one;
+  many.threads = 8;
+  EXPECT_EQ(Generate(seeds, one).targets, Generate(seeds, many).targets);
+}
+
+TEST(Generator, OptimizationsDoNotChangeResults) {
+  // §5.5: the growth cache and the nybble tree are pure optimizations.
+  std::mt19937_64 rng(57);
+  std::vector<Address> seeds;
+  for (int i = 0; i < 40; ++i) {
+    Address a = Address::MustParse("2001:db8::");
+    for (unsigned n = 28; n < 32; ++n) {
+      a = a.WithNybble(n, static_cast<unsigned>(rng() % 16));
+    }
+    seeds.push_back(a);
+  }
+  Config base;
+  base.budget = 1500;
+
+  Config no_cache = base;
+  no_cache.use_growth_cache = false;
+  Config no_tree = base;
+  no_tree.use_nybble_tree = false;
+  Config neither = base;
+  neither.use_growth_cache = false;
+  neither.use_nybble_tree = false;
+
+  const Result reference = Generate(seeds, base);
+  EXPECT_EQ(Generate(seeds, no_cache).targets, reference.targets);
+  EXPECT_EQ(Generate(seeds, no_tree).targets, reference.targets);
+  EXPECT_EQ(Generate(seeds, neither).targets, reference.targets);
+}
+
+TEST(Generator, ExactAccountingNeverChargesMoreThanArithmetic) {
+  std::mt19937_64 rng(58);
+  std::vector<Address> seeds;
+  for (int i = 0; i < 30; ++i) {
+    Address a = Address::MustParse("2001:db8::");
+    for (unsigned n = 29; n < 32; ++n) {
+      a = a.WithNybble(n, static_cast<unsigned>(rng() % 16));
+    }
+    seeds.push_back(a);
+  }
+  Config exact;
+  exact.budget = 4096;
+  exact.accounting = BudgetAccounting::kExactUnique;
+  Config arith = exact;
+  arith.accounting = BudgetAccounting::kArithmetic;
+  const Result exact_result = Generate(seeds, exact);
+  const Result arith_result = Generate(seeds, arith);
+  // Unique tracking can only discover overlap, so exact accounting should
+  // commit at least as many growth iterations within the same budget.
+  EXPECT_GE(exact_result.iterations, arith_result.iterations);
+  // Both respect the budget.
+  EXPECT_LE(exact_result.budget_used, exact.budget);
+  EXPECT_LE(arith_result.budget_used, arith.budget);
+}
+
+TEST(Generator, StatsCountSingletonsAndGrown) {
+  const auto seeds = ParseAll({"2001:db8::1", "2001:db8::2", "2001:db8::3",
+                               "2001:db8:ffff::1"});
+  Config config;
+  config.budget = 64;
+  const Result result = Generate(seeds, config);
+  EXPECT_EQ(result.stats.singleton_clusters + result.stats.grown_clusters,
+            result.clusters.size());
+  EXPECT_GE(result.stats.grown_clusters, 1u);
+  // The grown cluster varies only low nybbles, so a high-index dynamic
+  // nybble must be flagged (paper Fig. 6's second mode).
+  bool high_dynamic = false;
+  for (unsigned i = 28; i < ip6::kNybbles; ++i) {
+    if (result.stats.dynamic_nybbles[i]) high_dynamic = true;
+  }
+  EXPECT_TRUE(high_dynamic);
+}
+
+TEST(Generator, RngSeedChangesTieBreaksOnly) {
+  const auto seeds = ParseAll({"2001:db8::1", "2001:db8::2", "2001:db8::3",
+                               "2001:db8::11", "2001:db8::12",
+                               "2001:db8::13"});
+  Config a;
+  a.budget = 300;
+  Config b = a;
+  b.rng_seed = a.rng_seed + 1;
+  const Result ra = Generate(seeds, a);
+  const Result rb = Generate(seeds, b);
+  // Different tie-break seeds may change outputs but never invariants.
+  EXPECT_LE(ra.budget_used, a.budget);
+  EXPECT_LE(rb.budget_used, b.budget);
+  EXPECT_EQ(ra.seed_count, rb.seed_count);
+}
+
+TEST(Generator, HandlesManySeedsInOneSubnetQuickly) {
+  // A sanity-scale run: 1000 low-byte seeds, budget 10k.
+  std::vector<Address> seeds;
+  for (int i = 0; i < 1000; ++i) {
+    seeds.push_back(Address::FromU128(
+        Address::MustParse("2001:db8::").ToU128() + 1 + i * 3));
+  }
+  Config config;
+  config.budget = 10'000;
+  const Result result = Generate(seeds, config);
+  EXPECT_GT(result.targets.size(), seeds.size());
+  EXPECT_LE(result.budget_used, config.budget);
+}
+
+TEST(GeneratorTrace, DisabledByDefault) {
+  const auto seeds = ParseAll({"2001:db8::1", "2001:db8::2", "2001:db8::3",
+                               "2001:db8:ffff::1"});
+  Config config;
+  config.budget = 100;
+  EXPECT_TRUE(Generate(seeds, config).trace.empty());
+}
+
+TEST(GeneratorTrace, RecordsOneStepPerIteration) {
+  std::mt19937_64 rng(91);
+  std::vector<Address> seeds;
+  for (int i = 0; i < 40; ++i) {
+    Address a = Address::MustParse("2001:db8::");
+    for (unsigned n = 29; n < 32; ++n) {
+      a = a.WithNybble(n, static_cast<unsigned>(rng() % 16));
+    }
+    seeds.push_back(a);
+  }
+  Config config;
+  config.budget = 2000;
+  config.record_trace = true;
+  const Result result = Generate(seeds, config);
+  ASSERT_EQ(result.trace.size(), result.iterations);
+
+  U128 prev_used = 0;
+  for (std::size_t i = 0; i < result.trace.size(); ++i) {
+    const GrowthStep& step = result.trace[i];
+    EXPECT_EQ(step.iteration, i + 1);
+    EXPECT_GE(step.seed_count, 2u) << "a grown range holds >=2 seeds";
+    EXPECT_EQ(step.grown_range.Size(), step.range_size);
+    EXPECT_EQ(step.budget_used, prev_used + step.budget_cost)
+        << "cumulative budget must be the running sum of costs";
+    prev_used = step.budget_used;
+  }
+  // A truncated final growth (budget-exhausted stop) is sampled outside
+  // the committed-iteration trace; otherwise the trace accounts exactly.
+  if (result.stop_reason == StopReason::kBudgetExhausted) {
+    EXPECT_LE(prev_used, result.budget_used);
+  } else {
+    EXPECT_EQ(prev_used, result.budget_used);
+  }
+}
+
+TEST(GeneratorTrace, TraceExplainsJumpyBudgetResponse) {
+  // §7.1: "a small increase in the probe budget may allow 6Gen to greedily
+  // incorporate a new dense region, causing a jump" — each trace step IS
+  // such a jump; step costs must be lumpy, not one address at a time.
+  std::vector<Address> seeds;
+  for (int i = 1; i <= 6; ++i) {
+    seeds.push_back(Address::MustParse("2001:db8::" + std::to_string(i)));
+    seeds.push_back(Address::MustParse("2001:db8:1::" + std::to_string(i)));
+    seeds.push_back(Address::MustParse("2001:db8:2::" + std::to_string(i)));
+  }
+  Config config;
+  config.budget = 5000;
+  config.record_trace = true;
+  const Result result = Generate(seeds, config);
+  ASSERT_FALSE(result.trace.empty());
+  bool any_jump = false;
+  for (const GrowthStep& step : result.trace) {
+    if (step.budget_cost >= 10) any_jump = true;
+  }
+  EXPECT_TRUE(any_jump);
+}
+
+class GeneratorBudgetSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorBudgetSweep, MonotoneTargetGrowth) {
+  // More budget can never produce fewer targets (same seeds, same config).
+  std::mt19937_64 rng(77);
+  std::vector<Address> seeds;
+  for (int i = 0; i < 64; ++i) {
+    Address a = Address::MustParse("2001:db8::");
+    for (unsigned n = 28; n < 32; ++n) {
+      a = a.WithNybble(n, static_cast<unsigned>(rng() % 16));
+    }
+    seeds.push_back(a);
+  }
+  Config small;
+  small.budget = GetParam();
+  Config big = small;
+  big.budget = GetParam() * 2;
+  EXPECT_LE(Generate(seeds, small).targets.size(),
+            Generate(seeds, big).targets.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, GeneratorBudgetSweep,
+                         ::testing::Values(8, 64, 256, 1024, 4096));
+
+}  // namespace
+}  // namespace sixgen::core

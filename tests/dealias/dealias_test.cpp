@@ -1,0 +1,259 @@
+// Tests for the §6.2 alias detection: /96 classification, hit filtering,
+// finer /112 refinement, false-positive bound.
+#include "dealias/dealias.h"
+
+#include <gtest/gtest.h>
+
+namespace sixgen::dealias {
+namespace {
+
+using ip6::Address;
+using ip6::Prefix;
+using simnet::AllocationPolicy;
+
+// One clean hosting network and one with an aliased /96 region; optionally
+// an AS aliased only at /112 granularity.
+simnet::Universe TestUniverse(bool with_112_as = false) {
+  simnet::UniverseSpec spec;
+  {
+    simnet::AsSpec clean;
+    clean.asn = 100;
+    clean.name = "CleanNet";
+    simnet::NetworkSpec net;
+    net.prefix = Prefix::MustParse("2001:db8::/32");
+    net.asn = 100;
+    net.subnet_count = 2;
+    net.host_count = 80;
+    net.web_fraction = 1.0;
+    net.policy_mix = {{AllocationPolicy::kLowByte, 1.0}};
+    clean.networks.push_back(net);
+    spec.ases.push_back(clean);
+  }
+  {
+    simnet::AsSpec aliased;
+    aliased.asn = 200;
+    aliased.name = "AliasedNet";
+    simnet::NetworkSpec net;
+    net.prefix = Prefix::MustParse("2a00:1::/32");
+    net.asn = 200;
+    net.subnet_count = 2;
+    net.host_count = 40;
+    net.web_fraction = 1.0;
+    net.policy_mix = {{AllocationPolicy::kLowByte, 1.0}};
+    net.aliased_region_lens = {96};
+    aliased.networks.push_back(net);
+    spec.ases.push_back(aliased);
+  }
+  if (with_112_as) {
+    simnet::AsSpec fine;
+    fine.asn = 300;
+    fine.name = "Slash112Net";
+    simnet::NetworkSpec net;
+    net.prefix = Prefix::MustParse("2606:4700::/32");
+    net.asn = 300;
+    net.subnet_count = 1;
+    net.host_count = 30;
+    net.web_fraction = 1.0;
+    net.policy_mix = {{AllocationPolicy::kLowByte, 1.0}};
+    net.aliased_region_lens.assign(6, 112);
+    fine.networks.push_back(net);
+    spec.ases.push_back(fine);
+  }
+  return simnet::Universe::Synthesize(spec, 23);
+}
+
+TEST(HitPrefixes, GroupsAndDeduplicates) {
+  const std::vector<Address> hits = {Address::MustParse("2001:db8::1"),
+                                     Address::MustParse("2001:db8::2"),
+                                     Address::MustParse("2001:db8:0:0:1::9")};
+  const auto prefixes = HitPrefixes(hits, 96);
+  ASSERT_EQ(prefixes.size(), 2u);
+  EXPECT_EQ(prefixes[0], Prefix::MustParse("2001:db8::/96"));
+  EXPECT_EQ(prefixes[1], Prefix::MustParse("2001:db8:0:0:1::/96"));
+}
+
+TEST(TestPrefixAliased, FlagsAliasedRegion) {
+  const auto universe = TestUniverse();
+  scanner::SimulatedScanner scanner(universe, {});
+  std::mt19937_64 rng(1);
+  const Prefix region = universe.aliased_regions()[0];
+  EXPECT_TRUE(TestPrefixAliased(scanner, region, {}, rng));
+}
+
+TEST(TestPrefixAliased, ClearsNonAliasedPrefix) {
+  const auto universe = TestUniverse();
+  scanner::SimulatedScanner scanner(universe, {});
+  std::mt19937_64 rng(2);
+  // A /96 around a real (non-aliased) host: random probe addresses in a
+  // 2^32 space virtually never hit live hosts.
+  const Prefix clean = Prefix::Of(universe.hosts().front().addr, 96);
+  EXPECT_FALSE(TestPrefixAliased(scanner, clean, {}, rng));
+}
+
+TEST(TestPrefixAliased, SurvivesProbeLossWithRetries) {
+  const auto universe = TestUniverse();
+  scanner::ScanConfig lossy;
+  lossy.loss_rate = 0.4;
+  scanner::SimulatedScanner scanner(universe, lossy);
+  std::mt19937_64 rng(3);
+  DealiasConfig config;
+  config.probes_per_address = 5;  // the paper sends 3; 5 under heavy loss
+  const Prefix region = universe.aliased_regions()[0];
+  EXPECT_TRUE(TestPrefixAliased(scanner, region, config, rng));
+}
+
+TEST(Dealias, SplitsAliasedFromCleanHits) {
+  const auto universe = TestUniverse();
+  scanner::SimulatedScanner scanner(universe, {});
+
+  // Hits: every clean host + a spread of addresses in the aliased /96.
+  std::vector<Address> hits;
+  for (const simnet::Host& h : universe.hosts()) hits.push_back(h.addr);
+  const Prefix region = universe.aliased_regions()[0];
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    hits.push_back(Address::FromU128(region.network().ToU128() + i * 41 + 7));
+  }
+
+  DealiasConfig config;
+  config.refine_top_ases = 0;  // isolate the /96 pass
+  const DealiasResult result =
+      Dealias(scanner, universe.routing(), hits, config);
+
+  EXPECT_EQ(result.aliased_prefixes.size(), 1u);
+  EXPECT_EQ(result.aliased_prefixes[0], region);
+  for (const Address& hit : result.aliased_hits) {
+    EXPECT_TRUE(region.Contains(hit)) << hit.ToString();
+  }
+  for (const Address& hit : result.non_aliased_hits) {
+    EXPECT_FALSE(region.Contains(hit)) << hit.ToString();
+  }
+  EXPECT_EQ(result.aliased_hits.size() + result.non_aliased_hits.size(),
+            hits.size());
+  EXPECT_GT(result.probes_sent, 0u);
+}
+
+TEST(Dealias, RefinementExcludesSlash112AliasedAs) {
+  const auto universe = TestUniverse(/*with_112_as=*/true);
+  scanner::SimulatedScanner scanner(universe, {});
+
+  std::vector<Address> hits;
+  for (const simnet::Host& h : universe.hosts()) hits.push_back(h.addr);
+  // Hits inside the /112-aliased regions of AS 300.
+  for (const Prefix& region : universe.aliased_regions()) {
+    if (region.length() != 112) continue;
+    for (std::uint64_t i = 0; i < 30; ++i) {
+      hits.push_back(Address::FromU128(region.network().ToU128() + i + 1));
+    }
+  }
+
+  const DealiasResult result = Dealias(scanner, universe.routing(), hits, {});
+  bool excluded_300 = false;
+  for (routing::Asn asn : result.excluded_ases) {
+    if (asn == 300) excluded_300 = true;
+  }
+  EXPECT_TRUE(excluded_300)
+      << "/96 pass cannot see /112 aliasing; refinement must";
+  for (const Address& hit : result.non_aliased_hits) {
+    EXPECT_NE(universe.routing().OriginAs(hit), 300u);
+  }
+}
+
+TEST(Dealias, WithoutRefinementSlash112AliasingSlipsThrough) {
+  const auto universe = TestUniverse(/*with_112_as=*/true);
+  scanner::SimulatedScanner scanner(universe, {});
+  std::vector<Address> hits;
+  for (const Prefix& region : universe.aliased_regions()) {
+    if (region.length() != 112) continue;
+    for (std::uint64_t i = 0; i < 30; ++i) {
+      hits.push_back(Address::FromU128(region.network().ToU128() + i + 1));
+    }
+  }
+  ASSERT_FALSE(hits.empty());
+  DealiasConfig config;
+  config.refine_top_ases = 0;
+  const DealiasResult result =
+      Dealias(scanner, universe.routing(), hits, config);
+  EXPECT_GT(result.non_aliased_hits.size(), hits.size() / 2)
+      << "the /96 pass alone misclassifies fine-grained aliasing";
+}
+
+TEST(Dealias, EmptyHitsAreFine) {
+  const auto universe = TestUniverse();
+  scanner::SimulatedScanner scanner(universe, {});
+  const DealiasResult result = Dealias(scanner, universe.routing(), {}, {});
+  EXPECT_TRUE(result.aliased_hits.empty());
+  EXPECT_TRUE(result.non_aliased_hits.empty());
+  EXPECT_EQ(result.prefixes_tested, 0u);
+}
+
+TEST(Dealias, DeterministicWithFixedSeed) {
+  const auto universe = TestUniverse();
+  std::vector<Address> hits;
+  for (const simnet::Host& h : universe.hosts()) hits.push_back(h.addr);
+  auto run = [&] {
+    scanner::SimulatedScanner scanner(universe, {});
+    return Dealias(scanner, universe.routing(), hits, {}).non_aliased_hits;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SweepAliasGranularity, LocatesTheAliasingScale) {
+  // AS 300 aliases at /112: the sweep must show ~0 aliased prefixes at /96
+  // but ~all at /112 for hits concentrated in the aliased /112s.
+  const auto universe = TestUniverse(/*with_112_as=*/true);
+  scanner::SimulatedScanner scanner(universe, {});
+  std::vector<Address> hits;
+  for (const Prefix& region : universe.aliased_regions()) {
+    if (region.length() != 112) continue;
+    for (std::uint64_t i = 0; i < 30; ++i) {
+      hits.push_back(Address::FromU128(region.network().ToU128() + i + 1));
+    }
+  }
+  ASSERT_FALSE(hits.empty());
+  const unsigned lens[] = {64, 96, 112};
+  const auto sweep = SweepAliasGranularity(scanner, hits, lens);
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_EQ(sweep[0].prefix_len, 64u);
+  EXPECT_EQ(sweep[0].prefixes_aliased, 0u);
+  EXPECT_EQ(sweep[1].prefixes_aliased, 0u)
+      << "/96 probing cannot see /112-scale aliasing";
+  EXPECT_GT(sweep[2].prefixes_aliased, 0u);
+  EXPECT_EQ(sweep[2].hits_covered, hits.size());
+}
+
+TEST(SweepAliasGranularity, CoarseAliasingVisibleAtEveryFinerLevel) {
+  // A fully-aliased /96 answers at /96 and at /112 (a subset of it).
+  const auto universe = TestUniverse();
+  scanner::SimulatedScanner scanner(universe, {});
+  const Prefix region = universe.aliased_regions()[0];
+  std::vector<Address> hits;
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    hits.push_back(Address::FromU128(region.network().ToU128() + i * 977));
+  }
+  const unsigned lens[] = {96, 112};
+  const auto sweep = SweepAliasGranularity(scanner, hits, lens);
+  EXPECT_GT(sweep[0].prefixes_aliased, 0u);
+  EXPECT_GT(sweep[1].prefixes_aliased, 0u);
+}
+
+TEST(SweepAliasGranularity, LevelCapBoundsProbingCost) {
+  const auto universe = TestUniverse();
+  scanner::SimulatedScanner scanner(universe, {});
+  std::vector<Address> hits;
+  for (const simnet::Host& h : universe.hosts()) hits.push_back(h.addr);
+  const unsigned lens[] = {112};
+  const auto sweep = SweepAliasGranularity(scanner, hits, lens, {}, 5);
+  EXPECT_LE(sweep[0].prefixes_tested, 5u);
+}
+
+TEST(FalsePositiveProbability, MatchesPaperBound) {
+  // Paper §6.2: a non-aliased /96 with a million responsive addresses is
+  // falsely flagged with probability < 1e-10.
+  EXPECT_LT(FalsePositiveProbability(96, 1e6, 3), 1e-10);
+  // And the bound degrades sensibly.
+  EXPECT_GT(FalsePositiveProbability(112, 65536, 3), 0.9);
+  EXPECT_DOUBLE_EQ(FalsePositiveProbability(96, 0, 3), 0.0);
+}
+
+}  // namespace
+}  // namespace sixgen::dealias

@@ -1,0 +1,237 @@
+// Tests for the discrete Bayesian network (Entropy/IP stage 3): NMI-driven
+// structure learning, CPTs, ancestral sampling.
+#include "entropyip/bayes_net.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace sixgen::entropyip {
+namespace {
+
+TEST(Nmi, IdenticalColumnsAreOne) {
+  std::vector<std::size_t> x = {0, 1, 2, 0, 1, 2, 0, 1};
+  EXPECT_NEAR(NormalizedMutualInformation(x, x), 1.0, 1e-12);
+}
+
+TEST(Nmi, ConstantColumnIsZero) {
+  std::vector<std::size_t> x = {0, 1, 2, 3};
+  std::vector<std::size_t> y(4, 7);
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(y, x), 0.0);
+}
+
+TEST(Nmi, IndependentColumnsNearZero) {
+  std::mt19937_64 rng(2);
+  std::vector<std::size_t> x, y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng() % 4);
+    y.push_back(rng() % 4);
+  }
+  EXPECT_LT(NormalizedMutualInformation(x, y), 0.01);
+}
+
+TEST(Nmi, DeterministicFunctionIsHigh) {
+  std::mt19937_64 rng(3);
+  std::vector<std::size_t> x, y;
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t v = rng() % 4;
+    x.push_back(v);
+    y.push_back((v * 3 + 1) % 4);  // bijection of x
+  }
+  EXPECT_NEAR(NormalizedMutualInformation(x, y), 1.0, 1e-9);
+}
+
+TEST(Nmi, MismatchedSizesThrow) {
+  std::vector<std::size_t> x = {0, 1};
+  std::vector<std::size_t> y = {0};
+  EXPECT_THROW(NormalizedMutualInformation(x, y), std::invalid_argument);
+}
+
+TEST(BayesNetLearn, AdoptsParentForDependentVariable) {
+  // v1 is a deterministic function of v0; v2 is independent noise.
+  std::mt19937_64 rng(5);
+  std::vector<std::vector<std::size_t>> rows;
+  for (int i = 0; i < 4000; ++i) {
+    const std::size_t a = rng() % 3;
+    rows.push_back({a, (a + 1) % 3, rng() % 3});
+  }
+  const std::size_t domains[] = {3, 3, 3};
+  const BayesNet net = BayesNet::Learn(domains, rows);
+  ASSERT_EQ(net.VariableCount(), 3u);
+  EXPECT_FALSE(net.ParentOf(0).has_value());
+  ASSERT_TRUE(net.ParentOf(1).has_value());
+  EXPECT_EQ(*net.ParentOf(1), 0u);
+  EXPECT_FALSE(net.ParentOf(2).has_value()) << "independent noise, no parent";
+}
+
+TEST(BayesNetLearn, RowWidthMismatchThrows) {
+  const std::size_t domains[] = {2, 2};
+  std::vector<std::vector<std::size_t>> rows = {{0, 1}, {1}};
+  EXPECT_THROW(BayesNet::Learn(domains, rows), std::invalid_argument);
+}
+
+TEST(BayesNetLearn, OutOfDomainValueThrows) {
+  const std::size_t domains[] = {2};
+  std::vector<std::vector<std::size_t>> rows = {{5}};
+  EXPECT_THROW(BayesNet::Learn(domains, rows), std::invalid_argument);
+}
+
+TEST(BayesNetSample, RespectsDeterministicDependency) {
+  std::mt19937_64 rng(7);
+  std::vector<std::vector<std::size_t>> rows;
+  for (int i = 0; i < 3000; ++i) {
+    const std::size_t a = rng() % 4;
+    rows.push_back({a, 3 - a});
+  }
+  const std::size_t domains[] = {4, 4};
+  const BayesNet net = BayesNet::Learn(domains, rows);
+
+  std::mt19937_64 sample_rng(8);
+  int consistent = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    const auto s = net.Sample(sample_rng);
+    ASSERT_EQ(s.size(), 2u);
+    if (s[1] == 3 - s[0]) ++consistent;
+  }
+  // Laplace smoothing leaves a little off-diagonal mass; the dependency
+  // must still dominate overwhelmingly.
+  EXPECT_GT(consistent, trials * 95 / 100);
+}
+
+TEST(BayesNetSample, MarginalsMatchTrainingDistribution) {
+  std::mt19937_64 rng(9);
+  std::vector<std::vector<std::size_t>> rows;
+  for (int i = 0; i < 4000; ++i) {
+    rows.push_back({rng() % 10 < 7 ? 0u : 1u});  // P(0) = 0.7
+  }
+  const std::size_t domains[] = {2};
+  const BayesNet net = BayesNet::Learn(domains, rows);
+
+  std::mt19937_64 sample_rng(10);
+  int zeros = 0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    if (net.Sample(sample_rng)[0] == 0) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / trials, 0.7, 0.03);
+}
+
+TEST(BayesNetLogProbability, HigherForTrainingLikeAssignments) {
+  std::mt19937_64 rng(11);
+  std::vector<std::vector<std::size_t>> rows;
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t a = rng() % 2;
+    rows.push_back({a, a});
+  }
+  const std::size_t domains[] = {2, 2};
+  const BayesNet net = BayesNet::Learn(domains, rows);
+  const std::size_t consistent[] = {0, 0};
+  const std::size_t inconsistent[] = {0, 1};
+  EXPECT_GT(net.LogProbability(consistent), net.LogProbability(inconsistent));
+}
+
+TEST(BayesNetLogProbability, WidthMismatchThrows) {
+  const std::size_t domains[] = {2, 2};
+  std::vector<std::vector<std::size_t>> rows = {{0, 0}, {1, 1}};
+  const BayesNet net = BayesNet::Learn(domains, rows);
+  const std::size_t bad[] = {0};
+  EXPECT_THROW(net.LogProbability(bad), std::invalid_argument);
+}
+
+TEST(BayesNetLearn, AdoptsTwoParentsForJointDependency) {
+  // v2 = (2*v0 + v1) % 4 where v0, v1 are independent binary: each parent
+  // alone explains half the bits; both are needed for the full mapping.
+  std::mt19937_64 rng(13);
+  std::vector<std::vector<std::size_t>> rows;
+  for (int i = 0; i < 6000; ++i) {
+    const std::size_t a = rng() % 2;
+    const std::size_t b = rng() % 2;
+    rows.push_back({a, b, (2 * a + b) % 4});
+  }
+  const std::size_t domains[] = {2, 2, 4};
+  BayesNetConfig config;
+  config.max_parents = 2;
+  const BayesNet net = BayesNet::Learn(domains, rows, config);
+  EXPECT_EQ(net.ParentsOf(2).size(), 2u);
+
+  std::mt19937_64 sample_rng(14);
+  int consistent = 0;
+  const int trials = 3000;
+  for (int i = 0; i < trials; ++i) {
+    const auto s = net.Sample(sample_rng);
+    if (s[2] == (2 * s[0] + s[1]) % 4) ++consistent;
+  }
+  EXPECT_GT(consistent, trials * 95 / 100)
+      << "two-parent CPT must capture the joint mapping";
+}
+
+TEST(BayesNetLearn, SingleParentCannotCaptureJointDependency) {
+  // The same data restricted to one parent: consistency collapses to ~50%.
+  std::mt19937_64 rng(13);
+  std::vector<std::vector<std::size_t>> rows;
+  for (int i = 0; i < 6000; ++i) {
+    const std::size_t a = rng() % 2;
+    const std::size_t b = rng() % 2;
+    rows.push_back({a, b, (2 * a + b) % 4});
+  }
+  const std::size_t domains[] = {2, 2, 4};
+  BayesNetConfig config;
+  config.max_parents = 1;
+  const BayesNet net = BayesNet::Learn(domains, rows, config);
+  EXPECT_EQ(net.ParentsOf(2).size(), 1u);
+
+  std::mt19937_64 sample_rng(14);
+  int consistent = 0;
+  const int trials = 3000;
+  for (int i = 0; i < trials; ++i) {
+    const auto s = net.Sample(sample_rng);
+    if (s[2] == (2 * s[0] + s[1]) % 4) ++consistent;
+  }
+  EXPECT_LT(consistent, trials * 70 / 100);
+}
+
+TEST(BayesNetLearn, RedundantParentSkipped) {
+  // v1 duplicates v0; v2 depends on them. Only one of the near-identical
+  // columns should be adopted.
+  std::mt19937_64 rng(17);
+  std::vector<std::vector<std::size_t>> rows;
+  for (int i = 0; i < 3000; ++i) {
+    const std::size_t a = rng() % 3;
+    rows.push_back({a, a, (a + 1) % 3});
+  }
+  const std::size_t domains[] = {3, 3, 3};
+  const BayesNet net = BayesNet::Learn(domains, rows);
+  EXPECT_EQ(net.ParentsOf(2).size(), 1u);
+}
+
+TEST(BayesNetLearn, CptRowCapLimitsParents) {
+  // Huge parent domains: the row cap must prevent a joint CPT explosion.
+  std::mt19937_64 rng(19);
+  std::vector<std::vector<std::size_t>> rows;
+  for (int i = 0; i < 3000; ++i) {
+    const std::size_t a = rng() % 20;
+    const std::size_t b = rng() % 20;
+    rows.push_back({a, b, (a + b) % 20});
+  }
+  const std::size_t domains[] = {20, 20, 20};
+  BayesNetConfig config;
+  config.max_parents = 2;
+  config.max_cpt_rows = 25;  // fits one 20-valued parent, not two
+  const BayesNet net = BayesNet::Learn(domains, rows, config);
+  EXPECT_LE(net.ParentsOf(2).size(), 1u);
+}
+
+TEST(BayesNetLearn, NoTrainingRowsStillSamplesUniformly) {
+  const std::size_t domains[] = {4};
+  const BayesNet net = BayesNet::Learn(domains, {});
+  std::mt19937_64 rng(12);
+  std::array<int, 4> counts{};
+  for (int i = 0; i < 4000; ++i) ++counts[net.Sample(rng)[0]];
+  for (int c : counts) EXPECT_GT(c, 700) << "smoothing-only CPT ~ uniform";
+}
+
+}  // namespace
+}  // namespace sixgen::entropyip

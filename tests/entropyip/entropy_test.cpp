@@ -1,0 +1,134 @@
+// Tests for per-nybble entropy and entropy-guided segmentation
+// (Entropy/IP stage 1).
+#include "entropyip/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace sixgen::entropyip {
+namespace {
+
+using ip6::Address;
+using ip6::kNybbles;
+
+TEST(NybbleEntropy, ConstantColumnIsZero) {
+  std::vector<Address> addrs(10, Address::MustParse("2001:db8::1"));
+  for (unsigned i = 0; i < kNybbles; ++i) {
+    EXPECT_DOUBLE_EQ(NybbleEntropy(addrs, i), 0.0);
+  }
+}
+
+TEST(NybbleEntropy, EmptyInputIsZero) {
+  EXPECT_DOUBLE_EQ(NybbleEntropy({}, 0), 0.0);
+}
+
+TEST(NybbleEntropy, UniformColumnIsOne) {
+  std::vector<Address> addrs;
+  for (unsigned v = 0; v < 16; ++v) {
+    addrs.push_back(Address().WithNybble(31, v));
+  }
+  EXPECT_NEAR(NybbleEntropy(addrs, 31), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(NybbleEntropy(addrs, 30), 0.0);
+}
+
+TEST(NybbleEntropy, TwoEqualValuesIsQuarter) {
+  // Two equiprobable values = 1 bit = 0.25 of the 4-bit maximum.
+  std::vector<Address> addrs;
+  for (int i = 0; i < 8; ++i) {
+    addrs.push_back(Address().WithNybble(31, i % 2 == 0 ? 3u : 9u));
+  }
+  EXPECT_NEAR(NybbleEntropy(addrs, 31), 0.25, 1e-12);
+}
+
+TEST(NybbleEntropy, BoundedByOne) {
+  std::mt19937_64 rng(3);
+  std::vector<Address> addrs;
+  for (int i = 0; i < 200; ++i) addrs.push_back(Address(rng(), rng()));
+  for (unsigned i = 0; i < kNybbles; ++i) {
+    const double h = NybbleEntropy(addrs, i);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, 1.0 + 1e-12);
+  }
+}
+
+TEST(SegmentByEntropy, CoversAllNybblesContiguously) {
+  std::mt19937_64 rng(5);
+  std::vector<Address> addrs;
+  for (int i = 0; i < 100; ++i) addrs.push_back(Address(rng(), rng()));
+  const auto segments = SegmentByEntropy(NybbleEntropies(addrs));
+  ASSERT_FALSE(segments.empty());
+  EXPECT_EQ(segments.front().start, 0u);
+  EXPECT_EQ(segments.back().end, kNybbles);
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    EXPECT_EQ(segments[i].start, segments[i - 1].end);
+  }
+}
+
+TEST(SegmentByEntropy, SplitsAtEntropyJumps) {
+  // Constant prefix + random suffix: the boundary at nybble 24 must be a
+  // segment boundary.
+  std::mt19937_64 rng(7);
+  std::vector<Address> addrs;
+  for (int i = 0; i < 400; ++i) {
+    Address a = Address::MustParse("2001:db8::");
+    for (unsigned n = 24; n < kNybbles; ++n) {
+      a = a.WithNybble(n, static_cast<unsigned>(rng() % 16));
+    }
+    addrs.push_back(a);
+  }
+  const auto segments = SegmentByEntropy(NybbleEntropies(addrs));
+  bool boundary_at_24 = false;
+  for (const Segment& s : segments) {
+    if (s.start == 24) boundary_at_24 = true;
+  }
+  EXPECT_TRUE(boundary_at_24);
+}
+
+TEST(SegmentByEntropy, RespectsMaxSegmentLength) {
+  std::vector<Address> addrs(50, Address::MustParse("2001:db8::1"));
+  SegmenterConfig config;
+  config.max_segment_len = 4;
+  const auto segments = SegmentByEntropy(NybbleEntropies(addrs), config);
+  for (const Segment& s : segments) {
+    EXPECT_LE(s.Length(), 4u);
+  }
+}
+
+TEST(SegmentValue, ExtractAndWriteRoundTrip) {
+  const Address addr = Address::MustParse("2001:db8::dead:beef");
+  const Segment tail{24, 32};
+  EXPECT_EQ(SegmentValue(addr, tail), 0xdeadbeefULL);
+
+  const Address rewritten = WithSegmentValue(addr, tail, 0xcafe1234ULL);
+  EXPECT_EQ(rewritten, Address::MustParse("2001:db8::cafe:1234"));
+  EXPECT_EQ(SegmentValue(rewritten, tail), 0xcafe1234ULL);
+}
+
+TEST(SegmentValue, LeadingSegment) {
+  const Address addr = Address::MustParse("2001:db8::1");
+  EXPECT_EQ(SegmentValue(addr, {0, 4}), 0x2001ULL);
+  EXPECT_EQ(SegmentValue(addr, {4, 8}), 0x0db8ULL);
+}
+
+TEST(SegmentValue, InvalidSegmentThrows) {
+  const Address addr;
+  EXPECT_THROW(SegmentValue(addr, {0, 20}), std::invalid_argument);
+  EXPECT_THROW(SegmentValue(addr, {8, 8}), std::invalid_argument);
+  EXPECT_THROW(SegmentValue(addr, {20, 40}), std::invalid_argument);
+}
+
+TEST(SegmentValue, RoundTripRandom) {
+  std::mt19937_64 rng(15);
+  for (int i = 0; i < 500; ++i) {
+    const Address addr(rng(), rng());
+    const unsigned start = static_cast<unsigned>(rng() % 28);
+    const unsigned len = 1 + static_cast<unsigned>(rng() % 4);
+    const Segment seg{start, std::min(start + len, kNybbles)};
+    const std::uint64_t value = SegmentValue(addr, seg);
+    EXPECT_EQ(WithSegmentValue(addr, seg, value), addr);
+  }
+}
+
+}  // namespace
+}  // namespace sixgen::entropyip

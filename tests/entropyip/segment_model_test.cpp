@@ -1,0 +1,145 @@
+// Tests for per-segment value mining (Entropy/IP stage 2): exact
+// components, residual ranges, probability mass.
+#include "entropyip/segment_model.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace sixgen::entropyip {
+namespace {
+
+const Segment kSeg{28, 32};  // last four nybbles
+
+TEST(SegmentModel, EmptyValuesYieldSingleZeroComponent) {
+  const SegmentModel model = SegmentModel::Fit(kSeg, {});
+  ASSERT_EQ(model.components().size(), 1u);
+  EXPECT_EQ(model.components()[0].lo, 0u);
+  EXPECT_NEAR(model.components()[0].probability, 1.0, 1e-12);
+}
+
+TEST(SegmentModel, FrequentValuesBecomeExactComponents) {
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 50; ++i) values.push_back(80);
+  for (int i = 0; i < 30; ++i) values.push_back(443);
+  for (int i = 0; i < 20; ++i) values.push_back(22);
+  const SegmentModel model = SegmentModel::Fit(kSeg, values);
+
+  auto c80 = model.ComponentOf(80);
+  auto c443 = model.ComponentOf(443);
+  ASSERT_TRUE(c80 && c443);
+  EXPECT_EQ(model.components()[*c80].kind, ValueComponent::Kind::kExact);
+  EXPECT_NEAR(model.components()[*c80].probability, 0.5, 1e-12);
+  EXPECT_NEAR(model.components()[*c443].probability, 0.3, 1e-12);
+}
+
+TEST(SegmentModel, RareValuesFormRangeComponents) {
+  // Values 1000..1063 once each: below the 5% support floor, so they must
+  // be grouped into a contiguous range.
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 1000; v < 1064; ++v) values.push_back(v);
+  const SegmentModel model = SegmentModel::Fit(kSeg, values);
+  auto comp = model.ComponentOf(1020);
+  ASSERT_TRUE(comp.has_value());
+  EXPECT_EQ(model.components()[*comp].kind, ValueComponent::Kind::kRange);
+  EXPECT_LE(model.components()[*comp].lo, 1000u);
+  EXPECT_GE(model.components()[*comp].hi, 1063u);
+}
+
+TEST(SegmentModel, LargeGapsSplitRanges) {
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 0; v < 32; ++v) values.push_back(v);
+  for (std::uint64_t v = 60000; v < 60032; ++v) values.push_back(v);
+  SegmentModelConfig config;
+  config.min_exact_support = 0.5;  // force everything into ranges
+  const SegmentModel model = SegmentModel::Fit(kSeg, values, config);
+
+  auto low = model.ComponentOf(10);
+  auto high = model.ComponentOf(60010);
+  ASSERT_TRUE(low && high);
+  EXPECT_NE(*low, *high) << "the gap must split the residual into 2 ranges";
+  // A value in the gap belongs to no component.
+  EXPECT_FALSE(model.ComponentOf(30000).has_value());
+}
+
+TEST(SegmentModel, ProbabilityMassSumsToOne) {
+  std::mt19937_64 rng(3);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 500; ++i) values.push_back(rng() % 4096);
+  const SegmentModel model = SegmentModel::Fit(kSeg, values);
+  double total = 0;
+  for (const ValueComponent& c : model.components()) total += c.probability;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SegmentModel, EveryTrainingValueHasAComponent) {
+  std::mt19937_64 rng(5);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 300; ++i) values.push_back(rng() % 100000);
+  const SegmentModel model = SegmentModel::Fit(kSeg, values);
+  for (std::uint64_t v : values) {
+    EXPECT_TRUE(model.ComponentOf(v).has_value()) << v;
+  }
+}
+
+TEST(SegmentModel, SampleValueStaysInsideComponent) {
+  std::mt19937_64 data_rng(7);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 200; ++i) values.push_back(data_rng() % 5000);
+  const SegmentModel model = SegmentModel::Fit(kSeg, values);
+
+  std::mt19937_64 rng(8);
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t id = model.SampleComponent(rng);
+    ASSERT_LT(id, model.components().size());
+    const std::uint64_t v = model.SampleValue(id, rng);
+    EXPECT_TRUE(model.components()[id].Contains(v));
+  }
+}
+
+TEST(SegmentModel, SampleComponentFollowsProbabilities) {
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 90; ++i) values.push_back(7);
+  for (int i = 0; i < 10; ++i) values.push_back(9);
+  const SegmentModel model = SegmentModel::Fit(kSeg, values);
+  const std::size_t c7 = *model.ComponentOf(7);
+
+  std::mt19937_64 rng(9);
+  int hits7 = 0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    if (model.SampleComponent(rng) == c7) ++hits7;
+  }
+  EXPECT_NEAR(static_cast<double>(hits7) / trials, 0.9, 0.03);
+}
+
+TEST(SegmentModel, ExactComponentTakesPriorityOverCoveringRange) {
+  // 80 is frequent AND inside the residual span; lookups must return the
+  // exact component.
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 50; ++i) values.push_back(80);
+  for (std::uint64_t v = 70; v < 95; ++v) values.push_back(v);
+  const SegmentModel model = SegmentModel::Fit(kSeg, values);
+  const auto comp = model.ComponentOf(80);
+  ASSERT_TRUE(comp.has_value());
+  EXPECT_EQ(model.components()[*comp].kind, ValueComponent::Kind::kExact);
+}
+
+TEST(SegmentModel, MaxExactComponentsRespected) {
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 0; v < 32; ++v) {
+    for (int i = 0; i < 10; ++i) values.push_back(v);  // all equally frequent
+  }
+  SegmentModelConfig config;
+  config.max_exact_components = 4;
+  config.min_exact_support = 0.01;
+  const SegmentModel model = SegmentModel::Fit(kSeg, values, config);
+  std::size_t exact = 0;
+  for (const ValueComponent& c : model.components()) {
+    if (c.kind == ValueComponent::Kind::kExact) ++exact;
+  }
+  EXPECT_LE(exact, 4u);
+}
+
+}  // namespace
+}  // namespace sixgen::entropyip

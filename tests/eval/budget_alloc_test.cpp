@@ -1,0 +1,138 @@
+// Tests for §8 budget allocation policies.
+#include "eval/budget_alloc.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/pipeline.h"
+
+namespace sixgen::eval {
+namespace {
+
+using ip6::Address;
+using ip6::Prefix;
+using ip6::U128;
+
+routing::SeedGroup MakeGroup(const char* prefix, std::size_t seeds) {
+  routing::SeedGroup group;
+  group.route.prefix = Prefix::MustParse(prefix);
+  group.route.origin = 1;
+  for (std::size_t i = 0; i < seeds; ++i) {
+    group.seeds.push_back(
+        Address::FromU128(group.route.prefix.network().ToU128() + i + 1));
+  }
+  return group;
+}
+
+U128 Sum(const std::vector<U128>& v) {
+  U128 total = 0;
+  for (U128 x : v) total += x;
+  return total;
+}
+
+class BudgetPolicyCase : public ::testing::TestWithParam<BudgetPolicy> {};
+
+TEST_P(BudgetPolicyCase, SumsToTotalAndRespectsFloor) {
+  std::vector<routing::SeedGroup> groups;
+  groups.push_back(MakeGroup("2001:db8::/32", 5));
+  groups.push_back(MakeGroup("2a00:1::/48", 500));
+  groups.push_back(MakeGroup("2600::/24", 50));
+  const U128 total = 10'000;
+  const auto budgets = AllocateBudgets(groups, total, GetParam(), 16);
+  ASSERT_EQ(budgets.size(), groups.size());
+  EXPECT_EQ(Sum(budgets), total) << "largest-remainder must hit the total";
+  for (U128 b : budgets) EXPECT_GE(b, U128{16});
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, BudgetPolicyCase,
+                         ::testing::ValuesIn(kAllBudgetPolicies),
+                         [](const auto& param_info) {
+                           std::string n(BudgetPolicyName(param_info.param));
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(AllocateBudgets, UniformIsUniform) {
+  std::vector<routing::SeedGroup> groups = {MakeGroup("2001:db8::/32", 1),
+                                            MakeGroup("2a00:1::/32", 1000)};
+  const auto budgets =
+      AllocateBudgets(groups, 1000, BudgetPolicy::kUniform, 0);
+  EXPECT_EQ(budgets[0], U128{500});
+  EXPECT_EQ(budgets[1], U128{500});
+}
+
+TEST(AllocateBudgets, SeedProportionalSkewsTowardDenseGroups) {
+  std::vector<routing::SeedGroup> groups = {MakeGroup("2001:db8::/32", 100),
+                                            MakeGroup("2a00:1::/32", 900)};
+  const auto budgets =
+      AllocateBudgets(groups, 10'000, BudgetPolicy::kSeedProportional, 0);
+  EXPECT_EQ(budgets[0], U128{1000});
+  EXPECT_EQ(budgets[1], U128{9000});
+}
+
+TEST(AllocateBudgets, SqrtSeedsIsBetweenUniformAndProportional) {
+  std::vector<routing::SeedGroup> groups = {MakeGroup("2001:db8::/32", 100),
+                                            MakeGroup("2a00:1::/32", 900)};
+  const auto sqrt_budgets =
+      AllocateBudgets(groups, 10'000, BudgetPolicy::kSqrtSeeds, 0);
+  // sqrt weights 10 : 30 -> 2500 : 7500.
+  EXPECT_GT(sqrt_budgets[0], U128{1000});
+  EXPECT_LT(sqrt_budgets[0], U128{5000});
+  EXPECT_EQ(Sum(sqrt_budgets), U128{10'000});
+}
+
+TEST(AllocateBudgets, PrefixSizeWeightedPrefersShortPrefixes) {
+  std::vector<routing::SeedGroup> groups = {MakeGroup("2001:db8::/64", 10),
+                                            MakeGroup("2600::/24", 10)};
+  const auto budgets =
+      AllocateBudgets(groups, 1000, BudgetPolicy::kPrefixSizeWeighted, 0);
+  EXPECT_GT(budgets[1], budgets[0]);
+  EXPECT_EQ(Sum(budgets), U128{1000});
+}
+
+TEST(AllocateBudgets, FloorClampedWhenTotalTooSmall) {
+  std::vector<routing::SeedGroup> groups = {MakeGroup("2001:db8::/32", 5),
+                                            MakeGroup("2a00:1::/32", 5),
+                                            MakeGroup("2600::/32", 5)};
+  const auto budgets =
+      AllocateBudgets(groups, 10, BudgetPolicy::kUniform, 100);
+  EXPECT_LE(Sum(budgets), U128{10});
+}
+
+TEST(AllocateBudgets, EmptyGroupsOrZeroBudget) {
+  EXPECT_TRUE(AllocateBudgets({}, 1000, BudgetPolicy::kUniform).empty());
+  std::vector<routing::SeedGroup> groups = {MakeGroup("2001:db8::/32", 5)};
+  const auto budgets = AllocateBudgets(groups, 0, BudgetPolicy::kUniform);
+  ASSERT_EQ(budgets.size(), 1u);
+  EXPECT_EQ(budgets[0], U128{0});
+}
+
+TEST(AllocateBudgets, PolicyNamesDistinct) {
+  std::set<std::string> names;
+  for (BudgetPolicy policy : kAllBudgetPolicies) {
+    EXPECT_TRUE(names.insert(std::string(BudgetPolicyName(policy))).second);
+  }
+}
+
+TEST(PipelineIntegration, TotalBudgetOverridesPerPrefix) {
+  // Smoke: a pipeline run with a global budget stays within it (targets
+  // beyond seeds <= total budget).
+  EvalScale scale;
+  scale.host_factor = 0.05;
+  scale.filler_ases = 10;
+  const auto universe = MakeEvalUniverse(5, scale);
+  const auto seeds = MakeDnsSeeds(universe, 6, 0.5);
+  PipelineConfig config;
+  config.total_budget = 5000;
+  config.budget_policy = BudgetPolicy::kSeedProportional;
+  config.run_dealias = false;
+  const auto result = RunSixGenPipeline(universe, seeds, config);
+  EXPECT_LE(result.total_targets, seeds.size() + 5000);
+  EXPECT_GT(result.total_targets, 0u);
+}
+
+}  // namespace
+}  // namespace sixgen::eval

@@ -1,0 +1,93 @@
+// Tests for CSV artifact export.
+#include "eval/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sixgen::eval {
+namespace {
+
+using ip6::Address;
+
+TEST(PrefixOutcomesCsv, HeaderAndRows) {
+  PipelineResult result;
+  PrefixOutcome outcome;
+  outcome.route.prefix = ip6::Prefix::MustParse("2001:db8::/32");
+  outcome.route.origin = 64500;
+  outcome.seed_count = 10;
+  outcome.inactive_seed_count = 2;
+  outcome.target_count = 100;
+  outcome.hit_count = 42;
+  outcome.cluster_stats.singleton_clusters = 3;
+  outcome.cluster_stats.grown_clusters = 4;
+  outcome.iterations = 7;
+  outcome.generation_seconds = 0.5;
+  result.prefixes.push_back(outcome);
+
+  const std::string csv = PrefixOutcomesCsv(result);
+  std::istringstream lines(csv);
+  std::string header, row, extra;
+  ASSERT_TRUE(std::getline(lines, header));
+  ASSERT_TRUE(std::getline(lines, row));
+  EXPECT_FALSE(std::getline(lines, extra));
+  EXPECT_EQ(header,
+            "prefix,asn,seeds,inactive_seeds,targets,raw_hits,"
+            "singleton_clusters,grown_clusters,iterations,generation_seconds");
+  EXPECT_EQ(row, "2001:db8::/32,64500,10,2,100,42,3,4,7,0.5");
+}
+
+TEST(PrefixOutcomesCsv, EmptyResultIsHeaderOnly) {
+  const std::string csv = PrefixOutcomesCsv(PipelineResult{});
+  EXPECT_EQ(csv.find('\n'), csv.size() - 1) << "exactly one line";
+}
+
+TEST(GrowthTraceCsv, RowsMatchSteps) {
+  std::vector<core::GrowthStep> trace;
+  core::GrowthStep step;
+  step.iteration = 1;
+  step.grown_range = ip6::NybbleRange::MustParse("2001:db8::?");
+  step.seed_count = 3;
+  step.range_size = 16;
+  step.budget_cost = 13;
+  step.budget_used = 13;
+  step.clusters_deleted = 2;
+  trace.push_back(step);
+
+  const std::string csv = GrowthTraceCsv(trace);
+  EXPECT_NE(csv.find("iteration,range,seeds_in_range,range_size,"
+                     "budget_cost,budget_used,clusters_deleted"),
+            std::string::npos);
+  EXPECT_NE(csv.find("1,2001:db8::?,3,16,13,13,2"), std::string::npos);
+}
+
+TEST(GrowthTraceCsv, SaturatesHugeRangeSizes) {
+  std::vector<core::GrowthStep> trace;
+  core::GrowthStep step;
+  step.iteration = 1;
+  step.grown_range = ip6::NybbleRange::Full();
+  step.range_size = ~ip6::U128{0};
+  trace.push_back(step);
+  const std::string csv = GrowthTraceCsv(trace);
+  EXPECT_NE(csv.find("18446744073709551615+"), std::string::npos);
+}
+
+TEST(GrowthTraceCsv, RealRunRoundTrip) {
+  // A real 6Gen trace renders with one row per iteration.
+  std::vector<Address> seeds;
+  for (int i = 1; i <= 8; ++i) {
+    seeds.push_back(Address::MustParse("2001:db8::" + std::to_string(i)));
+    seeds.push_back(Address::MustParse("2a00:1::" + std::to_string(i)));
+  }
+  core::Config config;
+  config.budget = 200;
+  config.record_trace = true;
+  const auto result = core::Generate(seeds, config);
+  const std::string csv = GrowthTraceCsv(result.trace);
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, result.trace.size() + 1);
+}
+
+}  // namespace
+}  // namespace sixgen::eval

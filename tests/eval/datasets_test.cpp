@@ -1,0 +1,227 @@
+// Tests for the evaluation datasets: universe shape, CDN dataset
+// structure spectrum, train/test splitting, downsampling, type filtering.
+#include "eval/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "entropyip/entropy.h"
+
+namespace sixgen::eval {
+namespace {
+
+using ip6::Address;
+using simnet::HostType;
+
+TEST(MakeEvalUniverse, DeterministicAndPopulated) {
+  EvalScale small;
+  small.host_factor = 0.2;
+  small.filler_ases = 20;
+  const auto u1 = MakeEvalUniverse(1, small);
+  const auto u2 = MakeEvalUniverse(1, small);
+  EXPECT_EQ(u1.hosts().size(), u2.hosts().size());
+  EXPECT_GT(u1.hosts().size(), 1000u);
+  EXPECT_GT(u1.routing().Size(), 30u);
+  EXPECT_FALSE(u1.aliased_regions().empty());
+}
+
+TEST(MakeEvalUniverse, NamedProvidersPresent) {
+  EvalScale small;
+  small.host_factor = 0.2;
+  small.filler_ases = 5;
+  const auto u = MakeEvalUniverse(1, small);
+  EXPECT_EQ(u.registry().NameOf(20940), "Akamai");
+  EXPECT_EQ(u.registry().NameOf(13335), "Cloudflare");
+  EXPECT_EQ(u.registry().NameOf(63949), "Linode");
+}
+
+TEST(MakeEvalUniverse, AliasingConcentratedInFewAses) {
+  EvalScale scale;
+  scale.host_factor = 0.2;
+  const auto u = MakeEvalUniverse(1, scale);
+  std::set<routing::Asn> aliased_ases;
+  for (const auto& region : u.aliased_regions()) {
+    if (auto asn = u.routing().OriginAs(region.network())) {
+      aliased_ases.insert(*asn);
+    }
+  }
+  // ~2% of ASes alias (paper: 140 of 7,421).
+  EXPECT_LT(aliased_ases.size(), 12u);
+  EXPECT_GE(aliased_ases.size(), 4u);
+  EXPECT_TRUE(aliased_ases.contains(20940));
+  EXPECT_TRUE(aliased_ases.contains(16509));
+  EXPECT_TRUE(aliased_ases.contains(13335));
+}
+
+TEST(MakeDnsSeeds, CoverageScalesSeedCount) {
+  EvalScale small;
+  small.host_factor = 0.1;
+  small.filler_ases = 10;
+  const auto u = MakeEvalUniverse(2, small);
+  const auto half = MakeDnsSeeds(u, 3, 0.5);
+  const auto tenth = MakeDnsSeeds(u, 3, 0.1);
+  EXPECT_GT(half.size(), tenth.size() * 3);
+}
+
+class CdnDatasetTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CdnDatasetTest, TenThousandUniqueAddressesInPrefix) {
+  const CdnDataset cdn = MakeCdnDataset(GetParam(), 77, 4000);
+  EXPECT_EQ(cdn.addresses.size(), 4000u);
+  ip6::AddressSet unique(cdn.addresses.begin(), cdn.addresses.end());
+  EXPECT_EQ(unique.size(), cdn.addresses.size());
+  for (const Address& a : cdn.addresses) {
+    EXPECT_TRUE(cdn.prefix.Contains(a)) << a.ToString();
+    EXPECT_TRUE(cdn.universe.HasActiveHost(a)) << a.ToString();
+  }
+}
+
+TEST_P(CdnDatasetTest, UniverseHasDiscoveryHeadroom) {
+  const CdnDataset cdn = MakeCdnDataset(GetParam(), 77, 2000);
+  std::size_t active = 0;
+  for (const auto& h : cdn.universe.hosts()) {
+    if (h.active) ++active;
+  }
+  EXPECT_GT(active, cdn.addresses.size() * 2)
+      << "actives must exceed the sample so TGAs can discover";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCdns, CdnDatasetTest,
+                         ::testing::Range(1u, kCdnCount + 1));
+
+TEST(MakeCdnDataset, InvalidIndexThrows) {
+  EXPECT_THROW(MakeCdnDataset(0, 1), std::invalid_argument);
+  EXPECT_THROW(MakeCdnDataset(6, 1), std::invalid_argument);
+}
+
+TEST(MakeCdnDataset, StructureSpectrumIsOrdered) {
+  // CDN 1 (privacy-random) must have much higher tail-nybble entropy than
+  // CDN 4 (dense low-byte).
+  const CdnDataset cdn1 = MakeCdnDataset(1, 9, 2000);
+  const CdnDataset cdn4 = MakeCdnDataset(4, 9, 2000);
+  const auto h1 = entropyip::NybbleEntropies(cdn1.addresses);
+  const auto h4 = entropyip::NybbleEntropies(cdn4.addresses);
+  double tail1 = 0, tail4 = 0;
+  for (unsigned i = 20; i < ip6::kNybbles; ++i) {
+    tail1 += h1[i];
+    tail4 += h4[i];
+  }
+  EXPECT_GT(tail1, tail4 * 2);
+}
+
+TEST(MakeCdnDataset, Cdn4IsExtensivelyAliased) {
+  const CdnDataset cdn4 = MakeCdnDataset(4, 9, 2000);
+  EXPECT_FALSE(cdn4.universe.aliased_regions().empty());
+  for (unsigned i : {1u, 2u, 3u, 5u}) {
+    EXPECT_TRUE(MakeCdnDataset(i, 9, 500).universe.aliased_regions().empty())
+        << "CDN " << i;
+  }
+}
+
+TEST(SplitTrainTest, TenPercentNinetyPercent) {
+  std::vector<Address> addrs;
+  for (int i = 0; i < 1000; ++i) {
+    addrs.push_back(Address(0x20010db8ULL << 32, static_cast<uint64_t>(i)));
+  }
+  const TrainTestSplit split = SplitTrainTest(addrs, 10, 5);
+  EXPECT_EQ(split.train.size(), 100u);
+  EXPECT_EQ(split.test.size(), 900u);
+  // Disjoint and jointly complete.
+  ip6::AddressSet train_set(split.train.begin(), split.train.end());
+  for (const Address& t : split.test) {
+    EXPECT_FALSE(train_set.contains(t));
+  }
+}
+
+TEST(SplitTrainTest, ShuffleDependsOnSeed) {
+  std::vector<Address> addrs;
+  for (int i = 0; i < 100; ++i) {
+    addrs.push_back(Address(1, static_cast<uint64_t>(i)));
+  }
+  const auto s1 = SplitTrainTest(addrs, 10, 5);
+  const auto s2 = SplitTrainTest(addrs, 10, 6);
+  EXPECT_NE(s1.train, s2.train);
+  EXPECT_EQ(SplitTrainTest(addrs, 10, 5).train, s1.train);
+}
+
+TEST(SplitTrainTest, RejectsDegenerateGroupCount) {
+  EXPECT_THROW(SplitTrainTest({}, 1, 5), std::invalid_argument);
+}
+
+TEST(InverseKFold, EveryAddressTrainsExactlyOnce) {
+  std::vector<Address> addrs;
+  for (int i = 0; i < 1000; ++i) {
+    addrs.push_back(Address(0x20010db8ULL << 32, static_cast<uint64_t>(i)));
+  }
+  const auto folds = InverseKFold(addrs, 10, 3);
+  ASSERT_EQ(folds.size(), 10u);
+  ip6::AddressSet trained;
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.train.size() + fold.test.size(), addrs.size());
+    // Train and test are disjoint.
+    ip6::AddressSet train_set(fold.train.begin(), fold.train.end());
+    for (const Address& t : fold.test) {
+      EXPECT_FALSE(train_set.contains(t));
+    }
+    for (const Address& t : fold.train) {
+      EXPECT_TRUE(trained.insert(t).second)
+          << "an address trained in two folds";
+    }
+  }
+  EXPECT_EQ(trained.size(), addrs.size());
+}
+
+TEST(InverseKFold, LastFoldAbsorbsRemainder) {
+  std::vector<Address> addrs;
+  for (int i = 0; i < 103; ++i) {
+    addrs.push_back(Address(1, static_cast<uint64_t>(i)));
+  }
+  const auto folds = InverseKFold(addrs, 10, 3);
+  ASSERT_EQ(folds.size(), 10u);
+  EXPECT_EQ(folds.back().train.size(), 13u);
+  EXPECT_EQ(folds.front().train.size(), 10u);
+}
+
+TEST(InverseKFold, RejectsDegenerateGroups) {
+  EXPECT_THROW(InverseKFold({}, 1, 3), std::invalid_argument);
+}
+
+TEST(SummarizeFolds, MeanAndStddev) {
+  const double scores[] = {0.8, 0.9, 1.0};
+  const FoldStats stats = SummarizeFolds(scores);
+  EXPECT_EQ(stats.folds, 3u);
+  EXPECT_NEAR(stats.mean, 0.9, 1e-12);
+  EXPECT_NEAR(stats.stddev, 0.1, 1e-12);
+}
+
+TEST(SummarizeFolds, EdgeCases) {
+  EXPECT_EQ(SummarizeFolds({}).folds, 0u);
+  const double one[] = {0.5};
+  const FoldStats stats = SummarizeFolds(one);
+  EXPECT_NEAR(stats.mean, 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+}
+
+TEST(Downsample, ApproximatesFraction) {
+  std::vector<simnet::SeedRecord> seeds(10'000);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    seeds[i].addr = Address(1, i);
+  }
+  const auto quarter = Downsample(seeds, 0.25, 3);
+  EXPECT_NEAR(static_cast<double>(quarter.size()), 2500.0, 200.0);
+  EXPECT_TRUE(Downsample(seeds, 0.0, 3).empty());
+  EXPECT_EQ(Downsample(seeds, 1.0, 3).size(), seeds.size());
+}
+
+TEST(FilterByType, KeepsOnlyRequestedType) {
+  std::vector<simnet::SeedRecord> seeds = {
+      {Address(1, 1), HostType::kWeb},
+      {Address(1, 2), HostType::kNameServer},
+      {Address(1, 3), HostType::kNameServer},
+      {Address(1, 4), HostType::kMail}};
+  const auto ns = FilterByType(seeds, HostType::kNameServer);
+  ASSERT_EQ(ns.size(), 2u);
+  for (const auto& s : ns) EXPECT_EQ(s.type, HostType::kNameServer);
+}
+
+}  // namespace
+}  // namespace sixgen::eval

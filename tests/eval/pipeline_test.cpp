@@ -1,0 +1,147 @@
+// Tests for the §6 evaluation pipeline: per-prefix 6Gen runs, scanning,
+// dealiasing, and the aggregates the figure benches consume.
+#include "eval/pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace sixgen::eval {
+namespace {
+
+using ip6::Address;
+
+struct SmallWorld {
+  simnet::Universe universe;
+  std::vector<simnet::SeedRecord> seeds;
+};
+
+SmallWorld MakeSmallWorld() {
+  EvalScale scale;
+  scale.host_factor = 0.1;
+  scale.filler_ases = 20;
+  SmallWorld world{MakeEvalUniverse(11, scale), {}};
+  world.seeds = MakeDnsSeeds(world.universe, 13, 0.5);
+  return world;
+}
+
+TEST(Pipeline, ProducesPerPrefixOutcomes) {
+  const SmallWorld world = MakeSmallWorld();
+  PipelineConfig config;
+  config.budget_per_prefix = 2000;
+  const PipelineResult result =
+      RunSixGenPipeline(world.universe, world.seeds, config);
+
+  EXPECT_GT(result.prefixes.size(), 10u);
+  EXPECT_GT(result.total_targets, world.seeds.size());
+  EXPECT_GT(result.raw_hits.size(), 0u);
+  EXPECT_EQ(result.seeds_used, world.seeds.size());
+  for (const PrefixOutcome& outcome : result.prefixes) {
+    EXPECT_GT(outcome.seed_count, 0u);
+    EXPECT_GE(outcome.target_count, outcome.seed_count);
+    EXPECT_LE(outcome.hit_count, outcome.target_count);
+    EXPECT_LE(outcome.target_count,
+              outcome.seed_count + static_cast<std::size_t>(
+                                       config.budget_per_prefix));
+  }
+}
+
+TEST(Pipeline, HitsSplitExactlyByDealiasing) {
+  const SmallWorld world = MakeSmallWorld();
+  PipelineConfig config;
+  config.budget_per_prefix = 2000;
+  const PipelineResult result =
+      RunSixGenPipeline(world.universe, world.seeds, config);
+  EXPECT_EQ(result.dealias.aliased_hits.size() +
+                result.dealias.non_aliased_hits.size(),
+            result.raw_hits.size());
+}
+
+TEST(Pipeline, AliasedHitsDominateAsInThePaper) {
+  // §6.2's headline: the vast majority of raw hits are aliased.
+  const SmallWorld world = MakeSmallWorld();
+  PipelineConfig config;
+  config.budget_per_prefix = 4000;
+  const PipelineResult result =
+      RunSixGenPipeline(world.universe, world.seeds, config);
+  EXPECT_GT(result.dealias.aliased_hits.size(),
+            result.dealias.non_aliased_hits.size());
+}
+
+TEST(Pipeline, SkipsDealiasWhenDisabled) {
+  const SmallWorld world = MakeSmallWorld();
+  PipelineConfig config;
+  config.budget_per_prefix = 500;
+  config.run_dealias = false;
+  const PipelineResult result =
+      RunSixGenPipeline(world.universe, world.seeds, config);
+  EXPECT_TRUE(result.dealias.aliased_hits.empty());
+  EXPECT_TRUE(result.dealias.non_aliased_hits.empty());
+  EXPECT_EQ(result.dealias.prefixes_tested, 0u);
+}
+
+TEST(Pipeline, MinSeedsFiltersSmallPrefixes) {
+  const SmallWorld world = MakeSmallWorld();
+  PipelineConfig config;
+  config.budget_per_prefix = 200;
+  config.min_seeds = 10;
+  config.run_dealias = false;
+  const PipelineResult result =
+      RunSixGenPipeline(world.universe, world.seeds, config);
+  for (const PrefixOutcome& outcome : result.prefixes) {
+    EXPECT_GE(outcome.seed_count, 10u);
+  }
+}
+
+TEST(Pipeline, BiggerBudgetNeverFindsFewerRawHits) {
+  const SmallWorld world = MakeSmallWorld();
+  PipelineConfig small;
+  small.budget_per_prefix = 500;
+  small.run_dealias = false;
+  PipelineConfig big = small;
+  big.budget_per_prefix = 4000;
+  const auto r_small = RunSixGenPipeline(world.universe, world.seeds, small);
+  const auto r_big = RunSixGenPipeline(world.universe, world.seeds, big);
+  EXPECT_LE(r_small.raw_hits.size(), r_big.raw_hits.size());
+}
+
+TEST(Pipeline, DeterministicEndToEnd) {
+  const SmallWorld world = MakeSmallWorld();
+  PipelineConfig config;
+  config.budget_per_prefix = 1000;
+  const auto r1 = RunSixGenPipeline(world.universe, world.seeds, config);
+  const auto r2 = RunSixGenPipeline(world.universe, world.seeds, config);
+  EXPECT_EQ(r1.raw_hits, r2.raw_hits);
+  EXPECT_EQ(r1.dealias.non_aliased_hits, r2.dealias.non_aliased_hits);
+  EXPECT_EQ(r1.total_probes, r2.total_probes);
+}
+
+TEST(Pipeline, ChurnedSeedsReportedInactive) {
+  SmallWorld world = MakeSmallWorld();
+  world.universe.ApplyChurn(0.3, 21);
+  PipelineConfig config;
+  config.budget_per_prefix = 500;
+  config.run_dealias = false;
+  const PipelineResult result =
+      RunSixGenPipeline(world.universe, world.seeds, config);
+  std::size_t inactive = 0;
+  for (const PrefixOutcome& outcome : result.prefixes) {
+    inactive += outcome.inactive_seed_count;
+    EXPECT_LE(outcome.inactive_seed_count, outcome.seed_count);
+  }
+  EXPECT_GT(inactive, world.seeds.size() / 10)
+      << "~30% churn must surface as inactive seeds";
+}
+
+TEST(ScanAndDealias, EvaluatesExternalTargetLists) {
+  const SmallWorld world = MakeSmallWorld();
+  // Probe the seed addresses themselves: every active tcp80 seed must hit.
+  std::vector<Address> targets = simnet::SeedAddresses(world.seeds);
+  PipelineConfig config;
+  const PipelineResult result =
+      ScanAndDealias(world.universe, targets, config);
+  EXPECT_GT(result.raw_hits.size(), 0u);
+  EXPECT_LE(result.raw_hits.size(), targets.size());
+  EXPECT_EQ(result.total_targets, targets.size());
+}
+
+}  // namespace
+}  // namespace sixgen::eval

@@ -1,0 +1,166 @@
+// Calibration regression tests: pin the canonical evaluation world's
+// headline metrics to the bands EXPERIMENTS.md documents. These are the
+// guardrails that keep future changes from silently drifting the
+// reproduction away from the paper's qualitative results.
+//
+// Bands are deliberately wide — they assert the *shape*, not exact counts.
+#include <gtest/gtest.h>
+
+#include "eval/datasets.h"
+#include "eval/pipeline.h"
+#include "scanner/scanner.h"
+
+namespace sixgen {
+namespace {
+
+// One shared pipeline run over a reduced canonical world (kept in a
+// fixture so the 585-test suite pays for it once).
+class CalibrationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // The canonical bench world (bench_common.h parameters): these are the
+    // exact settings EXPERIMENTS.md documents, so drift caught here is
+    // drift in the published reproduction.
+    universe_ =
+        new simnet::Universe(eval::MakeEvalUniverse(0x5eed'0001, {}));
+    seeds_ = new std::vector<simnet::SeedRecord>(
+        eval::MakeDnsSeeds(*universe_, 0x5eed'0002, 0.5));
+    eval::PipelineConfig config;
+    config.budget_per_prefix = 20'000;
+    result_ = new eval::PipelineResult(
+        eval::RunSixGenPipeline(*universe_, *seeds_, config));
+  }
+
+  static void TearDownTestSuite() {
+    delete result_;
+    delete seeds_;
+    delete universe_;
+    result_ = nullptr;
+    seeds_ = nullptr;
+    universe_ = nullptr;
+  }
+
+  static simnet::Universe* universe_;
+  static std::vector<simnet::SeedRecord>* seeds_;
+  static eval::PipelineResult* result_;
+};
+
+simnet::Universe* CalibrationFixture::universe_ = nullptr;
+std::vector<simnet::SeedRecord>* CalibrationFixture::seeds_ = nullptr;
+eval::PipelineResult* CalibrationFixture::result_ = nullptr;
+
+TEST_F(CalibrationFixture, AliasedHitsDominateRawHits) {
+  // Paper §6.2: the vast majority of raw hits lie in aliased regions.
+  const double aliased_share =
+      static_cast<double>(result_->dealias.aliased_hits.size()) /
+      static_cast<double>(result_->raw_hits.size());
+  EXPECT_GT(aliased_share, 0.6) << "aliasing must dominate raw hits";
+}
+
+TEST_F(CalibrationFixture, AliasingConcentratedInTopTwoCdns) {
+  // Table 1b: Akamai + Amazon own nearly all aliased hits.
+  const auto rollup = scanner::RollupHits(universe_->routing(),
+                                          result_->dealias.aliased_hits);
+  std::size_t akamai = 0, amazon = 0, total = 0;
+  for (const auto& [asn, count] : rollup.by_as) {
+    total += count;
+    if (asn == 20940) akamai = count;
+    if (asn == 16509) amazon = count;
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(akamai, amazon) << "the Akamai-like AS leads (Table 1b order)";
+  EXPECT_GT(static_cast<double>(akamai + amazon) / static_cast<double>(total),
+            0.8);
+}
+
+// Minimal local top-10 helper (avoids depending on the registry).
+std::vector<std::pair<routing::Asn, std::size_t>> TopTen(
+    const std::unordered_map<routing::Asn, std::size_t>& by_as) {
+  std::vector<std::pair<routing::Asn, std::size_t>> rows(by_as.begin(),
+                                                         by_as.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (rows.size() > 10) rows.resize(10);
+  return rows;
+}
+
+TEST_F(CalibrationFixture, DealiasedTopTenHasNoAliasedCdn) {
+  // Table 1c: hosting providers lead after dealiasing.
+  const auto rollup = scanner::RollupHits(universe_->routing(),
+                                          result_->dealias.non_aliased_hits);
+  for (const auto& [asn, count] : TopTen(rollup.by_as)) {
+    EXPECT_NE(asn, 20940u) << "Akamai must not appear in the clean top ten";
+  }
+}
+
+TEST_F(CalibrationFixture, SlashOneTwelveAsesExcluded) {
+  // §6.2: Cloudflare and Mittwald alias at /112 and are caught by the
+  // refinement pass, not the /96 pass.
+  bool cloudflare = false, mittwald = false;
+  for (routing::Asn asn : result_->dealias.excluded_ases) {
+    if (asn == 13335) cloudflare = true;
+    if (asn == 15817) mittwald = true;
+  }
+  EXPECT_TRUE(cloudflare);
+  EXPECT_TRUE(mittwald);
+}
+
+TEST_F(CalibrationFixture, AliasingLimitedToFewAses) {
+  // §6.2: ~2% of ASes exhibit aliasing.
+  std::set<routing::Asn> aliased_ases;
+  for (const auto& region : universe_->aliased_regions()) {
+    if (auto asn = universe_->routing().OriginAs(region.network())) {
+      aliased_ases.insert(*asn);
+    }
+  }
+  const double share = static_cast<double>(aliased_ases.size()) /
+                       static_cast<double>(universe_->registry().Size());
+  EXPECT_LT(share, 0.06);
+  EXPECT_GE(aliased_ases.size(), 3u);
+}
+
+TEST_F(CalibrationFixture, SixGenDiscoversBeyondSeeds) {
+  ip6::AddressSet seed_set;
+  for (const auto& seed : *seeds_) seed_set.insert(seed.addr);
+  std::size_t fresh = 0;
+  for (const auto& hit : result_->dealias.non_aliased_hits) {
+    if (!seed_set.contains(hit)) ++fresh;
+  }
+  EXPECT_GT(fresh, result_->dealias.non_aliased_hits.size() / 5)
+      << "a meaningful share of clean hits must be new discoveries";
+}
+
+TEST_F(CalibrationFixture, MostSeededPrefixesGrowClusters) {
+  // Fig. 5b: the vast majority of >=10-seed prefixes have grown clusters.
+  std::size_t eligible = 0, with_grown = 0;
+  for (const auto& outcome : result_->prefixes) {
+    if (outcome.seed_count < 10) continue;
+    ++eligible;
+    if (outcome.cluster_stats.grown_clusters > 0) ++with_grown;
+  }
+  ASSERT_GT(eligible, 20u);
+  EXPECT_GT(static_cast<double>(with_grown) / static_cast<double>(eligible),
+            0.8);
+}
+
+TEST_F(CalibrationFixture, DynamicNybblesBimodal) {
+  // Fig. 6: low-IID mode dwarfs the middle of the address.
+  std::array<double, ip6::kNybbles> fractions{};
+  std::size_t prefixes = 0;
+  for (const auto& outcome : result_->prefixes) {
+    ++prefixes;
+    for (unsigned i = 0; i < ip6::kNybbles; ++i) {
+      if (outcome.cluster_stats.dynamic_nybbles[i]) fractions[i] += 1;
+    }
+  }
+  ASSERT_GT(prefixes, 0u);
+  for (double& f : fractions) f /= static_cast<double>(prefixes);
+  const double low_iid = (fractions[30] + fractions[31]) / 2;
+  double middle = 0;
+  for (unsigned i = 17; i <= 24; ++i) middle += fractions[i];
+  middle /= 8;
+  EXPECT_GT(low_iid, middle * 3);
+}
+
+}  // namespace
+}  // namespace sixgen

@@ -1,0 +1,208 @@
+// Integration tests across the whole stack: the paper's qualitative claims
+// on the scaled-down evaluation universe and the CDN comparison datasets.
+#include <gtest/gtest.h>
+
+#include "core/generator.h"
+#include "entropyip/entropyip.h"
+#include "eval/datasets.h"
+#include "eval/pipeline.h"
+#include "patterns/patterns.h"
+
+namespace sixgen {
+namespace {
+
+using ip6::Address;
+using ip6::AddressSet;
+
+// Shared fixtures are deliberately small so the whole suite stays fast.
+eval::EvalScale SmallScale() {
+  eval::EvalScale scale;
+  scale.host_factor = 0.1;
+  scale.filler_ases = 20;
+  return scale;
+}
+
+TEST(EndToEnd, SixGenDiscoversUnknownActiveHosts) {
+  // The core claim: from a partial seed view, 6Gen finds active addresses
+  // that were NOT seeds.
+  const auto universe = eval::MakeEvalUniverse(3, SmallScale());
+  const auto seeds = eval::MakeDnsSeeds(universe, 5, 0.4);
+  eval::PipelineConfig config;
+  config.budget_per_prefix = 2000;
+  const auto result = eval::RunSixGenPipeline(universe, seeds, config);
+
+  AddressSet seed_set;
+  for (const auto& s : seeds) seed_set.insert(s.addr);
+  std::size_t new_nonaliased = 0;
+  for (const Address& hit : result.dealias.non_aliased_hits) {
+    if (!seed_set.contains(hit)) ++new_nonaliased;
+  }
+  EXPECT_GT(new_nonaliased, 100u)
+      << "6Gen must discover previously-unknown non-aliased hosts";
+}
+
+TEST(EndToEnd, SeedDensityCorrelatesWithHits) {
+  // Fig. 7's positive correlation between seeds and hits per prefix. Like
+  // the paper, the correlation is measured on *dealiased* hits — a handful
+  // of aliased CDN prefixes would otherwise dominate every bucket.
+  const auto universe = eval::MakeEvalUniverse(3, SmallScale());
+  const auto seeds = eval::MakeDnsSeeds(universe, 5, 0.4);
+  eval::PipelineConfig config;
+  config.budget_per_prefix = 1000;
+  const auto result = eval::RunSixGenPipeline(universe, seeds, config);
+  const auto clean =
+      scanner::RollupHits(universe.routing(), result.dealias.non_aliased_hits);
+
+  double big_prefix_hits = 0, big_count = 0;
+  double small_prefix_hits = 0, small_count = 0;
+  for (const auto& outcome : result.prefixes) {
+    const auto it = clean.by_prefix.find(outcome.route.prefix);
+    const double hits =
+        it == clean.by_prefix.end() ? 0.0 : static_cast<double>(it->second);
+    if (outcome.seed_count >= 100) {
+      big_prefix_hits += hits;
+      big_count += 1;
+    } else if (outcome.seed_count >= 2 && outcome.seed_count < 10) {
+      small_prefix_hits += hits;
+      small_count += 1;
+    }
+  }
+  ASSERT_GT(big_count, 0);
+  ASSERT_GT(small_count, 0);
+  EXPECT_GT(big_prefix_hits / big_count, small_prefix_hits / small_count);
+}
+
+TEST(EndToEnd, SixGenBeatsEntropyIpOnStructuredCdn) {
+  // Fig. 8's headline on the most structured dataset (CDN 4): 6Gen
+  // recovers far more of the held-out addresses.
+  const auto cdn = eval::MakeCdnDataset(4, 7, 3000);
+  const auto split = eval::SplitTrainTest(cdn.addresses, 10, 9);
+  AddressSet test_set(split.test.begin(), split.test.end());
+  const std::size_t budget = 30'000;
+
+  core::Config gen_config;
+  gen_config.budget = budget;
+  const auto sixgen_result = core::Generate(split.train, gen_config);
+  std::size_t sixgen_found = 0;
+  for (const Address& t : sixgen_result.targets) {
+    if (test_set.contains(t)) ++sixgen_found;
+  }
+
+  const auto model = entropyip::EntropyIpModel::Fit(split.train);
+  entropyip::GenerateConfig eip_config;
+  eip_config.budget = budget;
+  std::size_t eip_found = 0;
+  for (const Address& t : model.GenerateTargets(eip_config)) {
+    if (test_set.contains(t)) ++eip_found;
+  }
+
+  EXPECT_GT(sixgen_found, test_set.size() / 2)
+      << "6Gen must recover most of CDN 4's test addresses";
+  EXPECT_GE(sixgen_found, eip_found);
+}
+
+TEST(EndToEnd, BothTgasFailOnUnpredictableCdn) {
+  // CDN 1: privacy-random IIDs. Neither algorithm should find anything.
+  const auto cdn = eval::MakeCdnDataset(1, 7, 2000);
+  const auto split = eval::SplitTrainTest(cdn.addresses, 10, 9);
+  AddressSet test_set(split.test.begin(), split.test.end());
+
+  core::Config gen_config;
+  gen_config.budget = 10'000;
+  const auto sixgen_result = core::Generate(split.train, gen_config);
+  std::size_t sixgen_found = 0;
+  for (const Address& t : sixgen_result.targets) {
+    if (test_set.contains(t)) ++sixgen_found;
+  }
+  EXPECT_LT(sixgen_found, test_set.size() / 100);
+}
+
+TEST(EndToEnd, SixGenBeatsLowByteAndUllrichOnMixedNetwork) {
+  // The baselines §3.3 compares against: on a structured CDN, 6Gen's
+  // variable-size ranges should dominate a fixed low-byte expansion and
+  // the constant-size Ullrich range under the same budget.
+  const auto cdn = eval::MakeCdnDataset(3, 7, 3000);
+  const auto split = eval::SplitTrainTest(cdn.addresses, 10, 9);
+  AddressSet test_set(split.test.begin(), split.test.end());
+  const std::size_t budget = 20'000;
+
+  core::Config gen_config;
+  gen_config.budget = budget;
+  std::size_t sixgen_found = 0;
+  for (const Address& t : core::Generate(split.train, gen_config).targets) {
+    if (test_set.contains(t)) ++sixgen_found;
+  }
+
+  patterns::LowByteConfig lb_config;
+  std::size_t lowbyte_found = 0;
+  for (const Address& t :
+       patterns::LowByteGenerate(split.train, lb_config, budget)) {
+    if (test_set.contains(t)) ++lowbyte_found;
+  }
+
+  patterns::UllrichConfig ullrich_config;
+  ullrich_config.free_bits = 15;
+  ullrich_config.initial = patterns::BitRange::FromPrefix(cdn.prefix);
+  std::size_t ullrich_found = 0;
+  for (const Address& t :
+       patterns::UllrichGenerate(split.train, ullrich_config, budget, 3)) {
+    if (test_set.contains(t)) ++ullrich_found;
+  }
+
+  // Low-byte enumeration is a strong baseline on sequential IIDs; 6Gen
+  // must be at least competitive with it (within 10%) and dominate the
+  // constant-size Ullrich range.
+  EXPECT_GE(sixgen_found * 10, lowbyte_found * 9);
+  EXPECT_GE(sixgen_found, ullrich_found);
+  EXPECT_GT(sixgen_found, 0u);
+}
+
+TEST(EndToEnd, DealiasingChangesTheTopAsRanking) {
+  // Table 1b vs 1c: aliased CDNs dominate raw hits, hosting providers
+  // dominate after filtering.
+  const auto universe = eval::MakeEvalUniverse(3, SmallScale());
+  const auto seeds = eval::MakeDnsSeeds(universe, 5, 0.4);
+  eval::PipelineConfig config;
+  config.budget_per_prefix = 3000;
+  const auto result = eval::RunSixGenPipeline(universe, seeds, config);
+
+  const auto raw = scanner::RollupHits(universe.routing(), result.raw_hits);
+  const auto clean =
+      scanner::RollupHits(universe.routing(), result.dealias.non_aliased_hits);
+
+  auto top_of = [&](const auto& rollup) {
+    routing::Asn best = 0;
+    std::size_t best_count = 0;
+    for (const auto& [asn, count] : rollup.by_as) {
+      if (count > best_count) {
+        best = asn;
+        best_count = count;
+      }
+    }
+    return best;
+  };
+  const routing::Asn raw_top = top_of(raw);
+  EXPECT_TRUE(raw_top == 20940 || raw_top == 16509)
+      << "raw hits must be dominated by an aliased CDN AS, got " << raw_top;
+  EXPECT_NE(top_of(clean), 20940u);
+}
+
+TEST(EndToEnd, TightVersusLooseMatchesSection63Shape) {
+  // §6.3: loose ranges find at least roughly as many hits as tight.
+  const auto universe = eval::MakeEvalUniverse(3, SmallScale());
+  const auto seeds = eval::MakeDnsSeeds(universe, 5, 0.4);
+  eval::PipelineConfig loose;
+  loose.budget_per_prefix = 1500;
+  loose.run_dealias = false;
+  eval::PipelineConfig tight = loose;
+  tight.core.range_mode = ip6::RangeMode::kTight;
+  const auto r_loose = RunSixGenPipeline(universe, seeds, loose);
+  const auto r_tight = RunSixGenPipeline(universe, seeds, tight);
+  // The two modes are close; loose won in the paper. Accept a small margin
+  // rather than asserting strict dominance on a scaled universe.
+  EXPECT_GT(static_cast<double>(r_loose.raw_hits.size()),
+            0.8 * static_cast<double>(r_tight.raw_hits.size()));
+}
+
+}  // namespace
+}  // namespace sixgen

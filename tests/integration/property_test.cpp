@@ -1,0 +1,200 @@
+// Randomized property tests: fuzz-style sweeps asserting the library's
+// invariants over randomly synthesized seed sets and configurations.
+// Each TEST_P case is seeded by the parameter, so failures reproduce.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/generator.h"
+#include "entropyip/entropyip.h"
+#include "ip6/nybble_range.h"
+#include "nybtree/nybble_tree.h"
+#include "simnet/allocation.h"
+
+namespace sixgen {
+namespace {
+
+using ip6::Address;
+using ip6::AddressSet;
+using ip6::NybbleRange;
+using ip6::Prefix;
+using ip6::RangeMode;
+using ip6::U128;
+
+// Random seed sets drawn from random mixtures of realistic allocation
+// policies in random subnets — the input space 6Gen actually faces.
+std::vector<Address> FuzzSeeds(std::mt19937_64& rng) {
+  const std::size_t policies = 1 + rng() % 3;
+  std::vector<Address> seeds;
+  for (std::size_t p = 0; p < policies; ++p) {
+    const Prefix subnet = Prefix::Of(Address(rng(), rng()), 48 + (rng() % 10) * 4);
+    const auto policy =
+        simnet::kAllPolicies[rng() % std::size(simnet::kAllPolicies)];
+    const std::size_t count = 2 + rng() % 60;
+    const auto hosts = simnet::AllocateHosts(subnet, policy, count, rng);
+    seeds.insert(seeds.end(), hosts.begin(), hosts.end());
+  }
+  return seeds;
+}
+
+class GeneratorFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorFuzz, CoreInvariantsHoldOnRandomInputs) {
+  std::mt19937_64 rng(GetParam() * 2654435761u + 1);
+  const auto seeds = FuzzSeeds(rng);
+
+  core::Config config;
+  config.budget = 1 + rng() % 5000;
+  config.range_mode = rng() % 2 ? RangeMode::kLoose : RangeMode::kTight;
+  config.accounting = rng() % 2 ? core::BudgetAccounting::kExactUnique
+                                : core::BudgetAccounting::kArithmetic;
+  config.rng_seed = rng();
+
+  const core::Result result = core::Generate(seeds, config);
+
+  // 1. Budget is never exceeded.
+  EXPECT_LE(result.budget_used, config.budget);
+
+  // 2. Targets are unique and sorted.
+  EXPECT_TRUE(std::is_sorted(result.targets.begin(), result.targets.end()));
+  EXPECT_TRUE(std::adjacent_find(result.targets.begin(),
+                                 result.targets.end()) ==
+              result.targets.end());
+
+  // 3. Every seed appears among the targets.
+  AddressSet target_set(result.targets.begin(), result.targets.end());
+  for (const Address& seed : seeds) {
+    EXPECT_TRUE(target_set.contains(seed)) << seed.ToString();
+  }
+
+  // 4. Target count = distinct seeds + budget actually used (exact-unique
+  //    accounting pays only for unique new addresses).
+  if (config.accounting == core::BudgetAccounting::kExactUnique) {
+    EXPECT_EQ(result.targets.size(),
+              result.seed_count + static_cast<std::size_t>(result.budget_used));
+  } else {
+    EXPECT_LE(result.targets.size(),
+              result.seed_count + static_cast<std::size_t>(config.budget));
+  }
+
+  // 5. Every cluster's recorded seed count matches brute-force membership,
+  //    and no cluster strictly covers another.
+  AddressSet seed_set(seeds.begin(), seeds.end());
+  for (std::size_t i = 0; i < result.clusters.size(); ++i) {
+    const auto& cluster = result.clusters[i];
+    std::size_t members = 0;
+    for (const Address& seed : seed_set) {
+      if (cluster.range.Contains(seed)) ++members;
+    }
+    EXPECT_EQ(cluster.seed_count, members);
+    for (std::size_t j = 0; j < result.clusters.size(); ++j) {
+      if (i != j) {
+        EXPECT_FALSE(
+            cluster.range.StrictlyCovers(result.clusters[j].range));
+      }
+    }
+  }
+
+  // 6. Determinism: an identical rerun is bit-identical.
+  const core::Result rerun = core::Generate(seeds, config);
+  EXPECT_EQ(rerun.targets, result.targets);
+  EXPECT_EQ(rerun.budget_used, result.budget_used);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorFuzz, ::testing::Range<std::uint64_t>(0, 24));
+
+class RangeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RangeFuzz, RangeAlgebraInvariants) {
+  std::mt19937_64 rng(GetParam() * 40503u + 7);
+  // Random range: random base with random positions opened.
+  NybbleRange range = NybbleRange::Single(Address(rng(), rng()));
+  for (int i = 0; i < 4; ++i) {
+    const auto mask = static_cast<std::uint16_t>((rng() % 0xFFFF) | 1);
+    range.SetMask(static_cast<unsigned>(rng() % 32), mask);
+  }
+
+  // Round-trip through text.
+  EXPECT_EQ(NybbleRange::MustParse(range.ToString()), range);
+
+  // Size / enumeration agreement (cap the work).
+  if (range.Size() <= 4096) {
+    std::size_t count = 0;
+    AddressSet seen;
+    range.ForEach([&](const Address& a) {
+      EXPECT_TRUE(range.Contains(a));
+      EXPECT_TRUE(seen.insert(a).second);
+      ++count;
+      return true;
+    });
+    EXPECT_EQ(count, static_cast<std::size_t>(range.Size()));
+    // AddressAt agrees with enumeration extremes.
+    EXPECT_EQ(range.AddressAt(0), range.First());
+  }
+
+  // Distance properties against random addresses.
+  for (int i = 0; i < 32; ++i) {
+    const Address probe(rng(), rng());
+    const unsigned d = range.Distance(probe);
+    EXPECT_EQ(d == 0, range.Contains(probe));
+    // Expansion reduces the distance to zero and covers the old range.
+    NybbleRange grown = range;
+    grown.ExpandToInclude(probe, rng() % 2 ? RangeMode::kLoose
+                                           : RangeMode::kTight);
+    EXPECT_EQ(grown.Distance(probe), 0u);
+    EXPECT_TRUE(grown.Covers(range));
+    EXPECT_GE(grown.Size(), range.Size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeFuzz, ::testing::Range<std::uint64_t>(0, 20));
+
+class TreeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeFuzz, TreeMatchesLinearScansOnRandomData) {
+  std::mt19937_64 rng(GetParam() * 7919u + 3);
+  const auto seeds = FuzzSeeds(rng);
+  nybtree::NybbleTree tree(seeds);
+  AddressSet unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(tree.Size(), unique.size());
+
+  for (int trial = 0; trial < 10; ++trial) {
+    NybbleRange range = NybbleRange::Single(seeds[rng() % seeds.size()]);
+    for (int open = 0; open < 3; ++open) {
+      range.SetMask(static_cast<unsigned>(rng() % 32),
+                    static_cast<std::uint16_t>((rng() % 0xFFFF) | 1));
+    }
+    std::size_t expected_count = 0;
+    unsigned expected_min = ip6::kNybbles + 1;
+    for (const Address& seed : unique) {
+      if (range.Contains(seed)) ++expected_count;
+      const unsigned d = range.Distance(seed);
+      if (d >= 1 && d < expected_min) expected_min = d;
+    }
+    EXPECT_EQ(tree.CountInRange(range), expected_count);
+    EXPECT_EQ(tree.MinDistanceOutside(range), expected_min);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeFuzz, ::testing::Range<std::uint64_t>(0, 16));
+
+class EntropyIpFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EntropyIpFuzz, ModelNeverCrashesAndRespectsBudget) {
+  std::mt19937_64 rng(GetParam() * 104729u + 11);
+  const auto seeds = FuzzSeeds(rng);
+  const auto model = entropyip::EntropyIpModel::Fit(seeds);
+  entropyip::GenerateConfig config;
+  config.budget = 1 + rng() % 2000;
+  config.rng_seed = rng();
+  const auto targets = model.GenerateTargets(config);
+  EXPECT_LE(targets.size(), config.budget);
+  AddressSet unique(targets.begin(), targets.end());
+  EXPECT_EQ(unique.size(), targets.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EntropyIpFuzz,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace sixgen

@@ -1,0 +1,141 @@
+// Tests for address/range list I/O.
+#include "io/address_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sixgen::io {
+namespace {
+
+using ip6::Address;
+using ip6::NybbleRange;
+
+TEST(ReadAddresses, ParsesLinesSkipsCommentsAndBlanks) {
+  const auto result = ReadAddressesFromString(
+      "# seed list\n"
+      "2001:db8::1\n"
+      "\n"
+      "  2001:db8::2   # inline comment\n"
+      "\t2001:db8::3\r\n");
+  EXPECT_TRUE(result.ok());
+  ASSERT_EQ(result.values.size(), 3u);
+  EXPECT_EQ(result.values[0], Address::MustParse("2001:db8::1"));
+  EXPECT_EQ(result.values[2], Address::MustParse("2001:db8::3"));
+}
+
+TEST(ReadAddresses, CollectsErrorsWithLineNumbers) {
+  const auto result = ReadAddressesFromString(
+      "2001:db8::1\n"
+      "not-an-address\n"
+      "2001:db8::2\n"
+      "12345::\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.values.size(), 2u);
+  ASSERT_EQ(result.errors.size(), 2u);
+  EXPECT_EQ(result.errors[0].line, 2u);
+  EXPECT_EQ(result.errors[0].text, "not-an-address");
+  EXPECT_EQ(result.errors[1].line, 4u);
+}
+
+TEST(ReadAddresses, EmptyInput) {
+  const auto result = ReadAddressesFromString("");
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.values.empty());
+}
+
+TEST(WriteAddresses, CanonicalFormRoundTrips) {
+  std::vector<Address> addrs = {
+      Address::MustParse("2001:0db8:0000:0000:0000:0000:0011:2222"),
+      Address::MustParse("::1")};
+  std::ostringstream out;
+  WriteAddresses(out, addrs);
+  EXPECT_EQ(out.str(), "2001:db8::11:2222\n::1\n");
+
+  const auto reread = ReadAddressesFromString(out.str());
+  EXPECT_TRUE(reread.ok());
+  EXPECT_EQ(reread.values, addrs);
+}
+
+TEST(AddressFile, WriteThenReadBack) {
+  const std::string path = ::testing::TempDir() + "/sixgen_io_test_addrs.txt";
+  std::vector<Address> addrs;
+  for (int i = 1; i <= 100; ++i) {
+    addrs.push_back(
+        Address::FromU128(Address::MustParse("2001:db8::").ToU128() + i));
+  }
+  ASSERT_TRUE(WriteAddressFile(path, addrs));
+  const auto loaded = ReadAddressFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->ok());
+  EXPECT_EQ(loaded->values, addrs);
+  std::remove(path.c_str());
+}
+
+TEST(AddressFile, MissingFileIsNullopt) {
+  EXPECT_FALSE(ReadAddressFile("/nonexistent/sixgen/file.txt").has_value());
+}
+
+TEST(ReadRanges, WildcardSyntaxRoundTrips) {
+  const auto result = ReadRangesFromString(
+      "# cluster dump\n"
+      "2001:db8::?:100?\n"
+      "2::?:?0?\n"
+      "2001:db8::5[1-2,8-a]\n");
+  EXPECT_TRUE(result.ok());
+  ASSERT_EQ(result.values.size(), 3u);
+  EXPECT_EQ(result.values[0], NybbleRange::MustParse("2001:db8::?:100?"));
+
+  std::ostringstream out;
+  WriteRanges(out, result.values);
+  const auto reread = ReadRangesFromString(out.str());
+  EXPECT_TRUE(reread.ok());
+  EXPECT_EQ(reread.values, result.values);
+}
+
+TEST(SeedRecords, TsvRoundTrip) {
+  std::vector<simnet::SeedRecord> seeds = {
+      {Address::MustParse("2001:db8::1"), simnet::HostType::kWeb},
+      {Address::MustParse("2001:db8::53"), simnet::HostType::kNameServer},
+      {Address::MustParse("2001:db8::25"), simnet::HostType::kMail},
+      {Address::MustParse("2001:db8::99"), simnet::HostType::kGeneric}};
+  std::ostringstream out;
+  WriteSeedRecords(out, seeds);
+  EXPECT_NE(out.str().find("2001:db8::53\tns"), std::string::npos);
+
+  const auto reread = ReadSeedRecordsFromString(out.str());
+  EXPECT_TRUE(reread.ok());
+  ASSERT_EQ(reread.values.size(), seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(reread.values[i].addr, seeds[i].addr);
+    EXPECT_EQ(reread.values[i].type, seeds[i].type);
+  }
+}
+
+TEST(SeedRecords, BareAddressDefaultsToGeneric) {
+  const auto result = ReadSeedRecordsFromString("2001:db8::1\n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.values.size(), 1u);
+  EXPECT_EQ(result.values[0].type, simnet::HostType::kGeneric);
+}
+
+TEST(SeedRecords, BadTypeOrAddressReported) {
+  const auto result = ReadSeedRecordsFromString(
+      "2001:db8::1\trouter\n"
+      "not-an-address\tweb\n"
+      "2001:db8::2\tmail\n");
+  EXPECT_EQ(result.values.size(), 1u);
+  EXPECT_EQ(result.errors.size(), 2u);
+}
+
+TEST(ReadRanges, MalformedRangeReported) {
+  const auto result = ReadRangesFromString("2001:db8::[8-1]\n");
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].line, 1u);
+}
+
+}  // namespace
+}  // namespace sixgen::io

@@ -1,0 +1,302 @@
+// Unit and property tests for the ip6::Address value type: parsing,
+// formatting, nybble access, and Hamming distance (paper §2, §5.2).
+#include "ip6/address.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace sixgen::ip6 {
+namespace {
+
+TEST(AddressParse, FullForm) {
+  auto addr = Address::Parse("2001:0db8:0000:0000:0000:0000:0011:2222");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->hi(), 0x20010db800000000ULL);
+  EXPECT_EQ(addr->lo(), 0x0000000000112222ULL);
+}
+
+TEST(AddressParse, CompressedFormMatchesFull) {
+  // The paper's own example (§2).
+  auto full = Address::Parse("2001:0db8:0000:0000:0000:0000:0011:2222");
+  auto compressed = Address::Parse("2001:db8::11:2222");
+  ASSERT_TRUE(full && compressed);
+  EXPECT_EQ(*full, *compressed);
+}
+
+TEST(AddressParse, AllZeros) {
+  auto addr = Address::Parse("::");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(*addr, Address());
+}
+
+TEST(AddressParse, Loopback) {
+  auto addr = Address::Parse("::1");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->lo(), 1u);
+  EXPECT_EQ(addr->hi(), 0u);
+}
+
+TEST(AddressParse, TrailingDoubleColon) {
+  auto addr = Address::Parse("2001:db8::");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->hi(), 0x20010db800000000ULL);
+  EXPECT_EQ(addr->lo(), 0u);
+}
+
+TEST(AddressParse, UppercaseHex) {
+  auto a = Address::Parse("2001:DB8::DEAD:BEEF");
+  auto b = Address::Parse("2001:db8::dead:beef");
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(AddressParse, EmbeddedIpv4Tail) {
+  auto addr = Address::Parse("::ffff:192.168.1.2");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->lo(), 0x0000ffffc0a80102ULL);
+}
+
+TEST(AddressParse, EmbeddedIpv4FullGroups) {
+  auto a = Address::Parse("64:ff9b::1.2.3.4");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->lo(), 0x01020304ULL);
+  EXPECT_EQ(a->hi(), 0x0064ff9b00000000ULL);
+}
+
+struct MalformedCase {
+  const char* text;
+};
+
+class AddressParseMalformed : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(AddressParseMalformed, Rejected) {
+  EXPECT_FALSE(Address::Parse(GetParam().text).has_value())
+      << "should reject: " << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, AddressParseMalformed,
+    ::testing::Values(
+        MalformedCase{""}, MalformedCase{":"}, MalformedCase{":::"},
+        MalformedCase{"1::2::3"},        // two gaps
+        MalformedCase{"12345::"},        // group too long
+        MalformedCase{"1:2:3:4:5:6:7"},  // too few groups
+        MalformedCase{"1:2:3:4:5:6:7:8:9"},  // too many groups
+        MalformedCase{"g::1"},           // bad hex
+        MalformedCase{"1:2:3:4:5:6:7:"}, // trailing colon
+        MalformedCase{":1:2:3:4:5:6:7"}, // leading single colon
+        MalformedCase{"::1.2.3"},        // short v4 tail
+        MalformedCase{"::1.2.3.4.5"},    // long v4 tail
+        MalformedCase{"::256.1.1.1"},    // octet out of range
+        MalformedCase{"1.2.3.4"},        // bare IPv4
+        MalformedCase{"2001:db8::1 "},   // trailing space
+        MalformedCase{"1:2:3:4:5:6:1.2.3.4:8"}));  // v4 not final
+
+TEST(AddressParse, TooManyGroupsWithGapRejected) {
+  EXPECT_FALSE(Address::Parse("1:2:3:4::5:6:7:8").has_value());
+}
+
+TEST(AddressParse, MustParseThrowsOnMalformed) {
+  EXPECT_THROW(Address::MustParse("not-an-address"), std::invalid_argument);
+}
+
+TEST(AddressFormat, FullString) {
+  const Address addr = Address::MustParse("2001:db8::11:2222");
+  EXPECT_EQ(addr.ToFullString(), "2001:0db8:0000:0000:0000:0000:0011:2222");
+}
+
+struct CanonicalCase {
+  const char* input;
+  const char* canonical;
+};
+
+class AddressCanonicalForm : public ::testing::TestWithParam<CanonicalCase> {};
+
+TEST_P(AddressCanonicalForm, Rfc5952) {
+  const Address addr = Address::MustParse(GetParam().input);
+  EXPECT_EQ(addr.ToString(), GetParam().canonical);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Canonical, AddressCanonicalForm,
+    ::testing::Values(
+        CanonicalCase{"2001:0db8:0000:0000:0000:0000:0011:2222",
+                      "2001:db8::11:2222"},
+        CanonicalCase{"::", "::"}, CanonicalCase{"::1", "::1"},
+        CanonicalCase{"2001:db8::", "2001:db8::"},
+        // Longest run wins; leftmost on ties (RFC 5952 §4.2.3).
+        CanonicalCase{"2001:0:0:1:0:0:0:1", "2001:0:0:1::1"},
+        CanonicalCase{"2001:0:0:0:1:0:0:1", "2001::1:0:0:1"},
+        // A single zero group is not compressed.
+        CanonicalCase{"2001:db8:0:1:1:1:1:1", "2001:db8:0:1:1:1:1:1"},
+        CanonicalCase{"0:1:2:3:4:5:6:7", "0:1:2:3:4:5:6:7"},
+        CanonicalCase{"1:0:0:2:0:0:0:3", "1:0:0:2::3"}));
+
+TEST(AddressFormat, RoundTripRandomAddresses) {
+  std::mt19937_64 rng(1234);
+  for (int i = 0; i < 2000; ++i) {
+    const Address addr(rng(), rng());
+    auto reparsed = Address::Parse(addr.ToString());
+    ASSERT_TRUE(reparsed.has_value()) << addr.ToString();
+    EXPECT_EQ(*reparsed, addr) << addr.ToString();
+    auto reparsed_full = Address::Parse(addr.ToFullString());
+    ASSERT_TRUE(reparsed_full.has_value());
+    EXPECT_EQ(*reparsed_full, addr);
+  }
+}
+
+TEST(AddressFormat, RoundTripSparseAddresses) {
+  // Addresses with long zero runs exercise the "::" logic harder.
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    Address addr;
+    const int set_count = static_cast<int>(rng() % 4);
+    for (int s = 0; s < set_count; ++s) {
+      addr = addr.WithNybble(static_cast<unsigned>(rng() % 32),
+                             static_cast<unsigned>(rng() % 16));
+    }
+    auto reparsed = Address::Parse(addr.ToString());
+    ASSERT_TRUE(reparsed.has_value()) << addr.ToString();
+    EXPECT_EQ(*reparsed, addr) << addr.ToString();
+  }
+}
+
+TEST(AddressNybble, IndexZeroIsMostSignificant) {
+  const Address addr = Address::MustParse("f000::");
+  EXPECT_EQ(addr.Nybble(0), 0xFu);
+  for (unsigned i = 1; i < kNybbles; ++i) EXPECT_EQ(addr.Nybble(i), 0u);
+}
+
+TEST(AddressNybble, IndexThirtyOneIsLeastSignificant) {
+  const Address addr = Address::MustParse("::f");
+  EXPECT_EQ(addr.Nybble(31), 0xFu);
+  for (unsigned i = 0; i < kNybbles - 1; ++i) EXPECT_EQ(addr.Nybble(i), 0u);
+}
+
+TEST(AddressNybble, WithNybbleRoundTrip) {
+  std::mt19937_64 rng(77);
+  for (int i = 0; i < 500; ++i) {
+    const Address addr(rng(), rng());
+    const unsigned index = static_cast<unsigned>(rng() % 32);
+    const unsigned value = static_cast<unsigned>(rng() % 16);
+    const Address modified = addr.WithNybble(index, value);
+    EXPECT_EQ(modified.Nybble(index), value);
+    for (unsigned j = 0; j < kNybbles; ++j) {
+      if (j != index) {
+        EXPECT_EQ(modified.Nybble(j), addr.Nybble(j));
+      }
+    }
+  }
+}
+
+TEST(AddressBytes, RoundTrip) {
+  const Address addr = Address::MustParse("2001:db8:a5a5::dead:beef");
+  const auto bytes = addr.Bytes();
+  EXPECT_EQ(bytes[0], 0x20);
+  EXPECT_EQ(bytes[1], 0x01);
+  EXPECT_EQ(bytes[15], 0xef);
+  EXPECT_EQ(Address::FromBytes(bytes), addr);
+}
+
+TEST(AddressU128, RoundTrip) {
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const Address addr(rng(), rng());
+    EXPECT_EQ(Address::FromU128(addr.ToU128()), addr);
+  }
+}
+
+TEST(AddressOrdering, LexicographicOnNybbles) {
+  EXPECT_LT(Address::MustParse("::1"), Address::MustParse("::2"));
+  EXPECT_LT(Address::MustParse("::ffff"), Address::MustParse("1::"));
+  EXPECT_LT(Address::MustParse("2001:db8::"), Address::MustParse("2001:db9::"));
+}
+
+// --- Hamming distance (paper §5.2) -----------------------------------
+
+TEST(HammingDistance, PaperExamples) {
+  // "the distance between 2001:db8::58 and 2001:db8::51 is one"
+  EXPECT_EQ(HammingDistance(Address::MustParse("2001:db8::58"),
+                            Address::MustParse("2001:db8::51")),
+            1u);
+}
+
+TEST(HammingDistance, NybbleVersusBitGranularity) {
+  // §5.2's argument: two pairs with the same bit-level distance can have
+  // different nybble-level distances, and the pair spreading its bit flips
+  // across more nybbles is intuitively less similar. 2::2 vs 200::2 flips
+  // two bits in two different nybbles; 2:: vs 2::3 flips two bits inside
+  // one nybble and suggests exploring 2::?.
+  const Address a1 = Address::MustParse("2::2");
+  const Address a2 = Address::MustParse("200::2");
+  const Address b1 = Address::MustParse("2::");
+  const Address b2 = Address::MustParse("2::3");
+  EXPECT_EQ(BitHammingDistance(a1, a2), 2u);
+  EXPECT_EQ(BitHammingDistance(b1, b2), 2u);
+  EXPECT_EQ(HammingDistance(a1, a2), 2u);
+  EXPECT_EQ(HammingDistance(b1, b2), 1u);
+}
+
+TEST(HammingDistance, IdentityAndSymmetry) {
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const Address a(rng(), rng());
+    const Address b(rng(), rng());
+    EXPECT_EQ(HammingDistance(a, a), 0u);
+    EXPECT_EQ(HammingDistance(a, b), HammingDistance(b, a));
+  }
+}
+
+TEST(HammingDistance, TriangleInequality) {
+  std::mt19937_64 rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const Address a(rng(), rng());
+    const Address b(rng(), rng());
+    const Address c(rng(), rng());
+    EXPECT_LE(HammingDistance(a, c),
+              HammingDistance(a, b) + HammingDistance(b, c));
+  }
+}
+
+TEST(HammingDistance, MatchesNaiveComputation) {
+  std::mt19937_64 rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const Address a(rng(), rng());
+    Address b = a;
+    // Flip a random set of nybbles to random (possibly equal) values.
+    for (int f = 0; f < 5; ++f) {
+      b = b.WithNybble(static_cast<unsigned>(rng() % 32),
+                       static_cast<unsigned>(rng() % 16));
+    }
+    unsigned naive = 0;
+    for (unsigned n = 0; n < kNybbles; ++n) {
+      if (a.Nybble(n) != b.Nybble(n)) ++naive;
+    }
+    EXPECT_EQ(HammingDistance(a, b), naive);
+  }
+}
+
+TEST(HammingDistance, MaximumIs32) {
+  const Address a = Address::MustParse("::");
+  const Address b(~0ULL, ~0ULL);
+  EXPECT_EQ(HammingDistance(a, b), 32u);
+  EXPECT_EQ(BitHammingDistance(a, b), 128u);
+}
+
+TEST(AddressHashing, EqualAddressesHashEqual) {
+  const Address a = Address::MustParse("2001:db8::1");
+  const Address b = Address::MustParse("2001:0db8:0000::0001");
+  EXPECT_EQ(AddressHash{}(a), AddressHash{}(b));
+}
+
+TEST(AddressHashing, SetDeduplicates) {
+  AddressSet set;
+  set.insert(Address::MustParse("2001:db8::1"));
+  set.insert(Address::MustParse("2001:db8:0::1"));
+  set.insert(Address::MustParse("2001:db8::2"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sixgen::ip6

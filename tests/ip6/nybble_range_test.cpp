@@ -1,0 +1,297 @@
+// Tests for NybbleRange: the wildcard/bounded-set range representation at
+// the heart of 6Gen's clusters (paper §2 notation, §5.2 distance, §5.3
+// tight vs. loose ranges).
+#include "ip6/nybble_range.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace sixgen::ip6 {
+namespace {
+
+TEST(NybbleRangeSingle, ContainsExactlyThatAddress) {
+  const Address addr = Address::MustParse("2001:db8::5:1000");
+  const NybbleRange range = NybbleRange::Single(addr);
+  EXPECT_TRUE(range.Contains(addr));
+  EXPECT_EQ(range.Size(), U128{1});
+  EXPECT_EQ(range.DynamicCount(), 0u);
+  EXPECT_FALSE(range.Contains(Address::MustParse("2001:db8::5:1001")));
+}
+
+TEST(NybbleRangeParse, PaperWildcardExample) {
+  // §2: 2001:db8::?:100? represents 256 addresses, including
+  // 2001:db8::5:1000, 2001:db8::8:100a, and 2001:db8::1003.
+  const NybbleRange range = NybbleRange::MustParse("2001:db8::?:100?");
+  EXPECT_EQ(range.Size(), U128{256});
+  EXPECT_TRUE(range.Contains(Address::MustParse("2001:db8::5:1000")));
+  EXPECT_TRUE(range.Contains(Address::MustParse("2001:db8::8:100a")));
+  EXPECT_TRUE(range.Contains(Address::MustParse("2001:db8::1003")));
+  EXPECT_FALSE(range.Contains(Address::MustParse("2001:db8::5:2000")));
+}
+
+TEST(NybbleRangeParse, BoundedSetSyntax) {
+  // §5.3's bounded wildcard notation [1-2,8-a].
+  const NybbleRange range = NybbleRange::MustParse("2001:db8::5[1-2,8-a]");
+  EXPECT_EQ(range.Size(), U128{5});  // values 1,2,8,9,a
+  EXPECT_TRUE(range.Contains(Address::MustParse("2001:db8::51")));
+  EXPECT_TRUE(range.Contains(Address::MustParse("2001:db8::52")));
+  EXPECT_TRUE(range.Contains(Address::MustParse("2001:db8::58")));
+  EXPECT_TRUE(range.Contains(Address::MustParse("2001:db8::5a")));
+  EXPECT_FALSE(range.Contains(Address::MustParse("2001:db8::53")));
+  EXPECT_FALSE(range.Contains(Address::MustParse("2001:db8::5b")));
+}
+
+TEST(NybbleRangeParse, SingleValueBracket) {
+  const NybbleRange range = NybbleRange::MustParse("::[5]");
+  EXPECT_TRUE(range.Contains(Address::MustParse("::5")));
+  EXPECT_EQ(range.Size(), U128{1});
+}
+
+struct BadRangeCase {
+  const char* text;
+};
+
+class NybbleRangeParseMalformed
+    : public ::testing::TestWithParam<BadRangeCase> {};
+
+TEST_P(NybbleRangeParseMalformed, Rejected) {
+  EXPECT_FALSE(NybbleRange::Parse(GetParam().text).has_value())
+      << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, NybbleRangeParseMalformed,
+    ::testing::Values(BadRangeCase{""}, BadRangeCase{"::["},
+                      BadRangeCase{"::[]"}, BadRangeCase{"::[5"},
+                      BadRangeCase{"::[5-]"}, BadRangeCase{"::[8-1]"},
+                      BadRangeCase{"::[x]"}, BadRangeCase{"::[1,,2]"},
+                      BadRangeCase{"1::2::3"}, BadRangeCase{"?????"},
+                      BadRangeCase{"1:2:3:4:5:6:7:8:9"},
+                      BadRangeCase{"12345::"}));
+
+TEST(NybbleRangeFormat, WildcardRoundTrip) {
+  for (const char* text :
+       {"2001:db8::?:100?", "2::?:?0?", "::?", "?000::",
+        "2001:db8::5[1-2,8-a]", "2001:db8::[0,2,4,6,8,a,c,e]",
+        "fe80::[1-3]:???\?:1"}) {
+    const NybbleRange range = NybbleRange::MustParse(text);
+    EXPECT_EQ(NybbleRange::MustParse(range.ToString()), range) << text;
+  }
+}
+
+TEST(NybbleRangeFormat, CanonicalStrings) {
+  EXPECT_EQ(NybbleRange::MustParse("2::?:?0?").ToString(), "2::?:?0?");
+  EXPECT_EQ(NybbleRange::Single(Address::MustParse("2001:db8::1")).ToString(),
+            "2001:db8::1");
+  EXPECT_EQ(NybbleRange::Full().ToString(),
+            "????:????:????:????:????:????:????:????");
+}
+
+TEST(NybbleRangeSize, ProductOfValueCounts) {
+  NybbleRange range = NybbleRange::Single(Address());
+  range.SetMask(31, kFullMask);           // 16 values
+  range.SetMask(30, 0b0000000000000110);  // values {1,2}
+  EXPECT_EQ(range.Size(), U128{32});
+  EXPECT_EQ(range.DynamicCount(), 2u);
+}
+
+TEST(NybbleRangeSize, FullSpaceSaturates) {
+  EXPECT_EQ(NybbleRange::Full().Size(), ~U128{0});
+}
+
+TEST(NybbleRangeSetMask, RejectsEmptyMask) {
+  NybbleRange range;
+  EXPECT_THROW(range.SetMask(0, 0), std::invalid_argument);
+}
+
+TEST(NybbleRangeDistance, PaperExamples) {
+  // §5.2: distance between 2001:db8::51 and 2001:db8::5? is zero.
+  const NybbleRange range = NybbleRange::MustParse("2001:db8::5?");
+  EXPECT_EQ(range.Distance(Address::MustParse("2001:db8::51")), 0u);
+  EXPECT_EQ(range.Distance(Address::MustParse("2001:db8::58")), 0u);
+  EXPECT_EQ(range.Distance(Address::MustParse("2001:db8::41")), 1u);
+  EXPECT_EQ(range.Distance(Address::MustParse("2001:db9::41")), 2u);
+}
+
+TEST(NybbleRangeDistance, EqualsNewlyDynamicCount) {
+  // §5.2: "the Hamming distance also equals the number of nybbles that
+  // would become newly dynamic if two addresses were clustered".
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 300; ++i) {
+    const Address a(rng(), rng());
+    Address b = a;
+    for (int f = 0; f < 4; ++f) {
+      b = b.WithNybble(static_cast<unsigned>(rng() % 32),
+                       static_cast<unsigned>(rng() % 16));
+    }
+    NybbleRange range = NybbleRange::Single(a);
+    const unsigned dist = range.Distance(b);
+    range.ExpandToInclude(b, RangeMode::kTight);
+    EXPECT_EQ(range.DynamicCount(), dist);
+  }
+}
+
+TEST(NybbleRangeDistance, RangeToRange) {
+  const NybbleRange a = NybbleRange::MustParse("2001:db8::[1-3]");
+  const NybbleRange b = NybbleRange::MustParse("2001:db8::[3-5]");
+  const NybbleRange c = NybbleRange::MustParse("2001:db8::[4-5]");
+  EXPECT_EQ(a.Distance(b), 0u);  // overlap at 3
+  EXPECT_EQ(a.Distance(c), 1u);
+  EXPECT_EQ(a.Distance(NybbleRange::Full()), 0u);
+}
+
+TEST(NybbleRangeExpand, TightKeepsExactSets) {
+  NybbleRange range = NybbleRange::Single(Address::MustParse("2001:db8::51"));
+  range.ExpandToInclude(Address::MustParse("2001:db8::58"), RangeMode::kTight);
+  EXPECT_EQ(range.Size(), U128{2});  // values {1,8} at the last position
+  EXPECT_TRUE(range.Contains(Address::MustParse("2001:db8::51")));
+  EXPECT_TRUE(range.Contains(Address::MustParse("2001:db8::58")));
+  EXPECT_FALSE(range.Contains(Address::MustParse("2001:db8::52")));
+}
+
+TEST(NybbleRangeExpand, LooseWidensToFullWildcard) {
+  NybbleRange range = NybbleRange::Single(Address::MustParse("2001:db8::51"));
+  range.ExpandToInclude(Address::MustParse("2001:db8::58"), RangeMode::kLoose);
+  EXPECT_EQ(range.Size(), U128{16});
+  EXPECT_TRUE(range.Contains(Address::MustParse("2001:db8::52")));
+}
+
+TEST(NybbleRangeExpand, ExpansionIsMonotonic) {
+  std::mt19937_64 rng(7);
+  for (RangeMode mode : {RangeMode::kTight, RangeMode::kLoose}) {
+    NybbleRange range = NybbleRange::Single(Address(rng(), rng()));
+    U128 prev_size = range.Size();
+    for (int i = 0; i < 20; ++i) {
+      Address addr(rng(), rng());
+      const NybbleRange before = range;
+      range.ExpandToInclude(addr, mode);
+      EXPECT_TRUE(range.Contains(addr));
+      EXPECT_TRUE(range.Covers(before));
+      EXPECT_GE(range.Size(), prev_size);
+      prev_size = range.Size();
+    }
+  }
+}
+
+TEST(NybbleRangeCovers, StrictAndNonStrict) {
+  const NybbleRange outer = NybbleRange::MustParse("2001:db8::??");
+  const NybbleRange inner = NybbleRange::MustParse("2001:db8::5?");
+  EXPECT_TRUE(outer.Covers(inner));
+  EXPECT_TRUE(outer.StrictlyCovers(inner));
+  EXPECT_FALSE(inner.Covers(outer));
+  EXPECT_TRUE(outer.Covers(outer));
+  EXPECT_FALSE(outer.StrictlyCovers(outer));
+}
+
+TEST(NybbleRangeIntersects, PartialOverlap) {
+  const NybbleRange a = NybbleRange::MustParse("2001:db8::[1-8]0");
+  const NybbleRange b = NybbleRange::MustParse("2001:db8::[8-9]0");
+  const NybbleRange c = NybbleRange::MustParse("2001:db8::[9-a]0");
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(b.Intersects(c));
+}
+
+TEST(NybbleRangeFromPrefix, NybbleAligned) {
+  const NybbleRange range =
+      NybbleRange::FromPrefix(Prefix::MustParse("2001:db8::/32"));
+  EXPECT_EQ(range.Size(), U128{1} << 96);
+  EXPECT_TRUE(range.Contains(Address::MustParse("2001:db8:ffff::1")));
+  EXPECT_FALSE(range.Contains(Address::MustParse("2001:db9::")));
+}
+
+TEST(NybbleRangeFromPrefix, NonAlignedBoundary) {
+  // /34 fixes two extra bits inside nybble 8: values 0..3 remain.
+  const NybbleRange range =
+      NybbleRange::FromPrefix(Prefix::MustParse("2001:db8::/34"));
+  EXPECT_EQ(range.ValueCount(8), 4u);
+  EXPECT_TRUE(range.Contains(Address::MustParse("2001:db8:3fff::")));
+  EXPECT_FALSE(range.Contains(Address::MustParse("2001:db8:4000::")));
+}
+
+TEST(NybbleRangeFromPrefix, MembershipMatchesPrefix) {
+  std::mt19937_64 rng(21);
+  for (int i = 0; i < 200; ++i) {
+    const Address base(rng(), rng());
+    const unsigned len = static_cast<unsigned>(rng() % 129);
+    const Prefix prefix = Prefix::Of(base, len);
+    const NybbleRange range = NybbleRange::FromPrefix(prefix);
+    for (int j = 0; j < 20; ++j) {
+      const Address probe =
+          (j % 2 == 0) ? Address(rng(), rng())
+                       : Address::FromU128(prefix.network().ToU128() |
+                                           (rng() & 0xFFFF));
+      EXPECT_EQ(range.Contains(probe), prefix.Contains(probe))
+          << prefix.ToString() << " vs " << probe.ToString();
+    }
+  }
+}
+
+TEST(NybbleRangeEnumerate, ForEachVisitsExactlyTheRange) {
+  const NybbleRange range = NybbleRange::MustParse("2001:db8::[1-2]:??");
+  AddressSet seen;
+  EXPECT_TRUE(range.ForEach([&](const Address& a) {
+    EXPECT_TRUE(range.Contains(a));
+    EXPECT_TRUE(seen.insert(a).second) << "duplicate " << a.ToString();
+    return true;
+  }));
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(range.Size()));
+}
+
+TEST(NybbleRangeEnumerate, EarlyStop) {
+  const NybbleRange range = NybbleRange::MustParse("2001:db8::??");
+  int visited = 0;
+  EXPECT_FALSE(range.ForEach([&](const Address&) { return ++visited < 10; }));
+  EXPECT_EQ(visited, 10);
+}
+
+TEST(NybbleRangeAddressAt, BijectionWithForEach) {
+  const NybbleRange range = NybbleRange::MustParse("2001:db8::[3-5]:1?");
+  std::vector<Address> enumerated;
+  range.ForEach([&](const Address& a) {
+    enumerated.push_back(a);
+    return true;
+  });
+  ASSERT_EQ(enumerated.size(), static_cast<std::size_t>(range.Size()));
+  for (std::size_t i = 0; i < enumerated.size(); ++i) {
+    EXPECT_EQ(range.AddressAt(i), enumerated[i]) << i;
+  }
+}
+
+TEST(NybbleRangeAddressAt, OutOfRangeThrows) {
+  const NybbleRange range = NybbleRange::MustParse("::[1-2]");
+  EXPECT_NO_THROW(range.AddressAt(1));
+  EXPECT_THROW(range.AddressAt(2), std::out_of_range);
+}
+
+TEST(NybbleRangeFirst, LowestAddress) {
+  EXPECT_EQ(NybbleRange::MustParse("2001:db8::?:10[5-8]").First(),
+            Address::MustParse("2001:db8::0:105"));
+}
+
+class NybbleRangeRandomized : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(NybbleRangeRandomized, SizeMatchesEnumeration) {
+  std::mt19937_64 rng(GetParam());
+  NybbleRange range = NybbleRange::Single(Address(rng(), rng()));
+  // Open a few random positions with random masks, keeping the size small.
+  for (int i = 0; i < 3; ++i) {
+    const unsigned pos = static_cast<unsigned>(rng() % 32);
+    const std::uint16_t mask =
+        static_cast<std::uint16_t>((rng() % 0xFFFF) | 1);
+    range.SetMask(pos, mask);
+  }
+  std::size_t count = 0;
+  range.ForEach([&](const Address&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, static_cast<std::size_t>(range.Size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NybbleRangeRandomized,
+                         ::testing::Range(0u, 12u));
+
+}  // namespace
+}  // namespace sixgen::ip6

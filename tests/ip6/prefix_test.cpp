@@ -1,0 +1,138 @@
+// Tests for CIDR prefixes: parsing, containment, enclosing-prefix
+// computation (the /96 grouping primitive of the §6.2 dealiasing pass).
+#include "ip6/prefix.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace sixgen::ip6 {
+namespace {
+
+TEST(PrefixParse, Basic) {
+  auto p = Prefix::Parse("2001:db8::/32");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->network(), Address::MustParse("2001:db8::"));
+  EXPECT_EQ(p->length(), 32u);
+}
+
+TEST(PrefixParse, HostBitsAreZeroed) {
+  auto p = Prefix::Parse("2001:db8::ffff/32");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->network(), Address::MustParse("2001:db8::"));
+}
+
+TEST(PrefixParse, FullLengthAndZeroLength) {
+  auto host = Prefix::Parse("::1/128");
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(host->length(), 128u);
+  EXPECT_TRUE(host->Contains(Address::MustParse("::1")));
+  EXPECT_FALSE(host->Contains(Address::MustParse("::2")));
+
+  auto all = Prefix::Parse("::/0");
+  ASSERT_TRUE(all.has_value());
+  EXPECT_TRUE(all->Contains(Address::MustParse("ffff::1")));
+}
+
+struct BadPrefixCase {
+  const char* text;
+};
+
+class PrefixParseMalformed : public ::testing::TestWithParam<BadPrefixCase> {};
+
+TEST_P(PrefixParseMalformed, Rejected) {
+  EXPECT_FALSE(Prefix::Parse(GetParam().text).has_value())
+      << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(Malformed, PrefixParseMalformed,
+                         ::testing::Values(BadPrefixCase{""},
+                                           BadPrefixCase{"2001:db8::"},
+                                           BadPrefixCase{"2001:db8::/"},
+                                           BadPrefixCase{"2001:db8::/129"},
+                                           BadPrefixCase{"2001:db8::/1x"},
+                                           BadPrefixCase{"/32"},
+                                           BadPrefixCase{"2001:db8::/-1"},
+                                           BadPrefixCase{"bogus/32"}));
+
+TEST(PrefixMake, ThrowsOnBadLength) {
+  EXPECT_THROW(Prefix::Make(Address(), 129), std::invalid_argument);
+}
+
+TEST(PrefixContains, Address) {
+  const Prefix p = Prefix::MustParse("2001:db8::/32");
+  EXPECT_TRUE(p.Contains(Address::MustParse("2001:db8::1")));
+  EXPECT_TRUE(p.Contains(Address::MustParse("2001:db8:ffff::")));
+  EXPECT_FALSE(p.Contains(Address::MustParse("2001:db9::")));
+}
+
+TEST(PrefixContains, NonNybbleAlignedLength) {
+  // /33 splits inside a nybble: 2001:db8:8000::/33 covers the top half.
+  const Prefix p = Prefix::MustParse("2001:db8:8000::/33");
+  EXPECT_TRUE(p.Contains(Address::MustParse("2001:db8:8000::1")));
+  EXPECT_TRUE(p.Contains(Address::MustParse("2001:db8:ffff::")));
+  EXPECT_FALSE(p.Contains(Address::MustParse("2001:db8:7fff::")));
+}
+
+TEST(PrefixContains, PrefixNesting) {
+  const Prefix outer = Prefix::MustParse("2001:db8::/32");
+  const Prefix inner = Prefix::MustParse("2001:db8:1::/48");
+  EXPECT_TRUE(outer.Contains(inner));
+  EXPECT_FALSE(inner.Contains(outer));
+  EXPECT_TRUE(outer.Contains(outer));
+}
+
+TEST(PrefixFirstLast, Bounds) {
+  const Prefix p = Prefix::MustParse("2001:db8::/112");
+  EXPECT_EQ(p.First(), Address::MustParse("2001:db8::"));
+  EXPECT_EQ(p.Last(), Address::MustParse("2001:db8::ffff"));
+}
+
+TEST(PrefixSize, PowersOfTwo) {
+  EXPECT_EQ(Prefix::MustParse("::1/128").Size(), U128{1});
+  EXPECT_EQ(Prefix::MustParse("2001:db8::/112").Size(), U128{65536});
+  EXPECT_EQ(Prefix::MustParse("2001:db8::/96").Size(), U128{1} << 32);
+}
+
+TEST(PrefixOf, EnclosingPrefix) {
+  const Address addr = Address::MustParse("2001:db8:1:2:3:4:5:6");
+  const Prefix p96 = Prefix::Of(addr, 96);
+  EXPECT_EQ(p96, Prefix::MustParse("2001:db8:1:2:3:4::/96"));
+  EXPECT_TRUE(p96.Contains(addr));
+
+  const Prefix p112 = Prefix::Of(addr, 112);
+  EXPECT_EQ(p112, Prefix::MustParse("2001:db8:1:2:3:4:5:0/112"));
+}
+
+TEST(PrefixOf, AddressAlwaysInsideItsEnclosingPrefix) {
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const Address addr(rng(), rng());
+    const unsigned len = static_cast<unsigned>(rng() % 129);
+    EXPECT_TRUE(Prefix::Of(addr, len).Contains(addr));
+  }
+}
+
+TEST(PrefixToString, RoundTrip) {
+  for (const char* text : {"2001:db8::/32", "::/0", "::1/128",
+                           "2600:9000::/28", "2a01:4f8::/29"}) {
+    const Prefix p = Prefix::MustParse(text);
+    EXPECT_EQ(Prefix::MustParse(p.ToString()), p) << text;
+  }
+}
+
+TEST(PrefixOrdering, SortsByNetworkThenLength) {
+  const Prefix a = Prefix::MustParse("2001:db8::/32");
+  const Prefix b = Prefix::MustParse("2001:db8::/48");
+  const Prefix c = Prefix::MustParse("2001:db9::/32");
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(PrefixHashing, EqualPrefixesHashEqual) {
+  EXPECT_EQ(PrefixHash{}(Prefix::MustParse("2001:db8::/32")),
+            PrefixHash{}(Prefix::MustParse("2001:db8:ffff::/32")));
+}
+
+}  // namespace
+}  // namespace sixgen::ip6

@@ -1,0 +1,199 @@
+// Tests for the 16-ary nybble tree (paper §5.5): range counting and
+// enumeration, bounded-distance candidate search.
+#include "nybtree/nybble_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace sixgen::nybtree {
+namespace {
+
+using ip6::Address;
+using ip6::AddressSet;
+using ip6::kNybbles;
+using ip6::NybbleRange;
+
+std::vector<Address> RandomAddresses(std::size_t count, std::uint64_t seed,
+                                     unsigned low_nybbles = 32) {
+  // Addresses varying only in the lowest `low_nybbles` nybbles, so range
+  // queries have structure to exploit.
+  std::mt19937_64 rng(seed);
+  const Address base = Address::MustParse("2001:db8::");
+  AddressSet seen;
+  std::vector<Address> out;
+  while (out.size() < count) {
+    Address addr = base;
+    for (unsigned i = 0; i < low_nybbles; ++i) {
+      addr = addr.WithNybble(kNybbles - 1 - i,
+                             static_cast<unsigned>(rng() % 16));
+    }
+    if (seen.insert(addr).second) out.push_back(addr);
+  }
+  return out;
+}
+
+TEST(NybbleTree, InsertAndContains) {
+  NybbleTree tree;
+  const Address a = Address::MustParse("2001:db8::1");
+  const Address b = Address::MustParse("2001:db8::2");
+  EXPECT_TRUE(tree.Insert(a));
+  EXPECT_FALSE(tree.Insert(a)) << "duplicate insert must return false";
+  EXPECT_TRUE(tree.Insert(b));
+  EXPECT_TRUE(tree.Contains(a));
+  EXPECT_TRUE(tree.Contains(b));
+  EXPECT_FALSE(tree.Contains(Address::MustParse("2001:db8::3")));
+  EXPECT_EQ(tree.Size(), 2u);
+}
+
+TEST(NybbleTree, EmptyTree) {
+  NybbleTree tree;
+  EXPECT_TRUE(tree.Empty());
+  EXPECT_FALSE(tree.Contains(Address()));
+  EXPECT_EQ(tree.CountInRange(NybbleRange::Full()), 0u);
+  EXPECT_EQ(tree.MinDistanceOutside(NybbleRange::Full()), kNybbles + 1);
+}
+
+TEST(NybbleTree, DuplicatesIgnoredOnBulkBuild) {
+  std::vector<Address> addrs = {Address::MustParse("::1"),
+                                Address::MustParse("::1"),
+                                Address::MustParse("::2")};
+  NybbleTree tree(addrs);
+  EXPECT_EQ(tree.Size(), 2u);
+}
+
+TEST(NybbleTree, CountInRangeMatchesLinearScan) {
+  const auto addrs = RandomAddresses(500, 11, 4);
+  NybbleTree tree(addrs);
+  std::mt19937_64 rng(12);
+  for (int trial = 0; trial < 50; ++trial) {
+    NybbleRange range = NybbleRange::Single(addrs[rng() % addrs.size()]);
+    for (int open = 0; open < 3; ++open) {
+      range.SetMask(kNybbles - 1 - static_cast<unsigned>(rng() % 4),
+                    ip6::kFullMask);
+    }
+    std::size_t expected = 0;
+    for (const Address& a : addrs) {
+      if (range.Contains(a)) ++expected;
+    }
+    EXPECT_EQ(tree.CountInRange(range), expected) << range.ToString();
+  }
+}
+
+TEST(NybbleTree, CountInFullRangeIsSize) {
+  const auto addrs = RandomAddresses(300, 5);
+  NybbleTree tree(addrs);
+  EXPECT_EQ(tree.CountInRange(NybbleRange::Full()), addrs.size());
+}
+
+TEST(NybbleTree, ForEachInRangeEnumeratesExactlyTheMembers) {
+  const auto addrs = RandomAddresses(400, 21, 3);
+  NybbleTree tree(addrs);
+  const NybbleRange range = NybbleRange::MustParse("2001:db8::[0-7]??");
+  AddressSet expected;
+  for (const Address& a : addrs) {
+    if (range.Contains(a)) expected.insert(a);
+  }
+  AddressSet got;
+  EXPECT_TRUE(tree.ForEachInRange(range, [&](const Address& a) {
+    EXPECT_TRUE(got.insert(a).second);
+    return true;
+  }));
+  EXPECT_EQ(got, expected);
+}
+
+TEST(NybbleTree, ForEachInRangeEarlyStop) {
+  const auto addrs = RandomAddresses(100, 31, 3);
+  NybbleTree tree(addrs);
+  int visited = 0;
+  EXPECT_FALSE(tree.ForEachInRange(NybbleRange::Full(), [&](const Address&) {
+    return ++visited < 5;
+  }));
+  EXPECT_EQ(visited, 5);
+}
+
+TEST(NybbleTree, AddressesInRangeSortedCheck) {
+  const auto addrs = RandomAddresses(200, 41, 3);
+  NybbleTree tree(addrs);
+  auto in_range = tree.AddressesInRange(NybbleRange::Full());
+  EXPECT_EQ(in_range.size(), addrs.size());
+}
+
+TEST(NybbleTree, MinDistanceOutsideMatchesLinearScan) {
+  const auto addrs = RandomAddresses(300, 51, 4);
+  NybbleTree tree(addrs);
+  std::mt19937_64 rng(52);
+  for (int trial = 0; trial < 50; ++trial) {
+    NybbleRange range = NybbleRange::Single(addrs[rng() % addrs.size()]);
+    if (trial % 2 == 0) {
+      range.SetMask(kNybbles - 1, ip6::kFullMask);
+    }
+    unsigned expected = kNybbles + 1;
+    for (const Address& a : addrs) {
+      const unsigned d = range.Distance(a);
+      if (d >= 1) expected = std::min(expected, d);
+    }
+    EXPECT_EQ(tree.MinDistanceOutside(range), expected) << range.ToString();
+  }
+}
+
+TEST(NybbleTree, MinDistanceSkipsInsideAddresses) {
+  NybbleTree tree;
+  tree.Insert(Address::MustParse("2001:db8::1"));
+  // The only seed is inside the range: there is no outside seed.
+  const NybbleRange range = NybbleRange::MustParse("2001:db8::?");
+  EXPECT_EQ(tree.MinDistanceOutside(range), kNybbles + 1);
+}
+
+TEST(NybbleTree, ForEachAtDistanceMatchesLinearScan) {
+  const auto addrs = RandomAddresses(300, 61, 4);
+  NybbleTree tree(addrs);
+  std::mt19937_64 rng(62);
+  for (int trial = 0; trial < 30; ++trial) {
+    const NybbleRange range = NybbleRange::Single(addrs[rng() % addrs.size()]);
+    for (unsigned dist = 1; dist <= 3; ++dist) {
+      AddressSet expected;
+      for (const Address& a : addrs) {
+        if (range.Distance(a) == dist) expected.insert(a);
+      }
+      AddressSet got;
+      tree.ForEachAtDistance(range, dist, [&](const Address& a) {
+        EXPECT_TRUE(got.insert(a).second);
+      });
+      EXPECT_EQ(got, expected) << range.ToString() << " dist=" << dist;
+    }
+  }
+}
+
+TEST(NybbleTree, ForEachAtDistanceZeroIsEmpty) {
+  NybbleTree tree;
+  tree.Insert(Address::MustParse("::1"));
+  int count = 0;
+  tree.ForEachAtDistance(NybbleRange::Full(), 0,
+                         [&](const Address&) { ++count; });
+  EXPECT_EQ(count, 0) << "distance 0 means in-cluster; never a candidate";
+}
+
+TEST(NybbleTree, ForEachVisitsAll) {
+  const auto addrs = RandomAddresses(256, 71, 3);
+  NybbleTree tree(addrs);
+  std::size_t count = 0;
+  tree.ForEach([&](const Address&) { ++count; });
+  EXPECT_EQ(count, addrs.size());
+}
+
+class NybbleTreeScale : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NybbleTreeScale, SizeAndMembershipInvariants) {
+  const auto addrs = RandomAddresses(GetParam(), GetParam() * 7 + 1, 5);
+  NybbleTree tree(addrs);
+  EXPECT_EQ(tree.Size(), addrs.size());
+  for (const Address& a : addrs) EXPECT_TRUE(tree.Contains(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NybbleTreeScale,
+                         ::testing::Values(1, 2, 16, 100, 1000, 5000));
+
+}  // namespace
+}  // namespace sixgen::nybtree

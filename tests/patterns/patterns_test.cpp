@@ -1,0 +1,217 @@
+// Tests for the baseline TGAs: Ullrich recursive bit-fixing, RFC 7707
+// low-byte prediction, uniform random control (paper §3.3).
+#include "patterns/patterns.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace sixgen::patterns {
+namespace {
+
+using ip6::Address;
+using ip6::AddressSet;
+using ip6::Prefix;
+using ip6::U128;
+
+TEST(BitRange, FromPrefixBasics) {
+  const BitRange range = BitRange::FromPrefix(Prefix::MustParse("2001:db8::/32"));
+  EXPECT_EQ(range.FreeBits(), 96u);
+  EXPECT_TRUE(range.Contains(Address::MustParse("2001:db8::1")));
+  EXPECT_FALSE(range.Contains(Address::MustParse("2001:db9::1")));
+}
+
+TEST(BitRange, SizeIsTwoToTheFree) {
+  BitRange range = BitRange::FromPrefix(Prefix::MustParse("::/124"));
+  EXPECT_EQ(range.Size(), U128{16});
+  EXPECT_EQ(range.FreeBits(), 4u);
+}
+
+TEST(BitRange, AddressAtEnumeratesDistinctMembers) {
+  const BitRange range = BitRange::FromPrefix(Prefix::MustParse("2001:db8::/120"));
+  AddressSet seen;
+  for (U128 i = 0; i < range.Size(); ++i) {
+    const Address a = range.AddressAt(i);
+    EXPECT_TRUE(range.Contains(a));
+    EXPECT_TRUE(seen.insert(a).second);
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(BitRange, AddressAtScattersIntoNonContiguousFreeBits) {
+  BitRange range;
+  range.determined = ~U128{0} & ~((U128{1} << 0) | (U128{1} << 64));
+  range.value = 0;
+  EXPECT_EQ(range.FreeBits(), 2u);
+  AddressSet seen;
+  for (U128 i = 0; i < 4; ++i) seen.insert(range.AddressAt(i));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(UllrichDeriveRange, RequiresDeterminedBit) {
+  std::vector<Address> seeds = {Address::MustParse("2001:db8::1")};
+  UllrichConfig config;
+  config.initial = BitRange{};  // nothing determined
+  EXPECT_FALSE(UllrichDeriveRange(seeds, config).has_value());
+}
+
+TEST(UllrichDeriveRange, RequiresSeedInInitialRange) {
+  std::vector<Address> seeds = {Address::MustParse("2001:db8::1")};
+  UllrichConfig config;
+  config.initial = BitRange::FromPrefix(Prefix::MustParse("2a00::/16"));
+  EXPECT_FALSE(UllrichDeriveRange(seeds, config).has_value());
+}
+
+TEST(UllrichDeriveRange, FixesMajorityBits) {
+  // Seeds share everything except the last byte; with free_bits = 8 the
+  // derived range must be exactly the shared /120.
+  std::vector<Address> seeds;
+  for (int i = 1; i <= 20; ++i) {
+    seeds.push_back(Address::FromU128(
+        Address::MustParse("2001:db8::100").ToU128() + i));
+  }
+  UllrichConfig config;
+  config.free_bits = 8;
+  config.initial = BitRange::FromPrefix(Prefix::MustParse("2001:db8::/32"));
+  const auto range = UllrichDeriveRange(seeds, config);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->FreeBits(), 8u);
+  for (const Address& seed : seeds) {
+    EXPECT_TRUE(range->Contains(seed)) << seed.ToString();
+  }
+}
+
+TEST(UllrichDeriveRange, StopsWhenInitialAlreadyTight) {
+  std::vector<Address> seeds = {Address::MustParse("2001:db8::1")};
+  UllrichConfig config;
+  config.free_bits = 64;
+  config.initial = BitRange::FromPrefix(Prefix::MustParse("2001:db8::/96"));
+  const auto range = UllrichDeriveRange(seeds, config);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->FreeBits(), 32u) << "already tighter than requested";
+}
+
+TEST(UllrichGenerate, EmitsWholeRangeWhenItFits) {
+  std::vector<Address> seeds;
+  for (int i = 0; i < 10; ++i) {
+    seeds.push_back(Address::FromU128(
+        Address::MustParse("2001:db8::10").ToU128() + i));
+  }
+  UllrichConfig config;
+  config.free_bits = 8;
+  config.initial = BitRange::FromPrefix(Prefix::MustParse("2001:db8::/32"));
+  const auto targets = UllrichGenerate(seeds, config, 10'000, 1);
+  EXPECT_EQ(targets.size(), 256u);
+  AddressSet unique(targets.begin(), targets.end());
+  EXPECT_EQ(unique.size(), 256u);
+}
+
+TEST(UllrichGenerate, SamplesWhenRangeExceedsBudget) {
+  std::vector<Address> seeds;
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 50; ++i) {
+    seeds.push_back(Address(0x20010db800000000ULL, rng()));
+  }
+  UllrichConfig config;
+  config.free_bits = 40;
+  config.initial = BitRange::FromPrefix(Prefix::MustParse("2001:db8::/32"));
+  const auto targets = UllrichGenerate(seeds, config, 500, 3);
+  EXPECT_EQ(targets.size(), 500u);
+  AddressSet unique(targets.begin(), targets.end());
+  EXPECT_EQ(unique.size(), 500u);
+}
+
+TEST(UllrichGenerate, ConstantSizeOutputContrastsWithSixGen) {
+  // §3.3: the Ullrich algorithm "can only output ranges of constant size".
+  std::vector<Address> seeds;
+  for (int i = 0; i < 30; ++i) {
+    seeds.push_back(Address::FromU128(
+        Address::MustParse("2001:db8::").ToU128() + 1 + i));
+  }
+  UllrichConfig config;
+  config.free_bits = 12;
+  config.initial = BitRange::FromPrefix(Prefix::MustParse("2001:db8::/32"));
+  const auto range = UllrichDeriveRange(seeds, config);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->Size(), U128{1} << 12);
+}
+
+TEST(LowByteGenerate, CoversTrailingNybbleVariants) {
+  std::vector<Address> seeds = {Address::MustParse("2001:db8::a1")};
+  LowByteConfig config;
+  config.nybbles = 2;
+  config.include_subnet_low = false;
+  const auto targets = LowByteGenerate(seeds, config, 1'000'000);
+  EXPECT_EQ(targets.size(), 256u);
+  AddressSet set(targets.begin(), targets.end());
+  EXPECT_TRUE(set.contains(Address::MustParse("2001:db8::")));
+  EXPECT_TRUE(set.contains(Address::MustParse("2001:db8::ff")));
+  EXPECT_TRUE(set.contains(Address::MustParse("2001:db8::a1")));
+  EXPECT_FALSE(set.contains(Address::MustParse("2001:db8::100")));
+}
+
+TEST(LowByteGenerate, RoundRobinUnderTightBudget) {
+  std::vector<Address> seeds = {Address::MustParse("2001:db8::100"),
+                                Address::MustParse("2a00:1::200")};
+  LowByteConfig config;
+  config.nybbles = 2;
+  config.include_subnet_low = false;
+  const auto targets = LowByteGenerate(seeds, config, 10);
+  EXPECT_EQ(targets.size(), 10u);
+  // Both seeds' neighborhoods must be represented.
+  bool first = false, second = false;
+  for (const Address& t : targets) {
+    if (Prefix::MustParse("2001:db8::/64").Contains(t)) first = true;
+    if (Prefix::MustParse("2a00:1::/64").Contains(t)) second = true;
+  }
+  EXPECT_TRUE(first);
+  EXPECT_TRUE(second);
+}
+
+TEST(LowByteGenerate, SubnetLowAddsZeroIidCounters) {
+  std::vector<Address> seeds = {Address::MustParse("2001:db8:0:7:aaaa::99")};
+  LowByteConfig config;
+  config.nybbles = 1;
+  config.include_subnet_low = true;
+  const auto targets = LowByteGenerate(seeds, config, 1'000'000);
+  AddressSet set(targets.begin(), targets.end());
+  EXPECT_TRUE(set.contains(Address::MustParse("2001:db8:0:7::1")));
+  EXPECT_TRUE(set.contains(Address::MustParse("2001:db8:0:7::100")));
+}
+
+TEST(LowByteGenerate, FindsRealLowByteHosts) {
+  // The classic use: seeds ::5 and ::7 exist, predict their neighbors.
+  std::vector<Address> seeds = {Address::MustParse("2001:db8:1::5"),
+                                Address::MustParse("2001:db8:2::7")};
+  LowByteConfig config;
+  const auto targets = LowByteGenerate(seeds, config, 4096);
+  AddressSet set(targets.begin(), targets.end());
+  EXPECT_TRUE(set.contains(Address::MustParse("2001:db8:1::9")));
+  EXPECT_TRUE(set.contains(Address::MustParse("2001:db8:2::3")));
+}
+
+TEST(RandomGenerate, StaysInPrefixAndUnique) {
+  const Prefix prefix = Prefix::MustParse("2001:db8::/64");
+  const auto targets = RandomGenerate(prefix, 1000, 9);
+  EXPECT_EQ(targets.size(), 1000u);
+  AddressSet unique;
+  for (const Address& t : targets) {
+    EXPECT_TRUE(prefix.Contains(t));
+    EXPECT_TRUE(unique.insert(t).second);
+  }
+}
+
+TEST(RandomGenerate, CapsAtPrefixCapacity) {
+  const Prefix prefix = Prefix::MustParse("2001:db8::/124");
+  const auto targets = RandomGenerate(prefix, 1000, 10);
+  EXPECT_EQ(targets.size(), 16u);
+}
+
+TEST(RandomGenerate, DeterministicInSeed) {
+  const Prefix prefix = Prefix::MustParse("2001:db8::/64");
+  EXPECT_EQ(RandomGenerate(prefix, 50, 4), RandomGenerate(prefix, 50, 4));
+  EXPECT_NE(RandomGenerate(prefix, 50, 4), RandomGenerate(prefix, 50, 5));
+}
+
+}  // namespace
+}  // namespace sixgen::patterns

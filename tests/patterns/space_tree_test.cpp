@@ -1,0 +1,123 @@
+// Tests for the space-tree TGA (6Tree-style hierarchical partition).
+#include "patterns/space_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace sixgen::patterns {
+namespace {
+
+using ip6::Address;
+using ip6::AddressSet;
+using ip6::Prefix;
+using ip6::U128;
+
+std::vector<Address> Group(const char* base, std::size_t count,
+                           std::uint64_t stride = 1) {
+  std::vector<Address> out;
+  const Address b = Address::MustParse(base);
+  for (std::size_t i = 1; i <= count; ++i) {
+    out.push_back(Address::FromU128(b.ToU128() + i * stride));
+  }
+  return out;
+}
+
+TEST(BuildSpaceTree, EmptyAndSingletonInputs) {
+  EXPECT_TRUE(BuildSpaceTree({}).empty());
+  const auto one = Group("2001:db8::", 1);
+  EXPECT_TRUE(BuildSpaceTree(one).empty()) << "below min_region_seeds";
+}
+
+TEST(BuildSpaceTree, OneDenseGroupOneRegion) {
+  const auto seeds = Group("2001:db8::", 12);
+  const auto regions = BuildSpaceTree(seeds);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].seed_count, 12u);
+  // All seeds share everything except the last nybble (values 1..c).
+  EXPECT_EQ(regions[0].fixed_nybbles, 31u);
+  for (const Address& seed : seeds) {
+    EXPECT_TRUE(regions[0].range.Contains(seed));
+  }
+}
+
+TEST(BuildSpaceTree, SplitsLargeGroupsByDivergingNybble) {
+  // Two dense subnets: 40 seeds each, so the 80-seed root splits.
+  auto seeds = Group("2001:db8:0:1::", 40);
+  const auto more = Group("2001:db8:0:2::", 40);
+  seeds.insert(seeds.end(), more.begin(), more.end());
+  SpaceTreeConfig config;
+  config.max_region_seeds = 48;
+  const auto regions = BuildSpaceTree(seeds, config);
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_EQ(regions[0].seed_count, 40u);
+  EXPECT_EQ(regions[1].seed_count, 40u);
+}
+
+TEST(BuildSpaceTree, RegionsCoverEverySeedInACommonPrefix) {
+  std::mt19937_64 rng(5);
+  std::vector<Address> seeds;
+  for (int g = 0; g < 5; ++g) {
+    const Address base(0x20010db800000000ULL + (rng() % 16 << 8), 0);
+    for (int i = 0; i < 10; ++i) {
+      seeds.push_back(Address::FromU128(base.ToU128() + (rng() & 0xFFF)));
+    }
+  }
+  const auto regions = BuildSpaceTree(seeds);
+  for (const Address& seed : seeds) {
+    bool covered = false;
+    for (const auto& region : regions) {
+      if (region.range.Contains(seed)) covered = true;
+    }
+    EXPECT_TRUE(covered) << seed.ToString();
+  }
+}
+
+TEST(BuildSpaceTree, DeepestRegionsRankFirst) {
+  auto seeds = Group("2001:db8:0:1::", 10);             // very tight
+  const auto loose = Group("2a00::", 10, 0x100000000ULL);  // spread wide
+  seeds.insert(seeds.end(), loose.begin(), loose.end());
+  const auto regions = BuildSpaceTree(seeds);
+  ASSERT_GE(regions.size(), 2u);
+  EXPECT_GE(regions.front().fixed_nybbles, regions.back().fixed_nybbles);
+}
+
+TEST(SpaceTreeGenerate, FindsTheGapsInDenseRegions) {
+  const auto seeds = Group("2001:db8::1", 50, 2);  // odd addresses
+  const auto targets = SpaceTreeGenerate(seeds, 500);
+  AddressSet target_set(targets.begin(), targets.end());
+  EXPECT_TRUE(target_set.contains(Address::MustParse("2001:db8::4")));
+  EXPECT_TRUE(target_set.contains(Address::MustParse("2001:db8::20")));
+  // Seeds themselves are not re-emitted.
+  for (const Address& seed : seeds) {
+    EXPECT_FALSE(target_set.contains(seed));
+  }
+}
+
+TEST(SpaceTreeGenerate, RespectsBudgetAndUniqueness) {
+  std::mt19937_64 rng(9);
+  std::vector<Address> seeds;
+  for (int i = 0; i < 100; ++i) {
+    seeds.push_back(Address(0x20010db800000000ULL, rng() & 0xFFFF));
+  }
+  for (const U128 budget : {U128{10}, U128{100}, U128{1000}}) {
+    const auto targets = SpaceTreeGenerate(seeds, budget);
+    EXPECT_LE(targets.size(), static_cast<std::size_t>(budget));
+    AddressSet unique(targets.begin(), targets.end());
+    EXPECT_EQ(unique.size(), targets.size());
+  }
+}
+
+TEST(SpaceTreeGenerate, ZeroBudgetOrNoRegions) {
+  const auto seeds = Group("2001:db8::", 10);
+  EXPECT_TRUE(SpaceTreeGenerate(seeds, 0).empty());
+  EXPECT_TRUE(SpaceTreeGenerate({}, 100).empty());
+}
+
+TEST(SpaceTreeGenerate, DeterministicInSeed) {
+  const auto seeds = Group("2001:db8::", 30, 7);
+  EXPECT_EQ(SpaceTreeGenerate(seeds, 200), SpaceTreeGenerate(seeds, 200));
+}
+
+}  // namespace
+}  // namespace sixgen::patterns

@@ -1,0 +1,159 @@
+// Tests for the routing substrate: longest-prefix match, seed grouping by
+// routed prefix (paper §6.1), AS registry.
+#include "routing/routing_table.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace sixgen::routing {
+namespace {
+
+using ip6::Address;
+using ip6::Prefix;
+
+TEST(RoutingTable, EmptyTableHasNoMatches) {
+  RoutingTable table;
+  EXPECT_FALSE(table.Lookup(Address::MustParse("2001:db8::1")).has_value());
+  EXPECT_EQ(table.Size(), 0u);
+}
+
+TEST(RoutingTable, ExactAndLongestMatch) {
+  RoutingTable table;
+  table.Announce(Prefix::MustParse("2001:db8::/32"), 100);
+  table.Announce(Prefix::MustParse("2001:db8:1::/48"), 200);
+
+  auto route = table.Lookup(Address::MustParse("2001:db8:1::5"));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->origin, 200u) << "longest match wins";
+
+  route = table.Lookup(Address::MustParse("2001:db8:2::5"));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->origin, 100u);
+
+  EXPECT_FALSE(table.Lookup(Address::MustParse("2001:db9::1")).has_value());
+}
+
+TEST(RoutingTable, DefaultRouteMatchesEverything) {
+  RoutingTable table;
+  table.Announce(Prefix::MustParse("::/0"), 1);
+  EXPECT_EQ(table.OriginAs(Address::MustParse("ffff::1")), 1u);
+}
+
+TEST(RoutingTable, PrefixesLongerThan64Bits) {
+  // §4.2: routed prefixes longer than /64 exist and must be handled.
+  RoutingTable table;
+  table.Announce(Prefix::MustParse("2001:db8::/64"), 1);
+  table.Announce(Prefix::MustParse("2001:db8::1:0:0/96"), 2);
+  EXPECT_EQ(table.OriginAs(Address::MustParse("2001:db8::1:0:5")), 2u);
+  EXPECT_EQ(table.OriginAs(Address::MustParse("2001:db8::2:0:5")), 1u);
+}
+
+TEST(RoutingTable, ReannounceOverwritesOrigin) {
+  RoutingTable table;
+  EXPECT_TRUE(table.Announce(Prefix::MustParse("2001:db8::/32"), 100));
+  EXPECT_FALSE(table.Announce(Prefix::MustParse("2001:db8::/32"), 300));
+  EXPECT_EQ(table.Size(), 1u);
+  EXPECT_EQ(table.OriginAs(Address::MustParse("2001:db8::1")), 300u);
+}
+
+TEST(RoutingTable, HostRoute) {
+  RoutingTable table;
+  table.Announce(Prefix::MustParse("2001:db8::1/128"), 7);
+  EXPECT_EQ(table.OriginAs(Address::MustParse("2001:db8::1")), 7u);
+  EXPECT_FALSE(table.Lookup(Address::MustParse("2001:db8::2")).has_value());
+}
+
+TEST(RoutingTable, RoutesReturnsSortedAnnouncements) {
+  RoutingTable table;
+  table.Announce(Prefix::MustParse("2001:db9::/32"), 2);
+  table.Announce(Prefix::MustParse("2001:db8::/32"), 1);
+  table.Announce(Prefix::MustParse("2001:db8::/48"), 3);
+  auto routes = table.Routes();
+  ASSERT_EQ(routes.size(), 3u);
+  EXPECT_EQ(routes[0].prefix, Prefix::MustParse("2001:db8::/32"));
+  EXPECT_EQ(routes[1].prefix, Prefix::MustParse("2001:db8::/48"));
+  EXPECT_EQ(routes[2].prefix, Prefix::MustParse("2001:db9::/32"));
+}
+
+TEST(RoutingTable, LookupMatchesBruteForce) {
+  std::mt19937_64 rng(9);
+  std::vector<Route> routes;
+  RoutingTable table;
+  for (int i = 0; i < 64; ++i) {
+    const Address base(rng(), rng());
+    const unsigned len = 8 + static_cast<unsigned>(rng() % 90);
+    const Prefix prefix = Prefix::Of(base, len);
+    if (table.Announce(prefix, static_cast<Asn>(i + 1))) {
+      routes.push_back({prefix, static_cast<Asn>(i + 1)});
+    } else {
+      // Overwritten origin: update the brute-force copy too.
+      for (auto& r : routes) {
+        if (r.prefix == prefix) r.origin = static_cast<Asn>(i + 1);
+      }
+    }
+  }
+  for (int i = 0; i < 500; ++i) {
+    // Half the probes land inside a random announced prefix.
+    Address probe(rng(), rng());
+    if (i % 2 == 0 && !routes.empty()) {
+      const Prefix& p = routes[rng() % routes.size()].prefix;
+      probe = Address::FromU128(p.network().ToU128() | (rng() & 0xFFFFF));
+    }
+    std::optional<Route> expected;
+    for (const Route& r : routes) {
+      if (r.prefix.Contains(probe) &&
+          (!expected || r.prefix.length() > expected->prefix.length())) {
+        expected = r;
+      }
+    }
+    auto got = table.Lookup(probe);
+    EXPECT_EQ(got.has_value(), expected.has_value());
+    if (got && expected) {
+      EXPECT_EQ(got->prefix, expected->prefix);
+      EXPECT_EQ(got->origin, expected->origin);
+    }
+  }
+}
+
+TEST(GroupByRoutedPrefix, GroupsAndDropsUnrouted) {
+  RoutingTable table;
+  table.Announce(Prefix::MustParse("2001:db8::/32"), 1);
+  table.Announce(Prefix::MustParse("2001:db9::/32"), 2);
+
+  std::vector<Address> seeds = {
+      Address::MustParse("2001:db8::1"), Address::MustParse("2001:db8::2"),
+      Address::MustParse("2001:db9::1"), Address::MustParse("2a00::1")};
+  std::size_t unrouted = 0;
+  auto groups = GroupByRoutedPrefix(table, seeds, &unrouted);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(unrouted, 1u);
+  EXPECT_EQ(groups[0].route.prefix, Prefix::MustParse("2001:db8::/32"));
+  EXPECT_EQ(groups[0].seeds.size(), 2u);
+  EXPECT_EQ(groups[1].route.origin, 2u);
+  EXPECT_EQ(groups[1].seeds.size(), 1u);
+}
+
+TEST(GroupByRoutedPrefix, MoreSpecificPrefixSplitsGroups) {
+  RoutingTable table;
+  table.Announce(Prefix::MustParse("2001:db8::/32"), 1);
+  table.Announce(Prefix::MustParse("2001:db8:ffff::/48"), 1);
+  std::vector<Address> seeds = {Address::MustParse("2001:db8::1"),
+                                Address::MustParse("2001:db8:ffff::1")};
+  auto groups = GroupByRoutedPrefix(table, seeds, nullptr);
+  EXPECT_EQ(groups.size(), 2u)
+      << "same origin AS but different routed prefixes";
+}
+
+TEST(AsRegistry, RegisterAndLookup) {
+  AsRegistry registry;
+  registry.Register(20940, "Akamai");
+  ASSERT_NE(registry.Find(20940), nullptr);
+  EXPECT_EQ(registry.Find(20940)->name, "Akamai");
+  EXPECT_EQ(registry.NameOf(20940), "Akamai");
+  EXPECT_EQ(registry.NameOf(64512), "AS64512") << "fallback name";
+  EXPECT_EQ(registry.Find(64512), nullptr);
+}
+
+}  // namespace
+}  // namespace sixgen::routing

@@ -1,0 +1,137 @@
+// Tests for ZMap-style cyclic-group permutation and opt-out blacklisting.
+#include "scanner/permutation.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace sixgen::scanner {
+namespace {
+
+using ip6::Address;
+using ip6::Prefix;
+
+class PermutationSizes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PermutationSizes, VisitsEveryIndexExactlyOnce) {
+  const std::uint64_t n = GetParam();
+  CyclicPermutation perm(n, 42);
+  std::set<std::uint64_t> seen;
+  while (auto index = perm.Next()) {
+    EXPECT_LT(*index, n);
+    EXPECT_TRUE(seen.insert(*index).second) << "duplicate index " << *index;
+  }
+  EXPECT_EQ(seen.size(), n);
+  EXPECT_FALSE(perm.Next().has_value()) << "stays exhausted";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 16, 17, 100, 101,
+                                           1000, 65536, 99991));
+
+TEST(CyclicPermutation, DifferentSeedsGiveDifferentOrders) {
+  auto order_of = [](std::uint64_t seed) {
+    CyclicPermutation perm(1000, seed);
+    std::vector<std::uint64_t> order;
+    while (auto index = perm.Next()) order.push_back(*index);
+    return order;
+  };
+  const auto a = order_of(1);
+  const auto b = order_of(2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, order_of(1)) << "same seed, same order";
+}
+
+TEST(CyclicPermutation, OrderIsNotIdentity) {
+  CyclicPermutation perm(10'000, 7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 100; ++i) first.push_back(*perm.Next());
+  std::vector<std::uint64_t> identity(100);
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_NE(first, identity);
+}
+
+TEST(CyclicPermutation, ResetReplaysTheSamePermutation) {
+  CyclicPermutation perm(500, 3);
+  std::vector<std::uint64_t> once;
+  while (auto index = perm.Next()) once.push_back(*index);
+  perm.Reset();
+  std::vector<std::uint64_t> twice;
+  while (auto index = perm.Next()) twice.push_back(*index);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(CyclicPermutation, RejectsEmptySpace) {
+  EXPECT_THROW(CyclicPermutation(0, 1), std::invalid_argument);
+}
+
+TEST(Blacklist, ContainsAndFilter) {
+  Blacklist blacklist;
+  blacklist.Add(Prefix::MustParse("2001:db8:bad::/48"));
+  blacklist.Add(Prefix::MustParse("2600:dead::/32"));
+  EXPECT_EQ(blacklist.Size(), 2u);
+
+  EXPECT_TRUE(blacklist.Contains(Address::MustParse("2001:db8:bad::1")));
+  EXPECT_TRUE(blacklist.Contains(Address::MustParse("2600:dead:beef::9")));
+  EXPECT_FALSE(blacklist.Contains(Address::MustParse("2001:db8:600d::1")));
+
+  const std::vector<Address> targets = {
+      Address::MustParse("2001:db8:bad::1"),
+      Address::MustParse("2001:db8:600d::1"),
+      Address::MustParse("2600:dead::2")};
+  std::size_t removed = 0;
+  const auto allowed = blacklist.Filter(targets, &removed);
+  EXPECT_EQ(removed, 2u);
+  ASSERT_EQ(allowed.size(), 1u);
+  EXPECT_EQ(allowed[0], Address::MustParse("2001:db8:600d::1"));
+}
+
+TEST(Blacklist, EmptyBlacklistPassesEverything) {
+  Blacklist blacklist;
+  const std::vector<Address> targets = {Address::MustParse("::1")};
+  std::size_t removed = 9;
+  EXPECT_EQ(blacklist.Filter(targets, &removed).size(), 1u);
+  EXPECT_EQ(removed, 0u);
+}
+
+TEST(ForEachInScanOrder, CoversAllowedTargetsExactlyOnce) {
+  std::vector<Address> targets;
+  for (int i = 0; i < 300; ++i) {
+    targets.push_back(
+        Address::FromU128(Address::MustParse("2001:db8::").ToU128() + i));
+  }
+  Blacklist blacklist;
+  blacklist.Add(Prefix::MustParse("2001:db8::/121"));  // blocks ::0..::7f
+
+  ip6::AddressSet seen;
+  EXPECT_TRUE(ForEachInScanOrder(targets, blacklist, 5,
+                                 [&](const Address& addr) {
+                                   EXPECT_FALSE(blacklist.Contains(addr));
+                                   EXPECT_TRUE(seen.insert(addr).second);
+                                   return true;
+                                 }));
+  EXPECT_EQ(seen.size(), 300u - 128u);
+}
+
+TEST(ForEachInScanOrder, EarlyStop) {
+  std::vector<Address> targets;
+  for (int i = 0; i < 100; ++i) {
+    targets.push_back(
+        Address::FromU128(Address::MustParse("2001:db8::").ToU128() + i));
+  }
+  int visited = 0;
+  EXPECT_FALSE(ForEachInScanOrder(targets, Blacklist{}, 5,
+                                  [&](const Address&) {
+                                    return ++visited < 10;
+                                  }));
+  EXPECT_EQ(visited, 10);
+}
+
+TEST(ForEachInScanOrder, EmptyTargets) {
+  EXPECT_TRUE(ForEachInScanOrder({}, Blacklist{}, 5,
+                                 [](const Address&) { return true; }));
+}
+
+}  // namespace
+}  // namespace sixgen::scanner

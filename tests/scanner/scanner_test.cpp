@@ -1,0 +1,195 @@
+// Tests for the simulated TCP/80 scanner: hit detection, dedup, loss and
+// retry semantics, probe accounting, per-AS rollups.
+#include "scanner/scanner.h"
+
+#include <gtest/gtest.h>
+
+namespace sixgen::scanner {
+namespace {
+
+using ip6::Address;
+using ip6::Prefix;
+using simnet::AllocationPolicy;
+
+simnet::Universe TestUniverse(bool aliased = false) {
+  simnet::UniverseSpec spec;
+  simnet::AsSpec as_spec;
+  as_spec.asn = 100;
+  as_spec.name = "TestNet";
+  simnet::NetworkSpec net;
+  net.prefix = Prefix::MustParse("2001:db8::/32");
+  net.asn = 100;
+  net.subnet_count = 2;
+  net.host_count = 100;
+  net.web_fraction = 1.0;  // all hosts respond on TCP/80
+  net.policy_mix = {{AllocationPolicy::kLowByte, 1.0}};
+  if (aliased) net.aliased_region_lens = {96};
+  as_spec.networks.push_back(net);
+  spec.ases.push_back(as_spec);
+  return simnet::Universe::Synthesize(spec, 17);
+}
+
+std::vector<Address> ActiveTargets(const simnet::Universe& u) {
+  std::vector<Address> out;
+  for (const simnet::Host& h : u.hosts()) out.push_back(h.addr);
+  return out;
+}
+
+TEST(SimulatedScanner, FindsAllActiveHostsWithoutLoss) {
+  const auto universe = TestUniverse();
+  SimulatedScanner scanner(universe, {});
+  const auto targets = ActiveTargets(universe);
+  const ScanResult result = scanner.Scan(targets);
+  EXPECT_EQ(result.hits.size(), targets.size());
+  EXPECT_EQ(result.targets_probed, targets.size());
+  EXPECT_EQ(result.probes_sent, targets.size());
+  EXPECT_DOUBLE_EQ(result.HitRate(), 1.0);
+}
+
+TEST(SimulatedScanner, MissesInactiveAddresses) {
+  const auto universe = TestUniverse();
+  SimulatedScanner scanner(universe, {});
+  const std::vector<Address> targets = {
+      Address::MustParse("2001:db8:ffff:ffff::1"),
+      Address::MustParse("3fff::1")};
+  const ScanResult result = scanner.Scan(targets);
+  EXPECT_TRUE(result.hits.empty());
+  EXPECT_DOUBLE_EQ(result.HitRate(), 0.0);
+}
+
+TEST(SimulatedScanner, DeduplicatesTargets) {
+  const auto universe = TestUniverse();
+  SimulatedScanner scanner(universe, {});
+  const Address host = universe.hosts().front().addr;
+  const std::vector<Address> targets = {host, host, host};
+  const ScanResult result = scanner.Scan(targets);
+  EXPECT_EQ(result.targets_probed, 1u);
+  EXPECT_EQ(result.hits.size(), 1u);
+}
+
+TEST(SimulatedScanner, EmptyTargetList) {
+  const auto universe = TestUniverse();
+  SimulatedScanner scanner(universe, {});
+  const ScanResult result = scanner.Scan({});
+  EXPECT_TRUE(result.hits.empty());
+  EXPECT_EQ(result.probes_sent, 0u);
+  EXPECT_DOUBLE_EQ(result.HitRate(), 0.0);
+}
+
+TEST(SimulatedScanner, AliasedRegionRespondsEverywhere) {
+  const auto universe = TestUniverse(/*aliased=*/true);
+  ASSERT_EQ(universe.aliased_regions().size(), 1u);
+  const Prefix region = universe.aliased_regions()[0];
+  SimulatedScanner scanner(universe, {});
+  std::vector<Address> targets;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    targets.push_back(
+        Address::FromU128(region.network().ToU128() | (i * 977 + 5)));
+  }
+  const ScanResult result = scanner.Scan(targets);
+  EXPECT_EQ(result.hits.size(), targets.size());
+}
+
+TEST(SimulatedScanner, LossReducesHits) {
+  const auto universe = TestUniverse();
+  ScanConfig lossy;
+  lossy.loss_rate = 0.5;
+  lossy.attempts = 1;
+  SimulatedScanner scanner(universe, lossy);
+  const auto targets = ActiveTargets(universe);
+  const ScanResult result = scanner.Scan(targets);
+  EXPECT_LT(result.hits.size(), targets.size());
+  EXPECT_GT(result.hits.size(), targets.size() / 5);
+}
+
+TEST(SimulatedScanner, RetriesRecoverFromLoss) {
+  const auto universe = TestUniverse();
+  ScanConfig lossy;
+  lossy.loss_rate = 0.5;
+  lossy.attempts = 8;  // P(all 8 lost) ~ 0.4%
+  SimulatedScanner scanner(universe, lossy);
+  const auto targets = ActiveTargets(universe);
+  const ScanResult result = scanner.Scan(targets);
+  EXPECT_GT(result.hits.size(), targets.size() * 9 / 10);
+  EXPECT_GT(result.probes_sent, result.targets_probed)
+      << "lost probes must be re-sent";
+}
+
+TEST(SimulatedScanner, ProbeAccountingAccumulates) {
+  const auto universe = TestUniverse();
+  SimulatedScanner scanner(universe, {});
+  scanner.Probe(Address::MustParse("2001:db8::1"));
+  scanner.Probe(Address::MustParse("2001:db8::2"));
+  EXPECT_EQ(scanner.TotalProbesSent(), 2u);
+  scanner.Scan(ActiveTargets(universe));
+  EXPECT_EQ(scanner.TotalProbesSent(), 2u + universe.hosts().size());
+}
+
+TEST(SimulatedScanner, VirtualTimeTracksPacketRate) {
+  const auto universe = TestUniverse();
+  ScanConfig config;
+  config.packets_per_second = 100;
+  SimulatedScanner scanner(universe, config);
+  const auto targets = ActiveTargets(universe);
+  const ScanResult result = scanner.Scan(targets);
+  EXPECT_NEAR(result.virtual_seconds,
+              static_cast<double>(targets.size()) / 100.0, 1e-9);
+}
+
+TEST(SimulatedScanner, DeterministicWithFixedSeed) {
+  const auto universe = TestUniverse();
+  ScanConfig config;
+  config.loss_rate = 0.3;
+  auto run = [&] {
+    SimulatedScanner scanner(universe, config);
+    return scanner.Scan(ActiveTargets(universe)).hits;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SimulatedScanner, BlacklistedTargetsNeverProbed) {
+  const auto universe = TestUniverse();
+  Blacklist blacklist;
+  // Block the whole network: every target must be skipped unprobed.
+  blacklist.Add(Prefix::MustParse("2001:db8::/32"));
+  ScanConfig config;
+  config.blacklist = &blacklist;
+  SimulatedScanner scanner(universe, config);
+  const auto targets = ActiveTargets(universe);
+  const ScanResult result = scanner.Scan(targets);
+  EXPECT_TRUE(result.hits.empty());
+  EXPECT_EQ(result.probes_sent, 0u);
+  EXPECT_EQ(result.blacklisted, targets.size());
+}
+
+TEST(SimulatedScanner, PartialBlacklistOnlyBlocksCoveredTargets) {
+  const auto universe = TestUniverse();
+  const auto targets = ActiveTargets(universe);
+  // Block the /64 of the first host only.
+  Blacklist blacklist;
+  blacklist.Add(Prefix::Of(targets.front(), 64));
+  ScanConfig config;
+  config.blacklist = &blacklist;
+  SimulatedScanner scanner(universe, config);
+  const ScanResult result = scanner.Scan(targets);
+  EXPECT_GT(result.blacklisted, 0u);
+  EXPECT_LT(result.blacklisted, targets.size());
+  EXPECT_EQ(result.blacklisted + result.targets_probed, targets.size());
+  for (const Address& hit : result.hits) {
+    EXPECT_FALSE(blacklist.Contains(hit));
+  }
+}
+
+TEST(RollupHits, CountsByAsAndPrefix) {
+  const auto universe = TestUniverse();
+  std::vector<Address> hits = {Address::MustParse("2001:db8::1"),
+                               Address::MustParse("2001:db8::2"),
+                               Address::MustParse("3fff::1")};  // unrouted
+  const HitRollup rollup = RollupHits(universe.routing(), hits);
+  EXPECT_EQ(rollup.by_as.at(100), 2u);
+  EXPECT_EQ(rollup.by_prefix.at(Prefix::MustParse("2001:db8::/32")), 2u);
+  EXPECT_EQ(rollup.unrouted, 1u);
+}
+
+}  // namespace
+}  // namespace sixgen::scanner

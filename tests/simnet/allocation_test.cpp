@@ -1,0 +1,153 @@
+// Tests for the synthetic allocation policies (RFC 7707 practices).
+#include "simnet/allocation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+namespace sixgen::simnet {
+namespace {
+
+using ip6::Address;
+using ip6::AddressSet;
+using ip6::Prefix;
+
+const Prefix kSubnet = Prefix::MustParse("2001:db8:0:1::/64");
+
+class AllocationPolicyTest
+    : public ::testing::TestWithParam<AllocationPolicy> {};
+
+TEST_P(AllocationPolicyTest, HostsAreUniqueAndInsideSubnet) {
+  std::mt19937_64 rng(7);
+  const auto hosts = AllocateHosts(kSubnet, GetParam(), 100, rng);
+  EXPECT_GE(hosts.size(), 50u) << PolicyName(GetParam());
+  AddressSet seen;
+  for (const Address& h : hosts) {
+    EXPECT_TRUE(kSubnet.Contains(h)) << h.ToString();
+    EXPECT_TRUE(seen.insert(h).second) << "duplicate " << h.ToString();
+  }
+}
+
+TEST_P(AllocationPolicyTest, DeterministicInRngState) {
+  std::mt19937_64 rng1(42), rng2(42);
+  EXPECT_EQ(AllocateHosts(kSubnet, GetParam(), 50, rng1),
+            AllocateHosts(kSubnet, GetParam(), 50, rng2));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, AllocationPolicyTest,
+                         ::testing::ValuesIn(kAllPolicies),
+                         [](const auto& param_info) {
+                           std::string n(PolicyName(param_info.param));
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(AllocateHosts, LowByteProducesSmallIids) {
+  std::mt19937_64 rng(1);
+  const auto hosts =
+      AllocateHosts(kSubnet, AllocationPolicy::kLowByte, 50, rng);
+  for (const Address& h : hosts) {
+    const auto iid = h.ToU128() & ((ip6::U128{1} << 64) - 1);
+    EXPECT_LT(iid, ip6::U128{4096}) << h.ToString();
+  }
+}
+
+TEST(AllocateHosts, Eui64HasFffeMarker) {
+  std::mt19937_64 rng(2);
+  const auto hosts = AllocateHosts(kSubnet, AllocationPolicy::kEui64, 30, rng);
+  ASSERT_FALSE(hosts.empty());
+  for (const Address& h : hosts) {
+    // Nybbles 22-25 must be ff:fe.
+    EXPECT_EQ(h.Nybble(22), 0xFu);
+    EXPECT_EQ(h.Nybble(23), 0xFu);
+    EXPECT_EQ(h.Nybble(24), 0xFu);
+    EXPECT_EQ(h.Nybble(25), 0xEu);
+  }
+}
+
+TEST(AllocateHosts, PortEmbeddedEndsInServicePort) {
+  std::mt19937_64 rng(3);
+  const auto hosts =
+      AllocateHosts(kSubnet, AllocationPolicy::kPortEmbedded, 40, rng);
+  ASSERT_FALSE(hosts.empty());
+  for (const Address& h : hosts) {
+    const unsigned low16 = static_cast<unsigned>(h.ToU128() & 0xFFFF);
+    // Decimal port read as hex digits: 80 -> 0x80, 443 -> 0x443, etc.
+    const unsigned known[] = {0x80, 0x443, 0x25, 0x53, 0x22, 0x8080 & 0xFFFF};
+    bool match = false;
+    for (unsigned k : known) {
+      if (low16 == k) match = true;
+    }
+    EXPECT_TRUE(match) << h.ToString();
+  }
+}
+
+TEST(AllocateHosts, CapsAtSubnetCapacity) {
+  std::mt19937_64 rng(4);
+  const Prefix tiny = Prefix::MustParse("2001:db8::/124");
+  const auto hosts =
+      AllocateHosts(tiny, AllocationPolicy::kPrivacyRandom, 100, rng);
+  EXPECT_LE(hosts.size(), 16u);
+  EXPECT_GE(hosts.size(), 10u);
+}
+
+TEST(AllocateHosts, SequentialIsContiguous) {
+  std::mt19937_64 rng(5);
+  auto hosts = AllocateHosts(kSubnet, AllocationPolicy::kSequential, 30, rng);
+  ASSERT_GE(hosts.size(), 2u);
+  std::sort(hosts.begin(), hosts.end());
+  for (std::size_t i = 1; i < hosts.size(); ++i) {
+    EXPECT_EQ(hosts[i].ToU128() - hosts[i - 1].ToU128(), ip6::U128{1});
+  }
+}
+
+TEST(AllocateSubnets, StructuredSubnetsAreSequentialFromZero) {
+  std::mt19937_64 rng(6);
+  const Prefix network = Prefix::MustParse("2001:db8::/32");
+  const auto subnets = AllocateSubnets(network, 64, 8, 1.0, rng);
+  ASSERT_EQ(subnets.size(), 8u);
+  for (std::size_t i = 0; i < subnets.size(); ++i) {
+    EXPECT_EQ(subnets[i].network().ToU128(),
+              network.network().ToU128() | (ip6::U128{i} << 64));
+  }
+}
+
+TEST(AllocateSubnets, SubnetsAreDistinctAndInsideNetwork) {
+  std::mt19937_64 rng(7);
+  const Prefix network = Prefix::MustParse("2001:db8::/32");
+  const auto subnets = AllocateSubnets(network, 56, 32, 0.5, rng);
+  std::set<std::string> seen;
+  for (const Prefix& s : subnets) {
+    EXPECT_EQ(s.length(), 56u);
+    EXPECT_TRUE(network.Contains(s)) << s.ToString();
+    EXPECT_TRUE(seen.insert(s.ToString()).second);
+  }
+}
+
+TEST(AllocateSubnets, RejectsInvalidLength) {
+  std::mt19937_64 rng(8);
+  EXPECT_THROW(AllocateSubnets(Prefix::MustParse("2001:db8::/64"), 48, 4, 1.0,
+                               rng),
+               std::invalid_argument);
+}
+
+TEST(AllocateSubnets, CapsAtIdCapacity) {
+  std::mt19937_64 rng(9);
+  const auto subnets =
+      AllocateSubnets(Prefix::MustParse("2001:db8::/60"), 64, 100, 1.0, rng);
+  EXPECT_EQ(subnets.size(), 16u);
+}
+
+TEST(PolicyName, AllNamesDistinct) {
+  std::set<std::string> names;
+  for (AllocationPolicy p : kAllPolicies) {
+    EXPECT_TRUE(names.insert(std::string(PolicyName(p))).second);
+  }
+}
+
+}  // namespace
+}  // namespace sixgen::simnet

@@ -1,0 +1,77 @@
+// Tests for the passive-tap observation model (Gasser et al., §3.1).
+#include "simnet/observation.h"
+
+#include <gtest/gtest.h>
+
+namespace sixgen::simnet {
+namespace {
+
+using ip6::Address;
+using ip6::Prefix;
+
+Universe SmallUniverse() {
+  UniverseSpec spec;
+  AsSpec as_spec;
+  as_spec.asn = 100;
+  as_spec.name = "TestNet";
+  NetworkSpec net;
+  net.prefix = Prefix::MustParse("2001:db8::/32");
+  net.asn = 100;
+  net.subnet_count = 4;
+  net.host_count = 150;
+  net.policy_mix = {{AllocationPolicy::kLowByte, 1.0}};
+  as_spec.networks.push_back(net);
+  spec.ases.push_back(as_spec);
+  return Universe::Synthesize(spec, 3);
+}
+
+TEST(PassiveTap, ProducesRequestedCount) {
+  const Universe u = SmallUniverse();
+  const auto observed = SamplePassiveTap(u, 5000);
+  EXPECT_EQ(observed.size(), 5000u);
+}
+
+TEST(PassiveTap, EmptyCases) {
+  const Universe u = SmallUniverse();
+  EXPECT_TRUE(SamplePassiveTap(u, 0).empty());
+  const Universe empty = Universe::Synthesize(UniverseSpec{}, 1);
+  EXPECT_TRUE(SamplePassiveTap(empty, 100).empty());
+}
+
+TEST(PassiveTap, ObservationsStayInsideAnnouncedPrefixes) {
+  const Universe u = SmallUniverse();
+  const Prefix net = Prefix::MustParse("2001:db8::/32");
+  for (const Address& addr : SamplePassiveTap(u, 2000)) {
+    EXPECT_TRUE(net.Contains(addr)) << addr.ToString();
+  }
+}
+
+TEST(PassiveTap, EphemeralFractionControlsResponsiveness) {
+  const Universe u = SmallUniverse();
+  auto responsive_share = [&](double ephemeral) {
+    PassiveTapConfig config;
+    config.ephemeral_fraction = ephemeral;
+    const auto observed = SamplePassiveTap(u, 4000, config);
+    std::size_t live = 0;
+    for (const Address& addr : observed) {
+      if (u.HasActiveHost(addr)) ++live;
+    }
+    return static_cast<double>(live) / static_cast<double>(observed.size());
+  };
+  EXPECT_NEAR(responsive_share(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(responsive_share(0.85), 0.15, 0.03)
+      << "~85% of tap observations are rotated-away privacy addresses";
+  EXPECT_LT(responsive_share(0.95), responsive_share(0.5));
+}
+
+TEST(PassiveTap, DeterministicInSeed) {
+  const Universe u = SmallUniverse();
+  PassiveTapConfig config;
+  EXPECT_EQ(SamplePassiveTap(u, 500, config), SamplePassiveTap(u, 500, config));
+  config.rng_seed += 1;
+  EXPECT_NE(SamplePassiveTap(u, 500, config),
+            SamplePassiveTap(u, 500, PassiveTapConfig{}));
+}
+
+}  // namespace
+}  // namespace sixgen::simnet

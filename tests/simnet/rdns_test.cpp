@@ -1,0 +1,169 @@
+// Tests for the reverse-DNS (ip6.arpa) walking seed source (Fiebig et al.,
+// paper §3.1).
+#include "simnet/rdns.h"
+
+#include <gtest/gtest.h>
+
+namespace sixgen::simnet {
+namespace {
+
+using ip6::Address;
+using ip6::Prefix;
+
+Universe SmallUniverse(std::uint64_t seed = 11) {
+  UniverseSpec spec;
+  AsSpec as_spec;
+  as_spec.asn = 100;
+  as_spec.name = "TestNet";
+  NetworkSpec net;
+  net.prefix = Prefix::MustParse("2001:db8::/32");
+  net.asn = 100;
+  net.subnet_count = 3;
+  net.host_count = 120;
+  net.policy_mix = {{AllocationPolicy::kLowByte, 1.0}};
+  as_spec.networks.push_back(net);
+  spec.ases.push_back(as_spec);
+  return Universe::Synthesize(spec, seed);
+}
+
+TEST(ReverseDns, FullCoverageConformingTreeAnswersQueries) {
+  const Universe universe = SmallUniverse();
+  RdnsConfig config;
+  config.ptr_coverage = 1.0;
+  config.non_conforming_fraction = 0.0;
+  const ReverseDns rdns(universe, config);
+  EXPECT_EQ(rdns.RecordCount(), universe.hosts().size());
+
+  const Address host = universe.hosts().front().addr;
+  EXPECT_EQ(rdns.Query(host, 32), RdnsResponse::kPtrRecord);
+  EXPECT_EQ(rdns.Query(host, 16), RdnsResponse::kNoError)
+      << "empty non-terminal above a record";
+  EXPECT_EQ(rdns.Query(Address::MustParse("3fff::1"), 8),
+            RdnsResponse::kNxDomain);
+  // A sibling address with no record.
+  EXPECT_EQ(rdns.Query(Address::MustParse("2001:db8::dead:beef"), 32),
+            RdnsResponse::kNxDomain);
+}
+
+TEST(ReverseDns, PtrCoverageLimitsRecords) {
+  const Universe universe = SmallUniverse();
+  RdnsConfig half;
+  half.ptr_coverage = 0.5;
+  half.non_conforming_fraction = 0.0;
+  const ReverseDns rdns(universe, half);
+  EXPECT_LT(rdns.RecordCount(), universe.hosts().size());
+  EXPECT_GT(rdns.RecordCount(), universe.hosts().size() / 4);
+}
+
+TEST(WalkReverseDns, EnumeratesEveryRecordInConformingZones) {
+  const Universe universe = SmallUniverse();
+  RdnsConfig config;
+  config.ptr_coverage = 1.0;
+  config.non_conforming_fraction = 0.0;
+  const ReverseDns rdns(universe, config);
+
+  const auto result =
+      WalkReverseDns(rdns, Prefix::MustParse("2001:db8::/32"));
+  EXPECT_EQ(result.addresses.size(), universe.hosts().size());
+  for (const Address& mined : result.addresses) {
+    EXPECT_TRUE(universe.HasActiveHost(mined)) << mined.ToString();
+  }
+  EXPECT_GT(result.pruned_subtrees, 0u) << "NXDOMAIN pruning must happen";
+}
+
+TEST(WalkReverseDns, QueriesFarFewerThanBruteForce) {
+  const Universe universe = SmallUniverse();
+  RdnsConfig config;
+  config.ptr_coverage = 1.0;
+  config.non_conforming_fraction = 0.0;
+  const ReverseDns rdns(universe, config);
+  const auto result =
+      WalkReverseDns(rdns, Prefix::MustParse("2001:db8::/32"));
+  // The walk costs roughly 16 queries per tree node on the paths to
+  // records — microscopic against the 2^96 brute-force space.
+  EXPECT_LT(result.queries, universe.hosts().size() * 16 * 32);
+}
+
+TEST(WalkReverseDns, NonConformingZonesHideTheirSubtrees) {
+  const Universe universe = SmallUniverse();
+  RdnsConfig lying;
+  lying.ptr_coverage = 1.0;
+  lying.non_conforming_fraction = 1.0;  // every zone lies
+  const ReverseDns rdns(universe, lying);
+  EXPECT_EQ(rdns.RecordCount(), universe.hosts().size())
+      << "records exist, they are just unreachable by walking";
+  const auto result =
+      WalkReverseDns(rdns, Prefix::MustParse("2001:db8::/32"));
+  EXPECT_TRUE(result.addresses.empty())
+      << "a non-conforming zone defeats prefix walking (Fiebig et al.)";
+}
+
+TEST(WalkReverseDns, PartialConformanceYieldsPartialSeeds) {
+  // Two networks; one zone conforming, one not -> roughly half the
+  // records reachable. Use a universe with many networks and a 50% rate.
+  UniverseSpec spec;
+  for (int i = 0; i < 8; ++i) {
+    AsSpec as_spec;
+    as_spec.asn = 100 + static_cast<routing::Asn>(i);
+    as_spec.name = "Net" + std::to_string(i);
+    NetworkSpec net;
+    net.prefix = Prefix::Make(
+        Address(0x2001'0db8'0000'0000ULL + (static_cast<std::uint64_t>(i) << 16), 0), 48);
+    net.asn = as_spec.asn;
+    net.subnet_count = 2;
+    net.host_count = 40;
+    net.policy_mix = {{AllocationPolicy::kLowByte, 1.0}};
+    as_spec.networks.push_back(net);
+    spec.ases.push_back(as_spec);
+  }
+  const Universe universe = Universe::Synthesize(spec, 5);
+  RdnsConfig config;
+  config.ptr_coverage = 1.0;
+  config.non_conforming_fraction = 0.5;
+  const ReverseDns rdns(universe, config);
+  const auto result = WalkReverseDns(rdns, Prefix::MustParse("2001:db8::/32"));
+  EXPECT_GT(result.addresses.size(), 0u);
+  EXPECT_LT(result.addresses.size(), universe.hosts().size());
+}
+
+TEST(WalkReverseDns, MaxQueriesBoundsTheWalk) {
+  const Universe universe = SmallUniverse();
+  RdnsConfig config;
+  config.ptr_coverage = 1.0;
+  config.non_conforming_fraction = 0.0;
+  const ReverseDns rdns(universe, config);
+  const auto result =
+      WalkReverseDns(rdns, Prefix::MustParse("2001:db8::/32"), 50);
+  EXPECT_LE(result.queries, 50u);
+}
+
+TEST(WalkReverseDns, ScopeRestrictsEnumeration) {
+  const Universe universe = SmallUniverse();
+  RdnsConfig config;
+  config.ptr_coverage = 1.0;
+  config.non_conforming_fraction = 0.0;
+  const ReverseDns rdns(universe, config);
+  // Scope to one /64 subnet: only that subnet's hosts are mined.
+  const Prefix subnet = universe.hosts().front().subnet;
+  const auto result = WalkReverseDns(rdns, subnet);
+  EXPECT_GT(result.addresses.size(), 0u);
+  for (const Address& mined : result.addresses) {
+    EXPECT_TRUE(subnet.Contains(mined));
+  }
+  EXPECT_LT(result.addresses.size(), universe.hosts().size());
+}
+
+TEST(WalkReverseDns, MinedSeedsFeedTheTgaPipeline) {
+  // End-to-end §3.1 -> §5: mined PTR addresses work as 6Gen seeds.
+  const Universe universe = SmallUniverse();
+  RdnsConfig config;
+  config.ptr_coverage = 0.6;
+  config.non_conforming_fraction = 0.0;
+  const ReverseDns rdns(universe, config);
+  const auto mined =
+      WalkReverseDns(rdns, Prefix::MustParse("2001:db8::/32"));
+  ASSERT_GT(mined.addresses.size(), 10u);
+}
+
+}  // namespace
+}  // namespace sixgen::simnet

@@ -1,0 +1,266 @@
+// Tests for the synthetic universe: synthesis invariants, activity oracle,
+// aliased regions, churn, and IID seed sampling.
+#include "simnet/universe.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sixgen::simnet {
+namespace {
+
+using ip6::Address;
+using ip6::Prefix;
+
+UniverseSpec SmallSpec() {
+  UniverseSpec spec;
+  AsSpec as1;
+  as1.asn = 100;
+  as1.name = "TestNet";
+  NetworkSpec net;
+  net.prefix = Prefix::MustParse("2001:db8::/32");
+  net.asn = 100;
+  net.subnet_len = 64;
+  net.subnet_count = 4;
+  net.host_count = 200;
+  net.policy_mix = {{AllocationPolicy::kLowByte, 1.0}};
+  as1.networks.push_back(net);
+  spec.ases.push_back(as1);
+
+  AsSpec as2;
+  as2.asn = 200;
+  as2.name = "AliasedNet";
+  NetworkSpec net2;
+  net2.prefix = Prefix::MustParse("2a00:1::/32");
+  net2.asn = 200;
+  net2.subnet_len = 64;
+  net2.subnet_count = 2;
+  net2.host_count = 50;
+  net2.policy_mix = {{AllocationPolicy::kLowByte, 1.0}};
+  net2.aliased_region_lens = {96};
+  as2.networks.push_back(net2);
+  spec.ases.push_back(as2);
+  return spec;
+}
+
+TEST(Universe, SynthesisIsDeterministic) {
+  const Universe u1 = Universe::Synthesize(SmallSpec(), 7);
+  const Universe u2 = Universe::Synthesize(SmallSpec(), 7);
+  ASSERT_EQ(u1.hosts().size(), u2.hosts().size());
+  for (std::size_t i = 0; i < u1.hosts().size(); ++i) {
+    EXPECT_EQ(u1.hosts()[i].addr, u2.hosts()[i].addr);
+  }
+  EXPECT_EQ(u1.aliased_regions().size(), u2.aliased_regions().size());
+}
+
+TEST(Universe, DifferentSeedsDiffer) {
+  const Universe u1 = Universe::Synthesize(SmallSpec(), 7);
+  const Universe u2 = Universe::Synthesize(SmallSpec(), 8);
+  bool any_diff = u1.hosts().size() != u2.hosts().size();
+  for (std::size_t i = 0; !any_diff && i < u1.hosts().size(); ++i) {
+    any_diff = u1.hosts()[i].addr != u2.hosts()[i].addr;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Universe, HostsLiveInTheirNetworkPrefix) {
+  const Universe u = Universe::Synthesize(SmallSpec(), 7);
+  const Prefix p1 = Prefix::MustParse("2001:db8::/32");
+  const Prefix p2 = Prefix::MustParse("2a00:1::/32");
+  for (const Host& host : u.hosts()) {
+    EXPECT_TRUE(p1.Contains(host.addr) || p2.Contains(host.addr))
+        << host.addr.ToString();
+    EXPECT_TRUE(host.subnet.Contains(host.addr));
+  }
+}
+
+TEST(Universe, RoutingTableAnnouncesAllNetworks) {
+  const Universe u = Universe::Synthesize(SmallSpec(), 7);
+  EXPECT_EQ(u.routing().Size(), 2u);
+  EXPECT_EQ(u.routing().OriginAs(Address::MustParse("2001:db8::1")), 100u);
+  EXPECT_EQ(u.routing().OriginAs(Address::MustParse("2a00:1::1")), 200u);
+  EXPECT_EQ(u.registry().NameOf(100), "TestNet");
+}
+
+TEST(Universe, ActivityOracleMatchesHostList) {
+  const Universe u = Universe::Synthesize(SmallSpec(), 7);
+  std::size_t tcp80 = 0;
+  for (const Host& host : u.hosts()) {
+    EXPECT_TRUE(u.HasActiveHost(host.addr));
+    if (host.tcp80) {
+      ++tcp80;
+      EXPECT_TRUE(u.RespondsTcp80(host.addr));
+    }
+  }
+  EXPECT_EQ(u.ActiveTcp80Count(), tcp80);
+  EXPECT_FALSE(u.HasActiveHost(Address::MustParse("9999::9999")));
+}
+
+TEST(Universe, WebHostsAlwaysRespondOnTcp80) {
+  const Universe u = Universe::Synthesize(SmallSpec(), 7);
+  for (const Host& host : u.hosts()) {
+    if (host.type == HostType::kWeb) {
+      EXPECT_TRUE(host.tcp80);
+    }
+  }
+}
+
+TEST(Universe, AliasedRegionsAnsweredEverywhere) {
+  const Universe u = Universe::Synthesize(SmallSpec(), 7);
+  ASSERT_EQ(u.aliased_regions().size(), 1u);
+  const Prefix& aliased = u.aliased_regions()[0];
+  EXPECT_EQ(aliased.length(), 96u);
+  // Any address in the aliased region responds, host or not.
+  const Address probe =
+      Address::FromU128(aliased.network().ToU128() | 0xdeadbeefULL % 0xFFFFFFFF);
+  EXPECT_TRUE(u.InAliasedRegion(probe));
+  EXPECT_TRUE(u.RespondsTcp80(probe));
+  // The region is anchored at a host, so at least one seed points inside.
+  bool anchored = false;
+  for (const Host& host : u.hosts()) {
+    if (aliased.Contains(host.addr)) anchored = true;
+  }
+  EXPECT_TRUE(anchored);
+}
+
+TEST(Universe, NonAliasedAddressOutsideHostsDoesNotRespond) {
+  const Universe u = Universe::Synthesize(SmallSpec(), 7);
+  const Address probe = Address::MustParse("2001:db8:ffff:ffff::ffff");
+  EXPECT_FALSE(u.InAliasedRegion(probe));
+  EXPECT_FALSE(u.RespondsTcp80(probe));
+}
+
+TEST(Universe, ChurnRetiresAndRenumbersHosts) {
+  Universe u = Universe::Synthesize(SmallSpec(), 7);
+  const std::size_t before_hosts = u.hosts().size();
+  std::size_t before_active = 0;
+  for (const Host& h : u.hosts()) {
+    if (h.active) ++before_active;
+  }
+  u.ApplyChurn(0.3, 99);
+  std::size_t retired = 0, active = 0;
+  for (const Host& h : u.hosts()) {
+    if (h.active) {
+      ++active;
+      EXPECT_TRUE(u.HasActiveHost(h.addr));
+    } else {
+      ++retired;
+      EXPECT_FALSE(u.HasActiveHost(h.addr));
+    }
+  }
+  EXPECT_GT(retired, before_hosts / 10);
+  EXPECT_LE(active, before_active);
+  EXPECT_GT(u.hosts().size(), before_hosts) << "renumbered hosts appended";
+}
+
+TEST(Universe, ChurnZeroIsNoOp) {
+  Universe u = Universe::Synthesize(SmallSpec(), 7);
+  const std::size_t before = u.hosts().size();
+  u.ApplyChurn(0.0, 99);
+  EXPECT_EQ(u.hosts().size(), before);
+}
+
+TEST(SampleSeeds, CoverageControlsSampleSize) {
+  const Universe u = Universe::Synthesize(SmallSpec(), 7);
+  const auto all = SampleSeeds(u, 1.0, 5);
+  std::size_t active = 0;
+  for (const Host& h : u.hosts()) {
+    if (h.active) ++active;
+  }
+  EXPECT_EQ(all.size(), active);
+
+  const auto half = SampleSeeds(u, 0.5, 5);
+  EXPECT_GT(half.size(), active / 3);
+  EXPECT_LT(half.size(), active * 2 / 3);
+
+  EXPECT_TRUE(SampleSeeds(u, 0.0, 5).empty());
+}
+
+TEST(SampleSeeds, DeterministicAndTyped) {
+  const Universe u = Universe::Synthesize(SmallSpec(), 7);
+  const auto s1 = SampleSeeds(u, 0.4, 5);
+  const auto s2 = SampleSeeds(u, 0.4, 5);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].addr, s2[i].addr);
+    EXPECT_EQ(s1[i].type, s2[i].type);
+  }
+  EXPECT_EQ(SeedAddresses(s1).size(), s1.size());
+}
+
+TEST(SampleSeeds, OnlyActiveHostsSampled) {
+  Universe u = Universe::Synthesize(SmallSpec(), 7);
+  u.ApplyChurn(0.5, 3);
+  const auto seeds = SampleSeeds(u, 1.0, 5);
+  for (const SeedRecord& s : seeds) {
+    EXPECT_TRUE(u.HasActiveHost(s.addr));
+  }
+}
+
+TEST(Universe, ServiceOracleMatchesHostMasks) {
+  const Universe u = Universe::Synthesize(SmallSpec(), 7);
+  for (const Host& host : u.hosts()) {
+    for (Service service : kAllServices) {
+      if (host.RespondsOn(service)) {
+        EXPECT_TRUE(u.Responds(host.addr, service))
+            << host.addr.ToString() << " " << ServiceName(service);
+      } else if (!u.InAliasedRegion(host.addr)) {
+        EXPECT_FALSE(u.Responds(host.addr, service));
+      }
+    }
+  }
+}
+
+TEST(Universe, Tcp80MaskMirrorsLegacyFlag) {
+  const Universe u = Universe::Synthesize(SmallSpec(), 7);
+  for (const Host& host : u.hosts()) {
+    EXPECT_EQ(host.tcp80, host.RespondsOn(Service::kTcp80));
+  }
+  EXPECT_EQ(u.ActiveTcp80Count(), u.ActiveCount(Service::kTcp80));
+}
+
+TEST(Universe, MailHostsMostlyRunSmtp) {
+  const Universe u = Universe::Synthesize(SmallSpec(), 7);
+  std::size_t mail = 0, mail_smtp = 0, web = 0, web_smtp = 0;
+  for (const Host& host : u.hosts()) {
+    if (host.type == HostType::kMail) {
+      ++mail;
+      if (host.RespondsOn(Service::kTcp25)) ++mail_smtp;
+    }
+    if (host.type == HostType::kWeb) {
+      ++web;
+      if (host.RespondsOn(Service::kTcp25)) ++web_smtp;
+    }
+  }
+  if (mail >= 10 && web >= 10) {
+    EXPECT_GT(static_cast<double>(mail_smtp) / static_cast<double>(mail),
+              static_cast<double>(web_smtp) / static_cast<double>(web));
+  }
+}
+
+TEST(Universe, AliasedRegionAnswersEveryService) {
+  const Universe u = Universe::Synthesize(SmallSpec(), 7);
+  ASSERT_FALSE(u.aliased_regions().empty());
+  const Address probe =
+      Address::FromU128(u.aliased_regions()[0].network().ToU128() + 12345);
+  for (Service service : kAllServices) {
+    EXPECT_TRUE(u.Responds(probe, service)) << ServiceName(service);
+  }
+}
+
+TEST(ServiceName, Distinct) {
+  std::set<std::string> names;
+  for (Service service : kAllServices) {
+    EXPECT_TRUE(names.insert(std::string(ServiceName(service))).second);
+  }
+}
+
+TEST(HostTypeName, Distinct) {
+  EXPECT_EQ(HostTypeName(HostType::kWeb), "web");
+  EXPECT_EQ(HostTypeName(HostType::kNameServer), "ns");
+  EXPECT_EQ(HostTypeName(HostType::kMail), "mail");
+  EXPECT_EQ(HostTypeName(HostType::kGeneric), "generic");
+}
+
+}  // namespace
+}  // namespace sixgen::simnet
