@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_seed_prep.dir/bench_ablation_seed_prep.cpp.o"
+  "CMakeFiles/bench_ablation_seed_prep.dir/bench_ablation_seed_prep.cpp.o.d"
+  "bench_ablation_seed_prep"
+  "bench_ablation_seed_prep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_seed_prep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_dynamic_nybbles.dir/bench_fig6_dynamic_nybbles.cpp.o"
+  "CMakeFiles/bench_fig6_dynamic_nybbles.dir/bench_fig6_dynamic_nybbles.cpp.o.d"
+  "bench_fig6_dynamic_nybbles"
+  "bench_fig6_dynamic_nybbles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_dynamic_nybbles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_hits_per_prefix.dir/bench_fig7_hits_per_prefix.cpp.o"
+  "CMakeFiles/bench_fig7_hits_per_prefix.dir/bench_fig7_hits_per_prefix.cpp.o.d"
+  "bench_fig7_hits_per_prefix"
+  "bench_fig7_hits_per_prefix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_hits_per_prefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_active_scan.dir/bench_fig9_active_scan.cpp.o"
+  "CMakeFiles/bench_fig9_active_scan.dir/bench_fig9_active_scan.cpp.o.d"
+  "bench_fig9_active_scan"
+  "bench_fig9_active_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_active_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

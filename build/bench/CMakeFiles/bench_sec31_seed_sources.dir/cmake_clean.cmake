@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec31_seed_sources.dir/bench_sec31_seed_sources.cpp.o"
+  "CMakeFiles/bench_sec31_seed_sources.dir/bench_sec31_seed_sources.cpp.o.d"
+  "bench_sec31_seed_sources"
+  "bench_sec31_seed_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec31_seed_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sec31_seed_sources.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sec63_tight_vs_loose.cpp" "bench/CMakeFiles/bench_sec63_tight_vs_loose.dir/bench_sec63_tight_vs_loose.cpp.o" "gcc" "bench/CMakeFiles/bench_sec63_tight_vs_loose.dir/bench_sec63_tight_vs_loose.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/sixgen_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sixgen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/entropyip/CMakeFiles/sixgen_entropyip.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterns/CMakeFiles/sixgen_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/dealias/CMakeFiles/sixgen_dealias.dir/DependInfo.cmake"
+  "/root/repo/build/src/scanner/CMakeFiles/sixgen_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/sixgen_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sixgen_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/sixgen_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/nybtree/CMakeFiles/sixgen_nybtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip6/CMakeFiles/sixgen_ip6.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

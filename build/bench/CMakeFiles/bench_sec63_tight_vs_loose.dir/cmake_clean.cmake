@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec63_tight_vs_loose.dir/bench_sec63_tight_vs_loose.cpp.o"
+  "CMakeFiles/bench_sec63_tight_vs_loose.dir/bench_sec63_tight_vs_loose.cpp.o.d"
+  "bench_sec63_tight_vs_loose"
+  "bench_sec63_tight_vs_loose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec63_tight_vs_loose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec63_tight_vs_loose.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec671_host_type.dir/bench_sec671_host_type.cpp.o"
+  "CMakeFiles/bench_sec671_host_type.dir/bench_sec671_host_type.cpp.o.d"
+  "bench_sec671_host_type"
+  "bench_sec671_host_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec671_host_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

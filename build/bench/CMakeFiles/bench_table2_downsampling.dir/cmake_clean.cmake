@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_downsampling.dir/bench_table2_downsampling.cpp.o"
+  "CMakeFiles/bench_table2_downsampling.dir/bench_table2_downsampling.cpp.o.d"
+  "bench_table2_downsampling"
+  "bench_table2_downsampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_downsampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_scan.dir/adaptive_scan.cpp.o"
+  "CMakeFiles/adaptive_scan.dir/adaptive_scan.cpp.o.d"
+  "adaptive_scan"
+  "adaptive_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

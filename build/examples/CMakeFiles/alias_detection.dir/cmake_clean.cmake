@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alias_detection.dir/alias_detection.cpp.o"
+  "CMakeFiles/alias_detection.dir/alias_detection.cpp.o.d"
+  "alias_detection"
+  "alias_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alias_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

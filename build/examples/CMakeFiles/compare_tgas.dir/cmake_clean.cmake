@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_tgas.dir/compare_tgas.cpp.o"
+  "CMakeFiles/compare_tgas.dir/compare_tgas.cpp.o.d"
+  "compare_tgas"
+  "compare_tgas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_tgas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

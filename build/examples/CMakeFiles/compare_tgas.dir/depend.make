@@ -1,0 +1,2 @@
+# Empty dependencies file for compare_tgas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdns_mining.dir/rdns_mining.cpp.o"
+  "CMakeFiles/rdns_mining.dir/rdns_mining.cpp.o.d"
+  "rdns_mining"
+  "rdns_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdns_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rdns_mining.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixgen_cli.dir/sixgen_cli.cpp.o"
+  "CMakeFiles/sixgen_cli.dir/sixgen_cli.cpp.o.d"
+  "sixgen_cli"
+  "sixgen_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixgen_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

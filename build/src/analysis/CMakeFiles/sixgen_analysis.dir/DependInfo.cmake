@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/classifier.cpp" "src/analysis/CMakeFiles/sixgen_analysis.dir/classifier.cpp.o" "gcc" "src/analysis/CMakeFiles/sixgen_analysis.dir/classifier.cpp.o.d"
+  "/root/repo/src/analysis/metrics.cpp" "src/analysis/CMakeFiles/sixgen_analysis.dir/metrics.cpp.o" "gcc" "src/analysis/CMakeFiles/sixgen_analysis.dir/metrics.cpp.o.d"
+  "/root/repo/src/analysis/mra.cpp" "src/analysis/CMakeFiles/sixgen_analysis.dir/mra.cpp.o" "gcc" "src/analysis/CMakeFiles/sixgen_analysis.dir/mra.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/sixgen_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/sixgen_analysis.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ip6/CMakeFiles/sixgen_ip6.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/sixgen_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixgen_analysis.dir/classifier.cpp.o"
+  "CMakeFiles/sixgen_analysis.dir/classifier.cpp.o.d"
+  "CMakeFiles/sixgen_analysis.dir/metrics.cpp.o"
+  "CMakeFiles/sixgen_analysis.dir/metrics.cpp.o.d"
+  "CMakeFiles/sixgen_analysis.dir/mra.cpp.o"
+  "CMakeFiles/sixgen_analysis.dir/mra.cpp.o.d"
+  "CMakeFiles/sixgen_analysis.dir/report.cpp.o"
+  "CMakeFiles/sixgen_analysis.dir/report.cpp.o.d"
+  "libsixgen_analysis.a"
+  "libsixgen_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixgen_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

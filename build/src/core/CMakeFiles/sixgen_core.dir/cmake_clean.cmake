@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixgen_core.dir/adaptive.cpp.o"
+  "CMakeFiles/sixgen_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/sixgen_core.dir/generator.cpp.o"
+  "CMakeFiles/sixgen_core.dir/generator.cpp.o.d"
+  "libsixgen_core.a"
+  "libsixgen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixgen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsixgen_core.a"
+)

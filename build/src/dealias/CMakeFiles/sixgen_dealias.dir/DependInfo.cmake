@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dealias/dealias.cpp" "src/dealias/CMakeFiles/sixgen_dealias.dir/dealias.cpp.o" "gcc" "src/dealias/CMakeFiles/sixgen_dealias.dir/dealias.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ip6/CMakeFiles/sixgen_ip6.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/sixgen_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/scanner/CMakeFiles/sixgen_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/sixgen_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixgen_dealias.dir/dealias.cpp.o"
+  "CMakeFiles/sixgen_dealias.dir/dealias.cpp.o.d"
+  "libsixgen_dealias.a"
+  "libsixgen_dealias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixgen_dealias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/entropyip/bayes_net.cpp" "src/entropyip/CMakeFiles/sixgen_entropyip.dir/bayes_net.cpp.o" "gcc" "src/entropyip/CMakeFiles/sixgen_entropyip.dir/bayes_net.cpp.o.d"
+  "/root/repo/src/entropyip/entropy.cpp" "src/entropyip/CMakeFiles/sixgen_entropyip.dir/entropy.cpp.o" "gcc" "src/entropyip/CMakeFiles/sixgen_entropyip.dir/entropy.cpp.o.d"
+  "/root/repo/src/entropyip/entropyip.cpp" "src/entropyip/CMakeFiles/sixgen_entropyip.dir/entropyip.cpp.o" "gcc" "src/entropyip/CMakeFiles/sixgen_entropyip.dir/entropyip.cpp.o.d"
+  "/root/repo/src/entropyip/segment_model.cpp" "src/entropyip/CMakeFiles/sixgen_entropyip.dir/segment_model.cpp.o" "gcc" "src/entropyip/CMakeFiles/sixgen_entropyip.dir/segment_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ip6/CMakeFiles/sixgen_ip6.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixgen_entropyip.dir/bayes_net.cpp.o"
+  "CMakeFiles/sixgen_entropyip.dir/bayes_net.cpp.o.d"
+  "CMakeFiles/sixgen_entropyip.dir/entropy.cpp.o"
+  "CMakeFiles/sixgen_entropyip.dir/entropy.cpp.o.d"
+  "CMakeFiles/sixgen_entropyip.dir/entropyip.cpp.o"
+  "CMakeFiles/sixgen_entropyip.dir/entropyip.cpp.o.d"
+  "CMakeFiles/sixgen_entropyip.dir/segment_model.cpp.o"
+  "CMakeFiles/sixgen_entropyip.dir/segment_model.cpp.o.d"
+  "libsixgen_entropyip.a"
+  "libsixgen_entropyip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixgen_entropyip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

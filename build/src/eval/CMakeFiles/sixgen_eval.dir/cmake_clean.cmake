@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixgen_eval.dir/budget_alloc.cpp.o"
+  "CMakeFiles/sixgen_eval.dir/budget_alloc.cpp.o.d"
+  "CMakeFiles/sixgen_eval.dir/csv.cpp.o"
+  "CMakeFiles/sixgen_eval.dir/csv.cpp.o.d"
+  "CMakeFiles/sixgen_eval.dir/datasets.cpp.o"
+  "CMakeFiles/sixgen_eval.dir/datasets.cpp.o.d"
+  "CMakeFiles/sixgen_eval.dir/pipeline.cpp.o"
+  "CMakeFiles/sixgen_eval.dir/pipeline.cpp.o.d"
+  "libsixgen_eval.a"
+  "libsixgen_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixgen_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixgen_io.dir/address_io.cpp.o"
+  "CMakeFiles/sixgen_io.dir/address_io.cpp.o.d"
+  "libsixgen_io.a"
+  "libsixgen_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixgen_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ip6/address.cpp" "src/ip6/CMakeFiles/sixgen_ip6.dir/address.cpp.o" "gcc" "src/ip6/CMakeFiles/sixgen_ip6.dir/address.cpp.o.d"
+  "/root/repo/src/ip6/nybble_range.cpp" "src/ip6/CMakeFiles/sixgen_ip6.dir/nybble_range.cpp.o" "gcc" "src/ip6/CMakeFiles/sixgen_ip6.dir/nybble_range.cpp.o.d"
+  "/root/repo/src/ip6/prefix.cpp" "src/ip6/CMakeFiles/sixgen_ip6.dir/prefix.cpp.o" "gcc" "src/ip6/CMakeFiles/sixgen_ip6.dir/prefix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixgen_ip6.dir/address.cpp.o"
+  "CMakeFiles/sixgen_ip6.dir/address.cpp.o.d"
+  "CMakeFiles/sixgen_ip6.dir/nybble_range.cpp.o"
+  "CMakeFiles/sixgen_ip6.dir/nybble_range.cpp.o.d"
+  "CMakeFiles/sixgen_ip6.dir/prefix.cpp.o"
+  "CMakeFiles/sixgen_ip6.dir/prefix.cpp.o.d"
+  "libsixgen_ip6.a"
+  "libsixgen_ip6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixgen_ip6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sixgen_ip6.
+# This may be replaced when dependencies are built.

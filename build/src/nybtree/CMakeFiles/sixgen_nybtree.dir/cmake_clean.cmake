@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixgen_nybtree.dir/nybble_tree.cpp.o"
+  "CMakeFiles/sixgen_nybtree.dir/nybble_tree.cpp.o.d"
+  "libsixgen_nybtree.a"
+  "libsixgen_nybtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixgen_nybtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

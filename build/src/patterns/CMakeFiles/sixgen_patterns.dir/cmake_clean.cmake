@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixgen_patterns.dir/patterns.cpp.o"
+  "CMakeFiles/sixgen_patterns.dir/patterns.cpp.o.d"
+  "CMakeFiles/sixgen_patterns.dir/space_tree.cpp.o"
+  "CMakeFiles/sixgen_patterns.dir/space_tree.cpp.o.d"
+  "libsixgen_patterns.a"
+  "libsixgen_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixgen_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixgen_routing.dir/routing_table.cpp.o"
+  "CMakeFiles/sixgen_routing.dir/routing_table.cpp.o.d"
+  "libsixgen_routing.a"
+  "libsixgen_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixgen_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixgen_scanner.dir/permutation.cpp.o"
+  "CMakeFiles/sixgen_scanner.dir/permutation.cpp.o.d"
+  "CMakeFiles/sixgen_scanner.dir/scanner.cpp.o"
+  "CMakeFiles/sixgen_scanner.dir/scanner.cpp.o.d"
+  "libsixgen_scanner.a"
+  "libsixgen_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixgen_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/allocation.cpp" "src/simnet/CMakeFiles/sixgen_simnet.dir/allocation.cpp.o" "gcc" "src/simnet/CMakeFiles/sixgen_simnet.dir/allocation.cpp.o.d"
+  "/root/repo/src/simnet/observation.cpp" "src/simnet/CMakeFiles/sixgen_simnet.dir/observation.cpp.o" "gcc" "src/simnet/CMakeFiles/sixgen_simnet.dir/observation.cpp.o.d"
+  "/root/repo/src/simnet/rdns.cpp" "src/simnet/CMakeFiles/sixgen_simnet.dir/rdns.cpp.o" "gcc" "src/simnet/CMakeFiles/sixgen_simnet.dir/rdns.cpp.o.d"
+  "/root/repo/src/simnet/universe.cpp" "src/simnet/CMakeFiles/sixgen_simnet.dir/universe.cpp.o" "gcc" "src/simnet/CMakeFiles/sixgen_simnet.dir/universe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ip6/CMakeFiles/sixgen_ip6.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/sixgen_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixgen_simnet.dir/allocation.cpp.o"
+  "CMakeFiles/sixgen_simnet.dir/allocation.cpp.o.d"
+  "CMakeFiles/sixgen_simnet.dir/observation.cpp.o"
+  "CMakeFiles/sixgen_simnet.dir/observation.cpp.o.d"
+  "CMakeFiles/sixgen_simnet.dir/rdns.cpp.o"
+  "CMakeFiles/sixgen_simnet.dir/rdns.cpp.o.d"
+  "CMakeFiles/sixgen_simnet.dir/universe.cpp.o"
+  "CMakeFiles/sixgen_simnet.dir/universe.cpp.o.d"
+  "libsixgen_simnet.a"
+  "libsixgen_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixgen_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

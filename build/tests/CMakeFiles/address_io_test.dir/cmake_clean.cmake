@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/address_io_test.dir/io/address_io_test.cpp.o"
+  "CMakeFiles/address_io_test.dir/io/address_io_test.cpp.o.d"
+  "address_io_test"
+  "address_io_test.pdb"
+  "address_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/address_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/address_test.dir/ip6/address_test.cpp.o"
+  "CMakeFiles/address_test.dir/ip6/address_test.cpp.o.d"
+  "address_test"
+  "address_test.pdb"
+  "address_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/address_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bayes_net_test.dir/entropyip/bayes_net_test.cpp.o"
+  "CMakeFiles/bayes_net_test.dir/entropyip/bayes_net_test.cpp.o.d"
+  "bayes_net_test"
+  "bayes_net_test.pdb"
+  "bayes_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bayes_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

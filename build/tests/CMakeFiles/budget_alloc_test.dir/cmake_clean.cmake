@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/budget_alloc_test.dir/eval/budget_alloc_test.cpp.o"
+  "CMakeFiles/budget_alloc_test.dir/eval/budget_alloc_test.cpp.o.d"
+  "budget_alloc_test"
+  "budget_alloc_test.pdb"
+  "budget_alloc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/budget_alloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/density_test.dir/core/density_test.cpp.o"
+  "CMakeFiles/density_test.dir/core/density_test.cpp.o.d"
+  "density_test"
+  "density_test.pdb"
+  "density_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

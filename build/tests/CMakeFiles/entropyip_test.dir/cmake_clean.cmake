@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entropyip_test.dir/entropyip/entropyip_test.cpp.o"
+  "CMakeFiles/entropyip_test.dir/entropyip/entropyip_test.cpp.o.d"
+  "entropyip_test"
+  "entropyip_test.pdb"
+  "entropyip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entropyip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

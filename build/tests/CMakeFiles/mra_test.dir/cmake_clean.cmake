@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mra_test.dir/analysis/mra_test.cpp.o"
+  "CMakeFiles/mra_test.dir/analysis/mra_test.cpp.o.d"
+  "mra_test"
+  "mra_test.pdb"
+  "mra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nybble_range_test.dir/ip6/nybble_range_test.cpp.o"
+  "CMakeFiles/nybble_range_test.dir/ip6/nybble_range_test.cpp.o.d"
+  "nybble_range_test"
+  "nybble_range_test.pdb"
+  "nybble_range_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nybble_range_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

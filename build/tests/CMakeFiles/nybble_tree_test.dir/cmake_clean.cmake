@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nybble_tree_test.dir/nybtree/nybble_tree_test.cpp.o"
+  "CMakeFiles/nybble_tree_test.dir/nybtree/nybble_tree_test.cpp.o.d"
+  "nybble_tree_test"
+  "nybble_tree_test.pdb"
+  "nybble_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nybble_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/observation_test.dir/simnet/observation_test.cpp.o"
+  "CMakeFiles/observation_test.dir/simnet/observation_test.cpp.o.d"
+  "observation_test"
+  "observation_test.pdb"
+  "observation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_recall_test.dir/integration/policy_recall_test.cpp.o"
+  "CMakeFiles/policy_recall_test.dir/integration/policy_recall_test.cpp.o.d"
+  "policy_recall_test"
+  "policy_recall_test.pdb"
+  "policy_recall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_recall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdns_test.dir/simnet/rdns_test.cpp.o"
+  "CMakeFiles/rdns_test.dir/simnet/rdns_test.cpp.o.d"
+  "rdns_test"
+  "rdns_test.pdb"
+  "rdns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

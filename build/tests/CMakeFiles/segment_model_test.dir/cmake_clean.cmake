@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_model_test.dir/entropyip/segment_model_test.cpp.o"
+  "CMakeFiles/segment_model_test.dir/entropyip/segment_model_test.cpp.o.d"
+  "segment_model_test"
+  "segment_model_test.pdb"
+  "segment_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

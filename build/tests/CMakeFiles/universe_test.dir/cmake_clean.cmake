@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universe_test.dir/simnet/universe_test.cpp.o"
+  "CMakeFiles/universe_test.dir/simnet/universe_test.cpp.o.d"
+  "universe_test"
+  "universe_test.pdb"
+  "universe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
