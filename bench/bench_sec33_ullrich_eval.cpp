@@ -46,8 +46,8 @@ int main() {
   for (std::uint64_t subnet = 0; subnet < 8; ++subnet) {
     for (std::uint64_t machine = 0; machine < 400; ++machine) {
       population.push_back(ip6::Address::FromU128(
-          prefix.network().ToU128() | (subnet << 64) | (machine << 16) |
-          0x80));
+          prefix.network().ToU128() |
+          (static_cast<ip6::U128>(subnet) << 64) | (machine << 16) | 0x80));
     }
   }
 

@@ -1,0 +1,100 @@
+// Contract and invariant checking for sixgen.
+//
+// Three macros, in increasing cost sensitivity:
+//
+//   SIXGEN_CHECK(cond, "msg")   — always on, in every build type. Use for
+//                                 cheap invariants whose violation means
+//                                 silent data corruption (budget overruns,
+//                                 tree-count mismatches at API boundaries).
+//   SIXGEN_DCHECK(cond, "msg")  — on in debug and sanitizer builds, compiled
+//                                 out in release. Use freely on hot paths
+//                                 (per-nybble accessors, per-address loops).
+//   SIXGEN_UNREACHABLE("msg")   — marks control flow that must never execute;
+//                                 always aborts if reached.
+//
+// All three print the failed expression, file:line, and the message to
+// stderr before aborting, so a sanitizer/CI log pinpoints the violated
+// invariant without a debugger.
+//
+// checked_cast<To>(v) is the sanctioned way to narrow ip6::U128 (and other
+// wide integers) — it DCHECKs that the value round-trips. The project
+// linter (tools/sixgen_lint.py) rejects raw static_casts that narrow U128.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sixgen::contracts {
+
+/// Prints a contract-violation report and aborts. Out-of-line cold path so
+/// check sites stay small; inline so the header stays dependency-free.
+[[noreturn]] inline void ContractFail(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "[sixgen] %s failed: %s\n  at %s:%d\n", kind, expr,
+               file, line);
+  if (msg != nullptr && msg[0] != '\0') {
+    std::fprintf(stderr, "  %s\n", msg);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace sixgen::contracts
+
+// Message argument is optional and must be a string literal when present
+// (the "" prefix concatenates, keeping the macro variadic but format-free).
+#define SIXGEN_CHECK(cond, ...)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::sixgen::contracts::ContractFail("CHECK", #cond, __FILE__,       \
+                                        __LINE__, "" __VA_ARGS__);      \
+    }                                                                   \
+  } while (false)
+
+// DCHECKs default to the build type (on when NDEBUG is unset) but can be
+// forced either way with -DSIXGEN_ENABLE_DCHECKS=0/1; the sanitizer presets
+// force them on.
+#if !defined(SIXGEN_ENABLE_DCHECKS)
+#if defined(NDEBUG)
+#define SIXGEN_ENABLE_DCHECKS 0
+#else
+#define SIXGEN_ENABLE_DCHECKS 1
+#endif
+#endif
+
+#if SIXGEN_ENABLE_DCHECKS
+#define SIXGEN_DCHECK(cond, ...)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::sixgen::contracts::ContractFail("DCHECK", #cond, __FILE__,      \
+                                        __LINE__, "" __VA_ARGS__);      \
+    }                                                                   \
+  } while (false)
+#else
+// The condition stays in an unevaluated operand so variables it names are
+// still "used" (no -Wunused warnings in release) at zero runtime cost.
+#define SIXGEN_DCHECK(cond, ...)        \
+  do {                                  \
+    (void)sizeof((cond) ? true : false); \
+  } while (false)
+#endif
+
+#define SIXGEN_UNREACHABLE(...)                                           \
+  ::sixgen::contracts::ContractFail("UNREACHABLE", "control flow reached", \
+                                    __FILE__, __LINE__, "" __VA_ARGS__)
+
+namespace sixgen {
+
+/// Narrowing integer cast that DCHECKs the value survives the round trip.
+/// The only approved way to narrow ip6::U128 to a machine word — raw
+/// static_casts of U128 are rejected by tools/sixgen_lint.py.
+template <typename To, typename From>
+constexpr To checked_cast(From value) {
+  const To narrowed = static_cast<To>(value);
+  SIXGEN_DCHECK(static_cast<From>(narrowed) == value,
+                "checked_cast lost information");
+  return narrowed;
+}
+
+}  // namespace sixgen

@@ -7,6 +7,7 @@
 #include <thread>
 #include <unordered_set>
 
+#include "core/contracts.h"
 #include "core/density.h"
 #include "nybtree/nybble_tree.h"
 
@@ -113,6 +114,12 @@ class Engine {
 
       std::size_t grown_index = static_cast<std::size_t>(best);
       const GrowthPlan plan = plans_[grown_index];
+      // A growth plan must be internally consistent: the chosen range can
+      // cover at most its own size in seeds and never more than exist.
+      SIXGEN_DCHECK(plan.new_seed_count <= seeds_.size(),
+                    "growth plan claims more seeds than exist");
+      SIXGEN_DCHECK(static_cast<U128>(plan.new_seed_count) <= plan.new_size,
+                    "seed count exceeds range size");
 
       // Pseudocode: a growth that would place every seed in a single
       // cluster is not committed; the algorithm returns.
@@ -123,7 +130,15 @@ class Engine {
 
       const Cluster& old_cluster = clusters_[grown_index];
       const U128 old_size = old_cluster.range.Size();
+      // Growth is monotone: the grown range covers the old one (§5.3), so
+      // its size can only increase and its seed count never drops.
+      SIXGEN_DCHECK(plan.new_size >= old_size,
+                    "grown range smaller than the cluster it grew from");
+      SIXGEN_DCHECK(plan.new_seed_count >= old_cluster.seed_count,
+                    "growth lost seeds");
       const U128 arithmetic_delta = plan.new_size - old_size;
+      SIXGEN_CHECK(budget_used <= config_.budget,
+                   "budget overrun before growth (Algorithm 1)");
       const U128 remaining = config_.budget - budget_used;
 
       if (arithmetic_delta > remaining) {
@@ -134,6 +149,8 @@ class Engine {
         const U128 sampled = SampleFinalGrowth(
             plan, old_cluster.range, remaining, emitted, master_rng,
             sampled_extras);
+        SIXGEN_CHECK(sampled <= remaining,
+                     "final growth sampled past the remaining budget (§5.4)");
         budget_used += sampled;
         stop = StopReason::kBudgetExhausted;
         break;
@@ -147,7 +164,13 @@ class Engine {
           if (emitted.insert(a).second) ++cost;
           return true;
         });
+        // Exact accounting only skips already-emitted addresses, so it can
+        // never charge more than the arithmetic size delta.
+        SIXGEN_DCHECK(cost <= plan.new_size,
+                      "exact-unique cost exceeds grown range size");
       }
+      SIXGEN_CHECK(cost <= remaining,
+                   "committed growth overdrew the probe budget");
       budget_used += cost;
       ++iterations;
 
@@ -167,6 +190,14 @@ class Engine {
         step.range_size = plan.new_size;
         step.budget_cost = cost;
         step.budget_used = budget_used;
+        // Trace consistency: budget_used is cumulative and each record's
+        // seed count fits inside its range.
+        SIXGEN_DCHECK(result.trace.empty() ||
+                          result.trace.back().budget_used + cost ==
+                              step.budget_used,
+                      "GrowthStep.budget_used is not cumulative");
+        SIXGEN_DCHECK(static_cast<U128>(step.seed_count) <= step.range_size,
+                      "GrowthStep.seed_count exceeds range_size");
         result.trace.push_back(std::move(step));
       }
 
@@ -209,6 +240,8 @@ class Engine {
       RecomputeInvalid();
     }
 
+    SIXGEN_CHECK(budget_used <= config_.budget,
+                 "run finished over budget (Algorithm 1 postcondition)");
     result.clusters = clusters_;
     result.stats = ComputeClusterStats(clusters_);
     result.budget_used = budget_used;

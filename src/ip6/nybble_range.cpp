@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/contracts.h"
+
 namespace sixgen::ip6 {
 namespace {
 
@@ -177,6 +179,7 @@ NybbleRange NybbleRange::MustParse(std::string_view text) {
 }
 
 void NybbleRange::SetMask(unsigned index, std::uint16_t mask) {
+  SIXGEN_DCHECK(index < kNybbles);
   if (mask == 0) {
     throw std::invalid_argument("NybbleRange mask must be nonzero");
   }
@@ -251,8 +254,12 @@ void NybbleRange::ExpandToInclude(const Address& addr, RangeMode mode) {
     masks_[i] |= bit;
     if (mode == RangeMode::kLoose) masks_[i] = kFullMask;
   }
+  // Growth postcondition (§5.3): the expanded range contains the address.
+  SIXGEN_DCHECK(Contains(addr), "ExpandToInclude left the address outside");
 }
 
+// Out-of-range indices throw std::out_of_range (detected below via the
+// leftover quotient) rather than DCHECK — callers rely on the exception.
 Address NybbleRange::AddressAt(U128 index) const {
   Address out;
   for (int i = static_cast<int>(kNybbles) - 1; i >= 0; --i) {

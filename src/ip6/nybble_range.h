@@ -18,6 +18,7 @@
 #include <string>
 #include <string_view>
 
+#include "core/contracts.h"
 #include "ip6/address.h"
 #include "ip6/prefix.h"
 
@@ -58,7 +59,10 @@ class NybbleRange {
   static NybbleRange MustParse(std::string_view text);
 
   /// Allowed-value mask at `index` (bit v set <=> value v allowed).
-  std::uint16_t Mask(unsigned index) const { return masks_[index]; }
+  std::uint16_t Mask(unsigned index) const {
+    SIXGEN_DCHECK(index < kNybbles);
+    return masks_[index];
+  }
 
   /// Replaces the mask at `index`. Throws std::invalid_argument if mask==0.
   void SetMask(unsigned index, std::uint16_t mask);

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/contracts.h"
+
 namespace sixgen::ip6 {
 namespace {
 
@@ -18,8 +20,14 @@ Prefix Prefix::Make(const Address& network, unsigned length) {
   if (length > 128) {
     throw std::invalid_argument("prefix length exceeds 128");
   }
-  return Prefix(Address::FromU128(network.ToU128() & HighBitsMask(length)),
-                length);
+  Prefix out(Address::FromU128(network.ToU128() & HighBitsMask(length)),
+             length);
+  // Class invariant: host bits zero, so First() == network() <= Last().
+  SIXGEN_DCHECK((out.network_.ToU128() & ~HighBitsMask(length)) == 0,
+                "prefix network has host bits set");
+  SIXGEN_DCHECK(out.First().ToU128() <= out.Last().ToU128(),
+                "prefix bounds out of order");
+  return out;
 }
 
 std::optional<Prefix> Prefix::Parse(std::string_view text) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "core/contracts.h"
+
 namespace sixgen::nybtree {
 
 using ip6::Address;
@@ -197,6 +199,38 @@ void NybbleTree::ForEachAtDistance(
                          prefix.WithNybble(depth, v)});
       }
     }
+  }
+}
+
+void NybbleTree::CheckInvariants() const {
+  if (!root_) return;
+  struct Frame {
+    const Node* node;
+    unsigned depth;
+  };
+  std::vector<Frame> stack{{root_.get(), 0}};
+  while (!stack.empty()) {
+    const auto [node, depth] = stack.back();
+    stack.pop_back();
+    if (depth == kNybbles) {
+      SIXGEN_CHECK(node->count == 1, "leaf at depth 32 must hold one address");
+      SIXGEN_CHECK(node->child_mask == 0, "leaf must have no children");
+      continue;
+    }
+    SIXGEN_CHECK(node->count > 0, "interior node with empty subtree");
+    std::size_t child_sum = 0;
+    for (unsigned v = 0; v < 16; ++v) {
+      const bool mask_bit = (node->child_mask & (1u << v)) != 0;
+      const bool has_child = node->children[v] != nullptr;
+      SIXGEN_CHECK(mask_bit == has_child,
+                   "child_mask out of sync with children array");
+      if (has_child) {
+        child_sum += node->children[v]->count;
+        stack.push_back({node->children[v].get(), depth + 1});
+      }
+    }
+    SIXGEN_CHECK(child_sum == node->count,
+                 "subtree count must equal sum of children (paper §5.5)");
   }
 }
 

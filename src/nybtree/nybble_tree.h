@@ -70,6 +70,13 @@ class NybbleTree {
   /// Visits every stored address.
   void ForEach(const std::function<void(const ip6::Address&)>& fn) const;
 
+  /// Verifies the structural invariants from §5.5 and aborts via
+  /// SIXGEN_CHECK on violation: every internal node's count equals the sum
+  /// of its children's counts, child_mask mirrors the children array,
+  /// every leaf sits at depth 32 nybbles with count 1, and no interior
+  /// node is empty. O(nodes); call from tests and after bulk mutations.
+  void CheckInvariants() const;
+
  private:
   struct Node {
     std::array<std::unique_ptr<Node>, 16> children;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/contracts.h"
+
 namespace sixgen::routing {
 
 using ip6::Address;
@@ -11,7 +13,7 @@ namespace {
 
 // Bit `i` of an address (0 = most significant).
 unsigned BitAt(const Address& addr, unsigned i) {
-  return static_cast<unsigned>((addr.ToU128() >> (127 - i)) & 1);
+  return checked_cast<unsigned>((addr.ToU128() >> (127 - i)) & 1);
 }
 
 }  // namespace

@@ -3,13 +3,15 @@
 #include <random>
 #include <stdexcept>
 
+#include "core/contracts.h"
+
 namespace sixgen::scanner {
 namespace {
 
 using U128 = ip6::U128;
 
 std::uint64_t MulMod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
-  return static_cast<std::uint64_t>(static_cast<U128>(a) * b % m);
+  return checked_cast<std::uint64_t>(static_cast<U128>(a) * b % m);
 }
 
 std::uint64_t PowMod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {

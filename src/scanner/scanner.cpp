@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/contracts.h"
+
 namespace sixgen::scanner {
 
 using ip6::Address;
@@ -20,10 +22,16 @@ bool SimulatedScanner::ProbeOnce(const Address& addr) {
 
 bool SimulatedScanner::Probe(const Address& addr) {
   const unsigned attempts = std::max(config_.attempts, 1u);
-  for (unsigned i = 0; i < attempts; ++i) {
-    if (ProbeOnce(addr)) return true;
+  const std::size_t probes_before = total_probes_;
+  bool hit = false;
+  for (unsigned i = 0; i < attempts && !hit; ++i) {
+    hit = ProbeOnce(addr);
   }
-  return false;
+  // Probe accounting: one target consumes between 1 and `attempts` probes.
+  SIXGEN_DCHECK(total_probes_ - probes_before >= 1, "target sent no probe");
+  SIXGEN_DCHECK(total_probes_ - probes_before <= attempts,
+                "target sent more probes than attempts allow");
+  return hit;
 }
 
 ScanResult SimulatedScanner::Scan(std::span<const Address> targets) {
@@ -45,6 +53,15 @@ ScanResult SimulatedScanner::Scan(std::span<const Address> targets) {
     if (Probe(addr)) result.hits.push_back(addr);
   }
   result.probes_sent = total_probes_ - probes_before;
+  // Scan accounting (paper §6 "approximately 5.8B probes"): every deduped
+  // target is either blacklisted or probed at least once, and a hit needs
+  // a probe.
+  SIXGEN_DCHECK(seen.size() == result.targets_probed + result.blacklisted,
+                "deduped targets must split into probed + blacklisted");
+  SIXGEN_DCHECK(result.probes_sent >= result.targets_probed,
+                "fewer probes than probed targets");
+  SIXGEN_DCHECK(result.hits.size() <= result.targets_probed,
+                "more hits than probed targets");
   if (config_.packets_per_second > 0) {
     result.virtual_seconds =
         static_cast<double>(result.probes_sent) /

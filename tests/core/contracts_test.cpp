@@ -1,0 +1,135 @@
+// Tests for the contract framework (src/core/contracts.h): death tests for
+// the CHECK/DCHECK/UNREACHABLE macros and round-trip tests for
+// checked_cast. Also exercises the generator's budget contracts end to end
+// with a traced run, asserting the GrowthStep consistency the DCHECKs
+// enforce internally.
+#include "core/contracts.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/generator.h"
+#include "ip6/address.h"
+
+namespace sixgen {
+namespace {
+
+using ip6::Address;
+using ip6::U128;
+
+TEST(ContractsDeathTest, CheckFailurePrintsExpressionAndAborts) {
+  EXPECT_DEATH(SIXGEN_CHECK(1 + 1 == 3, "arithmetic still works"),
+               "CHECK failed: 1 \\+ 1 == 3");
+}
+
+TEST(ContractsDeathTest, CheckFailurePrintsMessage) {
+  EXPECT_DEATH(SIXGEN_CHECK(false, "the message text"), "the message text");
+}
+
+TEST(ContractsDeathTest, CheckFailurePrintsFileAndLine) {
+  EXPECT_DEATH(SIXGEN_CHECK(false), "contracts_test\\.cpp");
+}
+
+TEST(ContractsDeathTest, UnreachableAborts) {
+  EXPECT_DEATH(SIXGEN_UNREACHABLE("fell off the state machine"),
+               "UNREACHABLE.*fell off the state machine");
+}
+
+TEST(ContractsTest, PassingCheckIsSideEffectFree) {
+  int evaluations = 0;
+  SIXGEN_CHECK([&] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, 1);  // evaluated exactly once, no abort
+}
+
+#if SIXGEN_ENABLE_DCHECKS
+TEST(ContractsDeathTest, DcheckFiresInDebugBuilds) {
+  EXPECT_DEATH(SIXGEN_DCHECK(false, "debug-only invariant"),
+               "DCHECK failed");
+}
+#else
+TEST(ContractsTest, DcheckCompilesOutInRelease) {
+  bool evaluated = false;
+  SIXGEN_DCHECK([&] {
+    evaluated = true;
+    return false;
+  }());
+  EXPECT_FALSE(evaluated);  // condition not evaluated, no abort
+}
+#endif
+
+TEST(ContractsTest, CheckedCastPreservesRepresentableValues) {
+  EXPECT_EQ(checked_cast<std::uint64_t>(U128{42}), 42u);
+  EXPECT_EQ(checked_cast<std::uint64_t>(
+                U128{0xFFFF'FFFF'FFFF'FFFFull}),
+            0xFFFF'FFFF'FFFF'FFFFull);
+  EXPECT_EQ(checked_cast<unsigned>(U128{7} & 1), 1u);
+  EXPECT_EQ(checked_cast<std::size_t>(U128{123456}), 123456u);
+}
+
+#if SIXGEN_ENABLE_DCHECKS
+TEST(ContractsDeathTest, CheckedCastCatchesTruncation) {
+  const U128 big = (U128{1} << 64) + 5;  // does not fit in 64 bits
+  EXPECT_DEATH((void)checked_cast<std::uint64_t>(big),
+               "checked_cast lost information");
+}
+#endif
+
+// End-to-end exercise of the generator's budget contracts: a traced run
+// must keep budget_used cumulative, within budget, and each step's seed
+// count inside its range — exactly what the in-engine CHECK/DCHECKs
+// enforce while this test runs.
+TEST(GeneratorBudgetContractsTest, TracedRunSatisfiesBudgetMonotonicity) {
+  std::vector<Address> seeds;
+  for (unsigned s = 0; s < 6; ++s) {
+    for (unsigned h : {0x10u, 0x20u, 0x30u, 0x41u}) {
+      seeds.push_back(
+          Address::MustParse("2001:db8:" + std::to_string(s) + "::" +
+                             std::to_string(h)));
+    }
+  }
+  core::Config config;
+  config.budget = 4096;
+  config.record_trace = true;
+  const core::Result result = core::Generate(seeds, config);
+
+  EXPECT_LE(result.budget_used, config.budget);
+  EXPECT_EQ(result.seed_count, seeds.size());
+  ASSERT_FALSE(result.trace.empty());
+
+  U128 previous = 0;
+  for (const core::GrowthStep& step : result.trace) {
+    EXPECT_EQ(step.budget_used, previous + step.budget_cost)
+        << "budget_used must be cumulative at iteration " << step.iteration;
+    EXPECT_LE(static_cast<U128>(step.seed_count), step.range_size)
+        << "seed_count must fit in range_size at iteration "
+        << step.iteration;
+    EXPECT_LE(step.seed_count, seeds.size());
+    previous = step.budget_used;
+  }
+  EXPECT_LE(previous, result.budget_used);
+}
+
+TEST(GeneratorBudgetContractsTest, BudgetNeverExceededAcrossBudgets) {
+  std::vector<Address> seeds;
+  for (unsigned i = 0; i < 32; ++i) {
+    seeds.push_back(Address::MustParse(
+        "2001:db8::" + std::to_string(i % 8) + ":" + std::to_string(i)));
+  }
+  for (const U128 budget : {U128{0}, U128{1}, U128{100}, U128{100'000}}) {
+    core::Config config;
+    config.budget = budget;
+    const core::Result result = core::Generate(seeds, config);
+    EXPECT_LE(result.budget_used, budget);
+    // Targets = seeds + at most `budget` generated addresses.
+    EXPECT_LE(result.targets.size(),
+              result.seed_count + static_cast<std::size_t>(budget));
+  }
+}
+
+}  // namespace
+}  // namespace sixgen

@@ -27,7 +27,8 @@ std::vector<Address> FuzzSeeds(std::mt19937_64& rng) {
   const std::size_t policies = 1 + rng() % 3;
   std::vector<Address> seeds;
   for (std::size_t p = 0; p < policies; ++p) {
-    const Prefix subnet = Prefix::Of(Address(rng(), rng()), 48 + (rng() % 10) * 4);
+    const Prefix subnet = Prefix::Of(
+        Address(rng(), rng()), static_cast<unsigned>(48 + (rng() % 10) * 4));
     const auto policy =
         simnet::kAllPolicies[rng() % std::size(simnet::kAllPolicies)];
     const std::size_t count = 2 + rng() % 60;

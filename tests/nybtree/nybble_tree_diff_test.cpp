@@ -1,0 +1,196 @@
+// Randomized differential test: NybbleTree against a brute-force std::set
+// oracle, with the §5.5 structural invariants re-checked as the tree
+// mutates. Every query the tree answers (Contains, CountInRange,
+// AddressesInRange, ForEachInRange, MinDistanceOutside, ForEachAtDistance)
+// is recomputed by exhaustive iteration over the oracle; any divergence is
+// a tree bug. Deterministic: fixed RNG seeds, no wall clock.
+#include "nybtree/nybble_tree.h"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ip6/address.h"
+#include "ip6/nybble_range.h"
+
+namespace sixgen {
+namespace {
+
+using ip6::Address;
+using ip6::kNybbles;
+using ip6::NybbleRange;
+using nybtree::NybbleTree;
+
+// Draws addresses from a deliberately tiny alphabet in the low nybbles so
+// duplicates, near-misses, and dense ranges all occur with realistic
+// probability instead of never.
+Address RandomClusteredAddress(std::mt19937_64& rng) {
+  Address addr = Address::MustParse("2001:db8::");
+  for (unsigned i = 24; i < kNybbles; ++i) {
+    addr = addr.WithNybble(i, static_cast<unsigned>(rng() % 4));
+  }
+  // Occasionally flip a high nybble to exercise deep branching too.
+  if (rng() % 8 == 0) {
+    addr = addr.WithNybble(static_cast<unsigned>(rng() % 24),
+                           static_cast<unsigned>(rng() % 16));
+  }
+  return addr;
+}
+
+// A random range anchored at an address the pool has likely seen: start
+// from a stored (or fresh) address and widen a few positions.
+NybbleRange RandomRange(std::mt19937_64& rng, const Address& anchor) {
+  NybbleRange range = NybbleRange::Single(anchor);
+  const unsigned widenings = static_cast<unsigned>(rng() % 6);
+  for (unsigned w = 0; w < widenings; ++w) {
+    const unsigned pos = 20 + static_cast<unsigned>(rng() % 12);
+    if (rng() % 2 == 0) {
+      range.SetMask(pos, ip6::kFullMask);
+    } else {
+      // Random nonzero bounded value set.
+      const auto mask =
+          static_cast<std::uint16_t>(1u + rng() % ip6::kFullMask);
+      range.SetMask(pos, mask);
+    }
+  }
+  return range;
+}
+
+struct Oracle {
+  std::set<Address> addresses;
+
+  std::size_t CountInRange(const NybbleRange& range) const {
+    return static_cast<std::size_t>(
+        std::count_if(addresses.begin(), addresses.end(),
+                      [&](const Address& a) { return range.Contains(a); }));
+  }
+
+  std::vector<Address> AddressesInRange(const NybbleRange& range) const {
+    std::vector<Address> out;
+    for (const Address& a : addresses) {
+      if (range.Contains(a)) out.push_back(a);
+    }
+    return out;
+  }
+
+  unsigned MinDistanceOutside(const NybbleRange& range) const {
+    unsigned best = kNybbles + 1;
+    for (const Address& a : addresses) {
+      const unsigned d = range.Distance(a);
+      if (d >= 1 && d < best) best = d;
+    }
+    return best;
+  }
+
+  std::vector<Address> AtDistance(const NybbleRange& range,
+                                  unsigned distance) const {
+    std::vector<Address> out;
+    for (const Address& a : addresses) {
+      if (range.Distance(a) == distance) out.push_back(a);
+    }
+    return out;
+  }
+};
+
+class NybbleTreeDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NybbleTreeDifferentialTest, MatchesBruteForceOracle) {
+  std::mt19937_64 rng(GetParam());
+  NybbleTree tree;
+  Oracle oracle;
+  std::vector<Address> pool;  // every address ever drawn, for queries
+
+  for (int step = 0; step < 400; ++step) {
+    const Address addr = RandomClusteredAddress(rng);
+    pool.push_back(addr);
+    const bool fresh_tree = tree.Insert(addr);
+    const bool fresh_oracle = oracle.addresses.insert(addr).second;
+    ASSERT_EQ(fresh_tree, fresh_oracle)
+        << "Insert return diverged for " << addr.ToString();
+    ASSERT_EQ(tree.Size(), oracle.addresses.size());
+
+    // Membership: the address just added, plus a random probe.
+    ASSERT_TRUE(tree.Contains(addr));
+    const Address probe = RandomClusteredAddress(rng);
+    ASSERT_EQ(tree.Contains(probe), oracle.addresses.count(probe) == 1)
+        << "Contains diverged for " << probe.ToString();
+
+    // Range queries every few steps (the oracle scan is O(n) per query).
+    if (step % 7 == 0) {
+      const Address& anchor = pool[rng() % pool.size()];
+      const NybbleRange range = RandomRange(rng, anchor);
+
+      ASSERT_EQ(tree.CountInRange(range), oracle.CountInRange(range))
+          << "CountInRange diverged for " << range.ToString();
+
+      std::vector<Address> got = tree.AddressesInRange(range);
+      std::sort(got.begin(), got.end());
+      ASSERT_EQ(got, oracle.AddressesInRange(range))
+          << "AddressesInRange diverged for " << range.ToString();
+
+      ASSERT_EQ(tree.MinDistanceOutside(range),
+                oracle.MinDistanceOutside(range))
+          << "MinDistanceOutside diverged for " << range.ToString();
+
+      const unsigned distance = 1 + static_cast<unsigned>(rng() % 3);
+      std::vector<Address> at;
+      tree.ForEachAtDistance(range, distance, [&](const Address& a) {
+        at.push_back(a);
+      });
+      std::sort(at.begin(), at.end());
+      ASSERT_EQ(at, oracle.AtDistance(range, distance))
+          << "ForEachAtDistance diverged for " << range.ToString()
+          << " at distance " << distance;
+
+      // Early-stop semantics: visiting with an immediate false returns
+      // false iff the range is nonempty.
+      const bool completed =
+          tree.ForEachInRange(range, [](const Address&) { return false; });
+      ASSERT_EQ(completed, oracle.CountInRange(range) == 0);
+    }
+
+    // Structural invariants (§5.5) hold after every mutation batch.
+    if (step % 25 == 0) tree.CheckInvariants();
+  }
+
+  tree.CheckInvariants();
+
+  // Full-range sweep must reproduce the oracle exactly.
+  std::vector<Address> all;
+  tree.ForEach([&](const Address& a) { all.push_back(a); });
+  std::sort(all.begin(), all.end());
+  ASSERT_TRUE(std::equal(all.begin(), all.end(), oracle.addresses.begin(),
+                         oracle.addresses.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NybbleTreeDifferentialTest,
+                         ::testing::Values(0x6e1, 0xdead6, 0x51e6,
+                                           0xbeef));
+
+TEST(NybbleTreeInvariantsTest, HoldOnBulkConstruction) {
+  std::mt19937_64 rng(0x600d);
+  std::vector<Address> addrs;
+  addrs.reserve(500);
+  for (int i = 0; i < 500; ++i) addrs.push_back(RandomClusteredAddress(rng));
+  NybbleTree tree(addrs);
+  tree.CheckInvariants();
+  EXPECT_LE(tree.Size(), addrs.size());
+}
+
+TEST(NybbleTreeInvariantsTest, HoldOnEmptyAndSingleton) {
+  NybbleTree tree;
+  tree.CheckInvariants();
+  tree.Insert(Address::MustParse("::1"));
+  tree.CheckInvariants();
+  // Re-inserting must not disturb counts.
+  EXPECT_FALSE(tree.Insert(Address::MustParse("::1")));
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.Size(), 1u);
+}
+
+}  // namespace
+}  // namespace sixgen

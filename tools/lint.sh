@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Lint gate: clang-tidy (when available) + sixgen_lint.
+#
+# Usage: tools/lint.sh [--build-dir DIR] [--no-tidy] [paths...]
+#
+# clang-tidy needs a compilation database; the default build dir is
+# ./build (CMAKE_EXPORT_COMPILE_COMMANDS is ON by default, so any
+# configured tree has one). When clang-tidy is not installed the tidy
+# stage is skipped with a warning — sixgen_lint always runs and gates.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+RUN_TIDY=1
+PATHS=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --no-tidy)   RUN_TIDY=0; shift ;;
+    *)           PATHS+=("$1"); shift ;;
+  esac
+done
+
+STATUS=0
+
+# --- Stage 1: clang-tidy over library, test, and bench code. ------------
+if [[ "$RUN_TIDY" == 1 ]]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+      echo "lint.sh: no $BUILD_DIR/compile_commands.json — configure first:" >&2
+      echo "  cmake -B $BUILD_DIR -S ." >&2
+      exit 1
+    fi
+    if [[ ${#PATHS[@]} -gt 0 ]]; then
+      TIDY_FILES=$(printf '%s\n' "${PATHS[@]}")
+    else
+      TIDY_FILES=$(git ls-files 'src/**/*.cpp' 'tests/**/*.cpp' 'bench/*.cpp')
+    fi
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      # shellcheck disable=SC2086
+      run-clang-tidy -quiet -p "$BUILD_DIR" $TIDY_FILES || STATUS=1
+    else
+      while IFS= read -r f; do
+        clang-tidy -quiet -p "$BUILD_DIR" "$f" || STATUS=1
+      done <<< "$TIDY_FILES"
+    fi
+  else
+    echo "lint.sh: clang-tidy not found; skipping tidy stage" >&2
+  fi
+fi
+
+# --- Stage 2: project-specific structural linter. -----------------------
+python3 tools/sixgen_lint.py "${PATHS[@]}" || STATUS=1
+
+exit $STATUS

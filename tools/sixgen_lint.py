@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""sixgen_lint — fast structural checks for repo-specific rules.
+
+Generic tools (clang-tidy, compiler warnings) cannot know this project's
+conventions; this linter enforces the ones that have bitten IPv6 scanning
+codebases before:
+
+  pragma-once        every header uses `#pragma once` (no include guards,
+                     no unguarded headers).
+  determinism        no std::rand/srand/time(nullptr)/std::random_device —
+                     reproducibility for a fixed rng_seed is a design
+                     pillar (paper §5.4 tie-breaking is seeded).
+  iostream-in-lib    library code under src/ must not include <iostream>
+                     (iostreams drag in static initializers and tempt
+                     ad-hoc stderr logging; use return values/contracts).
+  u128-narrowing     no raw static_cast that narrows an ip6::U128
+                     expression to a machine word; use sixgen::checked_cast
+                     (src/core/contracts.h), which DCHECKs the round trip.
+  cmake-sources      every .cpp under a module directory is listed in that
+                     module's CMakeLists.txt (forgetting one silently drops
+                     an object file from the library).
+
+Suppress a finding by appending `// sixgen-lint: allow(<rule>)` on the
+offending line (headers only need it for non-pragma-once rules).
+
+Usage: tools/sixgen_lint.py [--root DIR] [paths...]
+Exits 0 when clean, 1 when findings exist, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+LIB_DIRS = ("src",)
+SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
+HEADER_SUFFIXES = {".h", ".hpp"}
+CPP_SUFFIXES = {".cc", ".cpp", ".cxx"}
+
+ALLOW_RE = re.compile(r"//\s*sixgen-lint:\s*allow\(([a-z0-9-]+)\)")
+
+DETERMINISM_RE = re.compile(
+    r"std::rand\b|[^\w:.]s?rand\s*\(|std::random_device|\brandom_device\b"
+    r"|time\s*\(\s*(?:nullptr|NULL|0)\s*\)"
+)
+
+IOSTREAM_RE = re.compile(r'#\s*include\s*[<"]iostream[>"]')
+
+# Integral destination types narrower than 128 bits. double/float
+# conversions are lossy too but are legitimate for ratios/plots; the rule
+# targets silent truncation in address/budget arithmetic.
+NARROW_TYPES = (
+    r"(?:std::)?size_t|(?:std::)?u?int(?:8|16|32|64)_t|(?:std::)?ptrdiff_t"
+    r"|unsigned(?:\s+(?:long(?:\s+long)?|int|short|char))?"
+    r"|(?:signed\s+)?(?:long(?:\s+long)?|int|short|char)"
+)
+NARROW_CAST_RE = re.compile(
+    r"static_cast\s*<\s*(?:" + NARROW_TYPES + r")\s*>\s*\(")
+
+U128_TOKEN_RE = re.compile(r"\bU128\b|\bToU128\b")
+
+COMMENT_OR_STRING_RE = re.compile(
+    r'//[^\n]*|/\*.*?\*/|"(?:[^"\\]|\\.)*"', re.DOTALL)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string literals, preserving offsets."""
+    def blank(m: re.Match[str]) -> str:
+        return "".join(c if c == "\n" else " " for c in m.group(0))
+    return COMMENT_OR_STRING_RE.sub(blank, text)
+
+
+class Findings:
+    def __init__(self) -> None:
+        self.items: list[tuple[Path, int, str, str]] = []
+
+    def add(self, path: Path, line_no: int, rule: str, message: str,
+            raw_line: str = "") -> None:
+        m = ALLOW_RE.search(raw_line)
+        if m and m.group(1) == rule:
+            return
+        self.items.append((path, line_no, rule, message))
+
+
+def check_pragma_once(path: Path, text: str, findings: Findings) -> None:
+    if "#pragma once" not in text.split("\n\n", 1)[0] and \
+            "#pragma once" not in text:
+        findings.add(path, 1, "pragma-once",
+                     "header is missing `#pragma once`")
+
+
+def check_line_rules(path: Path, text: str, findings: Findings,
+                     in_lib: bool) -> None:
+    code = strip_comments_and_strings(text)
+    raw_lines = text.splitlines()
+    for i, line in enumerate(code.splitlines(), start=1):
+        raw = raw_lines[i - 1] if i <= len(raw_lines) else ""
+        if DETERMINISM_RE.search(line):
+            findings.add(path, i, "determinism",
+                         "unseeded randomness / wall-clock source; thread "
+                         "determinism through a seeded std::mt19937_64",
+                         raw)
+        if in_lib and IOSTREAM_RE.search(raw):
+            findings.add(path, i, "iostream-in-lib",
+                         "<iostream> is not allowed in library code under "
+                         "src/", raw)
+        if in_lib:
+            check_u128_narrowing(path, i, line, raw, findings)
+
+
+def check_u128_narrowing(path: Path, line_no: int, line: str, raw: str,
+                         findings: Findings) -> None:
+    for m in NARROW_CAST_RE.finditer(line):
+        # Scan the balanced-paren argument (single line: the codebase style
+        # keeps casts on one line; multi-line args fall outside the rule).
+        depth, j = 1, m.end()
+        while j < len(line) and depth:
+            depth += line[j] == "("
+            depth -= line[j] == ")"
+            j += 1
+        arg = line[m.end():j - 1]
+        if U128_TOKEN_RE.search(arg):
+            findings.add(path, line_no, "u128-narrowing",
+                         "raw static_cast narrows a U128 expression; use "
+                         "sixgen::checked_cast (src/core/contracts.h)", raw)
+
+
+CMAKE_MODULE_EXEMPT: set[str] = set()
+
+
+def check_cmake_sources(root: Path, findings: Findings) -> None:
+    for cmakelists in sorted(root.glob("src/**/CMakeLists.txt")) + [
+            root / "tests" / "CMakeLists.txt",
+            root / "bench" / "CMakeLists.txt",
+            root / "examples" / "CMakeLists.txt"]:
+        if not cmakelists.is_file():
+            continue
+        module_dir = cmakelists.parent
+        listed = cmakelists.read_text(encoding="utf-8", errors="replace")
+        for cpp in sorted(module_dir.rglob("*.cpp")):
+            # A subdirectory with its own CMakeLists.txt owns its sources.
+            parent = cpp.parent
+            owned_elsewhere = False
+            while parent != module_dir:
+                if (parent / "CMakeLists.txt").is_file():
+                    owned_elsewhere = True
+                    break
+                parent = parent.parent
+            if owned_elsewhere:
+                continue
+            rel = cpp.relative_to(module_dir).as_posix()
+            # Accept either the path or the bare stem (add_executable
+            # helpers like sixgen_add_example(name) reference the stem).
+            if rel not in listed and not re.search(
+                    r"\b" + re.escape(cpp.stem) + r"\b", listed):
+                findings.add(cmakelists, 1, "cmake-sources",
+                             f"{rel} exists on disk but is not referenced "
+                             f"by {cmakelists.relative_to(root).as_posix()}")
+
+
+def lint_paths(root: Path, paths: list[Path]) -> Findings:
+    findings = Findings()
+    for path in paths:
+        rel = path.relative_to(root).as_posix()
+        in_lib = any(rel.startswith(d + "/") for d in LIB_DIRS)
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError as err:
+            findings.add(path, 1, "io-error", str(err))
+            continue
+        if path.suffix in HEADER_SUFFIXES:
+            check_pragma_once(path, text, findings)
+        check_line_rules(path, text, findings, in_lib)
+    check_cmake_sources(root, findings)
+    return findings
+
+
+def collect_files(root: Path, args_paths: list[str]) -> list[Path]:
+    if args_paths:
+        out = []
+        for p in args_paths:
+            path = (root / p).resolve() if not Path(p).is_absolute() \
+                else Path(p)
+            if path.is_dir():
+                out.extend(sorted(
+                    f for f in path.rglob("*")
+                    if f.suffix in HEADER_SUFFIXES | CPP_SUFFIXES))
+            elif path.is_file():
+                out.append(path)
+            else:
+                print(f"sixgen_lint: no such path: {p}", file=sys.stderr)
+                sys.exit(2)
+        return out
+    out = []
+    for d in SOURCE_DIRS:
+        base = root / d
+        if base.is_dir():
+            out.extend(sorted(
+                f for f in base.rglob("*")
+                if f.suffix in HEADER_SUFFIXES | CPP_SUFFIXES))
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: src tests bench examples tools)")
+    args = parser.parse_args()
+
+    root = Path(args.root).resolve() if args.root else \
+        Path(__file__).resolve().parent.parent
+    files = collect_files(root, args.paths)
+    findings = lint_paths(root, files)
+
+    for path, line_no, rule, message in sorted(
+            findings.items, key=lambda f: (str(f[0]), f[1])):
+        try:
+            shown = path.relative_to(root)
+        except ValueError:
+            shown = path
+        print(f"{shown}:{line_no}: [{rule}] {message}")
+
+    if findings.items:
+        print(f"sixgen_lint: {len(findings.items)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print(f"sixgen_lint: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
