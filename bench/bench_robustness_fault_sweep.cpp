@@ -1,0 +1,92 @@
+// Robustness sweep (docs/robustness.md): run the full §6 pipeline under an
+// increasingly hostile FaultPlan and emit hit-rate-vs-fault-severity CSV,
+// once with a fragile single-probe scanner and once with the resilient
+// retry/backoff configuration. Severity 0 is the pristine network: both
+// profiles must reproduce the fault-free hit count exactly (the FaultyChannel
+// is bypassed for an all-zero plan).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "faultnet/fault_plan.h"
+
+using namespace sixgen;
+
+namespace {
+
+// Every fault model engaged at once, scaled by one severity knob.
+faultnet::FaultPlan PlanAtSeverity(double severity) {
+  faultnet::FaultPlan plan;
+  if (severity <= 0.0) return plan;  // all-zero: pristine network
+  plan.rng_seed = 0xfa017;
+  plan.burst_loss.p_enter_burst = 0.02 * severity;
+  plan.burst_loss.p_exit_burst = 0.25;
+  plan.burst_loss.loss_good = 0.03 * severity;
+  plan.burst_loss.loss_bad = 0.85 * severity;
+  plan.rate_limit.tokens_per_second = 60'000.0 * (1.05 - severity);
+  plan.rate_limit.bucket_capacity = 128.0;
+  plan.duplicate_prob = 0.04 * severity;
+  plan.late_prob = 0.04 * severity;
+  return plan;
+}
+
+struct Profile {
+  const char* name;
+  unsigned attempts;
+  double backoff_initial_seconds;
+};
+
+}  // namespace
+
+int main() {
+  const bench::World world = bench::MakeWorld(/*host_factor=*/0.25);
+
+  constexpr double kSeverities[] = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  constexpr Profile kProfiles[] = {
+      {"fragile", 1, 0.0},     // one probe per target, no pacing
+      {"resilient", 3, 0.01},  // retries with exponential backoff
+  };
+
+  // Pristine baseline for the hit-rate denominator.
+  eval::PipelineConfig pristine = bench::MakePipelineConfig(2000);
+  pristine.run_dealias = false;
+  const std::size_t pristine_hits =
+      eval::RunSixGenPipeline(world.universe, world.seeds, pristine)
+          .raw_hits.size();
+
+  std::printf(
+      "profile,severity,raw_hits,hit_rate_vs_pristine,probes,lost,"
+      "rate_limited,blackholed,outages,late,duplicates,failed_prefixes,"
+      "scan_virtual_seconds\n");
+  for (const Profile& profile : kProfiles) {
+    for (double severity : kSeverities) {
+      eval::PipelineConfig config = bench::MakePipelineConfig(2000);
+      config.run_dealias = false;
+      config.scan.attempts = profile.attempts;
+      config.scan.backoff_initial_seconds = profile.backoff_initial_seconds;
+      config.fault_plan = PlanAtSeverity(severity);
+      const eval::PipelineResult result =
+          eval::RunSixGenPipeline(world.universe, world.seeds, config);
+
+      double virtual_seconds = 0.0;
+      for (const eval::PrefixOutcome& outcome : result.prefixes) {
+        virtual_seconds += outcome.scan_virtual_seconds;
+      }
+      std::printf("%s,%.1f,%zu,%.4f,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%.3f\n",
+                  profile.name, severity, result.raw_hits.size(),
+                  pristine_hits == 0
+                      ? 0.0
+                      : static_cast<double>(result.raw_hits.size()) /
+                            static_cast<double>(pristine_hits),
+                  result.total_probes, result.faults.lost,
+                  result.faults.rate_limited, result.faults.blackholed,
+                  result.faults.outages, result.faults.late,
+                  result.faults.duplicates, result.failed_prefixes,
+                  virtual_seconds);
+    }
+  }
+  bench::PrintPaperNote(
+      "no direct paper analogue; §6 scans tolerated real-Internet loss and "
+      "rate limiting — this sweep shows retries/backoff recovering hits the "
+      "fragile profile loses");
+  return 0;
+}

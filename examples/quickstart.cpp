@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
   std::printf("6Gen quickstart: %zu seeds, budget %llu\n\n", seeds.size(),
               static_cast<unsigned long long>(config.budget));
 
-  const core::Result result = core::Generate(seeds, config);
+  const core::GenerationResult result = core::Generate(seeds, config);
 
   std::printf("clusters (%zu):\n", result.clusters.size());
   for (const core::Cluster& cluster : result.clusters) {

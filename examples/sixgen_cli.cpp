@@ -79,8 +79,8 @@ Options ParseArgs(int argc, char** argv) {
 
 std::vector<ip6::Address> LoadSeedsOrDie(const std::string& path) {
   auto loaded = io::ReadAddressFile(path);
-  if (!loaded) {
-    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
     std::exit(1);
   }
   for (const auto& error : loaded->errors) {
@@ -101,8 +101,9 @@ void EmitAddresses(const Options& options,
     io::WriteAddresses(std::cout, addrs);
     return;
   }
-  if (!io::WriteAddressFile(options.out_path, addrs)) {
-    std::fprintf(stderr, "error: cannot write %s\n", options.out_path.c_str());
+  if (core::Status written = io::WriteAddressFile(options.out_path, addrs);
+      !written.ok()) {
+    std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
     std::exit(1);
   }
   std::fprintf(stderr, "wrote %zu targets to %s\n", addrs.size(),

@@ -115,7 +115,7 @@ AdaptiveResult AdaptiveScan(std::span<const Address> seeds,
         1, static_cast<U128>(static_cast<double>(remaining()) *
                              config.generation_fraction));
     gen_config.budget = gen_budget;
-    const Result gen = Generate(current_seeds, gen_config);
+    const GenerationResult gen = Generate(current_seeds, gen_config);
 
     std::deque<LiveRegion> active;
     std::uint64_t region_counter = 0;

@@ -58,8 +58,8 @@ class Engine {
     }
   }
 
-  Result Run() {
-    Result result;
+  GenerationResult Run() {
+    GenerationResult result;
     result.seed_count = seeds_.size();
     if (seeds_.empty()) {
       result.stop_reason = StopReason::kNoCandidates;
@@ -491,9 +491,9 @@ ClusterStats ComputeClusterStats(const std::vector<Cluster>& clusters) {
   return stats;
 }
 
-Result Generate(std::span<const Address> seeds, const Config& config) {
+GenerationResult Generate(std::span<const Address> seeds, const Config& config) {
   if (config.budget == 0) {
-    Result result;
+    GenerationResult result;
     AddressSet unique(seeds.begin(), seeds.end());
     result.seed_count = unique.size();
     result.targets.assign(unique.begin(), unique.end());

@@ -41,8 +41,9 @@ struct GrowthStep {
   std::size_t clusters_deleted = 0;  // encapsulated clusters removed
 };
 
-/// Output of one 6Gen run.
-struct Result {
+/// Output of one 6Gen run. (Named to stay clear of core::Result<T>, the
+/// generic error-carrying result in core/status.h.)
+struct GenerationResult {
   /// Unique generated target addresses: every address covered by the final
   /// cluster ranges plus any final-growth samples. Includes the seeds
   /// themselves (they lie inside their clusters' ranges). Sorted ascending
@@ -72,6 +73,7 @@ struct Result {
 /// Runs 6Gen over `seeds` with `config`. Duplicate seeds are ignored.
 /// Deterministic for a fixed (seeds, config.rng_seed) pair regardless of
 /// thread count.
-Result Generate(std::span<const ip6::Address> seeds, const Config& config = {});
+GenerationResult Generate(std::span<const ip6::Address> seeds,
+                          const Config& config = {});
 
 }  // namespace sixgen::core

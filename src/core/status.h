@@ -1,0 +1,151 @@
+// Error propagation without exceptions: sixgen::core::Status and Result<T>.
+//
+// Library code under src/ reports recoverable failures by value instead of
+// throwing (tools/sixgen_lint.py enforces a no-throw rule with a shrinking
+// allowlist). The design follows the absl::Status shape the ecosystem knows:
+// a small enum of error classes, an optional human-readable message, and a
+// Result<T> that carries either a value or the Status explaining its absence.
+//
+// Contract violations (programming errors) stay SIXGEN_CHECK/DCHECK — Status
+// is for conditions a correct program can hit at runtime: unreadable files,
+// malformed external data, interrupted scans, unavailable prefixes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "core/contracts.h"
+
+namespace sixgen::core {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    // caller-supplied data out of domain
+  kNotFound,           // named resource absent (file, prefix, record)
+  kUnavailable,        // transiently unusable (faulted channel, outage)
+  kDataLoss,           // stored data unreadable or corrupt (bad checkpoint)
+  kFailedPrecondition, // system not in a state where the call makes sense
+  kAborted,            // operation stopped before completing (resume later)
+  kInternal,           // invariant-adjacent failure surfaced as a value
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>" — for logs, CSV error columns, and tests.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+inline Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+inline Status DataLossError(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
+}
+inline Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status AbortedError(std::string message) {
+  return Status(StatusCode::kAborted, std::move(message));
+}
+inline Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+/// A value of type T or the Status explaining why there is none.
+/// Accessing value() on an error CHECK-fails — call ok() first, or use
+/// value_or() when a fallback exists.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-*)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    SIXGEN_CHECK(!status_.ok(), "Result constructed from an OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SIXGEN_CHECK(ok(), "Result::value() on an error result");
+    return *value_;
+  }
+  T& value() & {
+    SIXGEN_CHECK(ok(), "Result::value() on an error result");
+    return *value_;
+  }
+  T&& value() && {
+    SIXGEN_CHECK(ok(), "Result::value() on an error result");
+    return std::move(*value_);
+  }
+
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return ok() ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds
+};
+
+inline std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  SIXGEN_UNREACHABLE("unknown StatusCode");
+}
+
+inline std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace sixgen::core

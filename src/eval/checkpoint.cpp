@@ -1,0 +1,328 @@
+#include "eval/checkpoint.h"
+
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <string_view>
+#include <utility>
+
+#include "core/contracts.h"
+
+namespace sixgen::eval {
+namespace {
+
+constexpr std::string_view kHeaderMagic = "sixgen-checkpoint v1 ";
+
+// splitmix64 finalizer (the repo's standard cheap mixer, see AddressHash).
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void Combine(std::uint64_t& h, std::uint64_t v) {
+  h = Mix(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+void CombineDouble(std::uint64_t& h, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  Combine(h, bits);
+}
+
+// Exact round-trip formatting for doubles (%.17g survives text -> double).
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Space-separated field cursor over one section of a record line.
+class FieldCursor {
+ public:
+  explicit FieldCursor(std::string_view text) : text_(text) {}
+
+  core::Result<std::string_view> Next() {
+    while (pos_ < text_.size() && text_[pos_] == ' ') ++pos_;
+    if (pos_ >= text_.size()) {
+      return core::DataLossError("checkpoint record: missing field");
+    }
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ' ') ++pos_;
+    return text_.substr(start, pos_ - start);
+  }
+
+  core::Result<std::uint64_t> NextU64() {
+    auto field = Next();
+    if (!field.ok()) return field.status();
+    std::uint64_t value = 0;
+    const auto [ptr, ec] = std::from_chars(
+        field->data(), field->data() + field->size(), value);
+    if (ec != std::errc() || ptr != field->data() + field->size()) {
+      return core::DataLossError("checkpoint record: bad integer field");
+    }
+    return value;
+  }
+
+  core::Result<double> NextDouble() {
+    auto field = Next();
+    if (!field.ok()) return field.status();
+    // std::from_chars for doubles is not available on every libstdc++ this
+    // repo targets; strtod on a NUL-terminated copy is equivalent here.
+    const std::string copy(*field);
+    char* end = nullptr;
+    const double value = std::strtod(copy.c_str(), &end);
+    if (end != copy.c_str() + copy.size()) {
+      return core::DataLossError("checkpoint record: bad double field");
+    }
+    return value;
+  }
+
+  bool AtEnd() {
+    while (pos_ < text_.size() && text_[pos_] == ' ') ++pos_;
+    return pos_ >= text_.size();
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string EncodeCheckpointRecord(const CheckpointRecord& record) {
+  const PrefixOutcome& o = record.outcome;
+  std::string line = "P ";
+  line += o.route.prefix.ToString();
+  line += ' ';
+  line += std::to_string(o.route.origin);
+  for (std::size_t v : {o.seed_count, o.inactive_seed_count, o.target_count,
+                        o.hit_count, o.probes_sent, o.iterations,
+                        o.cluster_stats.singleton_clusters,
+                        o.cluster_stats.grown_clusters}) {
+    line += ' ';
+    line += std::to_string(v);
+  }
+  line += ' ';
+  for (bool dyn : o.cluster_stats.dynamic_nybbles) line += dyn ? '1' : '0';
+  line += ' ';
+  line += FormatDouble(o.generation_seconds);
+  line += ' ';
+  line += FormatDouble(o.scan_virtual_seconds);
+  for (std::size_t v : {o.faults.lost, o.faults.rate_limited,
+                        o.faults.blackholed, o.faults.outages, o.faults.late,
+                        o.faults.duplicates, o.faults.channel_errors}) {
+    line += ' ';
+    line += std::to_string(v);
+  }
+  line += ' ';
+  line += std::to_string(static_cast<unsigned>(o.status.code()));
+  line += '|';
+  line += o.status.message();  // our own messages: single-line, no '|'
+  line += '|';
+  for (std::size_t i = 0; i < record.hits.size(); ++i) {
+    if (i != 0) line += ' ';
+    line += record.hits[i].ToString();
+  }
+  return line;
+}
+
+core::Result<CheckpointRecord> DecodeCheckpointRecord(std::string_view line) {
+  const std::size_t bar1 = line.find('|');
+  const std::size_t bar2 =
+      bar1 == std::string_view::npos ? bar1 : line.find('|', bar1 + 1);
+  if (bar2 == std::string_view::npos) {
+    return core::DataLossError("checkpoint record: missing sections");
+  }
+  FieldCursor fields(line.substr(0, bar1));
+  const std::string_view message = line.substr(bar1 + 1, bar2 - bar1 - 1);
+  const std::string_view hits_text = line.substr(bar2 + 1);
+
+  auto tag = fields.Next();
+  if (!tag.ok()) return tag.status();
+  if (*tag != "P") return core::DataLossError("checkpoint record: bad tag");
+
+  CheckpointRecord record;
+  PrefixOutcome& o = record.outcome;
+
+  auto prefix_text = fields.Next();
+  if (!prefix_text.ok()) return prefix_text.status();
+  auto prefix = ip6::Prefix::Parse(*prefix_text);
+  if (!prefix) return core::DataLossError("checkpoint record: bad prefix");
+  o.route.prefix = *prefix;
+
+  auto origin = fields.NextU64();
+  if (!origin.ok()) return origin.status();
+  o.route.origin = static_cast<routing::Asn>(*origin);
+
+  std::size_t* counters[] = {&o.seed_count, &o.inactive_seed_count,
+                             &o.target_count, &o.hit_count, &o.probes_sent,
+                             &o.iterations,
+                             &o.cluster_stats.singleton_clusters,
+                             &o.cluster_stats.grown_clusters};
+  for (std::size_t* counter : counters) {
+    auto value = fields.NextU64();
+    if (!value.ok()) return value.status();
+    *counter = static_cast<std::size_t>(*value);
+  }
+
+  auto dyn = fields.Next();
+  if (!dyn.ok()) return dyn.status();
+  if (dyn->size() != ip6::kNybbles) {
+    return core::DataLossError("checkpoint record: bad nybble mask");
+  }
+  for (unsigned i = 0; i < ip6::kNybbles; ++i) {
+    o.cluster_stats.dynamic_nybbles[i] = (*dyn)[i] == '1';
+  }
+
+  auto gen_seconds = fields.NextDouble();
+  if (!gen_seconds.ok()) return gen_seconds.status();
+  o.generation_seconds = *gen_seconds;
+  auto scan_seconds = fields.NextDouble();
+  if (!scan_seconds.ok()) return scan_seconds.status();
+  o.scan_virtual_seconds = *scan_seconds;
+
+  std::size_t* fault_counters[] = {
+      &o.faults.lost,   &o.faults.rate_limited, &o.faults.blackholed,
+      &o.faults.outages, &o.faults.late,        &o.faults.duplicates,
+      &o.faults.channel_errors};
+  for (std::size_t* counter : fault_counters) {
+    auto value = fields.NextU64();
+    if (!value.ok()) return value.status();
+    *counter = static_cast<std::size_t>(*value);
+  }
+
+  auto status_code = fields.NextU64();
+  if (!status_code.ok()) return status_code.status();
+  o.status = *status_code == 0
+                 ? core::OkStatus()
+                 : core::Status(static_cast<core::StatusCode>(*status_code),
+                                std::string(message));
+  if (!fields.AtEnd()) {
+    return core::DataLossError("checkpoint record: trailing fields");
+  }
+
+  FieldCursor hit_fields(hits_text);
+  record.hits.reserve(o.hit_count);
+  while (!hit_fields.AtEnd()) {
+    auto hit_text = hit_fields.Next();
+    if (!hit_text.ok()) return hit_text.status();
+    auto hit = ip6::Address::Parse(*hit_text);
+    if (!hit) return core::DataLossError("checkpoint record: bad hit");
+    record.hits.push_back(*hit);
+  }
+  if (record.hits.size() != o.hit_count) {
+    return core::DataLossError("checkpoint record: hit count mismatch");
+  }
+  return record;
+}
+
+CheckpointLoad LoadCheckpoint(const std::string& path,
+                              std::uint64_t fingerprint) {
+  CheckpointLoad load;
+  std::ifstream in(path);
+  if (!in) return load;  // missing file: fresh run
+
+  std::string line;
+  if (!std::getline(in, line)) return load;  // empty file: fresh run
+
+  char expected[64];
+  std::snprintf(expected, sizeof(expected), "%s%016" PRIx64,
+                std::string(kHeaderMagic).c_str(), fingerprint);
+  if (line != expected) {
+    load.fingerprint_mismatch = true;
+    return load;
+  }
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto record = DecodeCheckpointRecord(line);
+    if (!record.ok()) {
+      // Torn/corrupt line (e.g. a kill mid-append): skip it; that prefix
+      // simply re-runs.
+      ++load.corrupt_lines;
+      continue;
+    }
+    std::string key = record->outcome.route.prefix.ToString();
+    load.records.insert_or_assign(std::move(key), std::move(*record));
+  }
+  return load;
+}
+
+core::Result<CheckpointWriter> CheckpointWriter::Open(
+    const std::string& path, std::uint64_t fingerprint, bool fresh) {
+  std::ofstream out(path, fresh ? std::ios::trunc : std::ios::app);
+  if (!out) {
+    return core::UnavailableError("cannot open checkpoint file: " + path);
+  }
+  if (fresh) {
+    char header[64];
+    std::snprintf(header, sizeof(header), "%s%016" PRIx64,
+                  std::string(kHeaderMagic).c_str(), fingerprint);
+    out << header << '\n';
+    out.flush();
+    if (!out) {
+      return core::UnavailableError("cannot write checkpoint header: " +
+                                    path);
+    }
+  }
+  return CheckpointWriter(std::move(out));
+}
+
+core::Status CheckpointWriter::Append(const CheckpointRecord& record) {
+  out_ << EncodeCheckpointRecord(record) << '\n';
+  out_.flush();  // kill-safety: at most the in-flight record is lost
+  if (!out_) return core::UnavailableError("checkpoint append failed");
+  return core::OkStatus();
+}
+
+std::uint64_t PipelineFingerprint(const simnet::Universe& universe,
+                                  std::span<const ip6::Address> seeds,
+                                  const PipelineConfig& config) {
+  std::uint64_t h = 0xc4ec'9017ULL;
+  // Universe identity (proxy: population shape; the universe itself is
+  // deterministic in its spec + seed, which the caller controls).
+  Combine(h, universe.hosts().size());
+  Combine(h, universe.routing().Size());
+  Combine(h, universe.aliased_regions().size());
+  // Seed set, order-sensitively (grouping is order-stable).
+  Combine(h, seeds.size());
+  for (const ip6::Address& seed : seeds) {
+    Combine(h, seed.hi());
+    Combine(h, seed.lo());
+  }
+  // Budgeting.
+  Combine(h, static_cast<std::uint64_t>(config.budget_per_prefix >> 64));
+  Combine(h, static_cast<std::uint64_t>(config.budget_per_prefix));
+  Combine(h, config.total_budget.has_value());
+  if (config.total_budget) {
+    Combine(h, static_cast<std::uint64_t>(*config.total_budget >> 64));
+    Combine(h, static_cast<std::uint64_t>(*config.total_budget));
+  }
+  Combine(h, static_cast<std::uint64_t>(config.budget_policy));
+  Combine(h, config.min_seeds);
+  // Generator configuration.
+  Combine(h, config.core.rng_seed);
+  Combine(h, static_cast<std::uint64_t>(config.core.range_mode));
+  Combine(h, static_cast<std::uint64_t>(config.core.accounting));
+  Combine(h, config.core.use_growth_cache);
+  Combine(h, config.core.use_nybble_tree);
+  // Scan configuration.
+  Combine(h, config.scan.rng_seed);
+  Combine(h, static_cast<std::uint64_t>(config.scan.service));
+  CombineDouble(h, config.scan.loss_rate);
+  Combine(h, config.scan.attempts);
+  Combine(h, config.scan.randomize_order);
+  Combine(h, config.scan.packets_per_second);
+  CombineDouble(h, config.scan.backoff_initial_seconds);
+  CombineDouble(h, config.scan.backoff_multiplier);
+  CombineDouble(h, config.scan.backoff_max_seconds);
+  CombineDouble(h, config.scan.rate_limit_pause_seconds);
+  // Fault models.
+  Combine(h, config.fault_plan.Fingerprint());
+  return h;
+}
+
+}  // namespace sixgen::eval

@@ -1,0 +1,87 @@
+// Per-prefix checkpointing for the evaluation pipeline.
+//
+// The paper's scans ran for weeks; a run that dies at prefix 9,000 of
+// 10,038 must not start over. RunSixGenPipeline appends one self-contained
+// record per completed routed prefix (outcome counters, cluster stats,
+// fault tally, and the hit list) to a line-oriented text file; a restarted
+// run reloads the file, skips completed prefixes, and splices their stored
+// outcomes back, producing a result identical to an uninterrupted run.
+//
+// Format (one record per line, '|'-separated sections):
+//
+//   sixgen-checkpoint v1 <config-fingerprint-hex>          (header line)
+//   P <fixed counters...> <status-code>|<status message>|<hit addresses>
+//
+// The fingerprint digests every input that shapes per-prefix outcomes
+// (universe, seed set, budgets, scan and fault configuration); a mismatch
+// means the checkpoint describes a different world, and the loader rejects
+// it instead of mixing results. Corrupt lines are skipped (their prefixes
+// simply re-run) — a truncated final line from a hard kill is expected.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+#include "eval/pipeline.h"
+
+namespace sixgen::eval {
+
+/// One completed prefix: its outcome plus the hits it contributed.
+struct CheckpointRecord {
+  PrefixOutcome outcome;
+  std::vector<ip6::Address> hits;
+};
+
+/// Serializes one record to a single line (no trailing newline).
+std::string EncodeCheckpointRecord(const CheckpointRecord& record);
+
+/// Parses one record line. Errors are kDataLoss with a reason.
+core::Result<CheckpointRecord> DecodeCheckpointRecord(std::string_view line);
+
+/// Everything a resume needs from an existing checkpoint file.
+struct CheckpointLoad {
+  /// Completed records keyed by routed-prefix CIDR text.
+  std::unordered_map<std::string, CheckpointRecord> records;
+  /// True iff the file existed but its fingerprint did not match (the
+  /// records are discarded and the file will be rewritten).
+  bool fingerprint_mismatch = false;
+  /// Unparseable record lines skipped (e.g. a kill mid-write).
+  std::size_t corrupt_lines = 0;
+};
+
+/// Loads `path`. A missing file is a fresh run: empty load, no error.
+CheckpointLoad LoadCheckpoint(const std::string& path,
+                              std::uint64_t fingerprint);
+
+/// Append-only writer. Records are flushed per append so a hard kill loses
+/// at most the record being written (the loader skips the torn line).
+class CheckpointWriter {
+ public:
+  /// Opens `path`. `fresh` truncates and writes a new header; otherwise
+  /// appends to the existing file.
+  static core::Result<CheckpointWriter> Open(const std::string& path,
+                                             std::uint64_t fingerprint,
+                                             bool fresh);
+
+  core::Status Append(const CheckpointRecord& record);
+
+  CheckpointWriter(CheckpointWriter&&) = default;
+  CheckpointWriter& operator=(CheckpointWriter&&) = default;
+
+ private:
+  explicit CheckpointWriter(std::ofstream out) : out_(std::move(out)) {}
+
+  std::ofstream out_;
+};
+
+/// Digest of every input that shapes per-prefix outcomes. Stable across
+/// runs of the same build; not stable across config or seed-set changes.
+std::uint64_t PipelineFingerprint(const simnet::Universe& universe,
+                                  std::span<const ip6::Address> seeds,
+                                  const PipelineConfig& config);
+
+}  // namespace sixgen::eval

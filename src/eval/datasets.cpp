@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 #include <random>
+
+#include "core/contracts.h"
 
 namespace sixgen::eval {
 
@@ -234,10 +235,12 @@ std::vector<SeedRecord> MakeDnsSeeds(const Universe& universe,
   return simnet::SampleSeeds(universe, coverage, rng_seed);
 }
 
-CdnDataset MakeCdnDataset(unsigned index, std::uint64_t rng_seed,
-                          std::size_t dataset_size) {
+core::Result<CdnDataset> TryMakeCdnDataset(unsigned index,
+                                           std::uint64_t rng_seed,
+                                           std::size_t dataset_size) {
   if (index < 1 || index > kCdnCount) {
-    throw std::invalid_argument("CDN index must be 1..5");
+    return core::InvalidArgumentError("CDN index must be 1..5, got " +
+                                      std::to_string(index));
   }
   UniverseSpec spec;
   AsSpec cdn_as;
@@ -333,10 +336,18 @@ CdnDataset MakeCdnDataset(unsigned index, std::uint64_t rng_seed,
   return dataset;
 }
 
-TrainTestSplit SplitTrainTest(std::vector<Address> addresses,
-                              std::size_t groups, std::uint64_t rng_seed) {
+CdnDataset MakeCdnDataset(unsigned index, std::uint64_t rng_seed,
+                          std::size_t dataset_size) {
+  auto dataset = TryMakeCdnDataset(index, rng_seed, dataset_size);
+  SIXGEN_CHECK(dataset.ok(), "MakeCdnDataset: CDN index must be 1..5");
+  return std::move(*dataset);
+}
+
+core::Result<TrainTestSplit> TrySplitTrainTest(std::vector<Address> addresses,
+                                               std::size_t groups,
+                                               std::uint64_t rng_seed) {
   if (groups < 2) {
-    throw std::invalid_argument("train/test split needs >=2 groups");
+    return core::InvalidArgumentError("train/test split needs >=2 groups");
   }
   std::mt19937_64 rng(rng_seed);
   std::shuffle(addresses.begin(), addresses.end(), rng);
@@ -349,11 +360,18 @@ TrainTestSplit SplitTrainTest(std::vector<Address> addresses,
   return split;
 }
 
-std::vector<TrainTestSplit> InverseKFold(std::vector<Address> addresses,
-                                         std::size_t groups,
-                                         std::uint64_t rng_seed) {
+TrainTestSplit SplitTrainTest(std::vector<Address> addresses,
+                              std::size_t groups, std::uint64_t rng_seed) {
+  auto split = TrySplitTrainTest(std::move(addresses), groups, rng_seed);
+  SIXGEN_CHECK(split.ok(), "SplitTrainTest: needs >=2 groups");
+  return std::move(*split);
+}
+
+core::Result<std::vector<TrainTestSplit>> TryInverseKFold(
+    std::vector<Address> addresses, std::size_t groups,
+    std::uint64_t rng_seed) {
   if (groups < 2) {
-    throw std::invalid_argument("inverse k-fold needs >=2 groups");
+    return core::InvalidArgumentError("inverse k-fold needs >=2 groups");
   }
   std::mt19937_64 rng(rng_seed);
   std::shuffle(addresses.begin(), addresses.end(), rng);
@@ -378,6 +396,14 @@ std::vector<TrainTestSplit> InverseKFold(std::vector<Address> addresses,
     folds.push_back(std::move(split));
   }
   return folds;
+}
+
+std::vector<TrainTestSplit> InverseKFold(std::vector<Address> addresses,
+                                         std::size_t groups,
+                                         std::uint64_t rng_seed) {
+  auto folds = TryInverseKFold(std::move(addresses), groups, rng_seed);
+  SIXGEN_CHECK(folds.ok(), "InverseKFold: needs >=2 groups");
+  return std::move(*folds);
 }
 
 FoldStats SummarizeFolds(std::span<const double> fold_scores) {

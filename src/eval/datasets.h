@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/status.h"
 #include "ip6/address.h"
 #include "simnet/universe.h"
 
@@ -52,6 +53,12 @@ struct CdnDataset {
 /// Builds CDN `index` (1-based, 1..5). The five datasets span the
 /// structure spectrum of the paper's CDNs: 1 unpredictable, 2 hard,
 /// 3 intermediate, 4 highly structured + extensively aliased, 5 structured.
+/// kInvalidArgument if `index` is out of range.
+core::Result<CdnDataset> TryMakeCdnDataset(unsigned index,
+                                           std::uint64_t rng_seed,
+                                           std::size_t dataset_size = 10'000);
+
+/// As TryMakeCdnDataset, but a bad index is a caller bug: SIXGEN_CHECK.
 CdnDataset MakeCdnDataset(unsigned index, std::uint64_t rng_seed,
                           std::size_t dataset_size = 10'000);
 
@@ -64,6 +71,13 @@ struct TrainTestSplit {
   std::vector<ip6::Address> test;
 };
 
+/// kInvalidArgument if `groups` < 2.
+core::Result<TrainTestSplit> TrySplitTrainTest(
+    std::vector<ip6::Address> addresses, std::size_t groups,
+    std::uint64_t rng_seed);
+
+/// As TrySplitTrainTest, but a bad group count is a caller bug:
+/// SIXGEN_CHECK.
 TrainTestSplit SplitTrainTest(std::vector<ip6::Address> addresses,
                               std::size_t groups, std::uint64_t rng_seed);
 
@@ -71,6 +85,12 @@ TrainTestSplit SplitTrainTest(std::vector<ip6::Address> addresses,
 /// split into `groups` folds, train on each fold in turn, test on the
 /// rest. Returns one TrainTestSplit per fold (all folds share one
 /// shuffle).
+/// kInvalidArgument if `groups` < 2.
+core::Result<std::vector<TrainTestSplit>> TryInverseKFold(
+    std::vector<ip6::Address> addresses, std::size_t groups,
+    std::uint64_t rng_seed);
+
+/// As TryInverseKFold, but a bad group count is a caller bug: SIXGEN_CHECK.
 std::vector<TrainTestSplit> InverseKFold(std::vector<ip6::Address> addresses,
                                          std::size_t groups,
                                          std::uint64_t rng_seed);

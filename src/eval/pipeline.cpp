@@ -1,12 +1,113 @@
 #include "eval/pipeline.h"
 
 #include <chrono>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "eval/checkpoint.h"
+#include "faultnet/fault_channel.h"
 
 namespace sixgen::eval {
 
 using ip6::Address;
 using simnet::SeedRecord;
 using simnet::Universe;
+
+namespace {
+
+/// Deterministic per-prefix perturbation, XORed into every RNG seed so each
+/// routed prefix gets independent randomness that does not depend on which
+/// other prefixes ran in this process lifetime (checkpoint/resume must
+/// reproduce the uninterrupted run bit-for-bit).
+std::uint64_t PrefixPerturbation(const routing::Route& route) {
+  return ip6::AddressHash{}(route.prefix.network()) + route.prefix.length();
+}
+
+/// XOR constant separating the dealiasing pass's probe path from the
+/// per-prefix scan paths.
+constexpr std::uint64_t kDealiasPerturbation = 0xdea1'1a5ULL;
+
+/// One probe path: a channel wired to the universe (faulty iff the plan is
+/// non-zero) and a scanner on top of it.
+struct ProbePath {
+  std::unique_ptr<faultnet::FaultyChannel> channel;  // null when pristine
+  std::unique_ptr<scanner::SimulatedScanner> scanner;
+};
+
+ProbePath MakeProbePath(const Universe& universe, const PipelineConfig& config,
+                        std::uint64_t perturbation) {
+  ProbePath path;
+  scanner::ScanConfig scan_config = config.scan;
+  scan_config.rng_seed ^= perturbation;
+  if (config.fault_plan.IsZero()) {
+    path.scanner =
+        std::make_unique<scanner::SimulatedScanner>(universe, scan_config);
+  } else {
+    faultnet::FaultPlan plan = config.fault_plan;
+    plan.rng_seed ^= perturbation;
+    path.channel = std::make_unique<faultnet::FaultyChannel>(universe, plan);
+    path.scanner =
+        std::make_unique<scanner::SimulatedScanner>(*path.channel, scan_config);
+  }
+  return path;
+}
+
+/// Generates and scans one routed prefix. Failures (generation errors, hard
+/// channel failures) land in the outcome's status instead of propagating.
+CheckpointRecord ProcessPrefix(const Universe& universe,
+                               const routing::SeedGroup& group,
+                               ip6::U128 budget,
+                               const PipelineConfig& config) {
+  CheckpointRecord record;
+  PrefixOutcome& outcome = record.outcome;
+  outcome.route = group.route;
+  outcome.seed_count = group.seeds.size();
+  for (const Address& seed : group.seeds) {
+    if (!universe.HasActiveHost(seed)) ++outcome.inactive_seed_count;
+  }
+
+  try {
+    core::Config gen_config = config.core;
+    gen_config.budget = budget;
+    // Distinct, deterministic randomness per prefix.
+    gen_config.rng_seed ^= PrefixPerturbation(group.route);
+
+    const auto start = std::chrono::steady_clock::now();
+    core::GenerationResult gen = core::Generate(group.seeds, gen_config);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+
+    outcome.target_count = gen.targets.size();
+    outcome.cluster_stats = gen.stats;
+    outcome.iterations = gen.iterations;
+    outcome.generation_seconds =
+        std::chrono::duration<double>(elapsed).count();
+
+    ProbePath path =
+        MakeProbePath(universe, config, PrefixPerturbation(group.route));
+    scanner::ScanResult scanned = path.scanner->Scan(gen.targets);
+    outcome.hit_count = scanned.hits.size();
+    outcome.probes_sent = scanned.probes_sent;
+    outcome.scan_virtual_seconds = scanned.virtual_seconds;
+    outcome.faults = scanned.faults;
+    outcome.status = scanned.status;
+    if (outcome.status.ok()) {
+      record.hits = std::move(scanned.hits);
+    } else {
+      // A hard channel failure mid-scan means the hit list is truncated;
+      // contribute nothing rather than a biased sample. The prefix re-runs
+      // on resume.
+      outcome.hit_count = 0;
+    }
+  } catch (const std::exception& e) {
+    outcome.status = core::InternalError(
+        std::string("prefix ") + group.route.prefix.ToString() +
+        " failed: " + e.what());
+  }
+  return record;
+}
+
+}  // namespace
 
 PipelineResult RunSixGenPipeline(const Universe& universe,
                                  const std::vector<SeedRecord>& seeds,
@@ -19,8 +120,6 @@ PipelineResult RunSixGenPipeline(const Universe& universe,
   auto groups =
       routing::GroupByRoutedPrefix(universe.routing(), seed_addrs, &unrouted);
 
-  scanner::SimulatedScanner scan(universe, config.scan);
-
   // §8 budget allocation: split a global budget over routed prefixes.
   std::vector<ip6::U128> budgets;
   if (config.total_budget) {
@@ -28,47 +127,73 @@ PipelineResult RunSixGenPipeline(const Universe& universe,
                               config.budget_policy);
   }
 
+  // Resume state: completed prefixes from an earlier, interrupted run.
+  CheckpointLoad loaded;
+  std::optional<CheckpointWriter> writer;
+  if (!config.checkpoint_path.empty()) {
+    const std::uint64_t fingerprint =
+        PipelineFingerprint(universe, seed_addrs, config);
+    loaded = LoadCheckpoint(config.checkpoint_path, fingerprint);
+    result.checkpoint.rejected = loaded.fingerprint_mismatch;
+    const bool fresh = loaded.records.empty() && loaded.corrupt_lines == 0;
+    auto opened =
+        CheckpointWriter::Open(config.checkpoint_path, fingerprint, fresh);
+    if (opened.ok()) {
+      writer.emplace(std::move(*opened));
+    } else {
+      // Checkpointing is best-effort: a broken checkpoint file must not
+      // stop the scan. The failure is reported, not thrown.
+      result.checkpoint.io = opened.status();
+    }
+  }
+
+  std::size_t newly_processed = 0;
   for (std::size_t g = 0; g < groups.size(); ++g) {
     const routing::SeedGroup& group = groups[g];
     if (group.seeds.size() < config.min_seeds) continue;
 
-    core::Config gen_config = config.core;
-    gen_config.budget =
-        budgets.empty() ? config.budget_per_prefix : budgets[g];
-    // Distinct, deterministic randomness per prefix.
-    gen_config.rng_seed ^= ip6::AddressHash{}(group.route.prefix.network()) +
-                           group.route.prefix.length();
-
-    const auto start = std::chrono::steady_clock::now();
-    core::Result gen = core::Generate(group.seeds, gen_config);
-    const auto elapsed = std::chrono::steady_clock::now() - start;
-
-    scanner::ScanResult scanned = scan.Scan(gen.targets);
-
-    PrefixOutcome outcome;
-    outcome.route = group.route;
-    outcome.seed_count = group.seeds.size();
-    for (const Address& seed : group.seeds) {
-      if (!universe.HasActiveHost(seed)) ++outcome.inactive_seed_count;
+    CheckpointRecord record;
+    if (auto it = loaded.records.find(group.route.prefix.ToString());
+        it != loaded.records.end()) {
+      record = std::move(it->second);
+      record.outcome.from_checkpoint = true;
+      ++result.checkpoint.loaded;
+    } else {
+      if (config.max_prefixes_per_run != 0 &&
+          newly_processed >= config.max_prefixes_per_run) {
+        result.partial = true;
+        continue;
+      }
+      record = ProcessPrefix(
+          universe, group,
+          budgets.empty() ? config.budget_per_prefix : budgets[g], config);
+      ++newly_processed;
+      if (writer && record.outcome.status.ok()) {
+        if (core::Status appended = writer->Append(record); !appended.ok()) {
+          result.checkpoint.io = appended;
+          writer.reset();  // stop checkpointing, keep scanning
+        } else {
+          ++result.checkpoint.written;
+        }
+      }
     }
-    outcome.target_count = gen.targets.size();
-    outcome.hit_count = scanned.hits.size();
-    outcome.cluster_stats = gen.stats;
-    outcome.iterations = gen.iterations;
-    outcome.generation_seconds =
-        std::chrono::duration<double>(elapsed).count();
-    result.prefixes.push_back(std::move(outcome));
 
-    result.total_targets += gen.targets.size();
-    result.raw_hits.insert(result.raw_hits.end(), scanned.hits.begin(),
-                           scanned.hits.end());
+    result.total_targets += record.outcome.target_count;
+    result.total_probes += record.outcome.probes_sent;
+    result.faults += record.outcome.faults;
+    if (!record.outcome.status.ok()) ++result.failed_prefixes;
+    result.raw_hits.insert(result.raw_hits.end(), record.hits.begin(),
+                           record.hits.end());
+    result.prefixes.push_back(std::move(record.outcome));
   }
 
-  if (config.run_dealias) {
-    result.dealias = dealias::Dealias(scan, universe.routing(),
+  if (config.run_dealias && !result.partial) {
+    ProbePath path = MakeProbePath(universe, config, kDealiasPerturbation);
+    result.dealias = dealias::Dealias(*path.scanner, universe.routing(),
                                       result.raw_hits, config.dealias);
+    result.total_probes += result.dealias.probes_sent;
+    result.faults += path.scanner->TotalFaults();
   }
-  result.total_probes = scan.TotalProbesSent();
   return result;
 }
 
@@ -76,15 +201,17 @@ PipelineResult ScanAndDealias(const Universe& universe,
                               const std::vector<Address>& targets,
                               const PipelineConfig& config) {
   PipelineResult result;
-  scanner::SimulatedScanner scan(universe, config.scan);
-  scanner::ScanResult scanned = scan.Scan(targets);
+  ProbePath path = MakeProbePath(universe, config, 0);
+  scanner::ScanResult scanned = path.scanner->Scan(targets);
   result.total_targets = targets.size();
   result.raw_hits = std::move(scanned.hits);
-  if (config.run_dealias) {
-    result.dealias = dealias::Dealias(scan, universe.routing(),
+  if (!scanned.status.ok()) ++result.failed_prefixes;
+  if (config.run_dealias && scanned.status.ok()) {
+    result.dealias = dealias::Dealias(*path.scanner, universe.routing(),
                                       result.raw_hits, config.dealias);
   }
-  result.total_probes = scan.TotalProbesSent();
+  result.total_probes = path.scanner->TotalProbesSent();
+  result.faults = path.scanner->TotalFaults();
   return result;
 }
 

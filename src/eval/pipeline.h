@@ -2,18 +2,29 @@
 // prefix, run 6Gen per prefix with a fixed probe budget, scan generated
 // targets on TCP/80, then dealias the hits. Every §6 figure/table bench is
 // a thin view over one PipelineResult.
+//
+// Robustness (docs/robustness.md): the scan runs through a
+// faultnet::ProbeChannel configured by `fault_plan`; per-prefix failures
+// are isolated into their PrefixOutcome instead of aborting the run; and
+// with `checkpoint_path` set, completed prefixes are persisted so an
+// interrupted run resumes where it left off. Each routed prefix gets its
+// own deterministically-seeded scanner and channel, so outcomes are
+// independent of which prefixes ran in which process lifetime.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include <optional>
 
 #include "core/config.h"
 #include "core/generator.h"
+#include "core/status.h"
 #include "dealias/dealias.h"
 #include "eval/budget_alloc.h"
 #include "eval/datasets.h"
+#include "faultnet/fault_plan.h"
 #include "routing/routing_table.h"
 #include "scanner/scanner.h"
 #include "simnet/universe.h"
@@ -37,6 +48,22 @@ struct PipelineConfig {
   bool run_dealias = true;
   /// Skip routed prefixes with fewer seeds than this (1 = run on all).
   std::size_t min_seeds = 1;
+
+  /// Fault models injected between scanner and universe. A default
+  /// (all-zero) plan is the pristine network and reproduces pre-faultnet
+  /// behaviour bit-for-bit.
+  faultnet::FaultPlan fault_plan;
+
+  /// When non-empty, completed prefixes are checkpointed to this file and
+  /// a rerun resumes by skipping them (see eval/checkpoint.h).
+  std::string checkpoint_path;
+
+  /// Stop after this many newly-processed prefixes (0 = unbounded).
+  /// Checkpointed prefixes don't count. With a checkpoint path this gives
+  /// incremental operation: each invocation advances the scan and the last
+  /// one completes it. The stopped run is marked partial and skips
+  /// dealiasing.
+  std::size_t max_prefixes_per_run = 0;
 };
 
 /// Per-routed-prefix outcome.
@@ -46,9 +73,26 @@ struct PrefixOutcome {
   std::size_t inactive_seed_count = 0;  // churned-away seeds (§6.6)
   std::size_t target_count = 0;
   std::size_t hit_count = 0;  // raw (pre-dealiasing) hits
+  std::size_t probes_sent = 0;
   core::ClusterStats cluster_stats;
   std::size_t iterations = 0;
   double generation_seconds = 0.0;  // wall time of the 6Gen run
+  double scan_virtual_seconds = 0.0;  // virtual scan time incl. backoff
+  /// Ground-truth tally of faults injected while scanning this prefix.
+  faultnet::FaultTally faults;
+  /// Non-OK iff this prefix failed (generation error or hard channel
+  /// failure); the rest of the run continues and its hits are excluded.
+  core::Status status;
+  /// True iff this outcome was restored from a checkpoint, not recomputed.
+  bool from_checkpoint = false;
+};
+
+/// Checkpoint activity of one pipeline run.
+struct CheckpointStats {
+  std::size_t loaded = 0;   // prefixes restored from the checkpoint file
+  std::size_t written = 0;  // prefixes appended this run
+  bool rejected = false;    // existing file had a mismatched fingerprint
+  core::Status io;          // non-OK iff checkpoint I/O itself failed
 };
 
 struct PipelineResult {
@@ -58,6 +102,14 @@ struct PipelineResult {
   std::size_t total_targets = 0;
   std::size_t total_probes = 0;
   std::size_t seeds_used = 0;
+  /// Prefixes whose outcome carries a non-OK status.
+  std::size_t failed_prefixes = 0;
+  /// Aggregate fault tally over every prefix scan plus dealiasing.
+  faultnet::FaultTally faults;
+  CheckpointStats checkpoint;
+  /// True iff the run stopped at `max_prefixes_per_run` before covering
+  /// every routed prefix (dealiasing is skipped; resume to finish).
+  bool partial = false;
 
   std::size_t RawHitCount() const { return raw_hits.size(); }
   std::size_t NonAliasedHitCount() const {
@@ -71,7 +123,8 @@ PipelineResult RunSixGenPipeline(const simnet::Universe& universe,
                                  const PipelineConfig& config);
 
 /// Generic form: runs the pipeline over an externally-supplied target list
-/// (used to evaluate baseline TGAs on the same universe).
+/// (used to evaluate baseline TGAs on the same universe). Honors
+/// `fault_plan` but not checkpointing (single scan, nothing to resume).
 PipelineResult ScanAndDealias(const simnet::Universe& universe,
                               const std::vector<ip6::Address>& targets,
                               const PipelineConfig& config);

@@ -1,0 +1,90 @@
+#include "faultnet/fault_channel.h"
+
+#include <utility>
+
+namespace sixgen::faultnet {
+
+FaultyChannel::FaultyChannel(const simnet::Universe& universe, FaultPlan plan)
+    : universe_(universe), plan_(std::move(plan)), rng_(plan_.rng_seed) {}
+
+bool FaultyChannel::Draw(double probability) {
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < probability;
+}
+
+ProbeOutcome FaultyChannel::Probe(const ip6::Address& addr,
+                                  simnet::Service service,
+                                  double virtual_now_seconds) {
+  ProbeOutcome outcome;
+
+  for (const ip6::Prefix& prefix : plan_.error_prefixes) {
+    if (prefix.Contains(addr)) {
+      outcome.fault = FaultKind::kChannelError;
+      return outcome;
+    }
+  }
+
+  for (const ip6::Prefix& prefix : plan_.blackholes) {
+    if (prefix.Contains(addr)) {
+      outcome.fault = FaultKind::kBlackholed;
+      return outcome;
+    }
+  }
+
+  if (!plan_.outages.empty()) {
+    const auto route = universe_.routing().Lookup(addr);
+    if (route) {
+      for (const AsOutageSpec& outage : plan_.outages) {
+        if (outage.asn == route->origin &&
+            virtual_now_seconds >= outage.start_seconds &&
+            virtual_now_seconds < outage.end_seconds) {
+          outcome.fault = FaultKind::kOutage;
+          return outcome;
+        }
+      }
+    }
+  }
+
+  // Gilbert–Elliott: advance the chain on every probe (burstiness is a
+  // property of the wire), then apply the state's loss rate.
+  if (plan_.burst_loss.Enabled()) {
+    if (in_burst_) {
+      if (Draw(plan_.burst_loss.p_exit_burst)) in_burst_ = false;
+    } else {
+      if (Draw(plan_.burst_loss.p_enter_burst)) in_burst_ = true;
+    }
+    const double loss = in_burst_ ? plan_.burst_loss.loss_bad
+                                  : plan_.burst_loss.loss_good;
+    if (Draw(loss)) {
+      outcome.fault = FaultKind::kLost;
+      return outcome;
+    }
+  }
+
+  if (!universe_.Responds(addr, service)) return outcome;  // plain silence
+
+  // Responder-side rate limiting: only would-be responses consume tokens.
+  if (plan_.rate_limit.Enabled()) {
+    const ip6::Prefix scope =
+        ip6::Prefix::Of(addr, plan_.rate_limit.scope_prefix_len);
+    auto [it, inserted] = buckets_.try_emplace(
+        scope, plan_.rate_limit.tokens_per_second,
+        plan_.rate_limit.bucket_capacity, virtual_now_seconds);
+    if (!it->second.TryConsume(virtual_now_seconds)) {
+      outcome.fault = FaultKind::kRateLimited;
+      return outcome;
+    }
+  }
+
+  if (Draw(plan_.late_prob)) {
+    outcome.fault = FaultKind::kLate;
+    return outcome;
+  }
+
+  outcome.responded = true;
+  if (Draw(plan_.duplicate_prob)) outcome.duplicate_responses = 1;
+  return outcome;
+}
+
+}  // namespace sixgen::faultnet

@@ -1,0 +1,55 @@
+// FaultyChannel: a ProbeChannel that injects a FaultPlan's failure models.
+//
+// Fault application order per probe (first match wins for terminal faults):
+//   1. error prefixes      -> kChannelError (hard failure, no silence)
+//   2. blackholed prefixes -> kBlackholed
+//   3. AS outage window    -> kOutage
+//   4. Gilbert–Elliott     -> kLost (probe/response dropped in flight; the
+//      burst chain advances on *every* probe so burstiness is a property of
+//      the channel, not of which addresses happen to respond)
+//   5. responder rate limit-> kRateLimited (token bucket per scope prefix,
+//      consumed only by would-be responses, per RFC 4443's "limit the rate
+//      of responses" — silence is free)
+//   6. late response       -> kLate (response discarded by the scanner)
+//   7. duplicate response  -> responded with duplicate_responses > 0
+//
+// A FaultyChannel never fabricates a response for an address the universe
+// would not answer, so any hit set observed through it is a subset of the
+// pristine-network hit set (the fault-sweep stress test pins this).
+#pragma once
+
+#include <random>
+#include <unordered_map>
+
+#include "faultnet/fault_plan.h"
+#include "faultnet/probe_channel.h"
+#include "faultnet/token_bucket.h"
+#include "ip6/prefix.h"
+
+namespace sixgen::faultnet {
+
+class FaultyChannel final : public ProbeChannel {
+ public:
+  /// The universe provides ground truth and (for outages) the routing
+  /// table; both must outlive the channel.
+  FaultyChannel(const simnet::Universe& universe, FaultPlan plan);
+
+  ProbeOutcome Probe(const ip6::Address& addr, simnet::Service service,
+                     double virtual_now_seconds) override;
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// True iff the Gilbert–Elliott chain is currently in the burst state.
+  bool InBurstState() const { return in_burst_; }
+
+ private:
+  bool Draw(double probability);
+
+  const simnet::Universe& universe_;
+  FaultPlan plan_;
+  std::mt19937_64 rng_;
+  bool in_burst_ = false;
+  std::unordered_map<ip6::Prefix, TokenBucket, ip6::PrefixHash> buckets_;
+};
+
+}  // namespace sixgen::faultnet

@@ -1,0 +1,83 @@
+#include "faultnet/fault_plan.h"
+
+#include <bit>
+
+#include "core/contracts.h"
+
+namespace sixgen::faultnet {
+
+bool FaultPlan::IsZero() const {
+  return !burst_loss.Enabled() && !rate_limit.Enabled() &&
+         blackholes.empty() && outages.empty() && duplicate_prob <= 0.0 &&
+         late_prob <= 0.0 && error_prefixes.empty();
+}
+
+namespace {
+
+// splitmix64 finalizer: the repo's standard cheap mixer (see AddressHash).
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void Combine(std::uint64_t& h, std::uint64_t v) {
+  h = Mix(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+void CombineDouble(std::uint64_t& h, double v) {
+  Combine(h, std::bit_cast<std::uint64_t>(v));
+}
+
+void CombinePrefix(std::uint64_t& h, const ip6::Prefix& p) {
+  Combine(h, p.network().hi());
+  Combine(h, p.network().lo());
+  Combine(h, p.length());
+}
+
+}  // namespace
+
+std::uint64_t FaultPlan::Fingerprint() const {
+  std::uint64_t h = 0x6fa017'beefULL;
+  Combine(h, rng_seed);
+  CombineDouble(h, burst_loss.p_enter_burst);
+  CombineDouble(h, burst_loss.p_exit_burst);
+  CombineDouble(h, burst_loss.loss_good);
+  CombineDouble(h, burst_loss.loss_bad);
+  CombineDouble(h, rate_limit.tokens_per_second);
+  CombineDouble(h, rate_limit.bucket_capacity);
+  Combine(h, rate_limit.scope_prefix_len);
+  for (const ip6::Prefix& p : blackholes) CombinePrefix(h, p);
+  for (const AsOutageSpec& o : outages) {
+    Combine(h, o.asn);
+    CombineDouble(h, o.start_seconds);
+    CombineDouble(h, o.end_seconds);
+  }
+  CombineDouble(h, duplicate_prob);
+  CombineDouble(h, late_prob);
+  for (const ip6::Prefix& p : error_prefixes) CombinePrefix(h, p);
+  return h;
+}
+
+FaultTally TallyDelta(const FaultTally& after, const FaultTally& before) {
+  SIXGEN_DCHECK(after.lost >= before.lost &&
+                    after.rate_limited >= before.rate_limited &&
+                    after.blackholed >= before.blackholed &&
+                    after.outages >= before.outages &&
+                    after.late >= before.late &&
+                    after.duplicates >= before.duplicates &&
+                    after.channel_errors >= before.channel_errors,
+                "fault tallies must be monotone");
+  FaultTally delta;
+  delta.lost = after.lost - before.lost;
+  delta.rate_limited = after.rate_limited - before.rate_limited;
+  delta.blackholed = after.blackholed - before.blackholed;
+  delta.outages = after.outages - before.outages;
+  delta.late = after.late - before.late;
+  delta.duplicates = after.duplicates - before.duplicates;
+  delta.channel_errors = after.channel_errors - before.channel_errors;
+  return delta;
+}
+
+}  // namespace sixgen::faultnet

@@ -1,0 +1,130 @@
+// Declarative, seed-deterministic fault models for the simulated network.
+//
+// The paper's evaluation (§6) sent ~5.8 B probes over weeks against a real
+// Internet that drops packets in bursts, rate-limits responses (RFC 4443
+// recommends ICMPv6 error rate limiting and routers apply the same token
+// buckets to TCP RST/SYN-ACK paths), blackholes prefixes, and suffers
+// transient per-AS outages. A FaultPlan describes which of those behaviours
+// a FaultyChannel injects between the scanner and the simnet::Universe.
+// Every fault draw derives from `rng_seed`, so a (plan, probe-sequence) pair
+// reproduces bit-identical outcomes. A default-constructed plan is the
+// pristine network: FaultyChannel degenerates to DirectChannel behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ip6/prefix.h"
+#include "routing/routing_table.h"
+
+namespace sixgen::faultnet {
+
+/// Gilbert–Elliott two-state Markov loss: the channel alternates between a
+/// good state (low loss) and a bad/burst state (high loss). Transition
+/// probabilities are per probe, so mean burst length = 1 / p_exit_burst.
+struct GilbertElliottSpec {
+  double p_enter_burst = 0.0;  // P(good -> bad) per probe
+  double p_exit_burst = 0.0;   // P(bad -> good) per probe
+  double loss_good = 0.0;      // per-probe loss probability in good state
+  double loss_bad = 0.0;       // per-probe loss probability in bad state
+
+  bool Enabled() const {
+    return loss_good > 0.0 || (p_enter_burst > 0.0 && loss_bad > 0.0);
+  }
+};
+
+/// RFC 4443 §2.4(f)-style response rate limiting, modeled as a token bucket
+/// per responder (one bucket per enclosing `scope_prefix_len` prefix, the
+/// stand-in for "the router in front of that network"). A response consumes
+/// one token; an empty bucket suppresses the response. Runs on the
+/// scanner's virtual clock, so pacing and backoff genuinely help.
+struct RateLimitSpec {
+  double tokens_per_second = 0.0;  // refill rate; 0 disables the limiter
+  double bucket_capacity = 0.0;    // maximum response burst
+  unsigned scope_prefix_len = 48;  // bucket granularity
+
+  bool Enabled() const {
+    return tokens_per_second > 0.0 && bucket_capacity >= 1.0;
+  }
+};
+
+/// A time-windowed outage of one origin AS: probes to addresses routed to
+/// `asn` elicit no response while `start_seconds <= now < end_seconds` on
+/// the virtual clock.
+struct AsOutageSpec {
+  routing::Asn asn = 0;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+};
+
+/// The full declarative fault configuration.
+struct FaultPlan {
+  std::uint64_t rng_seed = 0xfa017;
+
+  GilbertElliottSpec burst_loss;
+  RateLimitSpec rate_limit;
+
+  /// Prefixes that silently swallow every probe (persistent unreachability:
+  /// misconfigured routing, firewalls that drop without RST).
+  std::vector<ip6::Prefix> blackholes;
+
+  /// Transient per-AS outages on the virtual clock.
+  std::vector<AsOutageSpec> outages;
+
+  /// Probability a delivered response is duplicated (one extra copy) — real
+  /// scans see duplicate SYN-ACKs from retransmissions and middleboxes.
+  double duplicate_prob = 0.0;
+
+  /// Probability a response arrives after the scanner's receive window and
+  /// is discarded (counted, but not a hit).
+  double late_prob = 0.0;
+
+  /// Prefixes whose probes fail hard (channel error, not silence): the
+  /// stand-in for local send failures / upstream filtering that aborts the
+  /// scan of that prefix. Drives the pipeline's per-prefix error isolation.
+  std::vector<ip6::Prefix> error_prefixes;
+
+  /// True iff this plan injects nothing — the pristine network.
+  bool IsZero() const;
+
+  /// Stable 64-bit digest of every knob; checkpoint headers embed it so a
+  /// resume under a different plan is rejected instead of mixing worlds.
+  std::uint64_t Fingerprint() const;
+};
+
+/// Ground-truth instrumentation of injected faults, accumulated by the
+/// scanner and surfaced per scan (ScanResult) and per prefix
+/// (eval::PrefixOutcome).
+struct FaultTally {
+  std::size_t lost = 0;          // probes/responses dropped (IID or bursty)
+  std::size_t rate_limited = 0;  // responses suppressed by the token bucket
+  std::size_t blackholed = 0;    // probes into blackholed prefixes
+  std::size_t outages = 0;       // probes into an AS mid-outage
+  std::size_t late = 0;          // responses that missed the receive window
+  std::size_t duplicates = 0;    // extra response copies delivered
+  std::size_t channel_errors = 0;  // hard send failures
+
+  std::size_t Total() const {
+    return lost + rate_limited + blackholed + outages + late + duplicates +
+           channel_errors;
+  }
+
+  friend bool operator==(const FaultTally&, const FaultTally&) = default;
+
+  FaultTally& operator+=(const FaultTally& other) {
+    lost += other.lost;
+    rate_limited += other.rate_limited;
+    blackholed += other.blackholed;
+    outages += other.outages;
+    late += other.late;
+    duplicates += other.duplicates;
+    channel_errors += other.channel_errors;
+    return *this;
+  }
+};
+
+/// Component-wise difference (cumulative tallies -> per-scan deltas).
+/// Precondition: every field of `after` >= the matching field of `before`.
+FaultTally TallyDelta(const FaultTally& after, const FaultTally& before);
+
+}  // namespace sixgen::faultnet

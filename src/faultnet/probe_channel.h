@@ -1,0 +1,70 @@
+// The probe transport abstraction between the scanner and the universe.
+//
+// SimulatedScanner used to query simnet::Universe directly, which hard-wired
+// an always-up, loss-free Internet. ProbeChannel is the seam where network
+// behaviour lives: DirectChannel reproduces the pristine network bit-for-bit,
+// FaultyChannel (fault_channel.h) injects the FaultPlan's failure models.
+// Channels are stateful (burst chains, token buckets) and deterministic in
+// their construction parameters plus the probe sequence.
+#pragma once
+
+#include <cstdint>
+
+#include "ip6/address.h"
+#include "simnet/universe.h"
+
+namespace sixgen::faultnet {
+
+/// What the network did to one probe. kNone with responded=false is plain
+/// silence (no host at that address).
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kLost,          // probe or response dropped in flight
+  kBlackholed,    // destination inside a blackholed prefix
+  kRateLimited,   // response suppressed by the responder's token bucket
+  kOutage,        // destination AS is mid-outage
+  kLate,          // response exists but missed the receive window
+  kChannelError,  // hard send failure; the scan of this target set aborts
+};
+
+/// Outcome of one probe as observed by the scanner.
+struct ProbeOutcome {
+  /// True iff a usable response arrived inside the receive window.
+  bool responded = false;
+  FaultKind fault = FaultKind::kNone;
+  /// Extra copies of the response delivered after the first (dedup fodder).
+  unsigned duplicate_responses = 0;
+};
+
+/// Transport interface. `virtual_now_seconds` is the scanner's virtual
+/// clock at send time; time-dependent faults (token buckets, outage
+/// windows) key off it and require it to be non-decreasing per channel.
+class ProbeChannel {
+ public:
+  virtual ~ProbeChannel() = default;
+
+  virtual ProbeOutcome Probe(const ip6::Address& addr,
+                             simnet::Service service,
+                             double virtual_now_seconds) = 0;
+};
+
+/// The pristine network: a probe elicits a response iff the universe says
+/// the address answers the service. Stateless; behaviour is identical to
+/// the pre-ProbeChannel scanner.
+class DirectChannel final : public ProbeChannel {
+ public:
+  explicit DirectChannel(const simnet::Universe& universe)
+      : universe_(universe) {}
+
+  ProbeOutcome Probe(const ip6::Address& addr, simnet::Service service,
+                     double /*virtual_now_seconds*/) override {
+    ProbeOutcome outcome;
+    outcome.responded = universe_.Responds(addr, service);
+    return outcome;
+  }
+
+ private:
+  const simnet::Universe& universe_;
+};
+
+}  // namespace sixgen::faultnet

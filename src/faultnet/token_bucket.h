@@ -1,0 +1,60 @@
+// Token-bucket rate limiter on an externally-supplied (virtual) clock.
+//
+// Models RFC 4443-style response rate limiting: a responder holds a bucket
+// of `capacity` tokens refilled at `tokens_per_second`; emitting a response
+// consumes one token, and an empty bucket suppresses the response. The
+// clock is whatever the caller passes — the simulated scanner feeds its
+// virtual clock, so backoff genuinely lets buckets refill.
+#pragma once
+
+#include "core/contracts.h"
+
+namespace sixgen::faultnet {
+
+class TokenBucket {
+ public:
+  /// Starts full. `tokens_per_second` and `capacity` must be positive.
+  TokenBucket(double tokens_per_second, double capacity,
+              double start_seconds = 0.0)
+      : rate_(tokens_per_second),
+        capacity_(capacity),
+        tokens_(capacity),
+        last_seconds_(start_seconds) {
+    SIXGEN_DCHECK(tokens_per_second > 0.0, "refill rate must be positive");
+    SIXGEN_DCHECK(capacity >= 1.0, "capacity below one token never fires");
+  }
+
+  /// Refills for the elapsed time, then consumes one token if available.
+  /// Returns true iff a token was consumed (= the response may be sent).
+  /// `now_seconds` must be monotonically non-decreasing across calls.
+  bool TryConsume(double now_seconds) {
+    Refill(now_seconds);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  /// Tokens currently available at `now_seconds` (refills as a side effect).
+  double Available(double now_seconds) {
+    Refill(now_seconds);
+    return tokens_;
+  }
+
+  double capacity() const { return capacity_; }
+
+ private:
+  void Refill(double now_seconds) {
+    SIXGEN_DCHECK(now_seconds >= last_seconds_,
+                  "token-bucket clock must not run backwards");
+    tokens_ += (now_seconds - last_seconds_) * rate_;
+    if (tokens_ > capacity_) tokens_ = capacity_;
+    last_seconds_ = now_seconds;
+  }
+
+  double rate_;
+  double capacity_;
+  double tokens_;
+  double last_seconds_;
+};
+
+}  // namespace sixgen::faultnet

@@ -48,10 +48,10 @@ LoadResult<ip6::Address> ReadAddressesFromString(std::string_view text) {
   return ReadAddresses(in);
 }
 
-std::optional<LoadResult<ip6::Address>> ReadAddressFile(
+core::Result<LoadResult<ip6::Address>> ReadAddressFile(
     const std::string& path) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
+  if (!in) return core::NotFoundError("cannot open address file: " + path);
   return ReadAddresses(in);
 }
 
@@ -61,12 +61,16 @@ void WriteAddresses(std::ostream& out, std::span<const ip6::Address> addrs) {
   }
 }
 
-bool WriteAddressFile(const std::string& path,
-                      std::span<const ip6::Address> addrs) {
+core::Status WriteAddressFile(const std::string& path,
+                              std::span<const ip6::Address> addrs) {
   std::ofstream out(path);
-  if (!out) return false;
+  if (!out) {
+    return core::UnavailableError("cannot open address file for writing: " +
+                                  path);
+  }
   WriteAddresses(out, addrs);
-  return static_cast<bool>(out);
+  if (!out) return core::UnavailableError("write failed: " + path);
+  return core::OkStatus();
 }
 
 LoadResult<ip6::NybbleRange> ReadRanges(std::istream& in) {

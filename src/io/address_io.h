@@ -9,12 +9,12 @@
 
 #include <cstddef>
 #include <iosfwd>
-#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/status.h"
 #include "ip6/address.h"
 #include "ip6/nybble_range.h"
 #include "simnet/universe.h"
@@ -44,16 +44,17 @@ LoadResult<ip6::Address> ReadAddresses(std::istream& in);
 /// Convenience: parses from a string.
 LoadResult<ip6::Address> ReadAddressesFromString(std::string_view text);
 
-/// Loads from a file; std::nullopt if the file cannot be opened.
-std::optional<LoadResult<ip6::Address>> ReadAddressFile(
+/// Loads from a file; kNotFound if the file cannot be opened. Malformed
+/// lines are still reported inside the LoadResult, not as a Status error.
+core::Result<LoadResult<ip6::Address>> ReadAddressFile(
     const std::string& path);
 
 /// Writes one address per line (canonical compressed form).
 void WriteAddresses(std::ostream& out, std::span<const ip6::Address> addrs);
 
-/// Writes to a file; returns false on I/O failure.
-bool WriteAddressFile(const std::string& path,
-                      std::span<const ip6::Address> addrs);
+/// Writes to a file; kUnavailable on I/O failure.
+core::Status WriteAddressFile(const std::string& path,
+                              std::span<const ip6::Address> addrs);
 
 /// Parses a range list (wildcard syntax, one range per line, comments as
 /// above).

@@ -8,24 +8,121 @@ namespace sixgen::scanner {
 
 using ip6::Address;
 
+namespace {
+
+// splitmix64 finalizer (the repo's standard cheap mixer, see AddressHash).
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 SimulatedScanner::SimulatedScanner(const simnet::Universe& universe,
                                    ScanConfig config)
-    : universe_(universe), config_(config), rng_(config.rng_seed) {}
+    : owned_channel_(std::make_unique<faultnet::DirectChannel>(universe)),
+      channel_(owned_channel_.get()),
+      config_(config),
+      shuffle_rng_(config.rng_seed),
+      loss_seed_(Mix(config.rng_seed ^ 0x1055'feedULL)) {}
+
+SimulatedScanner::SimulatedScanner(faultnet::ProbeChannel& channel,
+                                   ScanConfig config)
+    : channel_(&channel),
+      config_(config),
+      shuffle_rng_(config.rng_seed),
+      loss_seed_(Mix(config.rng_seed ^ 0x1055'feedULL)) {}
+
+double SimulatedScanner::VirtualNow() const {
+  double sending = 0.0;
+  if (config_.packets_per_second > 0) {
+    sending = static_cast<double>(total_probes_) /
+              static_cast<double>(config_.packets_per_second);
+  }
+  return sending + total_wait_seconds_;
+}
+
+void SimulatedScanner::Wait(double seconds) {
+  SIXGEN_DCHECK(seconds >= 0.0, "cannot wait a negative duration");
+  total_wait_seconds_ += seconds;
+}
+
+double SimulatedScanner::LossUniform(const Address& addr,
+                                     unsigned attempt) const {
+  // Counter-based draw: a pure function of (seed, address, attempt), so the
+  // loss fate of a probe is independent of scan order and target count.
+  std::uint64_t x = loss_seed_;
+  x = Mix(x ^ addr.hi());
+  x = Mix(x ^ addr.lo());
+  x = Mix(x ^ attempt);
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
 
 bool SimulatedScanner::ProbeOnce(const Address& addr) {
   ++total_probes_;
-  if (!universe_.Responds(addr, config_.service)) return false;
+  const faultnet::ProbeOutcome outcome =
+      channel_->Probe(addr, config_.service, VirtualNow());
+  last_fault_ = outcome.fault;
+  switch (outcome.fault) {
+    case faultnet::FaultKind::kNone:
+      break;
+    case faultnet::FaultKind::kLost:
+      ++tally_.lost;
+      break;
+    case faultnet::FaultKind::kBlackholed:
+      ++tally_.blackholed;
+      break;
+    case faultnet::FaultKind::kRateLimited:
+      ++tally_.rate_limited;
+      break;
+    case faultnet::FaultKind::kOutage:
+      ++tally_.outages;
+      break;
+    case faultnet::FaultKind::kLate:
+      ++tally_.late;
+      break;
+    case faultnet::FaultKind::kChannelError:
+      ++tally_.channel_errors;
+      last_status_ = core::UnavailableError("channel failed probing " +
+                                            addr.ToString());
+      return false;
+  }
+  tally_.duplicates += outcome.duplicate_responses;
+  if (!outcome.responded) return false;
   if (config_.loss_rate <= 0.0) return true;
-  return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) >=
-         config_.loss_rate;
+  // Lifetime per-address attempt index: independent of scan order, fresh on
+  // every re-probe of the same address.
+  const unsigned attempt = loss_attempts_[addr]++;
+  if (LossUniform(addr, attempt) < config_.loss_rate) {
+    ++tally_.lost;
+    last_fault_ = faultnet::FaultKind::kLost;
+    return false;
+  }
+  return true;
 }
 
 bool SimulatedScanner::Probe(const Address& addr) {
   const unsigned attempts = std::max(config_.attempts, 1u);
   const std::size_t probes_before = total_probes_;
   bool hit = false;
+  double backoff = config_.backoff_initial_seconds;
   for (unsigned i = 0; i < attempts && !hit; ++i) {
+    if (i > 0) {
+      ++total_retries_;
+      double wait = backoff;
+      // Rate-limit-aware pacing: give the responder's token bucket time to
+      // refill before hitting it again.
+      if (last_fault_ == faultnet::FaultKind::kRateLimited) {
+        wait += config_.rate_limit_pause_seconds;
+      }
+      Wait(wait);
+      backoff = std::min(backoff * config_.backoff_multiplier,
+                         config_.backoff_max_seconds);
+    }
     hit = ProbeOnce(addr);
+    if (!last_status_.ok()) break;  // hard channel failure: stop retrying
   }
   // Probe accounting: one target consumes between 1 and `attempts` probes.
   SIXGEN_DCHECK(total_probes_ - probes_before >= 1, "target sent no probe");
@@ -36,13 +133,17 @@ bool SimulatedScanner::Probe(const Address& addr) {
 
 ScanResult SimulatedScanner::Scan(std::span<const Address> targets) {
   ScanResult result;
+  last_status_ = core::OkStatus();
   std::vector<Address> order(targets.begin(), targets.end());
   if (config_.randomize_order) {
-    std::shuffle(order.begin(), order.end(), rng_);
+    std::shuffle(order.begin(), order.end(), shuffle_rng_);
   }
   ip6::AddressSet seen;
   seen.reserve(order.size());
   const std::size_t probes_before = total_probes_;
+  const std::size_t retries_before = total_retries_;
+  const double wait_before = total_wait_seconds_;
+  const faultnet::FaultTally tally_before = tally_;
   for (const Address& addr : order) {
     if (!seen.insert(addr).second) continue;  // dedupe targets
     if (config_.blacklist && config_.blacklist->Contains(addr)) {
@@ -51,22 +152,37 @@ ScanResult SimulatedScanner::Scan(std::span<const Address> targets) {
     }
     ++result.targets_probed;
     if (Probe(addr)) result.hits.push_back(addr);
+    if (!last_status_.ok()) {
+      // Hard channel failure: report the partial result instead of lying
+      // about unprobed targets.
+      result.status = last_status_;
+      break;
+    }
   }
   result.probes_sent = total_probes_ - probes_before;
+  result.retries = total_retries_ - retries_before;
+  result.backoff_seconds = total_wait_seconds_ - wait_before;
+  result.faults = faultnet::TallyDelta(tally_, tally_before);
   // Scan accounting (paper §6 "approximately 5.8B probes"): every deduped
   // target is either blacklisted or probed at least once, and a hit needs
-  // a probe.
+  // a probe. (Holds for the processed portion even on early abort.)
   SIXGEN_DCHECK(seen.size() == result.targets_probed + result.blacklisted,
                 "deduped targets must split into probed + blacklisted");
   SIXGEN_DCHECK(result.probes_sent >= result.targets_probed,
                 "fewer probes than probed targets");
   SIXGEN_DCHECK(result.hits.size() <= result.targets_probed,
                 "more hits than probed targets");
+  double sending_seconds = 0.0;
   if (config_.packets_per_second > 0) {
-    result.virtual_seconds =
+    sending_seconds =
         static_cast<double>(result.probes_sent) /
         static_cast<double>(config_.packets_per_second);
   }
+  result.virtual_seconds = sending_seconds + result.backoff_seconds;
+  // Retries and backoff take time: the reported duration can never be less
+  // than the pure send time of the probes actually sent.
+  SIXGEN_DCHECK(result.virtual_seconds >= sending_seconds,
+                "virtual_seconds under-reports retry/backoff time");
   return result;
 }
 

@@ -1,19 +1,32 @@
 // Simulated IPv6 scanner (the paper's ZMap-for-IPv6 stand-in, §6).
 //
 // The paper scans generated targets on TCP/80 at 100 K pps using the IPv6
-// ZMap extension of Gasser et al. Offline we probe a simnet::Universe
-// instead: a probe to an address elicits a response iff the universe says
-// the address responds on TCP/80, modulo a configurable per-probe loss
-// rate. The scanner randomizes target order (as the paper does, §6),
-// deduplicates hits, counts probes, and tracks virtual scan time at a
-// configured packet rate so performance figures can be reported.
+// ZMap extension of Gasser et al. Offline we probe through a
+// faultnet::ProbeChannel instead: DirectChannel reproduces an always-up
+// pristine network backed by simnet::Universe, FaultyChannel injects
+// declarative fault models (bursty loss, blackholes, RFC 4443-style rate
+// limiting, AS outages, duplicate/late responses). The scanner randomizes
+// target order (as the paper does, §6), deduplicates hits, counts probes,
+// retries with exponential backoff charged to a virtual clock at the
+// configured packet rate, and tallies every injected fault it observed.
+//
+// Determinism: the order shuffle and the IID loss draws use independent
+// streams derived from `rng_seed`. Loss is decided by a counter-based hash
+// of (address, lifetime attempt index for that address), so toggling
+// `randomize_order` or appending targets never changes which probes of the
+// existing targets are lost, while re-probing an address (alias detection
+// retries) still gets fresh draws.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <random>
 #include <span>
 #include <vector>
 
+#include "core/status.h"
+#include "faultnet/fault_plan.h"
+#include "faultnet/probe_channel.h"
 #include "ip6/address.h"
 #include "routing/routing_table.h"
 #include "scanner/permutation.h"
@@ -28,7 +41,8 @@ struct ScanConfig {
   /// Which service to probe (paper scans TCP/80; §8 asks about SMTP/SSH).
   simnet::Service service = simnet::Service::kTcp80;
   /// Independent per-probe loss probability (applies to the probe or the
-  /// response being dropped).
+  /// response being dropped). Decided per (address, attempt) so outcomes
+  /// are independent of probe order.
   double loss_rate = 0.0;
   /// Additional probe attempts after a lost one (ZMap-style scans usually
   /// send a fixed number of SYNs; the paper sends one probe per target for
@@ -40,6 +54,17 @@ struct ScanConfig {
   /// Virtual send rate in packets/second, for reported scan duration.
   std::uint64_t packets_per_second = 100'000;
   std::uint64_t rng_seed = 0x5ca1'ab1e;
+
+  /// Wait before the first retry of a target, charged to the virtual clock
+  /// (0 = immediate retries, the pre-backoff behaviour).
+  double backoff_initial_seconds = 0.0;
+  /// Each further retry multiplies the wait, capped at the maximum.
+  double backoff_multiplier = 2.0;
+  double backoff_max_seconds = 5.0;
+  /// Rate-limit-aware pacing: extra wait after an attempt the responder
+  /// rate-limited, so token buckets refill before the retry. Inert on a
+  /// pristine network (nothing ever reports kRateLimited).
+  double rate_limit_pause_seconds = 0.05;
 };
 
 /// Outcome of one scan.
@@ -50,8 +75,18 @@ struct ScanResult {
   std::size_t targets_probed = 0;
   /// Targets dropped by the opt-out blacklist.
   std::size_t blacklisted = 0;
-  /// Virtual wall-clock seconds at the configured packet rate.
+  /// Retry probes beyond each target's first attempt.
+  std::size_t retries = 0;
+  /// Virtual wall-clock seconds: probes at the configured packet rate plus
+  /// every backoff/pacing wait. Invariant: >= probes_sent / pps.
   double virtual_seconds = 0.0;
+  /// Seconds of that total spent waiting (backoff + rate-limit pacing).
+  double backoff_seconds = 0.0;
+  /// Ground-truth tally of faults injected during this scan.
+  faultnet::FaultTally faults;
+  /// Non-OK iff the channel failed hard mid-scan; the result then covers
+  /// only the targets processed before the failure.
+  core::Status status;
 
   double HitRate() const {
     return targets_probed == 0
@@ -61,32 +96,61 @@ struct ScanResult {
   }
 };
 
-/// TCP/80 SYN scanner against a synthetic universe.
+/// TCP/80 SYN scanner probing through a ProbeChannel.
 class SimulatedScanner {
  public:
+  /// Scans the pristine network: probes `universe` through an internally
+  /// owned DirectChannel.
   explicit SimulatedScanner(const simnet::Universe& universe,
+                            ScanConfig config = {});
+
+  /// Scans through an externally owned channel (fault injection). The
+  /// channel must outlive the scanner.
+  explicit SimulatedScanner(faultnet::ProbeChannel& channel,
                             ScanConfig config = {});
 
   /// Probes every target once (plus retries on loss); returns unique hits.
   ScanResult Scan(std::span<const ip6::Address> targets);
 
-  /// Sends `attempts` probes to one address; true iff any response arrives.
-  /// Probes are counted in the running totals.
+  /// Sends up to `attempts` probes to one address; true iff any response
+  /// arrives. Probes are counted in the running totals.
   bool Probe(const ip6::Address& addr);
 
   /// Cumulative probes sent across all Scan()/Probe() calls (the paper's
   /// "approximately 5.8 B probes" accounting).
   std::size_t TotalProbesSent() const { return total_probes_; }
 
+  /// Cumulative fault tally across all Scan()/Probe() calls.
+  const faultnet::FaultTally& TotalFaults() const { return tally_; }
+
+  /// The virtual clock: seconds of sending at the configured rate plus all
+  /// waits, cumulative across scans. Channels see this as "now".
+  double VirtualNow() const;
+
+  /// OK unless the most recent Scan()/Probe() hit a hard channel failure.
+  const core::Status& last_status() const { return last_status_; }
+
   const ScanConfig& config() const { return config_; }
 
  private:
   bool ProbeOnce(const ip6::Address& addr);
+  void Wait(double seconds);
+  double LossUniform(const ip6::Address& addr, unsigned attempt) const;
 
-  const simnet::Universe& universe_;
+  std::unique_ptr<faultnet::DirectChannel> owned_channel_;
+  faultnet::ProbeChannel* channel_;  // never null
   ScanConfig config_;
-  std::mt19937_64 rng_;
+  std::mt19937_64 shuffle_rng_;
+  std::uint64_t loss_seed_;
+  /// Lifetime attempt counter per probed address; only maintained when
+  /// loss_rate > 0 (feeds the counter-based loss hash).
+  std::unordered_map<ip6::Address, unsigned, ip6::AddressHash> loss_attempts_;
   std::size_t total_probes_ = 0;
+  std::size_t total_retries_ = 0;
+  double total_wait_seconds_ = 0.0;
+  faultnet::FaultTally tally_;
+  faultnet::FaultKind last_fault_ = faultnet::FaultKind::kNone;
+  core::Status last_status_;
 };
 
 /// Per-AS and per-routed-prefix rollups of a hit list, used by Table 1,

@@ -95,7 +95,7 @@ TEST(GeneratorBudgetContractsTest, TracedRunSatisfiesBudgetMonotonicity) {
   core::Config config;
   config.budget = 4096;
   config.record_trace = true;
-  const core::Result result = core::Generate(seeds, config);
+  const core::GenerationResult result = core::Generate(seeds, config);
 
   EXPECT_LE(result.budget_used, config.budget);
   EXPECT_EQ(result.seed_count, seeds.size());
@@ -123,7 +123,7 @@ TEST(GeneratorBudgetContractsTest, BudgetNeverExceededAcrossBudgets) {
   for (const U128 budget : {U128{0}, U128{1}, U128{100}, U128{100'000}}) {
     core::Config config;
     config.budget = budget;
-    const core::Result result = core::Generate(seeds, config);
+    const core::GenerationResult result = core::Generate(seeds, config);
     EXPECT_LE(result.budget_used, budget);
     // Targets = seeds + at most `budget` generated addresses.
     EXPECT_LE(result.targets.size(),

@@ -24,7 +24,7 @@ std::vector<Address> ParseAll(std::initializer_list<const char*> texts) {
 }
 
 TEST(Generator, EmptySeedsYieldEmptyResult) {
-  const Result result = Generate({}, Config{});
+  const GenerationResult result = Generate({}, Config{});
   EXPECT_TRUE(result.targets.empty());
   EXPECT_TRUE(result.clusters.empty());
   EXPECT_EQ(result.budget_used, U128{0});
@@ -33,7 +33,7 @@ TEST(Generator, EmptySeedsYieldEmptyResult) {
 
 TEST(Generator, SingleSeedCannotGrow) {
   const auto seeds = ParseAll({"2001:db8::1"});
-  const Result result = Generate(seeds, Config{});
+  const GenerationResult result = Generate(seeds, Config{});
   ASSERT_EQ(result.clusters.size(), 1u);
   EXPECT_TRUE(result.clusters[0].IsSingleton());
   EXPECT_EQ(result.stop_reason, StopReason::kNoCandidates);
@@ -46,7 +46,7 @@ TEST(Generator, TwoSeedsStopAtSingleClusterRule) {
   // Pseudocode: a growth that would place all seeds in one cluster is not
   // committed; with two seeds the very first growth does that.
   const auto seeds = ParseAll({"2001:db8::1", "2001:db8::2"});
-  const Result result = Generate(seeds, Config{});
+  const GenerationResult result = Generate(seeds, Config{});
   EXPECT_EQ(result.stop_reason, StopReason::kSingleCluster);
   EXPECT_EQ(result.clusters.size(), 2u);
   EXPECT_EQ(result.targets.size(), 2u) << "only the seeds themselves";
@@ -55,7 +55,7 @@ TEST(Generator, TwoSeedsStopAtSingleClusterRule) {
 TEST(Generator, DuplicateSeedsAreDeduplicated) {
   const auto seeds =
       ParseAll({"2001:db8::1", "2001:db8::1", "2001:db8::0001"});
-  const Result result = Generate(seeds, Config{});
+  const GenerationResult result = Generate(seeds, Config{});
   EXPECT_EQ(result.seed_count, 1u);
 }
 
@@ -67,7 +67,7 @@ TEST(Generator, DenseLowByteClusterGrowsOverSparseOne) {
                                "2001:db8:aaaa::5", "2001:db8:bbbb::5"});
   Config config;
   config.budget = 64;
-  const Result result = Generate(seeds, config);
+  const GenerationResult result = Generate(seeds, config);
   // Find a grown cluster covering the ::1..::3 seeds.
   bool found = false;
   for (const Cluster& c : result.clusters) {
@@ -86,7 +86,7 @@ TEST(Generator, TargetsAreUniqueAndCoverSeeds) {
                                "2001:db8::31"});
   Config config;
   config.budget = 500;
-  const Result result = Generate(seeds, config);
+  const GenerationResult result = Generate(seeds, config);
 
   AddressSet unique(result.targets.begin(), result.targets.end());
   EXPECT_EQ(unique.size(), result.targets.size()) << "targets must be unique";
@@ -109,7 +109,7 @@ TEST(Generator, BudgetNeverExceeded) {
   for (const U128 budget : {U128{10}, U128{100}, U128{1000}, U128{50000}}) {
     Config config;
     config.budget = budget;
-    const Result result = Generate(seeds, config);
+    const GenerationResult result = Generate(seeds, config);
     EXPECT_LE(result.budget_used, budget);
     // Targets = seeds + budgeted extras.
     EXPECT_LE(result.targets.size(),
@@ -127,7 +127,7 @@ TEST(Generator, BudgetExhaustedExactlyViaFinalSampling) {
   }
   Config config;
   config.budget = 20;
-  const Result result = Generate(seeds, config);
+  const GenerationResult result = Generate(seeds, config);
   EXPECT_EQ(result.stop_reason, StopReason::kBudgetExhausted);
   EXPECT_EQ(result.budget_used, U128{20});
   EXPECT_EQ(result.targets.size(), seeds.size() + 20);
@@ -137,7 +137,7 @@ TEST(Generator, ZeroBudgetReturnsSeedsOnly) {
   const auto seeds = ParseAll({"2001:db8::1", "2001:db8::2", "2001:db8::9"});
   Config config;
   config.budget = 0;
-  const Result result = Generate(seeds, config);
+  const GenerationResult result = Generate(seeds, config);
   EXPECT_EQ(result.targets.size(), 3u);
   EXPECT_EQ(result.budget_used, U128{0});
 }
@@ -148,7 +148,7 @@ TEST(Generator, AllTargetsLieInClusterRangesOrSamples) {
                                "2001:db8::21"});
   Config config;
   config.budget = 1000;
-  const Result result = Generate(seeds, config);
+  const GenerationResult result = Generate(seeds, config);
   // With a generous budget there is no truncated final growth, so every
   // target must lie inside some final cluster range.
   if (result.stop_reason != StopReason::kBudgetExhausted) {
@@ -171,7 +171,7 @@ TEST(Generator, SeedCountsMatchRangeMembership) {
                                "2001:db8:5::1"});
   Config config;
   config.budget = 2000;
-  const Result result = Generate(seeds, config);
+  const GenerationResult result = Generate(seeds, config);
   for (const Cluster& c : result.clusters) {
     std::size_t members = 0;
     for (const Address& s : seeds) {
@@ -193,7 +193,7 @@ TEST(Generator, NoClusterStrictlyCoveredByAnother) {
   }
   Config config;
   config.budget = 5000;
-  const Result result = Generate(seeds, config);
+  const GenerationResult result = Generate(seeds, config);
   for (std::size_t i = 0; i < result.clusters.size(); ++i) {
     for (std::size_t j = 0; j < result.clusters.size(); ++j) {
       if (i == j) continue;
@@ -212,7 +212,7 @@ TEST(Generator, LooseRangesProduceFullWildcards) {
   Config config;
   config.budget = 64;
   config.range_mode = RangeMode::kLoose;
-  const Result result = Generate(seeds, config);
+  const GenerationResult result = Generate(seeds, config);
   bool saw_wildcard = false;
   for (const Cluster& c : result.clusters) {
     for (unsigned n = 0; n < ip6::kNybbles; ++n) {
@@ -232,7 +232,7 @@ TEST(Generator, TightRangesKeepExactSets) {
   Config config;
   config.budget = 64;
   config.range_mode = RangeMode::kTight;
-  const Result result = Generate(seeds, config);
+  const GenerationResult result = Generate(seeds, config);
   for (const Cluster& c : result.clusters) {
     for (unsigned n = 0; n < ip6::kNybbles; ++n) {
       EXPECT_LE(c.range.ValueCount(n), 4u)
@@ -249,8 +249,8 @@ TEST(Generator, TightConsumesLessBudgetPerGrowth) {
   tight.range_mode = RangeMode::kTight;
   Config loose = tight;
   loose.range_mode = RangeMode::kLoose;
-  const Result tight_result = Generate(seeds, tight);
-  const Result loose_result = Generate(seeds, loose);
+  const GenerationResult tight_result = Generate(seeds, tight);
+  const GenerationResult loose_result = Generate(seeds, loose);
   EXPECT_LE(tight_result.budget_used, loose_result.budget_used);
 }
 
@@ -266,8 +266,8 @@ TEST(Generator, DeterministicAcrossRuns) {
   }
   Config config;
   config.budget = 3000;
-  const Result r1 = Generate(seeds, config);
-  const Result r2 = Generate(seeds, config);
+  const GenerationResult r1 = Generate(seeds, config);
+  const GenerationResult r2 = Generate(seeds, config);
   EXPECT_EQ(r1.targets, r2.targets);
   EXPECT_EQ(r1.budget_used, r2.budget_used);
   EXPECT_EQ(r1.iterations, r2.iterations);
@@ -313,7 +313,7 @@ TEST(Generator, OptimizationsDoNotChangeResults) {
   neither.use_growth_cache = false;
   neither.use_nybble_tree = false;
 
-  const Result reference = Generate(seeds, base);
+  const GenerationResult reference = Generate(seeds, base);
   EXPECT_EQ(Generate(seeds, no_cache).targets, reference.targets);
   EXPECT_EQ(Generate(seeds, no_tree).targets, reference.targets);
   EXPECT_EQ(Generate(seeds, neither).targets, reference.targets);
@@ -334,8 +334,8 @@ TEST(Generator, ExactAccountingNeverChargesMoreThanArithmetic) {
   exact.accounting = BudgetAccounting::kExactUnique;
   Config arith = exact;
   arith.accounting = BudgetAccounting::kArithmetic;
-  const Result exact_result = Generate(seeds, exact);
-  const Result arith_result = Generate(seeds, arith);
+  const GenerationResult exact_result = Generate(seeds, exact);
+  const GenerationResult arith_result = Generate(seeds, arith);
   // Unique tracking can only discover overlap, so exact accounting should
   // commit at least as many growth iterations within the same budget.
   EXPECT_GE(exact_result.iterations, arith_result.iterations);
@@ -349,7 +349,7 @@ TEST(Generator, StatsCountSingletonsAndGrown) {
                                "2001:db8:ffff::1"});
   Config config;
   config.budget = 64;
-  const Result result = Generate(seeds, config);
+  const GenerationResult result = Generate(seeds, config);
   EXPECT_EQ(result.stats.singleton_clusters + result.stats.grown_clusters,
             result.clusters.size());
   EXPECT_GE(result.stats.grown_clusters, 1u);
@@ -370,8 +370,8 @@ TEST(Generator, RngSeedChangesTieBreaksOnly) {
   a.budget = 300;
   Config b = a;
   b.rng_seed = a.rng_seed + 1;
-  const Result ra = Generate(seeds, a);
-  const Result rb = Generate(seeds, b);
+  const GenerationResult ra = Generate(seeds, a);
+  const GenerationResult rb = Generate(seeds, b);
   // Different tie-break seeds may change outputs but never invariants.
   EXPECT_LE(ra.budget_used, a.budget);
   EXPECT_LE(rb.budget_used, b.budget);
@@ -387,7 +387,7 @@ TEST(Generator, HandlesManySeedsInOneSubnetQuickly) {
   }
   Config config;
   config.budget = 10'000;
-  const Result result = Generate(seeds, config);
+  const GenerationResult result = Generate(seeds, config);
   EXPECT_GT(result.targets.size(), seeds.size());
   EXPECT_LE(result.budget_used, config.budget);
 }
@@ -413,7 +413,7 @@ TEST(GeneratorTrace, RecordsOneStepPerIteration) {
   Config config;
   config.budget = 2000;
   config.record_trace = true;
-  const Result result = Generate(seeds, config);
+  const GenerationResult result = Generate(seeds, config);
   ASSERT_EQ(result.trace.size(), result.iterations);
 
   U128 prev_used = 0;
@@ -448,7 +448,7 @@ TEST(GeneratorTrace, TraceExplainsJumpyBudgetResponse) {
   Config config;
   config.budget = 5000;
   config.record_trace = true;
-  const Result result = Generate(seeds, config);
+  const GenerationResult result = Generate(seeds, config);
   ASSERT_FALSE(result.trace.empty());
   bool any_jump = false;
   for (const GrowthStep& step : result.trace) {

@@ -1,0 +1,87 @@
+// Tests for core::Status / core::Result<T>, the exception-free error path
+// used by io/, eval/, and the fault-aware scanner.
+#include "core/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sixgen::core {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+  EXPECT_EQ(status, OkStatus());
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status status = NotFoundError("missing seeds.txt");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing seeds.txt");
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: missing seeds.txt");
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kUnavailable, StatusCode::kDataLoss,
+        StatusCode::kFailedPrecondition, StatusCode::kAborted,
+        StatusCode::kInternal}) {
+    EXPECT_FALSE(StatusCodeName(code).empty());
+  }
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(DataLossError("x"), DataLossError("x"));
+  EXPECT_NE(DataLossError("x"), DataLossError("y"));
+  EXPECT_NE(DataLossError("x"), UnavailableError("x"));
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> result = InvalidArgumentError("bad index");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(Result, ValueOrPrefersValue) {
+  Result<std::string> result = std::string("hello");
+  EXPECT_EQ(result.value_or("fallback"), "hello");
+}
+
+TEST(Result, MoveExtractsValue) {
+  Result<std::vector<int>> result = std::vector<int>{1, 2, 3};
+  const std::vector<int> extracted = std::move(result).value();
+  EXPECT_EQ(extracted.size(), 3u);
+}
+
+TEST(Result, ArrowOperatorReachesMembers) {
+  Result<std::string> result = std::string("abc");
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(ResultDeath, ValueOnErrorAborts) {
+  Result<int> result = InternalError("boom");
+  EXPECT_DEATH((void)result.value(), "error result");
+}
+
+TEST(ResultDeath, OkStatusIsNotAnError) {
+  EXPECT_DEATH(Result<int>{OkStatus()}, "OK status");
+}
+
+}  // namespace
+}  // namespace sixgen::core

@@ -1,0 +1,312 @@
+// Tests for per-prefix checkpointing: record encode/decode, corrupt-line
+// tolerance, fingerprint gating, and the headline guarantee that a killed
+// and resumed pipeline run equals an uninterrupted one.
+#include "eval/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "eval/pipeline.h"
+
+namespace sixgen::eval {
+namespace {
+
+using ip6::Address;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "sixgen_" + name;
+}
+
+CheckpointRecord SampleRecord() {
+  CheckpointRecord record;
+  record.outcome.route = {ip6::Prefix::MustParse("2001:db8:40::/48"), 64500};
+  record.outcome.seed_count = 12;
+  record.outcome.inactive_seed_count = 3;
+  record.outcome.target_count = 4000;
+  record.outcome.hit_count = 2;
+  record.outcome.probes_sent = 4100;
+  record.outcome.cluster_stats.singleton_clusters = 4;
+  record.outcome.cluster_stats.grown_clusters = 2;
+  record.outcome.cluster_stats.dynamic_nybbles[31] = true;
+  record.outcome.cluster_stats.dynamic_nybbles[24] = true;
+  record.outcome.iterations = 57;
+  record.outcome.generation_seconds = 0.125;
+  record.outcome.scan_virtual_seconds = 0.041;
+  record.outcome.faults.lost = 9;
+  record.outcome.faults.rate_limited = 4;
+  record.outcome.faults.duplicates = 1;
+  record.hits = {Address::MustParse("2001:db8:40::1"),
+                 Address::MustParse("2001:db8:40:0:1::20")};
+  return record;
+}
+
+void ExpectSameOutcome(const PrefixOutcome& a, const PrefixOutcome& b) {
+  EXPECT_EQ(a.route, b.route);
+  EXPECT_EQ(a.seed_count, b.seed_count);
+  EXPECT_EQ(a.inactive_seed_count, b.inactive_seed_count);
+  EXPECT_EQ(a.target_count, b.target_count);
+  EXPECT_EQ(a.hit_count, b.hit_count);
+  EXPECT_EQ(a.probes_sent, b.probes_sent);
+  EXPECT_EQ(a.cluster_stats.singleton_clusters,
+            b.cluster_stats.singleton_clusters);
+  EXPECT_EQ(a.cluster_stats.grown_clusters, b.cluster_stats.grown_clusters);
+  EXPECT_EQ(a.cluster_stats.dynamic_nybbles, b.cluster_stats.dynamic_nybbles);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_TRUE(a.faults == b.faults);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_DOUBLE_EQ(a.scan_virtual_seconds, b.scan_virtual_seconds);
+  // generation_seconds is wall time and legitimately differs between runs.
+}
+
+TEST(CheckpointRecordCodec, RoundTripsEveryField) {
+  const CheckpointRecord record = SampleRecord();
+  const std::string line = EncodeCheckpointRecord(record);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+
+  core::Result<CheckpointRecord> decoded = DecodeCheckpointRecord(line);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectSameOutcome(decoded->outcome, record.outcome);
+  EXPECT_DOUBLE_EQ(decoded->outcome.generation_seconds,
+                   record.outcome.generation_seconds);
+  EXPECT_EQ(decoded->hits, record.hits);
+}
+
+TEST(CheckpointRecordCodec, RoundTripsFailedPrefix) {
+  CheckpointRecord record = SampleRecord();
+  record.outcome.status = core::UnavailableError("channel error: upstream");
+  record.outcome.hit_count = 0;
+  record.hits.clear();
+
+  core::Result<CheckpointRecord> decoded =
+      DecodeCheckpointRecord(EncodeCheckpointRecord(record));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->outcome.status, record.outcome.status);
+  EXPECT_TRUE(decoded->hits.empty());
+}
+
+TEST(CheckpointRecordCodec, RejectsCorruptLines) {
+  const std::string good = EncodeCheckpointRecord(SampleRecord());
+  const std::string cases[] = {
+      "",                              // empty
+      "garbage",                       // not a record
+      "Q " + good.substr(2),           // wrong tag
+      good.substr(0, good.size() / 2)  // torn mid-write
+  };
+  for (const std::string& line : cases) {
+    core::Result<CheckpointRecord> decoded = DecodeCheckpointRecord(line);
+    EXPECT_FALSE(decoded.ok()) << "accepted: " << line;
+    EXPECT_EQ(decoded.status().code(), core::StatusCode::kDataLoss);
+  }
+}
+
+TEST(Checkpoint, MissingFileIsAFreshRun) {
+  const CheckpointLoad load =
+      LoadCheckpoint(TempPath("does_not_exist.ckpt"), 0x1234);
+  EXPECT_TRUE(load.records.empty());
+  EXPECT_FALSE(load.fingerprint_mismatch);
+  EXPECT_EQ(load.corrupt_lines, 0u);
+}
+
+TEST(Checkpoint, WriterAppendsAndLoaderRestores) {
+  const std::string path = TempPath("writer_roundtrip.ckpt");
+  std::remove(path.c_str());
+  const std::uint64_t fingerprint = 0xabcdef0123456789ULL;
+
+  core::Result<CheckpointWriter> writer =
+      CheckpointWriter::Open(path, fingerprint, /*fresh=*/true);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  CheckpointRecord first = SampleRecord();
+  CheckpointRecord second = SampleRecord();
+  second.outcome.route = {ip6::Prefix::MustParse("2001:db8:41::/48"), 64501};
+  ASSERT_TRUE(writer->Append(first).ok());
+  ASSERT_TRUE(writer->Append(second).ok());
+
+  const CheckpointLoad load = LoadCheckpoint(path, fingerprint);
+  EXPECT_FALSE(load.fingerprint_mismatch);
+  EXPECT_EQ(load.corrupt_lines, 0u);
+  ASSERT_EQ(load.records.size(), 2u);
+  ASSERT_TRUE(load.records.count("2001:db8:40::/48"));
+  ASSERT_TRUE(load.records.count("2001:db8:41::/48"));
+  ExpectSameOutcome(load.records.at("2001:db8:40::/48").outcome,
+                    first.outcome);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CorruptLinesAreSkippedNotFatal) {
+  const std::string path = TempPath("corrupt_tail.ckpt");
+  std::remove(path.c_str());
+  const std::uint64_t fingerprint = 77;
+  {
+    core::Result<CheckpointWriter> writer =
+        CheckpointWriter::Open(path, fingerprint, /*fresh=*/true);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(SampleRecord()).ok());
+  }
+  {
+    // Simulate a hard kill mid-write: a torn partial record at the tail.
+    std::ofstream out(path, std::ios::app);
+    out << EncodeCheckpointRecord(SampleRecord()).substr(0, 20);
+  }
+  const CheckpointLoad load = LoadCheckpoint(path, fingerprint);
+  EXPECT_EQ(load.records.size(), 1u);
+  EXPECT_EQ(load.corrupt_lines, 1u);
+  EXPECT_FALSE(load.fingerprint_mismatch);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FingerprintMismatchDiscardsRecords) {
+  const std::string path = TempPath("stale_world.ckpt");
+  std::remove(path.c_str());
+  {
+    core::Result<CheckpointWriter> writer =
+        CheckpointWriter::Open(path, /*fingerprint=*/1, /*fresh=*/true);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(SampleRecord()).ok());
+  }
+  const CheckpointLoad load = LoadCheckpoint(path, /*fingerprint=*/2);
+  EXPECT_TRUE(load.fingerprint_mismatch);
+  EXPECT_TRUE(load.records.empty());
+  std::remove(path.c_str());
+}
+
+struct SmallWorld {
+  simnet::Universe universe;
+  std::vector<simnet::SeedRecord> seeds;
+};
+
+SmallWorld MakeSmallWorld() {
+  EvalScale scale;
+  scale.host_factor = 0.1;
+  scale.filler_ases = 20;
+  SmallWorld world{MakeEvalUniverse(11, scale), {}};
+  world.seeds = MakeDnsSeeds(world.universe, 13, 0.5);
+  return world;
+}
+
+TEST(PipelineFingerprintTest, SeparatesWorldsAndConfigs) {
+  const SmallWorld world = MakeSmallWorld();
+  const std::vector<Address> seeds = simnet::SeedAddresses(world.seeds);
+  PipelineConfig config;
+  const std::uint64_t base =
+      PipelineFingerprint(world.universe, seeds, config);
+  EXPECT_EQ(base, PipelineFingerprint(world.universe, seeds, config))
+      << "fingerprint must be stable for identical inputs";
+
+  PipelineConfig other_scan = config;
+  other_scan.scan.rng_seed ^= 1;
+  EXPECT_NE(base, PipelineFingerprint(world.universe, seeds, other_scan));
+
+  PipelineConfig other_plan = config;
+  other_plan.fault_plan.burst_loss.loss_good = 0.1;
+  EXPECT_NE(base, PipelineFingerprint(world.universe, seeds, other_plan));
+
+  PipelineConfig other_budget = config;
+  other_budget.budget_per_prefix = 999;
+  EXPECT_NE(base, PipelineFingerprint(world.universe, seeds, other_budget));
+}
+
+// The headline guarantee: kill the run every N prefixes, resume from the
+// checkpoint, and the stitched-together result is identical (on every
+// deterministic field) to one uninterrupted run.
+TEST(CheckpointResume, InterruptedRunEqualsUninterrupted) {
+  const SmallWorld world = MakeSmallWorld();
+
+  PipelineConfig config;
+  config.budget_per_prefix = 800;
+  config.fault_plan.rng_seed = 99;
+  config.fault_plan.burst_loss.p_enter_burst = 0.02;
+  config.fault_plan.burst_loss.p_exit_burst = 0.3;
+  config.fault_plan.burst_loss.loss_bad = 0.6;
+  config.scan.attempts = 2;
+
+  const PipelineResult oracle =
+      RunSixGenPipeline(world.universe, world.seeds, config);
+
+  PipelineConfig chunked = config;
+  chunked.checkpoint_path = TempPath("resume.ckpt");
+  std::remove(chunked.checkpoint_path.c_str());
+  chunked.max_prefixes_per_run = 4;
+
+  PipelineResult resumed;
+  std::size_t runs = 0;
+  do {
+    resumed = RunSixGenPipeline(world.universe, world.seeds, chunked);
+    ASSERT_TRUE(resumed.checkpoint.io.ok())
+        << resumed.checkpoint.io.ToString();
+    ASSERT_LT(++runs, 200u) << "chunked run failed to make progress";
+  } while (resumed.partial);
+
+  EXPECT_GT(runs, 1u) << "test must actually exercise a resume";
+  EXPECT_EQ(resumed.raw_hits, oracle.raw_hits);
+  EXPECT_EQ(resumed.total_targets, oracle.total_targets);
+  EXPECT_EQ(resumed.total_probes, oracle.total_probes);
+  EXPECT_EQ(resumed.seeds_used, oracle.seeds_used);
+  EXPECT_EQ(resumed.failed_prefixes, oracle.failed_prefixes);
+  EXPECT_TRUE(resumed.faults == oracle.faults);
+  EXPECT_EQ(resumed.dealias.aliased_hits, oracle.dealias.aliased_hits);
+  EXPECT_EQ(resumed.dealias.non_aliased_hits,
+            oracle.dealias.non_aliased_hits);
+  ASSERT_EQ(resumed.prefixes.size(), oracle.prefixes.size());
+  for (std::size_t i = 0; i < resumed.prefixes.size(); ++i) {
+    ExpectSameOutcome(resumed.prefixes[i], oracle.prefixes[i]);
+  }
+  std::remove(chunked.checkpoint_path.c_str());
+}
+
+TEST(CheckpointResume, CompletedRunRerunsLoadOnly) {
+  const SmallWorld world = MakeSmallWorld();
+  PipelineConfig config;
+  config.budget_per_prefix = 400;
+  config.run_dealias = false;
+  config.checkpoint_path = TempPath("complete.ckpt");
+  std::remove(config.checkpoint_path.c_str());
+
+  const PipelineResult first =
+      RunSixGenPipeline(world.universe, world.seeds, config);
+  ASSERT_TRUE(first.checkpoint.io.ok());
+  EXPECT_FALSE(first.partial);
+  EXPECT_EQ(first.checkpoint.loaded, 0u);
+  EXPECT_GT(first.checkpoint.written, 0u);
+
+  const PipelineResult second =
+      RunSixGenPipeline(world.universe, world.seeds, config);
+  ASSERT_TRUE(second.checkpoint.io.ok());
+  EXPECT_EQ(second.checkpoint.loaded, first.checkpoint.written);
+  EXPECT_EQ(second.checkpoint.written, 0u);
+  EXPECT_EQ(second.raw_hits, first.raw_hits);
+  EXPECT_EQ(second.total_probes, first.total_probes);
+  for (const PrefixOutcome& outcome : second.prefixes) {
+    EXPECT_TRUE(outcome.from_checkpoint);
+  }
+  std::remove(config.checkpoint_path.c_str());
+}
+
+TEST(CheckpointResume, ChangedConfigRejectsStaleCheckpoint) {
+  const SmallWorld world = MakeSmallWorld();
+  PipelineConfig config;
+  config.budget_per_prefix = 400;
+  config.run_dealias = false;
+  config.checkpoint_path = TempPath("reject.ckpt");
+  std::remove(config.checkpoint_path.c_str());
+
+  const PipelineResult first =
+      RunSixGenPipeline(world.universe, world.seeds, config);
+  ASSERT_GT(first.checkpoint.written, 0u);
+
+  PipelineConfig changed = config;
+  changed.scan.rng_seed ^= 0xdead;
+  const PipelineResult second =
+      RunSixGenPipeline(world.universe, world.seeds, changed);
+  EXPECT_TRUE(second.checkpoint.rejected);
+  EXPECT_EQ(second.checkpoint.loaded, 0u)
+      << "a checkpoint from a different config must not be spliced in";
+  EXPECT_GT(second.checkpoint.written, 0u);
+  std::remove(config.checkpoint_path.c_str());
+}
+
+}  // namespace
+}  // namespace sixgen::eval

@@ -88,9 +88,12 @@ TEST_P(CdnDatasetTest, UniverseHasDiscoveryHeadroom) {
 INSTANTIATE_TEST_SUITE_P(AllCdns, CdnDatasetTest,
                          ::testing::Range(1u, kCdnCount + 1));
 
-TEST(MakeCdnDataset, InvalidIndexThrows) {
-  EXPECT_THROW(MakeCdnDataset(0, 1), std::invalid_argument);
-  EXPECT_THROW(MakeCdnDataset(6, 1), std::invalid_argument);
+TEST(MakeCdnDataset, InvalidIndexIsError) {
+  EXPECT_EQ(TryMakeCdnDataset(0, 1).status().code(),
+            core::StatusCode::kInvalidArgument);
+  EXPECT_EQ(TryMakeCdnDataset(6, 1).status().code(),
+            core::StatusCode::kInvalidArgument);
+  EXPECT_DEATH(MakeCdnDataset(0, 1), "CDN index");
 }
 
 TEST(MakeCdnDataset, StructureSpectrumIsOrdered) {
@@ -144,7 +147,9 @@ TEST(SplitTrainTest, ShuffleDependsOnSeed) {
 }
 
 TEST(SplitTrainTest, RejectsDegenerateGroupCount) {
-  EXPECT_THROW(SplitTrainTest({}, 1, 5), std::invalid_argument);
+  EXPECT_EQ(TrySplitTrainTest({}, 1, 5).status().code(),
+            core::StatusCode::kInvalidArgument);
+  EXPECT_DEATH(SplitTrainTest({}, 1, 5), ">=2 groups");
 }
 
 TEST(InverseKFold, EveryAddressTrainsExactlyOnce) {
@@ -182,7 +187,9 @@ TEST(InverseKFold, LastFoldAbsorbsRemainder) {
 }
 
 TEST(InverseKFold, RejectsDegenerateGroups) {
-  EXPECT_THROW(InverseKFold({}, 1, 3), std::invalid_argument);
+  EXPECT_EQ(TryInverseKFold({}, 1, 3).status().code(),
+            core::StatusCode::kInvalidArgument);
+  EXPECT_DEATH(InverseKFold({}, 1, 3), ">=2 groups");
 }
 
 TEST(SummarizeFolds, MeanAndStddev) {

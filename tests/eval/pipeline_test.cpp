@@ -131,6 +131,88 @@ TEST(Pipeline, ChurnedSeedsReportedInactive) {
       << "~30% churn must surface as inactive seeds";
 }
 
+TEST(Pipeline, FailedPrefixIsIsolatedNotFatal) {
+  // A hard channel failure inside one routed prefix must not abort the run
+  // or leak a partial hit sample from the failed prefix.
+  const SmallWorld world = MakeSmallWorld();
+  PipelineConfig clean_config;
+  clean_config.budget_per_prefix = 500;
+  clean_config.run_dealias = false;
+  const PipelineResult clean =
+      RunSixGenPipeline(world.universe, world.seeds, clean_config);
+  ASSERT_GT(clean.prefixes.size(), 2u);
+  ASSERT_EQ(clean.failed_prefixes, 0u);
+
+  // Fail the routed prefix that contributed the most raw hits.
+  const PrefixOutcome* victim = &clean.prefixes.front();
+  for (const PrefixOutcome& outcome : clean.prefixes) {
+    if (outcome.hit_count > victim->hit_count) victim = &outcome;
+  }
+  ASSERT_GT(victim->hit_count, 0u);
+
+  PipelineConfig faulty_config = clean_config;
+  faulty_config.fault_plan.error_prefixes.push_back(victim->route.prefix);
+  const PipelineResult faulty =
+      RunSixGenPipeline(world.universe, world.seeds, faulty_config);
+
+  EXPECT_EQ(faulty.failed_prefixes, 1u);
+  EXPECT_EQ(faulty.prefixes.size(), clean.prefixes.size())
+      << "every prefix must still be reported";
+  EXPECT_EQ(faulty.raw_hits.size(),
+            clean.raw_hits.size() - victim->hit_count)
+      << "the failed prefix contributes nothing; the rest are unaffected";
+  for (const PrefixOutcome& outcome : faulty.prefixes) {
+    if (outcome.route == victim->route) {
+      EXPECT_FALSE(outcome.status.ok());
+      EXPECT_EQ(outcome.status.code(), core::StatusCode::kUnavailable);
+      EXPECT_EQ(outcome.hit_count, 0u);
+      EXPECT_GT(outcome.faults.channel_errors, 0u);
+    } else {
+      EXPECT_TRUE(outcome.status.ok()) << outcome.route.prefix.ToString();
+    }
+  }
+}
+
+TEST(Pipeline, ZeroFaultPlanMatchesPristineRun) {
+  // An explicitly-constructed all-zero plan must be byte-identical to the
+  // default pristine network (the FaultyChannel is bypassed entirely).
+  const SmallWorld world = MakeSmallWorld();
+  PipelineConfig config;
+  config.budget_per_prefix = 800;
+  const PipelineResult pristine =
+      RunSixGenPipeline(world.universe, world.seeds, config);
+
+  PipelineConfig zeroed = config;
+  zeroed.fault_plan = faultnet::FaultPlan{};
+  ASSERT_TRUE(zeroed.fault_plan.IsZero());
+  const PipelineResult zero_plan =
+      RunSixGenPipeline(world.universe, world.seeds, zeroed);
+
+  EXPECT_EQ(zero_plan.raw_hits, pristine.raw_hits);
+  EXPECT_EQ(zero_plan.total_probes, pristine.total_probes);
+  EXPECT_EQ(zero_plan.dealias.non_aliased_hits,
+            pristine.dealias.non_aliased_hits);
+  EXPECT_EQ(zero_plan.faults.Total(), 0u);
+}
+
+TEST(Pipeline, FaultyRunAggregatesPerPrefixTallies) {
+  const SmallWorld world = MakeSmallWorld();
+  PipelineConfig config;
+  config.budget_per_prefix = 500;
+  config.run_dealias = false;
+  config.fault_plan.burst_loss.loss_good = 0.2;
+  const PipelineResult result =
+      RunSixGenPipeline(world.universe, world.seeds, config);
+
+  faultnet::FaultTally summed;
+  for (const PrefixOutcome& outcome : result.prefixes) {
+    summed += outcome.faults;
+  }
+  EXPECT_TRUE(result.faults == summed)
+      << "with dealiasing off, the run tally is the sum over prefixes";
+  EXPECT_GT(result.faults.lost, 0u);
+}
+
 TEST(ScanAndDealias, EvaluatesExternalTargetLists) {
   const SmallWorld world = MakeSmallWorld();
   // Probe the seed addresses themselves: every active tcp80 seed must hit.

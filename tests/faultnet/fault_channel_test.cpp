@@ -1,0 +1,281 @@
+// Tests for the fault-injection layer: token bucket, FaultyChannel fault
+// models, and their determinism.
+#include "faultnet/fault_channel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "faultnet/token_bucket.h"
+
+namespace sixgen::faultnet {
+namespace {
+
+using ip6::Address;
+using ip6::Prefix;
+using simnet::AllocationPolicy;
+using simnet::Service;
+
+simnet::Universe TestUniverse() {
+  simnet::UniverseSpec spec;
+  simnet::AsSpec as_spec;
+  as_spec.asn = 100;
+  as_spec.name = "TestNet";
+  simnet::NetworkSpec net;
+  net.prefix = Prefix::MustParse("2001:db8::/32");
+  net.asn = 100;
+  net.subnet_count = 2;
+  net.host_count = 100;
+  net.web_fraction = 1.0;
+  net.policy_mix = {{AllocationPolicy::kLowByte, 1.0}};
+  as_spec.networks.push_back(net);
+  spec.ases.push_back(as_spec);
+  return simnet::Universe::Synthesize(spec, 17);
+}
+
+// --- TokenBucket ---------------------------------------------------------
+
+TEST(TokenBucket, StartsFullAndDrainsToEmpty) {
+  TokenBucket bucket(/*tokens_per_second=*/1.0, /*capacity=*/3.0);
+  EXPECT_TRUE(bucket.TryConsume(0.0));
+  EXPECT_TRUE(bucket.TryConsume(0.0));
+  EXPECT_TRUE(bucket.TryConsume(0.0));
+  EXPECT_FALSE(bucket.TryConsume(0.0)) << "capacity is 3 tokens";
+}
+
+TEST(TokenBucket, RefillsAtConfiguredRate) {
+  TokenBucket bucket(/*tokens_per_second=*/2.0, /*capacity=*/2.0);
+  EXPECT_TRUE(bucket.TryConsume(0.0));
+  EXPECT_TRUE(bucket.TryConsume(0.0));
+  EXPECT_FALSE(bucket.TryConsume(0.0));
+  // 0.5 s at 2 tokens/s refills exactly one token.
+  EXPECT_TRUE(bucket.TryConsume(0.5));
+  EXPECT_FALSE(bucket.TryConsume(0.5));
+}
+
+TEST(TokenBucket, RefillCapsAtCapacity) {
+  TokenBucket bucket(/*tokens_per_second=*/100.0, /*capacity=*/2.0);
+  EXPECT_TRUE(bucket.TryConsume(0.0));
+  // A long idle period must not bank more than `capacity` tokens.
+  EXPECT_DOUBLE_EQ(bucket.Available(1000.0), 2.0);
+  EXPECT_TRUE(bucket.TryConsume(1000.0));
+  EXPECT_TRUE(bucket.TryConsume(1000.0));
+  EXPECT_FALSE(bucket.TryConsume(1000.0));
+}
+
+TEST(TokenBucket, AvailableReportsFractionalTokens) {
+  TokenBucket bucket(/*tokens_per_second=*/1.0, /*capacity=*/4.0);
+  ASSERT_TRUE(bucket.TryConsume(0.0));
+  EXPECT_DOUBLE_EQ(bucket.Available(0.25), 3.25);
+}
+
+// --- FaultyChannel -------------------------------------------------------
+
+TEST(FaultyChannel, ZeroPlanMatchesDirectChannel) {
+  const auto universe = TestUniverse();
+  FaultPlan plan;
+  ASSERT_TRUE(plan.IsZero());
+  FaultyChannel faulty(universe, plan);
+  DirectChannel direct(universe);
+  std::vector<Address> probes;
+  for (const simnet::Host& h : universe.hosts()) probes.push_back(h.addr);
+  probes.push_back(Address::MustParse("3fff::1"));  // inactive
+  for (const Address& addr : probes) {
+    const ProbeOutcome a = faulty.Probe(addr, Service::kTcp80, 0.0);
+    const ProbeOutcome b = direct.Probe(addr, Service::kTcp80, 0.0);
+    EXPECT_EQ(a.responded, b.responded);
+    EXPECT_EQ(a.fault, FaultKind::kNone);
+    EXPECT_EQ(a.duplicate_responses, 0u);
+  }
+}
+
+TEST(FaultyChannel, BlackholedPrefixSwallowsProbes) {
+  const auto universe = TestUniverse();
+  const Address host = universe.hosts().front().addr;
+  FaultPlan plan;
+  plan.blackholes.push_back(Prefix::Of(host, 64));
+  FaultyChannel channel(universe, plan);
+  const ProbeOutcome outcome = channel.Probe(host, Service::kTcp80, 0.0);
+  EXPECT_FALSE(outcome.responded);
+  EXPECT_EQ(outcome.fault, FaultKind::kBlackholed);
+}
+
+TEST(FaultyChannel, ErrorPrefixFailsHard) {
+  const auto universe = TestUniverse();
+  const Address host = universe.hosts().front().addr;
+  FaultPlan plan;
+  plan.error_prefixes.push_back(Prefix::Of(host, 48));
+  FaultyChannel channel(universe, plan);
+  EXPECT_EQ(channel.Probe(host, Service::kTcp80, 0.0).fault,
+            FaultKind::kChannelError);
+  // Addresses outside the error prefix are unaffected.
+  const Address elsewhere = Address::MustParse("3fff::1");
+  EXPECT_EQ(channel.Probe(elsewhere, Service::kTcp80, 0.0).fault,
+            FaultKind::kNone);
+}
+
+TEST(FaultyChannel, OutageOnlyInsideItsWindow) {
+  const auto universe = TestUniverse();
+  const Address host = universe.hosts().front().addr;
+  FaultPlan plan;
+  plan.outages.push_back({/*asn=*/100, /*start=*/10.0, /*end=*/20.0});
+  FaultyChannel channel(universe, plan);
+  EXPECT_TRUE(channel.Probe(host, Service::kTcp80, 5.0).responded);
+  const ProbeOutcome mid = channel.Probe(host, Service::kTcp80, 15.0);
+  EXPECT_FALSE(mid.responded);
+  EXPECT_EQ(mid.fault, FaultKind::kOutage);
+  EXPECT_TRUE(channel.Probe(host, Service::kTcp80, 25.0).responded);
+}
+
+TEST(FaultyChannel, OutageOfOtherAsDoesNotApply) {
+  const auto universe = TestUniverse();
+  const Address host = universe.hosts().front().addr;
+  FaultPlan plan;
+  plan.outages.push_back({/*asn=*/999, /*start=*/0.0, /*end=*/100.0});
+  FaultyChannel channel(universe, plan);
+  EXPECT_TRUE(channel.Probe(host, Service::kTcp80, 50.0).responded);
+}
+
+TEST(FaultyChannel, CertainBurstLossDropsEverything) {
+  const auto universe = TestUniverse();
+  FaultPlan plan;
+  plan.burst_loss.p_enter_burst = 1.0;
+  plan.burst_loss.p_exit_burst = 0.0;
+  plan.burst_loss.loss_bad = 1.0;
+  FaultyChannel channel(universe, plan);
+  for (const simnet::Host& h : universe.hosts()) {
+    const ProbeOutcome outcome = channel.Probe(h.addr, Service::kTcp80, 0.0);
+    EXPECT_FALSE(outcome.responded);
+    EXPECT_EQ(outcome.fault, FaultKind::kLost);
+  }
+}
+
+TEST(FaultyChannel, BurstLossIsBursty) {
+  const auto universe = TestUniverse();
+  const Address host = universe.hosts().front().addr;
+  FaultPlan plan;
+  plan.burst_loss.p_enter_burst = 0.05;
+  plan.burst_loss.p_exit_burst = 0.2;
+  plan.burst_loss.loss_good = 0.0;
+  plan.burst_loss.loss_bad = 1.0;
+  FaultyChannel channel(universe, plan);
+  // With loss only in the bad state, losses must arrive in runs whose mean
+  // length is 1/p_exit = 5; measure that the loss pattern clusters.
+  std::vector<bool> lost;
+  for (int i = 0; i < 4000; ++i) {
+    lost.push_back(channel.Probe(host, Service::kTcp80, 0.0).fault ==
+                   FaultKind::kLost);
+  }
+  std::size_t losses = 0, runs = 0;
+  for (std::size_t i = 0; i < lost.size(); ++i) {
+    losses += lost[i];
+    runs += lost[i] && (i == 0 || !lost[i - 1]);
+  }
+  ASSERT_GT(losses, 100u) << "burst loss never engaged";
+  const double mean_run = static_cast<double>(losses) /
+                          static_cast<double>(runs);
+  EXPECT_GT(mean_run, 2.0) << "losses should cluster into bursts";
+}
+
+TEST(FaultyChannel, RateLimitSuppressesBurstsThenRecovers) {
+  const auto universe = TestUniverse();
+  const Address host = universe.hosts().front().addr;
+  FaultPlan plan;
+  plan.rate_limit.tokens_per_second = 1.0;
+  plan.rate_limit.bucket_capacity = 2.0;
+  FaultyChannel channel(universe, plan);
+  EXPECT_TRUE(channel.Probe(host, Service::kTcp80, 0.0).responded);
+  EXPECT_TRUE(channel.Probe(host, Service::kTcp80, 0.0).responded);
+  const ProbeOutcome limited = channel.Probe(host, Service::kTcp80, 0.0);
+  EXPECT_FALSE(limited.responded);
+  EXPECT_EQ(limited.fault, FaultKind::kRateLimited);
+  // One second later one token has refilled.
+  EXPECT_TRUE(channel.Probe(host, Service::kTcp80, 1.0).responded);
+  EXPECT_FALSE(channel.Probe(host, Service::kTcp80, 1.0).responded);
+}
+
+TEST(FaultyChannel, RateLimitOnlyChargesWouldBeResponses) {
+  const auto universe = TestUniverse();
+  const Address host = universe.hosts().front().addr;
+  const Address silent = Address::MustParse("3fff::1");
+  FaultPlan plan;
+  plan.rate_limit.tokens_per_second = 0.001;
+  plan.rate_limit.bucket_capacity = 1.0;
+  FaultyChannel channel(universe, plan);
+  // Probing silent space must not drain any bucket.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(channel.Probe(silent, Service::kTcp80, 0.0).fault,
+              FaultKind::kNone);
+  }
+  EXPECT_TRUE(channel.Probe(host, Service::kTcp80, 0.0).responded);
+}
+
+TEST(FaultyChannel, CertainDuplicatesAndLateResponses) {
+  const auto universe = TestUniverse();
+  const Address host = universe.hosts().front().addr;
+  FaultPlan duplicating;
+  duplicating.duplicate_prob = 1.0;
+  FaultyChannel dup_channel(universe, duplicating);
+  const ProbeOutcome dup = dup_channel.Probe(host, Service::kTcp80, 0.0);
+  EXPECT_TRUE(dup.responded);
+  EXPECT_EQ(dup.duplicate_responses, 1u);
+
+  FaultPlan late;
+  late.late_prob = 1.0;
+  FaultyChannel late_channel(universe, late);
+  const ProbeOutcome missed = late_channel.Probe(host, Service::kTcp80, 0.0);
+  EXPECT_FALSE(missed.responded);
+  EXPECT_EQ(missed.fault, FaultKind::kLate);
+}
+
+TEST(FaultyChannel, DeterministicForFixedSeedAndSequence) {
+  const auto universe = TestUniverse();
+  FaultPlan plan;
+  plan.rng_seed = 99;
+  plan.burst_loss = {0.1, 0.3, 0.02, 0.9};
+  plan.duplicate_prob = 0.2;
+  plan.late_prob = 0.1;
+  auto run = [&] {
+    FaultyChannel channel(universe, plan);
+    std::vector<std::pair<bool, FaultKind>> outcomes;
+    double now = 0.0;
+    for (const simnet::Host& h : universe.hosts()) {
+      const ProbeOutcome o = channel.Probe(h.addr, Service::kTcp80, now);
+      outcomes.emplace_back(o.responded, o.fault);
+      now += 0.001;
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FaultPlan, FingerprintSeparatesPlans) {
+  FaultPlan a;
+  FaultPlan b;
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  b.burst_loss.loss_good = 0.01;
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  FaultPlan c;
+  c.blackholes.push_back(Prefix::MustParse("2001:db8::/48"));
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+  EXPECT_FALSE(c.IsZero());
+}
+
+TEST(FaultTally, DeltaAndAccumulate) {
+  FaultTally before;
+  before.lost = 3;
+  FaultTally after = before;
+  after.lost = 5;
+  after.duplicates = 2;
+  const FaultTally delta = TallyDelta(after, before);
+  EXPECT_EQ(delta.lost, 2u);
+  EXPECT_EQ(delta.duplicates, 2u);
+  EXPECT_EQ(delta.Total(), 4u);
+  FaultTally sum;
+  sum += delta;
+  sum += delta;
+  EXPECT_EQ(sum.lost, 4u);
+}
+
+}  // namespace
+}  // namespace sixgen::faultnet

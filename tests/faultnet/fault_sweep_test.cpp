@@ -1,0 +1,155 @@
+// Randomized fault-sweep stress: under every combination of fault knobs the
+// scanner's hits must be a subset of the loss-free oracle, accounting
+// invariants must hold, and outcomes must be reproducible.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "faultnet/fault_channel.h"
+#include "scanner/scanner.h"
+
+namespace sixgen::faultnet {
+namespace {
+
+using ip6::Address;
+using ip6::Prefix;
+using simnet::AllocationPolicy;
+
+simnet::Universe SweepUniverse(std::uint64_t seed) {
+  simnet::UniverseSpec spec;
+  simnet::AsSpec as_spec;
+  as_spec.asn = 200;
+  as_spec.name = "SweepNet";
+  simnet::NetworkSpec net;
+  net.prefix = Prefix::MustParse("2001:db8::/32");
+  net.asn = 200;
+  net.subnet_count = 4;
+  net.host_count = 300;
+  net.web_fraction = 0.8;  // some hosts are silent even without faults
+  net.policy_mix = {{AllocationPolicy::kLowByte, 0.6},
+                    {AllocationPolicy::kSequential, 0.4}};
+  as_spec.networks.push_back(net);
+  spec.ases.push_back(as_spec);
+  return simnet::Universe::Synthesize(spec, seed);
+}
+
+std::vector<Address> AllHostAddresses(const simnet::Universe& u) {
+  std::vector<Address> out;
+  for (const simnet::Host& h : u.hosts()) out.push_back(h.addr);
+  return out;
+}
+
+std::vector<Address> Sorted(std::vector<Address> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+bool IsSubset(const std::vector<Address>& sub,
+              const std::vector<Address>& super_sorted) {
+  return std::all_of(sub.begin(), sub.end(), [&](const Address& a) {
+    return std::binary_search(super_sorted.begin(), super_sorted.end(), a);
+  });
+}
+
+// One plan per severity notch, every fault model engaged at once.
+FaultPlan PlanAtSeverity(double severity, std::uint64_t seed,
+                         const simnet::Universe& universe) {
+  FaultPlan plan;
+  plan.rng_seed = seed;
+  plan.burst_loss.p_enter_burst = 0.02 * severity;
+  plan.burst_loss.p_exit_burst = 0.3;
+  plan.burst_loss.loss_good = 0.02 * severity;
+  plan.burst_loss.loss_bad = 0.8 * severity;
+  plan.rate_limit.tokens_per_second = 50'000.0 * (1.1 - severity);
+  plan.rate_limit.bucket_capacity = 64.0;
+  plan.duplicate_prob = 0.05 * severity;
+  plan.late_prob = 0.05 * severity;
+  // One subnet's /64; the adjacent subnets only differ below bit 60, so a
+  // shorter prefix would swallow the whole universe.
+  plan.blackholes.push_back(
+      Prefix::Of(universe.hosts().front().addr, 64));
+  plan.outages.push_back({/*asn=*/200, /*start=*/0.001, /*end=*/0.002});
+  return plan;
+}
+
+TEST(FaultSweep, HitsAreAlwaysSubsetOfOracle) {
+  for (std::uint64_t world_seed : {7u, 23u}) {
+    const auto universe = SweepUniverse(world_seed);
+    const auto targets = AllHostAddresses(universe);
+
+    scanner::ScanConfig scan_config;
+    scan_config.attempts = 3;
+    scan_config.backoff_initial_seconds = 0.001;
+    scanner::SimulatedScanner oracle_scan(universe, scan_config);
+    const auto oracle =
+        Sorted(oracle_scan.Scan(targets).hits);  // loss-free ground truth
+
+    for (double severity : {0.1, 0.4, 0.8}) {
+      for (std::uint64_t plan_seed : {1u, 2u, 3u}) {
+        FaultPlan plan = PlanAtSeverity(severity, plan_seed, universe);
+        FaultyChannel channel(universe, plan);
+        scanner::SimulatedScanner scan(channel, scan_config);
+        const scanner::ScanResult result = scan.Scan(targets);
+
+        EXPECT_TRUE(IsSubset(result.hits, oracle))
+            << "faults must only remove hits (severity " << severity
+            << ", seed " << plan_seed << ")";
+        EXPECT_LE(result.hits.size(), oracle.size());
+        EXPECT_GE(result.probes_sent, result.targets_probed);
+        EXPECT_GE(result.virtual_seconds,
+                  static_cast<double>(result.probes_sent) /
+                      static_cast<double>(scan_config.packets_per_second))
+            << "virtual time must include backoff";
+        EXPECT_TRUE(result.status.ok());
+        EXPECT_GT(result.faults.Total(), 0u)
+            << "a non-zero plan must inject observable faults";
+        EXPECT_EQ(result.faults.channel_errors, 0u);
+      }
+    }
+  }
+}
+
+TEST(FaultSweep, SeverityMonotonicallyErodesHitsOnAverage) {
+  const auto universe = SweepUniverse(11);
+  const auto targets = AllHostAddresses(universe);
+  scanner::ScanConfig scan_config;
+  scan_config.attempts = 2;
+
+  auto hits_at = [&](double severity) {
+    std::size_t total = 0;
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+      FaultPlan plan = PlanAtSeverity(severity, seed, universe);
+      FaultyChannel channel(universe, plan);
+      scanner::SimulatedScanner scan(channel, scan_config);
+      total += scan.Scan(targets).hits.size();
+    }
+    return total;
+  };
+
+  const std::size_t mild = hits_at(0.1);
+  const std::size_t severe = hits_at(0.9);
+  EXPECT_GT(mild, severe)
+      << "averaged over seeds, harsher faults must cost hits";
+}
+
+TEST(FaultSweep, FaultedScanIsReproducible) {
+  const auto universe = SweepUniverse(5);
+  const auto targets = AllHostAddresses(universe);
+  scanner::ScanConfig scan_config;
+  scan_config.attempts = 3;
+  auto run = [&] {
+    FaultPlan plan = PlanAtSeverity(0.5, 77, universe);
+    FaultyChannel channel(universe, plan);
+    scanner::SimulatedScanner scan(channel, scan_config);
+    scanner::ScanResult result = scan.Scan(targets);
+    return std::pair(result.hits, result.faults);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_TRUE(a.second == b.second);
+}
+
+}  // namespace
+}  // namespace sixgen::faultnet

@@ -51,7 +51,7 @@ TEST_P(GeneratorFuzz, CoreInvariantsHoldOnRandomInputs) {
                                 : core::BudgetAccounting::kArithmetic;
   config.rng_seed = rng();
 
-  const core::Result result = core::Generate(seeds, config);
+  const core::GenerationResult result = core::Generate(seeds, config);
 
   // 1. Budget is never exceeded.
   EXPECT_LE(result.budget_used, config.budget);
@@ -97,7 +97,7 @@ TEST_P(GeneratorFuzz, CoreInvariantsHoldOnRandomInputs) {
   }
 
   // 6. Determinism: an identical rerun is bit-identical.
-  const core::Result rerun = core::Generate(seeds, config);
+  const core::GenerationResult rerun = core::Generate(seeds, config);
   EXPECT_EQ(rerun.targets, result.targets);
   EXPECT_EQ(rerun.budget_used, result.budget_used);
 }

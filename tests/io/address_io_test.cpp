@@ -66,16 +66,25 @@ TEST(AddressFile, WriteThenReadBack) {
     addrs.push_back(
         Address::FromU128(Address::MustParse("2001:db8::").ToU128() + i));
   }
-  ASSERT_TRUE(WriteAddressFile(path, addrs));
+  ASSERT_TRUE(WriteAddressFile(path, addrs).ok());
   const auto loaded = ReadAddressFile(path);
-  ASSERT_TRUE(loaded.has_value());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_TRUE(loaded->ok());
   EXPECT_EQ(loaded->values, addrs);
   std::remove(path.c_str());
 }
 
-TEST(AddressFile, MissingFileIsNullopt) {
-  EXPECT_FALSE(ReadAddressFile("/nonexistent/sixgen/file.txt").has_value());
+TEST(AddressFile, MissingFileIsNotFound) {
+  const auto loaded = ReadAddressFile("/nonexistent/sixgen/file.txt");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), core::StatusCode::kNotFound);
+}
+
+TEST(AddressFile, UnwritablePathIsUnavailable) {
+  const core::Status written =
+      WriteAddressFile("/nonexistent/sixgen/out.txt", {});
+  EXPECT_FALSE(written.ok());
+  EXPECT_EQ(written.code(), core::StatusCode::kUnavailable);
 }
 
 TEST(ReadRanges, WildcardSyntaxRoundTrips) {

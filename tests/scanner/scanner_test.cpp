@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+#include <vector>
+
 namespace sixgen::scanner {
 namespace {
 
@@ -178,6 +182,97 @@ TEST(SimulatedScanner, PartialBlacklistOnlyBlocksCoveredTargets) {
   for (const Address& hit : result.hits) {
     EXPECT_FALSE(blacklist.Contains(hit));
   }
+}
+
+TEST(SimulatedScanner, LossFateIndependentOfProbeOrder) {
+  // The shuffle and the loss draws use independent RNG streams, and loss is
+  // a counter-based hash of (address, attempt): reordering the scan must
+  // not change which targets respond.
+  const auto universe = TestUniverse();
+  const auto targets = ActiveTargets(universe);
+  ScanConfig config;
+  config.loss_rate = 0.4;
+  config.attempts = 2;
+
+  auto sorted_hits = [&](bool randomize, std::uint64_t seed) {
+    ScanConfig c = config;
+    c.randomize_order = randomize;
+    c.rng_seed = seed;
+    SimulatedScanner scanner(universe, c);
+    auto hits = scanner.Scan(targets).hits;
+    std::sort(hits.begin(), hits.end());
+    return hits;
+  };
+
+  const auto in_order = sorted_hits(false, 1);
+  EXPECT_EQ(in_order, sorted_hits(true, 1))
+      << "shuffling the order must not change loss fates";
+  EXPECT_NE(in_order, sorted_hits(false, 3))
+      << "a different rng_seed must change the loss stream itself";
+}
+
+TEST(SimulatedScanner, AppendingTargetsPreservesExistingFates) {
+  // Loss draws are per-address, not positional: growing the target list
+  // must not flip the fate of any address already in it.
+  const auto universe = TestUniverse();
+  const auto all = ActiveTargets(universe);
+  const std::vector<Address> half(all.begin(),
+                                  all.begin() + all.size() / 2);
+  ScanConfig config;
+  config.loss_rate = 0.4;
+
+  auto sorted_hits = [&](std::span<const Address> targets) {
+    SimulatedScanner scanner(universe, config);
+    auto hits = scanner.Scan(targets).hits;
+    std::sort(hits.begin(), hits.end());
+    return hits;
+  };
+
+  const auto half_hits = sorted_hits(half);
+  const auto all_hits = sorted_hits(all);
+  for (const Address& addr : half) {
+    EXPECT_EQ(std::binary_search(half_hits.begin(), half_hits.end(), addr),
+              std::binary_search(all_hits.begin(), all_hits.end(), addr));
+  }
+}
+
+TEST(SimulatedScanner, BackoffIsChargedToTheVirtualClock) {
+  const auto universe = TestUniverse();
+  ScanConfig config;
+  config.loss_rate = 0.5;
+  config.attempts = 4;
+  config.packets_per_second = 1000;
+  config.backoff_initial_seconds = 0.01;
+  SimulatedScanner scanner(universe, config);
+  const auto targets = ActiveTargets(universe);
+  const ScanResult result = scanner.Scan(targets);
+
+  EXPECT_GT(result.retries, 0u);
+  EXPECT_GT(result.backoff_seconds, 0.0);
+  const double sending =
+      static_cast<double>(result.probes_sent) /
+      static_cast<double>(config.packets_per_second);
+  EXPECT_NEAR(result.virtual_seconds, sending + result.backoff_seconds,
+              1e-12);
+  EXPECT_NEAR(scanner.VirtualNow(), result.virtual_seconds, 1e-12)
+      << "the scanner clock and the scan report must agree";
+}
+
+TEST(SimulatedScanner, LostProbesAreTallied) {
+  // Every host responds, so on a direct channel each probe either hits or
+  // was lost: the tally must account for exactly the difference.
+  const auto universe = TestUniverse();
+  ScanConfig config;
+  config.loss_rate = 0.3;
+  config.attempts = 3;
+  SimulatedScanner scanner(universe, config);
+  const auto targets = ActiveTargets(universe);
+  const ScanResult result = scanner.Scan(targets);
+
+  EXPECT_EQ(result.faults.lost, result.probes_sent - result.hits.size());
+  EXPECT_EQ(result.faults.Total(), result.faults.lost)
+      << "a direct channel injects nothing but the scanner's own loss";
+  EXPECT_TRUE(result.faults == scanner.TotalFaults());
 }
 
 TEST(RollupHits, CountsByAsAndPrefix) {
