@@ -30,6 +30,7 @@ struct Row {
 }  // namespace
 
 int main() {
+  bench::BenchMain bench_main("ablation_adaptive");
   const auto world = bench::MakeWorld(/*host_factor=*/0.4);
   const std::uint64_t per_prefix_budget = 10'000;
 

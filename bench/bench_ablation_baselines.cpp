@@ -29,6 +29,7 @@ std::size_t CountFound(const std::vector<ip6::Address>& targets,
 }  // namespace
 
 int main() {
+  bench::BenchMain bench_main("ablation_baselines");
   std::printf("%s",
               analysis::Banner("Baseline ablation: test addresses found "
                                "(train 10% / test 90%, budget 30K)")

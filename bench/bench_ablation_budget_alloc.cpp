@@ -13,6 +13,7 @@
 using namespace sixgen;
 
 int main() {
+  bench::BenchMain bench_main("ablation_budget_alloc");
   const auto world = bench::MakeWorld(/*host_factor=*/0.4);
   // Global budget = what the uniform policy would spend in total.
   const std::uint64_t global_budget = 120'000;

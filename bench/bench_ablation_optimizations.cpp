@@ -7,6 +7,7 @@
 
 #include <random>
 
+#include "bench_common.h"
 #include "core/generator.h"
 #include "simnet/allocation.h"
 
@@ -72,4 +73,13 @@ BENCHMARK(BM_NoNybbleTree)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ArithmeticAccounting)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SingleThread)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Explicit main (instead of BENCHMARK_MAIN) so the run is wrapped in the
+// bench telemetry reporter like every other bench binary.
+int main(int argc, char** argv) {
+  bench::BenchMain bench_main("ablation_optimizations");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -15,6 +15,7 @@
 using namespace sixgen;
 
 int main() {
+  bench::BenchMain bench_main("ablation_seed_prep");
   auto world = bench::MakeWorld(/*host_factor=*/0.5);
   // Churn makes "active seeds only" meaningful: stale DNS records point at
   // retired hosts.

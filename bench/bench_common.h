@@ -13,8 +13,31 @@
 
 #include "eval/datasets.h"
 #include "eval/pipeline.h"
+#include "obs/bench_telemetry.h"
+#include "obs/span.h"
 
 namespace sixgen::bench {
+
+/// Top-level instrumentation for a bench binary. Declare first in main():
+/// the whole run is wrapped in a "bench.<name>" span and, at exit, a
+/// sixgen-bench-v1 record (wall time, peak RSS, probes/sec, hit rate) is
+/// written to $SIXGEN_BENCH_JSON_DIR/BENCH_<name>.json — see
+/// obs/bench_telemetry.h and docs/observability.md. Telemetry is a side
+/// channel: the stdout CSVs the figures are diffed against are untouched.
+/// (Uses the obs classes directly, not the SIXGEN_OBS macros, so the
+/// record is emitted even in SIXGEN_OBS=OFF builds.)
+class BenchMain {
+ public:
+  explicit BenchMain(const std::string& name)
+      : span_("bench." + name), reporter_(name) {}
+
+  /// Override registry-derived probe/hit/target counts or attach extras.
+  obs::BenchReporter& telemetry() { return reporter_; }
+
+ private:
+  obs::ScopedSpan span_;  // declared first: destroyed after the reporter
+  obs::BenchReporter reporter_;
+};
 
 // Canonical world parameters shared by all benches.
 inline constexpr std::uint64_t kUniverseSeed = 0x5eed'0001;

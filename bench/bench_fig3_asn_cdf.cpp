@@ -30,6 +30,7 @@ analysis::Series CdfSeries(
 }  // namespace
 
 int main() {
+  bench::BenchMain bench_main("fig3_asn_cdf");
   const auto world = bench::MakeWorld();
   const auto config = bench::MakePipelineConfig(bench::kDefaultBudget);
   const auto result =

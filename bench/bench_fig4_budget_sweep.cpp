@@ -10,6 +10,7 @@
 using namespace sixgen;
 
 int main() {
+  bench::BenchMain bench_main("fig4_budget_sweep");
   // A lighter world: the sweep runs the full pipeline once per budget.
   const auto world = bench::MakeWorld(/*host_factor=*/0.4);
 

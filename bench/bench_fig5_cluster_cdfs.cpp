@@ -30,6 +30,7 @@ void PrintClusterCdf(const char* title,
 }  // namespace
 
 int main() {
+  bench::BenchMain bench_main("fig5_cluster_cdfs");
   const auto world = bench::MakeWorld();
   auto config = bench::MakePipelineConfig(bench::kDefaultBudget);
   config.run_dealias = false;  // cluster shape does not need the scan

@@ -12,6 +12,7 @@
 using namespace sixgen;
 
 int main() {
+  bench::BenchMain bench_main("fig6_dynamic_nybbles");
   const auto world = bench::MakeWorld();
   auto config = bench::MakePipelineConfig(bench::kDefaultBudget);
   config.run_dealias = false;

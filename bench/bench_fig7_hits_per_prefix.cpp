@@ -11,6 +11,7 @@
 using namespace sixgen;
 
 int main() {
+  bench::BenchMain bench_main("fig7_hits_per_prefix");
   auto world = bench::MakeWorld();
   // §6.6 considers address churn: some seeds point at now-inactive hosts.
   world.universe.ApplyChurn(0.15, 0xc4u);

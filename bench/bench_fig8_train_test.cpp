@@ -30,6 +30,7 @@ double FractionFound(const std::vector<ip6::Address>& targets,
 }  // namespace
 
 int main() {
+  bench::BenchMain bench_main("fig8_train_test");
   std::printf("%s",
               analysis::Banner("Figure 8: train-and-test — fraction of test "
                                "addresses found vs budget (train 10%, "

@@ -34,6 +34,7 @@ ScanCounts ScanTargets(const eval::CdnDataset& cdn,
 }  // namespace
 
 int main() {
+  bench::BenchMain bench_main("fig9_active_scan");
   std::vector<analysis::Series> raw_series;
   std::vector<analysis::Series> filtered_series;
 

@@ -38,6 +38,7 @@ struct Profile {
 }  // namespace
 
 int main() {
+  bench::BenchMain bench_main("robustness_fault_sweep");
   const bench::World world = bench::MakeWorld(/*host_factor=*/0.25);
 
   constexpr double kSeverities[] = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};

@@ -41,6 +41,7 @@ SourceStats Measure(const std::string& name,
 }  // namespace
 
 int main() {
+  bench::BenchMain bench_main("sec31_seed_sources");
   const auto world = bench::MakeWorld(/*host_factor=*/0.4);
 
   // Active source 1: DNS AAAA records (the repo's canonical seed source).

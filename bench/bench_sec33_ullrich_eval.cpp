@@ -36,6 +36,7 @@ double Recall(const std::vector<ip6::Address>& targets,
 }  // namespace
 
 int main() {
+  bench::BenchMain bench_main("sec33_ullrich_eval");
   // A patterned population the recursive bit-fixer was designed for: one
   // /48, subnets 0..7, and IIDs of the form  machine << 16 | 0x0080 — a
   // fixed service tail under a varying machine index. Varying the

@@ -10,6 +10,7 @@
 using namespace sixgen;
 
 int main() {
+  bench::BenchMain bench_main("sec63_tight_vs_loose");
   const auto world = bench::MakeWorld(/*host_factor=*/0.6);
 
   auto run = [&](ip6::RangeMode mode) {

@@ -11,6 +11,7 @@
 using namespace sixgen;
 
 int main() {
+  bench::BenchMain bench_main("sec671_host_type");
   const auto world = bench::MakeWorld(/*host_factor=*/0.6);
   const auto ns_seeds =
       eval::FilterByType(world.seeds, simnet::HostType::kNameServer);

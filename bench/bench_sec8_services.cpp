@@ -24,6 +24,7 @@ std::size_t CleanHits(const eval::PipelineResult& result) {
 }  // namespace
 
 int main() {
+  bench::BenchMain bench_main("sec8_services");
   const auto world = bench::MakeWorld(/*host_factor=*/0.5);
 
   std::printf("%s", analysis::Banner(

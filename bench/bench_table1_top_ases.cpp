@@ -28,6 +28,7 @@ void PrintTopTable(const char* title,
 }  // namespace
 
 int main() {
+  bench::BenchMain bench_main("table1_top_ases");
   const auto world = bench::MakeWorld();
   const auto config = bench::MakePipelineConfig(bench::kDefaultBudget);
   const auto result =

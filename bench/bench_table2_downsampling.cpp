@@ -10,6 +10,7 @@
 using namespace sixgen;
 
 int main() {
+  bench::BenchMain bench_main("table2_downsampling");
   const auto world = bench::MakeWorld(/*host_factor=*/0.5);
   const auto config = bench::MakePipelineConfig(bench::kDefaultBudget);
 

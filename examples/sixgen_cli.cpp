@@ -12,6 +12,14 @@
 //   sixgen analyze <seeds.txt>
 //       Entropy profile, Entropy/IP segmentation, MRA dense prefixes, and
 //       the RFC 7707 IID-pattern histogram of the seed set.
+//   sixgen eval [--budget N] [--progress] [--trace-out F] [--metrics F]
+//               [--out F]
+//       Run the full §6 pipeline on the canonical scaled evaluation
+//       universe (the same world every bench binary uses). --progress
+//       prints one line per routed prefix to stderr; --trace-out writes a
+//       sixgen-trace-v1 JSONL trace; --metrics writes the Prometheus text
+//       exposition of the metrics registry. Stdout is a timing-free CSV:
+//       byte-identical across runs and across SIXGEN_OBS modes.
 //
 // Seed files: one IPv6 address per line, '#' comments.
 #include <cstdio>
@@ -19,6 +27,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "analysis/classifier.h"
@@ -26,8 +35,14 @@
 #include "analysis/report.h"
 #include "core/generator.h"
 #include "entropyip/entropyip.h"
+#include "eval/checkpoint.h"
 #include "eval/csv.h"
+#include "eval/datasets.h"
+#include "eval/pipeline.h"
 #include "io/address_io.h"
+#include "obs/export.h"
+#include "obs/manifest.h"
+#include "obs/trace.h"
 #include "patterns/patterns.h"
 
 using namespace sixgen;
@@ -38,7 +53,9 @@ namespace {
   std::fprintf(stderr,
                "usage: sixgen_cli <generate|entropyip|lowbyte|analyze> "
                "<seeds.txt> [--budget N] [--tight] [--ranges] [--trace] "
-               "[--out FILE]\n");
+               "[--out FILE]\n"
+               "       sixgen_cli eval [--budget N] [--progress] "
+               "[--trace-out FILE] [--metrics FILE] [--out FILE]\n");
   std::exit(2);
 }
 
@@ -49,15 +66,24 @@ struct Options {
   bool tight = false;
   bool ranges = false;
   bool trace = false;
+  bool progress = false;
+  std::string trace_out;
+  std::string metrics_out;
   std::string out_path;
 };
 
 Options ParseArgs(int argc, char** argv) {
-  if (argc < 3) Usage();
+  if (argc < 2) Usage();
   Options options;
   options.command = argv[1];
-  options.seed_path = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  int i = 2;
+  if (options.command != "eval") {
+    // Every other command reads a seed file; eval builds its own world.
+    if (argc < 3) Usage();
+    options.seed_path = argv[2];
+    i = 3;
+  }
+  for (; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--budget" && i + 1 < argc) {
       options.budget = std::strtoull(argv[++i], nullptr, 10);
@@ -67,6 +93,12 @@ Options ParseArgs(int argc, char** argv) {
       options.ranges = true;
     } else if (arg == "--trace") {
       options.trace = true;
+    } else if (arg == "--progress") {
+      options.progress = true;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      options.trace_out = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      options.metrics_out = argv[++i];
     } else if (arg == "--out" && i + 1 < argc) {
       options.out_path = argv[++i];
     } else {
@@ -228,6 +260,97 @@ int RunAnalyze(const Options& options) {
   return 0;
 }
 
+int RunEval(const Options& options) {
+  // The canonical scaled evaluation world — same seed constants and
+  // coverage as the bench binaries (bench/bench_common.h), so CLI runs and
+  // benches are directly comparable.
+  constexpr std::uint64_t kUniverseSeed = 0x5eed'0001;
+  constexpr std::uint64_t kDnsSeedSeed = 0x5eed'0002;
+  constexpr double kSeedCoverage = 0.5;
+  const auto universe = eval::MakeEvalUniverse(kUniverseSeed, {});
+  const auto seeds = eval::MakeDnsSeeds(universe, kDnsSeedSeed, kSeedCoverage);
+
+  eval::PipelineConfig config;
+  config.budget_per_prefix = options.budget;
+
+  std::unique_ptr<obs::TraceSink> sink;
+  if (!options.trace_out.empty()) {
+    std::string error;
+    sink = obs::TraceSink::OpenFile(options.trace_out, &error);
+    if (!sink) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    obs::Manifest manifest;
+    manifest.run_id = "sixgen_cli.eval";
+    manifest.config_fingerprint = eval::PipelineFingerprint(
+        universe, simnet::SeedAddresses(seeds), config);
+    manifest.seeds["universe"] = kUniverseSeed;
+    manifest.seeds["dns"] = kDnsSeedSeed;
+    manifest.seeds["scan"] = config.scan.rng_seed;
+    manifest.notes = "canonical scaled evaluation universe";
+    sink->WriteManifest(manifest);
+    obs::SetGlobalSink(sink.get());
+  }
+
+  if (options.progress) {
+    config.progress = [](const eval::PrefixProgress& progress) {
+      std::fprintf(stderr,
+                   "[%4zu] %-40s probes=%-8zu hits=%-6zu elapsed=%.3fs%s\n",
+                   progress.index,
+                   progress.route.prefix.ToString().c_str(),
+                   progress.probes_sent, progress.hit_count,
+                   progress.elapsed_seconds,
+                   progress.from_checkpoint ? " (checkpoint)" : "");
+    };
+  }
+
+  const auto result = eval::RunSixGenPipeline(universe, seeds, config);
+
+  // Timing-free per-prefix CSV: byte-identical for identical seeds in any
+  // obs mode (tools/check_obs_determinism.sh diffs exactly this output).
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  if (!options.out_path.empty()) {
+    file.open(options.out_path);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   options.out_path.c_str());
+      return 1;
+    }
+    out = &file;
+  }
+  *out << "prefix,asn,seeds,targets,raw_hits,iterations\n";
+  for (const auto& prefix : result.prefixes) {
+    *out << prefix.route.prefix.ToString() << ',' << prefix.route.origin
+         << ',' << prefix.seed_count << ',' << prefix.target_count << ','
+         << prefix.hit_count << ',' << prefix.iterations << '\n';
+  }
+
+  std::fprintf(stderr,
+               "eval: %zu prefixes, %zu targets, %zu probes, %zu raw hits, "
+               "%zu non-aliased, %zu failed\n",
+               result.prefixes.size(), result.total_targets,
+               result.total_probes, result.RawHitCount(),
+               result.NonAliasedHitCount(), result.failed_prefixes);
+
+  if (sink) {
+    // Final registry snapshot so the trace records the run's totals.
+    sink->WriteMetrics(obs::Registry::Global());
+    obs::SetGlobalSink(nullptr);
+  }
+  if (!options.metrics_out.empty()) {
+    std::ofstream metrics(options.metrics_out);
+    if (!metrics) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   options.metrics_out.c_str());
+      return 1;
+    }
+    metrics << obs::PrometheusText();
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -236,6 +359,7 @@ int main(int argc, char** argv) {
   if (options.command == "entropyip") return RunEntropyIp(options);
   if (options.command == "lowbyte") return RunLowByte(options);
   if (options.command == "analyze") return RunAnalyze(options);
+  if (options.command == "eval") return RunEval(options);
   std::fprintf(stderr, "unknown command: %s\n", options.command.c_str());
   Usage();
 }

@@ -10,6 +10,7 @@
 #include "core/contracts.h"
 #include "core/density.h"
 #include "nybtree/nybble_tree.h"
+#include "obs/obs.h"
 
 namespace sixgen::core {
 namespace {
@@ -37,6 +38,15 @@ struct GrowthPlan {
   U128 new_size = 0;
 };
 
+/// Saturating narrow for metric export only; counters cap at 2^64-1.
+/// (Deliberately not checked_cast: a >64-bit budget is legal input and must
+/// not trip a contract just because it was exported to a counter.)
+std::uint64_t SaturateU64(U128 value) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  if (value >= kMax) return kMax;
+  return static_cast<std::uint64_t>(value & kMax);
+}
+
 /// Deterministic per-(cluster, recompute-generation) RNG seed.
 std::uint64_t MixSeed(std::uint64_t base, std::uint64_t a, std::uint64_t b) {
   std::uint64_t x = base ^ (a * 0x9e3779b97f4a7c15ULL) ^
@@ -59,12 +69,16 @@ class Engine {
   }
 
   GenerationResult Run() {
+    SIXGEN_OBS_SPAN(span, "core.generate");
+    SIXGEN_OBS_COUNTER_ADD("core.generate.runs", 1);
     GenerationResult result;
     result.seed_count = seeds_.size();
     if (seeds_.empty()) {
       result.stop_reason = StopReason::kNoCandidates;
       return result;
     }
+    SIXGEN_OBS_SPAN_ATTR(span, "seeds",
+                         static_cast<std::uint64_t>(seeds_.size()));
 
     InitClusters();
     AddressSet emitted;
@@ -228,6 +242,7 @@ class Engine {
         EraseCluster(grown_index);
         ++deleted;
       }
+      SIXGEN_OBS_COUNTER_ADD("core.generate.clusters_deleted", deleted);
       if (config_.record_trace && !result.trace.empty()) {
         result.trace.back().clusters_deleted = deleted;
       }
@@ -248,6 +263,18 @@ class Engine {
     result.iterations = iterations;
     result.stop_reason = stop;
     result.targets = CollectTargets(emitted, sampled_extras, budget_used);
+    SIXGEN_OBS_COUNTER_ADD("core.generate.iterations", iterations);
+    SIXGEN_OBS_COUNTER_ADD("core.generate.budget_used",
+                           SaturateU64(budget_used));
+    SIXGEN_OBS_COUNTER_ADD("core.generate.targets", result.targets.size());
+    SIXGEN_OBS_COUNTER_ADD("core.generate.seed_clusters", result.seed_count);
+    SIXGEN_OBS_SPAN_ATTR(span, "iterations",
+                         static_cast<std::uint64_t>(iterations));
+    SIXGEN_OBS_SPAN_ATTR(span, "targets",
+                         static_cast<std::uint64_t>(result.targets.size()));
+    SIXGEN_OBS_SPAN_ATTR(span, "budget_used", SaturateU64(budget_used));
+    SIXGEN_OBS_HISTOGRAM_OBSERVE("core.generate.seconds",
+                                 span.ElapsedSeconds());
     return result;
   }
 

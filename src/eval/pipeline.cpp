@@ -1,12 +1,13 @@
 #include "eval/pipeline.h"
 
-#include <chrono>
 #include <exception>
 #include <memory>
 #include <utility>
 
 #include "eval/checkpoint.h"
 #include "faultnet/fault_channel.h"
+#include "obs/clock.h"
+#include "obs/obs.h"
 
 namespace sixgen::eval {
 
@@ -59,6 +60,8 @@ CheckpointRecord ProcessPrefix(const Universe& universe,
                                const routing::SeedGroup& group,
                                ip6::U128 budget,
                                const PipelineConfig& config) {
+  SIXGEN_OBS_SPAN(span, "pipeline.prefix");
+  SIXGEN_OBS_SPAN_ATTR(span, "prefix", group.route.prefix.ToString());
   CheckpointRecord record;
   PrefixOutcome& outcome = record.outcome;
   outcome.route = group.route;
@@ -73,19 +76,23 @@ CheckpointRecord ProcessPrefix(const Universe& universe,
     // Distinct, deterministic randomness per prefix.
     gen_config.rng_seed ^= PrefixPerturbation(group.route);
 
-    const auto start = std::chrono::steady_clock::now();
+    // generation_seconds is pipeline *output* (CSV column), not just a
+    // metric, so it reads the obs clock shim directly rather than a macro.
+    const std::uint64_t start_ns = obs::MonotonicNanos();
     core::GenerationResult gen = core::Generate(group.seeds, gen_config);
-    const auto elapsed = std::chrono::steady_clock::now() - start;
+    outcome.generation_seconds =
+        static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9;
 
     outcome.target_count = gen.targets.size();
     outcome.cluster_stats = gen.stats;
     outcome.iterations = gen.iterations;
-    outcome.generation_seconds =
-        std::chrono::duration<double>(elapsed).count();
+    SIXGEN_OBS_HISTOGRAM_OBSERVE("pipeline.prefix.generation_seconds",
+                                 outcome.generation_seconds);
 
     ProbePath path =
         MakeProbePath(universe, config, PrefixPerturbation(group.route));
     scanner::ScanResult scanned = path.scanner->Scan(gen.targets);
+    SIXGEN_OBS_SPAN_VIRTUAL(span, scanned.virtual_seconds);
     outcome.hit_count = scanned.hits.size();
     outcome.probes_sent = scanned.probes_sent;
     outcome.scan_virtual_seconds = scanned.virtual_seconds;
@@ -112,13 +119,20 @@ CheckpointRecord ProcessPrefix(const Universe& universe,
 PipelineResult RunSixGenPipeline(const Universe& universe,
                                  const std::vector<SeedRecord>& seeds,
                                  const PipelineConfig& config) {
+  SIXGEN_OBS_SPAN(run_span, "pipeline.run");
   PipelineResult result;
   const std::vector<Address> seed_addrs = simnet::SeedAddresses(seeds);
   result.seeds_used = seed_addrs.size();
+  SIXGEN_OBS_SPAN_ATTR(run_span, "seeds",
+                       static_cast<std::uint64_t>(seed_addrs.size()));
 
   std::size_t unrouted = 0;
   auto groups =
       routing::GroupByRoutedPrefix(universe.routing(), seed_addrs, &unrouted);
+  SIXGEN_OBS_GAUGE_SET("pipeline.routed_prefixes",
+                       static_cast<double>(groups.size()));
+  SIXGEN_OBS_GAUGE_SET("pipeline.unrouted_seeds",
+                       static_cast<double>(unrouted));
 
   // §8 budget allocation: split a global budget over routed prefixes.
   std::vector<ip6::U128> budgets;
@@ -131,9 +145,13 @@ PipelineResult RunSixGenPipeline(const Universe& universe,
   CheckpointLoad loaded;
   std::optional<CheckpointWriter> writer;
   if (!config.checkpoint_path.empty()) {
+    SIXGEN_OBS_SPAN(ckpt_span, "pipeline.checkpoint.load");
     const std::uint64_t fingerprint =
         PipelineFingerprint(universe, seed_addrs, config);
     loaded = LoadCheckpoint(config.checkpoint_path, fingerprint);
+    SIXGEN_OBS_SPAN_ATTR(
+        ckpt_span, "records",
+        static_cast<std::uint64_t>(loaded.records.size()));
     result.checkpoint.rejected = loaded.fingerprint_mismatch;
     const bool fresh = loaded.records.empty() && loaded.corrupt_lines == 0;
     auto opened =
@@ -153,53 +171,87 @@ PipelineResult RunSixGenPipeline(const Universe& universe,
     if (group.seeds.size() < config.min_seeds) continue;
 
     CheckpointRecord record;
+    double elapsed_seconds = 0.0;
     if (auto it = loaded.records.find(group.route.prefix.ToString());
         it != loaded.records.end()) {
       record = std::move(it->second);
       record.outcome.from_checkpoint = true;
       ++result.checkpoint.loaded;
+      SIXGEN_OBS_COUNTER_ADD("pipeline.checkpoint.loaded", 1);
     } else {
       if (config.max_prefixes_per_run != 0 &&
           newly_processed >= config.max_prefixes_per_run) {
         result.partial = true;
         continue;
       }
+      const std::uint64_t prefix_start_ns = obs::MonotonicNanos();
       record = ProcessPrefix(
           universe, group,
           budgets.empty() ? config.budget_per_prefix : budgets[g], config);
+      elapsed_seconds =
+          static_cast<double>(obs::MonotonicNanos() - prefix_start_ns) * 1e-9;
       ++newly_processed;
+      SIXGEN_OBS_COUNTER_ADD("pipeline.prefixes_processed", 1);
       if (writer && record.outcome.status.ok()) {
+        SIXGEN_OBS_SPAN(write_span, "pipeline.checkpoint.write");
         if (core::Status appended = writer->Append(record); !appended.ok()) {
           result.checkpoint.io = appended;
           writer.reset();  // stop checkpointing, keep scanning
         } else {
           ++result.checkpoint.written;
+          SIXGEN_OBS_COUNTER_ADD("pipeline.checkpoint.written", 1);
         }
       }
     }
 
+    if (!record.outcome.status.ok()) {
+      ++result.failed_prefixes;
+      SIXGEN_OBS_COUNTER_ADD("pipeline.prefixes_failed", 1);
+    }
+    if (config.progress) {
+      PrefixProgress report;
+      report.route = record.outcome.route;
+      report.index = result.prefixes.size();
+      report.probes_sent = record.outcome.probes_sent;
+      report.hit_count = record.outcome.hit_count;
+      report.elapsed_seconds = elapsed_seconds;
+      report.from_checkpoint = record.outcome.from_checkpoint;
+      config.progress(report);
+    }
     result.total_targets += record.outcome.target_count;
     result.total_probes += record.outcome.probes_sent;
     result.faults += record.outcome.faults;
-    if (!record.outcome.status.ok()) ++result.failed_prefixes;
     result.raw_hits.insert(result.raw_hits.end(), record.hits.begin(),
                            record.hits.end());
     result.prefixes.push_back(std::move(record.outcome));
   }
 
   if (config.run_dealias && !result.partial) {
+    SIXGEN_OBS_SPAN(dealias_span, "pipeline.dealias");
     ProbePath path = MakeProbePath(universe, config, kDealiasPerturbation);
     result.dealias = dealias::Dealias(*path.scanner, universe.routing(),
                                       result.raw_hits, config.dealias);
     result.total_probes += result.dealias.probes_sent;
     result.faults += path.scanner->TotalFaults();
+    SIXGEN_OBS_SPAN_ATTR(
+        dealias_span, "probes",
+        static_cast<std::uint64_t>(result.dealias.probes_sent));
   }
+  SIXGEN_OBS_SPAN_ATTR(
+      run_span, "prefixes",
+      static_cast<std::uint64_t>(result.prefixes.size()));
+  SIXGEN_OBS_SPAN_ATTR(
+      run_span, "raw_hits",
+      static_cast<std::uint64_t>(result.raw_hits.size()));
   return result;
 }
 
 PipelineResult ScanAndDealias(const Universe& universe,
                               const std::vector<Address>& targets,
                               const PipelineConfig& config) {
+  SIXGEN_OBS_SPAN(span, "pipeline.scan_and_dealias");
+  SIXGEN_OBS_SPAN_ATTR(span, "targets",
+                       static_cast<std::uint64_t>(targets.size()));
   PipelineResult result;
   ProbePath path = MakeProbePath(universe, config, 0);
   scanner::ScanResult scanned = path.scanner->Scan(targets);

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,17 @@
 #include "simnet/universe.h"
 
 namespace sixgen::eval {
+
+/// Per-prefix completion report, delivered to PipelineConfig::progress as
+/// each routed prefix finishes (sixgen_cli --progress renders these).
+struct PrefixProgress {
+  routing::Route route;
+  std::size_t index = 0;          // 0-based position among reported prefixes
+  std::size_t probes_sent = 0;
+  std::size_t hit_count = 0;
+  double elapsed_seconds = 0.0;   // wall time of generate+scan (0 on restore)
+  bool from_checkpoint = false;   // restored, not recomputed
+};
 
 struct PipelineConfig {
   /// Probe budget per routed prefix (the paper's default is 1 M; the
@@ -64,6 +76,12 @@ struct PipelineConfig {
   /// one completes it. The stopped run is marked partial and skips
   /// dealiasing.
   std::size_t max_prefixes_per_run = 0;
+
+  /// Invoked after each routed prefix completes (including checkpoint
+  /// restores). Observability side channel: the callback must not influence
+  /// the run, and it is excluded from the checkpoint fingerprint. Null
+  /// disables reporting.
+  std::function<void(const PrefixProgress&)> progress;
 };
 
 /// Per-routed-prefix outcome.

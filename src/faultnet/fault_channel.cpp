@@ -2,7 +2,40 @@
 
 #include <utility>
 
+#include "obs/obs.h"
+
 namespace sixgen::faultnet {
+namespace {
+
+/// Self-reports every injected fault to the registry so a trace shows the
+/// ground-truth fault mix without the scanner's cooperation. Names mirror
+/// the FaultTally fields (docs/observability.md).
+void CountFault(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      break;
+    case FaultKind::kLost:
+      SIXGEN_OBS_COUNTER_ADD("faultnet.lost", 1);
+      break;
+    case FaultKind::kBlackholed:
+      SIXGEN_OBS_COUNTER_ADD("faultnet.blackholed", 1);
+      break;
+    case FaultKind::kRateLimited:
+      SIXGEN_OBS_COUNTER_ADD("faultnet.rate_limited", 1);
+      break;
+    case FaultKind::kOutage:
+      SIXGEN_OBS_COUNTER_ADD("faultnet.outages", 1);
+      break;
+    case FaultKind::kLate:
+      SIXGEN_OBS_COUNTER_ADD("faultnet.late", 1);
+      break;
+    case FaultKind::kChannelError:
+      SIXGEN_OBS_COUNTER_ADD("faultnet.channel_errors", 1);
+      break;
+  }
+}
+
+}  // namespace
 
 FaultyChannel::FaultyChannel(const simnet::Universe& universe, FaultPlan plan)
     : universe_(universe), plan_(std::move(plan)), rng_(plan_.rng_seed) {}
@@ -16,6 +49,22 @@ bool FaultyChannel::Draw(double probability) {
 ProbeOutcome FaultyChannel::Probe(const ip6::Address& addr,
                                   simnet::Service service,
                                   double virtual_now_seconds) {
+  SIXGEN_OBS_COUNTER_ADD("faultnet.probes", 1);
+  const ProbeOutcome outcome = ProbeImpl(addr, service, virtual_now_seconds);
+  CountFault(outcome.fault);
+  if (outcome.responded) {
+    SIXGEN_OBS_COUNTER_ADD("faultnet.responses", 1);
+  }
+  if (outcome.duplicate_responses > 0) {
+    SIXGEN_OBS_COUNTER_ADD("faultnet.duplicates",
+                           outcome.duplicate_responses);
+  }
+  return outcome;
+}
+
+ProbeOutcome FaultyChannel::ProbeImpl(const ip6::Address& addr,
+                                      simnet::Service service,
+                                      double virtual_now_seconds) {
   ProbeOutcome outcome;
 
   for (const ip6::Prefix& prefix : plan_.error_prefixes) {

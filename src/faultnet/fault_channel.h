@@ -44,6 +44,9 @@ class FaultyChannel final : public ProbeChannel {
 
  private:
   bool Draw(double probability);
+  /// Fault-decision core; Probe wraps it to self-report metrics.
+  ProbeOutcome ProbeImpl(const ip6::Address& addr, simnet::Service service,
+                         double virtual_now_seconds);
 
   const simnet::Universe& universe_;
   FaultPlan plan_;

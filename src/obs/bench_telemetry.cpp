@@ -1,0 +1,155 @@
+#include "obs/bench_telemetry.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#if __has_include(<sys/resource.h>)
+#include <sys/resource.h>
+#define SIXGEN_HAVE_RUSAGE 1
+#else
+#define SIXGEN_HAVE_RUSAGE 0
+#endif
+
+#include "obs/clock.h"
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/registry.h"
+
+namespace sixgen::obs {
+
+std::uint64_t PeakRssBytes() {
+#if SIXGEN_HAVE_RUSAGE
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes (BSD/macOS in bytes; the factor
+  // only matters for trend plots, and CI runs Linux).
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#else
+  return 0;
+#endif
+}
+
+std::string BenchRecordJson(const BenchRecord& record) {
+  json::ObjectWriter out;
+  out.Field("schema", "sixgen-bench-v1");
+  out.Field("name", record.name);
+  out.Field("wall_seconds", record.wall_seconds);
+  out.Field("peak_rss_bytes", record.peak_rss_bytes);
+  out.Field("probes", record.probes);
+  out.Field("hits", record.hits);
+  out.Field("targets", record.targets);
+  out.Field("probes_per_second", record.probes_per_second);
+  out.Field("hit_rate", record.hit_rate);
+  out.Field("git", GitDescribe());
+  out.Field("build_type", BuildType());
+  out.Field("sanitizers", Sanitizers());
+  out.Field("obs_enabled", ObsInstrumentationCompiledIn());
+  out.Field("unix_seconds", UnixSeconds());
+  json::ObjectWriter extra;
+  for (const auto& [key, value] : record.extra) {
+    extra.Field(key, value);
+  }
+  out.RawField("extra", extra.Finish());
+  return out.Finish();
+}
+
+std::string ValidateBenchRecordJson(std::string_view text) {
+  using Kind = json::Value::Kind;
+  std::string error;
+  const auto value = json::Parse(text, &error);
+  if (!value) return "not valid JSON: " + error;
+  if (!value->IsObject()) return "bench record must be a JSON object";
+  const json::Value* schema = value->Find("schema");
+  if (schema == nullptr || !schema->IsString() ||
+      schema->AsString() != "sixgen-bench-v1") {
+    return "missing or unknown schema (want sixgen-bench-v1)";
+  }
+  const struct {
+    const char* key;
+    Kind kind;
+  } required[] = {
+      {"name", Kind::kString},          {"wall_seconds", Kind::kNumber},
+      {"peak_rss_bytes", Kind::kNumber}, {"probes", Kind::kNumber},
+      {"hits", Kind::kNumber},          {"targets", Kind::kNumber},
+      {"probes_per_second", Kind::kNumber}, {"hit_rate", Kind::kNumber},
+      {"git", Kind::kString},           {"build_type", Kind::kString},
+      {"obs_enabled", Kind::kBool},     {"unix_seconds", Kind::kNumber},
+      {"extra", Kind::kObject},
+  };
+  for (const auto& field : required) {
+    const json::Value* found = value->Find(field.key);
+    if (found == nullptr || found->kind() != field.kind) {
+      return std::string("missing or mistyped field \"") + field.key + "\"";
+    }
+  }
+  if (value->Find("wall_seconds")->AsNumber() < 0.0) {
+    return "wall_seconds must be >= 0";
+  }
+  const double rate = value->Find("hit_rate")->AsNumber();
+  if (rate < 0.0 || rate > 1.0) return "hit_rate must be in [0, 1]";
+  return "";
+}
+
+BenchReporter::BenchReporter(std::string name)
+    : name_(std::move(name)), start_ns_(MonotonicNanos()) {}
+
+void BenchReporter::Extra(std::string_view key, double value) {
+  extra_[std::string(key)] = value;
+}
+
+std::string BenchReporter::OutputPath() const {
+  const char* toggle = std::getenv("SIXGEN_BENCH_JSON");
+  if (toggle != nullptr && toggle[0] == '0' && toggle[1] == '\0') return "";
+  const char* dir = std::getenv("SIXGEN_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0') ? dir : ".";
+  path += "/BENCH_" + name_ + ".json";
+  return path;
+}
+
+BenchReporter::~BenchReporter() {
+  const std::string path = OutputPath();
+  if (path.empty()) return;
+
+  BenchRecord record;
+  record.name = name_;
+  record.wall_seconds =
+      static_cast<double>(MonotonicNanos() - start_ns_) * 1e-9;
+  record.peak_rss_bytes = PeakRssBytes();
+  Registry& registry = Registry::Global();
+  record.probes = explicit_probes_ >= 0
+                      ? static_cast<std::uint64_t>(explicit_probes_)
+                      : registry.GetCounter("scanner.probes_sent").Value();
+  record.hits = explicit_hits_ >= 0
+                    ? static_cast<std::uint64_t>(explicit_hits_)
+                    : registry.GetCounter("scanner.hits").Value();
+  record.targets = explicit_targets_ >= 0
+                       ? static_cast<std::uint64_t>(explicit_targets_)
+                       : registry.GetCounter("core.generate.targets").Value();
+  if (record.wall_seconds > 0.0) {
+    record.probes_per_second =
+        static_cast<double>(record.probes) / record.wall_seconds;
+  }
+  const std::uint64_t probed =
+      registry.GetCounter("scanner.targets_probed").Value();
+  if (explicit_probes_ < 0 && probed > 0) {
+    record.hit_rate =
+        static_cast<double>(record.hits) / static_cast<double>(probed);
+  } else if (record.probes > 0) {
+    record.hit_rate =
+        static_cast<double>(record.hits) / static_cast<double>(record.probes);
+  }
+  if (record.hit_rate > 1.0) record.hit_rate = 1.0;
+  record.extra = extra_;
+
+  const std::string body = BenchRecordJson(record);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench telemetry: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(body.data(), 1, body.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+}
+
+}  // namespace sixgen::obs

@@ -1,0 +1,77 @@
+// Machine-readable bench telemetry: one BENCH_<name>.json record per bench
+// binary run, accumulating the perf trajectory CI artifacts feed on.
+//
+// Schema "sixgen-bench-v1" (docs/observability.md):
+//   {"schema":"sixgen-bench-v1","name":...,"wall_seconds":X,
+//    "peak_rss_bytes":N,"probes":N,"hits":N,"targets":N,
+//    "probes_per_second":X,"hit_rate":X,"git":...,"build_type":...,
+//    "sanitizers":...,"obs_enabled":B,"unix_seconds":N,"extra":{...}}
+//
+// probes/hits/targets default to the global registry's scanner counters
+// (zero in SIXGEN_OBS=OFF builds); benches that know their exact numbers
+// override them via the setters. The record file is a side channel: bench
+// stdout (the CSVs the figures are diffed against) is never touched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace sixgen::obs {
+
+struct BenchRecord {
+  std::string name;
+  double wall_seconds = 0.0;
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t targets = 0;
+  double probes_per_second = 0.0;
+  double hit_rate = 0.0;
+  /// Free-form numeric extras ("prefixes", "budget", ...).
+  std::map<std::string, double> extra;
+};
+
+/// Serializes the record (build identity appended) as one JSON object.
+std::string BenchRecordJson(const BenchRecord& record);
+
+/// Validates text against sixgen-bench-v1; "" when valid, else the first
+/// violation.
+std::string ValidateBenchRecordJson(std::string_view text);
+
+/// Peak resident set size of this process, in bytes (0 if unavailable).
+std::uint64_t PeakRssBytes();
+
+/// RAII reporter: construct first in main(), and on destruction the
+/// record is finalized (wall time from an enclosing span, peak RSS,
+/// registry-derived probe counts unless overridden) and written to
+/// $SIXGEN_BENCH_JSON_DIR/BENCH_<name>.json (default "."). Set
+/// SIXGEN_BENCH_JSON=0 to suppress the file. Write failures are reported
+/// on stderr, never fatal: telemetry must not fail the bench.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string name);
+  ~BenchReporter();
+
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  void SetProbes(std::uint64_t probes) { explicit_probes_ = probes; }
+  void SetHits(std::uint64_t hits) { explicit_hits_ = hits; }
+  void SetTargets(std::uint64_t targets) { explicit_targets_ = targets; }
+  void Extra(std::string_view key, double value);
+
+  /// Path the destructor will write (empty when suppressed).
+  std::string OutputPath() const;
+
+ private:
+  std::string name_;
+  std::uint64_t start_ns_ = 0;
+  std::int64_t explicit_probes_ = -1;
+  std::int64_t explicit_hits_ = -1;
+  std::int64_t explicit_targets_ = -1;
+  std::map<std::string, double> extra_;
+};
+
+}  // namespace sixgen::obs

@@ -1,0 +1,26 @@
+#include "obs/clock.h"
+
+#include <chrono>  // sixgen-lint: allow(no-chrono-in-src) — the one shim
+
+namespace sixgen::obs {
+
+namespace {
+MonotonicFn g_override = nullptr;
+}  // namespace
+
+std::uint64_t MonotonicNanos() {
+  if (g_override != nullptr) return g_override();
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+std::uint64_t UnixSeconds() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(now).count());
+}
+
+void SetMonotonicClockForTest(MonotonicFn fn) { g_override = fn; }
+
+}  // namespace sixgen::obs

@@ -1,0 +1,31 @@
+// The observability clock shim — the only sanctioned wall-clock source in
+// library code. tools/sixgen_lint.py (rule no-chrono-in-src) rejects a
+// direct `#include <chrono>` anywhere else under src/, so every duration
+// the system reports flows through here and stays mockable: tests install
+// a fake monotonic clock and get bit-stable span timings.
+//
+// Two time bases, deliberately separate:
+//   MonotonicNanos — steady, for durations (spans, phase timings). Never
+//                    compared across processes.
+//   UnixSeconds    — wall clock, for manifest timestamps only. Must never
+//                    feed an algorithm or an output that is diffed for
+//                    determinism (trace files are a side channel).
+#pragma once
+
+#include <cstdint>
+
+namespace sixgen::obs {
+
+/// Nanoseconds on a monotonic clock (arbitrary epoch).
+std::uint64_t MonotonicNanos();
+
+/// Seconds since the Unix epoch (manifest timestamps only).
+std::uint64_t UnixSeconds();
+
+/// Test hook: all MonotonicNanos() calls return `fn()` until reset with
+/// nullptr. Not thread-safe against concurrent readers; install before
+/// spawning instrumented threads.
+using MonotonicFn = std::uint64_t (*)();
+void SetMonotonicClockForTest(MonotonicFn fn);
+
+}  // namespace sixgen::obs

@@ -1,0 +1,57 @@
+#include "obs/export.h"
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace sixgen::obs {
+
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PrometheusText(const Registry& registry) {
+  const RegistrySnapshot snap = registry.Snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + json::NumberToString(value) + "\n";
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+      cumulative += hist.counts[i];
+      out += prom + "_bucket{le=\"" + json::NumberToString(hist.bounds[i]) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    cumulative += hist.counts.back();
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+    out += prom + "_sum " + json::NumberToString(hist.sum) + "\n";
+    out += prom + "_count " + std::to_string(hist.count) + "\n";
+  }
+  return out;
+}
+
+std::string RegistryJson(const Registry& registry) {
+  return MetricsJson(registry.Snapshot());
+}
+
+}  // namespace sixgen::obs

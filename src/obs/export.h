@@ -1,0 +1,24 @@
+// Registry exporters: Prometheus text exposition format and JSON.
+//
+// Both render a name-sorted snapshot, so identical workloads export
+// byte-identical text (timing histograms aside). Metric names use dotted
+// paths internally ("scanner.probes_sent"); the Prometheus exporter maps
+// '.' and '-' to '_' to satisfy its charset.
+#pragma once
+
+#include <string>
+
+#include "obs/registry.h"
+
+namespace sixgen::obs {
+
+/// Prometheus text format: counters as `# TYPE <n> counter`, gauges as
+/// gauge, histograms as the conventional _bucket{le=...}/_sum/_count
+/// triplet with a +Inf bucket.
+std::string PrometheusText(const Registry& registry = Registry::Global());
+
+/// {"counters":{...},"gauges":{...},"histograms":{...}} — the same shape
+/// the trace sink's metrics lines use.
+std::string RegistryJson(const Registry& registry = Registry::Global());
+
+}  // namespace sixgen::obs

@@ -1,0 +1,398 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace sixgen::obs::json {
+
+namespace {
+
+void AppendUtf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> Run(std::string* error) {
+    auto value = ParseValue();
+    if (value) {
+      SkipSpace();
+      if (pos_ != text_.size()) {
+        Fail("trailing data after JSON document");
+        value.reset();
+      }
+    }
+    if (!value && error != nullptr) *error = error_;
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  void Fail(const char* why) {
+    if (error_.empty()) {
+      error_ = std::string(why) + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Value> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return std::nullopt;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        auto s = ParseString();
+        if (!s) return std::nullopt;
+        return Value(std::move(*s));
+      }
+      case 't':
+        if (ConsumeWord("true")) return Value(true);
+        Fail("bad literal");
+        return std::nullopt;
+      case 'f':
+        if (ConsumeWord("false")) return Value(false);
+        Fail("bad literal");
+        return std::nullopt;
+      case 'n':
+        if (ConsumeWord("null")) return Value();
+        Fail("bad literal");
+        return std::nullopt;
+      default:
+        return ParseNumber();
+    }
+  }
+
+  std::optional<Value> ParseObject() {
+    ++pos_;  // '{'
+    Value::Object object;
+    SkipSpace();
+    if (Consume('}')) return Value(std::move(object));
+    while (true) {
+      SkipSpace();
+      auto key = ParseString();
+      if (!key) return std::nullopt;
+      SkipSpace();
+      if (!Consume(':')) {
+        Fail("expected ':' in object");
+        return std::nullopt;
+      }
+      auto value = ParseValue();
+      if (!value) return std::nullopt;
+      object.insert_or_assign(std::move(*key), std::move(*value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Value(std::move(object));
+      Fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Value> ParseArray() {
+    ++pos_;  // '['
+    Value::Array array;
+    SkipSpace();
+    if (Consume(']')) return Value(std::move(array));
+    while (true) {
+      auto value = ParseValue();
+      if (!value) return std::nullopt;
+      array.push_back(std::move(*value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Value(std::move(array));
+      Fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> ParseString() {
+    if (!Consume('"')) {
+      Fail("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            auto cp = ParseHex4();
+            if (!cp) return std::nullopt;
+            // Surrogate pair: combine when a low surrogate follows.
+            if (*cp >= 0xD800 && *cp <= 0xDBFF &&
+                text_.substr(pos_, 2) == "\\u") {
+              pos_ += 2;
+              auto low = ParseHex4();
+              if (!low) return std::nullopt;
+              AppendUtf8(out, 0x10000 + ((*cp - 0xD800) << 10) +
+                                  (*low - 0xDC00));
+            } else {
+              AppendUtf8(out, *cp);
+            }
+            break;
+          }
+          default:
+            Fail("bad escape in string");
+            return std::nullopt;
+        }
+        continue;
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    Fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<std::uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) {
+      Fail("truncated \\u escape");
+      return std::nullopt;
+    }
+    std::uint32_t cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      cp <<= 4;
+      if (c >= '0' && c <= '9') {
+        cp |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        cp |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        cp |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        Fail("bad hex digit in \\u escape");
+        return std::nullopt;
+      }
+    }
+    return cp;
+  }
+
+  std::optional<Value> ParseNumber() {
+    const std::size_t start = pos_;
+    (void)Consume('-');
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail("expected a value");
+      return std::nullopt;
+    }
+    const std::string copy(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(copy.c_str(), &end);
+    if (end != copy.c_str() + copy.size()) {
+      Fail("malformed number");
+      return std::nullopt;
+    }
+    return Value(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::string Escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string NumberToString(double value) {
+  if (!std::isfinite(value)) return "null";
+  if (value == 0.0) return "0";
+  // Exact integers within the double-exact range print without a decimal
+  // point, matching how counters are written.
+  if (value == std::floor(value) && std::fabs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::string Value::Dump() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return bool_ ? "true" : "false";
+    case Kind::kNumber:
+      return NumberToString(number_);
+    case Kind::kString: {
+      std::string out = "\"";
+      out += Escape(string_);
+      out += "\"";
+      return out;
+    }
+    case Kind::kArray: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i != 0) out += ",";
+        out += array_[i].Dump();
+      }
+      return out + "]";
+    }
+    case Kind::kObject: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"";
+        out += Escape(key);
+        out += "\":";
+        out += value.Dump();
+      }
+      return out + "}";
+    }
+  }
+  return "null";
+}
+
+std::optional<Value> Parse(std::string_view text, std::string* error) {
+  return Parser(text).Run(error);
+}
+
+void ObjectWriter::Key(std::string_view key) {
+  if (!first_) out_ += ",";
+  first_ = false;
+  out_ += "\"";
+  out_ += Escape(key);
+  out_ += "\":";
+}
+
+void ObjectWriter::Field(std::string_view key, std::string_view value) {
+  Key(key);
+  out_ += "\"";
+  out_ += Escape(value);
+  out_ += "\"";
+}
+
+void ObjectWriter::Field(std::string_view key, const char* value) {
+  Field(key, std::string_view(value));
+}
+
+void ObjectWriter::Field(std::string_view key, std::uint64_t value) {
+  Key(key);
+  out_ += std::to_string(value);
+}
+
+void ObjectWriter::Field(std::string_view key, std::int64_t value) {
+  Key(key);
+  out_ += std::to_string(value);
+}
+
+void ObjectWriter::Field(std::string_view key, double value) {
+  Key(key);
+  out_ += NumberToString(value);
+}
+
+void ObjectWriter::Field(std::string_view key, bool value) {
+  Key(key);
+  out_ += value ? "true" : "false";
+}
+
+void ObjectWriter::RawField(std::string_view key, std::string_view jsonText) {
+  Key(key);
+  out_ += jsonText;
+}
+
+std::string ObjectWriter::Finish() {
+  out_ += "}";
+  return std::move(out_);
+}
+
+}  // namespace sixgen::obs::json

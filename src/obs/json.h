@@ -1,0 +1,107 @@
+// Minimal JSON support for the observability layer: a streaming object
+// writer for the JSONL trace sink (allocation-light, deterministic field
+// order) and a small recursive-descent parser used by the trace reader,
+// schema validators, and tests.
+//
+// Deliberately not a general-purpose JSON library: it handles exactly the
+// subset the obs layer emits (finite numbers, BMP strings, objects,
+// arrays, bools, null) and rejects everything else with a reason instead
+// of throwing — library code under src/ is no-throw (tools/sixgen_lint.py).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sixgen::obs::json {
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes not
+/// included). Control characters become \u00XX.
+std::string Escape(std::string_view text);
+
+/// Parsed JSON value. Numbers are stored as double; integers up to 2^53
+/// round-trip exactly, which covers every counter the obs layer emits
+/// (span ids and nanosecond timestamps are written as decimal strings
+/// where exactness matters — see docs/observability.md).
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;
+
+  Value() : kind_(Kind::kNull) {}
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double n) : kind_(Kind::kNumber), number_(n) {}
+  explicit Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit Value(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}
+  explicit Value(Object o) : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  Kind kind() const { return kind_; }
+  bool IsNull() const { return kind_ == Kind::kNull; }
+  bool IsBool() const { return kind_ == Kind::kBool; }
+  bool IsNumber() const { return kind_ == Kind::kNumber; }
+  bool IsString() const { return kind_ == Kind::kString; }
+  bool IsArray() const { return kind_ == Kind::kArray; }
+  bool IsObject() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const Array& AsArray() const { return array_; }
+  const Object& AsObject() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* Find(std::string_view key) const;
+
+  /// Serializes back to compact JSON (object keys in map order).
+  std::string Dump() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses one JSON document. On failure returns nullopt and, when `error`
+/// is non-null, stores a human-readable reason with the byte offset.
+std::optional<Value> Parse(std::string_view text, std::string* error = nullptr);
+
+/// Streaming writer for one JSON object, preserving field order. Values
+/// are written eagerly; Finish() closes the object. Integers are emitted
+/// as exact decimals (no double round trip).
+class ObjectWriter {
+ public:
+  ObjectWriter() : out_("{") {}
+
+  void Field(std::string_view key, std::string_view value);
+  void Field(std::string_view key, const char* value);
+  void Field(std::string_view key, std::uint64_t value);
+  void Field(std::string_view key, std::int64_t value);
+  void Field(std::string_view key, double value);
+  void Field(std::string_view key, bool value);
+  /// `json` must already be valid JSON (nested object/array).
+  void RawField(std::string_view key, std::string_view json);
+
+  /// Returns the completed object; the writer must not be reused.
+  std::string Finish();
+
+ private:
+  void Key(std::string_view key);
+
+  std::string out_;
+  bool first_ = true;
+};
+
+/// Formats a double the way the obs layer always does: shortest form that
+/// round-trips (%.17g, then trimmed), "0" for zeros, never exponent-less
+/// infinities (non-finite values become null per JSON rules).
+std::string NumberToString(double value);
+
+}  // namespace sixgen::obs::json

@@ -1,0 +1,56 @@
+#include "obs/manifest.h"
+
+#include <cstdio>
+
+#include "obs/clock.h"
+#include "obs/json.h"
+#include "obs/obs.h"
+
+// Build identity, injected by src/obs/CMakeLists.txt; fall back to
+// "unknown" so non-CMake builds (e.g. single-TU fuzz harnesses) compile.
+#ifndef SIXGEN_GIT_DESCRIBE
+#define SIXGEN_GIT_DESCRIBE "unknown"
+#endif
+#ifndef SIXGEN_BUILD_TYPE
+#define SIXGEN_BUILD_TYPE "unknown"
+#endif
+#ifndef SIXGEN_SANITIZERS
+#define SIXGEN_SANITIZERS ""
+#endif
+
+namespace sixgen::obs {
+
+std::string_view GitDescribe() { return SIXGEN_GIT_DESCRIBE; }
+std::string_view BuildType() { return SIXGEN_BUILD_TYPE; }
+std::string_view Sanitizers() { return SIXGEN_SANITIZERS; }
+
+bool ObsInstrumentationCompiledIn() { return SIXGEN_OBS_ENABLED != 0; }
+
+std::string ManifestJson(const Manifest& manifest) {
+  json::ObjectWriter out;
+  out.Field("type", "manifest");
+  out.Field("schema", "sixgen-trace-v1");
+  out.Field("run_id", manifest.run_id);
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(manifest.config_fingerprint));
+    out.Field("config_fingerprint", buf);
+  }
+  {
+    json::ObjectWriter seeds;
+    for (const auto& [name, seed] : manifest.seeds) {
+      seeds.Field(name, seed);
+    }
+    out.RawField("seeds", seeds.Finish());
+  }
+  out.Field("git", GitDescribe());
+  out.Field("build_type", BuildType());
+  out.Field("sanitizers", Sanitizers());
+  out.Field("obs_enabled", ObsInstrumentationCompiledIn());
+  out.Field("unix_seconds", UnixSeconds());
+  if (!manifest.notes.empty()) out.Field("notes", manifest.notes);
+  return out.Finish();
+}
+
+}  // namespace sixgen::obs

@@ -1,0 +1,40 @@
+// Per-run manifest: the first line of every trace file, identifying what
+// produced it — config fingerprint, RNG seeds, git describe, build flags.
+// A trace without its manifest is unattributable; the validator
+// (ValidateTrace, tools/validate_trace.py) rejects such files.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace sixgen::obs {
+
+struct Manifest {
+  /// Caller-chosen identifier: bench name, CLI invocation, test name.
+  std::string run_id;
+  /// Digest of the configuration that shaped the run (e.g.
+  /// eval::PipelineFingerprint); 0 when no fingerprint applies.
+  std::uint64_t config_fingerprint = 0;
+  /// Named RNG seeds the run depends on ("universe", "scan", ...).
+  std::map<std::string, std::uint64_t> seeds;
+  /// Free-form context (scale factors, workload description).
+  std::string notes;
+};
+
+/// Serializes the manifest as one JSON object (no trailing newline),
+/// embedding build identity: schema tag, git describe, build type,
+/// sanitizers, whether obs instrumentation was compiled in, and the
+/// wall-clock creation time.
+std::string ManifestJson(const Manifest& manifest);
+
+/// Build identity baked in at configure time (CMake).
+std::string_view GitDescribe();
+std::string_view BuildType();
+std::string_view Sanitizers();
+/// True iff the SIXGEN_OBS_* instrumentation macros were compiled in
+/// (the obs library itself always exists).
+bool ObsInstrumentationCompiledIn();
+
+}  // namespace sixgen::obs

@@ -1,0 +1,78 @@
+// The instrumentation macro layer — the only obs API hot paths should use.
+//
+// Build modes (CMake option SIXGEN_OBS, default ON):
+//   ON  — macros record into Registry::Global() and emit spans to the
+//         installed TraceSink. Counter macros cache the instrument in a
+//         function-local static, so the steady-state cost is one relaxed
+//         atomic add.
+//   OFF — every macro collapses to nothing (SIXGEN_OBS_SPAN declares a
+//         stateless NullSpan so method calls still compile). Argument
+//         expressions inside collapsed macros are NOT evaluated.
+//         tests/obs/obs_off_test.cpp pins both properties.
+//
+// Invariant, either mode: instrumentation is side-channel only. With
+// identical seeds, generated target lists and bench CSVs are byte-identical
+// whether obs is on or off (ObsDeterminism test + CI two-build diff).
+//
+// The obs *classes* (clock, registry, trace sink, bench telemetry) exist in
+// both modes; only this macro layer is compiled out. Code that needs a
+// timing for its *output* (e.g. PrefixOutcome::generation_seconds) must use
+// obs::MonotonicNanos() directly, never a macro.
+#pragma once
+
+#include "obs/registry.h"
+#include "obs/span.h"
+
+#ifndef SIXGEN_OBS_ENABLED
+#define SIXGEN_OBS_ENABLED 1
+#endif
+
+#if SIXGEN_OBS_ENABLED
+
+/// Adds `delta` (uint64) to the named counter. `name` must be a string
+/// literal: the instrument lookup happens once per call site.
+#define SIXGEN_OBS_COUNTER_ADD(name, delta)                              \
+  do {                                                                   \
+    static ::sixgen::obs::Counter& sixgen_obs_counter =                  \
+        ::sixgen::obs::Registry::Global().GetCounter(name);              \
+    sixgen_obs_counter.Add(                                              \
+        static_cast<std::uint64_t>(delta));                              \
+  } while (false)
+
+#define SIXGEN_OBS_GAUGE_SET(name, value)                                \
+  do {                                                                   \
+    static ::sixgen::obs::Gauge& sixgen_obs_gauge =                      \
+        ::sixgen::obs::Registry::Global().GetGauge(name);                \
+    sixgen_obs_gauge.Set(static_cast<double>(value));                    \
+  } while (false)
+
+/// Observes into the named histogram (default time buckets).
+#define SIXGEN_OBS_HISTOGRAM_OBSERVE(name, value)                        \
+  do {                                                                   \
+    static ::sixgen::obs::Histogram& sixgen_obs_histogram =              \
+        ::sixgen::obs::Registry::Global().GetHistogram(name);            \
+    sixgen_obs_histogram.Observe(static_cast<double>(value));            \
+  } while (false)
+
+/// Declares a scoped span named `name` in local variable `var`.
+#define SIXGEN_OBS_SPAN(var, name) ::sixgen::obs::ScopedSpan var{name}
+
+/// Attaches an attribute; use this (not var.Attr directly) when computing
+/// the value is not free — collapsed builds skip the evaluation.
+#define SIXGEN_OBS_SPAN_ATTR(var, key, value) (var).Attr((key), (value))
+
+/// Credits simulated-clock seconds to the span.
+#define SIXGEN_OBS_SPAN_VIRTUAL(var, seconds) \
+  (var).AddVirtualSeconds(static_cast<double>(seconds))
+
+#else  // !SIXGEN_OBS_ENABLED
+
+#define SIXGEN_OBS_COUNTER_ADD(name, delta) ((void)0)
+#define SIXGEN_OBS_GAUGE_SET(name, value) ((void)0)
+#define SIXGEN_OBS_HISTOGRAM_OBSERVE(name, value) ((void)0)
+#define SIXGEN_OBS_SPAN(var, name) \
+  [[maybe_unused]] ::sixgen::obs::NullSpan var {}
+#define SIXGEN_OBS_SPAN_ATTR(var, key, value) ((void)0)
+#define SIXGEN_OBS_SPAN_VIRTUAL(var, seconds) ((void)0)
+
+#endif  // SIXGEN_OBS_ENABLED

@@ -1,0 +1,117 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// Design constraints, in priority order:
+//   1. Side-channel only — recording a metric can never perturb an
+//      algorithm. Instruments are plain atomics; no allocation after the
+//      first lookup of a name.
+//   2. Hot-path cheap — the SIXGEN_OBS_* macros (obs/obs.h) cache the
+//      instrument reference in a function-local static, so a counted probe
+//      costs one relaxed atomic add. References returned by Get* are
+//      stable for the life of the process: ResetForTest() zeroes values
+//      but never deallocates, so cached references stay valid.
+//   3. Deterministic export — snapshots iterate names in lexicographic
+//      order, so two runs with the same workload export identical text.
+//
+// The registry is process-global (Registry::Global()); scoped registries
+// exist only for tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sixgen::obs {
+
+class Counter {
+ public:
+  void Add(std::uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  std::uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;        // ascending upper bounds
+  std::vector<std::uint64_t> counts; // bounds.size() + 1 (last = overflow)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds;
+/// an implicit +Inf bucket catches the rest. Bucket layout is fixed at
+/// construction (first Get wins for a given name).
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+
+  void Observe(double value);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default histogram bounds: durations in seconds, 1µs .. 100s decades.
+inline constexpr double kDefaultTimeBounds[] = {
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0};
+
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+class Registry {
+ public:
+  /// The process-global registry every SIXGEN_OBS_* macro records into.
+  static Registry& Global();
+
+  /// Finds or creates the named instrument. The returned reference is
+  /// valid for the registry's lifetime (for Global(): the process).
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  /// `bounds` applies only when the histogram is created by this call.
+  Histogram& GetHistogram(std::string_view name,
+                          std::span<const double> bounds = kDefaultTimeBounds);
+
+  /// Name-sorted copy of every instrument's current value.
+  RegistrySnapshot Snapshot() const;
+
+  /// Zeroes every instrument. Never deallocates: references and cached
+  /// macro statics stay valid across resets.
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  // node-based maps: pointer stability under insertion.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace sixgen::obs

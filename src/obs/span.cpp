@@ -1,0 +1,58 @@
+#include "obs/span.h"
+
+#include <atomic>
+
+#include "obs/clock.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace sixgen::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_span_id{1};
+thread_local ScopedSpan* t_current_span = nullptr;
+thread_local std::uint64_t t_current_span_id = 0;
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(std::string_view name) : parent_(t_current_span) {
+  record_.name.assign(name);
+  record_.id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  record_.parent_id = t_current_span_id;
+  record_.start_ns = MonotonicNanos();
+  t_current_span = this;
+  t_current_span_id = record_.id;
+}
+
+ScopedSpan::~ScopedSpan() {
+  record_.end_ns = MonotonicNanos();
+  t_current_span = parent_;
+  t_current_span_id = parent_ == nullptr ? 0 : parent_->record_.id;
+  if (TraceSink* sink = GlobalSink()) sink->WriteSpan(record_);
+}
+
+void ScopedSpan::Attr(std::string_view key, std::string_view value) {
+  record_.attrs.emplace_back(std::string(key), std::string(value));
+}
+
+void ScopedSpan::Attr(std::string_view key, std::uint64_t value) {
+  record_.attrs.emplace_back(std::string(key), std::to_string(value));
+}
+
+void ScopedSpan::Attr(std::string_view key, double value) {
+  record_.attrs.emplace_back(std::string(key), json::NumberToString(value));
+}
+
+void ScopedSpan::AddVirtualSeconds(double seconds) {
+  record_.virtual_seconds += seconds;
+}
+
+std::uint64_t ScopedSpan::ElapsedNanos() const {
+  const std::uint64_t now = MonotonicNanos();
+  return now >= record_.start_ns ? now - record_.start_ns : 0;
+}
+
+std::uint64_t CurrentSpanId() { return t_current_span_id; }
+
+}  // namespace sixgen::obs

@@ -1,0 +1,78 @@
+// RAII spans: scoped timing with parent/child nesting.
+//
+// A ScopedSpan records the monotonic wall-clock interval of its scope and,
+// when the instrumented code reports it, the scanner's virtual seconds
+// (the simulated send-rate clock — see scanner/scanner.h). Nesting is
+// tracked per thread: the span constructed most recently on this thread is
+// the parent of the next one, so the trace reconstructs the call tree
+// without any global coordination.
+//
+// On destruction a span is written to the installed TraceSink (obs/trace.h)
+// if any; with no sink it costs two clock reads. Prefer creating spans via
+// the SIXGEN_OBS_SPAN macro (obs/obs.h) so SIXGEN_OBS=OFF builds compile
+// them away entirely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sixgen::obs {
+
+struct SpanRecord {
+  std::string name;
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  /// Virtual (simulated) seconds attributed by the instrumented code;
+  /// 0 when the span did no simulated waiting/sending.
+  double virtual_seconds = 0.0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a key/value attribute. Values are stored as strings; the
+  /// numeric overloads format deterministically.
+  void Attr(std::string_view key, std::string_view value);
+  void Attr(std::string_view key, std::uint64_t value);
+  void Attr(std::string_view key, double value);
+
+  /// Adds simulated-clock seconds spent inside this span.
+  void AddVirtualSeconds(double seconds);
+
+  std::uint64_t id() const { return record_.id; }
+  /// Wall nanoseconds elapsed since construction (live reading).
+  std::uint64_t ElapsedNanos() const;
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  SpanRecord record_;
+  ScopedSpan* parent_;  // enclosing span on this thread, restored on exit
+};
+
+/// Id of the innermost live span on this thread (0 at root). Events logged
+/// outside any span attribute to 0.
+std::uint64_t CurrentSpanId();
+
+/// No-op stand-in used by SIXGEN_OBS=OFF builds: same surface, no code.
+struct NullSpan {
+  template <typename K, typename V>
+  void Attr(K&&, V&&) const {}
+  void AddVirtualSeconds(double) const {}
+  std::uint64_t id() const { return 0; }
+  std::uint64_t ElapsedNanos() const { return 0; }
+  double ElapsedSeconds() const { return 0.0; }
+};
+
+}  // namespace sixgen::obs

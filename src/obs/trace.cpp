@@ -1,0 +1,249 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+
+#include "obs/clock.h"
+
+namespace sixgen::obs {
+
+namespace {
+std::atomic<TraceSink*> g_sink{nullptr};
+}  // namespace
+
+TraceSink* SetGlobalSink(TraceSink* sink) {
+  return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+TraceSink* GlobalSink() { return g_sink.load(std::memory_order_acquire); }
+
+std::unique_ptr<TraceSink> TraceSink::OpenFile(const std::string& path,
+                                               std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open trace file: " + path;
+    return nullptr;
+  }
+  auto sink = std::unique_ptr<TraceSink>(new TraceSink());
+  sink->file_ = file;
+  return sink;
+}
+
+std::unique_ptr<TraceSink> TraceSink::InMemory() {
+  return std::unique_ptr<TraceSink>(new TraceSink());
+}
+
+TraceSink::~TraceSink() {
+  if (GlobalSink() == this) SetGlobalSink(nullptr);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TraceSink::WriteLine(std::string_view line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+    // Flush per line: a hard kill loses at most the line being written,
+    // which the reader tolerates as a torn tail.
+    std::fflush(file_);
+  } else {
+    memory_.append(line);
+    memory_.push_back('\n');
+  }
+}
+
+void TraceSink::WriteManifest(const Manifest& manifest) {
+  WriteLine(ManifestJson(manifest));
+}
+
+void TraceSink::WriteSpan(const SpanRecord& record) {
+  json::ObjectWriter out;
+  out.Field("type", "span");
+  out.Field("name", record.name);
+  out.Field("id", record.id);
+  out.Field("parent", record.parent_id);
+  out.Field("start_ns", record.start_ns);
+  out.Field("end_ns", record.end_ns);
+  out.Field("virtual_seconds", record.virtual_seconds);
+  json::ObjectWriter attrs;
+  for (const auto& [key, value] : record.attrs) {
+    attrs.Field(key, value);
+  }
+  out.RawField("attrs", attrs.Finish());
+  WriteLine(out.Finish());
+}
+
+void TraceSink::WriteEvent(std::string_view name,
+                           std::string_view fields_json) {
+  json::ObjectWriter out;
+  out.Field("type", "event");
+  out.Field("name", name);
+  out.Field("span", CurrentSpanId());
+  out.Field("ns", MonotonicNanos());
+  out.RawField("fields", fields_json);
+  WriteLine(out.Finish());
+}
+
+std::string MetricsJson(const RegistrySnapshot& snapshot) {
+  json::ObjectWriter counters;
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.Field(name, value);
+  }
+  json::ObjectWriter gauges;
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.Field(name, value);
+  }
+  json::ObjectWriter histograms;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    json::ObjectWriter one;
+    std::string bounds = "[";
+    for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+      if (i != 0) bounds += ",";
+      bounds += json::NumberToString(hist.bounds[i]);
+    }
+    bounds += "]";
+    one.RawField("bounds", bounds);
+    std::string counts = "[";
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      if (i != 0) counts += ",";
+      counts += std::to_string(hist.counts[i]);
+    }
+    counts += "]";
+    one.RawField("counts", counts);
+    one.Field("count", hist.count);
+    one.Field("sum", hist.sum);
+    histograms.RawField(name, one.Finish());
+  }
+  json::ObjectWriter out;
+  out.RawField("counters", counters.Finish());
+  out.RawField("gauges", gauges.Finish());
+  out.RawField("histograms", histograms.Finish());
+  return out.Finish();
+}
+
+void TraceSink::WriteMetrics(const Registry& registry) {
+  const std::string body = MetricsJson(registry.Snapshot());
+  // Splice the type discriminator into the metrics object.
+  std::string line = "{\"type\":\"metrics\",";
+  line.append(body, 1, body.size() - 1);
+  WriteLine(line);
+}
+
+std::string TraceSink::buffer() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memory_;
+}
+
+TraceRead ReadTrace(std::string_view content) {
+  TraceRead result;
+  std::size_t start = 0;
+  while (start <= content.size()) {
+    std::size_t end = content.find('\n', start);
+    const bool last = end == std::string_view::npos;
+    const std::string_view line =
+        content.substr(start, last ? content.size() - start : end - start);
+    if (!line.empty()) {
+      auto value = json::Parse(line);
+      if (value && value->IsObject()) {
+        result.lines.push_back(std::move(*value));
+      } else {
+        ++result.torn_lines;
+      }
+    }
+    if (last) break;
+    start = end + 1;
+  }
+  return result;
+}
+
+std::optional<TraceRead> ReadTraceFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadTrace(buf.str());
+}
+
+namespace {
+
+bool HasField(const json::Value& obj, std::string_view key,
+              json::Value::Kind kind) {
+  const json::Value* field = obj.Find(key);
+  return field != nullptr && field->kind() == kind;
+}
+
+}  // namespace
+
+std::string ValidateTrace(const TraceRead& trace) {
+  using Kind = json::Value::Kind;
+  if (trace.lines.empty()) return "trace has no parseable lines";
+  std::size_t manifests = 0;
+  std::map<std::uint64_t, bool> span_ids;
+  for (std::size_t i = 0; i < trace.lines.size(); ++i) {
+    const json::Value& line = trace.lines[i];
+    const json::Value* type = line.Find("type");
+    if (type == nullptr || !type->IsString()) {
+      return "line " + std::to_string(i + 1) + ": missing \"type\"";
+    }
+    const std::string& t = type->AsString();
+    if (t == "manifest") {
+      if (i != 0) return "manifest must be the first line";
+      ++manifests;
+      for (const char* key : {"schema", "run_id", "config_fingerprint",
+                              "git", "build_type"}) {
+        if (!HasField(line, key, Kind::kString)) {
+          return std::string("manifest: missing string field \"") + key +
+                 "\"";
+        }
+      }
+      if (line.Find("schema")->AsString() != "sixgen-trace-v1") {
+        return "manifest: unknown schema";
+      }
+      if (!HasField(line, "obs_enabled", Kind::kBool) ||
+          !HasField(line, "seeds", Kind::kObject) ||
+          !HasField(line, "unix_seconds", Kind::kNumber)) {
+        return "manifest: missing obs_enabled/seeds/unix_seconds";
+      }
+    } else if (t == "span") {
+      if (!HasField(line, "name", Kind::kString) ||
+          !HasField(line, "id", Kind::kNumber) ||
+          !HasField(line, "parent", Kind::kNumber) ||
+          !HasField(line, "start_ns", Kind::kNumber) ||
+          !HasField(line, "end_ns", Kind::kNumber) ||
+          !HasField(line, "virtual_seconds", Kind::kNumber) ||
+          !HasField(line, "attrs", Kind::kObject)) {
+        return "line " + std::to_string(i + 1) + ": malformed span";
+      }
+      const auto id = static_cast<std::uint64_t>(line.Find("id")->AsNumber());
+      if (id == 0) {
+        return "line " + std::to_string(i + 1) + ": span id must be > 0";
+      }
+      if (line.Find("end_ns")->AsNumber() <
+          line.Find("start_ns")->AsNumber()) {
+        return "line " + std::to_string(i + 1) + ": span ends before start";
+      }
+      span_ids[id] = true;
+    } else if (t == "event") {
+      if (!HasField(line, "name", Kind::kString) ||
+          !HasField(line, "span", Kind::kNumber) ||
+          !HasField(line, "ns", Kind::kNumber) ||
+          !HasField(line, "fields", Kind::kObject)) {
+        return "line " + std::to_string(i + 1) + ": malformed event";
+      }
+    } else if (t == "metrics") {
+      if (!HasField(line, "counters", Kind::kObject) ||
+          !HasField(line, "gauges", Kind::kObject) ||
+          !HasField(line, "histograms", Kind::kObject)) {
+        return "line " + std::to_string(i + 1) + ": malformed metrics";
+      }
+    } else {
+      return "line " + std::to_string(i + 1) + ": unknown type \"" + t +
+             "\"";
+    }
+  }
+  if (manifests != 1) return "trace must contain exactly one manifest";
+  return "";
+}
+
+}  // namespace sixgen::obs

@@ -1,0 +1,106 @@
+// Structured JSONL trace sink and torn-write-tolerant reader.
+//
+// One trace file = one run. The first line is the run manifest
+// (obs/manifest.h); every following line is a self-contained JSON object
+// with a "type" discriminator:
+//
+//   {"type":"manifest", ...}                         exactly once, first
+//   {"type":"span","name":...,"id":N,"parent":N,
+//    "start_ns":N,"end_ns":N,"virtual_seconds":X,
+//    "attrs":{...}}                                  one per closed span
+//   {"type":"event","name":...,"span":N,"ns":N,
+//    "fields":{...}}                                 point-in-time events
+//   {"type":"metrics","counters":{...},"gauges":{...},
+//    "histograms":{...}}                             registry snapshots
+//
+// Writes are line-buffered and flushed per line, so a hard kill loses at
+// most the line being written; the reader counts and skips the torn tail
+// instead of failing (mirroring eval/checkpoint.h's posture).
+//
+// The sink never influences what it observes: installing or removing the
+// global sink changes no algorithm output (proven by ObsDeterminism tests).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/registry.h"
+#include "obs/span.h"
+
+namespace sixgen::obs {
+
+class TraceSink {
+ public:
+  /// Opens (truncates) `path`. Returns null and fills `error` on failure.
+  static std::unique_ptr<TraceSink> OpenFile(const std::string& path,
+                                             std::string* error = nullptr);
+
+  /// In-memory sink for tests; contents via buffer().
+  static std::unique_ptr<TraceSink> InMemory();
+
+  ~TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Writes the manifest line. Call once, before any span/event.
+  void WriteManifest(const Manifest& manifest);
+
+  /// Writes one closed span (ScopedSpan destructors call this through the
+  /// global sink).
+  void WriteSpan(const SpanRecord& record);
+
+  /// Writes a point-in-time event attributed to the current span.
+  /// `fields` must already be a JSON object ("{...}"); pass "{}" for none.
+  void WriteEvent(std::string_view name, std::string_view fields_json = "{}");
+
+  /// Writes a snapshot of every instrument in `registry`.
+  void WriteMetrics(const Registry& registry);
+
+  /// Buffered contents (in-memory sinks only; empty for file sinks).
+  std::string buffer() const;
+
+ private:
+  TraceSink() = default;
+
+  void WriteLine(std::string_view line);
+
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;  // null for in-memory sinks
+  std::string memory_;
+};
+
+/// Installs `sink` as the process-global span/event destination (not
+/// owned; pass nullptr to detach). Returns the previous sink.
+TraceSink* SetGlobalSink(TraceSink* sink);
+TraceSink* GlobalSink();
+
+/// Serializes one registry snapshot as the "histograms"/"counters" JSON
+/// used by both WriteMetrics and the exporters.
+std::string MetricsJson(const RegistrySnapshot& snapshot);
+
+/// Parsed trace file.
+struct TraceRead {
+  std::vector<json::Value> lines;  // parsed, in file order
+  std::size_t torn_lines = 0;      // unparseable lines skipped
+};
+
+/// Parses JSONL `content`; unparseable lines are counted, not fatal.
+TraceRead ReadTrace(std::string_view content);
+
+/// Reads and parses the file at `path`; nullopt if unreadable.
+std::optional<TraceRead> ReadTraceFile(const std::string& path);
+
+/// Validates a parsed trace against the sixgen-trace-v1 schema: manifest
+/// first (and exactly once), known types only, required fields with
+/// correct JSON kinds, span ids positive, span intervals well-ordered.
+/// Returns "" when valid, else the first violation.
+std::string ValidateTrace(const TraceRead& trace);
+
+}  // namespace sixgen::obs

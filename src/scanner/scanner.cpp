@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/contracts.h"
+#include "obs/obs.h"
 
 namespace sixgen::scanner {
 
@@ -62,6 +63,7 @@ double SimulatedScanner::LossUniform(const Address& addr,
 
 bool SimulatedScanner::ProbeOnce(const Address& addr) {
   ++total_probes_;
+  SIXGEN_OBS_COUNTER_ADD("scanner.probes_sent", 1);
   const faultnet::ProbeOutcome outcome =
       channel_->Probe(addr, config_.service, VirtualNow());
   last_fault_ = outcome.fault;
@@ -111,13 +113,16 @@ bool SimulatedScanner::Probe(const Address& addr) {
   for (unsigned i = 0; i < attempts && !hit; ++i) {
     if (i > 0) {
       ++total_retries_;
+      SIXGEN_OBS_COUNTER_ADD("scanner.retries", 1);
       double wait = backoff;
       // Rate-limit-aware pacing: give the responder's token bucket time to
       // refill before hitting it again.
       if (last_fault_ == faultnet::FaultKind::kRateLimited) {
         wait += config_.rate_limit_pause_seconds;
+        SIXGEN_OBS_COUNTER_ADD("scanner.rate_limit_stalls", 1);
       }
       Wait(wait);
+      SIXGEN_OBS_HISTOGRAM_OBSERVE("scanner.backoff_wait_seconds", wait);
       backoff = std::min(backoff * config_.backoff_multiplier,
                          config_.backoff_max_seconds);
     }
@@ -132,6 +137,9 @@ bool SimulatedScanner::Probe(const Address& addr) {
 }
 
 ScanResult SimulatedScanner::Scan(std::span<const Address> targets) {
+  SIXGEN_OBS_SPAN(span, "scanner.scan");
+  SIXGEN_OBS_SPAN_ATTR(span, "targets",
+                       static_cast<std::uint64_t>(targets.size()));
   ScanResult result;
   last_status_ = core::OkStatus();
   std::vector<Address> order(targets.begin(), targets.end());
@@ -183,6 +191,16 @@ ScanResult SimulatedScanner::Scan(std::span<const Address> targets) {
   // than the pure send time of the probes actually sent.
   SIXGEN_DCHECK(result.virtual_seconds >= sending_seconds,
                 "virtual_seconds under-reports retry/backoff time");
+  SIXGEN_OBS_COUNTER_ADD("scanner.hits", result.hits.size());
+  SIXGEN_OBS_COUNTER_ADD("scanner.targets_probed", result.targets_probed);
+  SIXGEN_OBS_COUNTER_ADD("scanner.blacklisted", result.blacklisted);
+  SIXGEN_OBS_HISTOGRAM_OBSERVE("scanner.scan.virtual_seconds",
+                               result.virtual_seconds);
+  SIXGEN_OBS_SPAN_ATTR(span, "hits",
+                       static_cast<std::uint64_t>(result.hits.size()));
+  SIXGEN_OBS_SPAN_ATTR(span, "probes",
+                       static_cast<std::uint64_t>(result.probes_sent));
+  SIXGEN_OBS_SPAN_VIRTUAL(span, result.virtual_seconds);
   return result;
 }
 

@@ -1,0 +1,139 @@
+// Bench telemetry: sixgen-bench-v1 record serialization and validation,
+// and the RAII reporter's file output and env-var controls.
+#include "obs/bench_telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/registry.h"
+
+namespace sixgen::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+BenchRecord SampleRecord() {
+  BenchRecord record;
+  record.name = "unit_bench";
+  record.wall_seconds = 1.5;
+  record.peak_rss_bytes = 1 << 20;
+  record.probes = 3000;
+  record.hits = 300;
+  record.targets = 2900;
+  record.probes_per_second = 2000.0;
+  record.hit_rate = 0.1;
+  record.extra["budget"] = 20000.0;
+  return record;
+}
+
+TEST(BenchRecordJson, SerializesAndValidates) {
+  const std::string text = BenchRecordJson(SampleRecord());
+  EXPECT_EQ(ValidateBenchRecordJson(text), "");
+  const auto value = json::Parse(text);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->Find("schema")->AsString(), "sixgen-bench-v1");
+  EXPECT_EQ(value->Find("name")->AsString(), "unit_bench");
+  EXPECT_EQ(value->Find("probes")->AsNumber(), 3000.0);
+  EXPECT_EQ(value->Find("extra")->Find("budget")->AsNumber(), 20000.0);
+}
+
+TEST(ValidateBenchRecord, RejectsViolations) {
+  EXPECT_NE(ValidateBenchRecordJson("not json"), "");
+  EXPECT_NE(ValidateBenchRecordJson("{}"), "");
+  EXPECT_NE(ValidateBenchRecordJson(R"({"schema":"other-v9"})"), "");
+
+  // Drop a required field.
+  BenchRecord record = SampleRecord();
+  std::string text = BenchRecordJson(record);
+  const auto pos = text.find("\"probes\"");
+  ASSERT_NE(pos, std::string::npos);
+  std::string without = text;
+  without.replace(pos, std::string("\"probes\"").size(), "\"probed\"");
+  EXPECT_NE(ValidateBenchRecordJson(without), "");
+
+  // Out-of-range hit rate.
+  record.hit_rate = 1.5;
+  EXPECT_NE(ValidateBenchRecordJson(BenchRecordJson(record)), "");
+}
+
+TEST(BenchReporterTest, WritesValidRecordToConfiguredDir) {
+  const std::string dir = ::testing::TempDir();
+  ASSERT_EQ(setenv("SIXGEN_BENCH_JSON_DIR", dir.c_str(), 1), 0);
+  unsetenv("SIXGEN_BENCH_JSON");
+  const std::string path = dir + "/BENCH_reporter_unit.json";
+  std::remove(path.c_str());
+  {
+    BenchReporter reporter("reporter_unit");
+    EXPECT_EQ(reporter.OutputPath(), path);
+    reporter.SetProbes(1000);
+    reporter.SetHits(100);
+    reporter.SetTargets(900);
+    reporter.Extra("prefixes", 7.0);
+  }
+  const std::string text = ReadFile(path);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(ValidateBenchRecordJson(text), "") << text;
+  const auto value = json::Parse(text);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->Find("probes")->AsNumber(), 1000.0);
+  EXPECT_EQ(value->Find("hits")->AsNumber(), 100.0);
+  EXPECT_EQ(value->Find("targets")->AsNumber(), 900.0);
+  EXPECT_EQ(value->Find("hit_rate")->AsNumber(), 0.1);
+  EXPECT_EQ(value->Find("extra")->Find("prefixes")->AsNumber(), 7.0);
+  std::remove(path.c_str());
+  unsetenv("SIXGEN_BENCH_JSON_DIR");
+}
+
+TEST(BenchReporterTest, DefaultsComeFromTheGlobalRegistry) {
+  Registry::Global().ResetForTest();
+  Registry::Global().GetCounter("scanner.probes_sent").Add(500);
+  Registry::Global().GetCounter("scanner.hits").Add(50);
+  Registry::Global().GetCounter("scanner.targets_probed").Add(400);
+  Registry::Global().GetCounter("core.generate.targets").Add(450);
+
+  const std::string dir = ::testing::TempDir();
+  ASSERT_EQ(setenv("SIXGEN_BENCH_JSON_DIR", dir.c_str(), 1), 0);
+  const std::string path = dir + "/BENCH_registry_unit.json";
+  std::remove(path.c_str());
+  { BenchReporter reporter("registry_unit"); }
+  const auto value = json::Parse(ReadFile(path));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->Find("probes")->AsNumber(), 500.0);
+  EXPECT_EQ(value->Find("hits")->AsNumber(), 50.0);
+  EXPECT_EQ(value->Find("targets")->AsNumber(), 450.0);
+  EXPECT_EQ(value->Find("hit_rate")->AsNumber(), 0.125);  // hits / probed
+  std::remove(path.c_str());
+  unsetenv("SIXGEN_BENCH_JSON_DIR");
+  Registry::Global().ResetForTest();
+}
+
+TEST(BenchReporterTest, EnvToggleSuppressesTheFile) {
+  ASSERT_EQ(setenv("SIXGEN_BENCH_JSON", "0", 1), 0);
+  {
+    BenchReporter reporter("suppressed_unit");
+    EXPECT_EQ(reporter.OutputPath(), "");
+  }
+  unsetenv("SIXGEN_BENCH_JSON");
+}
+
+TEST(PeakRss, ReportsAPlausibleFootprint) {
+  // On Linux getrusage must report at least a megabyte for a running test
+  // binary; platforms without rusage report 0 by contract.
+  const std::uint64_t rss = PeakRssBytes();
+  if (rss != 0) {
+    EXPECT_GT(rss, 1u << 20);
+  }
+}
+
+}  // namespace
+}  // namespace sixgen::obs

@@ -1,0 +1,138 @@
+// The observability invariant (docs/observability.md): instrumentation is
+// side-channel only. Attaching a trace sink, registering a progress
+// callback, or snapshotting metrics must leave every algorithm output —
+// target lists, hit lists, per-prefix aggregates — byte-identical.
+// (The SIXGEN_OBS=ON-vs-OFF compile modes are covered by obs_off_test.cpp
+// and tools/check_obs_determinism.sh's two-build diff in CI.)
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "eval/checkpoint.h"
+#include "eval/pipeline.h"
+#include "obs/manifest.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace sixgen::eval {
+namespace {
+
+struct SmallWorld {
+  simnet::Universe universe;
+  std::vector<simnet::SeedRecord> seeds;
+};
+
+SmallWorld MakeSmallWorld() {
+  EvalScale scale;
+  scale.host_factor = 0.1;
+  scale.filler_ases = 20;
+  SmallWorld world{MakeEvalUniverse(11, scale), {}};
+  world.seeds = MakeDnsSeeds(world.universe, 13, 0.5);
+  return world;
+}
+
+PipelineConfig MakeConfig() {
+  PipelineConfig config;
+  config.budget_per_prefix = 1500;
+  return config;
+}
+
+/// Every deterministic output of a run, serialized for byte comparison.
+/// Wall-clock fields (generation_seconds) are deliberately excluded: they
+/// differ between any two runs, observed or not.
+std::string Fingerprint(const PipelineResult& result) {
+  std::ostringstream out;
+  for (const PrefixOutcome& outcome : result.prefixes) {
+    out << outcome.route.prefix.ToString() << ' ' << outcome.seed_count
+        << ' ' << outcome.target_count << ' ' << outcome.hit_count << ' '
+        << outcome.probes_sent << ' ' << outcome.iterations << ' '
+        << outcome.scan_virtual_seconds << '\n';
+  }
+  for (const auto& hit : result.raw_hits) out << hit.ToString() << '\n';
+  for (const auto& hit : result.dealias.non_aliased_hits) {
+    out << hit.ToString() << '\n';
+  }
+  out << result.total_targets << ' ' << result.total_probes << ' '
+      << result.failed_prefixes << '\n';
+  return out.str();
+}
+
+TEST(ObsDeterminism, TraceSinkAndProgressDoNotPerturbThePipeline) {
+  const SmallWorld world = MakeSmallWorld();
+
+  // Baseline: no sink, no callback, registry untouched.
+  const PipelineResult plain =
+      RunSixGenPipeline(world.universe, world.seeds, MakeConfig());
+
+  // Fully observed run: global trace sink, progress callback, and a
+  // metrics snapshot mid-flight.
+  auto sink = obs::TraceSink::InMemory();
+  obs::TraceSink* previous = obs::SetGlobalSink(sink.get());
+  PipelineConfig observed_config = MakeConfig();
+  std::size_t progress_calls = 0;
+  observed_config.progress = [&](const PrefixProgress& progress) {
+    ++progress_calls;
+    EXPECT_FALSE(progress.from_checkpoint);
+  };
+  const PipelineResult observed =
+      RunSixGenPipeline(world.universe, world.seeds, observed_config);
+  sink->WriteMetrics(obs::Registry::Global());
+  obs::SetGlobalSink(previous);
+
+  EXPECT_EQ(Fingerprint(plain), Fingerprint(observed));
+  EXPECT_EQ(progress_calls, observed.prefixes.size());
+
+  // The observed run actually produced a trace worth the name.
+  const obs::TraceRead trace = obs::ReadTrace(sink->buffer());
+  EXPECT_EQ(trace.torn_lines, 0u);
+  if (obs::ObsInstrumentationCompiledIn()) {
+    EXPECT_GT(trace.lines.size(), observed.prefixes.size());
+  }
+}
+
+TEST(ObsDeterminism, RepeatedObservedRunsAreIdentical) {
+  const SmallWorld world = MakeSmallWorld();
+  auto sink = obs::TraceSink::InMemory();
+  obs::TraceSink* previous = obs::SetGlobalSink(sink.get());
+  const PipelineResult first =
+      RunSixGenPipeline(world.universe, world.seeds, MakeConfig());
+  const PipelineResult second =
+      RunSixGenPipeline(world.universe, world.seeds, MakeConfig());
+  obs::SetGlobalSink(previous);
+  EXPECT_EQ(Fingerprint(first), Fingerprint(second));
+}
+
+TEST(ObsDeterminism, ProgressCallbackIsExcludedFromTheFingerprint) {
+  // A resumed run must accept checkpoints written without a callback:
+  // the observability side channel is not part of the config digest.
+  const SmallWorld world = MakeSmallWorld();
+  const auto seed_addrs = simnet::SeedAddresses(world.seeds);
+  PipelineConfig with_callback = MakeConfig();
+  with_callback.progress = [](const PrefixProgress&) {};
+  EXPECT_EQ(
+      PipelineFingerprint(world.universe, seed_addrs, MakeConfig()),
+      PipelineFingerprint(world.universe, seed_addrs, with_callback));
+}
+
+TEST(ObsDeterminism, ProgressReportsMatchOutcomes) {
+  const SmallWorld world = MakeSmallWorld();
+  PipelineConfig config = MakeConfig();
+  std::vector<PrefixProgress> reports;
+  config.progress = [&](const PrefixProgress& progress) {
+    reports.push_back(progress);
+  };
+  const PipelineResult result =
+      RunSixGenPipeline(world.universe, world.seeds, config);
+  ASSERT_EQ(reports.size(), result.prefixes.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_EQ(reports[i].index, i);
+    EXPECT_EQ(reports[i].route.prefix, result.prefixes[i].route.prefix);
+    EXPECT_EQ(reports[i].probes_sent, result.prefixes[i].probes_sent);
+    EXPECT_EQ(reports[i].hit_count, result.prefixes[i].hit_count);
+    EXPECT_GE(reports[i].elapsed_seconds, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace sixgen::eval

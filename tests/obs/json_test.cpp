@@ -1,0 +1,112 @@
+// Tests for the obs JSON layer: escaping, the streaming object writer, and
+// the recursive-descent parser the trace reader depends on.
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace sixgen::obs::json {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(Escape("hello world"), "hello world");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(Escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(Escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(Escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(Escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonNumber, IntegersAreExact) {
+  EXPECT_EQ(NumberToString(0.0), "0");
+  EXPECT_EQ(NumberToString(42.0), "42");
+  EXPECT_EQ(NumberToString(-7.0), "-7");
+  // 2^53 - 1: the largest integer a double holds exactly.
+  EXPECT_EQ(NumberToString(9007199254740991.0), "9007199254740991");
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(NumberToString(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(NumberToString(std::nan("")), "null");
+}
+
+TEST(JsonObjectWriter, PreservesFieldOrderAndTypes) {
+  ObjectWriter writer;
+  writer.Field("name", "probe");
+  writer.Field("count", std::uint64_t{7});
+  writer.Field("rate", 0.5);
+  writer.Field("ok", true);
+  writer.RawField("nested", "{\"a\":1}");
+  EXPECT_EQ(writer.Finish(),
+            "{\"name\":\"probe\",\"count\":7,\"rate\":0.5,"
+            "\"ok\":true,\"nested\":{\"a\":1}}");
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  ObjectWriter writer;
+  writer.Field("s", "a\"b");
+  writer.Field("n", std::uint64_t{123456789});
+  writer.Field("d", 1.25);
+  writer.Field("b", false);
+  const std::string text = writer.Finish();
+
+  std::string error;
+  const auto value = Parse(text, &error);
+  ASSERT_TRUE(value.has_value()) << error;
+  ASSERT_TRUE(value->IsObject());
+  EXPECT_EQ(value->Find("s")->AsString(), "a\"b");
+  EXPECT_EQ(value->Find("n")->AsNumber(), 123456789.0);
+  EXPECT_EQ(value->Find("d")->AsNumber(), 1.25);
+  EXPECT_FALSE(value->Find("b")->AsBool());
+  EXPECT_EQ(value->Find("missing"), nullptr);
+}
+
+TEST(JsonParse, HandlesNestingArraysAndLiterals) {
+  const auto value =
+      Parse(R"({"a":[1,2,{"b":null}],"c":{"d":[true,false]}})");
+  ASSERT_TRUE(value.has_value());
+  const auto& array = value->Find("a")->AsArray();
+  ASSERT_EQ(array.size(), 3u);
+  EXPECT_EQ(array[0].AsNumber(), 1.0);
+  EXPECT_TRUE(array[2].Find("b")->IsNull());
+  EXPECT_TRUE(value->Find("c")->Find("d")->AsArray()[0].AsBool());
+}
+
+TEST(JsonParse, DecodesUnicodeEscapes) {
+  const auto value = Parse(R"({"s":"Aé"})");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->Find("s")->AsString(), "A\xc3\xa9");
+}
+
+TEST(JsonParse, DecodesSurrogatePairs) {
+  const auto value = Parse(R"({"s":"😀"})");  // 😀 U+1F600
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->Find("s")->AsString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(Parse("{", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(Parse("{\"a\":}", &error).has_value());
+  EXPECT_FALSE(Parse("[1,2", &error).has_value());
+  EXPECT_FALSE(Parse("\"unterminated", &error).has_value());
+  EXPECT_FALSE(Parse("", &error).has_value());
+  // Trailing garbage after a complete document is an error, not ignored.
+  EXPECT_FALSE(Parse("{} trailing", &error).has_value());
+}
+
+TEST(JsonDump, RoundTripsThroughParse) {
+  const auto value = Parse(R"({"a":[1,true,"x"],"b":{"c":null}})");
+  ASSERT_TRUE(value.has_value());
+  const auto reparsed = Parse(value->Dump());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->Dump(), value->Dump());
+}
+
+}  // namespace
+}  // namespace sixgen::obs::json

@@ -1,0 +1,73 @@
+// Pins the SIXGEN_OBS=OFF contract in a single translation unit: with
+// SIXGEN_OBS_ENABLED forced to 0 before including obs/obs.h, every macro
+// must collapse to nothing — no registry writes, no span records, and no
+// evaluation of argument expressions. (The macros are a per-TU header-level
+// switch; the obs classes themselves are unchanged, so this TU links
+// against the same library as everything else.)
+#define SIXGEN_OBS_ENABLED 0
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace sixgen::obs {
+namespace {
+
+static_assert(SIXGEN_OBS_ENABLED == 0,
+              "this TU must compile the collapsed macro layer");
+
+int g_evaluations = 0;
+// "Unused" is the point: with the macros collapsed, no expansion below may
+// reference this function — the test asserts its counter stays zero.
+[[maybe_unused]] std::uint64_t CountEvaluation() {
+  ++g_evaluations;
+  return 1;
+}
+
+TEST(ObsOff, MacrosDoNotTouchTheRegistry) {
+  Registry::Global().ResetForTest();
+  SIXGEN_OBS_COUNTER_ADD("obsoff.counter", 5);
+  SIXGEN_OBS_GAUGE_SET("obsoff.gauge", 2.5);
+  SIXGEN_OBS_HISTOGRAM_OBSERVE("obsoff.histogram", 0.1);
+  const RegistrySnapshot snapshot = Registry::Global().Snapshot();
+  for (const auto& [name, value] : snapshot.counters) {
+    EXPECT_EQ(name.rfind("obsoff.", 0), std::string::npos) << name;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    EXPECT_EQ(name.rfind("obsoff.", 0), std::string::npos) << name;
+  }
+  for (const auto& [name, value] : snapshot.histograms) {
+    EXPECT_EQ(name.rfind("obsoff.", 0), std::string::npos) << name;
+  }
+}
+
+TEST(ObsOff, ArgumentExpressionsAreNotEvaluated) {
+  g_evaluations = 0;
+  SIXGEN_OBS_COUNTER_ADD("obsoff.eval", CountEvaluation());
+  SIXGEN_OBS_GAUGE_SET("obsoff.eval", CountEvaluation());
+  SIXGEN_OBS_HISTOGRAM_OBSERVE("obsoff.eval", CountEvaluation());
+  SIXGEN_OBS_SPAN(span, "obsoff.span");
+  SIXGEN_OBS_SPAN_ATTR(span, "k", CountEvaluation());
+  SIXGEN_OBS_SPAN_VIRTUAL(span, CountEvaluation());
+  EXPECT_EQ(g_evaluations, 0);
+}
+
+TEST(ObsOff, SpanMacroDeclaresANullSpan) {
+  auto sink = TraceSink::InMemory();
+  TraceSink* previous = SetGlobalSink(sink.get());
+  {
+    SIXGEN_OBS_SPAN(span, "obsoff.nullspan");
+    // The declared variable still compiles against the full span surface.
+    span.Attr("key", "value");
+    span.AddVirtualSeconds(1.0);
+    EXPECT_EQ(span.id(), 0u);
+    EXPECT_EQ(span.ElapsedNanos(), 0u);
+  }
+  SetGlobalSink(previous);
+  EXPECT_TRUE(sink->buffer().empty());  // nothing was recorded
+}
+
+}  // namespace
+}  // namespace sixgen::obs

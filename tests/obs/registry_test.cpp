@@ -1,0 +1,107 @@
+// Registry semantics: counter/gauge/histogram behaviour, snapshot ordering,
+// and the pointer-stability guarantee the obs macros' cached references
+// depend on.
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace sixgen::obs {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Registry registry;
+  Counter& counter = registry.GetCounter("test.counter");
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add(3);
+  counter.Increment();
+  EXPECT_EQ(counter.Value(), 4u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(Counter, SameNameReturnsSameInstrument) {
+  Registry registry;
+  Counter& a = registry.GetCounter("test.same");
+  Counter& b = registry.GetCounter("test.same");
+  EXPECT_EQ(&a, &b);
+  a.Add(1);
+  EXPECT_EQ(b.Value(), 1u);
+}
+
+TEST(Gauge, SetOverwrites) {
+  Registry registry;
+  Gauge& gauge = registry.GetGauge("test.gauge");
+  gauge.Set(2.5);
+  gauge.Set(-1.0);
+  EXPECT_EQ(gauge.Value(), -1.0);
+}
+
+TEST(Histogram, BucketsOnInclusiveUpperBounds) {
+  Registry registry;
+  const std::array<double, 3> bounds = {1.0, 2.0, 4.0};
+  Histogram& histogram = registry.GetHistogram("test.hist", bounds);
+  histogram.Observe(0.5);   // <= 1.0
+  histogram.Observe(1.0);   // <= 1.0 (inclusive)
+  histogram.Observe(1.5);   // <= 2.0
+  histogram.Observe(100.0); // overflow
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  ASSERT_EQ(snapshot.bounds.size(), 3u);
+  ASSERT_EQ(snapshot.counts.size(), 4u);
+  EXPECT_EQ(snapshot.counts[0], 2u);
+  EXPECT_EQ(snapshot.counts[1], 1u);
+  EXPECT_EQ(snapshot.counts[2], 0u);
+  EXPECT_EQ(snapshot.counts[3], 1u);
+  EXPECT_EQ(snapshot.count, 4u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 103.0);
+}
+
+TEST(Histogram, FirstGetWinsBucketLayout) {
+  Registry registry;
+  const std::array<double, 2> first = {1.0, 2.0};
+  const std::array<double, 1> second = {10.0};
+  Histogram& a = registry.GetHistogram("test.layout", first);
+  Histogram& b = registry.GetHistogram("test.layout", second);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.Snapshot().bounds.size(), 2u);
+}
+
+TEST(Registry, SnapshotIsNameSorted) {
+  Registry registry;
+  registry.GetCounter("zebra").Add(1);
+  registry.GetCounter("alpha").Add(2);
+  registry.GetCounter("mango").Add(3);
+  registry.GetGauge("beta").Set(4.0);
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 3u);
+  EXPECT_EQ(snapshot.counters[0].first, "alpha");
+  EXPECT_EQ(snapshot.counters[1].first, "mango");
+  EXPECT_EQ(snapshot.counters[2].first, "zebra");
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].first, "beta");
+}
+
+TEST(Registry, ResetForTestZeroesButKeepsReferencesValid) {
+  // The macro layer caches Counter& in function-local statics; a reset must
+  // therefore zero in place, never deallocate.
+  Registry registry;
+  Counter& counter = registry.GetCounter("test.stable");
+  Histogram& histogram = registry.GetHistogram("test.stable.hist");
+  counter.Add(5);
+  histogram.Observe(0.5);
+  registry.ResetForTest();
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(histogram.Snapshot().count, 0u);
+  // The same references keep recording after the reset.
+  counter.Add(2);
+  EXPECT_EQ(registry.GetCounter("test.stable").Value(), 2u);
+  EXPECT_EQ(&registry.GetCounter("test.stable"), &counter);
+}
+
+TEST(Registry, GlobalIsASingleton) {
+  EXPECT_EQ(&Registry::Global(), &Registry::Global());
+}
+
+}  // namespace
+}  // namespace sixgen::obs

@@ -1,0 +1,144 @@
+// Span nesting and attribution: parent/child ids via the thread-local
+// stack, deterministic timings under the fake clock, and sink delivery.
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "obs/clock.h"
+#include "obs/trace.h"
+
+namespace sixgen::obs {
+namespace {
+
+// Fake monotonic clock: each read advances 1 ms, so span durations are
+// bit-stable across runs and machines.
+std::uint64_t g_fake_now = 0;
+std::uint64_t FakeClock() { return g_fake_now += 1'000'000; }
+
+class SpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_fake_now = 0;
+    SetMonotonicClockForTest(&FakeClock);
+    sink_ = TraceSink::InMemory();
+    previous_ = SetGlobalSink(sink_.get());
+  }
+  void TearDown() override {
+    SetGlobalSink(previous_);
+    SetMonotonicClockForTest(nullptr);
+  }
+
+  /// Spans recorded so far, in file (= close) order.
+  std::vector<json::Value> RecordedSpans() {
+    std::vector<json::Value> spans;
+    for (auto& line : ReadTrace(sink_->buffer()).lines) {
+      if (line.Find("type")->AsString() == "span") {
+        spans.push_back(std::move(line));
+      }
+    }
+    return spans;
+  }
+
+  std::unique_ptr<TraceSink> sink_;
+  TraceSink* previous_ = nullptr;
+};
+
+TEST_F(SpanTest, RecordsNameAndMonotonicInterval) {
+  { ScopedSpan span("unit.work"); }
+  const auto spans = RecordedSpans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].Find("name")->AsString(), "unit.work");
+  const double start = spans[0].Find("start_ns")->AsNumber();
+  const double end = spans[0].Find("end_ns")->AsNumber();
+  EXPECT_EQ(end - start, 1'000'000.0);  // one fake-clock tick
+}
+
+TEST_F(SpanTest, ChildrenLinkToParentAndCloseFirst) {
+  {
+    ScopedSpan outer("outer");
+    {
+      ScopedSpan inner("inner");
+      EXPECT_EQ(CurrentSpanId(), inner.id());
+    }
+    EXPECT_EQ(CurrentSpanId(), outer.id());
+  }
+  EXPECT_EQ(CurrentSpanId(), 0u);
+
+  const auto spans = RecordedSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  // RAII order: the child's record lands before the parent's.
+  EXPECT_EQ(spans[0].Find("name")->AsString(), "inner");
+  EXPECT_EQ(spans[1].Find("name")->AsString(), "outer");
+  EXPECT_EQ(spans[0].Find("parent")->AsNumber(),
+            spans[1].Find("id")->AsNumber());
+  EXPECT_EQ(spans[1].Find("parent")->AsNumber(), 0.0);  // root
+}
+
+TEST_F(SpanTest, SiblingsShareTheParent) {
+  {
+    ScopedSpan parent("parent");
+    { ScopedSpan a("a"); }
+    { ScopedSpan b("b"); }
+  }
+  const auto spans = RecordedSpans();
+  ASSERT_EQ(spans.size(), 3u);
+  const double parent_id = spans[2].Find("id")->AsNumber();
+  EXPECT_EQ(spans[0].Find("parent")->AsNumber(), parent_id);
+  EXPECT_EQ(spans[1].Find("parent")->AsNumber(), parent_id);
+  EXPECT_NE(spans[0].Find("id")->AsNumber(), spans[1].Find("id")->AsNumber());
+}
+
+TEST_F(SpanTest, AttributesAndVirtualSecondsAreRecorded) {
+  {
+    ScopedSpan span("attributed");
+    span.Attr("prefix", "2001:db8::/32");
+    span.Attr("targets", std::uint64_t{512});
+    span.Attr("rate", 0.25);
+    span.AddVirtualSeconds(1.5);
+    span.AddVirtualSeconds(0.5);
+  }
+  const auto spans = RecordedSpans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].Find("virtual_seconds")->AsNumber(), 2.0);
+  const json::Value* attrs = spans[0].Find("attrs");
+  ASSERT_NE(attrs, nullptr);
+  EXPECT_EQ(attrs->Find("prefix")->AsString(), "2001:db8::/32");
+  EXPECT_EQ(attrs->Find("targets")->AsString(), "512");
+  EXPECT_EQ(attrs->Find("rate")->AsString(), "0.25");
+}
+
+TEST_F(SpanTest, ElapsedUsesTheInstalledClock) {
+  ScopedSpan span("elapsed");
+  const std::uint64_t first = span.ElapsedNanos();
+  const std::uint64_t second = span.ElapsedNanos();
+  EXPECT_EQ(second - first, 1'000'000u);
+  EXPECT_GT(span.ElapsedSeconds(), 0.0);
+}
+
+TEST_F(SpanTest, NoSinkMeansNoRecordButIdsStillNest) {
+  SetGlobalSink(nullptr);
+  {
+    ScopedSpan outer("outer");
+    ScopedSpan inner("inner");
+    EXPECT_NE(outer.id(), inner.id());
+    EXPECT_EQ(CurrentSpanId(), inner.id());
+  }
+  SetGlobalSink(sink_.get());
+  EXPECT_TRUE(RecordedSpans().empty());
+}
+
+TEST(NullSpanTest, EverySurfaceIsANoOp) {
+  NullSpan span;
+  span.Attr("key", "value");
+  span.Attr("key", 1.0);
+  span.AddVirtualSeconds(3.0);
+  EXPECT_EQ(span.id(), 0u);
+  EXPECT_EQ(span.ElapsedNanos(), 0u);
+  EXPECT_EQ(span.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace sixgen::obs

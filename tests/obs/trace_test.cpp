@@ -1,0 +1,162 @@
+// Trace sink round trips: manifest-first JSONL, metrics snapshots, the
+// torn-write-tolerant reader, and the sixgen-trace-v1 validator.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/clock.h"
+#include "obs/manifest.h"
+#include "obs/registry.h"
+
+namespace sixgen::obs {
+namespace {
+
+Manifest TestManifest() {
+  Manifest manifest;
+  manifest.run_id = "trace_test";
+  manifest.config_fingerprint = 0xdeadbeefcafef00dULL;
+  manifest.seeds["universe"] = 11;
+  manifest.seeds["scan"] = 13;
+  manifest.notes = "unit test";
+  return manifest;
+}
+
+TEST(Manifest, JsonCarriesIdentityFields) {
+  const std::string text = ManifestJson(TestManifest());
+  const auto value = json::Parse(text);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->Find("type")->AsString(), "manifest");
+  EXPECT_EQ(value->Find("schema")->AsString(), "sixgen-trace-v1");
+  EXPECT_EQ(value->Find("run_id")->AsString(), "trace_test");
+  EXPECT_EQ(value->Find("config_fingerprint")->AsString(),
+            "deadbeefcafef00d");
+  EXPECT_EQ(value->Find("seeds")->Find("universe")->AsNumber(), 11.0);
+  ASSERT_NE(value->Find("git"), nullptr);
+  ASSERT_NE(value->Find("build_type"), nullptr);
+  ASSERT_NE(value->Find("obs_enabled"), nullptr);
+}
+
+TEST(TraceSinkTest, WritesManifestSpansEventsAndMetrics) {
+  auto sink = TraceSink::InMemory();
+  sink->WriteManifest(TestManifest());
+
+  SpanRecord record;
+  record.name = "work";
+  record.id = 1;
+  record.start_ns = 100;
+  record.end_ns = 200;
+  sink->WriteSpan(record);
+
+  sink->WriteEvent("milestone", "{\"n\":1}");
+
+  Registry registry;
+  registry.GetCounter("c").Add(3);
+  registry.GetGauge("g").Set(1.5);
+  registry.GetHistogram("h").Observe(0.01);
+  sink->WriteMetrics(registry);
+
+  const TraceRead trace = ReadTrace(sink->buffer());
+  EXPECT_EQ(trace.torn_lines, 0u);
+  ASSERT_EQ(trace.lines.size(), 4u);
+  EXPECT_EQ(trace.lines[0].Find("type")->AsString(), "manifest");
+  EXPECT_EQ(trace.lines[1].Find("type")->AsString(), "span");
+  EXPECT_EQ(trace.lines[2].Find("type")->AsString(), "event");
+  EXPECT_EQ(trace.lines[2].Find("fields")->Find("n")->AsNumber(), 1.0);
+  EXPECT_EQ(trace.lines[3].Find("type")->AsString(), "metrics");
+  EXPECT_EQ(trace.lines[3].Find("counters")->Find("c")->AsNumber(), 3.0);
+  EXPECT_EQ(trace.lines[3].Find("gauges")->Find("g")->AsNumber(), 1.5);
+  const json::Value* histogram = trace.lines[3].Find("histograms")->Find("h");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->Find("count")->AsNumber(), 1.0);
+
+  EXPECT_EQ(ValidateTrace(trace), "");
+}
+
+TEST(TraceSinkTest, FileSinkRoundTripsAndSurvivesTornTail) {
+  const std::string path =
+      ::testing::TempDir() + "/sixgen_trace_test.jsonl";
+  {
+    std::string error;
+    auto sink = TraceSink::OpenFile(path, &error);
+    ASSERT_NE(sink, nullptr) << error;
+    sink->WriteManifest(TestManifest());
+    sink->WriteEvent("complete");
+  }
+  auto trace = ReadTraceFile(path);
+  ASSERT_TRUE(trace.has_value());
+  ASSERT_EQ(trace->lines.size(), 2u);
+  EXPECT_EQ(ValidateTrace(*trace), "");
+
+  // Simulate a hard kill mid-write: append half a JSON line. The reader
+  // must skip it (counting it) instead of failing, like the checkpoint
+  // reader's posture.
+  {
+    std::FILE* file = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(file, nullptr);
+    std::fputs("{\"type\":\"event\",\"name\":\"tor", file);
+    std::fclose(file);
+  }
+  trace = ReadTraceFile(path);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->lines.size(), 2u);
+  EXPECT_EQ(trace->torn_lines, 1u);
+  EXPECT_EQ(ValidateTrace(*trace), "");
+  std::remove(path.c_str());
+}
+
+TEST(TraceSinkTest, OpenFileReportsFailure) {
+  std::string error;
+  auto sink = TraceSink::OpenFile("/nonexistent-dir/trace.jsonl", &error);
+  EXPECT_EQ(sink, nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ValidateTraceTest, RejectsSchemaViolations) {
+  // No manifest.
+  TraceRead no_manifest = ReadTrace(
+      "{\"type\":\"event\",\"name\":\"x\",\"span\":0,\"ns\":1,"
+      "\"fields\":{}}\n");
+  EXPECT_NE(ValidateTrace(no_manifest), "");
+
+  auto sink = TraceSink::InMemory();
+  sink->WriteManifest(TestManifest());
+  const std::string prefix = sink->buffer();
+
+  // Unknown type.
+  EXPECT_NE(ValidateTrace(ReadTrace(prefix + "{\"type\":\"bogus\"}\n")), "");
+  // Span with a non-positive id.
+  EXPECT_NE(ValidateTrace(ReadTrace(
+                prefix +
+                "{\"type\":\"span\",\"name\":\"s\",\"id\":0,\"parent\":0,"
+                "\"start_ns\":1,\"end_ns\":2,\"virtual_seconds\":0,"
+                "\"attrs\":{}}\n")),
+            "");
+  // Span interval running backwards.
+  EXPECT_NE(ValidateTrace(ReadTrace(
+                prefix +
+                "{\"type\":\"span\",\"name\":\"s\",\"id\":1,\"parent\":0,"
+                "\"start_ns\":5,\"end_ns\":2,\"virtual_seconds\":0,"
+                "\"attrs\":{}}\n")),
+            "");
+  // A second manifest line.
+  EXPECT_NE(ValidateTrace(ReadTrace(prefix + prefix)), "");
+  // Wrong field kind (name as number).
+  EXPECT_NE(ValidateTrace(ReadTrace(
+                prefix + "{\"type\":\"event\",\"name\":7,\"span\":0,"
+                         "\"ns\":1,\"fields\":{}}\n")),
+            "");
+}
+
+TEST(GlobalSinkTest, InstallReturnsPreviousAndDetaches) {
+  auto first = TraceSink::InMemory();
+  auto second = TraceSink::InMemory();
+  TraceSink* original = SetGlobalSink(first.get());
+  EXPECT_EQ(GlobalSink(), first.get());
+  EXPECT_EQ(SetGlobalSink(second.get()), first.get());
+  EXPECT_EQ(SetGlobalSink(original), second.get());
+}
+
+}  // namespace
+}  // namespace sixgen::obs

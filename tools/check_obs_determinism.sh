@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Two-build observability determinism check (docs/observability.md).
+#
+# Builds sixgen_cli twice — SIXGEN_OBS=ON with full tracing enabled, and
+# SIXGEN_OBS=OFF (every obs macro compiled out) — runs `sixgen_cli eval`
+# in both, and byte-diffs the stdout CSVs. Any divergence means the
+# instrumentation leaked into algorithm state, which the obs subsystem
+# forbids: identical seeds must give identical target lists whether or
+# not anyone is watching.
+#
+# Usage: tools/check_obs_determinism.sh [budget]
+#   budget  probe budget per routed prefix (default 2000: ~200 prefixes
+#           in a few seconds per build)
+#
+# Env: SIXGEN_OBS_CHECK_DIR  scratch dir (default: a fresh mktemp -d)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUDGET="${1:-2000}"
+WORK="${SIXGEN_OBS_CHECK_DIR:-$(mktemp -d)}"
+mkdir -p "$WORK"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+build_and_run() {
+  local mode="$1" obs_flag="$2" extra_args=("${@:3}")
+  local build_dir="$WORK/build-obs-$mode"
+  echo "== configure + build (SIXGEN_OBS=$obs_flag) =="
+  cmake -B "$build_dir" -S . -DSIXGEN_OBS="$obs_flag" \
+    -DCMAKE_BUILD_TYPE=Release > "$WORK/cmake-$mode.log"
+  cmake --build "$build_dir" --target sixgen_cli -j "$JOBS" \
+    > "$WORK/build-$mode.log"
+  echo "== run eval ($mode) =="
+  "$build_dir/examples/sixgen_cli" eval --budget "$BUDGET" \
+    "${extra_args[@]}" \
+    > "$WORK/eval-$mode.csv" 2> "$WORK/eval-$mode.stderr"
+}
+
+# The ON build runs with every observability feature turned on — progress
+# reporting, a JSONL trace, a metrics dump — to maximize the chance of
+# catching a perturbation. The OFF build runs bare.
+build_and_run on ON --progress \
+  --trace-out "$WORK/eval-on.trace.jsonl" --metrics "$WORK/eval-on.prom"
+build_and_run off OFF
+
+if ! diff -u "$WORK/eval-off.csv" "$WORK/eval-on.csv"; then
+  echo "FAIL: eval output differs between SIXGEN_OBS=ON and OFF" >&2
+  echo "      artifacts kept in $WORK" >&2
+  exit 1
+fi
+
+# While we have the traced run: its artifacts must validate.
+python3 tools/validate_trace.py "$WORK/eval-on.trace.jsonl"
+test -s "$WORK/eval-on.prom" || {
+  echo "FAIL: --metrics produced no Prometheus output" >&2
+  exit 1
+}
+
+lines="$(wc -l < "$WORK/eval-on.csv")"
+echo "OK: $lines-line eval CSV is byte-identical with obs ON and OFF"
+echo "    artifacts in $WORK"

@@ -25,6 +25,11 @@ codebases before:
                      SIXGEN_CHECK. Files still awaiting migration are
                      grandfathered in NO_THROW_ALLOWLIST; do not add new
                      entries — shrink the list as modules migrate.
+  no-chrono-in-src   library code under src/ must not include <chrono>;
+                     all wall-clock reads go through the obs clock shim
+                     (src/obs/clock.h — the allowlisted implementation),
+                     which tests can substitute for determinism and which
+                     keeps timing observable as a side channel only.
 
 Suppress a finding by appending `// sixgen-lint: allow(<rule>)` on the
 offending line (headers only need it for non-pragma-once rules).
@@ -53,6 +58,15 @@ DETERMINISM_RE = re.compile(
 )
 
 IOSTREAM_RE = re.compile(r'#\s*include\s*[<"]iostream[>"]')
+
+CHRONO_RE = re.compile(r'#\s*include\s*[<"]chrono[>"]')
+
+# The one place allowed to read std::chrono: the obs clock shim every other
+# src/ file must route timing through.
+CHRONO_ALLOWLIST = {
+    "src/obs/clock.h",
+    "src/obs/clock.cpp",
+}
 
 THROW_RE = re.compile(r"\bthrow\b")
 
@@ -115,7 +129,8 @@ def check_pragma_once(path: Path, text: str, findings: Findings) -> None:
 
 
 def check_line_rules(path: Path, text: str, findings: Findings,
-                     in_lib: bool, throw_exempt: bool) -> None:
+                     in_lib: bool, throw_exempt: bool,
+                     chrono_exempt: bool) -> None:
     code = strip_comments_and_strings(text)
     raw_lines = text.splitlines()
     for i, line in enumerate(code.splitlines(), start=1):
@@ -129,6 +144,11 @@ def check_line_rules(path: Path, text: str, findings: Findings,
             findings.add(path, i, "iostream-in-lib",
                          "<iostream> is not allowed in library code under "
                          "src/", raw)
+        if in_lib and not chrono_exempt and CHRONO_RE.search(raw):
+            findings.add(path, i, "no-chrono-in-src",
+                         "<chrono> is not allowed in library code under "
+                         "src/; read time via the obs clock shim "
+                         "(src/obs/clock.h)", raw)
         if in_lib and not throw_exempt and THROW_RE.search(line):
             findings.add(path, i, "no-throw-in-src",
                          "library code must not throw; return "
@@ -201,7 +221,8 @@ def lint_paths(root: Path, paths: list[Path]) -> Findings:
         if path.suffix in HEADER_SUFFIXES:
             check_pragma_once(path, text, findings)
         check_line_rules(path, text, findings, in_lib,
-                         rel in NO_THROW_ALLOWLIST)
+                         rel in NO_THROW_ALLOWLIST,
+                         rel in CHRONO_ALLOWLIST)
     check_cmake_sources(root, findings)
     return findings
 

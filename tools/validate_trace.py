@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Validate sixgen observability artifacts (stdlib only, for CI).
+
+Two artifact kinds, mirroring the C++ validators in src/obs/:
+
+  sixgen-trace-v1  — JSONL traces written by obs::TraceSink
+                     (manifest line first, then span/event/metrics lines;
+                     a torn final line from a hard kill is tolerated)
+  sixgen-bench-v1  — BENCH_<name>.json records written by obs::BenchReporter
+
+Usage:
+  tools/validate_trace.py trace.jsonl BENCH_fig2.json ...
+
+Kind is chosen per file: *.jsonl validates as a trace, everything else as a
+bench record (override with --trace/--bench before the file list). Exits
+non-zero listing every failure; prints one OK line per valid file.
+"""
+
+import argparse
+import json
+import sys
+
+TRACE_SCHEMA = "sixgen-trace-v1"
+BENCH_SCHEMA = "sixgen-bench-v1"
+
+MANIFEST_STRING_FIELDS = ("schema", "run_id", "config_fingerprint", "git",
+                          "build_type")
+SPAN_NUMBER_FIELDS = ("id", "parent", "start_ns", "end_ns", "virtual_seconds")
+BENCH_FIELDS = {
+    "name": str,
+    "wall_seconds": (int, float),
+    "peak_rss_bytes": (int, float),
+    "probes": (int, float),
+    "hits": (int, float),
+    "targets": (int, float),
+    "probes_per_second": (int, float),
+    "hit_rate": (int, float),
+    "git": str,
+    "build_type": str,
+    "obs_enabled": bool,
+    "unix_seconds": (int, float),
+    "extra": dict,
+}
+
+
+def is_number(value):
+    # bool is an int subclass in Python; JSON true is not a number here.
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_manifest(line):
+    for key in MANIFEST_STRING_FIELDS:
+        if not isinstance(line.get(key), str):
+            return f'manifest: missing string field "{key}"'
+    if line["schema"] != TRACE_SCHEMA:
+        return f'manifest: unknown schema "{line["schema"]}"'
+    fp = line["config_fingerprint"]
+    if len(fp) != 16 or any(c not in "0123456789abcdef" for c in fp):
+        return "manifest: config_fingerprint must be 16 lowercase hex digits"
+    if not isinstance(line.get("obs_enabled"), bool):
+        return "manifest: missing bool field obs_enabled"
+    seeds = line.get("seeds")
+    if not isinstance(seeds, dict) or not all(
+            is_number(v) for v in seeds.values()):
+        return "manifest: seeds must be an object of numbers"
+    if not is_number(line.get("unix_seconds")):
+        return "manifest: missing number field unix_seconds"
+    return None
+
+
+def validate_span(line):
+    if not isinstance(line.get("name"), str):
+        return "span: missing string field name"
+    for key in SPAN_NUMBER_FIELDS:
+        if not is_number(line.get(key)):
+            return f'span: missing number field "{key}"'
+    if line["id"] <= 0:
+        return "span: id must be > 0"
+    if line["end_ns"] < line["start_ns"]:
+        return "span: interval runs backwards"
+    attrs = line.get("attrs")
+    if not isinstance(attrs, dict) or not all(
+            isinstance(v, str) for v in attrs.values()):
+        return "span: attrs must be an object of strings"
+    return None
+
+
+def validate_event(line):
+    if not isinstance(line.get("name"), str):
+        return "event: missing string field name"
+    if not is_number(line.get("span")) or not is_number(line.get("ns")):
+        return "event: missing number fields span/ns"
+    if not isinstance(line.get("fields"), dict):
+        return "event: fields must be an object"
+    return None
+
+
+def validate_metrics(line):
+    for section in ("counters", "gauges"):
+        values = line.get(section)
+        if not isinstance(values, dict) or not all(
+                is_number(v) for v in values.values()):
+            return f"metrics: {section} must be an object of numbers"
+    histograms = line.get("histograms")
+    if not isinstance(histograms, dict):
+        return "metrics: histograms must be an object"
+    for name, hist in histograms.items():
+        if not isinstance(hist, dict):
+            return f'metrics: histogram "{name}" must be an object'
+        bounds = hist.get("bounds")
+        counts = hist.get("counts")
+        if not isinstance(bounds, list) or not isinstance(counts, list):
+            return f'metrics: histogram "{name}" needs bounds/counts arrays'
+        # One overflow bucket beyond the last bound.
+        if len(counts) != len(bounds) + 1:
+            return f'metrics: histogram "{name}": want {len(bounds) + 1} ' \
+                   f"counts, got {len(counts)}"
+        if not is_number(hist.get("count")) or not is_number(hist.get("sum")):
+            return f'metrics: histogram "{name}" needs count/sum'
+        if sum(counts) != hist["count"]:
+            return f'metrics: histogram "{name}": bucket counts do not ' \
+                   "sum to count"
+    return None
+
+
+def validate_trace_text(text):
+    """Returns (errors, stats) for one JSONL trace."""
+    errors = []
+    stats = {"spans": 0, "events": 0, "metrics": 0, "torn": 0}
+    lines = text.split("\n")
+    seen_manifest = False
+    for i, raw in enumerate(lines):
+        if not raw.strip():
+            continue
+        try:
+            line = json.loads(raw)
+        except json.JSONDecodeError:
+            # Only the final line may be torn (per-line flush guarantees
+            # every earlier line landed whole).
+            if i >= len(lines) - 2:
+                stats["torn"] += 1
+                continue
+            errors.append(f"line {i + 1}: unparseable (not the final line)")
+            continue
+        if not isinstance(line, dict):
+            errors.append(f"line {i + 1}: not a JSON object")
+            continue
+        kind = line.get("type")
+        if kind == "manifest":
+            if seen_manifest:
+                errors.append(f"line {i + 1}: duplicate manifest")
+                continue
+            if i != 0:
+                errors.append("manifest must be the first line")
+            seen_manifest = True
+            error = validate_manifest(line)
+        elif kind == "span":
+            stats["spans"] += 1
+            error = validate_span(line)
+        elif kind == "event":
+            stats["events"] += 1
+            error = validate_event(line)
+        elif kind == "metrics":
+            stats["metrics"] += 1
+            error = validate_metrics(line)
+        else:
+            error = f'unknown line type "{kind}"'
+        if error:
+            errors.append(f"line {i + 1}: {error}")
+    if not seen_manifest:
+        errors.append("trace has no manifest line")
+    return errors, stats
+
+
+def validate_bench_text(text):
+    """Returns (errors, stats) for one BENCH_<name>.json record."""
+    try:
+        record = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return [f"not valid JSON: {exc}"], {}
+    if not isinstance(record, dict):
+        return ["bench record must be a JSON object"], {}
+    if record.get("schema") != BENCH_SCHEMA:
+        return [f"missing or unknown schema (want {BENCH_SCHEMA})"], {}
+    errors = []
+    for key, kind in BENCH_FIELDS.items():
+        value = record.get(key)
+        ok = isinstance(value, kind)
+        if kind is not bool and isinstance(value, bool):
+            ok = False  # bools must not satisfy number fields
+        if not ok:
+            errors.append(f'missing or mistyped field "{key}"')
+    if not errors:
+        if record["wall_seconds"] < 0:
+            errors.append("wall_seconds must be >= 0")
+        if not 0 <= record["hit_rate"] <= 1:
+            errors.append("hit_rate must be in [0, 1]")
+        if not all(is_number(v) for v in record["extra"].values()):
+            errors.append("extra must be an object of numbers")
+    stats = {"name": record.get("name", "?")}
+    return errors, stats
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="artifacts to validate")
+    parser.add_argument("--trace", action="store_true",
+                        help="force trace validation for every file")
+    parser.add_argument("--bench", action="store_true",
+                        help="force bench-record validation for every file")
+    args = parser.parse_args()
+    if args.trace and args.bench:
+        parser.error("--trace and --bench are mutually exclusive")
+
+    failed = False
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            print(f"FAIL {path}: {exc}", file=sys.stderr)
+            failed = True
+            continue
+        as_trace = args.trace or (not args.bench and path.endswith(".jsonl"))
+        if as_trace:
+            errors, stats = validate_trace_text(text)
+            summary = (f"{stats['spans']} spans, {stats['events']} events, "
+                       f"{stats['metrics']} metrics, {stats['torn']} torn")
+        else:
+            errors, stats = validate_bench_text(text)
+            summary = f"bench {stats.get('name', '?')}"
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"FAIL {path}: {error}", file=sys.stderr)
+        else:
+            print(f"OK   {path}: {summary}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
