@@ -1,0 +1,105 @@
+// Multi-prefix pipeline scaling bench (docs/performance.md): runs the
+// full §6 pipeline at --jobs 1/2/4/8 on one canonical world and reports
+// wall seconds and speedup per job count as CSV. The perf-smoke CI job
+// records the emitted BENCH_pipeline_parallel.json as the repo's first
+// perf-trajectory baseline.
+//
+// Output equality is a hard gate, not a statistic: the binary exits
+// non-zero if any job count diverges from the serial run's raw hits,
+// probe totals, or per-prefix outcomes. Speedup is reported but not
+// asserted — it depends on the machine (a single-core CI runner shows
+// ~1.0x; the ordered-commit scheduler targets >= 3x at 8 jobs on 8+
+// cores).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/clock.h"
+
+using namespace sixgen;
+
+namespace {
+
+struct RunSample {
+  std::size_t jobs = 0;
+  double wall_seconds = 0.0;
+  eval::PipelineResult result;
+};
+
+bool SameOutput(const eval::PipelineResult& a, const eval::PipelineResult& b) {
+  if (a.raw_hits != b.raw_hits || a.total_targets != b.total_targets ||
+      a.total_probes != b.total_probes ||
+      a.failed_prefixes != b.failed_prefixes ||
+      a.prefixes.size() != b.prefixes.size() ||
+      a.dealias.non_aliased_hits != b.dealias.non_aliased_hits) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.prefixes.size(); ++i) {
+    const eval::PrefixOutcome& x = a.prefixes[i];
+    const eval::PrefixOutcome& y = b.prefixes[i];
+    if (x.route != y.route || x.budget != y.budget ||
+        x.target_count != y.target_count || x.hit_count != y.hit_count ||
+        x.probes_sent != y.probes_sent || x.iterations != y.iterations) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchMain telemetry("pipeline_parallel");
+  const bench::World world = bench::MakeWorld();
+  const std::size_t job_counts[] = {1, 2, 4, 8};
+
+  std::vector<RunSample> samples;
+  for (const std::size_t jobs : job_counts) {
+    RunSample sample;
+    sample.jobs = jobs;
+    eval::PipelineConfig config = bench::MakePipelineConfig(
+        bench::kDefaultBudget);
+    config.jobs = jobs;
+    const std::uint64_t start_ns = obs::MonotonicNanos();
+    sample.result =
+        eval::RunSixGenPipeline(world.universe, world.seeds, config);
+    sample.wall_seconds =
+        static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9;
+    samples.push_back(std::move(sample));
+  }
+
+  const double serial_seconds = samples.front().wall_seconds;
+  bool diverged = false;
+  std::printf("jobs,wall_seconds,speedup_vs_serial,raw_hits,identical\n");
+  for (const RunSample& sample : samples) {
+    const bool identical = SameOutput(sample.result, samples.front().result);
+    diverged = diverged || !identical;
+    std::printf("%zu,%.3f,%.2f,%zu,%d\n", sample.jobs, sample.wall_seconds,
+                sample.wall_seconds > 0.0
+                    ? serial_seconds / sample.wall_seconds
+                    : 0.0,
+                sample.result.raw_hits.size(), identical ? 1 : 0);
+  }
+  bench::PrintPaperNote(
+      "§5.5: cluster growth \"can easily parallelize\"; here whole routed "
+      "prefixes run concurrently with deterministically ordered commits");
+
+  const RunSample& eight = samples.back();
+  telemetry.telemetry().SetProbes(samples.front().result.total_probes);
+  telemetry.telemetry().SetHits(samples.front().result.raw_hits.size());
+  telemetry.telemetry().SetTargets(samples.front().result.total_targets);
+  telemetry.telemetry().Extra("serial_seconds", serial_seconds);
+  telemetry.telemetry().Extra("jobs8_seconds", eight.wall_seconds);
+  telemetry.telemetry().Extra(
+      "speedup_at_8",
+      eight.wall_seconds > 0.0 ? serial_seconds / eight.wall_seconds : 0.0);
+  telemetry.telemetry().Extra("diverged", diverged ? 1.0 : 0.0);
+
+  if (diverged) {
+    std::fprintf(stderr,
+                 "FAIL: parallel pipeline output diverged from serial\n");
+    return 1;
+  }
+  return 0;
+}

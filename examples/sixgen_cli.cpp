@@ -12,10 +12,13 @@
 //   sixgen analyze <seeds.txt>
 //       Entropy profile, Entropy/IP segmentation, MRA dense prefixes, and
 //       the RFC 7707 IID-pattern histogram of the seed set.
-//   sixgen eval [--budget N] [--progress] [--trace-out F] [--metrics F]
-//               [--out F]
+//   sixgen eval [--budget N] [--jobs N] [--progress] [--trace-out F]
+//               [--metrics F] [--out F]
 //       Run the full §6 pipeline on the canonical scaled evaluation
-//       universe (the same world every bench binary uses). --progress
+//       universe (the same world every bench binary uses). --jobs runs
+//       routed prefixes on N worker threads (0 = hardware) with
+//       deterministically ordered output — every N produces byte-identical
+//       CSVs (docs/performance.md). --progress
 //       prints one line per routed prefix to stderr; --trace-out writes a
 //       sixgen-trace-v1 JSONL trace; --metrics writes the Prometheus text
 //       exposition of the metrics registry. Stdout is a timing-free CSV:
@@ -54,7 +57,7 @@ namespace {
                "usage: sixgen_cli <generate|entropyip|lowbyte|analyze> "
                "<seeds.txt> [--budget N] [--tight] [--ranges] [--trace] "
                "[--out FILE]\n"
-               "       sixgen_cli eval [--budget N] [--progress] "
+               "       sixgen_cli eval [--budget N] [--jobs N] [--progress] "
                "[--trace-out FILE] [--metrics FILE] [--out FILE]\n");
   std::exit(2);
 }
@@ -67,6 +70,7 @@ struct Options {
   bool ranges = false;
   bool trace = false;
   bool progress = false;
+  std::uint64_t jobs = 1;
   std::string trace_out;
   std::string metrics_out;
   std::string out_path;
@@ -95,6 +99,8 @@ Options ParseArgs(int argc, char** argv) {
       options.trace = true;
     } else if (arg == "--progress") {
       options.progress = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      options.jobs = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--trace-out" && i + 1 < argc) {
       options.trace_out = argv[++i];
     } else if (arg == "--metrics" && i + 1 < argc) {
@@ -272,6 +278,7 @@ int RunEval(const Options& options) {
 
   eval::PipelineConfig config;
   config.budget_per_prefix = options.budget;
+  config.jobs = static_cast<std::size_t>(options.jobs);
 
   std::unique_ptr<obs::TraceSink> sink;
   if (!options.trace_out.empty()) {

@@ -40,8 +40,16 @@ struct Config {
 
   /// Worker threads for the parallelizable cluster-growth evaluation
   /// (§5.5: "we can easily parallelize cluster growth computation").
-  /// 0 means std::thread::hardware_concurrency().
+  /// 0 means auto: hardware_concurrency() divided by
+  /// `external_parallelism` (the thread-budget governor below).
   unsigned threads = 0;
+
+  /// Thread-budget governor: how many Generate() calls the caller runs
+  /// concurrently (e.g. eval pipeline workers, docs/performance.md). The
+  /// auto thread count divides the machine by this so P concurrent
+  /// generators × T threads never oversubscribe the host. An explicit
+  /// `threads` value wins; generated output never depends on either knob.
+  unsigned external_parallelism = 1;
 
   /// Record a per-iteration GrowthStep trace in the result (small cost;
   /// off by default for large batch runs).
@@ -56,8 +64,13 @@ struct Config {
 
   unsigned EffectiveThreads() const {
     if (threads != 0) return threads;
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : hw;
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    const unsigned external = external_parallelism == 0
+                                  ? 1
+                                  : external_parallelism;
+    const unsigned share = hw / external;
+    return share == 0 ? 1 : share;
   }
 };
 

@@ -11,7 +11,7 @@
 namespace sixgen::eval {
 namespace {
 
-constexpr std::string_view kHeaderMagic = "sixgen-checkpoint v1 ";
+constexpr std::string_view kHeaderMagic = "sixgen-checkpoint v2 ";
 
 // splitmix64 finalizer (the repo's standard cheap mixer, see AddressHash).
 std::uint64_t Mix(std::uint64_t x) {
@@ -98,6 +98,11 @@ std::string EncodeCheckpointRecord(const CheckpointRecord& record) {
   line += o.route.prefix.ToString();
   line += ' ';
   line += std::to_string(o.route.origin);
+  // The per-prefix budget is a U128; stored as hi/lo 64-bit halves.
+  line += ' ';
+  line += std::to_string(static_cast<std::uint64_t>(o.budget >> 64));
+  line += ' ';
+  line += std::to_string(static_cast<std::uint64_t>(o.budget));
   for (std::size_t v : {o.seed_count, o.inactive_seed_count, o.target_count,
                         o.hit_count, o.probes_sent, o.iterations,
                         o.cluster_stats.singleton_clusters,
@@ -156,6 +161,12 @@ core::Result<CheckpointRecord> DecodeCheckpointRecord(std::string_view line) {
   auto origin = fields.NextU64();
   if (!origin.ok()) return origin.status();
   o.route.origin = static_cast<routing::Asn>(*origin);
+
+  auto budget_hi = fields.NextU64();
+  if (!budget_hi.ok()) return budget_hi.status();
+  auto budget_lo = fields.NextU64();
+  if (!budget_lo.ok()) return budget_lo.status();
+  o.budget = (static_cast<ip6::U128>(*budget_hi) << 64) | *budget_lo;
 
   std::size_t* counters[] = {&o.seed_count, &o.inactive_seed_count,
                              &o.target_count, &o.hit_count, &o.probes_sent,

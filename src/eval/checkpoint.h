@@ -2,14 +2,20 @@
 //
 // The paper's scans ran for weeks; a run that dies at prefix 9,000 of
 // 10,038 must not start over. RunSixGenPipeline appends one self-contained
-// record per completed routed prefix (outcome counters, cluster stats,
-// fault tally, and the hit list) to a line-oriented text file; a restarted
-// run reloads the file, skips completed prefixes, and splices their stored
-// outcomes back, producing a result identical to an uninterrupted run.
+// record per completed routed prefix (outcome counters, budget, cluster
+// stats, fault tally, and the hit list) to a line-oriented text file; a
+// restarted run reloads the file, skips completed prefixes, and splices
+// their stored outcomes back, producing a result identical to an
+// uninterrupted run. Failed prefixes are appended too, with their Status:
+// by default a resume retries them (PipelineConfig::retry_failed), but a
+// permanently failing prefix can be restored as-is instead of thrashing
+// every resume. Appends always happen in deterministic prefix order, for
+// every PipelineConfig::jobs value (docs/performance.md).
 //
-// Format (one record per line, '|'-separated sections):
+// Format (one record per line, '|'-separated sections; v2 added the
+// per-prefix budget as hi/lo 64-bit halves):
 //
-//   sixgen-checkpoint v1 <config-fingerprint-hex>          (header line)
+//   sixgen-checkpoint v2 <config-fingerprint-hex>          (header line)
 //   P <fixed counters...> <status-code>|<status message>|<hit addresses>
 //
 // The fingerprint digests every input that shapes per-prefix outcomes

@@ -1,9 +1,14 @@
 #include "eval/pipeline.h"
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <utility>
 
+#include "core/contracts.h"
 #include "eval/checkpoint.h"
 #include "faultnet/fault_channel.h"
 #include "obs/clock.h"
@@ -56,16 +61,21 @@ ProbePath MakeProbePath(const Universe& universe, const PipelineConfig& config,
 
 /// Generates and scans one routed prefix. Failures (generation errors, hard
 /// channel failures) land in the outcome's status instead of propagating.
+/// Everything here is prefix-local (fresh generator config, scanner, and
+/// channel, all seeded from the prefix itself), so concurrent calls on
+/// different prefixes share no mutable state.
 CheckpointRecord ProcessPrefix(const Universe& universe,
                                const routing::SeedGroup& group,
                                ip6::U128 budget,
-                               const PipelineConfig& config) {
+                               const PipelineConfig& config,
+                               std::size_t workers) {
   SIXGEN_OBS_SPAN(span, "pipeline.prefix");
   SIXGEN_OBS_SPAN_ATTR(span, "prefix", group.route.prefix.ToString());
   CheckpointRecord record;
   PrefixOutcome& outcome = record.outcome;
   outcome.route = group.route;
   outcome.seed_count = group.seeds.size();
+  outcome.budget = budget;
   for (const Address& seed : group.seeds) {
     if (!universe.HasActiveHost(seed)) ++outcome.inactive_seed_count;
   }
@@ -75,6 +85,10 @@ CheckpointRecord ProcessPrefix(const Universe& universe,
     gen_config.budget = budget;
     // Distinct, deterministic randomness per prefix.
     gen_config.rng_seed ^= PrefixPerturbation(group.route);
+    // Thread-budget governor: P pipeline workers each running a T-thread
+    // generator must not oversubscribe the machine (docs/performance.md).
+    gen_config.external_parallelism =
+        static_cast<unsigned>(std::min<std::size_t>(workers, 4096));
 
     // generation_seconds is pipeline *output* (CSV column), not just a
     // metric, so it reads the obs clock shim directly rather than a macro.
@@ -102,8 +116,7 @@ CheckpointRecord ProcessPrefix(const Universe& universe,
       record.hits = std::move(scanned.hits);
     } else {
       // A hard channel failure mid-scan means the hit list is truncated;
-      // contribute nothing rather than a biased sample. The prefix re-runs
-      // on resume.
+      // contribute nothing rather than a biased sample.
       outcome.hit_count = 0;
     }
   } catch (const std::exception& e) {
@@ -113,6 +126,30 @@ CheckpointRecord ProcessPrefix(const Universe& universe,
   }
   return record;
 }
+
+/// What the deterministic commit loop does with one seed group, planned up
+/// front so parallel execution cannot change which prefixes run.
+enum class TaskKind {
+  kProcess,  // run ProcessPrefix (fresh, or a retried failure)
+  kRestore,  // splice the stored checkpoint record back
+  kCapSkip,  // over max_prefixes_per_run: skip, mark the run partial
+};
+
+struct PrefixTask {
+  TaskKind kind = TaskKind::kProcess;
+  std::size_t group = 0;       // index into the filtered seed groups
+  ip6::U128 budget = 0;        // kProcess only
+  std::size_t slot = 0;        // kProcess only: index into the slot array
+  CheckpointRecord restored;   // kRestore only
+};
+
+/// One kProcess task's output, filled by a worker and consumed (in task
+/// order) by the committing thread. `done` is guarded by the pool mutex.
+struct ProcessSlot {
+  CheckpointRecord record;
+  double elapsed_seconds = 0.0;
+  bool done = false;
+};
 
 }  // namespace
 
@@ -134,7 +171,17 @@ PipelineResult RunSixGenPipeline(const Universe& universe,
   SIXGEN_OBS_GAUGE_SET("pipeline.unrouted_seeds",
                        static_cast<double>(unrouted));
 
-  // §8 budget allocation: split a global budget over routed prefixes.
+  // min_seeds filtering happens before budget allocation so skipped groups
+  // consume none of the total (each would otherwise sink at least the
+  // allocator's floor, silently discarded).
+  if (config.min_seeds > 1) {
+    std::erase_if(groups, [&](const routing::SeedGroup& group) {
+      return group.seeds.size() < config.min_seeds;
+    });
+  }
+
+  // §8 budget allocation: split a global budget over the prefixes that
+  // will actually run.
   std::vector<ip6::U128> budgets;
   if (config.total_budget) {
     budgets = AllocateBudgets(groups, *config.total_budget,
@@ -165,42 +212,134 @@ PipelineResult RunSixGenPipeline(const Universe& universe,
     }
   }
 
-  std::size_t newly_processed = 0;
+  // Plan phase: decide, in deterministic group order, which prefixes are
+  // restored, processed, or skipped by the per-run cap. The plan is fixed
+  // before any worker starts, so the processed set — and therefore every
+  // output — is identical for every job count.
+  std::vector<PrefixTask> tasks;
+  tasks.reserve(groups.size());
+  std::size_t process_count = 0;
   for (std::size_t g = 0; g < groups.size(); ++g) {
-    const routing::SeedGroup& group = groups[g];
-    if (group.seeds.size() < config.min_seeds) continue;
+    PrefixTask task;
+    task.group = g;
+    if (auto it = loaded.records.find(groups[g].route.prefix.ToString());
+        it != loaded.records.end() &&
+        (it->second.outcome.status.ok() || !config.retry_failed)) {
+      task.kind = TaskKind::kRestore;
+      task.restored = std::move(it->second);
+    } else if (config.max_prefixes_per_run != 0 &&
+               process_count >= config.max_prefixes_per_run) {
+      task.kind = TaskKind::kCapSkip;
+    } else {
+      task.kind = TaskKind::kProcess;
+      task.budget = budgets.empty() ? config.budget_per_prefix : budgets[g];
+      task.slot = process_count++;
+    }
+    tasks.push_back(std::move(task));
+  }
+
+  // Execute phase: `workers` threads pull kProcess tasks from a shared
+  // cursor and fill their slots; with one job everything stays on the
+  // calling thread (inside the commit loop below) and no pool is spawned.
+  const std::size_t workers =
+      std::min<std::size_t>(config.EffectiveJobs(),
+                            process_count == 0 ? 1 : process_count);
+  SIXGEN_OBS_SPAN_ATTR(run_span, "jobs",
+                       static_cast<std::uint64_t>(workers));
+  std::vector<ProcessSlot> slots(process_count);
+  std::vector<const PrefixTask*> process_tasks;
+  process_tasks.reserve(process_count);
+  for (const PrefixTask& task : tasks) {
+    if (task.kind == TaskKind::kProcess) process_tasks.push_back(&task);
+  }
+  SIXGEN_CHECK(process_tasks.size() == process_count);
+
+  std::mutex pool_mu;
+  std::condition_variable slot_ready;
+  std::atomic<std::size_t> cursor{0};
+  std::vector<std::thread> pool;
+  if (workers > 1) {
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        SIXGEN_OBS_SPAN(worker_span, "pipeline.worker");
+        SIXGEN_OBS_SPAN_ATTR(worker_span, "worker",
+                             static_cast<std::uint64_t>(w));
+        std::uint64_t prefixes_run = 0;
+        while (true) {
+          const std::size_t i =
+              cursor.fetch_add(1, std::memory_order_relaxed);
+          if (i >= process_tasks.size()) break;
+          const PrefixTask& task = *process_tasks[i];
+          const std::uint64_t start_ns = obs::MonotonicNanos();
+          CheckpointRecord record = ProcessPrefix(
+              universe, groups[task.group], task.budget, config, workers);
+          const double elapsed =
+              static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9;
+          SIXGEN_OBS_HISTOGRAM_OBSERVE("pipeline.prefix_seconds", elapsed);
+          SIXGEN_OBS_COUNTER_ADD("pipeline.prefixes_processed", 1);
+          ++prefixes_run;
+          {
+            std::lock_guard<std::mutex> lock(pool_mu);
+            slots[task.slot].record = std::move(record);
+            slots[task.slot].elapsed_seconds = elapsed;
+            slots[task.slot].done = true;
+          }
+          slot_ready.notify_all();
+        }
+        SIXGEN_OBS_SPAN_ATTR(worker_span, "prefixes", prefixes_run);
+      });
+    }
+  }
+
+  // Commit phase (the sequencer): walk the plan in deterministic order and
+  // fold each record into the result. Checkpoint appends, progress
+  // callbacks, and result aggregation all happen here, on the calling
+  // thread, so their order is byte-identical to the serial run.
+  for (PrefixTask& task : tasks) {
+    if (task.kind == TaskKind::kCapSkip) {
+      result.partial = true;
+      continue;
+    }
 
     CheckpointRecord record;
     double elapsed_seconds = 0.0;
-    if (auto it = loaded.records.find(group.route.prefix.ToString());
-        it != loaded.records.end()) {
-      record = std::move(it->second);
+    bool newly_processed = false;
+    if (task.kind == TaskKind::kRestore) {
+      record = std::move(task.restored);
       record.outcome.from_checkpoint = true;
       ++result.checkpoint.loaded;
       SIXGEN_OBS_COUNTER_ADD("pipeline.checkpoint.loaded", 1);
+    } else if (workers > 1) {
+      ProcessSlot& slot = slots[task.slot];
+      std::unique_lock<std::mutex> lock(pool_mu);
+      slot_ready.wait(lock, [&slot] { return slot.done; });
+      record = std::move(slot.record);
+      elapsed_seconds = slot.elapsed_seconds;
+      newly_processed = true;
     } else {
-      if (config.max_prefixes_per_run != 0 &&
-          newly_processed >= config.max_prefixes_per_run) {
-        result.partial = true;
-        continue;
-      }
-      const std::uint64_t prefix_start_ns = obs::MonotonicNanos();
-      record = ProcessPrefix(
-          universe, group,
-          budgets.empty() ? config.budget_per_prefix : budgets[g], config);
+      const std::uint64_t start_ns = obs::MonotonicNanos();
+      record = ProcessPrefix(universe, groups[task.group], task.budget,
+                             config, /*workers=*/1);
       elapsed_seconds =
-          static_cast<double>(obs::MonotonicNanos() - prefix_start_ns) * 1e-9;
-      ++newly_processed;
+          static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9;
+      SIXGEN_OBS_HISTOGRAM_OBSERVE("pipeline.prefix_seconds",
+                                   elapsed_seconds);
       SIXGEN_OBS_COUNTER_ADD("pipeline.prefixes_processed", 1);
-      if (writer && record.outcome.status.ok()) {
-        SIXGEN_OBS_SPAN(write_span, "pipeline.checkpoint.write");
-        if (core::Status appended = writer->Append(record); !appended.ok()) {
-          result.checkpoint.io = appended;
-          writer.reset();  // stop checkpointing, keep scanning
-        } else {
-          ++result.checkpoint.written;
-          SIXGEN_OBS_COUNTER_ADD("pipeline.checkpoint.written", 1);
-        }
+      newly_processed = true;
+    }
+
+    // Failed prefixes are persisted too (with their Status), so a resume
+    // knows about them instead of re-running them unconditionally; see
+    // PipelineConfig::retry_failed.
+    if (writer && newly_processed) {
+      SIXGEN_OBS_SPAN(write_span, "pipeline.checkpoint.write");
+      if (core::Status appended = writer->Append(record); !appended.ok()) {
+        result.checkpoint.io = appended;
+        writer.reset();  // stop checkpointing, keep scanning
+      } else {
+        ++result.checkpoint.written;
+        SIXGEN_OBS_COUNTER_ADD("pipeline.checkpoint.written", 1);
       }
     }
 
@@ -225,6 +364,8 @@ PipelineResult RunSixGenPipeline(const Universe& universe,
                            record.hits.end());
     result.prefixes.push_back(std::move(record.outcome));
   }
+
+  for (auto& th : pool) th.join();
 
   if (config.run_dealias && !result.partial) {
     SIXGEN_OBS_SPAN(dealias_span, "pipeline.dealias");

@@ -6,15 +6,24 @@
 // Robustness (docs/robustness.md): the scan runs through a
 // faultnet::ProbeChannel configured by `fault_plan`; per-prefix failures
 // are isolated into their PrefixOutcome instead of aborting the run; and
-// with `checkpoint_path` set, completed prefixes are persisted so an
-// interrupted run resumes where it left off. Each routed prefix gets its
-// own deterministically-seeded scanner and channel, so outcomes are
-// independent of which prefixes ran in which process lifetime.
+// with `checkpoint_path` set, completed prefixes (including failed ones)
+// are persisted so an interrupted run resumes where it left off. Each
+// routed prefix gets its own deterministically-seeded scanner and channel,
+// so outcomes are independent of which prefixes ran in which process
+// lifetime.
+//
+// Parallelism (docs/performance.md): routed prefixes are independent, so
+// `jobs` worker threads execute them concurrently while the caller's
+// thread commits results strictly in serial (prefix-sorted) order. For the
+// same seed, PipelineResult, the progress sequence, and the checkpoint
+// append order are identical for every job count; `jobs` is therefore
+// excluded from the checkpoint fingerprint.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <optional>
@@ -66,9 +75,23 @@ struct PipelineConfig {
   /// behaviour bit-for-bit.
   faultnet::FaultPlan fault_plan;
 
+  /// Concurrent per-prefix workers (sixgen_cli --jobs). 1 runs everything
+  /// on the calling thread (the historical serial path); 0 means
+  /// hardware_concurrency. Results are committed in deterministic prefix
+  /// order regardless, so every job count produces identical output.
+  std::size_t jobs = 1;
+
   /// When non-empty, completed prefixes are checkpointed to this file and
-  /// a rerun resumes by skipping them (see eval/checkpoint.h).
+  /// a rerun resumes by skipping them (see eval/checkpoint.h). Failed
+  /// prefixes are persisted too, with their Status.
   std::string checkpoint_path;
+
+  /// Re-run checkpointed prefixes whose stored status is non-OK (default:
+  /// a resume retries failures). Set false to restore failed outcomes
+  /// as-is, bounding resume cost when a prefix fails permanently. Like
+  /// `progress` and `jobs`, this never changes per-prefix outcomes and is
+  /// excluded from the checkpoint fingerprint.
+  bool retry_failed = true;
 
   /// Stop after this many newly-processed prefixes (0 = unbounded).
   /// Checkpointed prefixes don't count. With a checkpoint path this gives
@@ -77,11 +100,19 @@ struct PipelineConfig {
   /// dealiasing.
   std::size_t max_prefixes_per_run = 0;
 
-  /// Invoked after each routed prefix completes (including checkpoint
-  /// restores). Observability side channel: the callback must not influence
-  /// the run, and it is excluded from the checkpoint fingerprint. Null
-  /// disables reporting.
+  /// Invoked after each routed prefix commits (including checkpoint
+  /// restores), always from the calling thread and always in deterministic
+  /// prefix order, for every job count. Observability side channel: the
+  /// callback must not influence the run, and it is excluded from the
+  /// checkpoint fingerprint. Null disables reporting.
   std::function<void(const PrefixProgress&)> progress;
+
+  /// Resolved worker count: `jobs`, with 0 meaning the hardware.
+  std::size_t EffectiveJobs() const {
+    if (jobs != 0) return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
 };
 
 /// Per-routed-prefix outcome.
@@ -89,6 +120,10 @@ struct PrefixOutcome {
   routing::Route route;
   std::size_t seed_count = 0;
   std::size_t inactive_seed_count = 0;  // churned-away seeds (§6.6)
+  /// Probe budget this prefix was generated under (budget_per_prefix, or
+  /// its AllocateBudgets share when total_budget is set). Groups filtered
+  /// by min_seeds never appear here and never consume any of the total.
+  ip6::U128 budget = 0;
   std::size_t target_count = 0;
   std::size_t hit_count = 0;  // raw (pre-dealiasing) hits
   std::size_t probes_sent = 0;

@@ -17,13 +17,24 @@
 
 namespace sixgen::obs {
 
+std::uint64_t PeakRssUnitBytes() {
+#if !SIXGEN_HAVE_RUSAGE
+  return 0;
+#elif defined(__APPLE__)
+  // macOS getrusage(2) reports ru_maxrss in bytes; multiplying by 1024
+  // overreported RSS 1024x on every Darwin trend plot.
+  return 1;
+#else
+  // Linux and the BSDs report ru_maxrss in kilobytes.
+  return 1024;
+#endif
+}
+
 std::uint64_t PeakRssBytes() {
 #if SIXGEN_HAVE_RUSAGE
   struct rusage usage {};
   if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
-  // Linux reports ru_maxrss in kilobytes (BSD/macOS in bytes; the factor
-  // only matters for trend plots, and CI runs Linux).
-  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * PeakRssUnitBytes();
 #else
   return 0;
 #endif

@@ -43,6 +43,11 @@ std::string ValidateBenchRecordJson(std::string_view text);
 /// Peak resident set size of this process, in bytes (0 if unavailable).
 std::uint64_t PeakRssBytes();
 
+/// Platform unit of getrusage's ru_maxrss in bytes: 1 on macOS (which
+/// reports bytes), 1024 on Linux/BSD (kilobytes), 0 where rusage is
+/// unavailable. PeakRssBytes() == ru_maxrss * PeakRssUnitBytes().
+std::uint64_t PeakRssUnitBytes();
+
 /// RAII reporter: construct first in main(), and on destruction the
 /// record is finalized (wall time from an enclosing span, peak RSS,
 /// registry-derived probe counts unless overridden) and written to

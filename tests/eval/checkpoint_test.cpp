@@ -26,6 +26,8 @@ CheckpointRecord SampleRecord() {
   record.outcome.route = {ip6::Prefix::MustParse("2001:db8:40::/48"), 64500};
   record.outcome.seed_count = 12;
   record.outcome.inactive_seed_count = 3;
+  // A budget wide enough to exercise both 64-bit halves of the U128.
+  record.outcome.budget = (static_cast<ip6::U128>(5) << 64) | 20'000;
   record.outcome.target_count = 4000;
   record.outcome.hit_count = 2;
   record.outcome.probes_sent = 4100;
@@ -48,6 +50,7 @@ void ExpectSameOutcome(const PrefixOutcome& a, const PrefixOutcome& b) {
   EXPECT_EQ(a.route, b.route);
   EXPECT_EQ(a.seed_count, b.seed_count);
   EXPECT_EQ(a.inactive_seed_count, b.inactive_seed_count);
+  EXPECT_TRUE(a.budget == b.budget);
   EXPECT_EQ(a.target_count, b.target_count);
   EXPECT_EQ(a.hit_count, b.hit_count);
   EXPECT_EQ(a.probes_sent, b.probes_sent);

@@ -1,0 +1,359 @@
+// Parallel-vs-serial determinism suite for the evaluation pipeline
+// (docs/performance.md): for the same seed, every PipelineConfig::jobs
+// value must produce an identical PipelineResult, an identical progress
+// sequence, and byte-identical checkpoint files — including under an
+// active FaultPlan and across an interrupt+resume. Runs under the TSan
+// preset in CI (the ordered-commit scheduler is the code under test).
+#include "eval/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/checkpoint.h"
+#include "obs/clock.h"
+
+namespace sixgen::eval {
+namespace {
+
+using ip6::Address;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "sixgen_parallel_" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Freezes the obs clock so every wall-time-derived field (the only
+// legitimately nondeterministic pipeline output) collapses to zero and
+// checkpoint files become byte-comparable across runs and job counts.
+std::uint64_t FrozenNanos() { return 0; }
+
+struct FrozenClock {
+  FrozenClock() { obs::SetMonotonicClockForTest(&FrozenNanos); }
+  ~FrozenClock() { obs::SetMonotonicClockForTest(nullptr); }
+};
+
+struct SmallWorld {
+  simnet::Universe universe;
+  std::vector<simnet::SeedRecord> seeds;
+};
+
+SmallWorld MakeSmallWorld() {
+  EvalScale scale;
+  scale.host_factor = 0.1;
+  scale.filler_ases = 20;
+  SmallWorld world{MakeEvalUniverse(11, scale), {}};
+  world.seeds = MakeDnsSeeds(world.universe, 13, 0.5);
+  return world;
+}
+
+struct ProgressEntry {
+  std::string prefix;
+  std::size_t index;
+  std::size_t probes_sent;
+  std::size_t hit_count;
+  double elapsed_seconds;
+  bool from_checkpoint;
+
+  bool operator==(const ProgressEntry&) const = default;
+};
+
+std::vector<ProgressEntry>* CaptureProgress(PipelineConfig& config,
+                                            std::vector<ProgressEntry>* out) {
+  config.progress = [out](const PrefixProgress& p) {
+    out->push_back({p.route.prefix.ToString(), p.index, p.probes_sent,
+                    p.hit_count, p.elapsed_seconds, p.from_checkpoint});
+  };
+  return out;
+}
+
+void ExpectSameOutcome(const PrefixOutcome& a, const PrefixOutcome& b) {
+  EXPECT_EQ(a.route, b.route);
+  EXPECT_EQ(a.seed_count, b.seed_count);
+  EXPECT_EQ(a.inactive_seed_count, b.inactive_seed_count);
+  EXPECT_TRUE(a.budget == b.budget)
+      << static_cast<std::uint64_t>(a.budget) << " vs "
+      << static_cast<std::uint64_t>(b.budget);
+  EXPECT_EQ(a.target_count, b.target_count);
+  EXPECT_EQ(a.hit_count, b.hit_count);
+  EXPECT_EQ(a.probes_sent, b.probes_sent);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.cluster_stats.singleton_clusters,
+            b.cluster_stats.singleton_clusters);
+  EXPECT_EQ(a.cluster_stats.grown_clusters, b.cluster_stats.grown_clusters);
+  EXPECT_EQ(a.cluster_stats.dynamic_nybbles, b.cluster_stats.dynamic_nybbles);
+  EXPECT_TRUE(a.faults == b.faults);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_DOUBLE_EQ(a.scan_virtual_seconds, b.scan_virtual_seconds);
+  // With the frozen clock generation_seconds is deterministic too.
+  EXPECT_DOUBLE_EQ(a.generation_seconds, b.generation_seconds);
+  EXPECT_EQ(a.from_checkpoint, b.from_checkpoint);
+}
+
+void ExpectSameResult(const PipelineResult& a, const PipelineResult& b) {
+  EXPECT_EQ(a.raw_hits, b.raw_hits);
+  EXPECT_EQ(a.total_targets, b.total_targets);
+  EXPECT_EQ(a.total_probes, b.total_probes);
+  EXPECT_EQ(a.seeds_used, b.seeds_used);
+  EXPECT_EQ(a.failed_prefixes, b.failed_prefixes);
+  EXPECT_EQ(a.partial, b.partial);
+  EXPECT_TRUE(a.faults == b.faults);
+  EXPECT_EQ(a.dealias.aliased_hits, b.dealias.aliased_hits);
+  EXPECT_EQ(a.dealias.non_aliased_hits, b.dealias.non_aliased_hits);
+  ASSERT_EQ(a.prefixes.size(), b.prefixes.size());
+  for (std::size_t i = 0; i < a.prefixes.size(); ++i) {
+    ExpectSameOutcome(a.prefixes[i], b.prefixes[i]);
+  }
+}
+
+// The headline guarantee: PipelineResult, the progress sequence, and the
+// checkpoint file are identical for jobs ∈ {1, 4, hardware}.
+TEST(ParallelPipeline, EveryJobCountMatchesSerial) {
+  const FrozenClock frozen;
+  const SmallWorld world = MakeSmallWorld();
+
+  PipelineConfig base;
+  base.budget_per_prefix = 800;
+
+  PipelineResult serial;
+  std::vector<ProgressEntry> serial_progress;
+  std::string serial_checkpoint;
+  {
+    PipelineConfig config = base;
+    config.jobs = 1;
+    config.checkpoint_path = TempPath("serial.ckpt");
+    std::remove(config.checkpoint_path.c_str());
+    CaptureProgress(config, &serial_progress);
+    serial = RunSixGenPipeline(world.universe, world.seeds, config);
+    serial_checkpoint = ReadFileBytes(config.checkpoint_path);
+    std::remove(config.checkpoint_path.c_str());
+  }
+  ASSERT_GT(serial.prefixes.size(), 4u);
+  ASSERT_FALSE(serial_checkpoint.empty());
+
+  for (const std::size_t jobs : {std::size_t{4}, std::size_t{0}}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    PipelineConfig config = base;
+    config.jobs = jobs;
+    config.checkpoint_path = TempPath("parallel.ckpt");
+    std::remove(config.checkpoint_path.c_str());
+    std::vector<ProgressEntry> progress;
+    CaptureProgress(config, &progress);
+    const PipelineResult parallel =
+        RunSixGenPipeline(world.universe, world.seeds, config);
+    ExpectSameResult(parallel, serial);
+    EXPECT_EQ(progress, serial_progress);
+    EXPECT_EQ(ReadFileBytes(config.checkpoint_path), serial_checkpoint)
+        << "checkpoint bytes must not depend on the job count";
+    std::remove(config.checkpoint_path.c_str());
+  }
+}
+
+// Same determinism with fault injection active: per-prefix RNG streams and
+// virtual clocks are prefix-local, so concurrency must not change which
+// probes are lost, rate limited, or duplicated.
+TEST(ParallelPipeline, DeterministicUnderActiveFaultPlan) {
+  const FrozenClock frozen;
+  const SmallWorld world = MakeSmallWorld();
+
+  PipelineConfig base;
+  base.budget_per_prefix = 600;
+  base.scan.attempts = 2;
+  base.fault_plan.rng_seed = 7;
+  base.fault_plan.burst_loss.p_enter_burst = 0.02;
+  base.fault_plan.burst_loss.p_exit_burst = 0.3;
+  base.fault_plan.burst_loss.loss_bad = 0.5;
+  base.fault_plan.burst_loss.loss_good = 0.05;
+
+  PipelineConfig serial_config = base;
+  serial_config.jobs = 1;
+  const PipelineResult serial =
+      RunSixGenPipeline(world.universe, world.seeds, serial_config);
+  EXPECT_GT(serial.faults.Total(), 0u) << "plan must actually inject faults";
+
+  PipelineConfig parallel_config = base;
+  parallel_config.jobs = 4;
+  const PipelineResult parallel =
+      RunSixGenPipeline(world.universe, world.seeds, parallel_config);
+  ExpectSameResult(parallel, serial);
+}
+
+// Interrupt + resume with parallel workers: chunked runs (jobs=4) stitched
+// together over a checkpoint equal one uninterrupted serial run.
+TEST(ParallelPipeline, InterruptAndResumeEqualsUninterruptedSerial) {
+  const FrozenClock frozen;
+  const SmallWorld world = MakeSmallWorld();
+
+  PipelineConfig base;
+  base.budget_per_prefix = 600;
+
+  PipelineConfig serial_config = base;
+  serial_config.jobs = 1;
+  const PipelineResult oracle =
+      RunSixGenPipeline(world.universe, world.seeds, serial_config);
+
+  PipelineConfig chunked = base;
+  chunked.jobs = 4;
+  chunked.max_prefixes_per_run = 3;
+  chunked.checkpoint_path = TempPath("resume.ckpt");
+  std::remove(chunked.checkpoint_path.c_str());
+
+  PipelineResult resumed;
+  std::size_t runs = 0;
+  do {
+    resumed = RunSixGenPipeline(world.universe, world.seeds, chunked);
+    ASSERT_TRUE(resumed.checkpoint.io.ok())
+        << resumed.checkpoint.io.ToString();
+    ASSERT_LT(++runs, 200u) << "chunked run failed to make progress";
+  } while (resumed.partial);
+  EXPECT_GT(runs, 1u) << "test must actually exercise a resume";
+
+  // from_checkpoint differs by construction; compare everything else.
+  EXPECT_EQ(resumed.raw_hits, oracle.raw_hits);
+  EXPECT_EQ(resumed.total_targets, oracle.total_targets);
+  EXPECT_EQ(resumed.total_probes, oracle.total_probes);
+  EXPECT_EQ(resumed.failed_prefixes, oracle.failed_prefixes);
+  EXPECT_TRUE(resumed.faults == oracle.faults);
+  EXPECT_EQ(resumed.dealias.non_aliased_hits, oracle.dealias.non_aliased_hits);
+  ASSERT_EQ(resumed.prefixes.size(), oracle.prefixes.size());
+  for (std::size_t i = 0; i < resumed.prefixes.size(); ++i) {
+    const PrefixOutcome& a = resumed.prefixes[i];
+    const PrefixOutcome& b = oracle.prefixes[i];
+    EXPECT_EQ(a.route, b.route);
+    EXPECT_TRUE(a.budget == b.budget);
+    EXPECT_EQ(a.hit_count, b.hit_count);
+    EXPECT_EQ(a.probes_sent, b.probes_sent);
+    EXPECT_EQ(a.status, b.status);
+  }
+  std::remove(chunked.checkpoint_path.c_str());
+}
+
+// Budget-leak regression: groups below min_seeds are filtered before
+// AllocateBudgets, so the whole total reaches the prefixes that run
+// (previously every skipped group silently consumed the allocator floor).
+TEST(ParallelPipeline, MinSeedsFilteredGroupsConsumeNoBudget) {
+  const SmallWorld world = MakeSmallWorld();
+
+  PipelineConfig config;
+  config.total_budget = 4096;
+  config.min_seeds = 5;
+  config.run_dealias = false;
+
+  const PipelineResult result =
+      RunSixGenPipeline(world.universe, world.seeds, config);
+  ASSERT_GT(result.prefixes.size(), 0u);
+
+  // Check some groups were actually filtered (else the test is vacuous).
+  PipelineConfig unfiltered = config;
+  unfiltered.min_seeds = 1;
+  const PipelineResult all =
+      RunSixGenPipeline(world.universe, world.seeds, unfiltered);
+  ASSERT_GT(all.prefixes.size(), result.prefixes.size())
+      << "min_seeds must filter at least one group for this test to bite";
+
+  ip6::U128 allocated = 0;
+  for (const PrefixOutcome& outcome : result.prefixes) {
+    EXPECT_GE(outcome.seed_count, config.min_seeds);
+    EXPECT_TRUE(outcome.budget > 0)
+        << outcome.route.prefix.ToString() << " got zero budget";
+    allocated += outcome.budget;
+  }
+  EXPECT_TRUE(allocated == *config.total_budget)
+      << "sum " << static_cast<std::uint64_t>(allocated) << " != total "
+      << static_cast<std::uint64_t>(*config.total_budget)
+      << ": budget leaked to filtered groups";
+}
+
+// Failed prefixes are persisted with their Status; retry_failed controls
+// whether a resume re-runs them (default) or restores them as-is.
+TEST(ParallelPipeline, FailedPrefixPersistedAndRetryFlagHonored) {
+  const FrozenClock frozen;
+  const SmallWorld world = MakeSmallWorld();
+
+  // Find a victim prefix that produces hits on a clean run.
+  PipelineConfig probe_config;
+  probe_config.budget_per_prefix = 400;
+  probe_config.run_dealias = false;
+  const PipelineResult clean =
+      RunSixGenPipeline(world.universe, world.seeds, probe_config);
+  const PrefixOutcome* victim = &clean.prefixes.front();
+  for (const PrefixOutcome& outcome : clean.prefixes) {
+    if (outcome.hit_count > victim->hit_count) victim = &outcome;
+  }
+  ASSERT_GT(victim->hit_count, 0u);
+
+  PipelineConfig config = probe_config;
+  config.fault_plan.error_prefixes.push_back(victim->route.prefix);
+  config.checkpoint_path = TempPath("failed.ckpt");
+  std::remove(config.checkpoint_path.c_str());
+
+  const PipelineResult first =
+      RunSixGenPipeline(world.universe, world.seeds, config);
+  EXPECT_EQ(first.failed_prefixes, 1u);
+  EXPECT_EQ(first.checkpoint.written, first.prefixes.size())
+      << "failed prefixes must be appended to the checkpoint too";
+
+  // Default (retry_failed=true): the failed prefix re-runs on resume and
+  // is re-appended; everything else restores.
+  const PipelineResult retried =
+      RunSixGenPipeline(world.universe, world.seeds, config);
+  EXPECT_EQ(retried.checkpoint.loaded, first.prefixes.size() - 1);
+  EXPECT_EQ(retried.checkpoint.written, 1u);
+  EXPECT_EQ(retried.failed_prefixes, 1u);
+  EXPECT_EQ(retried.raw_hits, first.raw_hits);
+
+  // retry_failed=false: the stored failure is restored, nothing re-runs —
+  // resume cost is bounded even when a prefix fails permanently.
+  PipelineConfig no_retry = config;
+  no_retry.retry_failed = false;
+  const PipelineResult restored =
+      RunSixGenPipeline(world.universe, world.seeds, no_retry);
+  EXPECT_EQ(restored.checkpoint.loaded, first.prefixes.size());
+  EXPECT_EQ(restored.checkpoint.written, 0u);
+  EXPECT_EQ(restored.failed_prefixes, 1u);
+  EXPECT_EQ(restored.raw_hits, first.raw_hits);
+  for (const PrefixOutcome& outcome : restored.prefixes) {
+    EXPECT_TRUE(outcome.from_checkpoint);
+    if (outcome.route == victim->route) {
+      EXPECT_FALSE(outcome.status.ok());
+    }
+  }
+  std::remove(config.checkpoint_path.c_str());
+}
+
+// The thread-budget governor: auto generator threads divide the machine by
+// the declared external parallelism, never dropping below one, and an
+// explicit thread count always wins.
+TEST(ThreadBudgetGovernor, DividesMachineByExternalParallelism) {
+  core::Config config;
+  config.threads = 0;
+  config.external_parallelism = 1;
+  const unsigned solo = config.EffectiveThreads();
+  EXPECT_GE(solo, 1u);
+
+  config.external_parallelism = solo;  // fully subscribed by the caller
+  EXPECT_EQ(config.EffectiveThreads(), 1u);
+
+  config.external_parallelism = solo * 1000;  // oversubscribed: floor at 1
+  EXPECT_EQ(config.EffectiveThreads(), 1u);
+
+  config.external_parallelism = 0;  // treated as 1, not a division by zero
+  EXPECT_EQ(config.EffectiveThreads(), solo);
+
+  config.threads = 3;  // explicit wins regardless of the governor
+  config.external_parallelism = 64;
+  EXPECT_EQ(config.EffectiveThreads(), 3u);
+}
+
+}  // namespace
+}  // namespace sixgen::eval

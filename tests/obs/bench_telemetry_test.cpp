@@ -135,5 +135,31 @@ TEST(PeakRss, ReportsAPlausibleFootprint) {
   }
 }
 
+TEST(PeakRss, UnitConventionMatchesPlatform) {
+  // ru_maxrss is kilobytes on Linux/BSD but bytes on macOS; the 1024
+  // factor must be gated on the platform or Darwin overreports 1024x.
+  const std::uint64_t unit = PeakRssUnitBytes();
+#if defined(__APPLE__)
+  EXPECT_EQ(unit, 1u);
+#elif defined(__linux__) || defined(__FreeBSD__) || defined(__NetBSD__) || \
+    defined(__OpenBSD__)
+  EXPECT_EQ(unit, 1024u);
+#else
+  EXPECT_TRUE(unit == 0 || unit == 1 || unit == 1024);
+#endif
+
+  const std::uint64_t rss = PeakRssBytes();
+  if (unit == 0) {
+    EXPECT_EQ(rss, 0u) << "no rusage means no RSS reading";
+  } else {
+    EXPECT_EQ(rss % unit, 0u)
+        << "PeakRssBytes must be an exact multiple of the platform unit";
+    // A test binary's peak RSS is megabytes-to-gigabytes; a unit mixup
+    // shows up as a footprint in the terabytes (or under a kilobyte).
+    EXPECT_GT(rss, 1u << 20);
+    EXPECT_LT(rss, 1ull << 40);
+  }
+}
+
 }  // namespace
 }  // namespace sixgen::obs
