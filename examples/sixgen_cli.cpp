@@ -13,7 +13,8 @@
 //       Entropy profile, Entropy/IP segmentation, MRA dense prefixes, and
 //       the RFC 7707 IID-pattern histogram of the seed set.
 //   sixgen eval [--budget N] [--jobs N] [--progress] [--trace-out F]
-//               [--metrics F] [--out F]
+//               [--metrics F] [--out F] [--checkpoint F]
+//               [--run-deadline S] [--prefix-deadline S]
 //       Run the full §6 pipeline on the canonical scaled evaluation
 //       universe (the same world every bench binary uses). --jobs runs
 //       routed prefixes on N worker threads (0 = hardware) with
@@ -23,6 +24,11 @@
 //       sixgen-trace-v1 JSONL trace; --metrics writes the Prometheus text
 //       exposition of the metrics registry. Stdout is a timing-free CSV:
 //       byte-identical across runs and across SIXGEN_OBS modes.
+//       --checkpoint persists completed prefixes and resumes from them;
+//       with it, SIGINT/SIGTERM shut the run down gracefully — finished
+//       prefixes are committed and the process exits 0 with a resumable
+//       checkpoint (docs/robustness.md). --run-deadline bounds the whole
+//       run and --prefix-deadline each prefix, in wall seconds.
 //
 // Seed files: one IPv6 address per line, '#' comments.
 #include <cstdio>
@@ -36,6 +42,7 @@
 #include "analysis/classifier.h"
 #include "analysis/mra.h"
 #include "analysis/report.h"
+#include "core/cancel.h"
 #include "core/generator.h"
 #include "entropyip/entropyip.h"
 #include "eval/checkpoint.h"
@@ -58,7 +65,9 @@ namespace {
                "<seeds.txt> [--budget N] [--tight] [--ranges] [--trace] "
                "[--out FILE]\n"
                "       sixgen_cli eval [--budget N] [--jobs N] [--progress] "
-               "[--trace-out FILE] [--metrics FILE] [--out FILE]\n");
+               "[--trace-out FILE] [--metrics FILE] [--out FILE] "
+               "[--checkpoint FILE] [--run-deadline S] "
+               "[--prefix-deadline S]\n");
   std::exit(2);
 }
 
@@ -74,6 +83,9 @@ struct Options {
   std::string trace_out;
   std::string metrics_out;
   std::string out_path;
+  std::string checkpoint_path;
+  double run_deadline_seconds = 0.0;
+  double prefix_deadline_seconds = 0.0;
 };
 
 Options ParseArgs(int argc, char** argv) {
@@ -107,6 +119,12 @@ Options ParseArgs(int argc, char** argv) {
       options.metrics_out = argv[++i];
     } else if (arg == "--out" && i + 1 < argc) {
       options.out_path = argv[++i];
+    } else if (arg == "--checkpoint" && i + 1 < argc) {
+      options.checkpoint_path = argv[++i];
+    } else if (arg == "--run-deadline" && i + 1 < argc) {
+      options.run_deadline_seconds = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--prefix-deadline" && i + 1 < argc) {
+      options.prefix_deadline_seconds = std::strtod(argv[++i], nullptr);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       Usage();
@@ -279,6 +297,16 @@ int RunEval(const Options& options) {
   eval::PipelineConfig config;
   config.budget_per_prefix = options.budget;
   config.jobs = static_cast<std::size_t>(options.jobs);
+  config.checkpoint_path = options.checkpoint_path;
+  config.run_deadline_seconds = options.run_deadline_seconds;
+  config.prefix_deadline_seconds = options.prefix_deadline_seconds;
+
+  // Graceful shutdown: SIGINT/SIGTERM trip the token instead of killing
+  // the process, the pipeline winds down committing every finished prefix,
+  // and (with --checkpoint) the run resumes exactly where it stopped.
+  core::CancelToken cancel;
+  core::ScopedSignalCancellation signal_guard(&cancel);
+  config.cancel = &cancel;
 
   std::unique_ptr<obs::TraceSink> sink;
   if (!options.trace_out.empty()) {
@@ -336,10 +364,21 @@ int RunEval(const Options& options) {
 
   std::fprintf(stderr,
                "eval: %zu prefixes, %zu targets, %zu probes, %zu raw hits, "
-               "%zu non-aliased, %zu failed\n",
+               "%zu non-aliased, %zu failed, %zu deadline-expired\n",
                result.prefixes.size(), result.total_targets,
                result.total_probes, result.RawHitCount(),
-               result.NonAliasedHitCount(), result.failed_prefixes);
+               result.NonAliasedHitCount(), result.failed_prefixes,
+               result.deadline_prefixes);
+  if (result.cancelled) {
+    std::fprintf(stderr,
+                 options.checkpoint_path.empty()
+                     ? "eval: interrupted; partial results above (use "
+                       "--checkpoint to make interrupted runs resumable)\n"
+                     : "eval: interrupted; checkpoint saved, re-run the "
+                       "same command to resume\n");
+  } else if (result.partial) {
+    std::fprintf(stderr, "eval: partial run; re-run to continue\n");
+  }
 
   if (sink) {
     // Final registry snapshot so the trace records the run's totals.

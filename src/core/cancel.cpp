@@ -1,0 +1,75 @@
+#include "core/cancel.h"
+
+#include <csignal>
+
+#include "core/contracts.h"
+
+namespace sixgen::core {
+
+Deadline Deadline::AfterSeconds(double seconds) {
+  const std::uint64_t now = obs::MonotonicNanos();
+  if (seconds <= 0.0) return Deadline(true, now);
+  return Deadline(true, now + static_cast<std::uint64_t>(seconds * 1e9));
+}
+
+Deadline Deadline::AtNanos(std::uint64_t nanos) {
+  return Deadline(true, nanos);
+}
+
+double Deadline::RemainingSeconds() const {
+  if (!set_) return 0.0;
+  const std::uint64_t now = obs::MonotonicNanos();
+  if (now >= nanos_) return 0.0;
+  return static_cast<double>(nanos_ - now) * 1e-9;
+}
+
+namespace {
+
+// The one mutable global a signal handler may touch. Handlers run on an
+// arbitrary thread with almost nothing async-signal-safe available;
+// tripping a lock-free atomic token is the entire job.
+std::atomic<CancelToken*> g_signal_token{nullptr};
+
+extern "C" void SixgenSignalHandler(int /*signum*/) {
+  CancelToken* token = g_signal_token.load(std::memory_order_acquire);
+  if (token != nullptr) token->Cancel(CancelReason::kSignal);
+}
+
+struct SavedHandlers {
+  struct sigaction sigint;
+  struct sigaction sigterm;
+};
+
+SavedHandlers g_saved_handlers;
+
+}  // namespace
+
+ScopedSignalCancellation::ScopedSignalCancellation(CancelToken* token) {
+  SIXGEN_CHECK(token != nullptr,
+               "ScopedSignalCancellation requires a token");
+  CancelToken* expected = nullptr;
+  SIXGEN_CHECK(g_signal_token.compare_exchange_strong(
+                   expected, token, std::memory_order_acq_rel),
+               "nested ScopedSignalCancellation installs are not supported");
+
+  struct sigaction action = {};
+  action.sa_handler = &SixgenSignalHandler;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: slow syscalls (terminal reads etc.) should return
+  // EINTR so front ends notice the cancellation promptly.
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, &g_saved_handlers.sigint);
+  sigaction(SIGTERM, &action, &g_saved_handlers.sigterm);
+}
+
+ScopedSignalCancellation::~ScopedSignalCancellation() {
+  sigaction(SIGINT, &g_saved_handlers.sigint, nullptr);
+  sigaction(SIGTERM, &g_saved_handlers.sigterm, nullptr);
+  g_signal_token.store(nullptr, std::memory_order_release);
+}
+
+bool SignalCancellationActive() {
+  return g_signal_token.load(std::memory_order_acquire) != nullptr;
+}
+
+}  // namespace sixgen::core

@@ -1,0 +1,167 @@
+// Cooperative cancellation and deadlines for long-running loops.
+//
+// The paper's own evaluation (§5.5, §7) shows 6Gen's runtime grows
+// superlinearly with seed count — some routed prefixes take orders of
+// magnitude longer than others — and real hitlist-scale campaigns run for
+// hours under hard time budgets. This header is the one place that
+// expresses "stop early, keep what you have":
+//
+//   CancelToken — a sticky, thread-safe, async-signal-safe cancel flag.
+//                 Long loops poll it (an atomic load) and wind down
+//                 cooperatively, committing best-so-far results. Tokens
+//                 chain: a child token is cancelled when its parent is,
+//                 so one SIGINT token fans out to every worker.
+//   Deadline    — a wall-clock expiry on the obs monotonic clock
+//                 (src/obs/clock.h), so tests drive it with the fake
+//                 clock. An unset Deadline never expires.
+//
+// Wall-clock deadlines are honest but nondeterministic: which iteration
+// observes the expiry depends on the machine. For reproducible bounded
+// runs the consumers also accept *deterministic* deadlines denominated in
+// work units — generator iterations (core::Config::max_iterations) and
+// scanner virtual seconds (scanner::ScanConfig::virtual_deadline_seconds)
+// — which truncate identically on every run and thread count.
+//
+// Signal handling: ScopedSignalCancellation routes SIGINT/SIGTERM into a
+// token. cancel.cpp is the only translation unit allowed to call raw
+// signal()/sigaction() (tools/sixgen_lint.py rule no-raw-signal); all
+// other code reacts to signals exclusively by polling a CancelToken.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/clock.h"
+
+namespace sixgen::core {
+
+/// Why a token was cancelled. Reasons are informational; the first cancel
+/// wins and later ones are ignored (cancellation is sticky).
+enum class CancelReason : int {
+  kNone = 0,
+  kManual,    // Cancel() called programmatically
+  kSignal,    // SIGINT/SIGTERM via ScopedSignalCancellation
+  kDeadline,  // an attached Deadline expired
+};
+
+/// A wall-clock deadline on the obs monotonic clock. Default-constructed
+/// deadlines are unset and never expire; tests install a fake clock
+/// (obs::SetMonotonicClockForTest) to drive expiry deterministically.
+class Deadline {
+ public:
+  /// Unset: IsSet() false, Expired() always false.
+  Deadline() = default;
+
+  /// Expires `seconds` from now (now = obs::MonotonicNanos()). A
+  /// non-positive duration yields an already-expired deadline.
+  static Deadline AfterSeconds(double seconds);
+
+  /// Expires at an absolute obs-monotonic nanosecond timestamp.
+  static Deadline AtNanos(std::uint64_t nanos);
+
+  bool IsSet() const { return set_; }
+
+  /// True iff set and the clock has reached the expiry point.
+  bool Expired() const { return set_ && obs::MonotonicNanos() >= nanos_; }
+
+  /// Seconds until expiry (clamped at 0); +inf shape for unset deadlines
+  /// is avoided — callers should check IsSet() first.
+  double RemainingSeconds() const;
+
+ private:
+  Deadline(bool set, std::uint64_t nanos) : set_(set), nanos_(nanos) {}
+
+  bool set_ = false;
+  std::uint64_t nanos_ = 0;
+};
+
+/// Sticky cooperative cancel flag. Safe to poll from any thread and to
+/// trip from a signal handler (Cancel performs only lock-free atomic
+/// stores). Optionally carries a Deadline (expiry trips the token on the
+/// next poll) and a parent token (parent cancellation implies child
+/// cancellation), so one token expresses "caller cancelled OR my own
+/// deadline passed".
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  // Polled concurrently and from signal context; copying would tear.
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Trips the token. Idempotent; the first reason sticks.
+  /// Async-signal-safe.
+  void Cancel(CancelReason reason = CancelReason::kManual) {
+    bool expected = false;
+    if (cancelled_.compare_exchange_strong(expected, true,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+      reason_.store(static_cast<int>(reason), std::memory_order_release);
+    }
+  }
+
+  /// True iff this token, its deadline, or any ancestor is cancelled.
+  /// Deadline expiry self-trips the token so reason() reports kDeadline.
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    if (deadline_.Expired()) {
+      // Mutable self-trip: benign race, Cancel() is idempotent.
+      const_cast<CancelToken*>(this)->Cancel(CancelReason::kDeadline);
+      return true;
+    }
+    const CancelToken* parent = parent_.load(std::memory_order_acquire);
+    return parent != nullptr && parent->cancelled();
+  }
+
+  /// kNone until cancelled. Reflects the *first* cancel of this token
+  /// only; a cancellation inherited from the parent is reported by the
+  /// parent's reason().
+  CancelReason reason() const {
+    return static_cast<CancelReason>(reason_.load(std::memory_order_acquire));
+  }
+
+  /// Attaches a wall-clock deadline. Install before sharing the token
+  /// across threads (plain write, polled via Expired()).
+  void set_deadline(Deadline deadline) { deadline_ = deadline; }
+
+  /// Chains this token under `parent` (may be null to detach). The parent
+  /// must outlive this token.
+  void set_parent(const CancelToken* parent) {
+    parent_.store(parent, std::memory_order_release);
+  }
+
+  /// Un-cancels (test/reuse convenience; not safe concurrently with
+  /// Cancel from other threads or signal handlers).
+  void Reset() {
+    cancelled_.store(false, std::memory_order_release);
+    reason_.store(static_cast<int>(CancelReason::kNone),
+                  std::memory_order_release);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int> reason_{static_cast<int>(CancelReason::kNone)};
+  std::atomic<const CancelToken*> parent_{nullptr};
+  Deadline deadline_;
+};
+
+/// RAII SIGINT/SIGTERM → CancelToken routing for interactive front ends
+/// (sixgen_cli eval): while alive, both signals trip `token` with
+/// CancelReason::kSignal instead of killing the process, so the run winds
+/// down cooperatively and leaves a resumable checkpoint. The previous
+/// handlers are restored on destruction. At most one instance may be
+/// alive at a time (nested installs are a programming error).
+class ScopedSignalCancellation {
+ public:
+  explicit ScopedSignalCancellation(CancelToken* token);
+  ~ScopedSignalCancellation();
+
+  ScopedSignalCancellation(const ScopedSignalCancellation&) = delete;
+  ScopedSignalCancellation& operator=(const ScopedSignalCancellation&) =
+      delete;
+};
+
+/// True iff a ScopedSignalCancellation is currently installed.
+bool SignalCancellationActive();
+
+}  // namespace sixgen::core

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "core/cancel.h"
 #include "ip6/address.h"
 #include "ip6/nybble_range.h"
 
@@ -61,6 +62,24 @@ struct Config {
   /// ...and the 16-ary nybble tree for seed-set reconstruction (vs. linear
   /// scans over the seed list).
   bool use_nybble_tree = true;
+
+  /// Cooperative cancellation (docs/robustness.md). When set, the grow
+  /// loop polls the token once per iteration and stops with
+  /// StopReason::kCancelled, returning best-so-far clusters/targets as a
+  /// valid partial result. Not owned; must outlive the run.
+  const CancelToken* cancel = nullptr;
+
+  /// Wall-clock watchdog for one generation. Nondeterministic by nature
+  /// (which iteration observes expiry depends on the machine); expiry
+  /// stops the loop with StopReason::kDeadlineExpired and keeps the
+  /// partial result. Unset by default (never expires).
+  Deadline deadline;
+
+  /// Deterministic deadline denominated in grow-loop iterations: stop
+  /// with kDeadlineExpired once this many iterations completed. The
+  /// reproducible counterpart to `deadline` — identical partial results
+  /// on every run and thread count. 0 disables.
+  std::size_t max_iterations = 0;
 
   unsigned EffectiveThreads() const {
     if (threads != 0) return threads;

@@ -1,0 +1,45 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+//
+// Used by the checkpoint layer to detect mid-line corruption that still
+// parses (a flipped digit in a counter, a damaged hit address) — the
+// torn-tail heuristic alone cannot catch those. Software-only on purpose:
+// checkpoint lines are short and written once per prefix, so portability
+// beats hardware CRC instructions here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace sixgen::core {
+
+namespace crc32_internal {
+
+inline const std::array<std::uint32_t, 256>& Table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB8'8320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace crc32_internal
+
+/// CRC-32 of `data`. Matches zlib's crc32(0, data, len).
+inline std::uint32_t Crc32(std::string_view data) {
+  const auto& table = crc32_internal::Table();
+  std::uint32_t crc = 0xFFFF'FFFFu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFF'FFFFu;
+}
+
+}  // namespace sixgen::core

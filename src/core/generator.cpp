@@ -94,6 +94,23 @@ class Engine {
     RecomputeAll();
 
     while (true) {
+      // Cooperative stop checks, before any growth is selected, so the
+      // committed state is always internally consistent. Order matters:
+      // an explicit cancel outranks a deadline that expired at the same
+      // poll. The iteration cap is the deterministic deadline — it stops
+      // after the same committed growth on every run and thread count —
+      // while Config::deadline is wall-clock (fake-clock injectable).
+      if (config_.cancel != nullptr && config_.cancel->cancelled()) {
+        stop = StopReason::kCancelled;
+        break;
+      }
+      if ((config_.max_iterations != 0 &&
+           iterations >= config_.max_iterations) ||
+          config_.deadline.Expired()) {
+        stop = StopReason::kDeadlineExpired;
+        break;
+      }
+
       // Global selection: highest density, then smallest grown range, then
       // random among exact ties (paper §5.4).
       int best = -1;

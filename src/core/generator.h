@@ -19,12 +19,16 @@
 
 namespace sixgen::core {
 
-/// Why a run stopped.
+/// Why a run stopped. The last two are graceful degradation, not errors:
+/// the result still carries valid best-so-far clusters and targets.
 enum class StopReason {
   kBudgetExhausted,   // the probe budget was consumed (possibly exactly, via
                       // final-growth sampling)
   kSingleCluster,     // a growth would have placed every seed in one cluster
   kNoCandidates,      // no cluster had any candidate seed left to absorb
+  kDeadlineExpired,   // Config::deadline passed or max_iterations reached;
+                      // partial result is valid
+  kCancelled,         // Config::cancel token tripped; partial result is valid
 };
 
 /// One committed growth step, for tracing/inspection. The sequence of

@@ -28,6 +28,7 @@ enum class StatusCode {
   kDataLoss,           // stored data unreadable or corrupt (bad checkpoint)
   kFailedPrecondition, // system not in a state where the call makes sense
   kAborted,            // operation stopped before completing (resume later)
+  kDeadlineExceeded,   // time/iteration budget ran out; partials are valid
   kInternal,           // invariant-adjacent failure surfaced as a value
 };
 
@@ -76,6 +77,9 @@ inline Status FailedPreconditionError(std::string message) {
 }
 inline Status AbortedError(std::string message) {
   return Status(StatusCode::kAborted, std::move(message));
+}
+inline Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
@@ -133,6 +137,7 @@ inline std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kDataLoss: return "DATA_LOSS";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kInternal: return "INTERNAL";
   }
   SIXGEN_UNREACHABLE("unknown StatusCode");

@@ -7,11 +7,15 @@
 #include <utility>
 
 #include "core/contracts.h"
+#include "core/crc32.h"
 
 namespace sixgen::eval {
 namespace {
 
-constexpr std::string_view kHeaderMagic = "sixgen-checkpoint v2 ";
+constexpr std::string_view kHeaderMagic = "sixgen-checkpoint v3 ";
+// Still accepted on load: a v2 file resumes in place (its records lack
+// elapsed_seconds and CRC; new appends are v3, detected per line).
+constexpr std::string_view kHeaderMagicV2 = "sixgen-checkpoint v2 ";
 
 // splitmix64 finalizer (the repo's standard cheap mixer, see AddressHash).
 std::uint64_t Mix(std::uint64_t x) {
@@ -92,7 +96,10 @@ class FieldCursor {
 
 }  // namespace
 
-std::string EncodeCheckpointRecord(const CheckpointRecord& record) {
+std::string EncodeCheckpointRecord(const CheckpointRecord& record,
+                                   unsigned version) {
+  SIXGEN_CHECK(version == 2 || version == 3,
+               "unsupported checkpoint record version");
   const PrefixOutcome& o = record.outcome;
   std::string line = "P ";
   line += o.route.prefix.ToString();
@@ -116,6 +123,10 @@ std::string EncodeCheckpointRecord(const CheckpointRecord& record) {
   line += FormatDouble(o.generation_seconds);
   line += ' ';
   line += FormatDouble(o.scan_virtual_seconds);
+  if (version >= 3) {
+    line += ' ';
+    line += FormatDouble(o.elapsed_seconds);
+  }
   for (std::size_t v : {o.faults.lost, o.faults.rate_limited,
                         o.faults.blackholed, o.faults.outages, o.faults.late,
                         o.faults.duplicates, o.faults.channel_errors}) {
@@ -131,6 +142,13 @@ std::string EncodeCheckpointRecord(const CheckpointRecord& record) {
     if (i != 0) line += ' ';
     line += record.hits[i].ToString();
   }
+  if (version >= 3) {
+    // CRC over everything before this final section's separator.
+    char crc_hex[16];
+    std::snprintf(crc_hex, sizeof(crc_hex), "%08x", core::Crc32(line));
+    line += '|';
+    line += crc_hex;
+  }
   return line;
 }
 
@@ -141,9 +159,31 @@ core::Result<CheckpointRecord> DecodeCheckpointRecord(std::string_view line) {
   if (bar2 == std::string_view::npos) {
     return core::DataLossError("checkpoint record: missing sections");
   }
+  // Per-line version detection: v2 has exactly three sections
+  // (fields|message|hits); v3 appends |crc32-hex. Status messages never
+  // contain '|' (our own single-line messages) and hit addresses cannot,
+  // so a third bar is unambiguous. A v3 line truncated past its CRC
+  // degrades into a v2 parse attempt, which then fails on the field
+  // layout — corrupt either way, never silently accepted.
+  const std::size_t bar3 = line.find('|', bar2 + 1);
+  const unsigned version = bar3 == std::string_view::npos ? 2 : 3;
+  std::string_view hits_text = line.substr(bar2 + 1);
+  if (version == 3) {
+    const std::string_view crc_text = line.substr(bar3 + 1);
+    hits_text = line.substr(bar2 + 1, bar3 - bar2 - 1);
+    std::uint32_t stored = 0;
+    const auto [ptr, ec] = std::from_chars(
+        crc_text.data(), crc_text.data() + crc_text.size(), stored, 16);
+    if (ec != std::errc() || ptr != crc_text.data() + crc_text.size() ||
+        crc_text.size() != 8) {
+      return core::DataLossError("checkpoint record: bad crc field");
+    }
+    if (core::Crc32(line.substr(0, bar3)) != stored) {
+      return core::DataLossError("checkpoint record: crc mismatch");
+    }
+  }
   FieldCursor fields(line.substr(0, bar1));
   const std::string_view message = line.substr(bar1 + 1, bar2 - bar1 - 1);
-  const std::string_view hits_text = line.substr(bar2 + 1);
 
   auto tag = fields.Next();
   if (!tag.ok()) return tag.status();
@@ -195,6 +235,12 @@ core::Result<CheckpointRecord> DecodeCheckpointRecord(std::string_view line) {
   if (!scan_seconds.ok()) return scan_seconds.status();
   o.scan_virtual_seconds = *scan_seconds;
 
+  if (version >= 3) {
+    auto elapsed = fields.NextDouble();
+    if (!elapsed.ok()) return elapsed.status();
+    o.elapsed_seconds = *elapsed;
+  }
+
   std::size_t* fault_counters[] = {
       &o.faults.lost,   &o.faults.rate_limited, &o.faults.blackholed,
       &o.faults.outages, &o.faults.late,        &o.faults.duplicates,
@@ -242,7 +288,10 @@ CheckpointLoad LoadCheckpoint(const std::string& path,
   char expected[64];
   std::snprintf(expected, sizeof(expected), "%s%016" PRIx64,
                 std::string(kHeaderMagic).c_str(), fingerprint);
-  if (line != expected) {
+  char expected_v2[64];
+  std::snprintf(expected_v2, sizeof(expected_v2), "%s%016" PRIx64,
+                std::string(kHeaderMagicV2).c_str(), fingerprint);
+  if (line != expected && line != expected_v2) {
     load.fingerprint_mismatch = true;
     return load;
   }
@@ -252,8 +301,13 @@ CheckpointLoad LoadCheckpoint(const std::string& path,
     auto record = DecodeCheckpointRecord(line);
     if (!record.ok()) {
       // Torn/corrupt line (e.g. a kill mid-append): skip it; that prefix
-      // simply re-runs.
+      // simply re-runs. CRC rejections are counted separately — they mean
+      // silent mid-line damage, not just a truncated tail.
       ++load.corrupt_lines;
+      if (record.status().message().find("crc mismatch") !=
+          std::string::npos) {
+        ++load.crc_failures;
+      }
       continue;
     }
     std::string key = record->outcome.route.prefix.ToString();
@@ -264,20 +318,35 @@ CheckpointLoad LoadCheckpoint(const std::string& path,
 
 core::Result<CheckpointWriter> CheckpointWriter::Open(
     const std::string& path, std::uint64_t fingerprint, bool fresh) {
-  std::ofstream out(path, fresh ? std::ios::trunc : std::ios::app);
-  if (!out) {
-    return core::UnavailableError("cannot open checkpoint file: " + path);
-  }
   if (fresh) {
-    char header[64];
-    std::snprintf(header, sizeof(header), "%s%016" PRIx64,
-                  std::string(kHeaderMagic).c_str(), fingerprint);
-    out << header << '\n';
-    out.flush();
-    if (!out) {
-      return core::UnavailableError("cannot write checkpoint header: " +
+    // Write the header via temp-file + rename: a kill during creation
+    // leaves either no checkpoint or a complete one-line header, never a
+    // torn header that a resume would reject as a fingerprint mismatch.
+    const std::string tmp_path = path + ".tmp";
+    {
+      std::ofstream tmp(tmp_path, std::ios::trunc);
+      if (!tmp) {
+        return core::UnavailableError("cannot open checkpoint file: " +
+                                      tmp_path);
+      }
+      char header[64];
+      std::snprintf(header, sizeof(header), "%s%016" PRIx64,
+                    std::string(kHeaderMagic).c_str(), fingerprint);
+      tmp << header << '\n';
+      tmp.flush();
+      if (!tmp) {
+        return core::UnavailableError("cannot write checkpoint header: " +
+                                      tmp_path);
+      }
+    }
+    if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+      return core::UnavailableError("cannot install checkpoint file: " +
                                     path);
     }
+  }
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    return core::UnavailableError("cannot open checkpoint file: " + path);
   }
   return CheckpointWriter(std::move(out));
 }

@@ -13,16 +13,28 @@
 // every PipelineConfig::jobs value (docs/performance.md).
 //
 // Format (one record per line, '|'-separated sections; v2 added the
-// per-prefix budget as hi/lo 64-bit halves):
+// per-prefix budget as hi/lo 64-bit halves; v3 added the wall elapsed
+// seconds field and a trailing CRC32 section):
 //
-//   sixgen-checkpoint v2 <config-fingerprint-hex>          (header line)
-//   P <fixed counters...> <status-code>|<status message>|<hit addresses>
+//   sixgen-checkpoint v3 <config-fingerprint-hex>          (header line)
+//   P <fixed counters...> <status-code>|<status message>|<hits>|<crc32-hex>
+//
+// The CRC32 covers everything before the last '|', so mid-line corruption
+// that still parses (a flipped digit in a counter, a damaged address) is
+// detected and the record skipped — the torn-tail heuristic alone only
+// catches truncation. Record versions are detected per line by section
+// count, so the loader still reads v2 files (and the mixed files a resume
+// of one produces); the header is written via temp-file + rename so a
+// kill during creation never leaves a half-written header. The writer
+// always emits v3.
 //
 // The fingerprint digests every input that shapes per-prefix outcomes
 // (universe, seed set, budgets, scan and fault configuration); a mismatch
 // means the checkpoint describes a different world, and the loader rejects
-// it instead of mixing results. Corrupt lines are skipped (their prefixes
-// simply re-run) — a truncated final line from a hard kill is expected.
+// it instead of mixing results. Deadline, cancellation, jobs, and progress
+// settings never change a completed prefix's outcome and are excluded.
+// Corrupt lines are skipped (their prefixes simply re-run) — a truncated
+// final line from a hard kill is expected.
 #pragma once
 
 #include <cstdint>
@@ -42,10 +54,17 @@ struct CheckpointRecord {
   std::vector<ip6::Address> hits;
 };
 
-/// Serializes one record to a single line (no trailing newline).
-std::string EncodeCheckpointRecord(const CheckpointRecord& record);
+/// Current record/header version emitted by the writer.
+inline constexpr unsigned kCheckpointVersion = 3;
 
-/// Parses one record line. Errors are kDataLoss with a reason.
+/// Serializes one record to a single line (no trailing newline).
+/// `version` is for tests exercising backward compatibility: 2 omits the
+/// elapsed-seconds field and the CRC section.
+std::string EncodeCheckpointRecord(const CheckpointRecord& record,
+                                   unsigned version = kCheckpointVersion);
+
+/// Parses one record line, auto-detecting v2 vs v3 by section count. A v3
+/// line whose CRC does not match fails with kDataLoss ("crc mismatch").
 core::Result<CheckpointRecord> DecodeCheckpointRecord(std::string_view line);
 
 /// Everything a resume needs from an existing checkpoint file.
@@ -57,6 +76,9 @@ struct CheckpointLoad {
   bool fingerprint_mismatch = false;
   /// Unparseable record lines skipped (e.g. a kill mid-write).
   std::size_t corrupt_lines = 0;
+  /// Subset of corrupt_lines rejected specifically by a CRC32 mismatch:
+  /// the line parsed but its payload was silently damaged.
+  std::size_t crc_failures = 0;
 };
 
 /// Loads `path`. A missing file is a fresh run: empty load, no error.

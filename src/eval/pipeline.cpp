@@ -42,9 +42,10 @@ struct ProbePath {
 };
 
 ProbePath MakeProbePath(const Universe& universe, const PipelineConfig& config,
-                        std::uint64_t perturbation) {
+                        std::uint64_t perturbation,
+                        const scanner::ScanConfig& scan_base) {
   ProbePath path;
-  scanner::ScanConfig scan_config = config.scan;
+  scanner::ScanConfig scan_config = scan_base;
   scan_config.rng_seed ^= perturbation;
   if (config.fault_plan.IsZero()) {
     path.scanner =
@@ -64,11 +65,19 @@ ProbePath MakeProbePath(const Universe& universe, const PipelineConfig& config,
 /// Everything here is prefix-local (fresh generator config, scanner, and
 /// channel, all seeded from the prefix itself), so concurrent calls on
 /// different prefixes share no mutable state.
+///
+/// Deadline/cancel semantics (docs/robustness.md): `cancel` is the run
+/// token — tripping it mid-prefix yields kAborted (the commit loop drops
+/// the record; the prefix re-runs on resume). The per-prefix wall deadline
+/// spans generate + scan jointly; its expiry — like the deterministic
+/// core.max_iterations / scan.virtual_deadline_seconds caps — yields
+/// kDeadlineExceeded with best-so-far targets and partial hits kept.
 CheckpointRecord ProcessPrefix(const Universe& universe,
                                const routing::SeedGroup& group,
                                ip6::U128 budget,
                                const PipelineConfig& config,
-                               std::size_t workers) {
+                               std::size_t workers,
+                               const core::CancelToken* cancel) {
   SIXGEN_OBS_SPAN(span, "pipeline.prefix");
   SIXGEN_OBS_SPAN_ATTR(span, "prefix", group.route.prefix.ToString());
   CheckpointRecord record;
@@ -81,8 +90,18 @@ CheckpointRecord ProcessPrefix(const Universe& universe,
   }
 
   try {
+    // One wall deadline covers the prefix's generate + scan jointly, so a
+    // generation that eats the whole allowance leaves the scan none.
+    core::Deadline prefix_deadline;
+    if (config.prefix_deadline_seconds > 0.0) {
+      prefix_deadline =
+          core::Deadline::AfterSeconds(config.prefix_deadline_seconds);
+    }
+
     core::Config gen_config = config.core;
     gen_config.budget = budget;
+    gen_config.cancel = cancel;
+    if (prefix_deadline.IsSet()) gen_config.deadline = prefix_deadline;
     // Distinct, deterministic randomness per prefix.
     gen_config.rng_seed ^= PrefixPerturbation(group.route);
     // Thread-budget governor: P pipeline workers each running a T-thread
@@ -103,8 +122,20 @@ CheckpointRecord ProcessPrefix(const Universe& universe,
     SIXGEN_OBS_HISTOGRAM_OBSERVE("pipeline.prefix.generation_seconds",
                                  outcome.generation_seconds);
 
+    if (gen.stop_reason == core::StopReason::kCancelled) {
+      // Run-level cancellation: the commit loop drops this record, so no
+      // point scanning the truncated target list.
+      outcome.status = core::AbortedError("prefix cancelled");
+      SIXGEN_OBS_COUNTER_ADD("pipeline.prefixes_cancelled", 1);
+      return record;
+    }
+
+    scanner::ScanConfig scan_override = config.scan;
+    scan_override.cancel = cancel;
+    if (prefix_deadline.IsSet()) scan_override.deadline = prefix_deadline;
     ProbePath path =
-        MakeProbePath(universe, config, PrefixPerturbation(group.route));
+        MakeProbePath(universe, config, PrefixPerturbation(group.route),
+                      scan_override);
     scanner::ScanResult scanned = path.scanner->Scan(gen.targets);
     SIXGEN_OBS_SPAN_VIRTUAL(span, scanned.virtual_seconds);
     outcome.hit_count = scanned.hits.size();
@@ -112,8 +143,22 @@ CheckpointRecord ProcessPrefix(const Universe& universe,
     outcome.scan_virtual_seconds = scanned.virtual_seconds;
     outcome.faults = scanned.faults;
     outcome.status = scanned.status;
-    if (outcome.status.ok()) {
+    if (outcome.status.ok() &&
+        gen.stop_reason == core::StopReason::kDeadlineExpired) {
+      // Deterministic message: checkpointed bytes must not vary run-to-run.
+      outcome.status =
+          core::DeadlineExceededError("generation deadline expired");
+    }
+    if (outcome.status.ok() ||
+        outcome.status.code() == core::StatusCode::kDeadlineExceeded) {
+      // A deadline truncates the target list, not the validity of the
+      // hits that were gathered — keep them (graceful degradation).
       record.hits = std::move(scanned.hits);
+      if (!outcome.status.ok()) {
+        SIXGEN_OBS_COUNTER_ADD("pipeline.prefixes_deadline_expired", 1);
+      }
+    } else if (outcome.status.code() == core::StatusCode::kAborted) {
+      SIXGEN_OBS_COUNTER_ADD("pipeline.prefixes_cancelled", 1);
     } else {
       // A hard channel failure mid-scan means the hit list is truncated;
       // contribute nothing rather than a biased sample.
@@ -144,11 +189,16 @@ struct PrefixTask {
 };
 
 /// One kProcess task's output, filled by a worker and consumed (in task
-/// order) by the committing thread. `done` is guarded by the pool mutex.
+/// order) by the committing thread. All fields are guarded by the pool
+/// mutex. `started`/`skipped` implement graceful cancellation: a worker
+/// claims a slot (started) under the lock only while the run token is
+/// untripped, and the committer skips (skipped) only unclaimed slots once
+/// it is — so each slot is decided exactly once.
 struct ProcessSlot {
   CheckpointRecord record;
-  double elapsed_seconds = 0.0;
+  bool started = false;
   bool done = false;
+  bool skipped = false;
 };
 
 }  // namespace
@@ -158,6 +208,17 @@ PipelineResult RunSixGenPipeline(const Universe& universe,
                                  const PipelineConfig& config) {
   SIXGEN_OBS_SPAN(run_span, "pipeline.run");
   PipelineResult result;
+
+  // The run token: tripped by the caller's token (SIGINT via the CLI, a
+  // supervisor) or by the run deadline expiring. Workers and the commit
+  // loop poll it; ProcessPrefix threads it into generator and scanner.
+  core::CancelToken run_token;
+  run_token.set_parent(config.cancel);
+  if (config.run_deadline_seconds > 0.0) {
+    run_token.set_deadline(
+        core::Deadline::AfterSeconds(config.run_deadline_seconds));
+  }
+
   const std::vector<Address> seed_addrs = simnet::SeedAddresses(seeds);
   result.seeds_used = seed_addrs.size();
   SIXGEN_OBS_SPAN_ATTR(run_span, "seeds",
@@ -200,6 +261,7 @@ PipelineResult RunSixGenPipeline(const Universe& universe,
         ckpt_span, "records",
         static_cast<std::uint64_t>(loaded.records.size()));
     result.checkpoint.rejected = loaded.fingerprint_mismatch;
+    result.checkpoint.crc_failures = loaded.crc_failures;
     const bool fresh = loaded.records.empty() && loaded.corrupt_lines == 0;
     auto opened =
         CheckpointWriter::Open(config.checkpoint_path, fingerprint, fresh);
@@ -271,18 +333,32 @@ PipelineResult RunSixGenPipeline(const Universe& universe,
               cursor.fetch_add(1, std::memory_order_relaxed);
           if (i >= process_tasks.size()) break;
           const PrefixTask& task = *process_tasks[i];
+          {
+            // Claim under the lock: exactly one of {worker claims,
+            // committer skips} wins for each slot once the token trips.
+            // The notify on the exit path matters — it re-wakes a
+            // committer that may be waiting on a slot no worker will ever
+            // claim, and it only fires after cancellation is sticky-true.
+            std::lock_guard<std::mutex> lock(pool_mu);
+            if (run_token.cancelled() || slots[task.slot].skipped) {
+              slot_ready.notify_all();
+              break;
+            }
+            slots[task.slot].started = true;
+          }
           const std::uint64_t start_ns = obs::MonotonicNanos();
           CheckpointRecord record = ProcessPrefix(
-              universe, groups[task.group], task.budget, config, workers);
+              universe, groups[task.group], task.budget, config, workers,
+              &run_token);
           const double elapsed =
               static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9;
+          record.outcome.elapsed_seconds = elapsed;
           SIXGEN_OBS_HISTOGRAM_OBSERVE("pipeline.prefix_seconds", elapsed);
           SIXGEN_OBS_COUNTER_ADD("pipeline.prefixes_processed", 1);
           ++prefixes_run;
           {
             std::lock_guard<std::mutex> lock(pool_mu);
             slots[task.slot].record = std::move(record);
-            slots[task.slot].elapsed_seconds = elapsed;
             slots[task.slot].done = true;
           }
           slot_ready.notify_all();
@@ -303,30 +379,57 @@ PipelineResult RunSixGenPipeline(const Universe& universe,
     }
 
     CheckpointRecord record;
-    double elapsed_seconds = 0.0;
     bool newly_processed = false;
     if (task.kind == TaskKind::kRestore) {
+      // Restores commit even under cancellation: they cost nothing and
+      // keep the progress stream identical to the uninterrupted run.
       record = std::move(task.restored);
       record.outcome.from_checkpoint = true;
       ++result.checkpoint.loaded;
       SIXGEN_OBS_COUNTER_ADD("pipeline.checkpoint.loaded", 1);
     } else if (workers > 1) {
       ProcessSlot& slot = slots[task.slot];
-      std::unique_lock<std::mutex> lock(pool_mu);
-      slot_ready.wait(lock, [&slot] { return slot.done; });
-      record = std::move(slot.record);
-      elapsed_seconds = slot.elapsed_seconds;
+      {
+        std::unique_lock<std::mutex> lock(pool_mu);
+        // Wait until the slot is decidable: a worker finished it, or the
+        // run was cancelled while it was still unclaimed. A claimed
+        // (started) slot is always waited for — its worker observes the
+        // token cooperatively and will post a result.
+        slot_ready.wait(lock, [&slot, &run_token] {
+          return slot.done || (!slot.started && run_token.cancelled());
+        });
+        if (!slot.done) {
+          slot.skipped = true;
+          result.partial = true;
+          continue;
+        }
+        record = std::move(slot.record);
+      }
       newly_processed = true;
     } else {
+      if (run_token.cancelled()) {
+        result.partial = true;
+        continue;
+      }
       const std::uint64_t start_ns = obs::MonotonicNanos();
       record = ProcessPrefix(universe, groups[task.group], task.budget,
-                             config, /*workers=*/1);
-      elapsed_seconds =
+                             config, /*workers=*/1, &run_token);
+      record.outcome.elapsed_seconds =
           static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9;
       SIXGEN_OBS_HISTOGRAM_OBSERVE("pipeline.prefix_seconds",
-                                   elapsed_seconds);
+                                   record.outcome.elapsed_seconds);
       SIXGEN_OBS_COUNTER_ADD("pipeline.prefixes_processed", 1);
       newly_processed = true;
+    }
+
+    // A record aborted by run-level cancellation is dropped, not
+    // committed: its generation/scan was cut at an arbitrary wall-clock
+    // point, so persisting it would leak nondeterminism into the
+    // checkpoint. The prefix re-runs in full on resume.
+    if (record.outcome.status.code() == core::StatusCode::kAborted &&
+        newly_processed) {
+      result.partial = true;
+      continue;
     }
 
     // Failed prefixes are persisted too (with their Status), so a resume
@@ -343,7 +446,12 @@ PipelineResult RunSixGenPipeline(const Universe& universe,
       }
     }
 
-    if (!record.outcome.status.ok()) {
+    if (record.outcome.status.code() ==
+        core::StatusCode::kDeadlineExceeded) {
+      // Graceful degradation, not failure: the outcome keeps its partial
+      // hits and is counted separately.
+      ++result.deadline_prefixes;
+    } else if (!record.outcome.status.ok()) {
       ++result.failed_prefixes;
       SIXGEN_OBS_COUNTER_ADD("pipeline.prefixes_failed", 1);
     }
@@ -353,7 +461,9 @@ PipelineResult RunSixGenPipeline(const Universe& universe,
       report.index = result.prefixes.size();
       report.probes_sent = record.outcome.probes_sent;
       report.hit_count = record.outcome.hit_count;
-      report.elapsed_seconds = elapsed_seconds;
+      // Restored records carry the elapsed seconds persisted when they
+      // originally ran (v3 checkpoints), so --progress is resume-invariant.
+      report.elapsed_seconds = record.outcome.elapsed_seconds;
       report.from_checkpoint = record.outcome.from_checkpoint;
       config.progress(report);
     }
@@ -367,9 +477,20 @@ PipelineResult RunSixGenPipeline(const Universe& universe,
 
   for (auto& th : pool) th.join();
 
+  if (run_token.cancelled()) {
+    // Cancellation (caller's token or the run deadline) short-circuited
+    // the run: everything finished is committed and checkpointed above;
+    // the rest re-runs on resume. Report both flags even if the token
+    // tripped after the last prefix committed — the caller asked to stop.
+    result.cancelled = true;
+    result.partial = true;
+    SIXGEN_OBS_COUNTER_ADD("pipeline.runs_cancelled", 1);
+  }
+
   if (config.run_dealias && !result.partial) {
     SIXGEN_OBS_SPAN(dealias_span, "pipeline.dealias");
-    ProbePath path = MakeProbePath(universe, config, kDealiasPerturbation);
+    ProbePath path =
+        MakeProbePath(universe, config, kDealiasPerturbation, config.scan);
     result.dealias = dealias::Dealias(*path.scanner, universe.routing(),
                                       result.raw_hits, config.dealias);
     result.total_probes += result.dealias.probes_sent;
@@ -394,7 +515,7 @@ PipelineResult ScanAndDealias(const Universe& universe,
   SIXGEN_OBS_SPAN_ATTR(span, "targets",
                        static_cast<std::uint64_t>(targets.size()));
   PipelineResult result;
-  ProbePath path = MakeProbePath(universe, config, 0);
+  ProbePath path = MakeProbePath(universe, config, 0, config.scan);
   scanner::ScanResult scanned = path.scanner->Scan(targets);
   result.total_targets = targets.size();
   result.raw_hits = std::move(scanned.hits);

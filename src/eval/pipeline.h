@@ -48,7 +48,11 @@ struct PrefixProgress {
   std::size_t index = 0;          // 0-based position among reported prefixes
   std::size_t probes_sent = 0;
   std::size_t hit_count = 0;
-  double elapsed_seconds = 0.0;   // wall time of generate+scan (0 on restore)
+  /// Wall time of generate+scan. Checkpoint-restored prefixes report the
+  /// elapsed seconds persisted when they originally ran (v3 checkpoints;
+  /// 0 for records written by a pre-v3 file), so --progress output and
+  /// the pipeline.prefix_seconds telemetry are resume-invariant.
+  double elapsed_seconds = 0.0;
   bool from_checkpoint = false;   // restored, not recomputed
 };
 
@@ -93,6 +97,31 @@ struct PipelineConfig {
   /// excluded from the checkpoint fingerprint.
   bool retry_failed = true;
 
+  /// Per-prefix wall-clock watchdog (0 = none): each prefix's generate +
+  /// scan share one deadline this many seconds from the prefix's start. An
+  /// expired prefix is *committed* — kDeadlineExceeded Status, best-so-far
+  /// clusters/targets and partial hits — and checkpointed; with
+  /// retry_failed (default) a resume re-runs it with the full budget of
+  /// time. Wall-clock, hence nondeterministic; for reproducible truncation
+  /// use the deterministic knobs `core.max_iterations` (generator
+  /// iterations) and `scan.virtual_deadline_seconds` (scanner virtual
+  /// clock), which yield identical partial results at any job count. All
+  /// deadline fields are excluded from the checkpoint fingerprint.
+  double prefix_deadline_seconds = 0.0;
+
+  /// Whole-run wall-clock budget (0 = none). Expiry cancels outstanding
+  /// workers cooperatively: finished prefixes are committed and
+  /// checkpointed, in-flight ones are dropped (they re-run on resume), and
+  /// the result returns partial = true with `cancelled` set.
+  double run_deadline_seconds = 0.0;
+
+  /// External cancellation (SIGINT via core::ScopedSignalCancellation, a
+  /// supervisor, tests). The run polls it between prefixes and threads it
+  /// into every generator and scanner; tripping it behaves exactly like
+  /// the run deadline expiring. Not owned; may be null. Excluded from the
+  /// checkpoint fingerprint.
+  const core::CancelToken* cancel = nullptr;
+
   /// Stop after this many newly-processed prefixes (0 = unbounded).
   /// Checkpointed prefixes don't count. With a checkpoint path this gives
   /// incremental operation: each invocation advances the scan and the last
@@ -131,10 +160,17 @@ struct PrefixOutcome {
   std::size_t iterations = 0;
   double generation_seconds = 0.0;  // wall time of the 6Gen run
   double scan_virtual_seconds = 0.0;  // virtual scan time incl. backoff
+  /// Wall time of generate+scan together. Persisted in v3 checkpoints and
+  /// restored on resume (PrefixProgress::elapsed_seconds stays accurate
+  /// for restored prefixes); 0 when restored from a pre-v3 record.
+  double elapsed_seconds = 0.0;
   /// Ground-truth tally of faults injected while scanning this prefix.
   faultnet::FaultTally faults;
   /// Non-OK iff this prefix failed (generation error or hard channel
   /// failure); the rest of the run continues and its hits are excluded.
+  /// Exception: kDeadlineExceeded is graceful degradation, not failure —
+  /// the outcome keeps its partial hits and counts in
+  /// PipelineResult::deadline_prefixes instead of failed_prefixes.
   core::Status status;
   /// True iff this outcome was restored from a checkpoint, not recomputed.
   bool from_checkpoint = false;
@@ -145,6 +181,9 @@ struct CheckpointStats {
   std::size_t loaded = 0;   // prefixes restored from the checkpoint file
   std::size_t written = 0;  // prefixes appended this run
   bool rejected = false;    // existing file had a mismatched fingerprint
+  /// Records skipped because their stored CRC32 did not match (mid-line
+  /// corruption, not just a torn tail); those prefixes re-run.
+  std::size_t crc_failures = 0;
   core::Status io;          // non-OK iff checkpoint I/O itself failed
 };
 
@@ -155,14 +194,23 @@ struct PipelineResult {
   std::size_t total_targets = 0;
   std::size_t total_probes = 0;
   std::size_t seeds_used = 0;
-  /// Prefixes whose outcome carries a non-OK status.
+  /// Prefixes whose outcome carries a non-OK status other than
+  /// kDeadlineExceeded.
   std::size_t failed_prefixes = 0;
+  /// Prefixes truncated by a deadline (kDeadlineExceeded): committed with
+  /// their partial hits, not counted as failures.
+  std::size_t deadline_prefixes = 0;
   /// Aggregate fault tally over every prefix scan plus dealiasing.
   faultnet::FaultTally faults;
   CheckpointStats checkpoint;
   /// True iff the run stopped at `max_prefixes_per_run` before covering
-  /// every routed prefix (dealiasing is skipped; resume to finish).
+  /// every routed prefix, or was cancelled / ran out of run deadline
+  /// (dealiasing is skipped; resume to finish).
   bool partial = false;
+  /// True iff the run was cut short by PipelineConfig::cancel tripping or
+  /// run_deadline_seconds expiring: everything finished was committed and
+  /// checkpointed, in-flight and unstarted prefixes re-run on resume.
+  bool cancelled = false;
 
   std::size_t RawHitCount() const { return raw_hits.size(); }
   std::size_t NonAliasedHitCount() const {

@@ -152,7 +152,32 @@ ScanResult SimulatedScanner::Scan(std::span<const Address> targets) {
   const std::size_t retries_before = total_retries_;
   const double wait_before = total_wait_seconds_;
   const faultnet::FaultTally tally_before = tally_;
+  const double virtual_start = VirtualNow();
+  // Amortize wall-clock reads: token polls are an atomic load per target,
+  // but the monotonic clock is only consulted every stride targets.
+  constexpr std::size_t kDeadlinePollStride = 64;
+  std::size_t processed = 0;
   for (const Address& addr : order) {
+    // Cooperative stop checks, before the target is deduped/probed, so the
+    // scan accounting invariants below hold for the processed portion.
+    if (config_.cancel != nullptr && config_.cancel->cancelled()) {
+      result.status = core::AbortedError("scan cancelled");
+      SIXGEN_OBS_COUNTER_ADD("scanner.scans_cancelled", 1);
+      break;
+    }
+    if (config_.virtual_deadline_seconds > 0.0 &&
+        VirtualNow() - virtual_start >= config_.virtual_deadline_seconds) {
+      result.status =
+          core::DeadlineExceededError("scan virtual deadline exceeded");
+      SIXGEN_OBS_COUNTER_ADD("scanner.scans_deadline_expired", 1);
+      break;
+    }
+    if (processed++ % kDeadlinePollStride == 0 && config_.deadline.Expired()) {
+      result.status =
+          core::DeadlineExceededError("scan wall deadline exceeded");
+      SIXGEN_OBS_COUNTER_ADD("scanner.scans_deadline_expired", 1);
+      break;
+    }
     if (!seen.insert(addr).second) continue;  // dedupe targets
     if (config_.blacklist && config_.blacklist->Contains(addr)) {
       ++result.blacklisted;  // opt-out: never probed

@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "core/cancel.h"
 #include "core/status.h"
 #include "faultnet/fault_plan.h"
 #include "faultnet/probe_channel.h"
@@ -65,6 +66,21 @@ struct ScanConfig {
   /// rate-limited, so token buckets refill before the retry. Inert on a
   /// pristine network (nothing ever reports kRateLimited).
   double rate_limit_pause_seconds = 0.05;
+
+  /// Cooperative cancellation (docs/robustness.md): polled between
+  /// targets; a tripped token aborts the scan with kAborted status and
+  /// the partial hits gathered so far. Not owned; may be null.
+  const core::CancelToken* cancel = nullptr;
+  /// Wall-clock watchdog, checked between probe batches (every
+  /// kDeadlinePollStride targets, so which target observes expiry is
+  /// machine-dependent). Expiry yields kDeadlineExceeded + partial hits.
+  core::Deadline deadline;
+  /// Deterministic deadline on the scanner's *virtual* clock: abort this
+  /// scan with kDeadlineExceeded once it has consumed this many virtual
+  /// seconds (send time + backoff), measured from the scan's start. The
+  /// virtual clock is a pure function of the probe sequence, so the scan
+  /// truncates at the identical target on every run. 0 disables.
+  double virtual_deadline_seconds = 0.0;
 };
 
 /// Outcome of one scan.

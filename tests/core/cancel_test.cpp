@@ -1,0 +1,210 @@
+// Unit suite for the cooperative cancellation layer (core/cancel.h):
+// sticky token semantics, parent chaining, fake-clock deadline expiry,
+// and the SIGINT/SIGTERM → CancelToken routing installed by
+// ScopedSignalCancellation. The raise()-based signal tests exercise the
+// only sanctioned signal-handler path in the codebase.
+#include "core/cancel.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+#include "obs/clock.h"
+
+namespace sixgen::core {
+namespace {
+
+// Settable fake monotonic clock, advanced by the tests below.
+std::uint64_t g_fake_nanos = 0;
+std::uint64_t FakeNanos() { return g_fake_nanos; }
+
+struct FakeClock {
+  explicit FakeClock(std::uint64_t start = 0) {
+    g_fake_nanos = start;
+    obs::SetMonotonicClockForTest(&FakeNanos);
+  }
+  ~FakeClock() { obs::SetMonotonicClockForTest(nullptr); }
+};
+
+TEST(CancelTokenTest, DefaultIsNotCancelled) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kNone);
+}
+
+TEST(CancelTokenTest, CancelIsStickyAndFirstReasonWins) {
+  CancelToken token;
+  token.Cancel(CancelReason::kManual);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kManual);
+
+  // A second cancel with a different reason must not overwrite the first.
+  token.Cancel(CancelReason::kSignal);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kManual);
+}
+
+TEST(CancelTokenTest, ResetClearsCancellation) {
+  CancelToken token;
+  token.Cancel();
+  ASSERT_TRUE(token.cancelled());
+  token.Reset();
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kNone);
+}
+
+TEST(CancelTokenTest, ParentCancellationPropagatesToChild) {
+  CancelToken parent;
+  CancelToken child;
+  child.set_parent(&parent);
+
+  EXPECT_FALSE(child.cancelled());
+  parent.Cancel(CancelReason::kSignal);
+  EXPECT_TRUE(child.cancelled());
+  // The child itself was never tripped; the reason lives on the parent.
+  EXPECT_EQ(child.reason(), CancelReason::kNone);
+  EXPECT_EQ(parent.reason(), CancelReason::kSignal);
+}
+
+TEST(CancelTokenTest, ChildCancellationDoesNotReachParent) {
+  CancelToken parent;
+  CancelToken child;
+  child.set_parent(&parent);
+
+  child.Cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_FALSE(parent.cancelled());
+}
+
+TEST(CancelTokenTest, GrandparentChainPropagates) {
+  CancelToken root;
+  CancelToken mid;
+  CancelToken leaf;
+  mid.set_parent(&root);
+  leaf.set_parent(&mid);
+
+  root.Cancel();
+  EXPECT_TRUE(leaf.cancelled());
+}
+
+TEST(CancelTokenTest, DetachedChildIgnoresFormerParent) {
+  CancelToken parent;
+  CancelToken child;
+  child.set_parent(&parent);
+  child.set_parent(nullptr);
+
+  parent.Cancel();
+  EXPECT_FALSE(child.cancelled());
+}
+
+TEST(DeadlineTest, DefaultIsUnsetAndNeverExpires) {
+  FakeClock clock(1'000'000'000);
+  Deadline deadline;
+  EXPECT_FALSE(deadline.IsSet());
+  EXPECT_FALSE(deadline.Expired());
+  g_fake_nanos = ~std::uint64_t{0};
+  EXPECT_FALSE(deadline.Expired());
+}
+
+TEST(DeadlineTest, ExpiresWhenFakeClockPassesThePoint) {
+  FakeClock clock(0);
+  Deadline deadline = Deadline::AfterSeconds(2.0);
+  ASSERT_TRUE(deadline.IsSet());
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_DOUBLE_EQ(deadline.RemainingSeconds(), 2.0);
+
+  g_fake_nanos = 1'999'999'999;
+  EXPECT_FALSE(deadline.Expired());
+  g_fake_nanos = 2'000'000'000;
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_DOUBLE_EQ(deadline.RemainingSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, NonPositiveDurationIsAlreadyExpired) {
+  FakeClock clock(5);
+  EXPECT_TRUE(Deadline::AfterSeconds(0.0).Expired());
+  EXPECT_TRUE(Deadline::AfterSeconds(-1.0).Expired());
+}
+
+TEST(DeadlineTest, AtNanosUsesAbsoluteTime) {
+  FakeClock clock(10);
+  Deadline deadline = Deadline::AtNanos(20);
+  EXPECT_FALSE(deadline.Expired());
+  g_fake_nanos = 20;
+  EXPECT_TRUE(deadline.Expired());
+}
+
+TEST(CancelTokenTest, AttachedDeadlineTripsTokenWithDeadlineReason) {
+  FakeClock clock(0);
+  CancelToken token;
+  token.set_deadline(Deadline::AfterSeconds(1.0));
+
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kNone);
+
+  g_fake_nanos = 1'500'000'000;
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kDeadline);
+
+  // Sticky even if the clock ran backwards (it never does in prod, but
+  // the token must not un-cancel regardless).
+  g_fake_nanos = 0;
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(ScopedSignalCancellationTest, SigintTripsTokenWithSignalReason) {
+  CancelToken token;
+  ASSERT_FALSE(SignalCancellationActive());
+  {
+    ScopedSignalCancellation guard(&token);
+    ASSERT_TRUE(SignalCancellationActive());
+    ASSERT_EQ(std::raise(SIGINT), 0);
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), CancelReason::kSignal);
+  }
+  EXPECT_FALSE(SignalCancellationActive());
+}
+
+TEST(ScopedSignalCancellationTest, SigtermTripsTokenToo) {
+  CancelToken token;
+  {
+    ScopedSignalCancellation guard(&token);
+    ASSERT_EQ(std::raise(SIGTERM), 0);
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), CancelReason::kSignal);
+  }
+}
+
+TEST(ScopedSignalCancellationTest, HandlersRestoredAfterScopeExit) {
+  // Install our own marker handler, let the guard replace and then
+  // restore it, and check the marker handler is back in force.
+  static std::sig_atomic_t marker = 0;
+  auto previous = std::signal(SIGINT, +[](int) { marker = 1; });
+  ASSERT_NE(previous, SIG_ERR);
+
+  {
+    CancelToken token;
+    ScopedSignalCancellation guard(&token);
+  }
+
+  ASSERT_EQ(std::raise(SIGINT), 0);
+  EXPECT_EQ(marker, 1);
+  std::signal(SIGINT, previous == SIG_ERR ? SIG_DFL : previous);
+}
+
+TEST(ScopedSignalCancellationTest, SequentialInstallsAreAllowed) {
+  CancelToken first;
+  CancelToken second;
+  {
+    ScopedSignalCancellation guard(&first);
+  }
+  {
+    ScopedSignalCancellation guard(&second);
+    ASSERT_EQ(std::raise(SIGINT), 0);
+  }
+  EXPECT_FALSE(first.cancelled());
+  EXPECT_TRUE(second.cancelled());
+}
+
+}  // namespace
+}  // namespace sixgen::core

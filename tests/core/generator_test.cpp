@@ -481,5 +481,81 @@ TEST_P(GeneratorBudgetSweep, MonotoneTargetGrowth) {
 INSTANTIATE_TEST_SUITE_P(Budgets, GeneratorBudgetSweep,
                          ::testing::Values(8, 64, 256, 1024, 4096));
 
+// Seeds spread over several subnets so an unrestricted run commits many
+// growth iterations — the substrate for the deadline/cancel tests below.
+std::vector<Address> DeadlineSeeds() {
+  std::mt19937_64 rng(99);
+  std::vector<Address> seeds;
+  for (int subnet = 0; subnet < 4; ++subnet) {
+    Address base = Address::MustParse("2001:db8::").WithNybble(
+        20, static_cast<unsigned>(subnet));
+    for (int i = 0; i < 16; ++i) {
+      Address a = base;
+      for (unsigned n = 29; n < 32; ++n) {
+        a = a.WithNybble(n, static_cast<unsigned>(rng() % 16));
+      }
+      seeds.push_back(a);
+    }
+  }
+  return seeds;
+}
+
+TEST(GeneratorCancel, MaxIterationsTruncatesDeterministically) {
+  const auto seeds = DeadlineSeeds();
+  Config unrestricted;
+  unrestricted.budget = 5'000;
+  const GenerationResult full = Generate(seeds, unrestricted);
+  ASSERT_GE(full.iterations, 3u) << "fixture must run several iterations";
+
+  Config capped = unrestricted;
+  capped.max_iterations = 2;
+  const GenerationResult first = Generate(seeds, capped);
+  EXPECT_EQ(first.stop_reason, StopReason::kDeadlineExpired);
+  EXPECT_EQ(first.iterations, 2u);
+  EXPECT_LT(first.targets.size(), full.targets.size());
+  // Partial results are still real results: seeds are always covered.
+  EXPECT_GE(first.targets.size(), first.seed_count);
+
+  // The deterministic deadline truncates identically on every run.
+  const GenerationResult second = Generate(seeds, capped);
+  EXPECT_EQ(first.targets, second.targets);
+  EXPECT_EQ(first.budget_used, second.budget_used);
+  EXPECT_EQ(first.iterations, second.iterations);
+}
+
+TEST(GeneratorCancel, PreCancelledTokenStopsBeforeAnyGrowth) {
+  CancelToken token;
+  token.Cancel();
+  Config config;
+  config.budget = 5'000;
+  config.cancel = &token;
+  const GenerationResult result = Generate(DeadlineSeeds(), config);
+  EXPECT_EQ(result.stop_reason, StopReason::kCancelled);
+  EXPECT_EQ(result.iterations, 0u);
+  // Best-so-far still includes every seed (graceful degradation, not an
+  // error: the caller keeps what exists).
+  EXPECT_EQ(result.targets.size(), result.seed_count);
+}
+
+TEST(GeneratorCancel, ExpiredWallDeadlineStopsBeforeAnyGrowth) {
+  Config config;
+  config.budget = 5'000;
+  config.deadline = Deadline::AfterSeconds(0.0);  // already expired
+  const GenerationResult result = Generate(DeadlineSeeds(), config);
+  EXPECT_EQ(result.stop_reason, StopReason::kDeadlineExpired);
+  EXPECT_EQ(result.iterations, 0u);
+  EXPECT_EQ(result.targets.size(), result.seed_count);
+}
+
+TEST(GeneratorCancel, CancelOutranksDeadlineWhenBothApply) {
+  CancelToken token;
+  token.Cancel();
+  Config config;
+  config.cancel = &token;
+  config.max_iterations = 1;
+  const GenerationResult result = Generate(DeadlineSeeds(), config);
+  EXPECT_EQ(result.stop_reason, StopReason::kCancelled);
+}
+
 }  // namespace
 }  // namespace sixgen::core

@@ -21,6 +21,11 @@ std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "sixgen_" + name;
 }
 
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::trunc);
+  out << bytes;
+}
+
 CheckpointRecord SampleRecord() {
   CheckpointRecord record;
   record.outcome.route = {ip6::Prefix::MustParse("2001:db8:40::/48"), 64500};
@@ -158,6 +163,112 @@ TEST(Checkpoint, CorruptLinesAreSkippedNotFatal) {
   EXPECT_EQ(load.records.size(), 1u);
   EXPECT_EQ(load.corrupt_lines, 1u);
   EXPECT_FALSE(load.fingerprint_mismatch);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRecordCodec, V3RoundTripsElapsedSeconds) {
+  CheckpointRecord record = SampleRecord();
+  record.outcome.elapsed_seconds = 12.75;
+  const std::string line = EncodeCheckpointRecord(record);
+  core::Result<CheckpointRecord> decoded = DecodeCheckpointRecord(line);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_DOUBLE_EQ(decoded->outcome.elapsed_seconds, 12.75);
+}
+
+TEST(CheckpointRecordCodec, CrcDetectsMidLineByteFlip) {
+  const std::string good = EncodeCheckpointRecord(SampleRecord());
+  // Flip one digit in the counter section — the field layout still
+  // parses, so only the CRC can catch the damage.
+  std::string bad = good;
+  const std::size_t digit = bad.find_first_of("0123456789", 2);
+  ASSERT_NE(digit, std::string::npos);
+  bad[digit] = bad[digit] == '9' ? '8' : static_cast<char>(bad[digit] + 1);
+
+  const core::Result<CheckpointRecord> decoded = DecodeCheckpointRecord(bad);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), core::StatusCode::kDataLoss);
+  EXPECT_NE(decoded.status().message().find("crc mismatch"),
+            std::string::npos);
+}
+
+TEST(CheckpointRecordCodec, ReadsV2RecordsWithoutCrc) {
+  const CheckpointRecord record = SampleRecord();
+  const std::string v2_line = EncodeCheckpointRecord(record, /*version=*/2);
+  // A v2 line has no CRC section at all — it must parse via the legacy
+  // layout, with elapsed_seconds defaulting to zero.
+  core::Result<CheckpointRecord> decoded = DecodeCheckpointRecord(v2_line);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectSameOutcome(decoded->outcome, record.outcome);
+  EXPECT_DOUBLE_EQ(decoded->outcome.elapsed_seconds, 0.0);
+  EXPECT_EQ(decoded->hits, record.hits);
+}
+
+TEST(Checkpoint, LoaderCountsCrcFailuresSeparately) {
+  const std::string path = TempPath("crc_fail.ckpt");
+  std::remove(path.c_str());
+  const std::uint64_t fingerprint = 99;
+  {
+    core::Result<CheckpointWriter> writer =
+        CheckpointWriter::Open(path, fingerprint, /*fresh=*/true);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(SampleRecord()).ok());
+  }
+  {
+    // A second record whose payload is damaged after the CRC was computed.
+    CheckpointRecord other = SampleRecord();
+    other.outcome.route = {ip6::Prefix::MustParse("2001:db8:41::/48"),
+                           64501};
+    std::string line = EncodeCheckpointRecord(other);
+    const std::size_t digit = line.find_first_of("0123456789", 2);
+    ASSERT_NE(digit, std::string::npos);
+    line[digit] = line[digit] == '9' ? '8' : static_cast<char>(line[digit] + 1);
+    std::ofstream out(path, std::ios::app);
+    out << line << "\n";
+  }
+  const CheckpointLoad load = LoadCheckpoint(path, fingerprint);
+  EXPECT_EQ(load.records.size(), 1u);
+  EXPECT_EQ(load.corrupt_lines, 1u);
+  EXPECT_EQ(load.crc_failures, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, V2HeaderFilesStillLoad) {
+  const std::string path = TempPath("v2_header.ckpt");
+  std::remove(path.c_str());
+  const std::uint64_t fingerprint = 0x1122'3344'5566'7788ULL;
+  {
+    // Hand-write a v2-era file: old header magic, v2 record lines.
+    char header[64];
+    std::snprintf(header, sizeof(header), "sixgen-checkpoint v2 %016llx",
+                  static_cast<unsigned long long>(fingerprint));
+    std::ofstream out(path, std::ios::trunc);
+    out << header << "\n"
+        << EncodeCheckpointRecord(SampleRecord(), /*version=*/2) << "\n";
+  }
+  const CheckpointLoad load = LoadCheckpoint(path, fingerprint);
+  EXPECT_FALSE(load.fingerprint_mismatch);
+  EXPECT_EQ(load.corrupt_lines, 0u);
+  ASSERT_EQ(load.records.size(), 1u);
+  ExpectSameOutcome(load.records.at("2001:db8:40::/48").outcome,
+                    SampleRecord().outcome);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FreshHeaderSurvivesExistingStaleFile) {
+  // Open(fresh=true) writes the header via temp-file + rename; the old
+  // contents must be fully gone and the new file immediately loadable.
+  const std::string path = TempPath("fresh_rename.ckpt");
+  WriteFile(path, "sixgen-checkpoint v3 0000000000000001\ngarbage\n");
+  {
+    core::Result<CheckpointWriter> writer =
+        CheckpointWriter::Open(path, /*fingerprint=*/2, /*fresh=*/true);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(SampleRecord()).ok());
+  }
+  const CheckpointLoad load = LoadCheckpoint(path, /*fingerprint=*/2);
+  EXPECT_FALSE(load.fingerprint_mismatch);
+  EXPECT_EQ(load.corrupt_lines, 0u);
+  EXPECT_EQ(load.records.size(), 1u);
   std::remove(path.c_str());
 }
 

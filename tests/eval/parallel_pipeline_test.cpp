@@ -331,6 +331,148 @@ TEST(ParallelPipeline, FailedPrefixPersistedAndRetryFlagHonored) {
   std::remove(config.checkpoint_path.c_str());
 }
 
+// Deterministic deadline (docs/robustness.md): an iteration-denominated
+// budget truncates generation identically on every run and job count —
+// same outcomes, same deadline_prefixes tally, byte-identical checkpoint.
+TEST(ParallelPipeline, DeterministicIterationDeadlineMatchesAcrossJobs) {
+  const FrozenClock frozen;
+  const SmallWorld world = MakeSmallWorld();
+
+  PipelineConfig base;
+  base.budget_per_prefix = 800;
+  base.core.max_iterations = 1;
+
+  PipelineResult serial;
+  std::string serial_checkpoint;
+  {
+    PipelineConfig config = base;
+    config.jobs = 1;
+    config.checkpoint_path = TempPath("iter_deadline_serial.ckpt");
+    std::remove(config.checkpoint_path.c_str());
+    serial = RunSixGenPipeline(world.universe, world.seeds, config);
+    serial_checkpoint = ReadFileBytes(config.checkpoint_path);
+    std::remove(config.checkpoint_path.c_str());
+  }
+  EXPECT_GT(serial.deadline_prefixes, 0u)
+      << "cap must actually truncate some prefix for this test to bite";
+  EXPECT_FALSE(serial.cancelled);
+  EXPECT_FALSE(serial.partial) << "deadline-expired prefixes still commit";
+  for (const PrefixOutcome& outcome : serial.prefixes) {
+    EXPECT_LE(outcome.iterations, 1u);
+    if (outcome.status.code() == core::StatusCode::kDeadlineExceeded) {
+      // Graceful degradation: partial hits are kept, not discarded.
+      EXPECT_EQ(outcome.status.message(), "generation deadline expired");
+    }
+  }
+
+  for (const std::size_t jobs : {std::size_t{4}, std::size_t{0}}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    PipelineConfig config = base;
+    config.jobs = jobs;
+    config.checkpoint_path = TempPath("iter_deadline_parallel.ckpt");
+    std::remove(config.checkpoint_path.c_str());
+    const PipelineResult parallel =
+        RunSixGenPipeline(world.universe, world.seeds, config);
+    ExpectSameResult(parallel, serial);
+    EXPECT_EQ(parallel.deadline_prefixes, serial.deadline_prefixes);
+    EXPECT_EQ(ReadFileBytes(config.checkpoint_path), serial_checkpoint)
+        << "deadline outcomes must checkpoint identically per job count";
+    std::remove(config.checkpoint_path.c_str());
+  }
+}
+
+// Run-level cancellation mid-flight: finished prefixes are committed to
+// the checkpoint, unfinished ones are dropped, and a cancel-free resume
+// completes the run to the uninterrupted oracle.
+TEST(ParallelPipeline, CancelMidRunCommitsFinishedWorkAndResumes) {
+  const FrozenClock frozen;
+  const SmallWorld world = MakeSmallWorld();
+
+  PipelineConfig base;
+  base.budget_per_prefix = 600;
+
+  PipelineConfig oracle_config = base;
+  oracle_config.jobs = 1;
+  const PipelineResult oracle =
+      RunSixGenPipeline(world.universe, world.seeds, oracle_config);
+  ASSERT_GT(oracle.prefixes.size(), 4u);
+
+  core::CancelToken token;
+  PipelineConfig cancelled_config = base;
+  cancelled_config.jobs = 4;
+  cancelled_config.cancel = &token;
+  cancelled_config.checkpoint_path = TempPath("cancel_resume.ckpt");
+  std::remove(cancelled_config.checkpoint_path.c_str());
+  // Trip the token from the progress callback after the third commit —
+  // the cooperative analogue of a SIGINT arriving mid-run.
+  std::size_t commits = 0;
+  cancelled_config.progress = [&](const PrefixProgress&) {
+    if (++commits == 3) token.Cancel();
+  };
+  const PipelineResult interrupted =
+      RunSixGenPipeline(world.universe, world.seeds, cancelled_config);
+  EXPECT_TRUE(interrupted.cancelled);
+  EXPECT_TRUE(interrupted.partial);
+  EXPECT_LT(interrupted.checkpoint.written, oracle.prefixes.size())
+      << "cancellation must leave work for the resume to do";
+  for (const PrefixOutcome& outcome : interrupted.prefixes) {
+    EXPECT_NE(outcome.status.code(), core::StatusCode::kAborted)
+        << "aborted prefixes must be dropped at commit, not reported";
+  }
+
+  PipelineConfig resume_config = base;
+  resume_config.jobs = 4;
+  resume_config.checkpoint_path = cancelled_config.checkpoint_path;
+  PipelineResult resumed;
+  std::size_t runs = 0;
+  do {
+    resumed = RunSixGenPipeline(world.universe, world.seeds, resume_config);
+    ASSERT_TRUE(resumed.checkpoint.io.ok())
+        << resumed.checkpoint.io.ToString();
+    ASSERT_LT(++runs, 10u) << "resume failed to make progress";
+  } while (resumed.partial);
+  EXPECT_FALSE(resumed.cancelled);
+  EXPECT_GT(resumed.checkpoint.loaded, 0u)
+      << "resume must restore the committed prefixes";
+
+  // from_checkpoint differs by construction; compare everything else.
+  EXPECT_EQ(resumed.raw_hits, oracle.raw_hits);
+  EXPECT_EQ(resumed.total_targets, oracle.total_targets);
+  EXPECT_EQ(resumed.total_probes, oracle.total_probes);
+  EXPECT_EQ(resumed.failed_prefixes, oracle.failed_prefixes);
+  EXPECT_TRUE(resumed.faults == oracle.faults);
+  ASSERT_EQ(resumed.prefixes.size(), oracle.prefixes.size());
+  for (std::size_t i = 0; i < resumed.prefixes.size(); ++i) {
+    const PrefixOutcome& a = resumed.prefixes[i];
+    const PrefixOutcome& b = oracle.prefixes[i];
+    EXPECT_EQ(a.route, b.route);
+    EXPECT_EQ(a.hit_count, b.hit_count);
+    EXPECT_EQ(a.probes_sent, b.probes_sent);
+    EXPECT_EQ(a.status, b.status);
+  }
+  std::remove(cancelled_config.checkpoint_path.c_str());
+}
+
+// A pre-cancelled run does no work at all but still exits cleanly with
+// partial = true — the SIGINT-before-first-prefix shape.
+TEST(ParallelPipeline, PreCancelledRunDoesNoWork) {
+  const FrozenClock frozen;
+  const SmallWorld world = MakeSmallWorld();
+
+  core::CancelToken token;
+  token.Cancel();
+  PipelineConfig config;
+  config.budget_per_prefix = 600;
+  config.jobs = 4;
+  config.cancel = &token;
+  const PipelineResult result =
+      RunSixGenPipeline(world.universe, world.seeds, config);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_TRUE(result.partial);
+  EXPECT_TRUE(result.prefixes.empty());
+  EXPECT_TRUE(result.raw_hits.empty());
+}
+
 // The thread-budget governor: auto generator threads divide the machine by
 // the declared external parallelism, never dropping below one, and an
 // explicit thread count always wins.

@@ -1,0 +1,297 @@
+// Randomized corruption suite for the two parsers that read
+// externally-supplied bytes: io/address_io (hitlists, seed TSVs, range
+// dumps) and eval::Checkpoint (resume files). A scan campaign that dies
+// mid-write, a disk that flips a bit, or an operator handing over a
+// non-UTF-8 file must all degrade to a clean core::Status or a reported
+// ParseError — never a crash, a hang, or a silently-accepted wrong value.
+//
+// Every mutation is driven by a fixed-seed splitmix64 stream so failures
+// reproduce exactly; the suite runs under the ASan/UBSan and fault-stress
+// CI presets (test names match the fault-stress --tests-regex).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "eval/checkpoint.h"
+#include "io/address_io.h"
+
+namespace sixgen {
+namespace {
+
+using ip6::Address;
+
+// Deterministic pseudo-random stream (splitmix64); no <random> needed.
+struct Splitmix {
+  std::uint64_t state;
+
+  explicit Splitmix(std::uint64_t seed) : state(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state += 0x9e37'79b9'7f4a'7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58'476d'1ce4'e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d0'49bb'1331'11ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::size_t Below(std::size_t bound) {
+    return bound == 0 ? 0 : static_cast<std::size_t>(Next() % bound);
+  }
+};
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "sixgen_corrupt_" + name;
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+// One random mutation of `text`: truncation, a flipped byte (biased
+// toward the non-ASCII range so non-UTF-8 input is covered), an inserted
+// garbage run, or an oversized numeric blob spliced mid-stream.
+std::string Mutate(const std::string& text, Splitmix& rng) {
+  std::string out = text;
+  switch (rng.Below(4)) {
+    case 0:  // truncate anywhere, including mid-line
+      out.resize(rng.Below(out.size() + 1));
+      break;
+    case 1: {  // flip one byte to an arbitrary value
+      if (out.empty()) break;
+      out[rng.Below(out.size())] =
+          static_cast<char>(0x80 + rng.Below(0x80));  // non-UTF-8 range
+      break;
+    }
+    case 2: {  // insert a run of raw bytes
+      std::string garbage;
+      const std::size_t len = 1 + rng.Below(64);
+      for (std::size_t i = 0; i < len; ++i) {
+        garbage.push_back(static_cast<char>(rng.Below(256)));
+      }
+      out.insert(rng.Below(out.size() + 1), garbage);
+      break;
+    }
+    default: {  // splice in an absurdly oversized numeric field
+      std::string digits(1 + rng.Below(200), '9');
+      out.insert(rng.Below(out.size() + 1), digits);
+      break;
+    }
+  }
+  return out;
+}
+
+std::string SampleAddressFile() {
+  return
+      "# hitlist sample\n"
+      "2001:db8::1\n"
+      "2001:db8::2\n"
+      "2001:db8:40:0:1::20\n"
+      "\n"
+      "2001:db8:ffff::a  # trailing comment\n";
+}
+
+TEST(IoCorruption, MutatedAddressListsNeverCrashAndReportErrors) {
+  Splitmix rng(0xc0de'0001);
+  const std::string base = SampleAddressFile();
+  for (int round = 0; round < 500; ++round) {
+    std::string text = base;
+    const int mutations = 1 + static_cast<int>(rng.Below(4));
+    for (int m = 0; m < mutations; ++m) text = Mutate(text, rng);
+
+    const io::LoadResult<Address> result = io::ReadAddressesFromString(text);
+    // Every parsed value must be a real address (round-trips), and every
+    // rejected line must be reported with a plausible line number.
+    for (const Address& addr : result.values) {
+      EXPECT_EQ(Address::Parse(addr.ToString()).value_or(Address{}), addr);
+    }
+    for (const io::ParseError& err : result.errors) {
+      EXPECT_GT(err.line, 0u);
+    }
+  }
+}
+
+TEST(IoCorruption, MutatedSeedRecordsNeverCrash) {
+  Splitmix rng(0xc0de'0002);
+  const std::string base =
+      "2001:db8::1\tweb\n"
+      "2001:db8::2\tns\n"
+      "2001:db8::3\tmail\n"
+      "2001:db8::4\tgeneric\n";
+  for (int round = 0; round < 300; ++round) {
+    std::string text = base;
+    const int mutations = 1 + static_cast<int>(rng.Below(4));
+    for (int m = 0; m < mutations; ++m) text = Mutate(text, rng);
+    const auto result = io::ReadSeedRecordsFromString(text);
+    for (const io::ParseError& err : result.errors) {
+      EXPECT_GT(err.line, 0u);
+    }
+  }
+}
+
+TEST(IoCorruption, MutatedRangeListsNeverCrash) {
+  Splitmix rng(0xc0de'0003);
+  const std::string base =
+      "2001:db8::?:100?\n"
+      "2001:db8::5[1-2,8-a]\n";
+  for (int round = 0; round < 300; ++round) {
+    std::string text = base;
+    const int mutations = 1 + static_cast<int>(rng.Below(4));
+    for (int m = 0; m < mutations; ++m) text = Mutate(text, rng);
+    const auto result = io::ReadRangesFromString(text);
+    for (const io::ParseError& err : result.errors) {
+      EXPECT_GT(err.line, 0u);
+    }
+  }
+}
+
+TEST(IoCorruption, UnreadableAddressFileIsNotFound) {
+  const auto result = io::ReadAddressFile(TempPath("nope/missing.txt"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), core::StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint corruption
+// ---------------------------------------------------------------------------
+
+eval::CheckpointRecord MakeRecord(unsigned index) {
+  eval::CheckpointRecord record;
+  record.outcome.route = {
+      ip6::Prefix::MustParse("2001:db8:" + std::to_string(0x100 + index) +
+                             "::/48"),
+      64500 + index};
+  record.outcome.seed_count = 3 + index;
+  record.outcome.budget = 10'000 + index;
+  record.outcome.target_count = 400 + index;
+  record.outcome.hit_count = 1;
+  record.outcome.probes_sent = 450 + index;
+  record.outcome.iterations = 7 + index;
+  record.outcome.scan_virtual_seconds = 0.25 * index;
+  record.outcome.elapsed_seconds = 0.5 * index;
+  record.hits = {Address::MustParse("2001:db8:" +
+                                    std::to_string(0x100 + index) + "::1")};
+  return record;
+}
+
+std::string MakeCheckpointFile(const std::string& name,
+                               std::uint64_t fingerprint,
+                               unsigned records) {
+  const std::string path = TempPath(name);
+  std::remove(path.c_str());
+  auto writer = eval::CheckpointWriter::Open(path, fingerprint, true);
+  EXPECT_TRUE(writer.ok());
+  for (unsigned i = 0; i < records; ++i) {
+    EXPECT_TRUE(writer->Append(MakeRecord(i)).ok());
+  }
+  return path;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+TEST(CheckpointCorruption, MutatedFilesLoadCleanlyAndCountCorruptLines) {
+  constexpr std::uint64_t kFingerprint = 0xfeed'beef'0001ULL;
+  const std::string path = MakeCheckpointFile("mutated.ckpt", kFingerprint, 6);
+  const std::string pristine = ReadFileBytes(path);
+
+  Splitmix rng(0xc0de'0004);
+  for (int round = 0; round < 400; ++round) {
+    std::string bytes = pristine;
+    const int mutations = 1 + static_cast<int>(rng.Below(3));
+    for (int m = 0; m < mutations; ++m) bytes = Mutate(bytes, rng);
+    WriteFileBytes(path, bytes);
+
+    const eval::CheckpointLoad load =
+        eval::LoadCheckpoint(path, kFingerprint);
+    // Whatever survived must be a subset of the records we wrote: every
+    // restored prefix decodes back to one of the six originals.
+    EXPECT_LE(load.records.size(), 6u);
+    for (const auto& [prefix, record] : load.records) {
+      EXPECT_EQ(record.outcome.route.prefix.ToString(), prefix);
+    }
+    EXPECT_LE(load.crc_failures, load.corrupt_lines);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointCorruption, TruncationAtEveryByteBoundaryIsSafe) {
+  constexpr std::uint64_t kFingerprint = 0xfeed'beef'0002ULL;
+  const std::string path =
+      MakeCheckpointFile("truncated.ckpt", kFingerprint, 3);
+  const std::string pristine = ReadFileBytes(path);
+
+  for (std::size_t cut = 0; cut <= pristine.size(); ++cut) {
+    WriteFileBytes(path, pristine.substr(0, cut));
+    const eval::CheckpointLoad load =
+        eval::LoadCheckpoint(path, kFingerprint);
+    EXPECT_LE(load.records.size(), 3u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointCorruption, DuplicatePrefixRecordsKeepOneCleanly) {
+  constexpr std::uint64_t kFingerprint = 0xfeed'beef'0003ULL;
+  const std::string path = TempPath("duplicates.ckpt");
+  std::remove(path.c_str());
+  auto writer = eval::CheckpointWriter::Open(path, kFingerprint, true);
+  ASSERT_TRUE(writer.ok());
+  // The same prefix appended three times with diverging hit counts — the
+  // shape a crash between append and fsync can produce on some
+  // filesystems. The loader must keep exactly one record per prefix.
+  for (unsigned i = 0; i < 3; ++i) {
+    eval::CheckpointRecord record = MakeRecord(0);
+    record.outcome.probes_sent += i;
+    ASSERT_TRUE(writer->Append(record).ok());
+  }
+  ASSERT_TRUE(writer->Append(MakeRecord(1)).ok());
+
+  const eval::CheckpointLoad load = eval::LoadCheckpoint(path, kFingerprint);
+  EXPECT_EQ(load.records.size(), 2u);
+  EXPECT_EQ(load.corrupt_lines, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointCorruption, RandomByteBlobsNeverDecode) {
+  Splitmix rng(0xc0de'0005);
+  for (int round = 0; round < 1000; ++round) {
+    std::string line;
+    const std::size_t len = rng.Below(256);
+    for (std::size_t i = 0; i < len; ++i) {
+      char byte = static_cast<char>(rng.Below(256));
+      if (byte == '\n') byte = ' ';  // decode takes a single line
+      line.push_back(byte);
+    }
+    const core::Result<eval::CheckpointRecord> decoded =
+        eval::DecodeCheckpointRecord(line);
+    // Random bytes may theoretically decode, but must never crash; if
+    // they fail, the failure must be the clean kDataLoss channel.
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.status().code(), core::StatusCode::kDataLoss);
+    }
+  }
+}
+
+TEST(CheckpointCorruption, OversizedNumericFieldsAreRejected) {
+  const std::string good = eval::EncodeCheckpointRecord(MakeRecord(0));
+  // Blow up the first counter field far past 64 bits; from_chars must
+  // reject it rather than wrap silently.
+  const std::size_t space = good.find(' ', 2);
+  ASSERT_NE(space, std::string::npos);
+  std::string line = good;
+  line.insert(space, std::string(60, '9'));
+  const core::Result<eval::CheckpointRecord> decoded =
+      eval::DecodeCheckpointRecord(line);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), core::StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace sixgen

@@ -286,5 +286,55 @@ TEST(RollupHits, CountsByAsAndPrefix) {
   EXPECT_EQ(rollup.unrouted, 1u);
 }
 
+TEST(ScannerCancel, PreCancelledTokenAbortsBeforeAnyProbe) {
+  const auto universe = TestUniverse();
+  core::CancelToken token;
+  token.Cancel();
+  ScanConfig config;
+  config.cancel = &token;
+  SimulatedScanner scanner(universe, config);
+  const ScanResult result = scanner.Scan(ActiveTargets(universe));
+  EXPECT_EQ(result.status.code(), core::StatusCode::kAborted);
+  EXPECT_EQ(result.targets_probed, 0u);
+  EXPECT_TRUE(result.hits.empty());
+}
+
+TEST(ScannerCancel, VirtualDeadlineTruncatesDeterministically) {
+  const auto universe = TestUniverse();
+  const auto targets = ActiveTargets(universe);
+  ASSERT_GE(targets.size(), 10u);
+
+  ScanConfig config;
+  config.packets_per_second = 1000;
+  // Budget virtual time for roughly half the targets; the scan must stop
+  // early with kDeadlineExceeded and keep the hits gathered so far.
+  config.virtual_deadline_seconds =
+      static_cast<double>(targets.size() / 2) /
+      static_cast<double>(config.packets_per_second);
+  SimulatedScanner scanner(universe, config);
+  const ScanResult first = scanner.Scan(targets);
+  EXPECT_EQ(first.status.code(), core::StatusCode::kDeadlineExceeded);
+  EXPECT_LT(first.targets_probed, targets.size());
+  EXPECT_GT(first.targets_probed, 0u);
+
+  // The virtual clock is a pure function of the probe sequence, so the
+  // truncation point is identical on every run.
+  SimulatedScanner again(universe, config);
+  const ScanResult second = again.Scan(targets);
+  EXPECT_EQ(first.targets_probed, second.targets_probed);
+  EXPECT_EQ(first.hits, second.hits);
+  EXPECT_DOUBLE_EQ(first.virtual_seconds, second.virtual_seconds);
+}
+
+TEST(ScannerCancel, ExpiredWallDeadlineYieldsPartialResult) {
+  const auto universe = TestUniverse();
+  ScanConfig config;
+  config.deadline = core::Deadline::AfterSeconds(0.0);  // already expired
+  SimulatedScanner scanner(universe, config);
+  const ScanResult result = scanner.Scan(ActiveTargets(universe));
+  EXPECT_EQ(result.status.code(), core::StatusCode::kDeadlineExceeded);
+  EXPECT_LT(result.targets_probed, ActiveTargets(universe).size());
+}
+
 }  // namespace
 }  // namespace sixgen::scanner

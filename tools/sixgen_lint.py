@@ -30,6 +30,12 @@ codebases before:
                      (src/obs/clock.h — the allowlisted implementation),
                      which tests can substitute for determinism and which
                      keeps timing observable as a side channel only.
+  no-raw-signal      raw signal()/sigaction() calls are only allowed in
+                     src/core/cancel.cpp — everywhere else reacts to
+                     signals by polling a core::CancelToken
+                     (ScopedSignalCancellation routes SIGINT/SIGTERM into
+                     one). Scattered handlers fight over disposition and
+                     are never async-signal-safe by accident.
 
 Suppress a finding by appending `// sixgen-lint: allow(<rule>)` on the
 offending line (headers only need it for non-pragma-once rules).
@@ -66,6 +72,19 @@ CHRONO_RE = re.compile(r'#\s*include\s*[<"]chrono[>"]')
 CHRONO_ALLOWLIST = {
     "src/obs/clock.h",
     "src/obs/clock.cpp",
+}
+
+# Word-boundary on the left so ScopedSignalCancellation / g_signal_token
+# never match; `(?:std::)?` catches both spellings of the call.
+RAW_SIGNAL_RE = re.compile(r"(?<![\w:])(?:std::)?(?:signal|sigaction)\s*\(")
+
+# The one translation unit allowed to install signal handlers: the
+# cancellation layer, which routes them into CancelTokens. Its unit test
+# is also exempt — it must install a marker handler to prove
+# ScopedSignalCancellation restores the previous one.
+RAW_SIGNAL_ALLOWLIST = {
+    "src/core/cancel.cpp",
+    "tests/core/cancel_test.cpp",
 }
 
 THROW_RE = re.compile(r"\bthrow\b")
@@ -130,11 +149,17 @@ def check_pragma_once(path: Path, text: str, findings: Findings) -> None:
 
 def check_line_rules(path: Path, text: str, findings: Findings,
                      in_lib: bool, throw_exempt: bool,
-                     chrono_exempt: bool) -> None:
+                     chrono_exempt: bool, signal_exempt: bool) -> None:
     code = strip_comments_and_strings(text)
     raw_lines = text.splitlines()
     for i, line in enumerate(code.splitlines(), start=1):
         raw = raw_lines[i - 1] if i <= len(raw_lines) else ""
+        if not signal_exempt and RAW_SIGNAL_RE.search(line):
+            findings.add(path, i, "no-raw-signal",
+                         "raw signal()/sigaction() is only allowed in "
+                         "src/core/cancel.cpp; route signals through a "
+                         "core::CancelToken (ScopedSignalCancellation)",
+                         raw)
         if DETERMINISM_RE.search(line):
             findings.add(path, i, "determinism",
                          "unseeded randomness / wall-clock source; thread "
@@ -222,7 +247,8 @@ def lint_paths(root: Path, paths: list[Path]) -> Findings:
             check_pragma_once(path, text, findings)
         check_line_rules(path, text, findings, in_lib,
                          rel in NO_THROW_ALLOWLIST,
-                         rel in CHRONO_ALLOWLIST)
+                         rel in CHRONO_ALLOWLIST,
+                         rel in RAW_SIGNAL_ALLOWLIST)
     check_cmake_sources(root, findings)
     return findings
 
