@@ -15,7 +15,7 @@
 
 #include "bench_common.h"
 #include "core/cancel.h"
-#include "obs/clock.h"
+#include "core/clock.h"
 
 using namespace sixgen;
 
@@ -43,9 +43,9 @@ bool SameOutput(const eval::PipelineResult& a, const eval::PipelineResult& b) {
 
 double RunOnce(const bench::World& world, const eval::PipelineConfig& config,
                eval::PipelineResult* out) {
-  const std::uint64_t start_ns = obs::MonotonicNanos();
+  const std::uint64_t start_ns = core::MonotonicNanos();
   *out = eval::RunSixGenPipeline(world.universe, world.seeds, config);
-  return static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9;
+  return static_cast<double>(core::MonotonicNanos() - start_ns) * 1e-9;
 }
 
 }  // namespace

@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "obs/clock.h"
+#include "core/clock.h"
 
 using namespace sixgen;
 
@@ -61,11 +61,11 @@ int main() {
     eval::PipelineConfig config = bench::MakePipelineConfig(
         bench::kDefaultBudget);
     config.jobs = jobs;
-    const std::uint64_t start_ns = obs::MonotonicNanos();
+    const std::uint64_t start_ns = core::MonotonicNanos();
     sample.result =
         eval::RunSixGenPipeline(world.universe, world.seeds, config);
     sample.wall_seconds =
-        static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9;
+        static_cast<double>(core::MonotonicNanos() - start_ns) * 1e-9;
     samples.push_back(std::move(sample));
   }
 

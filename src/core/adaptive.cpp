@@ -96,6 +96,9 @@ AdaptiveResult AdaptiveScan(std::span<const Address> seeds,
   auto remaining = [&]() -> U128 {
     return config.total_budget - result.probes_used;
   };
+  auto cancelled = [&config]() {
+    return config.cancel != nullptr && config.cancel->cancelled();
+  };
 
   // Per-region hit lists, so a late alias verdict can reclassify them.
   struct LiveRegion {
@@ -106,10 +109,15 @@ AdaptiveResult AdaptiveScan(std::span<const Address> seeds,
   for (unsigned generation = 0;
        generation < std::max(config.max_generations, 1u) && remaining() > 0;
        ++generation) {
+    if (cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     ++result.generations_run;
 
     // --- Generation: 6Gen proposes regions from the current seed set. ---
     Config gen_config = config.generator;
+    if (gen_config.cancel == nullptr) gen_config.cancel = config.cancel;
     gen_config.rng_seed = MixSeed(config.rng_seed, 0x9e11, generation);
     const U128 gen_budget = std::max<U128>(
         1, static_cast<U128>(static_cast<double>(remaining()) *
@@ -139,6 +147,10 @@ AdaptiveResult AdaptiveScan(std::span<const Address> seeds,
     // --- Adaptive scan: chunked probing with feedback decisions. ---
     bool made_progress = false;
     while (!active.empty() && remaining() > 0) {
+      if (cancelled()) {
+        result.cancelled = true;
+        break;  // the flush below finalizes still-active regions
+      }
       std::size_t pick = 0;
       if (config.scheduling == AdaptiveConfig::Scheduling::kGreedyHitRate) {
         for (std::size_t i = 1; i < active.size(); ++i) {

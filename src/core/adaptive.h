@@ -84,6 +84,12 @@ struct AdaptiveConfig {
   Config generator;
 
   std::uint64_t rng_seed = 0xada7'71fe;
+
+  /// Optional cooperative cancel: the generation and scheduling loops
+  /// poll it and wind down, keeping hits found so far
+  /// (AdaptiveResult::cancelled reports the early stop). The generator
+  /// inherits it through `generator.cancel` when that is unset.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Why a region stopped being probed.
@@ -119,6 +125,9 @@ struct AdaptiveResult {
   unsigned generations_run = 0;
   std::size_t regions_terminated_early = 0;
   std::size_t regions_aliased = 0;
+  /// True iff AdaptiveConfig::cancel tripped mid-run; hits found before
+  /// the stop are retained and still-active regions report kBudgetCut.
+  bool cancelled = false;
 };
 
 /// Runs the adaptive generation/scan loop against `probe` until the budget

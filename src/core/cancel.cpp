@@ -7,7 +7,7 @@
 namespace sixgen::core {
 
 Deadline Deadline::AfterSeconds(double seconds) {
-  const std::uint64_t now = obs::MonotonicNanos();
+  const std::uint64_t now = core::MonotonicNanos();
   if (seconds <= 0.0) return Deadline(true, now);
   return Deadline(true, now + static_cast<std::uint64_t>(seconds * 1e9));
 }
@@ -18,7 +18,7 @@ Deadline Deadline::AtNanos(std::uint64_t nanos) {
 
 double Deadline::RemainingSeconds() const {
   if (!set_) return 0.0;
-  const std::uint64_t now = obs::MonotonicNanos();
+  const std::uint64_t now = core::MonotonicNanos();
   if (now >= nanos_) return 0.0;
   return static_cast<double>(nanos_ - now) * 1e-9;
 }

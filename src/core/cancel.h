@@ -12,7 +12,7 @@
 //                 chain: a child token is cancelled when its parent is,
 //                 so one SIGINT token fans out to every worker.
 //   Deadline    — a wall-clock expiry on the obs monotonic clock
-//                 (src/obs/clock.h), so tests drive it with the fake
+//                 (src/core/clock.h), so tests drive it with the fake
 //                 clock. An unset Deadline never expires.
 //
 // Wall-clock deadlines are honest but nondeterministic: which iteration
@@ -31,7 +31,7 @@
 #include <atomic>
 #include <cstdint>
 
-#include "obs/clock.h"
+#include "core/clock.h"
 
 namespace sixgen::core {
 
@@ -46,13 +46,13 @@ enum class CancelReason : int {
 
 /// A wall-clock deadline on the obs monotonic clock. Default-constructed
 /// deadlines are unset and never expire; tests install a fake clock
-/// (obs::SetMonotonicClockForTest) to drive expiry deterministically.
+/// (core::SetMonotonicClockForTest) to drive expiry deterministically.
 class Deadline {
  public:
   /// Unset: IsSet() false, Expired() always false.
   Deadline() = default;
 
-  /// Expires `seconds` from now (now = obs::MonotonicNanos()). A
+  /// Expires `seconds` from now (now = core::MonotonicNanos()). A
   /// non-positive duration yields an already-expired deadline.
   static Deadline AfterSeconds(double seconds);
 
@@ -62,7 +62,7 @@ class Deadline {
   bool IsSet() const { return set_; }
 
   /// True iff set and the clock has reached the expiry point.
-  bool Expired() const { return set_ && obs::MonotonicNanos() >= nanos_; }
+  bool Expired() const { return set_ && core::MonotonicNanos() >= nanos_; }
 
   /// Seconds until expiry (clamped at 0); +inf shape for unset deadlines
   /// is avoided — callers should check IsSet() first.

@@ -1,8 +1,8 @@
-#include "obs/clock.h"
+#include "core/clock.h"
 
 #include <chrono>  // sixgen-lint: allow(no-chrono-in-src) — the one shim
 
-namespace sixgen::obs {
+namespace sixgen::core {
 
 namespace {
 MonotonicFn g_override = nullptr;
@@ -23,4 +23,4 @@ std::uint64_t UnixSeconds() {
 
 void SetMonotonicClockForTest(MonotonicFn fn) { g_override = fn; }
 
-}  // namespace sixgen::obs
+}  // namespace sixgen::core

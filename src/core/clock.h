@@ -1,8 +1,11 @@
-// The observability clock shim — the only sanctioned wall-clock source in
-// library code. tools/sixgen_lint.py (rule no-chrono-in-src) rejects a
-// direct `#include <chrono>` anywhere else under src/, so every duration
-// the system reports flows through here and stays mockable: tests install
-// a fake monotonic clock and get bit-stable span timings.
+// The clock shim — the only sanctioned wall-clock source in library code.
+// tools/sixgen_lint.py (rule no-chrono-in-src) rejects a direct
+// `#include <chrono>` anywhere else under src/, so every duration the
+// system reports flows through here and stays mockable: tests install a
+// fake monotonic clock and get bit-stable span timings. It lives in core/
+// (the foundation layer of the module DAG, docs/static-analysis.md) so
+// both the cancellation layer (core::Deadline) and the observability
+// layer above it can read time without a layering back-edge.
 //
 // Two time bases, deliberately separate:
 //   MonotonicNanos — steady, for durations (spans, phase timings). Never
@@ -14,7 +17,7 @@
 
 #include <cstdint>
 
-namespace sixgen::obs {
+namespace sixgen::core {
 
 /// Nanoseconds on a monotonic clock (arbitrary epoch).
 std::uint64_t MonotonicNanos();
@@ -28,4 +31,4 @@ std::uint64_t UnixSeconds();
 using MonotonicFn = std::uint64_t (*)();
 void SetMonotonicClockForTest(MonotonicFn fn);
 
-}  // namespace sixgen::obs
+}  // namespace sixgen::core

@@ -35,13 +35,17 @@ enum class StatusCode {
 std::string_view StatusCodeName(StatusCode code);
 
 /// A success-or-error value. Default-constructed Status is OK.
-class Status {
+/// [[nodiscard]] on the class makes every by-value return checked: a caller
+/// that drops a Status drops the only record that the operation failed, so
+/// the build (-Werror=unused-result) and tools/analyze (status-discipline
+/// checker) both reject it.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
+  [[nodiscard]] static Status Ok() { return Status(); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -59,29 +63,29 @@ class Status {
   std::string message_;
 };
 
-inline Status OkStatus() { return Status(); }
-inline Status InvalidArgumentError(std::string message) {
+[[nodiscard]] inline Status OkStatus() { return Status(); }
+[[nodiscard]] inline Status InvalidArgumentError(std::string message) {
   return Status(StatusCode::kInvalidArgument, std::move(message));
 }
-inline Status NotFoundError(std::string message) {
+[[nodiscard]] inline Status NotFoundError(std::string message) {
   return Status(StatusCode::kNotFound, std::move(message));
 }
-inline Status UnavailableError(std::string message) {
+[[nodiscard]] inline Status UnavailableError(std::string message) {
   return Status(StatusCode::kUnavailable, std::move(message));
 }
-inline Status DataLossError(std::string message) {
+[[nodiscard]] inline Status DataLossError(std::string message) {
   return Status(StatusCode::kDataLoss, std::move(message));
 }
-inline Status FailedPreconditionError(std::string message) {
+[[nodiscard]] inline Status FailedPreconditionError(std::string message) {
   return Status(StatusCode::kFailedPrecondition, std::move(message));
 }
-inline Status AbortedError(std::string message) {
+[[nodiscard]] inline Status AbortedError(std::string message) {
   return Status(StatusCode::kAborted, std::move(message));
 }
-inline Status DeadlineExceededError(std::string message) {
+[[nodiscard]] inline Status DeadlineExceededError(std::string message) {
   return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
-inline Status InternalError(std::string message) {
+[[nodiscard]] inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
 }
 
@@ -89,7 +93,7 @@ inline Status InternalError(std::string message) {
 /// Accessing value() on an error CHECK-fails — call ok() first, or use
 /// value_or() when a fallback exists.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-*)
   Result(Status status) : status_(std::move(status)) {  // NOLINT

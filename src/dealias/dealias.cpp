@@ -33,12 +33,18 @@ Address RandomAddressIn(const Prefix& prefix, std::mt19937_64& rng) {
   return Address::FromU128(prefix.network().ToU128() | value);
 }
 
+bool Cancelled(const DealiasConfig& config) {
+  return config.cancel != nullptr && config.cancel->cancelled();
+}
+
 }  // namespace
 
 bool TestPrefixAliased(scanner::SimulatedScanner& scanner,
                        const Prefix& prefix, const DealiasConfig& config,
                        std::mt19937_64& rng) {
   const unsigned n = std::max(config.addresses_per_prefix, 1u);
+  // sixgen-analyze: no-cancel(bounded: at most addresses_per_prefix *
+  // probes_per_address probes, ~9 by default; callers poll per prefix)
   for (unsigned i = 0; i < n; ++i) {
     const Address probe_addr = RandomAddressIn(prefix, rng);
     bool responded = false;
@@ -66,6 +72,10 @@ DealiasResult Dealias(scanner::SimulatedScanner& scanner,
   const std::vector<Prefix> prefixes = HitPrefixes(hits, config.prefix_len);
   result.prefixes_tested = prefixes.size();
   for (const Prefix& prefix : prefixes) {
+    if (Cancelled(config)) {
+      result.cancelled = true;
+      break;
+    }
     if (TestPrefixAliased(scanner, prefix, config, rng)) {
       aliased.insert(prefix);
       result.aliased_prefixes.push_back(prefix);
@@ -98,6 +108,10 @@ DealiasResult Dealias(scanner::SimulatedScanner& scanner,
     }
 
     for (const auto& [asn, count] : ranked) {
+      if (Cancelled(config)) {
+        result.cancelled = true;
+        break;
+      }
       // Sample this AS's hit prefixes at the finer granularity; an AS is
       // excluded if a majority of its tested fine prefixes alias.
       std::vector<Address> as_hits;
@@ -109,6 +123,8 @@ DealiasResult Dealias(scanner::SimulatedScanner& scanner,
       auto fine = HitPrefixes(as_hits, config.refine_prefix_len);
       if (fine.size() > 16) fine.resize(16);  // manual-inspection budget
       std::size_t fine_aliased = 0;
+      // sixgen-analyze: no-cancel(bounded: capped at 16 fine prefixes per
+      // AS by the manual-inspection budget; the AS loop above polls)
       for (const Prefix& prefix : fine) {
         if (TestPrefixAliased(scanner, prefix, config, rng)) ++fine_aliased;
       }
@@ -139,6 +155,7 @@ std::vector<GranularityResult> SweepAliasGranularity(
   std::vector<GranularityResult> results;
   std::mt19937_64 rng(config.rng_seed ^ 0x5c33f);
   for (unsigned len : prefix_lens) {
+    if (Cancelled(config)) break;  // completed levels stay valid
     GranularityResult level;
     level.prefix_len = len;
     auto prefixes = HitPrefixes(hits, len);
@@ -149,11 +166,13 @@ std::vector<GranularityResult> SweepAliasGranularity(
     level.prefixes_tested = prefixes.size();
     std::unordered_set<Prefix, ip6::PrefixHash> aliased;
     for (const Prefix& prefix : prefixes) {
+      if (Cancelled(config)) break;
       if (TestPrefixAliased(scanner, prefix, config, rng)) {
         ++level.prefixes_aliased;
         aliased.insert(prefix);
       }
     }
+    if (Cancelled(config)) break;  // drop the half-tested level
     for (const Address& hit : hits) {
       if (aliased.contains(Prefix::Of(hit, len))) ++level.hits_covered;
     }

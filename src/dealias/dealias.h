@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "core/cancel.h"
 #include "ip6/address.h"
 #include "ip6/prefix.h"
 #include "routing/routing_table.h"
@@ -33,6 +34,10 @@ struct DealiasConfig {
   unsigned refine_top_ases = 10;
   unsigned refine_prefix_len = 112;
   std::uint64_t rng_seed = 0xa11a5;
+  /// Optional cooperative cancel: the prefix loops poll it between alias
+  /// tests and wind down early, leaving DealiasResult::cancelled set.
+  /// Untested hits are conservatively kept as non-aliased.
+  const core::CancelToken* cancel = nullptr;
 };
 
 /// Split of a hit list into aliased and non-aliased parts.
@@ -48,6 +53,10 @@ struct DealiasResult {
   std::vector<routing::Asn> excluded_ases;
 
   std::size_t probes_sent = 0;
+
+  /// True iff DealiasConfig::cancel tripped mid-run: the classification is
+  /// a prefix of the full pass and untested hits were kept as non-aliased.
+  bool cancelled = false;
 
   double AliasedPrefixFraction() const {
     return prefixes_tested == 0

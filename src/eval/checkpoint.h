@@ -65,7 +65,8 @@ std::string EncodeCheckpointRecord(const CheckpointRecord& record,
 
 /// Parses one record line, auto-detecting v2 vs v3 by section count. A v3
 /// line whose CRC does not match fails with kDataLoss ("crc mismatch").
-core::Result<CheckpointRecord> DecodeCheckpointRecord(std::string_view line);
+[[nodiscard]] core::Result<CheckpointRecord> DecodeCheckpointRecord(
+    std::string_view line);
 
 /// Everything a resume needs from an existing checkpoint file.
 struct CheckpointLoad {
@@ -91,11 +92,10 @@ class CheckpointWriter {
  public:
   /// Opens `path`. `fresh` truncates and writes a new header; otherwise
   /// appends to the existing file.
-  static core::Result<CheckpointWriter> Open(const std::string& path,
-                                             std::uint64_t fingerprint,
-                                             bool fresh);
+  [[nodiscard]] static core::Result<CheckpointWriter> Open(
+      const std::string& path, std::uint64_t fingerprint, bool fresh);
 
-  core::Status Append(const CheckpointRecord& record);
+  [[nodiscard]] core::Status Append(const CheckpointRecord& record);
 
   CheckpointWriter(CheckpointWriter&&) = default;
   CheckpointWriter& operator=(CheckpointWriter&&) = default;

@@ -54,7 +54,7 @@ struct CdnDataset {
 /// structure spectrum of the paper's CDNs: 1 unpredictable, 2 hard,
 /// 3 intermediate, 4 highly structured + extensively aliased, 5 structured.
 /// kInvalidArgument if `index` is out of range.
-core::Result<CdnDataset> TryMakeCdnDataset(unsigned index,
+[[nodiscard]] core::Result<CdnDataset> TryMakeCdnDataset(unsigned index,
                                            std::uint64_t rng_seed,
                                            std::size_t dataset_size = 10'000);
 
@@ -72,7 +72,7 @@ struct TrainTestSplit {
 };
 
 /// kInvalidArgument if `groups` < 2.
-core::Result<TrainTestSplit> TrySplitTrainTest(
+[[nodiscard]] core::Result<TrainTestSplit> TrySplitTrainTest(
     std::vector<ip6::Address> addresses, std::size_t groups,
     std::uint64_t rng_seed);
 
@@ -86,7 +86,7 @@ TrainTestSplit SplitTrainTest(std::vector<ip6::Address> addresses,
 /// rest. Returns one TrainTestSplit per fold (all folds share one
 /// shuffle).
 /// kInvalidArgument if `groups` < 2.
-core::Result<std::vector<TrainTestSplit>> TryInverseKFold(
+[[nodiscard]] core::Result<std::vector<TrainTestSplit>> TryInverseKFold(
     std::vector<ip6::Address> addresses, std::size_t groups,
     std::uint64_t rng_seed);
 

@@ -11,7 +11,7 @@
 #include "core/contracts.h"
 #include "eval/checkpoint.h"
 #include "faultnet/fault_channel.h"
-#include "obs/clock.h"
+#include "core/clock.h"
 #include "obs/obs.h"
 
 namespace sixgen::eval {
@@ -111,10 +111,10 @@ CheckpointRecord ProcessPrefix(const Universe& universe,
 
     // generation_seconds is pipeline *output* (CSV column), not just a
     // metric, so it reads the obs clock shim directly rather than a macro.
-    const std::uint64_t start_ns = obs::MonotonicNanos();
+    const std::uint64_t start_ns = core::MonotonicNanos();
     core::GenerationResult gen = core::Generate(group.seeds, gen_config);
     outcome.generation_seconds =
-        static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9;
+        static_cast<double>(core::MonotonicNanos() - start_ns) * 1e-9;
 
     outcome.target_count = gen.targets.size();
     outcome.cluster_stats = gen.stats;
@@ -346,12 +346,12 @@ PipelineResult RunSixGenPipeline(const Universe& universe,
             }
             slots[task.slot].started = true;
           }
-          const std::uint64_t start_ns = obs::MonotonicNanos();
+          const std::uint64_t start_ns = core::MonotonicNanos();
           CheckpointRecord record = ProcessPrefix(
               universe, groups[task.group], task.budget, config, workers,
               &run_token);
           const double elapsed =
-              static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9;
+              static_cast<double>(core::MonotonicNanos() - start_ns) * 1e-9;
           record.outcome.elapsed_seconds = elapsed;
           SIXGEN_OBS_HISTOGRAM_OBSERVE("pipeline.prefix_seconds", elapsed);
           SIXGEN_OBS_COUNTER_ADD("pipeline.prefixes_processed", 1);
@@ -411,11 +411,11 @@ PipelineResult RunSixGenPipeline(const Universe& universe,
         result.partial = true;
         continue;
       }
-      const std::uint64_t start_ns = obs::MonotonicNanos();
+      const std::uint64_t start_ns = core::MonotonicNanos();
       record = ProcessPrefix(universe, groups[task.group], task.budget,
                              config, /*workers=*/1, &run_token);
       record.outcome.elapsed_seconds =
-          static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9;
+          static_cast<double>(core::MonotonicNanos() - start_ns) * 1e-9;
       SIXGEN_OBS_HISTOGRAM_OBSERVE("pipeline.prefix_seconds",
                                    record.outcome.elapsed_seconds);
       SIXGEN_OBS_COUNTER_ADD("pipeline.prefixes_processed", 1);
@@ -491,8 +491,13 @@ PipelineResult RunSixGenPipeline(const Universe& universe,
     SIXGEN_OBS_SPAN(dealias_span, "pipeline.dealias");
     ProbePath path =
         MakeProbePath(universe, config, kDealiasPerturbation, config.scan);
+    // The dealias pass polls the same run token as the workers so SIGINT
+    // (or the run deadline) also interrupts alias classification.
+    dealias::DealiasConfig dealias_config = config.dealias;
+    dealias_config.cancel = &run_token;
     result.dealias = dealias::Dealias(*path.scanner, universe.routing(),
-                                      result.raw_hits, config.dealias);
+                                      result.raw_hits, dealias_config);
+    if (result.dealias.cancelled) result.partial = true;
     result.total_probes += result.dealias.probes_sent;
     result.faults += path.scanner->TotalFaults();
     SIXGEN_OBS_SPAN_ATTR(

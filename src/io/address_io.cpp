@@ -6,37 +6,6 @@
 #include <sstream>
 
 namespace sixgen::io {
-namespace {
-
-// Strips comments and surrounding whitespace; empty result means "skip".
-std::string_view CleanLine(std::string_view line) {
-  const auto hash = line.find('#');
-  if (hash != std::string_view::npos) line = line.substr(0, hash);
-  const auto begin = line.find_first_not_of(" \t\r");
-  if (begin == std::string_view::npos) return {};
-  const auto end = line.find_last_not_of(" \t\r");
-  return line.substr(begin, end - begin + 1);
-}
-
-template <typename T, typename ParseFn>
-LoadResult<T> ReadLines(std::istream& in, ParseFn&& parse) {
-  LoadResult<T> result;
-  std::string line;
-  std::size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    const std::string_view cleaned = CleanLine(line);
-    if (cleaned.empty()) continue;
-    if (auto value = parse(cleaned)) {
-      result.values.push_back(std::move(*value));
-    } else {
-      result.errors.push_back({lineno, std::string(cleaned)});
-    }
-  }
-  return result;
-}
-
-}  // namespace
 
 LoadResult<ip6::Address> ReadAddresses(std::istream& in) {
   return ReadLines<ip6::Address>(
@@ -86,54 +55,6 @@ LoadResult<ip6::NybbleRange> ReadRangesFromString(std::string_view text) {
 void WriteRanges(std::ostream& out, std::span<const ip6::NybbleRange> ranges) {
   for (const ip6::NybbleRange& range : ranges) {
     out << range.ToString() << '\n';
-  }
-}
-
-namespace {
-
-std::optional<simnet::HostType> ParseHostType(std::string_view text) {
-  if (text == "web") return simnet::HostType::kWeb;
-  if (text == "ns") return simnet::HostType::kNameServer;
-  if (text == "mail") return simnet::HostType::kMail;
-  if (text == "generic") return simnet::HostType::kGeneric;
-  return std::nullopt;
-}
-
-std::optional<simnet::SeedRecord> ParseSeedRecord(std::string_view line) {
-  const auto tab = line.find('\t');
-  simnet::SeedRecord record;
-  if (tab == std::string_view::npos) {
-    // Bare address: defaults to generic provenance.
-    auto addr = ip6::Address::Parse(line);
-    if (!addr) return std::nullopt;
-    record.addr = *addr;
-    return record;
-  }
-  auto addr = ip6::Address::Parse(CleanLine(line.substr(0, tab)));
-  auto type = ParseHostType(CleanLine(line.substr(tab + 1)));
-  if (!addr || !type) return std::nullopt;
-  record.addr = *addr;
-  record.type = *type;
-  return record;
-}
-
-}  // namespace
-
-LoadResult<simnet::SeedRecord> ReadSeedRecords(std::istream& in) {
-  return ReadLines<simnet::SeedRecord>(in, ParseSeedRecord);
-}
-
-LoadResult<simnet::SeedRecord> ReadSeedRecordsFromString(
-    std::string_view text) {
-  std::istringstream in{std::string(text)};
-  return ReadSeedRecords(in);
-}
-
-void WriteSeedRecords(std::ostream& out,
-                      std::span<const simnet::SeedRecord> seeds) {
-  for (const simnet::SeedRecord& seed : seeds) {
-    out << seed.addr.ToString() << '\t' << simnet::HostTypeName(seed.type)
-        << '\n';
   }
 }
 

@@ -7,35 +7,17 @@
 // NybbleRange::Parse.
 #pragma once
 
-#include <cstddef>
 #include <iosfwd>
 #include <span>
 #include <string>
 #include <string_view>
-#include <vector>
 
 #include "core/status.h"
+#include "io/lines.h"
 #include "ip6/address.h"
 #include "ip6/nybble_range.h"
-#include "simnet/universe.h"
 
 namespace sixgen::io {
-
-/// A parse failure: 1-based line number and the offending text.
-struct ParseError {
-  std::size_t line = 0;
-  std::string text;
-};
-
-/// Result of loading a list: the parsed values plus any malformed lines
-/// (parsing is permissive; callers decide whether errors are fatal).
-template <typename T>
-struct LoadResult {
-  std::vector<T> values;
-  std::vector<ParseError> errors;
-
-  bool ok() const { return errors.empty(); }
-};
 
 /// Parses an address list from a stream: one address per line, '#' starts
 /// a comment, surrounding whitespace and blank lines ignored.
@@ -46,15 +28,15 @@ LoadResult<ip6::Address> ReadAddressesFromString(std::string_view text);
 
 /// Loads from a file; kNotFound if the file cannot be opened. Malformed
 /// lines are still reported inside the LoadResult, not as a Status error.
-core::Result<LoadResult<ip6::Address>> ReadAddressFile(
+[[nodiscard]] core::Result<LoadResult<ip6::Address>> ReadAddressFile(
     const std::string& path);
 
 /// Writes one address per line (canonical compressed form).
 void WriteAddresses(std::ostream& out, std::span<const ip6::Address> addrs);
 
 /// Writes to a file; kUnavailable on I/O failure.
-core::Status WriteAddressFile(const std::string& path,
-                              std::span<const ip6::Address> addrs);
+[[nodiscard]] core::Status WriteAddressFile(
+    const std::string& path, std::span<const ip6::Address> addrs);
 
 /// Parses a range list (wildcard syntax, one range per line, comments as
 /// above).
@@ -64,12 +46,7 @@ LoadResult<ip6::NybbleRange> ReadRangesFromString(std::string_view text);
 /// Writes one range per line in wildcard syntax.
 void WriteRanges(std::ostream& out, std::span<const ip6::NybbleRange> ranges);
 
-/// Seed records with host-type provenance (the §6.7.1 experiments need the
-/// DNS record type a seed came from). TSV: `address<TAB>type`, where type
-/// is one of web/ns/mail/generic; comments and blanks as above.
-LoadResult<simnet::SeedRecord> ReadSeedRecords(std::istream& in);
-LoadResult<simnet::SeedRecord> ReadSeedRecordsFromString(std::string_view text);
-void WriteSeedRecords(std::ostream& out,
-                      std::span<const simnet::SeedRecord> seeds);
+// Seed-record TSV I/O lives in simnet/seed_io.h: SeedRecord is a simnet
+// domain type, and the module DAG places io below simnet.
 
 }  // namespace sixgen::io

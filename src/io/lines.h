@@ -1,0 +1,66 @@
+// Generic line-oriented parsing toolkit shared by every text format the
+// system reads: one value per line, '#' comments, blank lines ignored —
+// the convention of the Gasser et al. IPv6 hitlist and ZMap target lists.
+//
+// This header is the io module's lowest layer on purpose: domain modules
+// above io in the module DAG (docs/static-analysis.md) — e.g. simnet's
+// seed-record reader — reuse LoadResult/ReadLines without io having to
+// know their record types, which would be a layering back-edge.
+#pragma once
+
+#include <cstddef>
+#include <istream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sixgen::io {
+
+/// A parse failure: 1-based line number and the offending text.
+struct ParseError {
+  std::size_t line = 0;
+  std::string text;
+};
+
+/// Result of loading a list: the parsed values plus any malformed lines
+/// (parsing is permissive; callers decide whether errors are fatal).
+template <typename T>
+struct LoadResult {
+  std::vector<T> values;
+  std::vector<ParseError> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+/// Strips comments and surrounding whitespace; empty result means "skip".
+inline std::string_view CleanLine(std::string_view line) {
+  const auto hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  const auto begin = line.find_first_not_of(" \t\r");
+  if (begin == std::string_view::npos) return {};
+  const auto end = line.find_last_not_of(" \t\r");
+  return line.substr(begin, end - begin + 1);
+}
+
+/// Reads every non-empty line through `parse` (std::optional<T> return);
+/// lines that fail to parse are collected as errors, not dropped silently.
+template <typename T, typename ParseFn>
+LoadResult<T> ReadLines(std::istream& in, ParseFn&& parse) {
+  LoadResult<T> result;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string_view cleaned = CleanLine(line);
+    if (cleaned.empty()) continue;
+    if (auto value = parse(cleaned)) {
+      result.values.push_back(std::move(*value));
+    } else {
+      result.errors.push_back({lineno, std::string(cleaned)});
+    }
+  }
+  return result;
+}
+
+}  // namespace sixgen::io

@@ -10,7 +10,7 @@
 #define SIXGEN_HAVE_RUSAGE 0
 #endif
 
-#include "obs/clock.h"
+#include "core/clock.h"
 #include "obs/json.h"
 #include "obs/manifest.h"
 #include "obs/registry.h"
@@ -55,7 +55,7 @@ std::string BenchRecordJson(const BenchRecord& record) {
   out.Field("build_type", BuildType());
   out.Field("sanitizers", Sanitizers());
   out.Field("obs_enabled", ObsInstrumentationCompiledIn());
-  out.Field("unix_seconds", UnixSeconds());
+  out.Field("unix_seconds", core::UnixSeconds());
   json::ObjectWriter extra;
   for (const auto& [key, value] : record.extra) {
     extra.Field(key, value);
@@ -102,7 +102,7 @@ std::string ValidateBenchRecordJson(std::string_view text) {
 }
 
 BenchReporter::BenchReporter(std::string name)
-    : name_(std::move(name)), start_ns_(MonotonicNanos()) {}
+    : name_(std::move(name)), start_ns_(core::MonotonicNanos()) {}
 
 void BenchReporter::Extra(std::string_view key, double value) {
   extra_[std::string(key)] = value;
@@ -124,7 +124,7 @@ BenchReporter::~BenchReporter() {
   BenchRecord record;
   record.name = name_;
   record.wall_seconds =
-      static_cast<double>(MonotonicNanos() - start_ns_) * 1e-9;
+      static_cast<double>(core::MonotonicNanos() - start_ns_) * 1e-9;
   record.peak_rss_bytes = PeakRssBytes();
   Registry& registry = Registry::Global();
   record.probes = explicit_probes_ >= 0

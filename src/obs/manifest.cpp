@@ -2,7 +2,7 @@
 
 #include <cstdio>
 
-#include "obs/clock.h"
+#include "core/clock.h"
 #include "obs/json.h"
 #include "obs/obs.h"
 
@@ -48,7 +48,7 @@ std::string ManifestJson(const Manifest& manifest) {
   out.Field("build_type", BuildType());
   out.Field("sanitizers", Sanitizers());
   out.Field("obs_enabled", ObsInstrumentationCompiledIn());
-  out.Field("unix_seconds", UnixSeconds());
+  out.Field("unix_seconds", core::UnixSeconds());
   if (!manifest.notes.empty()) out.Field("notes", manifest.notes);
   return out.Finish();
 }

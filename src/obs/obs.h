@@ -17,7 +17,7 @@
 // The obs *classes* (clock, registry, trace sink, bench telemetry) exist in
 // both modes; only this macro layer is compiled out. Code that needs a
 // timing for its *output* (e.g. PrefixOutcome::generation_seconds) must use
-// obs::MonotonicNanos() directly, never a macro.
+// core::MonotonicNanos() directly, never a macro.
 #pragma once
 
 #include "obs/registry.h"

@@ -2,7 +2,7 @@
 
 #include <atomic>
 
-#include "obs/clock.h"
+#include "core/clock.h"
 #include "obs/json.h"
 #include "obs/trace.h"
 
@@ -20,13 +20,13 @@ ScopedSpan::ScopedSpan(std::string_view name) : parent_(t_current_span) {
   record_.name.assign(name);
   record_.id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
   record_.parent_id = t_current_span_id;
-  record_.start_ns = MonotonicNanos();
+  record_.start_ns = core::MonotonicNanos();
   t_current_span = this;
   t_current_span_id = record_.id;
 }
 
 ScopedSpan::~ScopedSpan() {
-  record_.end_ns = MonotonicNanos();
+  record_.end_ns = core::MonotonicNanos();
   t_current_span = parent_;
   t_current_span_id = parent_ == nullptr ? 0 : parent_->record_.id;
   if (TraceSink* sink = GlobalSink()) sink->WriteSpan(record_);
@@ -49,7 +49,7 @@ void ScopedSpan::AddVirtualSeconds(double seconds) {
 }
 
 std::uint64_t ScopedSpan::ElapsedNanos() const {
-  const std::uint64_t now = MonotonicNanos();
+  const std::uint64_t now = core::MonotonicNanos();
   return now >= record_.start_ns ? now - record_.start_ns : 0;
 }
 

@@ -4,7 +4,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "obs/clock.h"
+#include "core/clock.h"
 
 namespace sixgen::obs {
 
@@ -80,7 +80,7 @@ void TraceSink::WriteEvent(std::string_view name,
   out.Field("type", "event");
   out.Field("name", name);
   out.Field("span", CurrentSpanId());
-  out.Field("ns", MonotonicNanos());
+  out.Field("ns", core::MonotonicNanos());
   out.RawField("fields", fields_json);
   WriteLine(out.Finish());
 }

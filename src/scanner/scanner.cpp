@@ -110,6 +110,8 @@ bool SimulatedScanner::Probe(const Address& addr) {
   const std::size_t probes_before = total_probes_;
   bool hit = false;
   double backoff = config_.backoff_initial_seconds;
+  // sixgen-analyze: no-cancel(bounded: at most config_.attempts probes for
+  // one target; Scan() polls cancel/deadline between targets)
   for (unsigned i = 0; i < attempts && !hit; ++i) {
     if (i > 0) {
       ++total_retries_;

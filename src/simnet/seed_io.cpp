@@ -1,0 +1,53 @@
+#include "simnet/seed_io.h"
+
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+namespace sixgen::simnet {
+namespace {
+
+std::optional<HostType> ParseHostType(std::string_view text) {
+  if (text == "web") return HostType::kWeb;
+  if (text == "ns") return HostType::kNameServer;
+  if (text == "mail") return HostType::kMail;
+  if (text == "generic") return HostType::kGeneric;
+  return std::nullopt;
+}
+
+std::optional<SeedRecord> ParseSeedRecord(std::string_view line) {
+  const auto tab = line.find('\t');
+  SeedRecord record;
+  if (tab == std::string_view::npos) {
+    // Bare address: defaults to generic provenance.
+    auto addr = ip6::Address::Parse(line);
+    if (!addr) return std::nullopt;
+    record.addr = *addr;
+    return record;
+  }
+  auto addr = ip6::Address::Parse(io::CleanLine(line.substr(0, tab)));
+  auto type = ParseHostType(io::CleanLine(line.substr(tab + 1)));
+  if (!addr || !type) return std::nullopt;
+  record.addr = *addr;
+  record.type = *type;
+  return record;
+}
+
+}  // namespace
+
+io::LoadResult<SeedRecord> ReadSeedRecords(std::istream& in) {
+  return io::ReadLines<SeedRecord>(in, ParseSeedRecord);
+}
+
+io::LoadResult<SeedRecord> ReadSeedRecordsFromString(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  return ReadSeedRecords(in);
+}
+
+void WriteSeedRecords(std::ostream& out, std::span<const SeedRecord> seeds) {
+  for (const SeedRecord& seed : seeds) {
+    out << seed.addr.ToString() << '\t' << HostTypeName(seed.type) << '\n';
+  }
+}
+
+}  // namespace sixgen::simnet

@@ -1,0 +1,30 @@
+// Text I/O for seed records with host-type provenance (the §6.7.1
+// experiments need the DNS record type a seed came from). TSV:
+// `address<TAB>type`, where type is one of web/ns/mail/generic; '#'
+// comments and blank lines ignored, as for every list format (io/lines.h).
+//
+// Lives in simnet/, not io/: SeedRecord is a simnet domain type, and the
+// module DAG (docs/static-analysis.md) places io below simnet — the domain
+// layer pulls in the parsing toolkit, never the other way around.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string_view>
+
+#include "io/lines.h"
+#include "simnet/universe.h"
+
+namespace sixgen::simnet {
+
+/// Parses seed records from a stream; bare addresses default to generic
+/// provenance. Malformed lines are reported in the LoadResult.
+io::LoadResult<SeedRecord> ReadSeedRecords(std::istream& in);
+
+/// Convenience: parses from a string.
+io::LoadResult<SeedRecord> ReadSeedRecordsFromString(std::string_view text);
+
+/// Writes one `address<TAB>type` record per line.
+void WriteSeedRecords(std::ostream& out, std::span<const SeedRecord> seeds);
+
+}  // namespace sixgen::simnet

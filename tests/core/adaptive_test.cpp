@@ -259,6 +259,44 @@ TEST(AdaptiveScan, DeterministicForDeterministicProber) {
   EXPECT_EQ(run(), run());
 }
 
+TEST(AdaptiveScan, PreCancelledTokenStopsBeforeAnyProbe) {
+  const ToyWorld world = DenseWorld(200);
+  const auto seeds = SomeSeeds(world, 20, 9);
+  CancelToken token;
+  token.Cancel();
+  AdaptiveConfig config;
+  config.total_budget = 3000;
+  config.cancel = &token;
+  const AdaptiveResult result = AdaptiveScan(seeds, world.Prober(), config);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_EQ(result.generations_run, 0u);
+  EXPECT_EQ(result.probes_used, U128{0});
+}
+
+TEST(AdaptiveScan, MidRunCancelKeepsHitsFoundSoFar) {
+  const ToyWorld world = DenseWorld(400);
+  const auto seeds = SomeSeeds(world, 40, 10);
+  CancelToken token;
+  AdaptiveConfig config;
+  config.total_budget = 100'000;
+  config.cancel = &token;
+  // Cancel from inside the prober after a fixed number of probes: the
+  // scheduling loop observes the token on its next pass.
+  std::size_t sent = 0;
+  const ProbeFn world_probe = world.Prober();
+  ProbeFn probe = [&](const Address& addr) {
+    if (++sent == 500) token.Cancel();
+    return world_probe(addr);
+  };
+  const AdaptiveResult result = AdaptiveScan(seeds, probe, config);
+  EXPECT_TRUE(result.cancelled);
+  // Wound down long before the 100k budget.
+  EXPECT_LT(result.probes_used, U128{1000});
+  for (const RegionOutcome& region : result.regions) {
+    EXPECT_NE(region.status, RegionStatus::kActive);
+  }
+}
+
 TEST(AdaptiveScan, RegionOutcomesAreConsistent) {
   const ToyWorld world = DenseWorld(300);
   const auto seeds = SomeSeeds(world, 50, 7);

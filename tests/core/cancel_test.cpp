@@ -9,7 +9,7 @@
 
 #include <csignal>
 
-#include "obs/clock.h"
+#include "core/clock.h"
 
 namespace sixgen::core {
 namespace {
@@ -21,9 +21,9 @@ std::uint64_t FakeNanos() { return g_fake_nanos; }
 struct FakeClock {
   explicit FakeClock(std::uint64_t start = 0) {
     g_fake_nanos = start;
-    obs::SetMonotonicClockForTest(&FakeNanos);
+    core::SetMonotonicClockForTest(&FakeNanos);
   }
-  ~FakeClock() { obs::SetMonotonicClockForTest(nullptr); }
+  ~FakeClock() { core::SetMonotonicClockForTest(nullptr); }
 };
 
 TEST(CancelTokenTest, DefaultIsNotCancelled) {

@@ -246,6 +246,61 @@ TEST(SweepAliasGranularity, LevelCapBoundsProbingCost) {
   EXPECT_LE(sweep[0].prefixes_tested, 5u);
 }
 
+TEST(Dealias, PreCancelledTokenShortCircuitsButConservesHits) {
+  const auto universe = TestUniverse();
+  scanner::SimulatedScanner scanner(universe, {});
+  std::vector<Address> hits;
+  for (const simnet::Host& h : universe.hosts()) hits.push_back(h.addr);
+
+  core::CancelToken token;
+  token.Cancel();
+  DealiasConfig config;
+  config.cancel = &token;
+  const DealiasResult result =
+      Dealias(scanner, universe.routing(), hits, config);
+
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_TRUE(result.aliased_prefixes.empty());
+  // Untested hits stay in the output, conservatively as non-aliased.
+  EXPECT_EQ(result.aliased_hits.size() + result.non_aliased_hits.size(),
+            hits.size());
+  EXPECT_EQ(result.probes_sent, 0u);
+}
+
+TEST(Dealias, UncancelledTokenDoesNotChangeTheResult) {
+  const auto universe = TestUniverse();
+  scanner::SimulatedScanner plain_scanner(universe, {});
+  scanner::SimulatedScanner token_scanner(universe, {});
+  std::vector<Address> hits;
+  for (const simnet::Host& h : universe.hosts()) hits.push_back(h.addr);
+
+  core::CancelToken token;
+  DealiasConfig with_token;
+  with_token.cancel = &token;
+  const DealiasResult a = Dealias(plain_scanner, universe.routing(), hits, {});
+  const DealiasResult b =
+      Dealias(token_scanner, universe.routing(), hits, with_token);
+  EXPECT_FALSE(b.cancelled);
+  EXPECT_EQ(a.aliased_hits.size(), b.aliased_hits.size());
+  EXPECT_EQ(a.non_aliased_hits.size(), b.non_aliased_hits.size());
+  EXPECT_EQ(a.probes_sent, b.probes_sent);
+}
+
+TEST(SweepAliasGranularity, CancelledTokenStopsTheSweep) {
+  const auto universe = TestUniverse();
+  scanner::SimulatedScanner scanner(universe, {});
+  std::vector<Address> hits;
+  for (const simnet::Host& h : universe.hosts()) hits.push_back(h.addr);
+
+  core::CancelToken token;
+  token.Cancel();
+  DealiasConfig config;
+  config.cancel = &token;
+  const unsigned lens[] = {96, 112};
+  const auto sweep = SweepAliasGranularity(scanner, hits, lens, config);
+  EXPECT_TRUE(sweep.empty());
+}
+
 TEST(FalsePositiveProbability, MatchesPaperBound) {
   // Paper §6.2: a non-aliased /96 with a million responsive addresses is
   // falsely flagged with probability < 1e-10.

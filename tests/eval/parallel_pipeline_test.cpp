@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "eval/checkpoint.h"
-#include "obs/clock.h"
+#include "core/clock.h"
 
 namespace sixgen::eval {
 namespace {
@@ -39,8 +39,8 @@ std::string ReadFileBytes(const std::string& path) {
 std::uint64_t FrozenNanos() { return 0; }
 
 struct FrozenClock {
-  FrozenClock() { obs::SetMonotonicClockForTest(&FrozenNanos); }
-  ~FrozenClock() { obs::SetMonotonicClockForTest(nullptr); }
+  FrozenClock() { core::SetMonotonicClockForTest(&FrozenNanos); }
+  ~FrozenClock() { core::SetMonotonicClockForTest(nullptr); }
 };
 
 struct SmallWorld {

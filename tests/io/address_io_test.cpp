@@ -1,6 +1,8 @@
 // Tests for address/range list I/O.
 #include "io/address_io.h"
 
+#include "simnet/seed_io.h"
+
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -111,10 +113,10 @@ TEST(SeedRecords, TsvRoundTrip) {
       {Address::MustParse("2001:db8::25"), simnet::HostType::kMail},
       {Address::MustParse("2001:db8::99"), simnet::HostType::kGeneric}};
   std::ostringstream out;
-  WriteSeedRecords(out, seeds);
+  simnet::WriteSeedRecords(out, seeds);
   EXPECT_NE(out.str().find("2001:db8::53\tns"), std::string::npos);
 
-  const auto reread = ReadSeedRecordsFromString(out.str());
+  const auto reread = simnet::ReadSeedRecordsFromString(out.str());
   EXPECT_TRUE(reread.ok());
   ASSERT_EQ(reread.values.size(), seeds.size());
   for (std::size_t i = 0; i < seeds.size(); ++i) {
@@ -124,14 +126,14 @@ TEST(SeedRecords, TsvRoundTrip) {
 }
 
 TEST(SeedRecords, BareAddressDefaultsToGeneric) {
-  const auto result = ReadSeedRecordsFromString("2001:db8::1\n");
+  const auto result = simnet::ReadSeedRecordsFromString("2001:db8::1\n");
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result.values.size(), 1u);
   EXPECT_EQ(result.values[0].type, simnet::HostType::kGeneric);
 }
 
 TEST(SeedRecords, BadTypeOrAddressReported) {
-  const auto result = ReadSeedRecordsFromString(
+  const auto result = simnet::ReadSeedRecordsFromString(
       "2001:db8::1\trouter\n"
       "not-an-address\tweb\n"
       "2001:db8::2\tmail\n");

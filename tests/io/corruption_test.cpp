@@ -18,6 +18,7 @@
 
 #include "eval/checkpoint.h"
 #include "io/address_io.h"
+#include "simnet/seed_io.h"
 
 namespace sixgen {
 namespace {
@@ -125,7 +126,7 @@ TEST(IoCorruption, MutatedSeedRecordsNeverCrash) {
     std::string text = base;
     const int mutations = 1 + static_cast<int>(rng.Below(4));
     for (int m = 0; m < mutations; ++m) text = Mutate(text, rng);
-    const auto result = io::ReadSeedRecordsFromString(text);
+    const auto result = simnet::ReadSeedRecordsFromString(text);
     for (const io::ParseError& err : result.errors) {
       EXPECT_GT(err.line, 0u);
     }

@@ -7,7 +7,7 @@
 #include <optional>
 #include <string>
 
-#include "obs/clock.h"
+#include "core/clock.h"
 #include "obs/trace.h"
 
 namespace sixgen::obs {
@@ -22,13 +22,13 @@ class SpanTest : public ::testing::Test {
  protected:
   void SetUp() override {
     g_fake_now = 0;
-    SetMonotonicClockForTest(&FakeClock);
+    core::SetMonotonicClockForTest(&FakeClock);
     sink_ = TraceSink::InMemory();
     previous_ = SetGlobalSink(sink_.get());
   }
   void TearDown() override {
     SetGlobalSink(previous_);
-    SetMonotonicClockForTest(nullptr);
+    core::SetMonotonicClockForTest(nullptr);
   }
 
   /// Spans recorded so far, in file (= close) order.

@@ -6,7 +6,7 @@
 
 #include <string>
 
-#include "obs/clock.h"
+#include "core/clock.h"
 #include "obs/manifest.h"
 #include "obs/registry.h"
 

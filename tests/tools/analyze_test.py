@@ -1,0 +1,334 @@
+#!/usr/bin/env python3
+"""Golden-fixture suite for tools/analyze/sixgen_analyze.py and the
+sixgen_lint allowlist-drift rule (registered with ctest as
+analyze_fixtures / lint_drift_fixtures).
+
+Each fixture is a tiny source tree materialized into a temp directory —
+embedded here as strings rather than checked-in .cpp files so the
+deliberately-broken content (rand(), layering back-edges, missing
+[[nodiscard]]) never trips the repo's own linters. Tests assert exact
+finding IDs, so any drift in the ID scheme (which the baseline file is
+keyed on) fails loudly.
+
+The suite also contains the repo gate: the real src/ tree must be clean
+under the committed layers.json + baseline.json.
+"""
+
+import contextlib
+import io
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TESTS_TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(TESTS_TOOLS_DIR))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools", "analyze"))
+
+import sixgen_analyze  # noqa: E402
+
+LAYERS_JSON = """\
+{
+  "schema": "sixgen-layers-v1",
+  "modules": {"core": [], "ip6": ["core"], "io": ["core", "ip6"]}
+}
+"""
+
+LAYERING_BAD_H = """\
+#pragma once
+#include "ip6/addr.h"
+#include "core/ok.h"
+#include <vector>
+"""
+
+LAYERING_SUPPRESSED_H = """\
+#pragma once
+// sixgen-analyze: allow(back-edge)
+#include "ip6/addr.h"
+"""
+
+NODISCARD_BAD_H = """\
+#pragma once
+namespace sixgen::core {
+class Status {};
+Status Broken();
+[[nodiscard]] Status Fine();
+core::Result<int> AlsoBroken(int v);
+}
+"""
+
+DISCARD_BAD_CPP = """\
+#include "core/nodiscard_bad.h"
+void caller() {
+  Broken();
+  (void)Broken();
+  Status kept = Fine();
+  if (AlsoBroken(1)) {}
+}
+"""
+
+DETERMINISM_BAD_CPP = """\
+#include <unordered_map>
+#include <ostream>
+void emit(std::ostream& out, const std::unordered_map<int, int>& counts) {
+  for (const auto& [k, v] : counts) {
+    out << k << v;
+  }
+  double total = 0;
+  for (const auto& [k, v] : counts) {
+    total += v;
+  }
+  int noise = rand();
+  std::random_device rd;
+  (void)total; (void)noise; (void)rd;
+}
+"""
+
+CANCELLATION_BAD_CPP = """\
+void Probe(int);
+struct Token { bool cancelled() const; };
+void scan_all(const Token& token) {
+  for (int i = 0; i < 1000000; ++i) {
+    Probe(i);
+  }
+  for (int i = 0; i < 1000000; ++i) {
+    if (token.cancelled()) break;
+    Probe(i);
+  }
+  // sixgen-analyze: no-cancel(fixture: three iterations, bounded)
+  for (int i = 0; i < 3; ++i) {
+    Probe(i);
+  }
+}
+"""
+
+
+def write_tree(root, files):
+    for rel, content in files.items():
+        path = os.path.join(root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(content)
+
+
+def run_analyzer(cwd, args):
+    """Runs sixgen_analyze.main in-process; returns (exit_code, finding
+    ids, report dict)."""
+    fd, report_path = tempfile.mkstemp(suffix=".json")
+    os.close(fd)
+    argv = list(args) + ["--report", report_path]
+    prev = os.getcwd()
+    os.chdir(cwd)
+    try:
+        with contextlib.redirect_stdout(io.StringIO()), \
+                contextlib.redirect_stderr(io.StringIO()):
+            code = sixgen_analyze.main(argv)
+        with open(report_path, encoding="utf-8") as fh:
+            report = json.load(fh)
+    finally:
+        os.chdir(prev)
+        os.unlink(report_path)
+    return code, [f["id"] for f in report["findings"]], report
+
+
+class FixtureCase(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = self._tmp.name
+        write_tree(self.root, {"layers.json": LAYERS_JSON})
+        self.base_args = ["--root", "src", "--layers", "layers.json",
+                         "--baseline", "baseline.json"]
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+
+class LayeringFixtures(FixtureCase):
+    def test_back_edge_exact_id(self):
+        write_tree(self.root, {"src/core/layering_bad.h": LAYERING_BAD_H})
+        code, ids, _ = run_analyzer(self.root, self.base_args)
+        self.assertEqual(code, 1)
+        self.assertEqual(
+            ids, ["layering:src/core/layering_bad.h:include=ip6/addr.h"])
+
+    def test_inline_suppression(self):
+        write_tree(
+            self.root, {"src/core/suppressed.h": LAYERING_SUPPRESSED_H})
+        code, ids, _ = run_analyzer(self.root, self.base_args)
+        self.assertEqual((code, ids), (0, []))
+
+    def test_declared_cycle_rejected(self):
+        write_tree(self.root, {
+            "layers.json": json.dumps({
+                "schema": "sixgen-layers-v1",
+                "modules": {"core": ["ip6"], "ip6": ["core"]},
+            }),
+            "src/core/empty.h": "#pragma once\n",
+        })
+        with self.assertRaisesRegex(SystemExit, "cycle"):
+            run_analyzer(self.root, self.base_args)
+
+
+class StatusDisciplineFixtures(FixtureCase):
+    def test_missing_nodiscard_and_discarded_call(self):
+        write_tree(self.root, {
+            "src/core/nodiscard_bad.h": NODISCARD_BAD_H,
+            "src/core/discard_bad.cpp": DISCARD_BAD_CPP,
+        })
+        code, ids, _ = run_analyzer(
+            self.root, self.base_args + ["--checker", "status-discipline"])
+        self.assertEqual(code, 1)
+        self.assertEqual(sorted(ids), [
+            "status-discipline:src/core/discard_bad.cpp:discard=Broken",
+            "status-discipline:src/core/nodiscard_bad.h:nodiscard=AlsoBroken",
+            "status-discipline:src/core/nodiscard_bad.h:nodiscard=Broken",
+        ])
+
+    def test_fix_repairs_missing_nodiscard(self):
+        write_tree(self.root, {"src/core/nodiscard_bad.h": NODISCARD_BAD_H})
+        code, ids, report = run_analyzer(
+            self.root,
+            self.base_args + ["--checker", "status-discipline", "--fix"])
+        self.assertEqual((code, ids), (0, []))
+        self.assertEqual(report["fixed"], 2)
+        with open(os.path.join(self.root, "src/core/nodiscard_bad.h"),
+                  encoding="utf-8") as fh:
+            fixed = fh.read()
+        self.assertIn("[[nodiscard]] Status Broken();", fixed)
+        self.assertIn("[[nodiscard]] core::Result<int> AlsoBroken(int v);",
+                      fixed)
+        # Idempotent: a second run finds nothing left to fix.
+        code, ids, _ = run_analyzer(
+            self.root, self.base_args + ["--checker", "status-discipline"])
+        self.assertEqual((code, ids), (0, []))
+
+
+class DeterminismFixtures(FixtureCase):
+    def test_all_three_rules_exact_ids(self):
+        write_tree(
+            self.root, {"src/core/det_bad.cpp": DETERMINISM_BAD_CPP})
+        code, ids, _ = run_analyzer(
+            self.root, self.base_args + ["--checker", "determinism"])
+        self.assertEqual(code, 1)
+        self.assertEqual(sorted(ids), [
+            "determinism:src/core/det_bad.cpp:float-accum=counts",
+            "determinism:src/core/det_bad.cpp:raw-random=rand",
+            "determinism:src/core/det_bad.cpp:raw-random=std::random_device",
+            "determinism:src/core/det_bad.cpp:unordered-emit=counts",
+        ])
+
+
+class CancellationFixtures(FixtureCase):
+    def test_poll_and_annotation_cover_loops(self):
+        write_tree(
+            self.root, {"src/core/cancel_bad.cpp": CANCELLATION_BAD_CPP})
+        code, ids, _ = run_analyzer(
+            self.root, self.base_args + ["--checker", "cancellation"])
+        self.assertEqual(code, 1)
+        # Only the first loop (no poll, no annotation) is flagged.
+        self.assertEqual(
+            ids, ["cancellation:src/core/cancel_bad.cpp:no-poll=Probe"])
+
+
+class BaselineFixtures(FixtureCase):
+    def test_baseline_suppresses_matching_finding(self):
+        write_tree(self.root, {
+            "src/core/layering_bad.h": LAYERING_BAD_H,
+            "baseline.json": json.dumps({
+                "schema": "sixgen-analyze-baseline-v1",
+                "entries": [{
+                    "id": "layering:src/core/layering_bad.h:"
+                          "include=ip6/addr.h",
+                    "justification": "fixture: acknowledged debt",
+                }],
+            }),
+        })
+        code, ids, report = run_analyzer(self.root, self.base_args)
+        self.assertEqual((code, ids), (0, []))
+        self.assertEqual(report["baseline_matched"], 1)
+
+    def test_stale_baseline_entry_is_an_error(self):
+        write_tree(self.root, {
+            "src/core/clean.h": "#pragma once\n",
+            "baseline.json": json.dumps({
+                "schema": "sixgen-analyze-baseline-v1",
+                "entries": [{
+                    "id": "layering:src/core/gone.h:include=ip6/addr.h",
+                    "justification": "fixture: file was deleted",
+                }],
+            }),
+        })
+        code, ids, _ = run_analyzer(self.root, self.base_args)
+        self.assertEqual(code, 1)
+        self.assertEqual(len(ids), 1)
+        self.assertTrue(ids[0].startswith("baseline:baseline.json:stale="))
+
+    def test_justification_is_mandatory(self):
+        write_tree(self.root, {
+            "src/core/clean.h": "#pragma once\n",
+            "baseline.json": json.dumps({
+                "schema": "sixgen-analyze-baseline-v1",
+                "entries": [{"id": "layering:x:include=y",
+                             "justification": ""}],
+            }),
+        })
+        with self.assertRaisesRegex(SystemExit, "justification"):
+            run_analyzer(self.root, self.base_args)
+
+
+class RepoGate(unittest.TestCase):
+    """The real tree must be clean under the committed configuration."""
+
+    def test_src_is_finding_clean(self):
+        code, ids, report = run_analyzer(REPO_ROOT, [
+            "--root", "src",
+            "--layers", "tools/analyze/layers.json",
+            "--baseline", "tools/analyze/baseline.json",
+        ])
+        self.assertEqual((code, ids), (0, []),
+                         "src/ has non-baselined analyzer findings")
+        self.assertEqual(report["baseline_size"], report["baseline_matched"],
+                         "baseline entries went stale")
+
+    def test_report_schema(self):
+        _, _, report = run_analyzer(REPO_ROOT, [
+            "--root", "src",
+            "--layers", "tools/analyze/layers.json",
+            "--baseline", "tools/analyze/baseline.json",
+        ])
+        self.assertEqual(report["schema"], "sixgen-analyze-v1")
+        for key in ("files_scanned", "findings_per_checker", "baseline_size",
+                    "checkers", "findings_total"):
+            self.assertIn(key, report)
+
+
+class LintAllowlistDrift(unittest.TestCase):
+    LINT = os.path.join(REPO_ROOT, "tools", "sixgen_lint.py")
+
+    def test_stale_entries_fire_in_empty_root(self):
+        # An empty tree has none of the allowlisted files, so every entry
+        # of every allowlist must be reported as drift.
+        with tempfile.TemporaryDirectory() as tmp:
+            os.makedirs(os.path.join(tmp, "src"))
+            proc = subprocess.run(
+                [sys.executable, self.LINT, "--root", tmp],
+                capture_output=True, text=True, check=False)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        drift = [l for l in proc.stdout.splitlines()
+                 if "[allowlist-drift]" in l]
+        self.assertGreaterEqual(len(drift), 10)
+        self.assertTrue(any("NO_THROW_ALLOWLIST" in l for l in drift))
+        self.assertTrue(any("CHRONO_ALLOWLIST" in l for l in drift))
+        self.assertTrue(any("RAW_SIGNAL_ALLOWLIST" in l for l in drift))
+
+    def test_real_repo_is_drift_clean(self):
+        proc = subprocess.run(
+            [sys.executable, self.LINT, "--root", REPO_ROOT],
+            capture_output=True, text=True, check=False)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

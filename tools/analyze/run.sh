@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Entry point for the sixgen_analyze suite (tools/analyze/). Ensures a
+# compile database exists, then runs every checker against src/ with the
+# committed baseline. Exits non-zero on any non-baselined finding, so CI
+# (the `analysis` job) and pre-commit hooks can gate on it directly.
+#
+# Usage: tools/analyze/run.sh [--build-dir DIR] [--report PATH] [--fix]
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+
+BUILD_DIR=build
+REPORT=""
+EXTRA_ARGS=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --report)    REPORT="$2"; shift 2 ;;
+    --fix)       EXTRA_ARGS+=(--fix); shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+COMPILE_DB="${BUILD_DIR}/compile_commands.json"
+if [[ ! -f "${COMPILE_DB}" ]]; then
+  echo "-- ${COMPILE_DB} missing; configuring ${BUILD_DIR}" >&2
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+if [[ -n "${REPORT}" ]]; then
+  EXTRA_ARGS+=(--report "${REPORT}")
+fi
+
+python3 tools/analyze/sixgen_analyze.py \
+  --compile-commands "${COMPILE_DB}" \
+  --layers tools/analyze/layers.json \
+  --baseline tools/analyze/baseline.json \
+  "${EXTRA_ARGS[@]}"

@@ -1,0 +1,752 @@
+#!/usr/bin/env python3
+"""sixgen_analyze — semantic static analysis for the sixgen source tree.
+
+Four checkers enforce invariants the compiler cannot see and generic
+linters do not know about (tools/sixgen_lint.py handles the shallow
+textual rules; this tool reasons about structure):
+
+  layering           The #include graph of src/ must respect the declared
+                     module DAG (tools/analyze/layers.json). A module may
+                     include itself and its declared dependencies; any
+                     other project include is a back-edge.
+  status-discipline  Functions declared in headers returning core::Status
+                     or core::Result<T> must be [[nodiscard]]; call sites
+                     that discard such a value are flagged. Cross-checked
+                     at compile time by -Werror=unused-result.
+  determinism        Iteration over unordered containers must not feed an
+                     output path (stream emission) or a float accumulator
+                     (sum order changes the bits); raw rand()/srand()/
+                     std::random_device are banned — all randomness flows
+                     through seeded engines.
+  cancellation       Loops that call scanner/generator/pipeline hot paths
+                     (Scan, Probe, Generate, ProcessPrefix, Dealias, ...)
+                     must poll a CancelToken/Deadline, or carry the escape
+                     hatch `// sixgen-analyze: no-cancel(<reason>)`.
+
+Suppression:
+  - inline, same line or the line above a finding:
+      // sixgen-analyze: allow(<rule>)
+  - repo-wide, with a recorded justification: tools/analyze/baseline.json.
+    Stale baseline entries (matching no current finding) are themselves
+    errors, so the baseline only shrinks.
+
+The file set comes from compile_commands.json (translation units under
+src/) plus a glob for headers. Python 3 standard library only.
+
+Exit codes: 0 clean, 1 findings, 2 configuration/usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import glob
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+SCHEMA_REPORT = "sixgen-analyze-v1"
+SCHEMA_BASELINE = "sixgen-analyze-baseline-v1"
+
+# ---------------------------------------------------------------------------
+# Source model: comment/string-stripped code with per-line comment text.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SourceFile:
+    """One parsed file: raw lines, blanked code, and comment text by line."""
+
+    path: str
+    lines: list[str]
+    code: str                 # comments and string literals blanked out
+    code_lines: list[str]
+    comments: dict[int, str]  # 1-based line -> comment text on that line
+
+
+def _blank(text: str) -> str:
+    """Replaces every non-newline character with a space."""
+    return "".join("\n" if c == "\n" else " " for c in text)
+
+
+def parse_source(path: str, text: str) -> SourceFile:
+    """Strips comments and string/char literals, preserving line/column
+    positions, and records comment text per line (for suppressions)."""
+    out: list[str] = []
+    comments: dict[int, str] = {}
+    i, n, line = 0, len(text), 1
+
+    def record_comment(chunk: str, start_line: int) -> None:
+        for off, part in enumerate(chunk.split("\n")):
+            if part.strip():
+                lineno = start_line + off
+                comments[lineno] = comments.get(lineno, "") + " " + part
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            record_comment(text[i:j], line)
+            out.append(_blank(text[i:j]))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            record_comment(text[i : j + 2], line)
+            out.append(_blank(text[i : j + 2]))
+            line += text.count("\n", i, j + 2)
+            i = j + 2
+        elif c in "\"'":
+            quote, j = c, i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(quote + _blank(text[i + 1 : j]) + quote)
+            line += text.count("\n", i, j + 1)
+            i = j + 1
+        else:
+            if c == "\n":
+                line += 1
+            out.append(c)
+            i += 1
+    code = "".join(out)
+    return SourceFile(
+        path=path,
+        lines=text.split("\n"),
+        code=code,
+        code_lines=code.split("\n"),
+        comments=comments,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Findings.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Finding:
+    checker: str
+    rule: str
+    path: str
+    lineno: int  # 1-based
+    key: str     # line-independent id component
+    message: str
+    fixable: bool = False
+
+    @property
+    def fid(self) -> str:
+        return f"{self.checker}:{self.path}:{self.key}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.lineno}: [{self.checker}/{self.rule}] {self.message}"
+
+
+class KeyCounter:
+    """Disambiguates repeated keys within one file: k, k#2, k#3, ..."""
+
+    def __init__(self) -> None:
+        self._seen: dict[str, int] = {}
+
+    def key(self, base: str) -> str:
+        count = self._seen.get(base, 0) + 1
+        self._seen[base] = count
+        return base if count == 1 else f"{base}#{count}"
+
+
+def suppressed(src: SourceFile, lineno: int, rule: str) -> bool:
+    """True iff `// sixgen-analyze: allow(<rule>)` sits on the finding's
+    line or the line directly above it."""
+    for ln in (lineno, lineno - 1):
+        comment = src.comments.get(ln, "")
+        if re.search(rf"sixgen-analyze:\s*allow\(\s*{re.escape(rule)}\s*\)", comment):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Checker: layering.
+# ---------------------------------------------------------------------------
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def load_layers(path: str) -> dict[str, list[str]]:
+    with open(path, encoding="utf-8") as fh:
+        config = json.load(fh)
+    modules = config["modules"]
+    # The declared graph must itself be a DAG: depth-first cycle check.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = dict.fromkeys(modules, WHITE)
+
+    def visit(mod: str, stack: list[str]) -> None:
+        color[mod] = GRAY
+        for dep in modules.get(mod, []):
+            if dep not in modules:
+                raise SystemExit(
+                    f"layers.json: module '{mod}' depends on undeclared '{dep}'"
+                )
+            if color[dep] == GRAY:
+                cycle = " -> ".join(stack + [mod, dep])
+                raise SystemExit(f"layers.json: declared graph has a cycle: {cycle}")
+            if color[dep] == WHITE:
+                visit(dep, stack + [mod])
+        color[mod] = BLACK
+
+    for mod in modules:
+        if color[mod] == WHITE:
+            visit(mod, [])
+    return modules
+
+
+def check_layering(src: SourceFile, layers: dict[str, list[str]]) -> list[Finding]:
+    rel = src.path
+    parts = rel.split(os.sep)
+    if len(parts) < 3 or parts[0] != "src":
+        return []
+    module = parts[1]
+    if module not in layers:
+        return [
+            Finding(
+                "layering", "unknown-module", rel, 1, f"module={module}",
+                f"module '{module}' is not declared in layers.json",
+            )
+        ]
+    allowed = set(layers[module]) | {module}
+    findings = []
+    # Include paths are string literals (blanked in .code), so match the
+    # raw line — but require the blanked line to still look like an
+    # include so commented-out includes don't count.
+    for lineno, line in enumerate(src.lines, 1):
+        m = INCLUDE_RE.match(line)
+        if not m:
+            continue
+        if not src.code_lines[lineno - 1].lstrip().startswith("#"):
+            continue
+        header = m.group(1)
+        dep = header.split("/")[0]
+        if dep not in layers or dep in allowed:
+            continue  # system/third-party headers and legal edges
+        if suppressed(src, lineno, "back-edge"):
+            continue
+        findings.append(
+            Finding(
+                "layering", "back-edge", rel, lineno, f"include={header}",
+                f"module '{module}' must not include '{header}' "
+                f"('{dep}' is above it in the module DAG)",
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Checker: status-discipline.
+# ---------------------------------------------------------------------------
+
+# A header declaration returning core::Status / core::Result<...> (or the
+# unqualified spelling inside namespace sixgen::core). Reference returns
+# (`const Status&`) carry no ownership of the error and are exempt.
+DECL_RE = re.compile(
+    r"^(\s*)((?:\[\[nodiscard\]\]\s+)?)"
+    r"((?:(?:static|inline|friend|virtual|constexpr|explicit)\s+)*)"
+    r"((?:core::)?(?:Status|Result<[^;={}]*>))\s+"
+    r"([A-Za-z_]\w*)\s*\("
+)
+
+
+def scan_status_functions(src: SourceFile) -> tuple[list[Finding], set[str]]:
+    """Returns nodiscard findings for header declarations plus the set of
+    Status/Result-returning function names (for the call-site pass)."""
+    findings: list[Finding] = []
+    names: set[str] = set()
+    counter = KeyCounter()
+    for lineno, line in enumerate(src.code_lines, 1):
+        m = DECL_RE.match(line)
+        if not m:
+            continue
+        has_attr, name = bool(m.group(2).strip()), m.group(5)
+        names.add(name)
+        if not src.path.endswith(".h"):
+            continue  # [[nodiscard]] on the header declaration suffices
+        prev = src.code_lines[lineno - 2].rstrip() if lineno >= 2 else ""
+        if has_attr or prev.endswith("[[nodiscard]]"):
+            continue
+        if suppressed(src, lineno, "missing-nodiscard"):
+            continue
+        findings.append(
+            Finding(
+                "status-discipline", "missing-nodiscard", src.path, lineno,
+                counter.key(f"nodiscard={name}"),
+                f"'{name}' returns {m.group(4).split('<')[0].strip()} "
+                "but is not [[nodiscard]]",
+                fixable=True,
+            )
+        )
+    return findings, names
+
+
+# A whole statement that is nothing but a call to a Status-returning
+# function: the returned Status is destroyed unread. `(void)` casts and
+# any use of the value (assignment, return, condition) do not match.
+def check_discarded_calls(src: SourceFile, status_fns: set[str]) -> list[Finding]:
+    if not status_fns:
+        return []
+    call_re = re.compile(
+        r"^\s*(?:[\w\]\)]+(?:->|\.)\s*)?(" + "|".join(map(re.escape, sorted(status_fns)))
+        + r")\s*\(.*\)\s*;\s*$"
+    )
+    findings = []
+    counter = KeyCounter()
+    for lineno, line in enumerate(src.code_lines, 1):
+        m = call_re.match(line)
+        if not m:
+            continue
+        if suppressed(src, lineno, "discarded-status"):
+            continue
+        findings.append(
+            Finding(
+                "status-discipline", "discarded-status", src.path, lineno,
+                counter.key(f"discard={m.group(1)}"),
+                f"result of '{m.group(1)}' (a Status/Result) is discarded",
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Checker: determinism.
+# ---------------------------------------------------------------------------
+
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set)\s*<[^;]*?>\s*&?\s*([A-Za-z_]\w*)\s*[;,)=({]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;()]*?:\s*([A-Za-z_][\w.\->]*)\s*\)")
+RAW_RANDOM_RE = re.compile(r"std::random_device|(?<![\w.:])s?rand\s*\(")
+
+
+def _body_span(code: str, open_brace: int) -> int:
+    """Index just past the brace block opening at `open_brace`."""
+    depth = 0
+    for i in range(open_brace, len(code)):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(code)
+
+
+def _loop_body(code: str, header_start: int) -> tuple[int, int] | None:
+    """(start, end) offsets of the loop body for the `for`/`while` whose
+    keyword starts at header_start; None if the header is malformed."""
+    paren = code.find("(", header_start)
+    if paren == -1:
+        return None
+    depth = 0
+    close = -1
+    for i in range(paren, len(code)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                close = i
+                break
+    if close == -1:
+        return None
+    j = close + 1
+    while j < len(code) and code[j] in " \t\n":
+        j += 1
+    if j < len(code) and code[j] == "{":
+        return (j, _body_span(code, j))
+    end = code.find(";", j)  # single-statement body
+    return (j, len(code) if end == -1 else end + 1)
+
+
+@dataclass
+class Loop:
+    header_line: int
+    start: int  # offset of the for/while keyword
+    body_start: int
+    body_end: int
+
+
+def find_loops(src: SourceFile) -> list[Loop]:
+    loops = []
+    for m in re.finditer(r"\b(for|while)\s*\(", src.code):
+        span = _loop_body(src.code, m.start())
+        if span is None:
+            continue
+        loops.append(
+            Loop(
+                header_line=src.code.count("\n", 0, m.start()) + 1,
+                start=m.start(),
+                body_start=span[0],
+                body_end=span[1],
+            )
+        )
+    return loops
+
+
+def check_determinism(src: SourceFile) -> list[Finding]:
+    findings: list[Finding] = []
+    counter = KeyCounter()
+
+    for m in RAW_RANDOM_RE.finditer(src.code):
+        lineno = src.code.count("\n", 0, m.start()) + 1
+        if suppressed(src, lineno, "raw-random"):
+            continue
+        token = m.group(0).strip("( ")
+        findings.append(
+            Finding(
+                "determinism", "raw-random", src.path, lineno,
+                counter.key(f"raw-random={token}"),
+                f"'{token}' is nondeterministic; use a seeded engine "
+                "(the config's rng_seed) instead",
+            )
+        )
+
+    unordered = set(UNORDERED_DECL_RE.findall(src.code))
+    if not unordered:
+        return findings
+    accum_re = re.compile(r"([A-Za-z_]\w*)\s*\+=")
+
+    def is_float_here(name: str, before: int) -> bool:
+        """True iff the nearest declaration of `name` above offset
+        `before` has a float type (same name may be an integer in another
+        function of the file)."""
+        decl_re = re.compile(
+            r"\b([A-Za-z_][\w:]*(?:<[^;\n]*>)?)\s+" + re.escape(name) + r"\s*[=;{]"
+        )
+        last = None
+        for d in decl_re.finditer(src.code, 0, before):
+            last = d.group(1)
+        return last in ("double", "float")
+
+    for m in RANGE_FOR_RE.finditer(src.code):
+        base = re.split(r"[.\-]", m.group(1))[0]
+        if base not in unordered:
+            continue
+        span = _loop_body(src.code, m.start())
+        if span is None:
+            continue
+        body = src.code[span[0] : span[1]]
+        lineno = src.code.count("\n", 0, m.start()) + 1
+        if "<<" in body:
+            if not suppressed(src, lineno, "unordered-emit"):
+                findings.append(
+                    Finding(
+                        "determinism", "unordered-emit", src.path, lineno,
+                        counter.key(f"unordered-emit={base}"),
+                        f"iteration over unordered container '{base}' emits "
+                        "to a stream; element order varies run to run — sort "
+                        "first or use an ordered container",
+                    )
+                )
+            continue
+        for acc in accum_re.finditer(body):
+            if is_float_here(acc.group(1), m.start()):
+                if not suppressed(src, lineno, "float-accum"):
+                    findings.append(
+                        Finding(
+                            "determinism", "float-accum", src.path, lineno,
+                            counter.key(f"float-accum={base}"),
+                            f"float accumulation into '{acc.group(1)}' over "
+                            f"unordered container '{base}': summation order "
+                            "varies run to run — accumulate over a sorted "
+                            "view",
+                        )
+                    )
+                break
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Checker: cancellation.
+# ---------------------------------------------------------------------------
+
+HOT_CALLS = (
+    "Scan", "Probe", "ProbeOnce", "Generate", "RunSixGenPipeline",
+    "Dealias", "TestPrefixAliased", "ProcessPrefix",
+)
+HOT_CALL_RE = re.compile(
+    r"(?<![A-Za-z0-9_])(" + "|".join(HOT_CALLS) + r")\s*\("
+)
+POLL_RE = re.compile(r"\b(?:cancelled|Cancelled|Expired|ShouldStop)\s*\(")
+# Opening paren only: the justification may wrap onto following comment
+# lines, so the close paren is not required on the same line.
+NO_CANCEL_RE = re.compile(r"sixgen-analyze:\s*no-cancel\(")
+
+
+def _annotated_no_cancel(src: SourceFile, header_line: int) -> bool:
+    """The escape hatch may sit on the loop header or up to three comment
+    lines above it (multi-line justifications)."""
+    for ln in range(max(1, header_line - 3), header_line + 1):
+        if NO_CANCEL_RE.search(src.comments.get(ln, "")):
+            return True
+    return False
+
+
+def check_cancellation(src: SourceFile) -> list[Finding]:
+    loops = find_loops(src)
+    if not loops:
+        return []
+    findings = []
+    counter = KeyCounter()
+    for m in HOT_CALL_RE.finditer(src.code)    :
+        pos = m.start()
+        # A call on a declaration line (return type precedes the name) is
+        # not a call at all; require the match not be preceded by an
+        # identifier-ish type token on the same line.
+        line_start = src.code.rfind("\n", 0, pos) + 1
+        before = src.code[line_start:pos]
+        if re.search(r"[\w>&\]]\s+$", before):
+            continue
+        enclosing = [lp for lp in loops if lp.start < pos < lp.body_end]
+        if not enclosing:
+            continue
+        covered = False
+        for lp in enclosing:
+            body = src.code[lp.body_start : lp.body_end]
+            if POLL_RE.search(body) or _annotated_no_cancel(src, lp.header_line):
+                covered = True
+                break
+        if covered:
+            continue
+        lineno = src.code.count("\n", 0, pos) + 1
+        if suppressed(src, lineno, "no-poll"):
+            continue
+        findings.append(
+            Finding(
+                "cancellation", "no-poll", src.path, lineno,
+                counter.key(f"no-poll={m.group(1)}"),
+                f"loop at line {enclosing[0].header_line} calls hot path "
+                f"'{m.group(1)}' but never polls a CancelToken/Deadline; "
+                "poll one or annotate the loop with "
+                "// sixgen-analyze: no-cancel(<reason>)",
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Baseline.
+# ---------------------------------------------------------------------------
+
+
+def load_baseline(path: str) -> dict[str, str]:
+    if not os.path.exists(path):
+        return {}
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if data.get("schema") != SCHEMA_BASELINE:
+        raise SystemExit(f"{path}: unknown baseline schema {data.get('schema')!r}")
+    entries = {}
+    for entry in data.get("entries", []):
+        if not entry.get("justification", "").strip():
+            raise SystemExit(f"{path}: entry {entry.get('id')!r} has no justification")
+        entries[entry["id"]] = entry["justification"]
+    return entries
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: dict[str, str], baseline_path: str
+) -> tuple[list[Finding], int]:
+    """Drops baselined findings; stale baseline ids become findings."""
+    matched = set()
+    kept = []
+    for f in findings:
+        if f.fid in baseline:
+            matched.add(f.fid)
+        else:
+            kept.append(f)
+    for stale in sorted(set(baseline) - matched):
+        kept.append(
+            Finding(
+                "baseline", "stale-entry", baseline_path, 1, f"stale={stale}",
+                f"baseline entry '{stale}' matches no current finding; "
+                "delete it (the baseline only shrinks)",
+            )
+        )
+    return kept, len(matched)
+
+
+# ---------------------------------------------------------------------------
+# --fix: mechanical repairs (missing [[nodiscard]] only).
+# ---------------------------------------------------------------------------
+
+
+def apply_fixes(findings: list[Finding]) -> tuple[list[Finding], int]:
+    by_file: dict[str, list[Finding]] = {}
+    for f in findings:
+        if f.fixable:
+            by_file.setdefault(f.path, []).append(f)
+    fixed_ids = set()
+    for path, file_findings in by_file.items():
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().split("\n")
+        # Bottom-up so line numbers stay valid.
+        for f in sorted(file_findings, key=lambda f: -f.lineno):
+            idx = f.lineno - 1
+            stripped = lines[idx].lstrip()
+            indent = lines[idx][: len(lines[idx]) - len(stripped)]
+            lines[idx] = f"{indent}[[nodiscard]] {stripped}"
+            fixed_ids.add(f.fid)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines))
+    remaining = [f for f in findings if f.fid not in fixed_ids]
+    return remaining, len(fixed_ids)
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+# ---------------------------------------------------------------------------
+
+
+def collect_files(compile_commands: str, roots: list[str]) -> list[str]:
+    """Translation units from the compile database plus globbed headers,
+    restricted to the given roots (default: src/)."""
+    files: set[str] = set()
+    if compile_commands:
+        if not os.path.exists(compile_commands):
+            raise SystemExit(
+                f"compile database not found: {compile_commands} "
+                "(configure with cmake -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)"
+            )
+        with open(compile_commands, encoding="utf-8") as fh:
+            for entry in json.load(fh):
+                rel = os.path.relpath(
+                    os.path.join(entry["directory"], entry["file"]), os.getcwd()
+                )
+                files.add(os.path.normpath(rel))
+    for root in roots:
+        for pattern in ("**/*.h", "**/*.cpp"):
+            files.update(
+                os.path.normpath(p)
+                for p in glob.glob(os.path.join(root, pattern), recursive=True)
+            )
+    return sorted(
+        f for f in files
+        if any(f == r or f.startswith(r.rstrip("/") + "/") for r in roots)
+    )
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sixgen_analyze", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--compile-commands", default="",
+                        help="path to compile_commands.json (TU discovery)")
+    parser.add_argument("--root", action="append", default=[],
+                        help="source roots to scan (default: src)")
+    parser.add_argument("--layers", default="tools/analyze/layers.json")
+    parser.add_argument("--baseline", default="tools/analyze/baseline.json")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report baselined findings too (for audits)")
+    parser.add_argument("--checker", action="append", default=[],
+                        choices=["layering", "status-discipline",
+                                 "determinism", "cancellation"],
+                        help="run only the named checker(s)")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply mechanical fixes (missing [[nodiscard]])")
+    parser.add_argument("--report", default="",
+                        help="write a JSON summary (obs-style) to this path")
+    args = parser.parse_args(argv)
+
+    roots = args.root or ["src"]
+    enabled = set(args.checker) if args.checker else {
+        "layering", "status-discipline", "determinism", "cancellation",
+    }
+
+    layers = load_layers(args.layers)
+    paths = collect_files(args.compile_commands, roots)
+    if not paths:
+        print(f"sixgen_analyze: no sources under {roots}", file=sys.stderr)
+        return 2
+
+    sources = []
+    for path in paths:
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            sources.append(parse_source(path, fh.read()))
+
+    findings: list[Finding] = []
+    status_fns: set[str] = set()
+    # Pass 1 (per file): declarations feed the cross-file call-site pass.
+    decl_findings = []
+    for src in sources:
+        if "status-discipline" in enabled:
+            file_findings, names = scan_status_functions(src)
+            decl_findings.extend(file_findings)
+            status_fns |= names
+    # Pass 2 (per file): everything else.
+    for src in sources:
+        if "layering" in enabled:
+            findings.extend(check_layering(src, layers))
+        if "status-discipline" in enabled:
+            findings.extend(check_discarded_calls(src, status_fns))
+        if "determinism" in enabled:
+            findings.extend(check_determinism(src))
+        if "cancellation" in enabled:
+            findings.extend(check_cancellation(src))
+    findings.extend(decl_findings)
+
+    baseline = {} if args.no_baseline else load_baseline(args.baseline)
+    findings, baselined = apply_baseline(findings, baseline, args.baseline)
+
+    fixed = 0
+    if args.fix:
+        findings, fixed = apply_fixes(findings)
+        if fixed:
+            print(f"sixgen_analyze: fixed {fixed} finding(s)", file=sys.stderr)
+
+    findings.sort(key=lambda f: (f.path, f.lineno, f.fid))
+    for f in findings:
+        print(f.render())
+
+    per_checker: dict[str, int] = {}
+    for f in findings:
+        per_checker[f.checker] = per_checker.get(f.checker, 0) + 1
+
+    if args.report:
+        report = {
+            "schema": SCHEMA_REPORT,
+            "files_scanned": len(sources),
+            "checkers": sorted(enabled),
+            "findings_total": len(findings),
+            "findings_per_checker": per_checker,
+            "baseline_size": len(baseline),
+            "baseline_matched": baselined,
+            "fixed": fixed,
+            "findings": [
+                {
+                    "id": f.fid,
+                    "checker": f.checker,
+                    "rule": f.rule,
+                    "file": f.path,
+                    "line": f.lineno,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+        }
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(per_checker.items()))
+    print(
+        f"sixgen_analyze: {len(sources)} files, {len(findings)} finding(s)"
+        + (f" ({summary})" if summary else "")
+        + (f", {baselined} baselined" if baselined else ""),
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -27,7 +27,7 @@ codebases before:
                      entries — shrink the list as modules migrate.
   no-chrono-in-src   library code under src/ must not include <chrono>;
                      all wall-clock reads go through the obs clock shim
-                     (src/obs/clock.h — the allowlisted implementation),
+                     (src/core/clock.h — the allowlisted implementation),
                      which tests can substitute for determinism and which
                      keeps timing observable as a side channel only.
   no-raw-signal      raw signal()/sigaction() calls are only allowed in
@@ -36,6 +36,11 @@ codebases before:
                      (ScopedSignalCancellation routes SIGINT/SIGTERM into
                      one). Scattered handlers fight over disposition and
                      are never async-signal-safe by accident.
+  allowlist-drift    every entry in this linter's allowlists must still
+                     name an existing file that still triggers the
+                     exempted pattern; a stale entry is itself an error,
+                     so the shrink-only lists actually shrink instead of
+                     silently re-opening the door they once guarded.
 
 Suppress a finding by appending `// sixgen-lint: allow(<rule>)` on the
 offending line (headers only need it for non-pragma-once rules).
@@ -70,8 +75,8 @@ CHRONO_RE = re.compile(r'#\s*include\s*[<"]chrono[>"]')
 # The one place allowed to read std::chrono: the obs clock shim every other
 # src/ file must route timing through.
 CHRONO_ALLOWLIST = {
-    "src/obs/clock.h",
-    "src/obs/clock.cpp",
+    "src/core/clock.h",
+    "src/core/clock.cpp",
 }
 
 # Word-boundary on the left so ScopedSignalCancellation / g_signal_token
@@ -173,7 +178,7 @@ def check_line_rules(path: Path, text: str, findings: Findings,
             findings.add(path, i, "no-chrono-in-src",
                          "<chrono> is not allowed in library code under "
                          "src/; read time via the obs clock shim "
-                         "(src/obs/clock.h)", raw)
+                         "(src/core/clock.h)", raw)
         if in_lib and not throw_exempt and THROW_RE.search(line):
             findings.add(path, i, "no-throw-in-src",
                          "library code must not throw; return "
@@ -198,6 +203,37 @@ def check_u128_narrowing(path: Path, line_no: int, line: str, raw: str,
             findings.add(path, line_no, "u128-narrowing",
                          "raw static_cast narrows a U128 expression; use "
                          "sixgen::checked_cast (src/core/contracts.h)", raw)
+
+
+def check_allowlist_drift(root: Path, findings: Findings) -> None:
+    """A grandfathered exemption that no longer fires is not harmless: it
+    silently permits the pattern to come back. Each allowlist entry must
+    name an existing file in which the exempted pattern still occurs."""
+    checks = (
+        ("NO_THROW_ALLOWLIST", NO_THROW_ALLOWLIST,
+         lambda text: THROW_RE.search(strip_comments_and_strings(text)),
+         "no longer throws"),
+        ("CHRONO_ALLOWLIST", CHRONO_ALLOWLIST,
+         lambda text: CHRONO_RE.search(text),
+         "no longer includes <chrono>"),
+        ("RAW_SIGNAL_ALLOWLIST", RAW_SIGNAL_ALLOWLIST,
+         lambda text: RAW_SIGNAL_RE.search(strip_comments_and_strings(text)),
+         "no longer calls signal()/sigaction()"),
+    )
+    lint_py = Path(__file__).resolve()
+    for list_name, entries, still_fires, gone_msg in checks:
+        for rel in sorted(entries):
+            path = root / rel
+            if not path.is_file():
+                findings.add(lint_py, 1, "allowlist-drift",
+                             f"{list_name} entry '{rel}' does not exist; "
+                             "remove it")
+                continue
+            text = path.read_text(encoding="utf-8", errors="replace")
+            if not still_fires(text):
+                findings.add(lint_py, 1, "allowlist-drift",
+                             f"{list_name} entry '{rel}' {gone_msg}; "
+                             "remove it (the list only shrinks)")
 
 
 CMAKE_MODULE_EXEMPT: set[str] = set()
@@ -250,6 +286,7 @@ def lint_paths(root: Path, paths: list[Path]) -> Findings:
                          rel in CHRONO_ALLOWLIST,
                          rel in RAW_SIGNAL_ALLOWLIST)
     check_cmake_sources(root, findings)
+    check_allowlist_drift(root, findings)
     return findings
 
 
