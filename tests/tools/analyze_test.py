@@ -55,6 +55,8 @@ namespace sixgen::core {
 class Status {};
 Status Broken();
 [[nodiscard]] Status Fine();
+static [[nodiscard]] Status FineStatic();
+static Status BrokenStatic();
 core::Result<int> AlsoBroken(int v);
 }
 """
@@ -83,6 +85,29 @@ void emit(std::ostream& out, const std::unordered_map<int, int>& counts) {
   int noise = rand();
   std::random_device rd;
   (void)total; (void)noise; (void)rd;
+}
+"""
+
+# C++14 digit separators must not be mistaken for char-literal openers:
+# with that bug, everything between 100'000 and 0xada7'71fe (including the
+# rand() call) would be blanked out of the code view, and the trailing
+# comment would leak into it.
+DIGIT_SEP_CPP = """\
+unsigned seed_mix() {
+  unsigned big = 100'000;
+  unsigned noise = rand();
+  unsigned hexsep = 0xada7'71fe;  // rand() here must stay a comment
+  char delim = ';';
+  return big + noise + hexsep + static_cast<unsigned>(delim);
+}
+"""
+
+CANCELLATION_RETURN_CPP = """\
+int Scan(int);
+int first_result() {
+  while (true) {
+    return Scan(0);
+  }
 }
 """
 
@@ -184,6 +209,8 @@ class StatusDisciplineFixtures(FixtureCase):
             "status-discipline:src/core/discard_bad.cpp:discard=Broken",
             "status-discipline:src/core/nodiscard_bad.h:nodiscard=AlsoBroken",
             "status-discipline:src/core/nodiscard_bad.h:nodiscard=Broken",
+            "status-discipline:src/core/nodiscard_bad.h:"
+            "nodiscard=BrokenStatic",
         ])
 
     def test_fix_repairs_missing_nodiscard(self):
@@ -192,11 +219,12 @@ class StatusDisciplineFixtures(FixtureCase):
             self.root,
             self.base_args + ["--checker", "status-discipline", "--fix"])
         self.assertEqual((code, ids), (0, []))
-        self.assertEqual(report["fixed"], 2)
+        self.assertEqual(report["fixed"], 3)
         with open(os.path.join(self.root, "src/core/nodiscard_bad.h"),
                   encoding="utf-8") as fh:
             fixed = fh.read()
         self.assertIn("[[nodiscard]] Status Broken();", fixed)
+        self.assertIn("[[nodiscard]] static Status BrokenStatic();", fixed)
         self.assertIn("[[nodiscard]] core::Result<int> AlsoBroken(int v);",
                       fixed)
         # Idempotent: a second run finds nothing left to fix.
@@ -219,6 +247,16 @@ class DeterminismFixtures(FixtureCase):
             "determinism:src/core/det_bad.cpp:unordered-emit=counts",
         ])
 
+    def test_digit_separators_are_not_char_literals(self):
+        write_tree(self.root, {"src/core/digit_sep.cpp": DIGIT_SEP_CPP})
+        code, ids, _ = run_analyzer(
+            self.root, self.base_args + ["--checker", "determinism"])
+        self.assertEqual(code, 1)
+        # Exactly the real rand() call: not blanked by the separator in
+        # 100'000, and the rand() in the trailing comment stays stripped.
+        self.assertEqual(
+            ids, ["determinism:src/core/digit_sep.cpp:raw-random=rand"])
+
 
 class CancellationFixtures(FixtureCase):
     def test_poll_and_annotation_cover_loops(self):
@@ -230,6 +268,18 @@ class CancellationFixtures(FixtureCase):
         # Only the first loop (no poll, no annotation) is flagged.
         self.assertEqual(
             ids, ["cancellation:src/core/cancel_bad.cpp:no-poll=Probe"])
+
+    def test_hot_call_in_return_statement_is_flagged(self):
+        # `return Scan(...)` is a call, not a declaration; the
+        # declaration-line heuristic must not swallow it.
+        write_tree(
+            self.root,
+            {"src/core/cancel_return.cpp": CANCELLATION_RETURN_CPP})
+        code, ids, _ = run_analyzer(
+            self.root, self.base_args + ["--checker", "cancellation"])
+        self.assertEqual(code, 1)
+        self.assertEqual(
+            ids, ["cancellation:src/core/cancel_return.cpp:no-poll=Scan"])
 
 
 class BaselineFixtures(FixtureCase):

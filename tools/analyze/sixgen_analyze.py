@@ -100,7 +100,12 @@ def parse_source(path: str, text: str) -> SourceFile:
             out.append(_blank(text[i : j + 2]))
             line += text.count("\n", i, j + 2)
             i = j + 2
-        elif c in "\"'":
+        elif c == '"' or (
+            # An apostrophe after an identifier/number character is a
+            # C++14 digit separator (100'000, 0xada7'71fe), not a
+            # char-literal opener.
+            c == "'" and not (i and (text[i - 1].isalnum() or text[i - 1] == "_"))
+        ):
             quote, j = c, i + 1
             while j < n and text[j] != quote:
                 j += 2 if text[j] == "\\" else 1
@@ -252,6 +257,7 @@ def check_layering(src: SourceFile, layers: dict[str, list[str]]) -> list[Findin
 DECL_RE = re.compile(
     r"^(\s*)((?:\[\[nodiscard\]\]\s+)?)"
     r"((?:(?:static|inline|friend|virtual|constexpr|explicit)\s+)*)"
+    r"((?:\[\[nodiscard\]\]\s+)?)"  # the attribute is legal on either side
     r"((?:core::)?(?:Status|Result<[^;={}]*>))\s+"
     r"([A-Za-z_]\w*)\s*\("
 )
@@ -267,7 +273,8 @@ def scan_status_functions(src: SourceFile) -> tuple[list[Finding], set[str]]:
         m = DECL_RE.match(line)
         if not m:
             continue
-        has_attr, name = bool(m.group(2).strip()), m.group(5)
+        has_attr = bool(m.group(2).strip() or m.group(4).strip())
+        name = m.group(6)
         names.add(name)
         if not src.path.endswith(".h"):
             continue  # [[nodiscard]] on the header declaration suffices
@@ -280,7 +287,7 @@ def scan_status_functions(src: SourceFile) -> tuple[list[Finding], set[str]]:
             Finding(
                 "status-discipline", "missing-nodiscard", src.path, lineno,
                 counter.key(f"nodiscard={name}"),
-                f"'{name}' returns {m.group(4).split('<')[0].strip()} "
+                f"'{name}' returns {m.group(5).split('<')[0].strip()} "
                 "but is not [[nodiscard]]",
                 fixable=True,
             )
@@ -480,6 +487,10 @@ POLL_RE = re.compile(r"\b(?:cancelled|Cancelled|Expired|ShouldStop)\s*\(")
 # Opening paren only: the justification may wrap onto following comment
 # lines, so the close paren is not required on the same line.
 NO_CANCEL_RE = re.compile(r"sixgen-analyze:\s*no-cancel\(")
+# Keywords that may directly precede a call expression; anything else
+# word-like before `Name(` is taken to be a return type (declaration).
+CONTROL_KEYWORDS = {"return", "co_return", "co_await", "co_yield", "case",
+                    "throw", "else", "do"}
 
 
 def _annotated_no_cancel(src: SourceFile, header_line: int) -> bool:
@@ -497,14 +508,18 @@ def check_cancellation(src: SourceFile) -> list[Finding]:
         return []
     findings = []
     counter = KeyCounter()
-    for m in HOT_CALL_RE.finditer(src.code)    :
+    for m in HOT_CALL_RE.finditer(src.code):
         pos = m.start()
         # A call on a declaration line (return type precedes the name) is
         # not a call at all; require the match not be preceded by an
-        # identifier-ish type token on the same line.
+        # identifier-ish type token on the same line. Control-flow
+        # keywords are not types: `return Scan(...)` IS a call.
         line_start = src.code.rfind("\n", 0, pos) + 1
         before = src.code[line_start:pos]
-        if re.search(r"[\w>&\]]\s+$", before):
+        prev_word = re.search(r"([A-Za-z_]\w*)\s+$", before)
+        if re.search(r"[\w>&\]]\s+$", before) and not (
+            prev_word and prev_word.group(1) in CONTROL_KEYWORDS
+        ):
             continue
         enclosing = [lp for lp in loops if lp.start < pos < lp.body_end]
         if not enclosing:
